@@ -1,0 +1,277 @@
+//! Pluggable privacy criteria.
+//!
+//! Each criterion is a predicate over bucketizations that is **monotone**
+//! with respect to the `⪯` partial order: if it holds for `B`, it holds for
+//! every coarsening of `B`. Monotonicity is what lets lattice search prune
+//! (evaluate a node's predecessors first) and chain binary search work. For
+//! (c,k)-safety this is the paper's Theorem 14; for k-anonymity and the
+//! ℓ-diversity family it is classical.
+
+use wcbk_core::{Bucketization, CkSafety, CoreError, DisclosureEngine};
+
+use crate::AnonymizeError;
+
+/// A monotone privacy predicate over bucketizations.
+pub trait PrivacyCriterion {
+    /// Human-readable name with parameters, e.g. `"(0.70,3)-safety"`.
+    fn name(&self) -> String;
+
+    /// Whether `b` satisfies the criterion.
+    ///
+    /// Takes `&mut self` so implementations can keep caches (the
+    /// (c,k)-safety criterion memoizes MINIMIZE1 tables across calls).
+    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError>;
+}
+
+/// k-anonymity: every bucket holds at least `k` tuples.
+///
+/// (The grouping view of k-anonymity — under full identification information
+/// bucketization and full-domain generalization are equivalent, Section 2.1.)
+#[derive(Debug, Clone, Copy)]
+pub struct KAnonymity {
+    k: u64,
+}
+
+impl KAnonymity {
+    /// Creates the criterion; `k ≥ 1`.
+    pub fn new(k: u64) -> Self {
+        Self { k: k.max(1) }
+    }
+}
+
+impl PrivacyCriterion for KAnonymity {
+    fn name(&self) -> String {
+        format!("{}-anonymity", self.k)
+    }
+
+    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+        Ok(b.min_bucket_size() >= self.k)
+    }
+}
+
+/// Distinct ℓ-diversity: every bucket contains at least `l` distinct
+/// sensitive values.
+#[derive(Debug, Clone, Copy)]
+pub struct DistinctLDiversity {
+    l: usize,
+}
+
+impl DistinctLDiversity {
+    /// Creates the criterion; `l ≥ 1`.
+    pub fn new(l: usize) -> Self {
+        Self { l: l.max(1) }
+    }
+}
+
+impl PrivacyCriterion for DistinctLDiversity {
+    fn name(&self) -> String {
+        format!("distinct {}-diversity", self.l)
+    }
+
+    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+        Ok(b.buckets()
+            .iter()
+            .all(|bucket| bucket.histogram().distinct() >= self.l))
+    }
+}
+
+/// Entropy ℓ-diversity: every bucket's sensitive-value entropy is at least
+/// `ln(l)`.
+#[derive(Debug, Clone, Copy)]
+pub struct EntropyLDiversity {
+    l: f64,
+}
+
+impl EntropyLDiversity {
+    /// Creates the criterion; requires `l ≥ 1`.
+    pub fn new(l: f64) -> Result<Self, AnonymizeError> {
+        if l.is_nan() || l < 1.0 {
+            return Err(AnonymizeError::InvalidParameter(format!(
+                "entropy ℓ-diversity needs l ≥ 1, got {l}"
+            )));
+        }
+        Ok(Self { l })
+    }
+}
+
+impl PrivacyCriterion for EntropyLDiversity {
+    fn name(&self) -> String {
+        format!("entropy {}-diversity", self.l)
+    }
+
+    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+        let threshold = self.l.ln();
+        Ok(b.buckets()
+            .iter()
+            .all(|bucket| bucket.histogram().entropy() >= threshold - 1e-12))
+    }
+}
+
+/// Recursive (c,ℓ)-diversity: in every bucket,
+/// `f⁰ < c · (f^ℓ⁻¹ + f^ℓ + … )` (frequencies in descending order).
+#[derive(Debug, Clone, Copy)]
+pub struct RecursiveCLDiversity {
+    c: f64,
+    l: usize,
+}
+
+impl RecursiveCLDiversity {
+    /// Creates the criterion; requires `c > 0` and `l ≥ 2`.
+    pub fn new(c: f64, l: usize) -> Result<Self, AnonymizeError> {
+        if c.is_nan() || c <= 0.0 || l < 2 {
+            return Err(AnonymizeError::InvalidParameter(format!(
+                "recursive (c,l)-diversity needs c > 0 and l ≥ 2, got c={c}, l={l}"
+            )));
+        }
+        Ok(Self { c, l })
+    }
+}
+
+impl PrivacyCriterion for RecursiveCLDiversity {
+    fn name(&self) -> String {
+        format!("recursive ({},{})-diversity", self.c, self.l)
+    }
+
+    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+        Ok(b.buckets().iter().all(|bucket| {
+            let h = bucket.histogram();
+            let tail: u64 = (self.l - 1..h.distinct()).map(|r| h.frequency(r)).sum();
+            (h.frequency(0) as f64) < self.c * tail as f64
+        }))
+    }
+}
+
+/// (c,k)-safety (Definition 13), evaluated through a memoizing
+/// [`DisclosureEngine`].
+pub struct CkSafetyCriterion {
+    safety: CkSafety,
+    engine: DisclosureEngine,
+}
+
+impl CkSafetyCriterion {
+    /// Creates the criterion for threshold `c` and attacker power `k`.
+    pub fn new(c: f64, k: usize) -> Result<Self, CoreError> {
+        Ok(Self {
+            safety: CkSafety::new(c, k)?,
+            engine: DisclosureEngine::new(k),
+        })
+    }
+
+    /// Cache statistics of the underlying engine (`hits`, `misses`).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.engine.cache_stats()
+    }
+}
+
+impl PrivacyCriterion for CkSafetyCriterion {
+    fn name(&self) -> String {
+        format!("({},{})-safety", self.safety.c(), self.safety.k())
+    }
+
+    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+        Ok(self.safety.is_safe_with(&mut self.engine, b)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcbk_core::partial_order::merge_all;
+    use wcbk_table::datasets::{hospital_bucket_of, hospital_table};
+
+    fn figure3() -> Bucketization {
+        Bucketization::from_grouping(&hospital_table(), hospital_bucket_of).unwrap()
+    }
+
+    fn bottom() -> Bucketization {
+        Bucketization::from_grouping(&hospital_table(), |t| t).unwrap()
+    }
+
+    #[test]
+    fn k_anonymity_thresholds() {
+        let b = figure3();
+        assert!(KAnonymity::new(5).is_satisfied(&b).unwrap());
+        assert!(!KAnonymity::new(6).is_satisfied(&b).unwrap());
+        assert!(!KAnonymity::new(2).is_satisfied(&bottom()).unwrap());
+    }
+
+    #[test]
+    fn distinct_l_diversity() {
+        let b = figure3();
+        // Male bucket has 3 distinct, female 4.
+        assert!(DistinctLDiversity::new(3).is_satisfied(&b).unwrap());
+        assert!(!DistinctLDiversity::new(4).is_satisfied(&b).unwrap());
+    }
+
+    #[test]
+    fn entropy_l_diversity() {
+        let b = figure3();
+        let male_entropy = b.bucket(0).histogram().entropy();
+        let ok_l = male_entropy.exp() - 0.01;
+        let bad_l = male_entropy.exp() + 0.1;
+        assert!(EntropyLDiversity::new(ok_l)
+            .unwrap()
+            .is_satisfied(&b)
+            .unwrap());
+        assert!(!EntropyLDiversity::new(bad_l)
+            .unwrap()
+            .is_satisfied(&b)
+            .unwrap());
+        assert!(EntropyLDiversity::new(0.5).is_err());
+    }
+
+    #[test]
+    fn recursive_cl_diversity() {
+        let b = figure3();
+        // Male bucket (2,2,1), l=2: f0=2 < c·(f1+f2)=c·3 ⟺ c > 2/3.
+        // Female bucket (2,1,1,1), l=2: 2 < c·3 — same bound.
+        assert!(RecursiveCLDiversity::new(0.7, 2)
+            .unwrap()
+            .is_satisfied(&b)
+            .unwrap());
+        assert!(!RecursiveCLDiversity::new(0.6, 2)
+            .unwrap()
+            .is_satisfied(&b)
+            .unwrap());
+        assert!(RecursiveCLDiversity::new(1.0, 1).is_err());
+    }
+
+    #[test]
+    fn ck_safety_criterion_delegates_to_core() {
+        let b = figure3();
+        let mut safe = CkSafetyCriterion::new(0.7, 1).unwrap();
+        assert!(safe.is_satisfied(&b).unwrap());
+        let mut unsafe_ = CkSafetyCriterion::new(0.5, 1).unwrap();
+        assert!(!unsafe_.is_satisfied(&b).unwrap());
+    }
+
+    #[test]
+    fn criteria_are_monotone_under_full_merge() {
+        let fine = figure3();
+        let coarse = merge_all(&fine).unwrap();
+        let mut criteria: Vec<Box<dyn PrivacyCriterion>> = vec![
+            Box::new(KAnonymity::new(5)),
+            Box::new(DistinctLDiversity::new(3)),
+            Box::new(EntropyLDiversity::new(2.5).unwrap()),
+            Box::new(CkSafetyCriterion::new(0.7, 1).unwrap()),
+        ];
+        for c in criteria.iter_mut() {
+            if c.is_satisfied(&fine).unwrap() {
+                assert!(
+                    c.is_satisfied(&coarse).unwrap(),
+                    "{} not monotone",
+                    c.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_include_parameters() {
+        assert_eq!(KAnonymity::new(5).name(), "5-anonymity");
+        assert!(CkSafetyCriterion::new(0.7, 3)
+            .unwrap()
+            .name()
+            .contains("0.7"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for anonymization search.
+
+use std::fmt;
+
+use wcbk_core::CoreError;
+use wcbk_hierarchy::HierarchyError;
+
+/// Errors from criteria evaluation and lattice search.
+#[derive(Debug)]
+pub enum AnonymizeError {
+    /// A core-algorithm failure (bucketization construction, DP, threshold).
+    Core(CoreError),
+    /// A hierarchy/lattice failure.
+    Hierarchy(HierarchyError),
+    /// No node of the lattice satisfies the criterion (not even the top).
+    NoSafeNode,
+    /// A chain handed to binary search was not monotone fine→coarse.
+    ChainNotMonotone {
+        /// Index of the first out-of-order step.
+        at: usize,
+    },
+    /// A parameter was out of its valid range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for AnonymizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnonymizeError::Core(e) => write!(f, "{e}"),
+            AnonymizeError::Hierarchy(e) => write!(f, "{e}"),
+            AnonymizeError::NoSafeNode => {
+                write!(f, "no generalization in the lattice satisfies the criterion")
+            }
+            AnonymizeError::ChainNotMonotone { at } => {
+                write!(f, "chain is not monotone fine-to-coarse at step {at}")
+            }
+            AnonymizeError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnonymizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnonymizeError::Core(e) => Some(e),
+            AnonymizeError::Hierarchy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for AnonymizeError {
+    fn from(e: CoreError) -> Self {
+        AnonymizeError::Core(e)
+    }
+}
+
+impl From<HierarchyError> for AnonymizeError {
+    fn from(e: HierarchyError) -> Self {
+        AnonymizeError::Hierarchy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AnonymizeError = CoreError::EmptyBucketization.into();
+        assert!(e.to_string().contains("no buckets"));
+        let e: AnonymizeError = HierarchyError::NoLevels("Age".into()).into();
+        assert!(e.to_string().contains("Age"));
+        assert!(AnonymizeError::NoSafeNode.to_string().contains("lattice"));
+    }
+}

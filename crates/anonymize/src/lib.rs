@@ -1,0 +1,44 @@
+//! # wcbk-anonymize — finding safe bucketizations (Section 3.4)
+//!
+//! The paper plugs the (c,k)-safety check into existing lattice-search
+//! frameworks: "we can modify the Incognito algorithm … by simply replacing
+//! the check for k-anonymity with the check for (c,k)-safety". This crate
+//! supplies that machinery:
+//!
+//! * [`PrivacyCriterion`] — the pluggable predicate interface, with
+//!   implementations for **k-anonymity** [Samarati & Sweeney],
+//!   **distinct/entropy/recursive ℓ-diversity** [Machanavajjhala et al.] and
+//!   **(c,k)-safety** (Definition 13, backed by the `wcbk-core` engine).
+//!   All of these are monotone w.r.t. the generalization lattice
+//!   (Theorem 14 for (c,k)-safety), which the searches exploit.
+//! * [`search`] — bottom-up breadth-first search over a
+//!   [`GeneralizationLattice`](wcbk_hierarchy::GeneralizationLattice) with
+//!   monotone pruning, returning **all ⪯-minimal safe nodes**; plus binary
+//!   search along chains (the "logarithmic in the height of the lattice"
+//!   observation below Definition 13).
+//! * [`utility`] — utility metrics for choosing among minimal safe nodes
+//!   (discernibility penalty, average class size, generalization height,
+//!   minimum bucket entropy).
+//! * [`pipeline`] — a one-call anonymizer: search, rank by utility, return
+//!   the chosen node, its bucketization and a disclosure report.
+
+pub mod anatomy;
+pub mod criteria;
+mod error;
+pub mod incognito;
+pub mod swap;
+pub mod pipeline;
+pub mod search;
+pub mod utility;
+
+pub use criteria::{
+    CkSafetyCriterion, DistinctLDiversity, EntropyLDiversity, KAnonymity, PrivacyCriterion,
+    RecursiveCLDiversity,
+};
+pub use anatomy::{anatomize, AnatomyOutcome};
+pub use error::AnonymizeError;
+pub use incognito::{incognito, IncognitoOutcome};
+pub use swap::{swap_sanitize, SwapOutcome};
+pub use pipeline::{anonymize, AnonymizationOutcome};
+pub use search::{binary_search_chain, find_minimal_safe, SearchOutcome};
+pub use utility::UtilityMetric;

@@ -1,0 +1,270 @@
+//! Lattice search for minimal safe generalizations.
+
+use std::collections::HashSet;
+
+use wcbk_hierarchy::{GenNode, GeneralizationLattice};
+use wcbk_table::Table;
+
+use crate::{AnonymizeError, PrivacyCriterion};
+
+/// Outcome of a bottom-up lattice search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// All ⪯-minimal nodes satisfying the criterion (antichain).
+    pub minimal_nodes: Vec<GenNode>,
+    /// Nodes whose criterion was actually evaluated (≤ lattice size; the
+    /// rest were inferred safe by monotonicity).
+    pub evaluated: usize,
+    /// Nodes known safe (evaluated or inferred).
+    pub satisfied: usize,
+}
+
+/// Bottom-up breadth-first search (Incognito-style) for **all minimal safe
+/// nodes** of the lattice under a monotone criterion.
+///
+/// Nodes are visited by increasing height. A node with a known-safe
+/// predecessor is safe by monotonicity and skipped (it cannot be minimal);
+/// otherwise the criterion is evaluated. Evaluated-safe nodes are exactly
+/// the minimal ones: all their predecessors were found unsafe.
+pub fn find_minimal_safe<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    criterion: &mut C,
+) -> Result<SearchOutcome, AnonymizeError> {
+    let mut safe: HashSet<GenNode> = HashSet::new();
+    let mut minimal: Vec<GenNode> = Vec::new();
+    let mut evaluated = 0usize;
+
+    for level in lattice.nodes_by_height() {
+        for node in level {
+            let inherited = lattice
+                .predecessors(&node)
+                .into_iter()
+                .any(|p| safe.contains(&p));
+            if inherited {
+                safe.insert(node);
+                continue;
+            }
+            evaluated += 1;
+            let b = lattice.bucketize(table, &node)?;
+            if criterion.is_satisfied(&b)? {
+                minimal.push(node.clone());
+                safe.insert(node);
+            }
+        }
+    }
+    Ok(SearchOutcome {
+        minimal_nodes: minimal,
+        evaluated,
+        satisfied: safe.len(),
+    })
+}
+
+/// Exhaustive sweep evaluating the criterion on **every** node — the
+/// unpruned baseline (used by benches to quantify the pruning win and by the
+/// Figure 6 experiment which needs per-node statistics anyway).
+pub fn sweep_all<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    criterion: &mut C,
+) -> Result<Vec<(GenNode, bool)>, AnonymizeError> {
+    let mut out = Vec::with_capacity(lattice.n_nodes());
+    for node in lattice.nodes() {
+        let b = lattice.bucketize(table, &node)?;
+        let ok = criterion.is_satisfied(&b)?;
+        out.push((node, ok));
+    }
+    Ok(out)
+}
+
+/// Binary search along a fine→coarse chain for the first (finest) safe node
+/// — logarithmic in the chain length thanks to monotonicity (Theorem 14).
+///
+/// Returns `None` when even the last (coarsest) node fails.
+pub fn binary_search_chain<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    chain: &[GenNode],
+    criterion: &mut C,
+) -> Result<Option<GenNode>, AnonymizeError> {
+    for (i, w) in chain.windows(2).enumerate() {
+        if !w[0].le(&w[1]) {
+            return Err(AnonymizeError::ChainNotMonotone { at: i });
+        }
+    }
+    if chain.is_empty() {
+        return Ok(None);
+    }
+    // Invariant: everything below `lo` is unsafe; if `hi_safe` then chain[hi]
+    // is safe.
+    let mut lo = 0usize;
+    let mut hi = chain.len() - 1;
+    let b = lattice.bucketize(table, &chain[hi])?;
+    if !criterion.is_satisfied(&b)? {
+        return Ok(None);
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let b = lattice.bucketize(table, &chain[mid])?;
+        if criterion.is_satisfied(&b)? {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(Some(chain[lo].clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteria::{CkSafetyCriterion, KAnonymity, PrivacyCriterion};
+    use wcbk_hierarchy::Hierarchy;
+    use wcbk_table::datasets::hospital_table;
+
+    fn lattice(table: &Table) -> GeneralizationLattice {
+        let zip = table.column(1).dictionary().clone();
+        let age = table.column(2).dictionary().clone();
+        let sex = table.column(3).dictionary().clone();
+        GeneralizationLattice::new(vec![
+            (1, Hierarchy::suppression("Zip", &zip)),
+            (2, Hierarchy::intervals("Age", &age, &[5]).unwrap()),
+            (3, Hierarchy::suppression("Sex", &sex)),
+        ])
+        .unwrap()
+    }
+
+    /// Independent check of minimality against the exhaustive sweep.
+    fn assert_minimal_consistent<C: PrivacyCriterion>(
+        table: &Table,
+        lattice: &GeneralizationLattice,
+        make: impl Fn() -> C,
+    ) {
+        let outcome = find_minimal_safe(table, lattice, &mut make()).unwrap();
+        let sweep = sweep_all(table, lattice, &mut make()).unwrap();
+        let safe: HashSet<GenNode> = sweep
+            .iter()
+            .filter(|(_, ok)| *ok)
+            .map(|(n, _)| n.clone())
+            .collect();
+        // 1. Search count of safe nodes matches sweep.
+        assert_eq!(outcome.satisfied, safe.len());
+        // 2. Every reported minimal node is safe with no safe predecessor.
+        for m in &outcome.minimal_nodes {
+            assert!(safe.contains(m), "{m} not actually safe");
+            for p in lattice.predecessors(m) {
+                assert!(!safe.contains(&p), "{m} has safe predecessor {p}");
+            }
+        }
+        // 3. Every safe node with no safe predecessor is reported.
+        for s in &safe {
+            let has_safe_pred = lattice.predecessors(s).iter().any(|p| safe.contains(p));
+            if !has_safe_pred {
+                assert!(outcome.minimal_nodes.contains(s), "{s} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn k_anonymity_search_matches_sweep() {
+        let t = hospital_table();
+        let l = lattice(&t);
+        for k in [2u64, 3, 5, 10] {
+            assert_minimal_consistent(&t, &l, || KAnonymity::new(k));
+        }
+    }
+
+    #[test]
+    fn ck_safety_search_matches_sweep() {
+        let t = hospital_table();
+        let l = lattice(&t);
+        for (c, k) in [(0.5, 0), (0.7, 1), (0.9, 1), (1.0, 2)] {
+            assert_minimal_consistent(&t, &l, || CkSafetyCriterion::new(c, k).unwrap());
+        }
+    }
+
+    #[test]
+    fn pruning_saves_evaluations() {
+        let t = hospital_table();
+        let l = lattice(&t);
+        let outcome = find_minimal_safe(&t, &l, &mut KAnonymity::new(2)).unwrap();
+        assert!(outcome.evaluated < l.n_nodes(), "no pruning happened");
+        assert!(!outcome.minimal_nodes.is_empty());
+    }
+
+    #[test]
+    fn impossible_criterion_yields_empty() {
+        let t = hospital_table();
+        let l = lattice(&t);
+        // 11-anonymity is impossible for a 10-row table.
+        let outcome = find_minimal_safe(&t, &l, &mut KAnonymity::new(11)).unwrap();
+        assert!(outcome.minimal_nodes.is_empty());
+        assert_eq!(outcome.satisfied, 0);
+    }
+
+    #[test]
+    fn binary_search_finds_first_safe_on_chain() {
+        let t = hospital_table();
+        let l = lattice(&t);
+        let chain = l.maximal_chain();
+        let mut criterion = KAnonymity::new(5);
+        let found = binary_search_chain(&t, &l, &chain, &mut criterion)
+            .unwrap()
+            .expect("top is 5-anonymous");
+        // Verify: found is safe, its chain predecessor is not.
+        let idx = chain.iter().position(|n| *n == found).unwrap();
+        assert!(KAnonymity::new(5)
+            .is_satisfied(&l.bucketize(&t, &chain[idx]).unwrap())
+            .unwrap());
+        if idx > 0 {
+            assert!(!KAnonymity::new(5)
+                .is_satisfied(&l.bucketize(&t, &chain[idx - 1]).unwrap())
+                .unwrap());
+        }
+    }
+
+    #[test]
+    fn binary_search_none_when_even_top_fails() {
+        let t = hospital_table();
+        let l = lattice(&t);
+        let chain = l.maximal_chain();
+        let found = binary_search_chain(&t, &l, &chain, &mut KAnonymity::new(11)).unwrap();
+        assert_eq!(found, None);
+    }
+
+    #[test]
+    fn binary_search_rejects_bad_chain() {
+        let t = hospital_table();
+        let l = lattice(&t);
+        let mut chain = l.maximal_chain();
+        chain.reverse();
+        let err = binary_search_chain(&t, &l, &chain, &mut KAnonymity::new(2)).unwrap_err();
+        assert!(matches!(err, AnonymizeError::ChainNotMonotone { at: 0 }));
+    }
+
+    #[test]
+    fn binary_search_matches_linear_scan() {
+        let t = hospital_table();
+        let l = lattice(&t);
+        let chain = l.maximal_chain();
+        for (c, k) in [(0.5, 0), (0.5, 1), (0.9, 2), (0.41, 0)] {
+            let mut criterion = CkSafetyCriterion::new(c, k).unwrap();
+            let binary = binary_search_chain(&t, &l, &chain, &mut criterion).unwrap();
+            let mut linear = None;
+            for node in &chain {
+                let b = l.bucketize(&t, node).unwrap();
+                if CkSafetyCriterion::new(c, k)
+                    .unwrap()
+                    .is_satisfied(&b)
+                    .unwrap()
+                {
+                    linear = Some(node.clone());
+                    break;
+                }
+            }
+            assert_eq!(binary, linear, "c={c} k={k}");
+        }
+    }
+
+    use wcbk_table::Table;
+}

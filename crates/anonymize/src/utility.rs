@@ -1,0 +1,220 @@
+//! Utility metrics for ranking safe generalizations.
+//!
+//! Minimal sanitization preserves utility (the paper's motivation for the
+//! `⪯`-minimality requirement); when several minimal nodes exist, a utility
+//! metric picks among them ("return the one that maximizes a specified
+//! utility function", Section 3.4).
+
+use wcbk_core::Bucketization;
+use wcbk_hierarchy::{GenNode, GeneralizationLattice};
+use wcbk_table::Table;
+
+use crate::AnonymizeError;
+
+/// A utility metric; **lower scores are better** for every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UtilityMetric {
+    /// Discernibility penalty `Σ_b n_b²` [Bayardo & Agrawal] — penalizes
+    /// large equivalence classes.
+    Discernibility,
+    /// Average equivalence-class size `n / |B|`.
+    AverageClassSize,
+    /// Total generalization height `Σ levels` — fewer coarsening steps are
+    /// better.
+    Height,
+    /// Negated minimum bucket entropy — prefer anonymizations whose least
+    /// diverse bucket is most diverse (the Figure 6 axis).
+    NegMinEntropy,
+    /// Loss metric (Iyengar's LM / normalized certainty penalty): the mean,
+    /// over cells, of `(leaves(group) − 1) / (|domain| − 1)` — 0 for exact
+    /// values, 1 for full suppression.
+    LossMetric,
+}
+
+impl UtilityMetric {
+    /// Scores `node` (lower is better). Metrics needing the data receive the
+    /// induced bucketization.
+    pub fn score(
+        &self,
+        lattice: &GeneralizationLattice,
+        table: &Table,
+        node: &GenNode,
+    ) -> Result<f64, AnonymizeError> {
+        match self {
+            UtilityMetric::Height => Ok(node.height() as f64),
+            UtilityMetric::LossMetric => Ok(loss_metric(lattice, table, node)?),
+            _ => {
+                let b = lattice.bucketize(table, node)?;
+                Ok(self.score_bucketization(&b))
+            }
+        }
+    }
+
+    /// Scores a pre-computed bucketization (node-dependent metrics — Height,
+    /// LossMetric — fall back to 0 since a bucketization alone carries no
+    /// generalization information).
+    pub fn score_bucketization(&self, b: &Bucketization) -> f64 {
+        match self {
+            UtilityMetric::Discernibility => discernibility(b) as f64,
+            UtilityMetric::AverageClassSize => average_class_size(b),
+            UtilityMetric::Height | UtilityMetric::LossMetric => 0.0,
+            UtilityMetric::NegMinEntropy => -b.min_bucket_entropy(),
+        }
+    }
+}
+
+/// The loss metric of a generalization: mean over (row, quasi-identifier)
+/// cells of `(leaves(cell's group) − 1) / (|attribute domain| − 1)`; an
+/// attribute with a single base value contributes 0.
+pub fn loss_metric(
+    lattice: &GeneralizationLattice,
+    table: &Table,
+    node: &GenNode,
+) -> Result<f64, AnonymizeError> {
+    lattice.validate(node)?;
+    if table.n_rows() == 0 || lattice.n_dims() == 0 {
+        return Ok(0.0);
+    }
+    let mut total = 0.0;
+    for (d, &level) in node.0.iter().enumerate() {
+        let h = lattice.hierarchy(d);
+        let sizes = h.group_sizes(level);
+        let domain = h.group_sizes(0).len();
+        if domain <= 1 {
+            continue;
+        }
+        let column = table.column(lattice.column(d));
+        let mut attr_loss = 0.0;
+        for row in 0..table.n_rows() {
+            let g = h.generalize(level, column.code(row));
+            attr_loss += (sizes[g as usize] - 1) as f64 / (domain - 1) as f64;
+        }
+        total += attr_loss / table.n_rows() as f64;
+    }
+    Ok(total / lattice.n_dims() as f64)
+}
+
+/// Discernibility penalty `Σ_b n_b²`.
+pub fn discernibility(b: &Bucketization) -> u128 {
+    b.buckets()
+        .iter()
+        .map(|bucket| {
+            let n = bucket.n() as u128;
+            n * n
+        })
+        .sum()
+}
+
+/// Average equivalence-class size `n / |B|`.
+pub fn average_class_size(b: &Bucketization) -> f64 {
+    b.n_tuples() as f64 / b.n_buckets() as f64
+}
+
+/// Picks the best node (lowest score) among `candidates`; ties broken by the
+/// lattice node order (deterministic).
+pub fn pick_best(
+    metric: UtilityMetric,
+    lattice: &GeneralizationLattice,
+    table: &Table,
+    candidates: &[GenNode],
+) -> Result<Option<GenNode>, AnonymizeError> {
+    let mut best: Option<(f64, GenNode)> = None;
+    for node in candidates {
+        let s = metric.score(lattice, table, node)?;
+        let better = match &best {
+            None => true,
+            Some((bs, bn)) => s < *bs || (s == *bs && node < bn),
+        };
+        if better {
+            best = Some((s, node.clone()));
+        }
+    }
+    Ok(best.map(|(_, n)| n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcbk_hierarchy::Hierarchy;
+    use wcbk_table::datasets::hospital_table;
+
+    fn setup() -> (Table, GeneralizationLattice) {
+        let t = hospital_table();
+        let zip = t.column(1).dictionary().clone();
+        let sex = t.column(3).dictionary().clone();
+        let l = GeneralizationLattice::new(vec![
+            (1, Hierarchy::suppression("Zip", &zip)),
+            (3, Hierarchy::suppression("Sex", &sex)),
+        ])
+        .unwrap();
+        (t, l)
+    }
+
+    #[test]
+    fn discernibility_prefers_finer() {
+        let (t, l) = setup();
+        let fine = l.bucketize(&t, &l.bottom()).unwrap();
+        let coarse = l.bucketize(&t, &l.top()).unwrap();
+        assert!(discernibility(&fine) < discernibility(&coarse));
+        assert_eq!(discernibility(&coarse), 100);
+    }
+
+    #[test]
+    fn average_class_size_values() {
+        let (t, l) = setup();
+        let coarse = l.bucketize(&t, &l.top()).unwrap();
+        assert_eq!(average_class_size(&coarse), 10.0);
+    }
+
+    #[test]
+    fn height_scores_node_directly() {
+        let (t, l) = setup();
+        let s = UtilityMetric::Height.score(&l, &t, &l.top()).unwrap();
+        assert_eq!(s, 2.0);
+        let s = UtilityMetric::Height.score(&l, &t, &l.bottom()).unwrap();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn neg_min_entropy_prefers_diverse() {
+        let (t, l) = setup();
+        // Top (one bucket of 10, 6 values) is more diverse than the
+        // sex-split buckets.
+        let top_score = UtilityMetric::NegMinEntropy.score(&l, &t, &l.top()).unwrap();
+        let split = GenNode(vec![1, 0]);
+        let split_score = UtilityMetric::NegMinEntropy.score(&l, &t, &split).unwrap();
+        assert!(top_score < split_score);
+    }
+
+    #[test]
+    fn loss_metric_bounds_and_monotonicity() {
+        let (t, l) = setup();
+        // Bottom: no generalization, loss 0. Top: full suppression, loss 1.
+        let bottom = UtilityMetric::LossMetric.score(&l, &t, &l.bottom()).unwrap();
+        assert!(bottom.abs() < 1e-12);
+        let top = UtilityMetric::LossMetric.score(&l, &t, &l.top()).unwrap();
+        assert!((top - 1.0).abs() < 1e-12);
+        // Intermediate node: strictly between, and monotone along the chain.
+        let mut prev = -1.0;
+        for node in l.maximal_chain() {
+            let s = UtilityMetric::LossMetric.score(&l, &t, &node).unwrap();
+            assert!(s >= prev - 1e-12, "loss not monotone at {node}");
+            assert!((0.0..=1.0 + 1e-12).contains(&s));
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn pick_best_is_deterministic() {
+        let (t, l) = setup();
+        let candidates = l.nodes();
+        let best = pick_best(UtilityMetric::Discernibility, &l, &t, &candidates)
+            .unwrap()
+            .unwrap();
+        assert_eq!(best, l.bottom());
+        assert_eq!(
+            pick_best(UtilityMetric::Discernibility, &l, &t, &[]).unwrap(),
+            None
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! E5 — the Theorem 8 hardness gap: exact inference over worlds
+//! (#P-complete in general) blows up exponentially with instance size while
+//! the worst-case DP (which sidesteps per-formula inference entirely) stays
+//! polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wcbk_core::max_disclosure;
+use wcbk_datagen::workload::{random_bucketization, WorkloadConfig};
+use wcbk_logic::{Atom, SimpleImplication};
+use wcbk_table::{SValue, TupleId};
+use wcbk_worlds::consistency::count_satisfying_worlds;
+use wcbk_worlds::{BucketSpec, WorldSpace};
+
+fn space_of(b: &wcbk_core::Bucketization) -> WorldSpace {
+    WorldSpace::new(
+        b.to_parts()
+            .into_iter()
+            .map(|(m, v)| BucketSpec::new(m, v))
+            .collect(),
+    )
+    .expect("valid space")
+}
+
+/// Cross-bucket implication chain touching every bucket — the worst case for
+/// backtracking inference.
+fn chain_implications(b: &wcbk_core::Bucketization) -> Vec<SimpleImplication> {
+    let mut imps = Vec::new();
+    for i in 0..b.n_buckets() - 1 {
+        let p = b.bucket(i).members()[0];
+        let q = b.bucket(i + 1).members()[0];
+        let vp = b.bucket(i).histogram().value_at(0).unwrap();
+        let vq = b.bucket(i + 1).histogram().value_at(0).unwrap();
+        imps.push(SimpleImplication::new(Atom::new(p, vp), Atom::new(q, vq)));
+    }
+    // A few same-bucket constraints to harden propagation.
+    for i in 0..b.n_buckets() {
+        let members = b.bucket(i).members();
+        if members.len() >= 2 {
+            let h = b.bucket(i).histogram();
+            let last = h.value_at(h.distinct() - 1).unwrap_or(SValue(0));
+            imps.push(SimpleImplication::new(
+                Atom::new(members[1], last),
+                Atom::new(members[0], h.value_at(0).unwrap()),
+            ));
+        }
+    }
+    imps
+}
+
+fn bench_exact_vs_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_vs_dp");
+    group.sample_size(10);
+    for n_buckets in [2usize, 3, 4, 5] {
+        let b = random_bucketization(WorkloadConfig {
+            n_buckets,
+            bucket_size: (6, 6),
+            n_values: 4,
+            skew: 0.8,
+            seed: 31 + n_buckets as u64,
+        });
+        let space = space_of(&b);
+        let imps = chain_implications(&b);
+        let tid = TupleId(0);
+        let target = Atom::new(tid, b.bucket(0).histogram().value_at(0).unwrap());
+        let mut with_target = imps.clone();
+        with_target.push(SimpleImplication::new(target, target));
+
+        group.bench_with_input(
+            BenchmarkId::new("exact_model_count", n_buckets),
+            &imps,
+            |bench, imps| {
+                bench.iter(|| black_box(count_satisfying_worlds(&space, imps).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dp_max_disclosure_k4", n_buckets),
+            &b,
+            |bench, b| bench.iter(|| black_box(max_disclosure(b, 4).unwrap().value)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_dp);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E2 — Figure 5 regeneration benchmark: maximum disclosure vs. `k`
+//! (implications and negated atoms) on the Adult anonymization with Age in
+//! 20-year intervals and all other quasi-identifiers suppressed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wcbk_bench::{figure5_on, small_adult};
+use wcbk_hierarchy::adult::{adult_lattice, figure5_node};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(20);
+    for n_rows in [5_000usize, 45_222] {
+        let table = small_adult(n_rows);
+        let lattice = adult_lattice(&table).expect("adult lattice");
+        let bucketization = lattice
+            .bucketize(&table, &figure5_node())
+            .expect("figure 5 node");
+        group.bench_with_input(
+            BenchmarkId::new("disclosure_curve_k0_12", n_rows),
+            &bucketization,
+            |b, bk| {
+                b.iter(|| {
+                    let rows = figure5_on(black_box(bk), 12).expect("figure 5 series");
+                    black_box(rows)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E3 — Figure 6 regeneration benchmark: sweeping all 72 nodes of the Adult
+//! generalization lattice, computing per-node min-entropy and maximum
+//! disclosure for k ∈ {1,3,5,7,9,11}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wcbk_bench::{figure6, profile_adult_lattice, small_adult};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    let ks = [1usize, 3, 5, 7, 9, 11];
+    for n_rows in [2_000usize, 10_000] {
+        let table = small_adult(n_rows);
+        group.bench_with_input(
+            BenchmarkId::new("lattice_sweep_72_nodes", n_rows),
+            &table,
+            |b, t| {
+                b.iter(|| {
+                    let profiles = profile_adult_lattice(black_box(t), &ks).expect("sweep");
+                    let series = figure6(&profiles, &ks, 2);
+                    black_box(series)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

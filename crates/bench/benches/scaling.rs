@@ -1,0 +1,49 @@
+//! E4 — complexity validation: the paper claims the maximum-disclosure
+//! algorithm runs in `O(|B|·k³)` time. Two sweeps check the shape: time vs.
+//! `k` at fixed `|B|` (cubic-ish) and time vs. `|B|` at fixed `k` (linear).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use wcbk_core::max_disclosure;
+use wcbk_datagen::workload::{random_bucketization, WorkloadConfig};
+
+fn bench_k_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_k");
+    let bucketization = random_bucketization(WorkloadConfig {
+        n_buckets: 64,
+        bucket_size: (32, 64),
+        n_values: 64,
+        skew: 1.0,
+        seed: 99,
+    });
+    for k in [2usize, 4, 8, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("B64", k), &k, |b, &k| {
+            b.iter(|| black_box(max_disclosure(black_box(&bucketization), k).unwrap().value))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bucket_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_buckets");
+    for n_buckets in [16usize, 64, 256, 1024, 4096] {
+        let bucketization = random_bucketization(WorkloadConfig {
+            n_buckets,
+            bucket_size: (8, 32),
+            n_values: 14,
+            skew: 1.0,
+            seed: 7 + n_buckets as u64,
+        });
+        group.throughput(Throughput::Elements(n_buckets as u64));
+        group.bench_with_input(
+            BenchmarkId::new("k8", n_buckets),
+            &bucketization,
+            |b, bk| b.iter(|| black_box(max_disclosure(black_box(bk), 8).unwrap().value)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k_scaling, bench_bucket_scaling);
+criterion_main!(benches);

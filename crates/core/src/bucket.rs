@@ -1,0 +1,319 @@
+//! Buckets and bucketizations (Section 2.1).
+
+use std::collections::HashMap;
+
+use wcbk_table::{SValue, Table, TupleId};
+
+use crate::{CoreError, SensitiveHistogram};
+
+/// One bucket `b`: its members `P_b` and the histogram of its sensitive
+/// values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    members: Vec<TupleId>,
+    histogram: SensitiveHistogram,
+}
+
+impl Bucket {
+    /// Creates a bucket from members and their sensitive values (aligned).
+    pub fn new(members: Vec<TupleId>, values: &[SValue]) -> Self {
+        debug_assert_eq!(members.len(), values.len());
+        Self {
+            members,
+            histogram: SensitiveHistogram::from_values(values),
+        }
+    }
+
+    /// Creates a bucket from members and a pre-built histogram (e.g. when
+    /// merging buckets). The histogram total must equal the member count.
+    pub fn from_histogram(members: Vec<TupleId>, histogram: SensitiveHistogram) -> Self {
+        debug_assert_eq!(members.len() as u64, histogram.n());
+        Self { members, histogram }
+    }
+
+    /// The persons in the bucket.
+    pub fn members(&self) -> &[TupleId] {
+        &self.members
+    }
+
+    /// Bucket size `n_b`.
+    pub fn n(&self) -> u64 {
+        self.members.len() as u64
+    }
+
+    /// The sensitive-value histogram.
+    pub fn histogram(&self) -> &SensitiveHistogram {
+        &self.histogram
+    }
+}
+
+/// A bucketization `B`: a partition of (a subset of) the table's tuples with
+/// sensitive values randomly permuted inside each bucket.
+///
+/// The structure stores only what the *published* data reveals under full
+/// identification information: bucket membership and per-bucket value
+/// multisets. `domain_size` records the global sensitive-domain cardinality
+/// `|S|`, which bounds the attacker's useful `k` and supplies out-of-bucket
+/// values for witness construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucketization {
+    buckets: Vec<Bucket>,
+    domain_size: u32,
+}
+
+impl Bucketization {
+    /// Builds a bucketization from explicit member groups over a table.
+    ///
+    /// Groups must be non-empty, disjoint, and reference valid rows. (They
+    /// need not cover the whole table — publishing a sample is allowed.)
+    pub fn from_partition(table: &Table, groups: &[Vec<TupleId>]) -> Result<Self, CoreError> {
+        if groups.is_empty() {
+            return Err(CoreError::EmptyBucketization);
+        }
+        let mut seen: HashMap<TupleId, ()> = HashMap::new();
+        let mut buckets = Vec::with_capacity(groups.len());
+        for (gi, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                return Err(CoreError::EmptyBucket(gi));
+            }
+            let mut values = Vec::with_capacity(group.len());
+            for &t in group {
+                if t.index() >= table.n_rows() {
+                    return Err(CoreError::TupleOutOfRange {
+                        tuple: t.0,
+                        n_rows: table.n_rows(),
+                    });
+                }
+                if seen.insert(t, ()).is_some() {
+                    return Err(CoreError::OverlappingBuckets { tuple: t.0 });
+                }
+                values.push(table.sensitive_value(t));
+            }
+            buckets.push(Bucket::new(group.clone(), &values));
+        }
+        Ok(Self {
+            buckets,
+            domain_size: table.sensitive_cardinality() as u32,
+        })
+    }
+
+    /// Builds a bucketization by grouping all tuples of `table` with a key
+    /// function (e.g. the generalized quasi-identifier signature). Buckets
+    /// appear in order of first key occurrence.
+    pub fn from_grouping<K, F>(table: &Table, mut key_of: F) -> Result<Self, CoreError>
+    where
+        K: std::hash::Hash + Eq,
+        F: FnMut(TupleId) -> K,
+    {
+        let mut index_of: HashMap<K, usize> = HashMap::new();
+        let mut groups: Vec<Vec<TupleId>> = Vec::new();
+        for t in table.tuple_ids() {
+            let key = key_of(t);
+            let next = groups.len();
+            let gi = *index_of.entry(key).or_insert(next);
+            if gi == groups.len() {
+                groups.push(Vec::new());
+            }
+            groups[gi].push(t);
+        }
+        Self::from_partition(table, &groups)
+    }
+
+    /// Builds directly from pre-computed buckets (used by generators).
+    pub fn from_buckets(buckets: Vec<Bucket>, domain_size: u32) -> Result<Self, CoreError> {
+        if buckets.is_empty() {
+            return Err(CoreError::EmptyBucketization);
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            if b.members().is_empty() {
+                return Err(CoreError::EmptyBucket(i));
+            }
+        }
+        let mut seen = HashMap::new();
+        for b in &buckets {
+            for &t in b.members() {
+                if seen.insert(t, ()).is_some() {
+                    return Err(CoreError::OverlappingBuckets { tuple: t.0 });
+                }
+            }
+        }
+        Ok(Self {
+            buckets,
+            domain_size,
+        })
+    }
+
+    /// Number of buckets `|B|`.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The bucket at `index`.
+    pub fn bucket(&self, index: usize) -> &Bucket {
+        &self.buckets[index]
+    }
+
+    /// Iterates over buckets.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Total tuples across buckets.
+    pub fn n_tuples(&self) -> u64 {
+        self.buckets.iter().map(Bucket::n).sum()
+    }
+
+    /// Global sensitive-domain cardinality `|S|`.
+    pub fn domain_size(&self) -> u32 {
+        self.domain_size
+    }
+
+    /// The `k = 0` maximum disclosure: `max_b n_b(s⁰_b) / n_b`.
+    pub fn max_frequency_ratio(&self) -> f64 {
+        self.buckets
+            .iter()
+            .map(|b| b.histogram().top_ratio())
+            .fold(0.0, f64::max)
+    }
+
+    /// Minimum per-bucket entropy (natural log) — the x-axis of Figure 6.
+    pub fn min_bucket_entropy(&self) -> f64 {
+        self.buckets
+            .iter()
+            .map(|b| b.histogram().entropy())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Smallest bucket size (the k-anonymity parameter of the grouping).
+    pub fn min_bucket_size(&self) -> u64 {
+        self.buckets.iter().map(Bucket::n).min().unwrap_or(0)
+    }
+
+    /// The bucket index containing person `p`, if any.
+    pub fn bucket_of(&self, p: TupleId) -> Option<usize> {
+        self.buckets
+            .iter()
+            .position(|b| b.members().contains(&p))
+    }
+
+    /// Exports `(members, values)` pairs, e.g. to build an exact
+    /// `wcbk_worlds::WorldSpace`. Values are emitted in histogram order
+    /// (which published bucketizations are free to do — the permutation is
+    /// random anyway).
+    pub fn to_parts(&self) -> Vec<(Vec<TupleId>, Vec<SValue>)> {
+        self.buckets
+            .iter()
+            .map(|b| {
+                let mut values = Vec::with_capacity(b.members().len());
+                let h = b.histogram();
+                for rank in 0..h.distinct() {
+                    let v = h.value_at(rank).expect("rank < distinct");
+                    for _ in 0..h.frequency(rank) {
+                        values.push(v);
+                    }
+                }
+                (b.members().to_vec(), values)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcbk_table::datasets::{hospital_bucket_of, hospital_table};
+
+    fn t(i: u32) -> TupleId {
+        TupleId(i)
+    }
+
+    fn hospital_bucketization() -> Bucketization {
+        let table = hospital_table();
+        Bucketization::from_grouping(&table, hospital_bucket_of).unwrap()
+    }
+
+    #[test]
+    fn hospital_grouping_matches_figure_3() {
+        let b = hospital_bucketization();
+        assert_eq!(b.n_buckets(), 2);
+        assert_eq!(b.n_tuples(), 10);
+        // Males: Flu 2, Lung Cancer 2, Mumps 1.
+        assert_eq!(b.bucket(0).histogram().counts_desc(), &[2, 2, 1]);
+        // Females: Flu 2, Breast 1, Ovarian 1, Heart 1.
+        assert_eq!(b.bucket(1).histogram().counts_desc(), &[2, 1, 1, 1]);
+        assert_eq!(b.domain_size(), 6);
+    }
+
+    #[test]
+    fn k0_disclosure_is_two_fifths() {
+        let b = hospital_bucketization();
+        assert!((b.max_frequency_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_partition_validates() {
+        let table = hospital_table();
+        assert!(matches!(
+            Bucketization::from_partition(&table, &[]),
+            Err(CoreError::EmptyBucketization)
+        ));
+        assert!(matches!(
+            Bucketization::from_partition(&table, &[vec![]]),
+            Err(CoreError::EmptyBucket(0))
+        ));
+        assert!(matches!(
+            Bucketization::from_partition(&table, &[vec![t(0)], vec![t(0)]]),
+            Err(CoreError::OverlappingBuckets { tuple: 0 })
+        ));
+        assert!(matches!(
+            Bucketization::from_partition(&table, &[vec![t(99)]]),
+            Err(CoreError::TupleOutOfRange { tuple: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn partial_cover_allowed() {
+        let table = hospital_table();
+        let b = Bucketization::from_partition(&table, &[vec![t(0), t(1)]]).unwrap();
+        assert_eq!(b.n_tuples(), 2);
+    }
+
+    #[test]
+    fn bucket_of_lookup() {
+        let b = hospital_bucketization();
+        assert_eq!(b.bucket_of(t(3)), Some(0));
+        assert_eq!(b.bucket_of(t(7)), Some(1));
+        let table = hospital_table();
+        let partial = Bucketization::from_partition(&table, &[vec![t(0)]]).unwrap();
+        assert_eq!(partial.bucket_of(t(5)), None);
+    }
+
+    #[test]
+    fn to_parts_preserves_multisets() {
+        let b = hospital_bucketization();
+        let parts = b.to_parts();
+        assert_eq!(parts.len(), 2);
+        let (members, values) = &parts[0];
+        assert_eq!(members.len(), 5);
+        assert_eq!(values.len(), 5);
+        let rebuilt = SensitiveHistogram::from_values(values);
+        assert_eq!(&rebuilt, b.bucket(0).histogram());
+    }
+
+    #[test]
+    fn min_bucket_entropy_and_size() {
+        let b = hospital_bucketization();
+        assert_eq!(b.min_bucket_size(), 5);
+        // Male bucket entropy (2/5,2/5,1/5) < female (2/5,1/5,1/5,1/5).
+        let male = b.bucket(0).histogram().entropy();
+        assert!((b.min_bucket_entropy() - male).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouping_by_constant_gives_one_bucket() {
+        let table = hospital_table();
+        let b = Bucketization::from_grouping(&table, |_| 0u8).unwrap();
+        assert_eq!(b.n_buckets(), 1);
+        assert_eq!(b.bucket(0).n(), 10);
+    }
+}

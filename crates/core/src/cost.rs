@@ -1,0 +1,201 @@
+//! Cost-based disclosure (the paper's §6 future-work item: "studying
+//! cost-based disclosure (since it was observed in [ℓ-diversity] that not
+//! all disclosures are equally bad)").
+//!
+//! Each sensitive value `s` carries a non-negative cost `cost(s)` — e.g.
+//! learning "HIV" is worse than learning "flu". Cost-weighted disclosure
+//! risk replaces `Pr(t[S]=s | ·)` with `cost(s) · Pr(t[S]=s | ·)`.
+//!
+//! This module provides the **negated-atom worst case** under costs, which
+//! remains closed-form: the optimal `k` negations still concentrate on one
+//! person and rule out the most frequent values *other than the target*, so
+//!
+//! ```text
+//!   max_b max_t  cost(s^t_b) · n_b(s^t_b) / (n_b − Σ_{top |R| others} n_b(s^r_b))
+//! ```
+//!
+//! with `|R| = min(k, d_b − 1)`. (For the full implication language the
+//! worst-case reduction of Theorem 9 picks the consequent by probability
+//! alone; with costs the consequent choice and Lemma 12's nested-set
+//! structure interact, and no closed form is known — exactly why the paper
+//! leaves it as future work. The exact engine's
+//! `wcbk_worlds::inference::cost_disclosure_risk` evaluates any fixed φ
+//! under costs for small instances.)
+
+use wcbk_table::SValue;
+
+use crate::{Bucketization, CoreError};
+
+/// Non-negative per-value costs, indexed by sensitive-value code.
+///
+/// Values beyond the vector default to cost 1 (unweighted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostVector {
+    costs: Vec<f64>,
+}
+
+impl CostVector {
+    /// Uniform costs (every disclosure equally bad).
+    pub fn uniform() -> Self {
+        Self { costs: Vec::new() }
+    }
+
+    /// Builds from explicit costs; all must be finite and non-negative.
+    pub fn new(costs: Vec<f64>) -> Result<Self, CoreError> {
+        for &c in &costs {
+            if c.is_nan() || c < 0.0 || !c.is_finite() {
+                return Err(CoreError::InvalidThreshold(c));
+            }
+        }
+        Ok(Self { costs })
+    }
+
+    /// The cost of value `v` (1 when unspecified).
+    #[inline]
+    pub fn cost(&self, v: SValue) -> f64 {
+        self.costs.get(v.index()).copied().unwrap_or(1.0)
+    }
+}
+
+/// Result of the cost-weighted negated-atom worst case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostNegationResult {
+    /// `max cost(s)·Pr(t[S]=s | B ∧ φ)` over targets and negation sets.
+    pub value: f64,
+    /// The targeted bucket.
+    pub bucket: usize,
+    /// The targeted person.
+    pub person: wcbk_table::TupleId,
+    /// The predicted (cost-weighted-worst) value.
+    pub predicted: SValue,
+    /// The values the worst-case negations rule out.
+    pub ruled_out: Vec<SValue>,
+}
+
+/// Cost-weighted maximum disclosure against `k` negated atoms.
+pub fn cost_negation_max_disclosure(
+    bucketization: &Bucketization,
+    k: usize,
+    costs: &CostVector,
+) -> Result<CostNegationResult, CoreError> {
+    let mut best: Option<CostNegationResult> = None;
+    for (bi, bucket) in bucketization.buckets().iter().enumerate() {
+        let h = bucket.histogram();
+        let d = h.distinct();
+        let r = k.min(d.saturating_sub(1));
+        for t in 0..d {
+            let f_t = h.frequency(t);
+            // Ruled-out mass: the top r frequencies excluding rank t.
+            let blocked = if t <= r {
+                h.top_sum(r + 1) - f_t
+            } else {
+                h.top_sum(r)
+            };
+            let denom = h.n() - blocked;
+            debug_assert!(denom >= f_t);
+            let predicted = h.value_at(t).expect("t < distinct");
+            let value = costs.cost(predicted) * f_t as f64 / denom as f64;
+            if best.as_ref().map_or(true, |b| value > b.value) {
+                let ruled_out = (0..=r.min(d - 1))
+                    .filter(|&rank| rank != t)
+                    .take(r)
+                    .map(|rank| h.value_at(rank).expect("rank < distinct"))
+                    .collect();
+                best = Some(CostNegationResult {
+                    value,
+                    bucket: bi,
+                    person: bucket.members()[0],
+                    predicted,
+                    ruled_out,
+                });
+            }
+        }
+    }
+    best.ok_or(CoreError::EmptyBucketization)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::negation_max_disclosure;
+    use wcbk_table::datasets::{hospital_bucket_of, hospital_table};
+
+    fn figure3() -> Bucketization {
+        Bucketization::from_grouping(&hospital_table(), hospital_bucket_of).unwrap()
+    }
+
+    #[test]
+    fn uniform_costs_reduce_to_plain_negation() {
+        let b = figure3();
+        for k in 0..=4usize {
+            let plain = negation_max_disclosure(&b, k).unwrap();
+            let cost = cost_negation_max_disclosure(&b, k, &CostVector::uniform()).unwrap();
+            assert!(
+                (plain.value - cost.value).abs() < 1e-12,
+                "k={k}: {} vs {}",
+                plain.value,
+                cost.value
+            );
+        }
+    }
+
+    #[test]
+    fn expensive_rare_value_changes_target() {
+        let b = figure3();
+        let table = hospital_table();
+        // Make Ovarian Cancer 10x as costly as everything else.
+        let ovarian = table.sensitive_code("Ovarian Cancer").unwrap();
+        let mut costs = vec![1.0; table.sensitive_cardinality()];
+        costs[ovarian.index()] = 10.0;
+        let costs = CostVector::new(costs).unwrap();
+        let r = cost_negation_max_disclosure(&b, 1, &costs).unwrap();
+        // Plain k=1 target is flu (2/3); with the 10x weight, predicting the
+        // single ovarian case dominates: 10·(1/(5-2)) = 10/3 > 2/3.
+        assert_eq!(r.predicted, ovarian);
+        assert!((r.value - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.bucket, 1);
+        // The negations rule out the most frequent other values.
+        assert_eq!(r.ruled_out.len(), 1);
+        assert_eq!(r.ruled_out[0], table.sensitive_code("Flu").unwrap());
+    }
+
+    #[test]
+    fn zero_cost_value_never_predicted() {
+        let b = figure3();
+        let table = hospital_table();
+        let flu = table.sensitive_code("Flu").unwrap();
+        let mut costs = vec![1.0; table.sensitive_cardinality()];
+        costs[flu.index()] = 0.0;
+        let costs = CostVector::new(costs).unwrap();
+        for k in 0..=3 {
+            let r = cost_negation_max_disclosure(&b, k, &costs).unwrap();
+            assert_ne!(r.predicted, flu, "k={k}");
+        }
+    }
+
+    #[test]
+    fn invalid_costs_rejected() {
+        assert!(CostVector::new(vec![1.0, -0.5]).is_err());
+        assert!(CostVector::new(vec![f64::NAN]).is_err());
+        assert!(CostVector::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let b = figure3();
+        let costs = CostVector::new(vec![2.0, 1.0, 1.0, 5.0, 3.0, 1.0]).unwrap();
+        let mut prev = 0.0;
+        for k in 0..=4 {
+            let v = cost_negation_max_disclosure(&b, k, &costs).unwrap().value;
+            assert!(v >= prev - 1e-12, "k={k}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn cost_beyond_vector_defaults_to_one() {
+        let costs = CostVector::new(vec![3.0]).unwrap();
+        assert_eq!(costs.cost(SValue(0)), 3.0);
+        assert_eq!(costs.cost(SValue(7)), 1.0);
+    }
+}

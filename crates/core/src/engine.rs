@@ -1,0 +1,503 @@
+//! Memoized and incremental disclosure computation.
+//!
+//! The closing remark of Section 3.3.3: if bucketization `B*` differs from an
+//! already-analyzed `B` by removing some buckets and adding `x` new ones,
+//! only the new buckets' MINIMIZE1 tables need computing
+//! (`O(x·k³)`), plus one MINIMIZE2 pass (`O(|B*|·k²)` here). Two pieces
+//! implement that:
+//!
+//! * [`DisclosureEngine`] — caches MINIMIZE1 tables keyed by the bucket's
+//!   descending frequency vector, shared across *all* bucketizations it
+//!   analyzes (during lattice search, sibling anonymizations share most
+//!   buckets).
+//! * [`IncrementalDisclosure`] — prefix/suffix MINIMIZE2 tables over a fixed
+//!   bucket order, answering *what-if* queries (replace / remove / merge one
+//!   bucket) in `O(k²)` without touching the other buckets, as suggested by
+//!   the paper's bucket-reordering remark.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::disclosure::build_witness;
+use crate::minimize1::Minimize1Table;
+use crate::minimize2::{minimize2, BucketCosts, SuffixTable};
+use crate::{Bucketization, CoreError, DisclosureResult, SensitiveHistogram};
+
+struct CachedBucket {
+    table: Minimize1Table,
+    costs: BucketCosts,
+}
+
+/// Histogram-memoizing disclosure calculator for a fixed `k`.
+pub struct DisclosureEngine {
+    k: usize,
+    cache: HashMap<Vec<u64>, Rc<CachedBucket>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DisclosureEngine {
+    /// Creates an engine for attacker power `k`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The attacker power bound this engine serves.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct histograms cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `(hits, misses)` counters for cache effectiveness reporting.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn cached(&mut self, hist: &SensitiveHistogram) -> Rc<CachedBucket> {
+        if let Some(entry) = self.cache.get(hist.key()) {
+            self.hits += 1;
+            return Rc::clone(entry);
+        }
+        self.misses += 1;
+        let table = Minimize1Table::build(hist, self.k + 1);
+        let costs = BucketCosts::new(&table, hist.frequency(0), hist.n());
+        let entry = Rc::new(CachedBucket { table, costs });
+        self.cache.insert(hist.key().to_vec(), Rc::clone(&entry));
+        entry
+    }
+
+    /// The per-bucket DP costs for a histogram (cached).
+    pub fn costs(&mut self, hist: &SensitiveHistogram) -> BucketCosts {
+        self.cached(hist).costs.clone()
+    }
+
+    /// Maximum disclosure value only (no witness reconstruction).
+    pub fn max_disclosure_value(&mut self, b: &Bucketization) -> Result<f64, CoreError> {
+        if b.n_buckets() == 0 {
+            return Err(CoreError::EmptyBucketization);
+        }
+        let entries: Vec<Rc<CachedBucket>> = b
+            .buckets()
+            .iter()
+            .map(|bucket| self.cached(bucket.histogram()))
+            .collect();
+        let costs: Vec<BucketCosts> = entries.iter().map(|e| e.costs.clone()).collect();
+        let r = minimize2(&costs, self.k);
+        Ok(1.0 / (1.0 + r.r_min))
+    }
+
+    /// Full maximum disclosure with witness, using the cache.
+    pub fn max_disclosure(&mut self, b: &Bucketization) -> Result<DisclosureResult, CoreError> {
+        if b.n_buckets() == 0 {
+            return Err(CoreError::EmptyBucketization);
+        }
+        let entries: Vec<Rc<CachedBucket>> = b
+            .buckets()
+            .iter()
+            .map(|bucket| self.cached(bucket.histogram()))
+            .collect();
+        let costs: Vec<BucketCosts> = entries.iter().map(|e| e.costs.clone()).collect();
+        let result = minimize2(&costs, self.k);
+        let tables: Vec<&Minimize1Table> = entries.iter().map(|e| &e.table).collect();
+        let witness = build_witness(b, &tables, &result.allocation);
+        Ok(DisclosureResult {
+            value: 1.0 / (1.0 + result.r_min),
+            r_min: result.r_min,
+            k: self.k,
+            witness,
+        })
+    }
+
+    /// Builds an incremental session over `b`'s buckets.
+    pub fn incremental(&mut self, b: &Bucketization) -> Result<IncrementalDisclosure, CoreError> {
+        if b.n_buckets() == 0 {
+            return Err(CoreError::EmptyBucketization);
+        }
+        let buckets: Vec<BucketCosts> = b
+            .buckets()
+            .iter()
+            .map(|bucket| self.costs(bucket.histogram()))
+            .collect();
+        Ok(IncrementalDisclosure::new(buckets, self.k))
+    }
+}
+
+/// Prefix analogue of [`SuffixTable`]: `P(i, h, placed)` = minimum cost over
+/// buckets `0..i` having used `h` atoms, with `placed` = whether the
+/// consequent `A` was hosted by one of them.
+#[derive(Debug, Clone)]
+struct PrefixTable {
+    k: usize,
+    p: Vec<f64>,
+}
+
+impl PrefixTable {
+    #[inline]
+    fn idx(&self, i: usize, h: usize, placed: bool) -> usize {
+        (i * (self.k + 1) + h) * 2 + usize::from(placed)
+    }
+
+    fn build(buckets: &[BucketCosts], k: usize) -> Self {
+        let n = buckets.len();
+        let mut t = Self {
+            k,
+            p: vec![f64::INFINITY; (n + 1) * (k + 1) * 2],
+        };
+        let start = t.idx(0, 0, false);
+        t.p[start] = 1.0;
+        for (i, b) in buckets.iter().enumerate() {
+            for h in 0..=k {
+                for placed in [false, true] {
+                    let mut best = f64::INFINITY;
+                    for c in 0..=h {
+                        // Bucket i takes c plain atoms.
+                        let v = t.get(i, h - c, placed) * b.m1[c];
+                        if v < best {
+                            best = v;
+                        }
+                        // Bucket i hosts A (transition false → true).
+                        if placed {
+                            let v = t.get(i, h - c, false) * b.m1[c + 1] * b.rho;
+                            if v < best {
+                                best = v;
+                            }
+                        }
+                    }
+                    let at = t.idx(i + 1, h, placed);
+                    t.p[at] = best;
+                }
+            }
+        }
+        t
+    }
+
+    #[inline]
+    fn get(&self, i: usize, h: usize, placed: bool) -> f64 {
+        self.p[self.idx(i, h, placed)]
+    }
+}
+
+/// Incremental what-if evaluation of maximum disclosure under single-bucket
+/// edits, in `O(k²)` per query.
+pub struct IncrementalDisclosure {
+    k: usize,
+    buckets: Vec<BucketCosts>,
+    prefix: PrefixTable,
+    suffix: SuffixTable,
+}
+
+impl IncrementalDisclosure {
+    fn new(buckets: Vec<BucketCosts>, k: usize) -> Self {
+        let prefix = PrefixTable::build(&buckets, k);
+        let suffix = SuffixTable::build(&buckets, k);
+        Self {
+            k,
+            buckets,
+            prefix,
+            suffix,
+        }
+    }
+
+    /// Number of buckets in the session.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Current `r_min` (Formula (1) minimum).
+    pub fn r_min(&self) -> f64 {
+        self.suffix.get(0, self.k, false)
+    }
+
+    /// Current maximum disclosure.
+    pub fn value(&self) -> f64 {
+        1.0 / (1.0 + self.r_min())
+    }
+
+    /// Maximum disclosure if bucket `i` were replaced by `new_costs`.
+    pub fn what_if_replace(&self, i: usize, new_costs: &BucketCosts) -> Result<f64, CoreError> {
+        self.check_index(i)?;
+        Ok(to_disclosure(self.compose(i, Some(new_costs), i + 1)))
+    }
+
+    /// Maximum disclosure if bucket `i` were removed entirely.
+    ///
+    /// Errors if it is the only bucket.
+    pub fn what_if_remove(&self, i: usize) -> Result<f64, CoreError> {
+        self.check_index(i)?;
+        if self.buckets.len() == 1 {
+            return Err(CoreError::EmptyBucketization);
+        }
+        Ok(to_disclosure(self.compose(i, None, i + 1)))
+    }
+
+    /// Maximum disclosure if buckets `i` and `i+1` were merged into a bucket
+    /// with costs `merged`.
+    pub fn what_if_merge_adjacent(
+        &self,
+        i: usize,
+        merged: &BucketCosts,
+    ) -> Result<f64, CoreError> {
+        self.check_index(i)?;
+        self.check_index(i + 1)?;
+        Ok(to_disclosure(self.compose(i, Some(merged), i + 2)))
+    }
+
+    /// Commits a replacement of bucket `i`, rebuilding the tables
+    /// (`O(|B|·k²)`; the per-histogram `O(k³)` work stays cached in the
+    /// engine that produced `new_costs`).
+    pub fn replace(&mut self, i: usize, new_costs: BucketCosts) -> Result<(), CoreError> {
+        self.check_index(i)?;
+        self.buckets[i] = new_costs;
+        self.rebuild();
+        Ok(())
+    }
+
+    /// Commits an append of a new bucket.
+    pub fn push(&mut self, costs: BucketCosts) {
+        self.buckets.push(costs);
+        self.rebuild();
+    }
+
+    fn rebuild(&mut self) {
+        self.prefix = PrefixTable::build(&self.buckets, self.k);
+        self.suffix = SuffixTable::build(&self.buckets, self.k);
+    }
+
+    fn check_index(&self, i: usize) -> Result<(), CoreError> {
+        if i >= self.buckets.len() {
+            return Err(CoreError::BucketOutOfRange {
+                index: i,
+                len: self.buckets.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Composes `prefix(0..i) ⊗ mid ⊗ suffix(j..)`, minimizing over atom
+    /// splits and consequent placement. `O(k²)`.
+    fn compose(&self, i: usize, mid: Option<&BucketCosts>, j: usize) -> f64 {
+        let k = self.k;
+        let mut best = f64::INFINITY;
+        for hp in 0..=k {
+            match mid {
+                None => {
+                    let hs = k - hp;
+                    let a_before = self.prefix.get(i, hp, true) * self.suffix.get(j, hs, true);
+                    let a_after = self.prefix.get(i, hp, false) * self.suffix.get(j, hs, false);
+                    best = best.min(a_before).min(a_after);
+                }
+                Some(m) => {
+                    for c in 0..=(k - hp) {
+                        let hs = k - hp - c;
+                        let a_before =
+                            self.prefix.get(i, hp, true) * m.m1[c] * self.suffix.get(j, hs, true);
+                        let a_mid = self.prefix.get(i, hp, false)
+                            * m.m1[c + 1]
+                            * m.rho
+                            * self.suffix.get(j, hs, true);
+                        let a_after =
+                            self.prefix.get(i, hp, false) * m.m1[c] * self.suffix.get(j, hs, false);
+                        best = best.min(a_before).min(a_mid).min(a_after);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[inline]
+fn to_disclosure(r_min: f64) -> f64 {
+    1.0 / (1.0 + r_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partial_order::{merge_buckets, merge_histograms};
+    use crate::{max_disclosure, Bucketization};
+    use wcbk_table::datasets::{hospital_bucket_of, hospital_table};
+    use wcbk_table::TupleId;
+
+    fn figure3() -> Bucketization {
+        Bucketization::from_grouping(&hospital_table(), hospital_bucket_of).unwrap()
+    }
+
+    /// Finer split of the hospital table: four buckets.
+    fn four_buckets() -> Bucketization {
+        let t = hospital_table();
+        let groups: Vec<Vec<TupleId>> = vec![
+            vec![TupleId(0), TupleId(1), TupleId(2)],
+            vec![TupleId(3), TupleId(4)],
+            vec![TupleId(5), TupleId(6)],
+            vec![TupleId(7), TupleId(8), TupleId(9)],
+        ];
+        Bucketization::from_partition(&t, &groups).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_direct_computation() {
+        for k in 0..=4 {
+            let mut engine = DisclosureEngine::new(k);
+            for b in [figure3(), four_buckets()] {
+                let direct = max_disclosure(&b, k).unwrap();
+                let via_engine = engine.max_disclosure(&b).unwrap();
+                assert!((direct.value - via_engine.value).abs() < 1e-15, "k={k}");
+                assert_eq!(direct.witness, via_engine.witness, "k={k}");
+                assert!(
+                    (engine.max_disclosure_value(&b).unwrap() - direct.value).abs() < 1e-15
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_across_shared_histograms() {
+        let mut engine = DisclosureEngine::new(2);
+        let b = figure3();
+        engine.max_disclosure_value(&b).unwrap();
+        let (h0, m0) = engine.cache_stats();
+        assert_eq!(h0, 0);
+        assert_eq!(m0, 2);
+        // Same bucketization again: all hits.
+        engine.max_disclosure_value(&b).unwrap();
+        let (h1, m1) = engine.cache_stats();
+        assert_eq!(h1, 2);
+        assert_eq!(m1, 2);
+        assert_eq!(engine.cache_len(), 2);
+    }
+
+    #[test]
+    fn incremental_value_matches_direct() {
+        for k in 0..=3 {
+            let mut engine = DisclosureEngine::new(k);
+            let b = four_buckets();
+            let inc = engine.incremental(&b).unwrap();
+            let direct = max_disclosure(&b, k).unwrap();
+            assert!((inc.value() - direct.value).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn what_if_replace_matches_recompute() {
+        let k = 2;
+        let mut engine = DisclosureEngine::new(k);
+        let b = four_buckets();
+        let inc = engine.incremental(&b).unwrap();
+        // Replace bucket 1 with bucket 3's histogram (same table, different
+        // frequency vector).
+        let replacement_hist = b.bucket(3).histogram().clone();
+        let costs = engine.costs(&replacement_hist);
+        let predicted = inc.what_if_replace(1, &costs).unwrap();
+
+        // Recompute from scratch: bucketization with bucket 1's histogram
+        // replaced (members don't affect the value, only the histogram).
+        let mut buckets: Vec<crate::Bucket> = b.buckets().to_vec();
+        buckets[1] = crate::Bucket::from_histogram(
+            vec![TupleId(3), TupleId(4), TupleId(90), TupleId(91)][..replacement_hist.n() as usize]
+                .to_vec(),
+            replacement_hist,
+        );
+        let modified = Bucketization::from_buckets(buckets, b.domain_size()).unwrap();
+        let direct = max_disclosure(&modified, k).unwrap().value;
+        assert!((predicted - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn what_if_remove_matches_recompute() {
+        let k = 2;
+        let mut engine = DisclosureEngine::new(k);
+        let b = four_buckets();
+        let inc = engine.incremental(&b).unwrap();
+        for i in 0..4 {
+            let predicted = inc.what_if_remove(i).unwrap();
+            let groups: Vec<Vec<TupleId>> = b
+                .buckets()
+                .iter()
+                .enumerate()
+                .filter(|&(bi, _)| bi != i)
+                .map(|(_, bucket)| bucket.members().to_vec())
+                .collect();
+            let modified = Bucketization::from_partition(&hospital_table(), &groups).unwrap();
+            let direct = max_disclosure(&modified, k).unwrap().value;
+            assert!((predicted - direct).abs() < 1e-12, "remove {i}");
+        }
+    }
+
+    #[test]
+    fn what_if_merge_matches_recompute() {
+        let k = 2;
+        let mut engine = DisclosureEngine::new(k);
+        let b = four_buckets();
+        let inc = engine.incremental(&b).unwrap();
+        for i in 0..3 {
+            let merged_hist =
+                merge_histograms(b.bucket(i).histogram(), b.bucket(i + 1).histogram());
+            let costs = engine.costs(&merged_hist);
+            let predicted = inc.what_if_merge_adjacent(i, &costs).unwrap();
+            let merged = merge_buckets(&b, i, i + 1).unwrap();
+            let direct = max_disclosure(&merged, k).unwrap().value;
+            assert!((predicted - direct).abs() < 1e-12, "merge {i}");
+        }
+    }
+
+    #[test]
+    fn committed_replace_updates_value() {
+        let k = 1;
+        let mut engine = DisclosureEngine::new(k);
+        let b = four_buckets();
+        let mut inc = engine.incremental(&b).unwrap();
+        let hist = b.bucket(0).histogram().clone();
+        let costs = engine.costs(&hist);
+        let what_if = inc.what_if_replace(2, &costs).unwrap();
+        inc.replace(2, costs).unwrap();
+        assert!((inc.value() - what_if).abs() < 1e-15);
+    }
+
+    #[test]
+    fn push_extends_session() {
+        let k = 1;
+        let mut engine = DisclosureEngine::new(k);
+        let b = figure3();
+        let mut inc = engine.incremental(&b).unwrap();
+        assert_eq!(inc.n_buckets(), 2);
+        let costs = engine.costs(b.bucket(0).histogram());
+        inc.push(costs);
+        assert_eq!(inc.n_buckets(), 3);
+        // More buckets can only help the attacker pick a better target.
+        let before = max_disclosure(&b, k).unwrap().value;
+        assert!(inc.value() >= before - 1e-12);
+    }
+
+    #[test]
+    fn index_errors() {
+        let mut engine = DisclosureEngine::new(1);
+        let b = figure3();
+        let inc = engine.incremental(&b).unwrap();
+        assert!(matches!(
+            inc.what_if_remove(7),
+            Err(CoreError::BucketOutOfRange { .. })
+        ));
+        let costs = engine.costs(b.bucket(0).histogram());
+        assert!(inc.what_if_merge_adjacent(1, &costs).is_err());
+    }
+
+    #[test]
+    fn prefix_and_suffix_agree_on_global_value() {
+        let mut engine = DisclosureEngine::new(3);
+        let b = four_buckets();
+        let inc = engine.incremental(&b).unwrap();
+        let via_prefix = inc.prefix.get(4, 3, true);
+        let via_suffix = inc.suffix.get(0, 3, false);
+        assert!((via_prefix - via_suffix).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-bucket sensitive-value histograms.
+//!
+//! The disclosure DP never needs to know *which* person holds *which* value —
+//! only the bucket's value frequencies in descending order (`s⁰_b, s¹_b, …`
+//! in the paper's notation) and their prefix sums. This type precomputes
+//! both, and doubles as the memoization key for cross-bucketization caching
+//! (two buckets with equal sorted frequency vectors have identical MINIMIZE1
+//! tables).
+
+use wcbk_table::SValue;
+
+/// A bucket's sensitive-value distribution, sorted by descending frequency.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SensitiveHistogram {
+    /// Frequencies in descending order (no zero entries).
+    counts_desc: Vec<u64>,
+    /// Value codes aligned with `counts_desc` (ties broken by value code).
+    values_desc: Vec<SValue>,
+    /// `prefix[j] = Σ_{t<j} counts_desc[t]`; `prefix[0] = 0`,
+    /// `prefix[d] = n`.
+    prefix: Vec<u64>,
+}
+
+impl SensitiveHistogram {
+    /// Builds a histogram from `(value, count)` pairs (zero counts dropped).
+    pub fn from_counts<I: IntoIterator<Item = (SValue, u64)>>(counts: I) -> Self {
+        let mut pairs: Vec<(SValue, u64)> = counts.into_iter().filter(|&(_, c)| c > 0).collect();
+        // Descending by count, ascending by value code for determinism.
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let counts_desc: Vec<u64> = pairs.iter().map(|&(_, c)| c).collect();
+        let values_desc: Vec<SValue> = pairs.iter().map(|&(v, _)| v).collect();
+        let mut prefix = Vec::with_capacity(counts_desc.len() + 1);
+        prefix.push(0);
+        let mut acc = 0u64;
+        for &c in &counts_desc {
+            acc += c;
+            prefix.push(acc);
+        }
+        Self {
+            counts_desc,
+            values_desc,
+            prefix,
+        }
+    }
+
+    /// Builds a histogram by tallying raw values.
+    pub fn from_values(values: &[SValue]) -> Self {
+        let mut tally: std::collections::HashMap<SValue, u64> = std::collections::HashMap::new();
+        for &v in values {
+            *tally.entry(v).or_insert(0) += 1;
+        }
+        Self::from_counts(tally)
+    }
+
+    /// Bucket size `n_b`.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        *self.prefix.last().expect("prefix is never empty")
+    }
+
+    /// Number of distinct sensitive values `d_b`.
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.counts_desc.len()
+    }
+
+    /// Frequency of the `rank`-th most frequent value (`n_b(s^rank_b)`),
+    /// or 0 beyond the distinct count.
+    #[inline]
+    pub fn frequency(&self, rank: usize) -> u64 {
+        self.counts_desc.get(rank).copied().unwrap_or(0)
+    }
+
+    /// The `rank`-th most frequent value code.
+    #[inline]
+    pub fn value_at(&self, rank: usize) -> Option<SValue> {
+        self.values_desc.get(rank).copied()
+    }
+
+    /// Sum of the top `j` frequencies, `Σ_{t∈[j]} n_b(s^t_b)`, saturating at
+    /// `n_b` for `j ≥ d_b` — exactly the quantity in Lemma 12.
+    #[inline]
+    pub fn top_sum(&self, j: usize) -> u64 {
+        self.prefix[j.min(self.distinct())]
+    }
+
+    /// Frequencies in descending order.
+    pub fn counts_desc(&self) -> &[u64] {
+        &self.counts_desc
+    }
+
+    /// Value codes in descending-frequency order.
+    pub fn values_desc(&self) -> &[SValue] {
+        &self.values_desc
+    }
+
+    /// The maximum-frequency ratio `n_b(s⁰_b) / n_b` — the `k = 0` disclosure
+    /// of the bucket.
+    pub fn top_ratio(&self) -> f64 {
+        if self.n() == 0 {
+            return 0.0;
+        }
+        self.frequency(0) as f64 / self.n() as f64
+    }
+
+    /// Shannon entropy (natural log) of the value distribution — the
+    /// per-bucket quantity whose minimum over buckets is the x-axis of the
+    /// paper's Figure 6 (and the ℓ-diversity entropy criterion).
+    pub fn entropy(&self) -> f64 {
+        let n = self.n() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        self.counts_desc
+            .iter()
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    }
+
+    /// Memoization key: the descending frequency vector. Buckets with equal
+    /// keys have identical disclosure behaviour.
+    pub fn key(&self) -> &[u64] {
+        &self.counts_desc
+    }
+
+    /// Iterates `(value, count)` pairs in descending-frequency order.
+    pub fn iter_counts(&self) -> impl Iterator<Item = (SValue, u64)> + '_ {
+        self.values_desc
+            .iter()
+            .copied()
+            .zip(self.counts_desc.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(vals: &[u32]) -> Vec<SValue> {
+        vals.iter().map(|&v| SValue(v)).collect()
+    }
+
+    #[test]
+    fn sorted_descending_with_value_ties_by_code() {
+        let h = SensitiveHistogram::from_values(&sv(&[2, 1, 1, 0, 0, 0, 3, 3, 3]));
+        assert_eq!(h.counts_desc(), &[3, 3, 2, 1]);
+        assert_eq!(h.values_desc(), &sv(&[0, 3, 1, 2])[..]);
+        assert_eq!(h.n(), 9);
+        assert_eq!(h.distinct(), 4);
+    }
+
+    #[test]
+    fn prefix_sums_and_top_sum() {
+        let h = SensitiveHistogram::from_values(&sv(&[0, 0, 1, 1, 2]));
+        assert_eq!(h.top_sum(0), 0);
+        assert_eq!(h.top_sum(1), 2);
+        assert_eq!(h.top_sum(2), 4);
+        assert_eq!(h.top_sum(3), 5);
+        assert_eq!(h.top_sum(99), 5); // saturates at n
+    }
+
+    #[test]
+    fn frequency_beyond_distinct_is_zero() {
+        let h = SensitiveHistogram::from_values(&sv(&[5, 5]));
+        assert_eq!(h.frequency(0), 2);
+        assert_eq!(h.frequency(1), 0);
+        assert_eq!(h.value_at(1), None);
+    }
+
+    #[test]
+    fn zero_counts_dropped() {
+        let h = SensitiveHistogram::from_counts([(SValue(0), 3), (SValue(1), 0), (SValue(2), 1)]);
+        assert_eq!(h.distinct(), 2);
+        assert_eq!(h.counts_desc(), &[3, 1]);
+    }
+
+    #[test]
+    fn top_ratio() {
+        let h = SensitiveHistogram::from_values(&sv(&[0, 0, 1, 1, 2]));
+        assert!((h.top_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_uniform_and_skewed() {
+        let uniform = SensitiveHistogram::from_values(&sv(&[0, 1, 2, 3]));
+        assert!((uniform.entropy() - (4.0f64).ln()).abs() < 1e-12);
+        let constant = SensitiveHistogram::from_values(&sv(&[7, 7, 7]));
+        assert!(constant.entropy().abs() < 1e-12);
+        let skewed = SensitiveHistogram::from_values(&sv(&[0, 0, 0, 1]));
+        assert!(skewed.entropy() > 0.0 && skewed.entropy() < uniform.entropy());
+    }
+
+    #[test]
+    fn equal_distributions_share_keys() {
+        let a = SensitiveHistogram::from_values(&sv(&[0, 0, 1]));
+        let b = SensitiveHistogram::from_values(&sv(&[5, 9, 9]));
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn from_counts_and_from_values_agree() {
+        let a = SensitiveHistogram::from_values(&sv(&[1, 1, 2, 3, 3, 3]));
+        let b = SensitiveHistogram::from_counts([(SValue(1), 2), (SValue(2), 1), (SValue(3), 3)]);
+        assert_eq!(a, b);
+    }
+}

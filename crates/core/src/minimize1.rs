@@ -1,0 +1,354 @@
+//! MINIMIZE1 — minimizing `Pr(∧_{i∈[k]} ¬A_i | B)` within one bucket
+//! (Section 3.3.1, Algorithm 1, Lemma 12).
+//!
+//! A set of `k` atoms inside bucket `b` is characterized by a *profile*
+//! `(l, k_0 ≥ k_1 ≥ … ≥ k_{l-1})`: `l` distinct persons, the `i`-th carrying
+//! `k_i` atoms. Lemma 12 says the minimum over all atom choices for a fixed
+//! profile is attained by giving person `i` the `k_i` **most frequent**
+//! values, yielding the closed form
+//!
+//! ```text
+//!   ∏_{i∈[l]} (n_b − i − Σ_{j∈[k_i]} n_b(s^j_b)) / (n_b − i)
+//! ```
+//!
+//! (each factor clamped at 0 — a non-positive numerator means the conjunction
+//! of negations is impossible, i.e. certain disclosure). MINIMIZE1 then
+//! minimizes over profiles.
+//!
+//! Two implementations are provided:
+//!
+//! * [`paper_recursion`] — a direct transcription of Algorithm 1 (exponential
+//!   without memoization; used as a cross-check and in the benches that
+//!   demonstrate why memoization matters);
+//! * [`Minimize1Table`] — an `O(k³)`-time/-space dynamic program over states
+//!   `(i, cap, r)` using the refactored recurrence
+//!   `h(i,cap,r) = min( h(i,cap−1,r), factor(i,cap)·h(i+1,cap,r−cap) )`,
+//!   which shaves the `O(k)` inner loop of the memoized Algorithm 1.
+
+use crate::SensitiveHistogram;
+
+/// The Lemma 12 per-person factor: the conditional probability that the
+/// `i`-th constrained person avoids the top `c` values, given the previous
+/// `i` constrained persons avoided their (superset) targets.
+///
+/// Returns 0 when the person cannot avoid them (certain disclosure branch)
+/// and `None` when `i ≥ n_b` (no `i`-th person exists).
+#[inline]
+pub fn factor(hist: &SensitiveHistogram, i: usize, c: usize) -> Option<f64> {
+    let n = hist.n();
+    if (i as u64) >= n {
+        return None;
+    }
+    let avail = n - i as u64;
+    let blocked = hist.top_sum(c);
+    let free = (n as i128) - (i as i128) - (blocked as i128);
+    if free <= 0 {
+        Some(0.0)
+    } else {
+        Some(free as f64 / avail as f64)
+    }
+}
+
+/// Direct transcription of the paper's Algorithm 1 (plus the implicit
+/// feasibility guard `i < n_b`). Exponential in `k` — test/bench use only.
+///
+/// `MINIMIZE1(b, i, k̂_i, k̂)`: `i` is the next person index, `k̂_i` bounds
+/// `k_i` (descending profiles), `k̂` is the number of unplaced atoms.
+pub fn paper_recursion(hist: &SensitiveHistogram, i: usize, cap_i: usize, khat: usize) -> f64 {
+    if khat == 0 {
+        return 1.0;
+    }
+    let mut pmin = f64::INFINITY;
+    for k_i in 1..=cap_i.min(khat) {
+        let Some(f) = factor(hist, i, k_i) else {
+            // No i-th person: no profile with this many persons exists.
+            break;
+        };
+        let p = f * paper_recursion(hist, i + 1, k_i, khat - k_i);
+        pmin = pmin.min(p);
+    }
+    pmin
+}
+
+/// The memoized MINIMIZE1 tables for one bucket: `m1(c)` for `c = 0..=kmax`.
+///
+/// `m1(c)` is the minimum of `Pr(∧_{i∈[c]} ¬A_i | B)` over all `c`-atom sets
+/// within the bucket. The table also supports reconstructing a minimizing
+/// profile ([`Minimize1Table::profile`]), from which the witness atoms of
+/// Lemma 12 follow.
+#[derive(Debug, Clone)]
+pub struct Minimize1Table {
+    kmax: usize,
+    n: u64,
+    /// `h[(i, cap, r)]` with dimensions `(kmax+2) × (kmax+1) × (kmax+1)`.
+    h: Vec<f64>,
+    /// `m1[c] = h(0, c, c)`.
+    m1: Vec<f64>,
+}
+
+impl Minimize1Table {
+    /// Builds the DP table for `hist`, supporting up to `kmax` atoms.
+    pub fn build(hist: &SensitiveHistogram, kmax: usize) -> Self {
+        let persons = kmax + 2; // i ∈ 0..=kmax+1
+        let caps = kmax + 1; // cap ∈ 0..=kmax
+        let rs = kmax + 1; // r ∈ 0..=kmax
+        let idx = |i: usize, cap: usize, r: usize| (i * caps + cap) * rs + r;
+        let mut h = vec![f64::INFINITY; persons * caps * rs];
+
+        // r = 0: empty profile, probability 1 (for every i, cap).
+        for i in 0..persons {
+            for cap in 0..caps {
+                h[idx(i, cap, 0)] = 1.0;
+            }
+        }
+        // Fill persons from the back: h(i, ·, ·) depends on h(i+1, ·, ·).
+        for i in (0..=kmax).rev() {
+            for r in 1..=kmax {
+                for cap in 1..=kmax {
+                    // Option 1: all persons from i on take < cap atoms.
+                    let mut best = h[idx(i, cap - 1, r)];
+                    // Option 2: person i takes exactly `cap` atoms.
+                    if cap <= r {
+                        if let Some(f) = factor_cached(hist, i, cap) {
+                            let tail = h[idx(i + 1, cap, r - cap)];
+                            let take = f * tail;
+                            if take < best {
+                                best = take;
+                            }
+                        }
+                    }
+                    h[idx(i, cap, r)] = best;
+                }
+            }
+        }
+        let m1 = (0..=kmax).map(|c| h[idx(0, c, c)]).collect();
+        Self {
+            kmax,
+            n: hist.n(),
+            h,
+            m1,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, cap: usize, r: usize) -> usize {
+        (i * (self.kmax + 1) + cap) * (self.kmax + 1) + r
+    }
+
+    /// `m1(c)`: the minimized probability for `c` atoms in this bucket.
+    #[inline]
+    pub fn m1(&self, c: usize) -> f64 {
+        self.m1[c]
+    }
+
+    /// The whole `m1` vector, indices `0..=kmax`.
+    pub fn values(&self) -> &[f64] {
+        &self.m1
+    }
+
+    /// Largest supported atom count.
+    pub fn kmax(&self) -> usize {
+        self.kmax
+    }
+
+    /// Reconstructs a minimizing profile `k_0 ≥ k_1 ≥ …` for `c` atoms, or
+    /// `None` if `m1(c)` is infeasible (`∞`). Ties prefer smaller `k_i`
+    /// (spreading atoms over more persons), which keeps witness atoms within
+    /// the bucket's distinct values whenever possible.
+    pub fn profile(&self, c: usize) -> Option<Vec<usize>> {
+        if c == 0 {
+            return Some(Vec::new());
+        }
+        if !self.m1[c].is_finite() {
+            return None;
+        }
+        let mut out = Vec::new();
+        let (mut i, mut cap, mut r) = (0usize, c, c);
+        while r > 0 {
+            let here = self.h[self.idx(i, cap, r)];
+            // Mirror the fill order: the reduce branch wins ties.
+            if cap >= 2 && self.h[self.idx(i, cap - 1, r)] <= here {
+                cap -= 1;
+                continue;
+            }
+            debug_assert!(cap <= r, "take branch requires cap <= r");
+            out.push(cap);
+            r -= cap;
+            i += 1;
+        }
+        debug_assert!((out.len() as u64) <= self.n);
+        Some(out)
+    }
+}
+
+#[inline]
+fn factor_cached(hist: &SensitiveHistogram, i: usize, c: usize) -> Option<f64> {
+    factor(hist, i, c)
+}
+
+/// Brute-force minimum of `Pr(∧ ¬A_i | B)` by enumerating *all* profiles and
+/// applying the Lemma 12 closed form — an independent oracle for tests.
+pub fn brute_force_profiles(hist: &SensitiveHistogram, k: usize) -> f64 {
+    fn rec(hist: &SensitiveHistogram, i: usize, cap: usize, r: usize) -> f64 {
+        if r == 0 {
+            return 1.0;
+        }
+        let mut best = f64::INFINITY;
+        for c in 1..=cap.min(r) {
+            if let Some(f) = factor(hist, i, c) {
+                best = best.min(f * rec(hist, i + 1, c, r - c));
+            }
+        }
+        best
+    }
+    rec(hist, 0, k, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcbk_table::SValue;
+
+    fn hist(vals: &[u32]) -> SensitiveHistogram {
+        let v: Vec<SValue> = vals.iter().map(|&x| SValue(x)).collect();
+        SensitiveHistogram::from_values(&v)
+    }
+
+    /// Figure 3 male bucket: {Flu:2, LungCancer:2, Mumps:1}.
+    fn male() -> SensitiveHistogram {
+        hist(&[0, 0, 1, 1, 2])
+    }
+
+    #[test]
+    fn factors_match_lemma12() {
+        let h = male();
+        // Person 0 avoiding the top value: (5-0-2)/5 = 3/5.
+        assert_eq!(factor(&h, 0, 1), Some(0.6));
+        // Person 1 avoiding the top value: (5-1-2)/4 = 1/2.
+        assert_eq!(factor(&h, 1, 1), Some(0.5));
+        // Person 0 avoiding top two: (5-0-4)/5 = 1/5.
+        assert_eq!(factor(&h, 0, 2), Some(0.2));
+        // Person 0 avoiding everything: 0.
+        assert_eq!(factor(&h, 0, 3), Some(0.0));
+        // Sixth person does not exist.
+        assert_eq!(factor(&h, 5, 1), None);
+    }
+
+    #[test]
+    fn m1_base_cases() {
+        let t = Minimize1Table::build(&male(), 3);
+        assert_eq!(t.m1(0), 1.0);
+        // One atom: best is ruling out the most frequent value: 3/5.
+        assert!((t.m1(1) - 0.6).abs() < 1e-12);
+        // Two atoms: min(1/5 [one person, top-2], 3/5·1/2 [two persons]) = 1/5.
+        assert!((t.m1(2) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_matches_paper_recursion() {
+        for vals in [
+            vec![0u32, 0, 1, 1, 2],
+            vec![0, 0, 0, 0],
+            vec![0, 1, 2, 3, 4],
+            vec![0, 0, 0, 1, 1, 2, 3],
+            vec![7],
+        ] {
+            let h = hist(&vals);
+            let kmax = 6;
+            let t = Minimize1Table::build(&h, kmax);
+            for c in 0..=kmax {
+                let direct = paper_recursion(&h, 0, c, c);
+                let direct = if c == 0 { 1.0 } else { direct };
+                if direct.is_finite() {
+                    assert!(
+                        (t.m1(c) - direct).abs() < 1e-12,
+                        "vals {vals:?} c={c}: table {} vs paper {direct}",
+                        t.m1(c)
+                    );
+                } else {
+                    assert!(!t.m1(c).is_finite(), "vals {vals:?} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_brute_force_profiles() {
+        for vals in [
+            vec![0u32, 0, 1, 2],
+            vec![0, 0, 0, 1, 1, 1],
+            vec![0, 1],
+            vec![0, 0, 1, 1, 2, 2, 3],
+        ] {
+            let h = hist(&vals);
+            let t = Minimize1Table::build(&h, 5);
+            for c in 0..=5 {
+                let bf = brute_force_profiles(&h, c);
+                if bf.is_finite() {
+                    assert!((t.m1(c) - bf).abs() < 1e-12, "vals {vals:?} c={c}");
+                } else {
+                    assert!(!t.m1(c).is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn m1_is_monotone_nonincreasing_in_c() {
+        let h = hist(&[0, 0, 0, 1, 1, 2, 3, 3]);
+        let t = Minimize1Table::build(&h, 8);
+        for c in 1..=8 {
+            assert!(t.m1(c) <= t.m1(c - 1) + 1e-15, "c={c}");
+        }
+    }
+
+    #[test]
+    fn profile_reconstruction_reproduces_value() {
+        let h = hist(&[0, 0, 0, 1, 1, 2, 3]);
+        let t = Minimize1Table::build(&h, 6);
+        for c in 0..=6 {
+            let Some(profile) = t.profile(c) else {
+                continue;
+            };
+            assert_eq!(profile.iter().sum::<usize>(), c);
+            assert!(profile.windows(2).all(|w| w[0] >= w[1]), "descending");
+            // Recompute the closed form from the profile.
+            let mut p = 1.0;
+            for (i, &ki) in profile.iter().enumerate() {
+                p *= factor(&h, i, ki).expect("profile persons exist");
+            }
+            assert!((p - t.m1(c)).abs() < 1e-12, "c={c} profile {profile:?}");
+        }
+    }
+
+    #[test]
+    fn single_tuple_bucket_discloses_fully() {
+        let h = hist(&[9]);
+        let t = Minimize1Table::build(&h, 4);
+        // One person; any atom rules out the only value: probability 0.
+        for c in 1..=4 {
+            assert_eq!(t.m1(c), 0.0, "c={c}");
+        }
+        assert_eq!(t.profile(2), Some(vec![2]));
+    }
+
+    #[test]
+    fn uniform_bucket_values() {
+        // {0,1,2} uniform: m1(1) = 2/3, m1(2) = min(1/3, 2/3·1/2) = 1/3,
+        // m1(3) = min(0, ..) = 0.
+        let h = hist(&[0, 1, 2]);
+        let t = Minimize1Table::build(&h, 3);
+        assert!((t.m1(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((t.m1(2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.m1(3), 0.0);
+    }
+
+    #[test]
+    fn profile_prefers_spreading_on_ties() {
+        // {0,1,2} with c=2: one-person top-2 = 1/3 vs two persons 2/3·1/2 =
+        // 1/3 — tie; the reduce branch (spreading) must win.
+        let h = hist(&[0, 1, 2]);
+        let t = Minimize1Table::build(&h, 2);
+        assert_eq!(t.profile(2), Some(vec![1, 1]));
+    }
+}

@@ -1,0 +1,356 @@
+//! MINIMIZE2 — distributing the `k+1` atoms across buckets
+//! (Section 3.3.3, Algorithm 2).
+//!
+//! Formula (1) to minimize is `Pr(¬A ∧ ∧_{i∈[k]} ¬A_i | B) / Pr(A | B)`.
+//! Because per-bucket permutations are independent, if `c_b` of the atoms
+//! fall in bucket `b` and the consequent `A` falls in bucket `j`, the value
+//! factorizes as
+//!
+//! ```text
+//!   (n_j / n_j(s⁰_j)) · MINIMIZE1(j, c_j + 1) · ∏_{b ≠ j} MINIMIZE1(b, c_b)
+//! ```
+//!
+//! (Section 3.3.2 shows the optimal `A` is the bucket's most frequent value:
+//! one of the minimizing `c_j + 1` atoms mentions `s⁰_j` by Lemma 12, and
+//! choosing it as `A` simultaneously maximizes the denominator `Pr(A|B)`.)
+//!
+//! ### Errata relative to the paper's pseudocode
+//!
+//! Algorithm 2 as printed has two defects, corrected here and documented in
+//! `DESIGN.md`:
+//!
+//! 1. its base case (`i = |B|`) returns `rmin` (initialized `∞`)
+//!    unconditionally — every value would be `∞`. The intended base case
+//!    returns `1` when no atoms remain **and** `A` has been placed, else `∞`;
+//! 2. the text invokes `MINIMIZE2(0, k, true)` while the parameter block says
+//!    `a` is *initially false*; with `a = true` the consequent would never be
+//!    placed. The correct initial flag is `a = false` (`A` not yet placed).
+
+use crate::minimize1::Minimize1Table;
+
+/// Per-bucket inputs to the cross-bucket DP.
+#[derive(Debug, Clone)]
+pub struct BucketCosts {
+    /// `m1[c]` for `c = 0..=k+1` (the `Minimize1Table` values).
+    pub m1: Vec<f64>,
+    /// `n_b / n_b(s⁰_b)` = `1 / Pr(A | B)` for the bucket's best consequent.
+    pub rho: f64,
+}
+
+impl BucketCosts {
+    /// Extracts costs from a built MINIMIZE1 table and the histogram ratio.
+    pub fn new(table: &Minimize1Table, top_frequency: u64, n: u64) -> Self {
+        debug_assert!(top_frequency > 0 && n >= top_frequency);
+        Self {
+            m1: table.values().to_vec(),
+            rho: n as f64 / top_frequency as f64,
+        }
+    }
+}
+
+/// Where the witness atoms land, per bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketAllocation {
+    /// Bucket index.
+    pub bucket: usize,
+    /// Number of antecedent atoms placed in this bucket.
+    pub atoms: usize,
+    /// Whether the consequent atom `A` lives in this bucket.
+    pub has_consequent: bool,
+}
+
+/// Result of the cross-bucket minimization.
+#[derive(Debug, Clone)]
+pub struct Minimize2Result {
+    /// The minimum of Formula (1) over all placements, `r_min ∈ [0, ∞)`.
+    pub r_min: f64,
+    /// A minimizing allocation (buckets with `atoms = 0` and no consequent
+    /// are omitted).
+    pub allocation: Vec<BucketAllocation>,
+}
+
+/// Runs the corrected Algorithm 2 over `buckets` with `k` antecedent atoms.
+///
+/// `buckets[b].m1` must cover `c = 0..=k+1`. Runs in `O(|B| · k²)` time and
+/// `O(|B| · k)` space (the suffix table is kept for reconstruction).
+pub fn minimize2(buckets: &[BucketCosts], k: usize) -> Minimize2Result {
+    let suffix = SuffixTable::build(buckets, k);
+    let r_min = suffix.get(0, k, false);
+    let allocation = suffix.reconstruct(buckets, k);
+    Minimize2Result { r_min, allocation }
+}
+
+/// The suffix DP `S(i, h, placed)`: minimum cost of buckets `i..`, given `h`
+/// atoms remain to place and `placed` says whether `A` was already placed in
+/// a bucket `< i`.
+///
+/// This is Algorithm 2's memo table (flag sense inverted to "already
+/// placed"); it is exposed because the incremental engine composes it with a
+/// prefix table for `O(k²)` what-if queries.
+#[derive(Debug, Clone)]
+pub struct SuffixTable {
+    n_buckets: usize,
+    k: usize,
+    /// `s[(i, h, a)]`, dimensions `(n_buckets+1) × (k+1) × 2`.
+    s: Vec<f64>,
+}
+
+impl SuffixTable {
+    #[inline]
+    fn idx(&self, i: usize, h: usize, placed: bool) -> usize {
+        (i * (self.k + 1) + h) * 2 + usize::from(placed)
+    }
+
+    /// Builds the table bottom-up from the last bucket.
+    pub fn build(buckets: &[BucketCosts], k: usize) -> Self {
+        let n_buckets = buckets.len();
+        let mut table = Self {
+            n_buckets,
+            k,
+            s: vec![f64::INFINITY; (n_buckets + 1) * (k + 1) * 2],
+        };
+        // Corrected base case: all atoms used and A placed.
+        let base = table.idx(n_buckets, 0, true);
+        table.s[base] = 1.0;
+        for i in (0..n_buckets).rev() {
+            for h in 0..=k {
+                for placed in [false, true] {
+                    let v = table.transition(buckets, i, h, placed);
+                    let at = table.idx(i, h, placed);
+                    table.s[at] = v;
+                }
+            }
+        }
+        table
+    }
+
+    /// One bucket's transition: try every split `c` of the remaining atoms
+    /// and, when `A` is still unplaced, the option of hosting it here.
+    fn transition(&self, buckets: &[BucketCosts], i: usize, h: usize, placed: bool) -> f64 {
+        let b = &buckets[i];
+        let mut best = f64::INFINITY;
+        for c in 0..=h {
+            // A not in this bucket.
+            let skip = b.m1[c] * self.get(i + 1, h - c, placed);
+            if skip < best {
+                best = skip;
+            }
+            // A in this bucket (only if not placed earlier).
+            if !placed {
+                let host = b.m1[c + 1] * b.rho * self.get(i + 1, h - c, true);
+                if host < best {
+                    best = host;
+                }
+            }
+        }
+        best
+    }
+
+    /// Looks up `S(i, h, placed)`.
+    #[inline]
+    pub fn get(&self, i: usize, h: usize, placed: bool) -> f64 {
+        self.s[self.idx(i, h, placed)]
+    }
+
+    /// Number of buckets the table was built for.
+    pub fn n_buckets(&self) -> usize {
+        self.n_buckets
+    }
+
+    /// Walks the table to recover a minimizing allocation.
+    fn reconstruct(&self, buckets: &[BucketCosts], k: usize) -> Vec<BucketAllocation> {
+        let mut out = Vec::new();
+        let mut h = k;
+        let mut placed = false;
+        for (i, b) in buckets.iter().enumerate().take(self.n_buckets) {
+            let here = self.get(i, h, placed);
+            if !here.is_finite() {
+                break; // infeasible (cannot happen for valid inputs)
+            }
+            let mut chosen: Option<(usize, bool)> = None;
+            'search: for c in 0..=h {
+                let skip = b.m1[c] * self.get(i + 1, h - c, placed);
+                if skip == here {
+                    chosen = Some((c, false));
+                    break 'search;
+                }
+                if !placed {
+                    let host = b.m1[c + 1] * b.rho * self.get(i + 1, h - c, true);
+                    if host == here {
+                        chosen = Some((c, true));
+                        break 'search;
+                    }
+                }
+            }
+            let (c, hosts) = chosen.expect("a transition produced the stored optimum");
+            if c > 0 || hosts {
+                out.push(BucketAllocation {
+                    bucket: i,
+                    atoms: c,
+                    has_consequent: hosts,
+                });
+            }
+            h -= c;
+            if hosts {
+                placed = true;
+            }
+        }
+        out
+    }
+}
+
+/// Exhaustive reference: enumerate every split of `k` atoms over buckets and
+/// every consequent bucket. Exponential in `|B|` — tests only.
+pub fn brute_force(buckets: &[BucketCosts], k: usize) -> f64 {
+    fn rec(buckets: &[BucketCosts], i: usize, h: usize, placed: bool) -> f64 {
+        if i == buckets.len() {
+            return if h == 0 && placed { 1.0 } else { f64::INFINITY };
+        }
+        let mut best = f64::INFINITY;
+        for c in 0..=h {
+            let tail = rec(buckets, i + 1, h - c, placed);
+            let v = buckets[i].m1[c] * tail;
+            if v < best {
+                best = v;
+            }
+            if !placed {
+                let tail = rec(buckets, i + 1, h - c, true);
+                let v = buckets[i].m1[c + 1] * buckets[i].rho * tail;
+                if v < best {
+                    best = v;
+                }
+            }
+        }
+        best
+    }
+    rec(buckets, 0, k, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize1::Minimize1Table;
+    use crate::SensitiveHistogram;
+    use wcbk_table::SValue;
+
+    fn costs(vals: &[u32], kmax: usize) -> BucketCosts {
+        let v: Vec<SValue> = vals.iter().map(|&x| SValue(x)).collect();
+        let h = SensitiveHistogram::from_values(&v);
+        let t = Minimize1Table::build(&h, kmax);
+        BucketCosts::new(&t, h.frequency(0), h.n())
+    }
+
+    /// Figure 3: male {0,0,1,1,2}, female {0,0,3,4,5}.
+    fn figure3(k: usize) -> Vec<BucketCosts> {
+        vec![costs(&[0, 0, 1, 1, 2], k + 1), costs(&[0, 0, 3, 4, 5], k + 1)]
+    }
+
+    #[test]
+    fn k0_reduces_to_top_frequency() {
+        // r_min = min_b (n_b - f0)/f0; disclosure = f0/n = 2/5 for both.
+        let r = minimize2(&figure3(0), 0);
+        assert!((r.r_min - 1.5).abs() < 1e-12); // (5-2)/2
+        let disclosure = 1.0 / (1.0 + r.r_min);
+        assert!((disclosure - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k1_on_figure3_gives_two_thirds() {
+        // Same-bucket negation-style implication: m1(2)·rho = (1/5)(5/2) = 1/2,
+        // beating the cross-bucket 9/10. Disclosure = 1/(1+1/2) = 2/3.
+        let r = minimize2(&figure3(1), 1);
+        assert!((r.r_min - 0.5).abs() < 1e-12);
+        assert!((1.0 / (1.0 + r.r_min) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_bucket_value_is_candidate() {
+        // The paper's worked example: A in bucket 0, one atom in bucket 1:
+        // m1_b1(1)·[m1_b0(1)·rho_0] = (3/5)·(3/5)·(5/2) = 9/10 → 10/19.
+        // Confirm by excluding same-bucket options: restrict bucket 0's m1
+        // so 2 atoms there are impossible.
+        let mut b = figure3(1);
+        b[0].m1[2] = f64::INFINITY;
+        b[1].m1[2] = f64::INFINITY;
+        let r = minimize2(&b, 1);
+        assert!((r.r_min - 0.9).abs() < 1e-12);
+        assert!((1.0 / (1.0 + r.r_min) - 10.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_style_cases() {
+        let cases: Vec<Vec<Vec<u32>>> = vec![
+            vec![vec![0, 0, 1], vec![2, 3]],
+            vec![vec![0, 0, 0], vec![1, 2], vec![3, 3, 4, 5]],
+            vec![vec![0], vec![1], vec![2]],
+            vec![vec![0, 1, 2, 3], vec![0, 0, 1, 1], vec![5, 5, 5]],
+        ];
+        for bucket_vals in cases {
+            for k in 0..=4usize {
+                let buckets: Vec<BucketCosts> =
+                    bucket_vals.iter().map(|v| costs(v, k + 1)).collect();
+                let dp = minimize2(&buckets, k).r_min;
+                let bf = brute_force(&buckets, k);
+                assert!(
+                    (dp - bf).abs() < 1e-12 || (!dp.is_finite() && !bf.is_finite()),
+                    "buckets {bucket_vals:?} k={k}: dp={dp} bf={bf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_is_consistent_and_reproduces_value() {
+        let buckets = figure3(3);
+        let r = minimize2(&buckets, 3);
+        let total_atoms: usize = r.allocation.iter().map(|a| a.atoms).sum();
+        assert_eq!(total_atoms, 3);
+        assert_eq!(
+            r.allocation.iter().filter(|a| a.has_consequent).count(),
+            1
+        );
+        // Recompute the product from the allocation.
+        let mut v = 1.0;
+        for a in &r.allocation {
+            let b = &buckets[a.bucket];
+            if a.has_consequent {
+                v *= b.m1[a.atoms + 1] * b.rho;
+            } else {
+                v *= b.m1[a.atoms];
+            }
+        }
+        assert!((v - r.r_min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_bucket_all_values_equal_discloses_immediately() {
+        let buckets = vec![costs(&[4, 4, 4], 1)];
+        let r = minimize2(&buckets, 0);
+        // m1(1) = 0, rho = 1 → r_min = 0 → disclosure 1.
+        assert_eq!(r.r_min, 0.0);
+        assert_eq!(1.0 / (1.0 + r.r_min), 1.0);
+    }
+
+    #[test]
+    fn r_min_is_monotone_nonincreasing_in_k() {
+        let mut prev = f64::INFINITY;
+        for k in 0..=6 {
+            let r = minimize2(&figure3(k), k).r_min;
+            assert!(r <= prev + 1e-15, "k={k}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn suffix_table_exposes_consistent_entries() {
+        let buckets = figure3(2);
+        let s = SuffixTable::build(&buckets, 2);
+        assert_eq!(s.n_buckets(), 2);
+        // Full problem at (0, k, false).
+        assert!((s.get(0, 2, false) - minimize2(&buckets, 2).r_min).abs() < 1e-15);
+        // Base cases.
+        assert_eq!(s.get(2, 0, true), 1.0);
+        assert!(!s.get(2, 0, false).is_finite());
+        assert!(!s.get(2, 1, true).is_finite());
+    }
+}

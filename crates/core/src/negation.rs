@@ -1,0 +1,153 @@
+//! Worst case for the negated-atom sublanguage (the ℓ-diversity model).
+//!
+//! ℓ-diversity's implicit unit of knowledge is the negated atom
+//! `¬ t_p[S] = s`. The worst `k` negations concentrate on a single person and
+//! rule out the `k` next-most-frequent values of that person's bucket, giving
+//!
+//! ```text
+//!   max_b  n_b(s⁰_b) / (n_b − Σ_{j=1..min(k, d_b−1)} n_b(s^j_b))
+//! ```
+//!
+//! This is the dotted curve of the paper's Figure 5, always dominated by the
+//! basic-implication worst case (negations are expressible as implications,
+//! Section 2.2). Optimality of the single-person/next-frequent choice is
+//! validated against exhaustive search in the property-test suite.
+
+use wcbk_logic::{BasicImplication, Knowledge};
+use wcbk_table::{SValue, TupleId};
+
+use crate::{Bucketization, CoreError};
+
+/// Result of the negated-atom worst-case analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NegationResult {
+    /// The maximum disclosure over conjunctions of at most `k` negated atoms.
+    pub value: f64,
+    /// The attacker power bound `k` used.
+    pub k: usize,
+    /// The targeted bucket index.
+    pub bucket: usize,
+    /// The targeted person (first member of the worst bucket).
+    pub person: TupleId,
+    /// The predicted value (the bucket's most frequent).
+    pub predicted: SValue,
+    /// The values ruled out by the worst-case negations
+    /// (`min(k, d_b − 1)` of them).
+    pub ruled_out: Vec<SValue>,
+}
+
+impl NegationResult {
+    /// The worst-case negations as basic implications
+    /// (`¬ t_p[S]=s ≡ (t_p[S]=s → t_p[S]=predicted)`).
+    pub fn knowledge(&self) -> Knowledge {
+        Knowledge::from_implications(self.ruled_out.iter().map(|&s| {
+            BasicImplication::negated_atom(self.person, s, self.predicted)
+                .expect("ruled-out values differ from the predicted value")
+        }))
+    }
+}
+
+/// Maximum disclosure of `bucketization` against `k` negated atoms.
+pub fn negation_max_disclosure(
+    bucketization: &Bucketization,
+    k: usize,
+) -> Result<NegationResult, CoreError> {
+    let mut best: Option<NegationResult> = None;
+    for (bi, bucket) in bucketization.buckets().iter().enumerate() {
+        let h = bucket.histogram();
+        let d = h.distinct();
+        let j_max = k.min(d.saturating_sub(1));
+        // Denominator: n − (frequencies of ranks 1..=j_max)
+        //            = n − (top_sum(j_max+1) − f0).
+        let denom = h.n() - (h.top_sum(j_max + 1) - h.frequency(0));
+        debug_assert!(denom >= h.frequency(0));
+        let value = h.frequency(0) as f64 / denom as f64;
+        if best.as_ref().map_or(true, |b| value > b.value) {
+            best = Some(NegationResult {
+                value,
+                k,
+                bucket: bi,
+                person: bucket.members()[0],
+                predicted: h.value_at(0).expect("bucket is non-empty"),
+                ruled_out: (1..=j_max)
+                    .map(|rank| h.value_at(rank).expect("rank < distinct"))
+                    .collect(),
+            });
+        }
+    }
+    best.ok_or(CoreError::EmptyBucketization)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcbk_table::datasets::{hospital_bucket_of, hospital_table};
+
+    fn figure3() -> Bucketization {
+        Bucketization::from_grouping(&hospital_table(), hospital_bucket_of).unwrap()
+    }
+
+    #[test]
+    fn k0_is_top_frequency_ratio() {
+        let r = negation_max_disclosure(&figure3(), 0).unwrap();
+        assert!((r.value - 0.4).abs() < 1e-12);
+        assert!(r.ruled_out.is_empty());
+    }
+
+    #[test]
+    fn k1_rules_out_second_most_frequent() {
+        // Male bucket {2,2,1}: 2/(5-2) = 2/3 beats female {2,1,1,1}: 2/(5-1).
+        let r = negation_max_disclosure(&figure3(), 1).unwrap();
+        assert!((r.value - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.bucket, 0);
+        assert_eq!(r.ruled_out.len(), 1);
+    }
+
+    #[test]
+    fn reaches_one_at_distinct_minus_one() {
+        // Male bucket d=3: k=2 negations give certainty.
+        let r = negation_max_disclosure(&figure3(), 2).unwrap();
+        assert!((r.value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_negations_saturate() {
+        let r2 = negation_max_disclosure(&figure3(), 2).unwrap();
+        let r9 = negation_max_disclosure(&figure3(), 9).unwrap();
+        assert_eq!(r2.value, r9.value);
+        assert_eq!(r9.ruled_out.len(), 2); // capped at d−1
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let b = figure3();
+        let mut prev = 0.0;
+        for k in 0..=5 {
+            let v = negation_max_disclosure(&b, k).unwrap().value;
+            assert!(v >= prev - 1e-15);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn dominated_by_implications() {
+        let b = figure3();
+        for k in 0..=5 {
+            let neg = negation_max_disclosure(&b, k).unwrap().value;
+            let imp = crate::max_disclosure(&b, k).unwrap().value;
+            assert!(imp >= neg - 1e-12, "k={k}: imp {imp} < neg {neg}");
+        }
+    }
+
+    #[test]
+    fn knowledge_encoding_is_wellformed() {
+        let r = negation_max_disclosure(&figure3(), 2).unwrap();
+        let knowledge = r.knowledge();
+        assert_eq!(knowledge.k(), 2);
+        for imp in knowledge.implications() {
+            let s = imp.as_simple().unwrap();
+            assert!(s.is_negation());
+            assert_eq!(s.antecedent.person, r.person);
+        }
+    }
+}

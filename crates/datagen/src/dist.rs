@@ -1,0 +1,103 @@
+//! Small discrete-distribution toolkit (the sanctioned crate list has no
+//! `rand_distr`, so weighted and Zipf sampling are implemented here).
+
+use rand::Rng;
+
+/// A discrete distribution over `0..n` sampled by inverse-CDF binary search.
+#[derive(Debug, Clone)]
+pub struct Discrete {
+    /// Cumulative weights, last entry = total.
+    cdf: Vec<f64>,
+}
+
+impl Discrete {
+    /// Builds from non-negative weights (at least one positive).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty weight vector");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and >= 0");
+            acc += w;
+            cdf.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        Self { cdf }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero outcomes (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples an outcome index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cdf.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        // partition_point: first index with cdf[i] > x.
+        self.cdf.partition_point(|&c| c <= x).min(self.cdf.len() - 1)
+    }
+}
+
+/// Zipf weights `1 / r^s` for ranks `1..=n` (s = 0 gives uniform).
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (1..=n).map(|r| (r as f64).powf(-s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_respects_weights() {
+        let d = Discrete::new(&[1.0, 0.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(5, 1.0);
+        assert_eq!(w.len(), 5);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[4] - 0.2).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        let uniform = zipf_weights(4, 0.0);
+        assert!(uniform.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_weights_rejected() {
+        Discrete::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = Discrete::new(&zipf_weights(10, 1.5));
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..20).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..20).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,24 @@
+//! # wcbk-datagen — evaluation workloads
+//!
+//! The paper evaluates on the UCI Adult dataset (45,222 tuples after
+//! removing missing values) projected onto Age, Marital Status, Race, Gender
+//! and Occupation (sensitive, 14 values). That file is not redistributable
+//! inside this repository, so [`adult`] provides:
+//!
+//! * [`adult::synthetic_adult`] — a seeded generator producing a table with
+//!   the same schema, the same attribute cardinalities, marginals matched to
+//!   the published Adult summary statistics, and mild attribute correlations
+//!   (occupation↔gender, marital-status↔age). The disclosure experiments
+//!   depend only on per-bucket sensitive histograms, so matching
+//!   cardinality and skew preserves the paper's curve shapes (DESIGN.md §5
+//!   documents this substitution).
+//! * [`adult::adult_from_reader`] — a loader for the genuine `adult.data`
+//!   file for users who have it.
+//!
+//! [`workload`] generates parametrized random bucketizations (bucket count,
+//! bucket size, domain size, Zipf skew) for property tests, scaling
+//! benchmarks and the hardness demonstrations.
+
+pub mod adult;
+pub mod dist;
+pub mod workload;

@@ -1,0 +1,196 @@
+//! The paper's Adult-dataset generalization hierarchies (Section 4).
+//!
+//! "We use pre-defined generalization hierarchies for the attributes similar
+//! to the ones used in \[Incognito\]. Age can be generalized to six levels
+//! (unsuppressed, generalized to intervals of size 5, 10, 20, 40, or
+//! completely suppressed), Marital Status can be generalized to three levels,
+//! and Race and Gender can each either be left as is or be completely
+//! suppressed." — giving a 6·3·2·2 = 72-node lattice.
+
+use wcbk_table::Table;
+
+use crate::{GeneralizationLattice, Hierarchy, HierarchyError};
+
+/// Marital-status groups for the middle level of the 3-level hierarchy
+/// (Incognito-style: collapse to married / once-married / never-married).
+const MARITAL_GROUPS: [(&str, &[&str]); 3] = [
+    (
+        "Married",
+        &[
+            "Married-civ-spouse",
+            "Married-spouse-absent",
+            "Married-AF-spouse",
+        ],
+    ),
+    ("Was-married", &["Divorced", "Separated", "Widowed"]),
+    ("Never-married", &["Never-married"]),
+];
+
+/// Builds the Age hierarchy: identity, intervals of 5/10/20/40, suppressed.
+pub fn age_hierarchy(table: &Table) -> Result<Hierarchy, HierarchyError> {
+    let col = table
+        .column_by_name("Age")
+        .map_err(|e| HierarchyError::Table(e.to_string()))?;
+    Hierarchy::intervals("Age", col.dictionary(), &[5, 10, 20, 40])
+}
+
+/// Builds the 3-level Marital Status hierarchy. Values not in the canonical
+/// Adult domain fall back to their own group at the middle level only if
+/// absent from the table (otherwise an error is raised, so typos surface).
+pub fn marital_hierarchy(table: &Table) -> Result<Hierarchy, HierarchyError> {
+    let col = table
+        .column_by_name("Marital-Status")
+        .map_err(|e| HierarchyError::Table(e.to_string()))?;
+    let dict = col.dictionary();
+    // Restrict the canonical groups to the values actually present.
+    let mut groups: Vec<(&str, Vec<&str>)> = Vec::new();
+    for (label, members) in MARITAL_GROUPS {
+        let present: Vec<&str> = members
+            .iter()
+            .copied()
+            .filter(|m| dict.code(m).is_some())
+            .collect();
+        if !present.is_empty() {
+            groups.push((label, present));
+        }
+    }
+    let borrowed: Vec<(&str, &[&str])> = groups
+        .iter()
+        .map(|(l, m)| (*l, m.as_slice()))
+        .collect();
+    Hierarchy::from_groups("Marital-Status", dict, &[&borrowed])
+}
+
+/// Builds the 2-level Race hierarchy (identity, suppressed).
+pub fn race_hierarchy(table: &Table) -> Result<Hierarchy, HierarchyError> {
+    let col = table
+        .column_by_name("Race")
+        .map_err(|e| HierarchyError::Table(e.to_string()))?;
+    Ok(Hierarchy::suppression("Race", col.dictionary()))
+}
+
+/// Builds the 2-level Gender hierarchy (identity, suppressed).
+pub fn gender_hierarchy(table: &Table) -> Result<Hierarchy, HierarchyError> {
+    let col = table
+        .column_by_name("Gender")
+        .map_err(|e| HierarchyError::Table(e.to_string()))?;
+    Ok(Hierarchy::suppression("Gender", col.dictionary()))
+}
+
+/// Builds the full 72-node Adult lattice over (Age, Marital-Status, Race,
+/// Gender) for a table with the Adult schema.
+pub fn adult_lattice(table: &Table) -> Result<GeneralizationLattice, HierarchyError> {
+    let schema = table.schema();
+    let col = |name: &str| {
+        schema
+            .index_of(name)
+            .map_err(|e| HierarchyError::Table(e.to_string()))
+    };
+    GeneralizationLattice::new(vec![
+        (col("Age")?, age_hierarchy(table)?),
+        (col("Marital-Status")?, marital_hierarchy(table)?),
+        (col("Race")?, race_hierarchy(table)?),
+        (col("Gender")?, gender_hierarchy(table)?),
+    ])
+}
+
+/// The lattice node used for the paper's Figure 5: "all the attributes other
+/// than Age were suppressed and the Age attribute was generalized to
+/// intervals of size 20" — Age at level 3, everything else at top
+/// (Marital-Status level 2, Race and Gender level 1).
+pub fn figure5_node() -> crate::GenNode {
+    crate::GenNode(vec![3, 2, 1, 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcbk_table::{Attribute, AttributeKind, Schema, TableBuilder};
+
+    /// A miniature Adult-shaped table exercising every hierarchy.
+    fn mini_adult() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::new("Age", AttributeKind::QuasiIdentifier),
+            Attribute::new("Marital-Status", AttributeKind::QuasiIdentifier),
+            Attribute::new("Race", AttributeKind::QuasiIdentifier),
+            Attribute::new("Gender", AttributeKind::QuasiIdentifier),
+            Attribute::new("Occupation", AttributeKind::Sensitive),
+        ])
+        .unwrap();
+        let rows: Vec<[&str; 5]> = vec![
+            ["17", "Never-married", "White", "Male", "Sales"],
+            ["25", "Married-civ-spouse", "Black", "Female", "Tech-support"],
+            ["37", "Divorced", "White", "Male", "Craft-repair"],
+            ["52", "Widowed", "Asian-Pac-Islander", "Female", "Sales"],
+            ["66", "Separated", "White", "Male", "Exec-managerial"],
+            ["90", "Married-AF-spouse", "Other", "Female", "Adm-clerical"],
+        ];
+        let mut b = TableBuilder::new(schema);
+        for r in &rows {
+            b.push_row(r).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn lattice_has_72_nodes() {
+        let t = mini_adult();
+        let l = adult_lattice(&t).unwrap();
+        assert_eq!(l.n_nodes(), 6 * 3 * 2 * 2);
+        assert_eq!(l.max_height(), 5 + 2 + 1 + 1);
+    }
+
+    #[test]
+    fn age_levels_match_paper() {
+        let t = mini_adult();
+        let h = age_hierarchy(&t).unwrap();
+        assert_eq!(h.n_levels(), 6);
+    }
+
+    #[test]
+    fn marital_collapses_to_three_groups() {
+        let t = mini_adult();
+        let h = marital_hierarchy(&t).unwrap();
+        assert_eq!(h.n_levels(), 3);
+        let dict = t.column_by_name("Marital-Status").unwrap().dictionary();
+        let married = h.generalize(1, dict.code("Married-civ-spouse").unwrap());
+        let married_af = h.generalize(1, dict.code("Married-AF-spouse").unwrap());
+        let divorced = h.generalize(1, dict.code("Divorced").unwrap());
+        let widowed = h.generalize(1, dict.code("Widowed").unwrap());
+        assert_eq!(married, married_af);
+        assert_eq!(divorced, widowed);
+        assert_ne!(married, divorced);
+    }
+
+    #[test]
+    fn figure5_node_is_valid() {
+        let t = mini_adult();
+        let l = adult_lattice(&t).unwrap();
+        l.validate(&figure5_node()).unwrap();
+        // Age intervals of width 20 → level 3 in the 6-level hierarchy
+        // (identity=0, 5=1, 10=2, 20=3, 40=4, *=5).
+        let b = l.bucketize(&t, &figure5_node()).unwrap();
+        // Ages 17..90 with origin 17: intervals [17,36],[37,56],[57,76],[77,96]
+        assert_eq!(b.n_buckets(), 4);
+    }
+
+    #[test]
+    fn race_and_gender_are_binary() {
+        let t = mini_adult();
+        assert_eq!(race_hierarchy(&t).unwrap().n_levels(), 2);
+        assert_eq!(gender_hierarchy(&t).unwrap().n_levels(), 2);
+    }
+
+    #[test]
+    fn missing_column_is_reported() {
+        let schema = Schema::new(vec![
+            Attribute::new("Years", AttributeKind::QuasiIdentifier),
+            Attribute::new("Occupation", AttributeKind::Sensitive),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(&["30", "Sales"]).unwrap();
+        let t = b.build();
+        assert!(matches!(age_hierarchy(&t), Err(HierarchyError::Table(_))));
+    }
+}

@@ -1,0 +1,374 @@
+//! Domain generalization hierarchies for single attributes.
+
+use wcbk_table::Dictionary;
+
+use crate::HierarchyError;
+
+/// One attribute's domain generalization hierarchy.
+///
+/// Level 0 is the identity (every base value its own group); the last level
+/// is typically full suppression (`*`). Levels must be **nested**: whatever
+/// a finer level groups together, coarser levels keep together. This is the
+/// standard DGH model of Samarati/Sweeney and Incognito, and it makes the
+/// induced bucketizations comparable under the `⪯` partial order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hierarchy {
+    attribute: String,
+    /// `maps[l][code]` = group id of base `code` at level `l`.
+    maps: Vec<Vec<u32>>,
+    /// `labels[l][group]` = display label of the group.
+    labels: Vec<Vec<String>>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from explicit per-level maps, validating shape and
+    /// nestedness. `maps[0]` must be the identity.
+    pub fn new(
+        attribute: impl Into<String>,
+        maps: Vec<Vec<u32>>,
+        labels: Vec<Vec<String>>,
+    ) -> Result<Self, HierarchyError> {
+        let attribute = attribute.into();
+        if maps.is_empty() || maps.len() != labels.len() {
+            return Err(HierarchyError::NoLevels(attribute));
+        }
+        let h = Self {
+            attribute,
+            maps,
+            labels,
+        };
+        h.validate()?;
+        Ok(h)
+    }
+
+    fn validate(&self) -> Result<(), HierarchyError> {
+        let n_values = self.maps[0].len();
+        // Level 0 must be the identity.
+        for (code, &group) in self.maps[0].iter().enumerate() {
+            if group as usize != code {
+                return Err(HierarchyError::NotNested {
+                    attribute: self.attribute.clone(),
+                    level: 0,
+                });
+            }
+        }
+        for (l, map) in self.maps.iter().enumerate() {
+            if map.len() != n_values {
+                return Err(HierarchyError::NoLevels(self.attribute.clone()));
+            }
+            for &g in map {
+                if g as usize >= self.labels[l].len() {
+                    return Err(HierarchyError::UncoveredValue {
+                        attribute: self.attribute.clone(),
+                        value: format!("group {g} at level {l}"),
+                    });
+                }
+            }
+        }
+        // Nestedness: equal groups at level l stay equal at level l+1.
+        for l in 0..self.maps.len() - 1 {
+            let fine = &self.maps[l];
+            let coarse = &self.maps[l + 1];
+            let mut coarse_of_group: Vec<Option<u32>> = vec![None; self.labels[l].len()];
+            for code in 0..n_values {
+                let fg = fine[code] as usize;
+                match coarse_of_group[fg] {
+                    None => coarse_of_group[fg] = Some(coarse[code]),
+                    Some(cg) if cg != coarse[code] => {
+                        return Err(HierarchyError::NotNested {
+                            attribute: self.attribute.clone(),
+                            level: l,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A two-level hierarchy: identity, then full suppression to `*`.
+    pub fn suppression(attribute: impl Into<String>, dict: &Dictionary) -> Self {
+        let attribute = attribute.into();
+        let n = dict.len();
+        let identity: Vec<u32> = (0..n as u32).collect();
+        let id_labels: Vec<String> = dict.values().to_vec();
+        let suppressed = vec![0u32; n];
+        Self {
+            attribute,
+            maps: vec![identity, suppressed],
+            labels: vec![id_labels, vec!["*".to_owned()]],
+        }
+    }
+
+    /// A numeric interval hierarchy: identity, one level per width in
+    /// `widths` (ascending, each dividing the next), then full suppression.
+    ///
+    /// Intervals are aligned to the minimum value present; a width-`w` group
+    /// covering `[lo, lo+w)` is labeled `"lo-hi"` (inclusive `hi`).
+    ///
+    /// ```
+    /// use wcbk_hierarchy::Hierarchy;
+    /// use wcbk_table::Dictionary;
+    ///
+    /// let ages = Dictionary::from_values(["21", "23", "27", "35"]);
+    /// let h = Hierarchy::intervals("Age", &ages, &[5, 10])?;
+    /// assert_eq!(h.n_levels(), 4); // exact, 5, 10, suppressed
+    /// // 21 and 23 share the width-5 interval [21,25]; 27 does not.
+    /// let g21 = h.generalize(1, ages.code("21").unwrap());
+    /// assert_eq!(g21, h.generalize(1, ages.code("23").unwrap()));
+    /// assert_ne!(g21, h.generalize(1, ages.code("27").unwrap()));
+    /// assert_eq!(h.label(1, g21), "21-25");
+    /// # Ok::<(), wcbk_hierarchy::HierarchyError>(())
+    /// ```
+    pub fn intervals(
+        attribute: impl Into<String>,
+        dict: &Dictionary,
+        widths: &[u64],
+    ) -> Result<Self, HierarchyError> {
+        let attribute = attribute.into();
+        for w in widths.windows(2) {
+            if w[0] == 0 || w[1] % w[0] != 0 || w[1] <= w[0] {
+                return Err(HierarchyError::BadWidths(widths.to_vec()));
+            }
+        }
+        if widths.first() == Some(&0) {
+            return Err(HierarchyError::BadWidths(widths.to_vec()));
+        }
+        let mut numeric: Vec<i64> = Vec::with_capacity(dict.len());
+        for (_, v) in dict.iter() {
+            let parsed = v.trim().parse::<i64>().map_err(|_| HierarchyError::NotNumeric {
+                attribute: attribute.clone(),
+                value: v.to_owned(),
+            })?;
+            numeric.push(parsed);
+        }
+        let origin = numeric.iter().copied().min().unwrap_or(0);
+        let n = dict.len();
+
+        let mut maps = Vec::with_capacity(widths.len() + 2);
+        let mut labels = Vec::with_capacity(widths.len() + 2);
+        maps.push((0..n as u32).collect());
+        labels.push(dict.values().to_vec());
+        for &w in widths {
+            // Dense group ids in order of interval index.
+            let mut group_of_interval: std::collections::HashMap<i64, u32> =
+                std::collections::HashMap::new();
+            let mut map = Vec::with_capacity(n);
+            let mut level_labels: Vec<String> = Vec::new();
+            for &x in &numeric {
+                let interval = (x - origin).div_euclid(w as i64);
+                let next = group_of_interval.len() as u32;
+                let g = *group_of_interval.entry(interval).or_insert(next);
+                if g as usize == level_labels.len() {
+                    let lo = origin + interval * w as i64;
+                    level_labels.push(format!("{}-{}", lo, lo + w as i64 - 1));
+                }
+                map.push(g);
+            }
+            maps.push(map);
+            labels.push(level_labels);
+        }
+        maps.push(vec![0u32; n]);
+        labels.push(vec!["*".to_owned()]);
+        Self::new(attribute, maps, labels)
+    }
+
+    /// A hierarchy from explicit groupings: each level lists
+    /// `(group label, member base values)`; a trailing suppression level is
+    /// appended automatically.
+    pub fn from_groups(
+        attribute: impl Into<String>,
+        dict: &Dictionary,
+        levels: &[&[(&str, &[&str])]],
+    ) -> Result<Self, HierarchyError> {
+        let attribute = attribute.into();
+        let n = dict.len();
+        let mut maps: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
+        let mut labels: Vec<Vec<String>> = vec![dict.values().to_vec()];
+        for groups in levels {
+            let mut map = vec![u32::MAX; n];
+            let mut level_labels = Vec::with_capacity(groups.len());
+            for (gi, (label, members)) in groups.iter().enumerate() {
+                level_labels.push((*label).to_owned());
+                for member in *members {
+                    let code = dict.code(member).ok_or_else(|| {
+                        HierarchyError::UncoveredValue {
+                            attribute: attribute.clone(),
+                            value: (*member).to_owned(),
+                        }
+                    })?;
+                    if map[code as usize] != u32::MAX {
+                        return Err(HierarchyError::DoublyCovered {
+                            attribute: attribute.clone(),
+                            value: (*member).to_owned(),
+                        });
+                    }
+                    map[code as usize] = gi as u32;
+                }
+            }
+            if let Some(code) = map.iter().position(|&g| g == u32::MAX) {
+                return Err(HierarchyError::UncoveredValue {
+                    attribute: attribute.clone(),
+                    value: dict.resolve(code as u32).to_owned(),
+                });
+            }
+            maps.push(map);
+            labels.push(level_labels);
+        }
+        maps.push(vec![0u32; n]);
+        labels.push(vec!["*".to_owned()]);
+        Self::new(attribute, maps, labels)
+    }
+
+    /// The attribute this hierarchy generalizes.
+    pub fn attribute(&self) -> &str {
+        &self.attribute
+    }
+
+    /// Number of levels (≥ 1; level 0 is the identity).
+    pub fn n_levels(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Generalizes base `code` to its group at `level`.
+    #[inline]
+    pub fn generalize(&self, level: usize, code: u32) -> u32 {
+        self.maps[level][code as usize]
+    }
+
+    /// Number of groups at `level`.
+    pub fn n_groups(&self, level: usize) -> usize {
+        self.labels[level].len()
+    }
+
+    /// Display label of `group` at `level`.
+    pub fn label(&self, level: usize, group: u32) -> &str {
+        &self.labels[level][group as usize]
+    }
+
+    /// Number of base values mapped into each group at `level` — the
+    /// "leaf counts" used by generalization-loss utility metrics.
+    pub fn group_sizes(&self, level: usize) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.labels[level].len()];
+        for &g in &self.maps[level] {
+            sizes[g as usize] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn age_dict() -> Dictionary {
+        Dictionary::from_values(["23", "24", "25", "27", "29", "21", "22", "26", "28"])
+    }
+
+    #[test]
+    fn suppression_has_two_levels() {
+        let d = Dictionary::from_values(["M", "F"]);
+        let h = Hierarchy::suppression("Sex", &d);
+        assert_eq!(h.n_levels(), 2);
+        assert_eq!(h.generalize(0, 0), 0);
+        assert_eq!(h.generalize(1, 0), h.generalize(1, 1));
+        assert_eq!(h.label(1, 0), "*");
+    }
+
+    #[test]
+    fn intervals_group_correctly() {
+        let d = age_dict();
+        let h = Hierarchy::intervals("Age", &d, &[5, 10]).unwrap();
+        assert_eq!(h.n_levels(), 4); // identity, 5, 10, *
+        // Origin is 21; width 5 groups: [21,25], [26,30].
+        let g23 = h.generalize(1, d.code("23").unwrap());
+        let g25 = h.generalize(1, d.code("25").unwrap());
+        let g26 = h.generalize(1, d.code("26").unwrap());
+        assert_eq!(g23, g25);
+        assert_ne!(g23, g26);
+        assert_eq!(h.label(1, g23), "21-25");
+        // Width 10 merges everything 21..30.
+        let top = h.generalize(2, d.code("21").unwrap());
+        for v in ["23", "29", "28"] {
+            assert_eq!(h.generalize(2, d.code(v).unwrap()), top);
+        }
+    }
+
+    #[test]
+    fn non_dividing_widths_rejected() {
+        let d = age_dict();
+        assert_eq!(
+            Hierarchy::intervals("Age", &d, &[5, 12]).unwrap_err(),
+            HierarchyError::BadWidths(vec![5, 12])
+        );
+    }
+
+    #[test]
+    fn non_numeric_rejected() {
+        let d = Dictionary::from_values(["young", "old"]);
+        assert!(matches!(
+            Hierarchy::intervals("Age", &d, &[5]),
+            Err(HierarchyError::NotNumeric { .. })
+        ));
+    }
+
+    #[test]
+    fn from_groups_builds_tree() {
+        let d = Dictionary::from_values(["Married", "Divorced", "Widowed", "Never-married"]);
+        let h = Hierarchy::from_groups(
+            "Marital",
+            &d,
+            &[&[
+                ("Has-married", &["Married", "Divorced", "Widowed"]),
+                ("Never", &["Never-married"]),
+            ]],
+        )
+        .unwrap();
+        assert_eq!(h.n_levels(), 3);
+        assert_eq!(
+            h.generalize(1, d.code("Married").unwrap()),
+            h.generalize(1, d.code("Widowed").unwrap())
+        );
+        assert_ne!(
+            h.generalize(1, d.code("Married").unwrap()),
+            h.generalize(1, d.code("Never-married").unwrap())
+        );
+        assert_eq!(h.label(1, 0), "Has-married");
+    }
+
+    #[test]
+    fn uncovered_and_doubly_covered_rejected() {
+        let d = Dictionary::from_values(["a", "b"]);
+        assert!(matches!(
+            Hierarchy::from_groups("X", &d, &[&[("g", &["a"])]]),
+            Err(HierarchyError::UncoveredValue { .. })
+        ));
+        assert!(matches!(
+            Hierarchy::from_groups("X", &d, &[&[("g", &["a", "b"]), ("h", &["a"])]]),
+            Err(HierarchyError::DoublyCovered { .. })
+        ));
+    }
+
+    #[test]
+    fn non_nested_levels_rejected() {
+        // Level 1 merges {0,1}; level 2 splits them again.
+        let maps = vec![vec![0, 1], vec![0, 0], vec![0, 1]];
+        let labels = vec![
+            vec!["a".into(), "b".into()],
+            vec!["ab".into()],
+            vec!["x".into(), "y".into()],
+        ];
+        assert!(matches!(
+            Hierarchy::new("X", maps, labels),
+            Err(HierarchyError::NotNested { level: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn nested_interval_chain_is_accepted() {
+        let d = age_dict();
+        let h = Hierarchy::intervals("Age", &d, &[5, 10, 20, 40]).unwrap();
+        assert_eq!(h.n_levels(), 6);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type for hierarchy construction.
+
+use std::fmt;
+
+/// Errors building or applying generalization hierarchies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// A hierarchy needs at least the identity level.
+    NoLevels(String),
+    /// Level `level+1` splits a group that level `level` had merged —
+    /// the hierarchy is not nested.
+    NotNested {
+        /// Attribute name.
+        attribute: String,
+        /// The finer level index.
+        level: usize,
+    },
+    /// A grouping level did not cover some base value.
+    UncoveredValue {
+        /// Attribute name.
+        attribute: String,
+        /// The value missing from the level's groups.
+        value: String,
+    },
+    /// A grouping level assigned a base value to two groups.
+    DoublyCovered {
+        /// Attribute name.
+        attribute: String,
+        /// The value covered twice.
+        value: String,
+    },
+    /// A base value could not be parsed as an integer for interval building.
+    NotNumeric {
+        /// Attribute name.
+        attribute: String,
+        /// The offending value.
+        value: String,
+    },
+    /// Interval widths must be ascending and each divide the next.
+    BadWidths(Vec<u64>),
+    /// A lattice node's level is out of range for its hierarchy.
+    LevelOutOfRange {
+        /// Attribute position in the lattice.
+        attribute: usize,
+        /// Requested level.
+        level: usize,
+        /// Number of levels available.
+        n_levels: usize,
+    },
+    /// The lattice and node have different dimensionality.
+    DimensionMismatch {
+        /// Lattice dimension.
+        expected: usize,
+        /// Node dimension.
+        found: usize,
+    },
+    /// Underlying table error (e.g. unknown attribute name).
+    Table(String),
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::NoLevels(a) => write!(f, "hierarchy for {a:?} has no levels"),
+            HierarchyError::NotNested { attribute, level } => write!(
+                f,
+                "hierarchy for {attribute:?} is not nested between levels {level} and {}",
+                level + 1
+            ),
+            HierarchyError::UncoveredValue { attribute, value } => {
+                write!(f, "hierarchy for {attribute:?} does not cover value {value:?}")
+            }
+            HierarchyError::DoublyCovered { attribute, value } => {
+                write!(f, "hierarchy for {attribute:?} covers value {value:?} twice")
+            }
+            HierarchyError::NotNumeric { attribute, value } => {
+                write!(f, "attribute {attribute:?} value {value:?} is not an integer")
+            }
+            HierarchyError::BadWidths(w) => write!(
+                f,
+                "interval widths {w:?} must be ascending with each dividing the next"
+            ),
+            HierarchyError::LevelOutOfRange {
+                attribute,
+                level,
+                n_levels,
+            } => write!(
+                f,
+                "level {level} out of range for attribute {attribute} ({n_levels} levels)"
+            ),
+            HierarchyError::DimensionMismatch { expected, found } => {
+                write!(f, "node has {found} levels, lattice has {expected} attributes")
+            }
+            HierarchyError::Table(m) => write!(f, "table error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = HierarchyError::NotNested {
+            attribute: "Age".into(),
+            level: 2,
+        };
+        assert!(e.to_string().contains("Age"));
+        assert!(e.to_string().contains('2'));
+        assert!(HierarchyError::BadWidths(vec![10, 15])
+            .to_string()
+            .contains("10, 15"));
+    }
+}

@@ -1,0 +1,409 @@
+//! The product lattice of full-domain generalizations.
+
+use wcbk_core::{Bucketization, CoreError};
+use wcbk_table::Table;
+
+use crate::{Hierarchy, HierarchyError};
+
+/// A lattice node: one generalization level per quasi-identifier, in the
+/// lattice's attribute order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GenNode(pub Vec<usize>);
+
+impl GenNode {
+    /// Sum of levels — the node's height in the lattice (0 = bottom).
+    pub fn height(&self) -> usize {
+        self.0.iter().sum()
+    }
+
+    /// Whether `self ≤ other` component-wise (self is finer or equal).
+    pub fn le(&self, other: &GenNode) -> bool {
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+}
+
+impl std::fmt::Display for GenNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// The lattice of generalization vectors over a set of quasi-identifier
+/// hierarchies, each tied to a table column.
+#[derive(Debug, Clone)]
+pub struct GeneralizationLattice {
+    /// `(table column index, hierarchy)` per dimension.
+    dims: Vec<(usize, Hierarchy)>,
+}
+
+impl GeneralizationLattice {
+    /// Creates a lattice over `(column, hierarchy)` dimensions.
+    pub fn new(dims: Vec<(usize, Hierarchy)>) -> Result<Self, HierarchyError> {
+        for (_, h) in &dims {
+            if h.n_levels() == 0 {
+                return Err(HierarchyError::NoLevels(h.attribute().to_owned()));
+            }
+        }
+        Ok(Self { dims })
+    }
+
+    /// Number of dimensions (quasi-identifiers).
+    pub fn n_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The hierarchy of dimension `d`.
+    pub fn hierarchy(&self, d: usize) -> &Hierarchy {
+        &self.dims[d].1
+    }
+
+    /// The table column index of dimension `d`.
+    pub fn column(&self, d: usize) -> usize {
+        self.dims[d].0
+    }
+
+    /// The bottom node (no generalization).
+    pub fn bottom(&self) -> GenNode {
+        GenNode(vec![0; self.dims.len()])
+    }
+
+    /// The top node (every attribute fully generalized).
+    pub fn top(&self) -> GenNode {
+        GenNode(self.dims.iter().map(|(_, h)| h.n_levels() - 1).collect())
+    }
+
+    /// Total number of nodes (`∏ levels`).
+    pub fn n_nodes(&self) -> usize {
+        self.dims.iter().map(|(_, h)| h.n_levels()).product()
+    }
+
+    /// Maximum height (`Σ (levels − 1)`).
+    pub fn max_height(&self) -> usize {
+        self.top().height()
+    }
+
+    /// Checks a node's dimensionality and levels.
+    pub fn validate(&self, node: &GenNode) -> Result<(), HierarchyError> {
+        if node.0.len() != self.dims.len() {
+            return Err(HierarchyError::DimensionMismatch {
+                expected: self.dims.len(),
+                found: node.0.len(),
+            });
+        }
+        for (d, (&level, (_, h))) in node.0.iter().zip(&self.dims).enumerate() {
+            if level >= h.n_levels() {
+                return Err(HierarchyError::LevelOutOfRange {
+                    attribute: d,
+                    level,
+                    n_levels: h.n_levels(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// All nodes in mixed-radix order (bottom first, top last).
+    pub fn nodes(&self) -> Vec<GenNode> {
+        let mut out = Vec::with_capacity(self.n_nodes());
+        let mut current = vec![0usize; self.dims.len()];
+        loop {
+            out.push(GenNode(current.clone()));
+            // Increment mixed-radix counter, most significant dimension last.
+            let mut d = 0;
+            loop {
+                if d == self.dims.len() {
+                    return out;
+                }
+                current[d] += 1;
+                if current[d] < self.dims[d].1.n_levels() {
+                    break;
+                }
+                current[d] = 0;
+                d += 1;
+            }
+        }
+    }
+
+    /// All nodes grouped by height — the BFS levels a bottom-up search walks.
+    pub fn nodes_by_height(&self) -> Vec<Vec<GenNode>> {
+        let mut by_height: Vec<Vec<GenNode>> = vec![Vec::new(); self.max_height() + 1];
+        for node in self.nodes() {
+            by_height[node.height()].push(node);
+        }
+        by_height
+    }
+
+    /// Immediate successors (one attribute, one level up) — the covers of
+    /// `node` in the lattice.
+    pub fn successors(&self, node: &GenNode) -> Vec<GenNode> {
+        let mut out = Vec::new();
+        for d in 0..self.dims.len() {
+            if node.0[d] + 1 < self.dims[d].1.n_levels() {
+                let mut next = node.0.clone();
+                next[d] += 1;
+                out.push(GenNode(next));
+            }
+        }
+        out
+    }
+
+    /// Immediate predecessors (one attribute, one level down).
+    pub fn predecessors(&self, node: &GenNode) -> Vec<GenNode> {
+        let mut out = Vec::new();
+        for d in 0..self.dims.len() {
+            if node.0[d] > 0 {
+                let mut prev = node.0.clone();
+                prev[d] -= 1;
+                out.push(GenNode(prev));
+            }
+        }
+        out
+    }
+
+    /// A maximal chain from bottom to top (raise dimension 0 fully, then
+    /// dimension 1, …). Every step is a cover, so the chain has
+    /// `max_height() + 1` nodes; useful for binary-search demonstrations.
+    pub fn maximal_chain(&self) -> Vec<GenNode> {
+        let mut chain = vec![self.bottom()];
+        let mut current = self.bottom();
+        for d in 0..self.dims.len() {
+            while current.0[d] + 1 < self.dims[d].1.n_levels() {
+                current.0[d] += 1;
+                chain.push(current.clone());
+            }
+        }
+        chain
+    }
+
+    /// Applies `node` to `table`: tuples with equal generalized
+    /// quasi-identifier signatures share a bucket.
+    pub fn bucketize(&self, table: &Table, node: &GenNode) -> Result<Bucketization, HierarchyError> {
+        self.validate(node)?;
+        Bucketization::from_grouping(table, |t| {
+            node.0
+                .iter()
+                .enumerate()
+                .map(|(d, &level)| {
+                    let (col, h) = &self.dims[d];
+                    h.generalize(level, table.column(*col).code(t.index()))
+                })
+                .collect::<Vec<u32>>()
+        })
+        .map_err(|e: CoreError| HierarchyError::Table(e.to_string()))
+    }
+
+    /// Applies levels to a *subset* of the dimensions: tuples group by the
+    /// generalized signature over `dims` only (the other quasi-identifiers
+    /// are ignored, i.e. treated as fully suppressed). This is the
+    /// projection Incognito evaluates on attribute subsets.
+    ///
+    /// `dims[i]` indexes the lattice dimension whose level is `levels[i]`.
+    pub fn bucketize_subset(
+        &self,
+        table: &Table,
+        dims: &[usize],
+        levels: &[usize],
+    ) -> Result<Bucketization, HierarchyError> {
+        if dims.len() != levels.len() {
+            return Err(HierarchyError::DimensionMismatch {
+                expected: dims.len(),
+                found: levels.len(),
+            });
+        }
+        for (&d, &level) in dims.iter().zip(levels) {
+            if d >= self.dims.len() {
+                return Err(HierarchyError::DimensionMismatch {
+                    expected: self.dims.len(),
+                    found: d + 1,
+                });
+            }
+            if level >= self.dims[d].1.n_levels() {
+                return Err(HierarchyError::LevelOutOfRange {
+                    attribute: d,
+                    level,
+                    n_levels: self.dims[d].1.n_levels(),
+                });
+            }
+        }
+        Bucketization::from_grouping(table, |t| {
+            dims.iter()
+                .zip(levels)
+                .map(|(&d, &level)| {
+                    let (col, h) = &self.dims[d];
+                    h.generalize(level, table.column(*col).code(t.index()))
+                })
+                .collect::<Vec<u32>>()
+        })
+        .map_err(|e: CoreError| HierarchyError::Table(e.to_string()))
+    }
+
+    /// Human-readable generalized signature of a row under `node`.
+    pub fn describe_row(&self, table: &Table, node: &GenNode, row: usize) -> Vec<String> {
+        node.0
+            .iter()
+            .enumerate()
+            .map(|(d, &level)| {
+                let (col, h) = &self.dims[d];
+                let code = table.column(*col).code(row);
+                h.label(level, h.generalize(level, code)).to_owned()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcbk_table::datasets::hospital_table;
+    use wcbk_table::Dictionary;
+
+    fn hospital_lattice() -> (Table, GeneralizationLattice) {
+        let table = hospital_table();
+        // Columns: 0 Name, 1 Zip, 2 Age, 3 Sex, 4 Disease.
+        let zip_dict = table.column(1).dictionary().clone();
+        let age_dict = table.column(2).dictionary().clone();
+        let sex_dict = table.column(3).dictionary().clone();
+        let lattice = GeneralizationLattice::new(vec![
+            (1, Hierarchy::suppression("Zip", &zip_dict)),
+            (2, Hierarchy::intervals("Age", &age_dict, &[5]).unwrap()),
+            (3, Hierarchy::suppression("Sex", &sex_dict)),
+        ])
+        .unwrap();
+        (table, lattice)
+    }
+
+    #[test]
+    fn lattice_shape() {
+        let (_, l) = hospital_lattice();
+        assert_eq!(l.n_dims(), 3);
+        assert_eq!(l.n_nodes(), 2 * 3 * 2);
+        assert_eq!(l.bottom(), GenNode(vec![0, 0, 0]));
+        assert_eq!(l.top(), GenNode(vec![1, 2, 1]));
+        assert_eq!(l.max_height(), 4);
+    }
+
+    #[test]
+    fn nodes_enumerates_all_unique() {
+        let (_, l) = hospital_lattice();
+        let nodes = l.nodes();
+        assert_eq!(nodes.len(), 12);
+        let set: std::collections::HashSet<_> = nodes.iter().cloned().collect();
+        assert_eq!(set.len(), 12);
+        assert_eq!(nodes[0], l.bottom());
+        assert_eq!(nodes[nodes.len() - 1], l.top());
+    }
+
+    #[test]
+    fn nodes_by_height_partitions() {
+        let (_, l) = hospital_lattice();
+        let by_height = l.nodes_by_height();
+        assert_eq!(by_height.iter().map(Vec::len).sum::<usize>(), 12);
+        assert_eq!(by_height[0], vec![l.bottom()]);
+        assert_eq!(by_height[4], vec![l.top()]);
+    }
+
+    #[test]
+    fn successors_and_predecessors_are_covers() {
+        let (_, l) = hospital_lattice();
+        let node = GenNode(vec![0, 1, 1]);
+        let succ = l.successors(&node);
+        assert_eq!(succ.len(), 2); // Sex already at top
+        for s in &succ {
+            assert!(node.le(s));
+            assert_eq!(s.height(), node.height() + 1);
+        }
+        let pred = l.predecessors(&node);
+        assert_eq!(pred.len(), 2); // Zip already at bottom
+        for p in &pred {
+            assert!(p.le(&node));
+        }
+    }
+
+    #[test]
+    fn maximal_chain_spans_bottom_to_top() {
+        let (_, l) = hospital_lattice();
+        let chain = l.maximal_chain();
+        assert_eq!(chain.len(), l.max_height() + 1);
+        assert_eq!(chain[0], l.bottom());
+        assert_eq!(chain[chain.len() - 1], l.top());
+        for w in chain.windows(2) {
+            assert!(w[0].le(&w[1]));
+            assert_eq!(w[1].height(), w[0].height() + 1);
+        }
+    }
+
+    #[test]
+    fn bucketize_top_matches_sex_suppressed_grouping() {
+        let (table, l) = hospital_lattice();
+        // Fully suppressing everything puts all 10 tuples in one bucket.
+        let b = l.bucketize(&table, &l.top()).unwrap();
+        assert_eq!(b.n_buckets(), 1);
+        assert_eq!(b.n_tuples(), 10);
+    }
+
+    #[test]
+    fn bucketize_by_sex_only() {
+        let (table, l) = hospital_lattice();
+        // Suppress zip and age, keep sex: the Figure 2/3 split.
+        let node = GenNode(vec![1, 2, 0]);
+        let b = l.bucketize(&table, &node).unwrap();
+        assert_eq!(b.n_buckets(), 2);
+        let sizes: Vec<u64> = b.buckets().iter().map(|x| x.n()).collect();
+        assert_eq!(sizes, vec![5, 5]);
+    }
+
+    #[test]
+    fn coarser_nodes_give_coarser_bucketizations() {
+        let (table, l) = hospital_lattice();
+        let fine = l.bucketize(&table, &l.bottom()).unwrap();
+        let node = GenNode(vec![1, 1, 0]);
+        let mid = l.bucketize(&table, &node).unwrap();
+        let coarse = l.bucketize(&table, &l.top()).unwrap();
+        assert!(wcbk_core::partial_order::refines(&fine, &mid));
+        assert!(wcbk_core::partial_order::refines(&mid, &coarse));
+    }
+
+    #[test]
+    fn validate_rejects_bad_nodes() {
+        let (_, l) = hospital_lattice();
+        assert!(matches!(
+            l.validate(&GenNode(vec![0, 0])),
+            Err(HierarchyError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            l.validate(&GenNode(vec![0, 9, 0])),
+            Err(HierarchyError::LevelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn describe_row_uses_labels() {
+        let (table, l) = hospital_lattice();
+        let node = GenNode(vec![1, 1, 0]);
+        let described = l.describe_row(&table, &node, 0); // Bob, 23, M
+        assert_eq!(described[0], "*");
+        assert_eq!(described[1], "21-25");
+        assert_eq!(described[2], "M");
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(GenNode(vec![1, 0, 2]).to_string(), "<1,0,2>");
+    }
+
+    #[test]
+    fn single_dimension_lattice() {
+        let d = Dictionary::from_values(["x", "y"]);
+        let l =
+            GeneralizationLattice::new(vec![(0, Hierarchy::suppression("A", &d))]).unwrap();
+        assert_eq!(l.n_nodes(), 2);
+        assert_eq!(l.maximal_chain().len(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # wcbk-hierarchy — full-domain generalization substrate
+//!
+//! The paper's experiments (Section 4) anonymize by *full-domain
+//! generalization* [Samarati & Sweeney; LeFevre et al. "Incognito"]: each
+//! quasi-identifier attribute has a **domain generalization hierarchy** (DGH)
+//! of nested coarsenings, and an anonymization picks one level per attribute.
+//! The set of such choices forms a lattice; under full identification
+//! information, applying a lattice node to a table yields exactly a
+//! bucketization (tuples with equal generalized quasi-identifiers share a
+//! bucket), so the (c,k)-safety machinery of `wcbk-core` applies directly.
+//!
+//! * [`Hierarchy`] — one attribute's DGH: per-level maps from base dictionary
+//!   codes to group labels, with nestedness validated at construction.
+//!   Builders: [`Hierarchy::suppression`], [`Hierarchy::intervals`] (numeric
+//!   attributes), [`Hierarchy::from_groups`] (categorical trees).
+//! * [`GenNode`] / [`GeneralizationLattice`] — the product lattice over all
+//!   quasi-identifiers: node enumeration, covers (successors/predecessors),
+//!   chains, and [`GeneralizationLattice::bucketize`] which applies a node to
+//!   a table.
+//! * [`adult`] — the paper's Adult hierarchies: Age 6 levels (exact, 5, 10,
+//!   20, 40, suppressed), Marital Status 3 levels, Race 2, Gender 2 — a
+//!   6·3·2·2 = 72-node lattice.
+
+pub mod adult;
+mod dgh;
+mod error;
+mod lattice;
+
+pub use dgh::Hierarchy;
+pub use error::HierarchyError;
+pub use lattice::{GenNode, GeneralizationLattice};

@@ -1,0 +1,124 @@
+//! Property tests for hierarchies and the generalization lattice: nesting,
+//! cover relations, and the bridge to the bucketization partial order
+//! (finer node ⇒ finer bucketization), which is what makes Theorem 14 apply
+//! to full-domain generalization.
+
+use proptest::prelude::*;
+
+use wcbk_core::partial_order::refines;
+use wcbk_hierarchy::{GenNode, GeneralizationLattice, Hierarchy};
+use wcbk_table::{Attribute, AttributeKind, Dictionary, Schema, Table, TableBuilder};
+
+fn table_from(rows: &[(u8, u8, u8)]) -> Table {
+    let schema = Schema::new(vec![
+        Attribute::new("A", AttributeKind::QuasiIdentifier),
+        Attribute::new("B", AttributeKind::QuasiIdentifier),
+        Attribute::new("S", AttributeKind::Sensitive),
+    ])
+    .unwrap();
+    let mut b = TableBuilder::new(schema);
+    for &(x, y, s) in rows {
+        b.push_row(&[format!("{x}"), format!("{y}"), format!("s{s}")])
+            .unwrap();
+    }
+    b.build()
+}
+
+fn lattice_for(table: &Table) -> GeneralizationLattice {
+    let a_dict = table.column(0).dictionary().clone();
+    let b_dict = table.column(1).dictionary().clone();
+    GeneralizationLattice::new(vec![
+        (0, Hierarchy::intervals("A", &a_dict, &[2, 4]).unwrap()),
+        (1, Hierarchy::suppression("B", &b_dict)),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interval hierarchies are nested for divisor-chain widths, for any
+    /// value population.
+    #[test]
+    fn interval_hierarchy_is_nested(values in prop::collection::vec(0i64..200, 1..=30)) {
+        let dict = Dictionary::from_values(values.iter().map(|v| v.to_string()));
+        let h = Hierarchy::intervals("X", &dict, &[5, 10, 20]).unwrap();
+        prop_assert_eq!(h.n_levels(), 5);
+        // Nestedness: equal groups stay equal upward.
+        for level in 0..h.n_levels() - 1 {
+            for a in 0..dict.len() as u32 {
+                for b in 0..dict.len() as u32 {
+                    if h.generalize(level, a) == h.generalize(level, b) {
+                        prop_assert_eq!(
+                            h.generalize(level + 1, a),
+                            h.generalize(level + 1, b)
+                        );
+                    }
+                }
+            }
+        }
+        // Group counts shrink (weakly) with level.
+        for level in 0..h.n_levels() - 1 {
+            prop_assert!(h.n_groups(level + 1) <= h.n_groups(level));
+        }
+    }
+
+    /// successors/predecessors are inverse cover relations and heights are
+    /// consistent.
+    #[test]
+    fn covers_are_inverse(rows in prop::collection::vec((0u8..6, 0u8..3, 0u8..4), 1..=15)) {
+        let table = table_from(&rows);
+        let lattice = lattice_for(&table);
+        for node in lattice.nodes() {
+            for s in lattice.successors(&node) {
+                prop_assert!(node.le(&s));
+                prop_assert_eq!(s.height(), node.height() + 1);
+                prop_assert!(lattice.predecessors(&s).contains(&node));
+            }
+        }
+        // Height partition covers all nodes exactly once.
+        let total: usize = lattice.nodes_by_height().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, lattice.n_nodes());
+    }
+
+    /// Finer node (component-wise ≤) induces a bucketization that refines
+    /// the coarser node's bucketization — the bridge to Theorem 14.
+    #[test]
+    fn node_order_implies_bucketization_refinement(
+        rows in prop::collection::vec((0u8..6, 0u8..3, 0u8..4), 1..=15),
+        da in 0usize..4, db in 0usize..2,
+    ) {
+        let table = table_from(&rows);
+        let lattice = lattice_for(&table);
+        let fine = GenNode(vec![da.min(3), db.min(1)]);
+        // Coarser node: bump each coordinate (clamped to top).
+        let coarse = GenNode(vec![
+            (fine.0[0] + 1).min(lattice.hierarchy(0).n_levels() - 1),
+            (fine.0[1] + 1).min(lattice.hierarchy(1).n_levels() - 1),
+        ]);
+        let fb = lattice.bucketize(&table, &fine).unwrap();
+        let cb = lattice.bucketize(&table, &coarse).unwrap();
+        prop_assert!(refines(&fb, &cb), "fine {fine} coarse {coarse}");
+        // And disclosure is monotone across the pair (Theorem 14 end-to-end).
+        for k in 0..=2usize {
+            let dv_fine = wcbk_core::max_disclosure(&fb, k).unwrap().value;
+            let dv_coarse = wcbk_core::max_disclosure(&cb, k).unwrap().value;
+            prop_assert!(dv_coarse <= dv_fine + 1e-12);
+        }
+    }
+
+    /// Bucketizing at bottom groups by exact signature; at top yields one
+    /// bucket.
+    #[test]
+    fn bottom_and_top_bucketizations(rows in prop::collection::vec((0u8..6, 0u8..3, 0u8..4), 1..=15)) {
+        let table = table_from(&rows);
+        let lattice = lattice_for(&table);
+        let bottom = lattice.bucketize(&table, &lattice.bottom()).unwrap();
+        let distinct_sigs: std::collections::HashSet<(u8, u8)> =
+            rows.iter().map(|&(a, b, _)| (a, b)).collect();
+        prop_assert_eq!(bottom.n_buckets(), distinct_sigs.len());
+        let top = lattice.bucketize(&table, &lattice.top()).unwrap();
+        prop_assert_eq!(top.n_buckets(), 1);
+        prop_assert_eq!(top.n_tuples() as usize, rows.len());
+    }
+}

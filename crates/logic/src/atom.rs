@@ -1,0 +1,78 @@
+//! Atoms `t_p[S] = s` (Definition 1).
+
+use wcbk_table::{SValue, TupleId};
+
+/// An atom: the statement that person `p`'s tuple has sensitive value `s`.
+///
+/// Atoms are the alphabet of the background-knowledge language. Because each
+/// tuple has exactly one sensitive value, two atoms about the same person with
+/// different values are mutually exclusive, and the disjunction of all atoms
+/// about a person is a tautology — facts the completeness construction
+/// (Theorem 3) exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The person `p` the atom involves.
+    pub person: TupleId,
+    /// The sensitive value `s` the atom asserts.
+    pub value: SValue,
+}
+
+impl Atom {
+    /// Creates the atom `t_person[S] = value`.
+    #[inline]
+    pub fn new(person: TupleId, value: SValue) -> Self {
+        Self { person, value }
+    }
+
+    /// Whether this atom and `other` involve the same person.
+    #[inline]
+    pub fn same_person(&self, other: &Atom) -> bool {
+        self.person == other.person
+    }
+
+    /// Whether this atom logically contradicts `other` (same person, different
+    /// value — a tuple has exactly one sensitive value).
+    #[inline]
+    pub fn contradicts(&self, other: &Atom) -> bool {
+        self.person == other.person && self.value != other.value
+    }
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t[{}]={}", self.person.0, self.value.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(p: u32, v: u32) -> Atom {
+        Atom::new(TupleId(p), SValue(v))
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(a(2, 1).to_string(), "t[2]=1");
+    }
+
+    #[test]
+    fn contradiction_rules() {
+        assert!(a(0, 1).contradicts(&a(0, 2)));
+        assert!(!a(0, 1).contradicts(&a(0, 1)));
+        assert!(!a(0, 1).contradicts(&a(1, 2)));
+    }
+
+    #[test]
+    fn same_person_check() {
+        assert!(a(3, 0).same_person(&a(3, 5)));
+        assert!(!a(3, 0).same_person(&a(4, 0)));
+    }
+
+    #[test]
+    fn atoms_are_ordered_by_person_then_value() {
+        assert!(a(0, 5) < a(1, 0));
+        assert!(a(1, 0) < a(1, 1));
+    }
+}

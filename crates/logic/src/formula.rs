@@ -1,0 +1,281 @@
+//! A general propositional AST over atoms, evaluated against worlds.
+
+use crate::Atom;
+use wcbk_table::{SValue, TupleId};
+
+/// Read-only view of a *world*: a total assignment of sensitive values to
+/// persons. The exact inference engine and the DP witness checker both
+/// evaluate formulas through this trait.
+pub trait WorldView {
+    /// The sensitive value person `p` has in this world.
+    fn value_of(&self, p: TupleId) -> SValue;
+}
+
+impl WorldView for Vec<SValue> {
+    #[inline]
+    fn value_of(&self, p: TupleId) -> SValue {
+        self[p.index()]
+    }
+}
+
+impl WorldView for [SValue] {
+    #[inline]
+    fn value_of(&self, p: TupleId) -> SValue {
+        self[p.index()]
+    }
+}
+
+impl<W: WorldView + ?Sized> WorldView for &W {
+    #[inline]
+    fn value_of(&self, p: TupleId) -> SValue {
+        (**self).value_of(p)
+    }
+}
+
+/// A propositional formula over [`Atom`]s.
+///
+/// The background-knowledge language proper consists of conjunctions of basic
+/// implications; `Formula` is the superset used to state and check arbitrary
+/// predicates on tables (e.g. for the Theorem 3 completeness construction and
+/// the exact inference tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// An atom `t_p[S] = s`.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction of zero or more formulas (empty = `True`).
+    And(Vec<Formula>),
+    /// Disjunction of zero or more formulas (empty = `False`).
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// Conjunction constructor that flattens trivial cases.
+    pub fn and<I: IntoIterator<Item = Formula>>(parts: I) -> Formula {
+        let mut v: Vec<Formula> = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::And(inner) => v.extend(inner),
+                other => v.push(other),
+            }
+        }
+        match v.len() {
+            0 => Formula::True,
+            1 => v.pop().expect("len checked"),
+            _ => Formula::And(v),
+        }
+    }
+
+    /// Disjunction constructor that flattens trivial cases.
+    pub fn or<I: IntoIterator<Item = Formula>>(parts: I) -> Formula {
+        let mut v: Vec<Formula> = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::Or(inner) => v.extend(inner),
+                other => v.push(other),
+            }
+        }
+        match v.len() {
+            0 => Formula::False,
+            1 => v.pop().expect("len checked"),
+            _ => Formula::Or(v),
+        }
+    }
+
+    /// Negation constructor collapsing double negation.
+    ///
+    /// (Deliberately an associated constructor, not `std::ops::Not`, so the
+    /// call site reads `Formula::not(f)` like the other constructors.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::Not(inner) => *inner,
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Material implication `antecedent → consequent`.
+    pub fn implies(antecedent: Formula, consequent: Formula) -> Formula {
+        Formula::or([Formula::not(antecedent), consequent])
+    }
+
+    /// Evaluates the formula in `world`.
+    pub fn eval<W: WorldView + ?Sized>(&self, world: &W) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(a) => world.value_of(a.person) == a.value,
+            Formula::Not(f) => !f.eval(world),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(world)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(world)),
+        }
+    }
+
+    /// All persons mentioned by the formula, deduplicated and sorted.
+    pub fn persons(&self) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        self.collect_persons(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_persons(&self, out: &mut Vec<TupleId>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => out.push(a.person),
+            Formula::Not(f) => f.collect_persons(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_persons(out);
+                }
+            }
+        }
+    }
+
+    /// All atoms mentioned by the formula, deduplicated and sorted.
+    ///
+    /// The formula's truth in a world depends only on whether each of these
+    /// atoms holds — the fact the value-aggregated inference path exploits.
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<Atom>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => out.push(*a),
+            Formula::Not(f) => f.collect_atoms(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_atoms(out);
+                }
+            }
+        }
+    }
+}
+
+impl From<Atom> for Formula {
+    fn from(a: Atom) -> Self {
+        Formula::Atom(a)
+    }
+}
+
+impl std::fmt::Display for Formula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Not(inner) => write!(f, "!({inner})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, x) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(p: u32, v: u32) -> Atom {
+        Atom::new(TupleId(p), SValue(v))
+    }
+
+    fn w(vals: &[u32]) -> Vec<SValue> {
+        vals.iter().map(|&v| SValue(v)).collect()
+    }
+
+    #[test]
+    fn atom_eval() {
+        let f = Formula::Atom(atom(1, 2));
+        assert!(f.eval(&w(&[0, 2])));
+        assert!(!f.eval(&w(&[0, 1])));
+    }
+
+    #[test]
+    fn and_or_flattening() {
+        let f = Formula::and([Formula::True, Formula::Atom(atom(0, 0))]);
+        assert_eq!(f, Formula::Atom(atom(0, 0)));
+        let f = Formula::or([Formula::False]);
+        assert_eq!(f, Formula::False);
+        let f = Formula::and([]);
+        assert_eq!(f, Formula::True);
+        let nested = Formula::and([
+            Formula::And(vec![Formula::Atom(atom(0, 0)), Formula::Atom(atom(1, 1))]),
+            Formula::Atom(atom(2, 2)),
+        ]);
+        assert!(matches!(&nested, Formula::And(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let f = Formula::not(Formula::not(Formula::Atom(atom(0, 0))));
+        assert_eq!(f, Formula::Atom(atom(0, 0)));
+        assert_eq!(Formula::not(Formula::True), Formula::False);
+    }
+
+    #[test]
+    fn implication_semantics() {
+        let f = Formula::implies(Formula::Atom(atom(0, 1)), Formula::Atom(atom(1, 1)));
+        assert!(f.eval(&w(&[0, 0]))); // vacuous
+        assert!(f.eval(&w(&[1, 1])));
+        assert!(!f.eval(&w(&[1, 0])));
+    }
+
+    #[test]
+    fn persons_collects_unique_sorted() {
+        let f = Formula::and([
+            Formula::Atom(atom(3, 0)),
+            Formula::or([Formula::Atom(atom(1, 0)), Formula::Atom(atom(3, 1))]),
+        ]);
+        assert_eq!(f.persons(), vec![TupleId(1), TupleId(3)]);
+    }
+
+    #[test]
+    fn display_nested() {
+        let f = Formula::and([
+            Formula::Atom(atom(0, 1)),
+            Formula::not(Formula::Atom(atom(1, 0))),
+        ]);
+        assert_eq!(f.to_string(), "(t[0]=1 & !(t[1]=0))");
+    }
+
+    #[test]
+    fn slice_world_view() {
+        let vals = w(&[4, 5]);
+        let slice: &[SValue] = &vals;
+        assert_eq!(slice.value_of(TupleId(1)), SValue(5));
+    }
+}

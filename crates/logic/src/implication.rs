@@ -1,0 +1,300 @@
+//! Basic and simple implications (Definitions 2 and 7).
+
+use crate::{Atom, Formula};
+use wcbk_table::{SValue, TupleId};
+
+/// Errors constructing language objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A basic implication needs at least one antecedent atom (`m ≥ 1`).
+    EmptyAntecedent,
+    /// A basic implication needs at least one consequent atom (`n ≥ 1`).
+    EmptyConsequent,
+    /// `negated_atom` needs a witness value distinct from the negated one.
+    DegenerateNegation,
+}
+
+impl std::fmt::Display for LogicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogicError::EmptyAntecedent => {
+                write!(f, "basic implication requires at least one antecedent atom")
+            }
+            LogicError::EmptyConsequent => {
+                write!(f, "basic implication requires at least one consequent atom")
+            }
+            LogicError::DegenerateNegation => write!(
+                f,
+                "negated atom encoding requires a witness value different from the negated value"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+/// A simple implication `A → B` between two atoms (Definition 7).
+///
+/// Theorem 9 shows that for any bucketization some set of `k` simple
+/// implications sharing a common consequent attains the maximum disclosure
+/// over all of `L^k_basic`, so these are the objects the dynamic program
+/// reconstructs as witnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SimpleImplication {
+    /// The antecedent atom `A`.
+    pub antecedent: Atom,
+    /// The consequent atom `B`.
+    pub consequent: Atom,
+}
+
+impl SimpleImplication {
+    /// Creates `antecedent → consequent`.
+    pub fn new(antecedent: Atom, consequent: Atom) -> Self {
+        Self {
+            antecedent,
+            consequent,
+        }
+    }
+
+    /// Whether the implication is a tautology (`A → A`).
+    pub fn is_tautology(&self) -> bool {
+        self.antecedent == self.consequent
+    }
+
+    /// Whether the implication is semantically a negated atom: antecedent and
+    /// consequent involve the same person with different values, so it is
+    /// equivalent to `¬antecedent`.
+    pub fn is_negation(&self) -> bool {
+        self.antecedent.contradicts(&self.consequent)
+    }
+
+    /// Evaluates under a world (an assignment of values to persons).
+    #[inline]
+    pub fn holds<W: crate::WorldView>(&self, world: &W) -> bool {
+        world.value_of(self.antecedent.person) != self.antecedent.value
+            || world.value_of(self.consequent.person) == self.consequent.value
+    }
+}
+
+impl std::fmt::Display for SimpleImplication {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.antecedent, self.consequent)
+    }
+}
+
+/// A basic implication `(∧_{i∈[m]} A_i) → (∨_{j∈[n]} B_j)`, `m, n ≥ 1`
+/// (Definition 2).
+///
+/// Basic implications are the paper's *basic units of knowledge*: by
+/// Theorem 3, any predicate on tables (together with full identification
+/// information) is expressible as a finite conjunction of them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BasicImplication {
+    antecedents: Vec<Atom>,
+    consequents: Vec<Atom>,
+}
+
+impl BasicImplication {
+    /// Creates a basic implication, validating `m ≥ 1` and `n ≥ 1`.
+    pub fn new(antecedents: Vec<Atom>, consequents: Vec<Atom>) -> Result<Self, LogicError> {
+        if antecedents.is_empty() {
+            return Err(LogicError::EmptyAntecedent);
+        }
+        if consequents.is_empty() {
+            return Err(LogicError::EmptyConsequent);
+        }
+        Ok(Self {
+            antecedents,
+            consequents,
+        })
+    }
+
+    /// Encodes the negated atom `¬ t_person[S] = value` as the implication
+    /// `(t_person[S]=value) → (t_person[S]=witness)` for any `witness ≠ value`
+    /// (Section 2.2: "each tuple has exactly one sensitive attribute value").
+    pub fn negated_atom(
+        person: TupleId,
+        value: SValue,
+        witness: SValue,
+    ) -> Result<Self, LogicError> {
+        if witness == value {
+            return Err(LogicError::DegenerateNegation);
+        }
+        Self::new(
+            vec![Atom::new(person, value)],
+            vec![Atom::new(person, witness)],
+        )
+    }
+
+    /// The antecedent atoms `A_i`.
+    pub fn antecedents(&self) -> &[Atom] {
+        &self.antecedents
+    }
+
+    /// The consequent atoms `B_j`.
+    pub fn consequents(&self) -> &[Atom] {
+        &self.consequents
+    }
+
+    /// Whether this is a simple implication (`m = n = 1`).
+    pub fn is_simple(&self) -> bool {
+        self.antecedents.len() == 1 && self.consequents.len() == 1
+    }
+
+    /// Converts to a [`SimpleImplication`] when `m = n = 1`.
+    pub fn as_simple(&self) -> Option<SimpleImplication> {
+        if self.is_simple() {
+            Some(SimpleImplication::new(
+                self.antecedents[0],
+                self.consequents[0],
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates under a world.
+    pub fn holds<W: crate::WorldView>(&self, world: &W) -> bool {
+        let antecedent_holds = self
+            .antecedents
+            .iter()
+            .all(|a| world.value_of(a.person) == a.value);
+        if !antecedent_holds {
+            return true;
+        }
+        self.consequents
+            .iter()
+            .any(|b| world.value_of(b.person) == b.value)
+    }
+
+    /// Lowers to a general [`Formula`].
+    pub fn to_formula(&self) -> Formula {
+        Formula::implies(
+            Formula::and(self.antecedents.iter().copied().map(Formula::Atom)),
+            Formula::or(self.consequents.iter().copied().map(Formula::Atom)),
+        )
+    }
+}
+
+impl From<SimpleImplication> for BasicImplication {
+    fn from(s: SimpleImplication) -> Self {
+        BasicImplication {
+            antecedents: vec![s.antecedent],
+            consequents: vec![s.consequent],
+        }
+    }
+}
+
+impl std::fmt::Display for BasicImplication {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, a) in self.antecedents.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " -> ")?;
+        for (j, b) in self.consequents.iter().enumerate() {
+            if j > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(p: u32, v: u32) -> Atom {
+        Atom::new(TupleId(p), SValue(v))
+    }
+
+    struct VecWorld(Vec<u32>);
+    impl crate::WorldView for VecWorld {
+        fn value_of(&self, p: TupleId) -> SValue {
+            SValue(self.0[p.index()])
+        }
+    }
+
+    #[test]
+    fn simple_implication_semantics() {
+        let imp = SimpleImplication::new(atom(0, 1), atom(1, 2));
+        // Antecedent false -> holds vacuously.
+        assert!(imp.holds(&VecWorld(vec![0, 0])));
+        // Antecedent true, consequent true.
+        assert!(imp.holds(&VecWorld(vec![1, 2])));
+        // Antecedent true, consequent false.
+        assert!(!imp.holds(&VecWorld(vec![1, 0])));
+    }
+
+    #[test]
+    fn negation_encoding_is_negation() {
+        let b = BasicImplication::negated_atom(TupleId(0), SValue(1), SValue(2)).unwrap();
+        let s = b.as_simple().unwrap();
+        assert!(s.is_negation());
+        // ¬(t0 = 1): holds iff t0 != 1 (the consequent witness never rescues,
+        // because value 1 and value 2 are mutually exclusive).
+        assert!(b.holds(&VecWorld(vec![0])));
+        assert!(b.holds(&VecWorld(vec![2])));
+        assert!(!b.holds(&VecWorld(vec![1])));
+    }
+
+    #[test]
+    fn degenerate_negation_rejected() {
+        let r = BasicImplication::negated_atom(TupleId(0), SValue(1), SValue(1));
+        assert_eq!(r.unwrap_err(), LogicError::DegenerateNegation);
+    }
+
+    #[test]
+    fn empty_sides_rejected() {
+        assert_eq!(
+            BasicImplication::new(vec![], vec![atom(0, 0)]).unwrap_err(),
+            LogicError::EmptyAntecedent
+        );
+        assert_eq!(
+            BasicImplication::new(vec![atom(0, 0)], vec![]).unwrap_err(),
+            LogicError::EmptyConsequent
+        );
+    }
+
+    #[test]
+    fn basic_implication_with_disjunction() {
+        // (t0=1 & t1=1) -> (t2=0 | t2=1)
+        let b = BasicImplication::new(vec![atom(0, 1), atom(1, 1)], vec![atom(2, 0), atom(2, 1)])
+            .unwrap();
+        assert!(!b.is_simple());
+        assert!(b.as_simple().is_none());
+        assert!(b.holds(&VecWorld(vec![1, 1, 0])));
+        assert!(b.holds(&VecWorld(vec![1, 1, 1])));
+        assert!(!b.holds(&VecWorld(vec![1, 1, 2])));
+        assert!(b.holds(&VecWorld(vec![0, 1, 2]))); // vacuous
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = SimpleImplication::new(atom(0, 1), atom(1, 2));
+        assert_eq!(s.to_string(), "t[0]=1 -> t[1]=2");
+        let b = BasicImplication::new(vec![atom(0, 1), atom(1, 1)], vec![atom(2, 0), atom(2, 1)])
+            .unwrap();
+        assert_eq!(b.to_string(), "t[0]=1 & t[1]=1 -> t[2]=0 | t[2]=1");
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(SimpleImplication::new(atom(0, 1), atom(0, 1)).is_tautology());
+        assert!(!SimpleImplication::new(atom(0, 1), atom(0, 2)).is_tautology());
+    }
+
+    #[test]
+    fn formula_lowering_agrees_with_holds() {
+        let b = BasicImplication::new(vec![atom(0, 1)], vec![atom(1, 0), atom(1, 2)]).unwrap();
+        let f = b.to_formula();
+        for w in [vec![1, 0], vec![1, 2], vec![1, 1], vec![0, 1]] {
+            let world = VecWorld(w);
+            assert_eq!(b.holds(&world), f.eval(&world));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Conjunctions of basic implications: the language `L^k_basic`
+//! (Definition 4).
+
+use crate::{BasicImplication, Formula, SimpleImplication, WorldView};
+
+/// An attacker's background knowledge: a conjunction `∧_{i∈[k]} φ_i` of basic
+/// implications, i.e. a formula of `L^k_basic` with `k = self.k()`.
+///
+/// `k` is the paper's bound on attacker power: the data publisher does not
+/// know *which* formula the attacker knows, only that it is expressible with
+/// at most `k` basic units.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Knowledge {
+    implications: Vec<BasicImplication>,
+}
+
+impl Knowledge {
+    /// The empty conjunction (no background knowledge, `k = 0`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds knowledge from basic implications.
+    pub fn from_implications<I: IntoIterator<Item = BasicImplication>>(imps: I) -> Self {
+        Self {
+            implications: imps.into_iter().collect(),
+        }
+    }
+
+    /// Builds knowledge from simple implications (the Theorem 9 normal form).
+    pub fn from_simple<I: IntoIterator<Item = SimpleImplication>>(imps: I) -> Self {
+        Self {
+            implications: imps.into_iter().map(BasicImplication::from).collect(),
+        }
+    }
+
+    /// Adds one more conjunct.
+    pub fn push(&mut self, imp: BasicImplication) {
+        self.implications.push(imp);
+    }
+
+    /// The number of conjuncts `k`.
+    pub fn k(&self) -> usize {
+        self.implications.len()
+    }
+
+    /// Whether there is no knowledge at all.
+    pub fn is_empty(&self) -> bool {
+        self.implications.is_empty()
+    }
+
+    /// The conjuncts.
+    pub fn implications(&self) -> &[BasicImplication] {
+        &self.implications
+    }
+
+    /// Whether every conjunct is a simple implication.
+    pub fn is_simple(&self) -> bool {
+        self.implications.iter().all(BasicImplication::is_simple)
+    }
+
+    /// The conjuncts as simple implications, if all of them are simple.
+    pub fn as_simple(&self) -> Option<Vec<SimpleImplication>> {
+        self.implications
+            .iter()
+            .map(BasicImplication::as_simple)
+            .collect()
+    }
+
+    /// Evaluates the conjunction in `world`.
+    pub fn holds<W: WorldView>(&self, world: &W) -> bool {
+        self.implications.iter().all(|imp| imp.holds(world))
+    }
+
+    /// Lowers to a general [`Formula`].
+    pub fn to_formula(&self) -> Formula {
+        Formula::and(self.implications.iter().map(BasicImplication::to_formula))
+    }
+}
+
+impl std::fmt::Display for Knowledge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.implications.is_empty() {
+            return write!(f, "(no background knowledge)");
+        }
+        for (i, imp) in self.implications.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ; ")?;
+            }
+            write!(f, "({imp})")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<BasicImplication> for Knowledge {
+    fn from_iter<I: IntoIterator<Item = BasicImplication>>(iter: I) -> Self {
+        Self::from_implications(iter)
+    }
+}
+
+impl FromIterator<SimpleImplication> for Knowledge {
+    fn from_iter<I: IntoIterator<Item = SimpleImplication>>(iter: I) -> Self {
+        Self::from_simple(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Atom;
+    use wcbk_table::{SValue, TupleId};
+
+    fn atom(p: u32, v: u32) -> Atom {
+        Atom::new(TupleId(p), SValue(v))
+    }
+
+    fn simple(pa: u32, va: u32, pc: u32, vc: u32) -> SimpleImplication {
+        SimpleImplication::new(atom(pa, va), atom(pc, vc))
+    }
+
+    fn w(vals: &[u32]) -> Vec<SValue> {
+        vals.iter().map(|&v| SValue(v)).collect()
+    }
+
+    #[test]
+    fn none_is_empty_and_always_holds() {
+        let k = Knowledge::none();
+        assert!(k.is_empty());
+        assert_eq!(k.k(), 0);
+        assert!(k.holds(&w(&[0, 1, 2])));
+        assert_eq!(k.to_formula(), Formula::True);
+    }
+
+    #[test]
+    fn conjunction_semantics() {
+        let k = Knowledge::from_simple([simple(0, 1, 1, 1), simple(1, 1, 2, 1)]);
+        assert_eq!(k.k(), 2);
+        assert!(k.holds(&w(&[0, 0, 0]))); // both vacuous
+        assert!(k.holds(&w(&[1, 1, 1]))); // chain satisfied
+        assert!(!k.holds(&w(&[1, 0, 0]))); // first violated
+        assert!(!k.holds(&w(&[1, 1, 0]))); // second violated
+    }
+
+    #[test]
+    fn as_simple_round_trip() {
+        let imps = vec![simple(0, 1, 1, 1), simple(2, 0, 0, 1)];
+        let k = Knowledge::from_simple(imps.clone());
+        assert!(k.is_simple());
+        assert_eq!(k.as_simple().unwrap(), imps);
+    }
+
+    #[test]
+    fn as_simple_fails_on_disjunctive_consequent() {
+        let b =
+            BasicImplication::new(vec![atom(0, 1)], vec![atom(1, 0), atom(1, 1)]).unwrap();
+        let k = Knowledge::from_implications([b]);
+        assert!(!k.is_simple());
+        assert!(k.as_simple().is_none());
+    }
+
+    #[test]
+    fn formula_lowering_agrees() {
+        let k = Knowledge::from_simple([simple(0, 1, 1, 1), simple(1, 1, 2, 1)]);
+        let f = k.to_formula();
+        for vals in [[0, 0, 0], [1, 1, 1], [1, 0, 0], [1, 1, 0], [0, 1, 2]] {
+            let world = w(&vals);
+            assert_eq!(k.holds(&world), f.eval(&world));
+        }
+    }
+
+    #[test]
+    fn display_lists_conjuncts() {
+        let k = Knowledge::from_simple([simple(0, 1, 1, 1)]);
+        assert_eq!(k.to_string(), "(t[0]=1 -> t[1]=1)");
+        assert_eq!(Knowledge::none().to_string(), "(no background knowledge)");
+    }
+
+    #[test]
+    fn collect_from_iterators() {
+        let k: Knowledge = [simple(0, 0, 1, 1)].into_iter().collect();
+        assert_eq!(k.k(), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Enumeration of the language — atoms, simple implications, and `k`-subsets.
+//!
+//! These helpers drive the *exhaustive* worst-case searches used to validate
+//! Theorem 9 (the DP's restriction to same-consequent simple implications) on
+//! small instances, and to brute-force the negated-atom sublanguage.
+
+use crate::{Atom, SimpleImplication};
+use wcbk_table::{SValue, TupleId};
+
+/// All atoms `t_p[S]=s` for the given persons over the given value universe.
+///
+/// The value universe is shared (the sensitive domain `S`); atoms asserting a
+/// value that does not occur in a person's bucket are syntactically valid but
+/// have probability zero, which the callers handle.
+pub fn all_atoms(persons: &[TupleId], values: &[SValue]) -> Vec<Atom> {
+    let mut out = Vec::with_capacity(persons.len() * values.len());
+    for &p in persons {
+        for &v in values {
+            out.push(Atom::new(p, v));
+        }
+    }
+    out
+}
+
+/// All non-tautological simple implications over `atoms` (ordered pairs with
+/// `A ≠ B`).
+pub fn all_simple_implications(atoms: &[Atom]) -> Vec<SimpleImplication> {
+    let mut out = Vec::with_capacity(atoms.len() * atoms.len().saturating_sub(1));
+    for &a in atoms {
+        for &b in atoms {
+            if a != b {
+                out.push(SimpleImplication::new(a, b));
+            }
+        }
+    }
+    out
+}
+
+/// Iterator over all index combinations `C(n, k)` in lexicographic order.
+///
+/// Yields each size-`k` subset of `0..n` exactly once as a sorted index
+/// vector. `k = 0` yields the single empty subset; `k > n` yields nothing.
+#[derive(Debug)]
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    state: Option<Vec<usize>>,
+}
+
+impl Combinations {
+    /// Creates the iterator over `C(n, k)`.
+    pub fn new(n: usize, k: usize) -> Self {
+        let state = if k <= n {
+            Some((0..k).collect())
+        } else {
+            None
+        };
+        Self { n, k, state }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.state.clone()?;
+        // Advance to the next combination.
+        let state = self.state.as_mut().expect("checked above");
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.state = None;
+                break;
+            }
+            i -= 1;
+            if state[i] < self.n - (self.k - i) {
+                state[i] += 1;
+                for j in i + 1..self.k {
+                    state[j] = state[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+/// Calls `visit` with every subset of `items` of size exactly `k`.
+pub fn for_each_subset<T: Copy, F: FnMut(&[T])>(items: &[T], k: usize, mut visit: F) {
+    let mut buf = Vec::with_capacity(k);
+    for combo in Combinations::new(items.len(), k) {
+        buf.clear();
+        buf.extend(combo.iter().map(|&i| items[i]));
+        visit(&buf);
+    }
+}
+
+/// Calls `visit` with every subset of `items` of size `1..=k`
+/// (and the empty set when `k = 0` semantics are needed, pass `include_empty`).
+///
+/// A conjunction with a repeated implication is equivalent to the conjunction
+/// of the distinct ones, so searching subsets of size at most `k` covers all
+/// of `L^k` over the given implication universe.
+pub fn for_each_subset_up_to<T: Copy, F: FnMut(&[T])>(
+    items: &[T],
+    k: usize,
+    include_empty: bool,
+    mut visit: F,
+) {
+    if include_empty {
+        visit(&[]);
+    }
+    for size in 1..=k {
+        for_each_subset(items, size, &mut visit);
+    }
+}
+
+/// Binomial coefficient with saturation, for sizing exhaustive searches.
+pub fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_cross_product() {
+        let persons = [TupleId(0), TupleId(1)];
+        let values = [SValue(0), SValue(1), SValue(2)];
+        let atoms = all_atoms(&persons, &values);
+        assert_eq!(atoms.len(), 6);
+        assert!(atoms.contains(&Atom::new(TupleId(1), SValue(2))));
+    }
+
+    #[test]
+    fn simple_implications_exclude_tautologies() {
+        let atoms = all_atoms(&[TupleId(0)], &[SValue(0), SValue(1)]);
+        let imps = all_simple_implications(&atoms);
+        assert_eq!(imps.len(), 2); // (a0->a1), (a1->a0)
+        assert!(imps.iter().all(|i| !i.is_tautology()));
+    }
+
+    #[test]
+    fn combinations_count_matches_binomial() {
+        for n in 0..7usize {
+            for k in 0..=n {
+                let count = Combinations::new(n, k).count() as u128;
+                assert_eq!(count, binomial(n, k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_are_sorted_and_unique() {
+        let all: Vec<Vec<usize>> = Combinations::new(5, 3).collect();
+        for c in &all {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn combinations_k_zero_and_k_gt_n() {
+        assert_eq!(Combinations::new(3, 0).count(), 1);
+        assert_eq!(Combinations::new(2, 3).count(), 0);
+    }
+
+    #[test]
+    fn subsets_up_to_counts() {
+        let items = [10, 20, 30];
+        let mut seen = Vec::new();
+        for_each_subset_up_to(&items, 2, true, |s| seen.push(s.to_vec()));
+        // empty + C(3,1) + C(3,2) = 1 + 3 + 3
+        assert_eq!(seen.len(), 7);
+        assert_eq!(seen[0], Vec::<i32>::new());
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(52, 5), 2_598_960);
+    }
+}

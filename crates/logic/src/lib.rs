@@ -1,0 +1,38 @@
+//! # wcbk-logic — the background-knowledge language
+//!
+//! Implements Section 2.2 of Martin et al. (ICDE 2007): the propositional
+//! language in which an attacker's background knowledge about the sensitive
+//! attribute is expressed.
+//!
+//! * [`Atom`] — `t_p[S] = s` for a person `p` and sensitive value `s`
+//!   (Definition 1).
+//! * [`BasicImplication`] — `(∧_{i∈[m]} A_i) → (∨_{j∈[n]} B_j)` with
+//!   `m, n ≥ 1` (Definition 2), the paper's *basic unit of knowledge*.
+//! * [`SimpleImplication`] — `A → B` for single atoms (Definition 7), the
+//!   form Theorem 9 shows is sufficient for worst-case analysis.
+//! * [`Knowledge`] — a conjunction of basic implications, i.e. a formula of
+//!   `L^k_basic` where `k` is the number of conjuncts (Definition 4).
+//! * [`Formula`] — a general propositional AST evaluated against *worlds*
+//!   (assignments of sensitive values to persons), used by the exact
+//!   random-worlds engine.
+//! * [`language`] — enumeration helpers (all atoms / simple implications /
+//!   subsets) that power exhaustive worst-case searches in tests.
+//! * [`parser`] — a human-friendly concrete syntax
+//!   (`"t[Hannah]=Flu -> t[Charlie]=Flu"`) with a [`parser::SymbolTable`].
+//!
+//! A negated atom `¬ t_p[S]=s` — the unit of knowledge used by ℓ-diversity —
+//! is representable as the basic implication `(t_p[S]=s) → (t_p[S]=s')` for
+//! any `s' ≠ s`, since each tuple has exactly one sensitive value; see
+//! [`BasicImplication::negated_atom`].
+
+mod atom;
+mod formula;
+mod implication;
+mod knowledge;
+pub mod language;
+pub mod parser;
+
+pub use atom::Atom;
+pub use formula::{Formula, WorldView};
+pub use implication::{BasicImplication, LogicError, SimpleImplication};
+pub use knowledge::Knowledge;

@@ -1,0 +1,344 @@
+//! Concrete syntax for background knowledge.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! knowledge   := implication (";" implication)*
+//! implication := conj "->" disj | "!" atom
+//! conj        := atom ("&" atom)*
+//! disj        := atom ("|" atom)*
+//! atom        := "t[" person "]" "=" value
+//! ```
+//!
+//! `person` and `value` are looked up in a [`SymbolTable`], typically built
+//! from a [`wcbk_table::Table`] (persons from an identifier column,
+//! values from the sensitive dictionary). `!t[Ed]=Flu` desugars to the basic
+//! implication `(t[Ed]=Flu) → (t[Ed]=w)` for some witness value `w ≠ Flu`,
+//! per Section 2.2 of the paper.
+
+use std::collections::HashMap;
+
+use crate::{Atom, BasicImplication, Knowledge, LogicError};
+use wcbk_table::{SValue, Table, TableError, TupleId};
+
+/// Maps human-readable names to persons and sensitive values.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    persons: HashMap<String, TupleId>,
+    person_names: Vec<String>,
+    values: HashMap<String, SValue>,
+    value_names: Vec<String>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a symbol table from a table: persons are named by the attribute
+    /// `person_attr` (must be unique per row), values by the sensitive
+    /// dictionary.
+    pub fn from_table(table: &Table, person_attr: &str) -> Result<Self, TableError> {
+        let name_col = table.column_by_name(person_attr)?;
+        let mut st = Self::new();
+        for row in 0..table.n_rows() {
+            st.add_person(name_col.value(row), TupleId(row as u32));
+        }
+        for (code, name) in table.sensitive_column().dictionary().iter() {
+            st.add_value(name, SValue(code));
+        }
+        Ok(st)
+    }
+
+    /// Registers a person name.
+    pub fn add_person(&mut self, name: &str, id: TupleId) {
+        self.persons.insert(name.to_owned(), id);
+        let idx = id.index();
+        if self.person_names.len() <= idx {
+            self.person_names.resize(idx + 1, String::new());
+        }
+        self.person_names[idx] = name.to_owned();
+    }
+
+    /// Registers a sensitive-value name.
+    pub fn add_value(&mut self, name: &str, v: SValue) {
+        self.values.insert(name.to_owned(), v);
+        let idx = v.index();
+        if self.value_names.len() <= idx {
+            self.value_names.resize(idx + 1, String::new());
+        }
+        self.value_names[idx] = name.to_owned();
+    }
+
+    /// Looks up a person by name.
+    pub fn person(&self, name: &str) -> Option<TupleId> {
+        self.persons.get(name).copied()
+    }
+
+    /// Looks up a value by name.
+    pub fn value(&self, name: &str) -> Option<SValue> {
+        self.values.get(name).copied()
+    }
+
+    /// The display name for a person, if registered.
+    pub fn person_name(&self, id: TupleId) -> Option<&str> {
+        self.person_names
+            .get(id.index())
+            .map(String::as_str)
+            .filter(|s| !s.is_empty())
+    }
+
+    /// The display name for a value, if registered.
+    pub fn value_name(&self, v: SValue) -> Option<&str> {
+        self.value_names
+            .get(v.index())
+            .map(String::as_str)
+            .filter(|s| !s.is_empty())
+    }
+
+    /// Any registered value different from `v` (the negation witness).
+    pub fn witness_other_than(&self, v: SValue) -> Option<SValue> {
+        (0..self.value_names.len() as u32)
+            .map(SValue)
+            .find(|&cand| cand != v && self.value_name(cand).is_some())
+    }
+
+    /// Renders an atom with names where available.
+    pub fn display_atom(&self, a: &Atom) -> String {
+        let p = self
+            .person_name(a.person)
+            .map(str::to_owned)
+            .unwrap_or_else(|| a.person.0.to_string());
+        let v = self
+            .value_name(a.value)
+            .map(str::to_owned)
+            .unwrap_or_else(|| a.value.0.to_string());
+        format!("t[{p}]={v}")
+    }
+
+    /// Renders a basic implication with names where available.
+    pub fn display_implication(&self, imp: &BasicImplication) -> String {
+        let ants: Vec<String> = imp.antecedents().iter().map(|a| self.display_atom(a)).collect();
+        let cons: Vec<String> = imp.consequents().iter().map(|a| self.display_atom(a)).collect();
+        format!("{} -> {}", ants.join(" & "), cons.join(" | "))
+    }
+}
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed syntax with a description.
+    Syntax(String),
+    /// A person name was not in the symbol table.
+    UnknownPerson(String),
+    /// A value name was not in the symbol table.
+    UnknownValue(String),
+    /// The implication violated a structural rule.
+    Logic(LogicError),
+    /// `!atom` could not be desugared (no second value in the domain).
+    NoWitness,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax(m) => write!(f, "syntax error: {m}"),
+            ParseError::UnknownPerson(p) => write!(f, "unknown person {p:?}"),
+            ParseError::UnknownValue(v) => write!(f, "unknown sensitive value {v:?}"),
+            ParseError::Logic(e) => write!(f, "{e}"),
+            ParseError::NoWitness => {
+                write!(f, "cannot negate: sensitive domain has fewer than two values")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LogicError> for ParseError {
+    fn from(e: LogicError) -> Self {
+        ParseError::Logic(e)
+    }
+}
+
+/// Parses one implication, e.g. `t[Hannah]=Flu -> t[Charlie]=Flu` or
+/// `!t[Ed]=Flu`.
+pub fn parse_implication(input: &str, symbols: &SymbolTable) -> Result<BasicImplication, ParseError> {
+    let input = input.trim();
+    if let Some(rest) = input.strip_prefix('!') {
+        let atom = parse_atom(rest.trim(), symbols)?;
+        let witness = symbols
+            .witness_other_than(atom.value)
+            .ok_or(ParseError::NoWitness)?;
+        return Ok(BasicImplication::negated_atom(atom.person, atom.value, witness)?);
+    }
+    let (lhs, rhs) = input
+        .split_once("->")
+        .ok_or_else(|| ParseError::Syntax(format!("missing '->' in {input:?}")))?;
+    let antecedents = lhs
+        .split('&')
+        .map(|s| parse_atom(s.trim(), symbols))
+        .collect::<Result<Vec<_>, _>>()?;
+    let consequents = rhs
+        .split('|')
+        .map(|s| parse_atom(s.trim(), symbols))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BasicImplication::new(antecedents, consequents)?)
+}
+
+/// Parses a `;`-separated conjunction of implications.
+///
+/// ```
+/// use wcbk_logic::parser::{parse_knowledge, SymbolTable};
+/// use wcbk_table::datasets::hospital_table;
+///
+/// let table = hospital_table();
+/// let symbols = SymbolTable::from_table(&table, "Name")?;
+/// let phi = parse_knowledge(
+///     "!t[Ed]=Mumps ; t[Hannah]=Flu -> t[Charlie]=Flu",
+///     &symbols,
+/// ).unwrap();
+/// assert_eq!(phi.k(), 2); // a formula of L^2_basic
+/// # Ok::<(), wcbk_table::TableError>(())
+/// ```
+pub fn parse_knowledge(input: &str, symbols: &SymbolTable) -> Result<Knowledge, ParseError> {
+    let mut k = Knowledge::none();
+    for part in input.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        k.push(parse_implication(part, symbols)?);
+    }
+    Ok(k)
+}
+
+fn parse_atom(input: &str, symbols: &SymbolTable) -> Result<Atom, ParseError> {
+    let rest = input
+        .strip_prefix("t[")
+        .ok_or_else(|| ParseError::Syntax(format!("atom must start with 't[': {input:?}")))?;
+    let close = rest
+        .find(']')
+        .ok_or_else(|| ParseError::Syntax(format!("missing ']' in atom {input:?}")))?;
+    let person_name = rest[..close].trim();
+    let after = rest[close + 1..].trim_start();
+    let value_name = after
+        .strip_prefix('=')
+        .ok_or_else(|| ParseError::Syntax(format!("missing '=' in atom {input:?}")))?
+        .trim();
+    if value_name.is_empty() {
+        return Err(ParseError::Syntax(format!("empty value in atom {input:?}")));
+    }
+    let person = symbols
+        .person(person_name)
+        .ok_or_else(|| ParseError::UnknownPerson(person_name.to_owned()))?;
+    let value = symbols
+        .value(value_name)
+        .ok_or_else(|| ParseError::UnknownValue(value_name.to_owned()))?;
+    Ok(Atom::new(person, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcbk_table::datasets::hospital_table;
+
+    fn symbols() -> SymbolTable {
+        SymbolTable::from_table(&hospital_table(), "Name").unwrap()
+    }
+
+    #[test]
+    fn parses_simple_implication() {
+        let st = symbols();
+        let imp = parse_implication("t[Hannah]=Flu -> t[Charlie]=Flu", &st).unwrap();
+        let s = imp.as_simple().unwrap();
+        assert_eq!(st.person_name(s.antecedent.person), Some("Hannah"));
+        assert_eq!(st.value_name(s.consequent.value), Some("Flu"));
+    }
+
+    #[test]
+    fn parses_conjunction_and_disjunction() {
+        let st = symbols();
+        let imp = parse_implication(
+            "t[Bob]=Flu & t[Dave]=Mumps -> t[Ed]=Flu | t[Ed]=Lung Cancer",
+            &st,
+        )
+        .unwrap();
+        assert_eq!(imp.antecedents().len(), 2);
+        assert_eq!(imp.consequents().len(), 2);
+    }
+
+    #[test]
+    fn parses_negation_sugar() {
+        let st = symbols();
+        let imp = parse_implication("!t[Ed]=Flu", &st).unwrap();
+        let s = imp.as_simple().unwrap();
+        assert!(s.is_negation());
+        assert_eq!(st.person_name(s.antecedent.person), Some("Ed"));
+    }
+
+    #[test]
+    fn parses_knowledge_list() {
+        let st = symbols();
+        let k = parse_knowledge("!t[Ed]=Flu ; t[Hannah]=Flu -> t[Charlie]=Flu", &st).unwrap();
+        assert_eq!(k.k(), 2);
+    }
+
+    #[test]
+    fn unknown_person_and_value() {
+        let st = symbols();
+        assert_eq!(
+            parse_implication("t[Zelda]=Flu -> t[Ed]=Flu", &st),
+            Err(ParseError::UnknownPerson("Zelda".into()))
+        );
+        assert_eq!(
+            parse_implication("t[Ed]=Plague -> t[Ed]=Flu", &st),
+            Err(ParseError::UnknownValue("Plague".into()))
+        );
+    }
+
+    #[test]
+    fn syntax_errors() {
+        let st = symbols();
+        assert!(matches!(
+            parse_implication("t[Ed]=Flu", &st),
+            Err(ParseError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_implication("tEd=Flu -> t[Ed]=Flu", &st),
+            Err(ParseError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_implication("t[Ed] Flu -> t[Ed]=Flu", &st),
+            Err(ParseError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let st = symbols();
+        let text = "t[Hannah]=Flu -> t[Charlie]=Flu";
+        let imp = parse_implication(text, &st).unwrap();
+        assert_eq!(st.display_implication(&imp), text);
+        let reparsed = parse_implication(&st.display_implication(&imp), &st).unwrap();
+        assert_eq!(reparsed, imp);
+    }
+
+    #[test]
+    fn witness_skips_same_value() {
+        let mut st = SymbolTable::new();
+        st.add_value("only", SValue(0));
+        assert_eq!(st.witness_other_than(SValue(0)), None);
+        st.add_value("second", SValue(1));
+        assert_eq!(st.witness_other_than(SValue(0)), Some(SValue(1)));
+        assert_eq!(st.witness_other_than(SValue(1)), Some(SValue(0)));
+    }
+
+    #[test]
+    fn display_atom_falls_back_to_numbers() {
+        let st = SymbolTable::new();
+        let a = Atom::new(TupleId(3), SValue(2));
+        assert_eq!(st.display_atom(&a), "t[3]=2");
+    }
+}

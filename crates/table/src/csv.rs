@@ -1,0 +1,392 @@
+//! Minimal RFC-4180 CSV reader/writer.
+//!
+//! The sanctioned dependency set does not include a CSV crate, so this module
+//! implements the subset needed by the workspace: quoted fields, embedded
+//! separators/quotes/newlines, CR/LF handling, and streaming record reads.
+
+use std::io::{BufRead, Write};
+
+use crate::{Table, TableBuilder, TableError};
+
+/// Streaming CSV record reader over any [`BufRead`].
+#[derive(Debug)]
+pub struct CsvReader<R> {
+    inner: R,
+    delimiter: u8,
+    line: usize,
+    buf: Vec<u8>,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Creates a comma-separated reader.
+    pub fn new(inner: R) -> Self {
+        Self::with_delimiter(inner, b',')
+    }
+
+    /// Creates a reader with a custom single-byte delimiter.
+    pub fn with_delimiter(inner: R, delimiter: u8) -> Self {
+        Self {
+            inner,
+            delimiter,
+            line: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// One-based line number of the last record read.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Reads the next record, or `None` at end of input.
+    ///
+    /// A record may span multiple physical lines when a quoted field contains
+    /// newlines. Blank lines are skipped.
+    pub fn next_record(&mut self) -> Result<Option<Vec<String>>, TableError> {
+        loop {
+            self.buf.clear();
+            let n = self.inner.read_until(b'\n', &mut self.buf)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line += 1;
+            // Keep pulling physical lines while inside an unterminated quote.
+            while has_open_quote(&self.buf) {
+                let n = self.inner.read_until(b'\n', &mut self.buf)?;
+                if n == 0 {
+                    return Err(TableError::Csv {
+                        line: self.line,
+                        message: "unterminated quoted field at end of input".into(),
+                    });
+                }
+                self.line += 1;
+            }
+            trim_trailing_newline(&mut self.buf);
+            if self.buf.is_empty() {
+                continue; // skip blank line
+            }
+            return parse_record(&self.buf, self.delimiter, self.line).map(Some);
+        }
+    }
+
+    /// Reads all remaining records.
+    pub fn read_all(&mut self) -> Result<Vec<Vec<String>>, TableError> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+fn trim_trailing_newline(buf: &mut Vec<u8>) {
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+}
+
+/// Whether the raw line ends inside an open quoted field (so the record
+/// continues on the next physical line).
+fn has_open_quote(buf: &[u8]) -> bool {
+    let mut in_quotes = false;
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'"' {
+            if in_quotes && i + 1 < buf.len() && buf[i + 1] == b'"' {
+                i += 1; // escaped quote
+            } else {
+                in_quotes = !in_quotes;
+            }
+        }
+        i += 1;
+    }
+    in_quotes
+}
+
+fn parse_record(raw: &[u8], delimiter: u8, line: usize) -> Result<Vec<String>, TableError> {
+    let mut fields = Vec::new();
+    let mut field = Vec::new();
+    let mut i = 0;
+    let n = raw.len();
+    while i <= n {
+        if i == n {
+            fields.push(bytes_to_string(&field, line)?);
+            break;
+        }
+        let b = raw[i];
+        if b == b'"' {
+            if !field.is_empty() {
+                return Err(TableError::Csv {
+                    line,
+                    message: "quote inside unquoted field".into(),
+                });
+            }
+            // Quoted field.
+            i += 1;
+            loop {
+                if i >= n {
+                    return Err(TableError::Csv {
+                        line,
+                        message: "unterminated quoted field".into(),
+                    });
+                }
+                if raw[i] == b'"' {
+                    if i + 1 < n && raw[i + 1] == b'"' {
+                        field.push(b'"');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    field.push(raw[i]);
+                    i += 1;
+                }
+            }
+            if i < n && raw[i] != delimiter {
+                return Err(TableError::Csv {
+                    line,
+                    message: "garbage after closing quote".into(),
+                });
+            }
+            fields.push(bytes_to_string(&field, line)?);
+            field.clear();
+            if i == n {
+                break;
+            }
+            i += 1; // skip delimiter
+            if i == n {
+                fields.push(String::new()); // trailing empty field
+                break;
+            }
+        } else if b == delimiter {
+            fields.push(bytes_to_string(&field, line)?);
+            field.clear();
+            i += 1;
+            if i == n {
+                fields.push(String::new());
+                break;
+            }
+        } else {
+            field.push(b);
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn bytes_to_string(bytes: &[u8], line: usize) -> Result<String, TableError> {
+    String::from_utf8(bytes.to_vec()).map_err(|_| TableError::Csv {
+        line,
+        message: "invalid UTF-8".into(),
+    })
+}
+
+/// CSV record writer over any [`Write`].
+#[derive(Debug)]
+pub struct CsvWriter<W> {
+    inner: W,
+    delimiter: u8,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Creates a comma-separated writer.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            delimiter: b',',
+        }
+    }
+
+    /// Writes one record, quoting fields that need it.
+    pub fn write_record<S: AsRef<str>>(&mut self, fields: &[S]) -> Result<(), TableError> {
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 {
+                self.inner.write_all(&[self.delimiter])?;
+            }
+            let f = f.as_ref();
+            let needs_quote = f
+                .bytes()
+                .any(|b| b == self.delimiter || b == b'"' || b == b'\n' || b == b'\r');
+            if needs_quote {
+                self.inner.write_all(b"\"")?;
+                self.inner.write_all(f.replace('"', "\"\"").as_bytes())?;
+                self.inner.write_all(b"\"")?;
+            } else {
+                self.inner.write_all(f.as_bytes())?;
+            }
+        }
+        self.inner.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> Result<(), TableError> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+/// Reads a whole table from CSV given a schema.
+///
+/// When `has_header` is set, the first record is validated against the schema
+/// attribute names (order-sensitive).
+pub fn read_table<R: BufRead>(
+    reader: R,
+    schema: crate::Schema,
+    has_header: bool,
+) -> Result<Table, TableError> {
+    let mut csv = CsvReader::new(reader);
+    let mut builder = TableBuilder::new(schema);
+    if has_header {
+        if let Some(header) = csv.next_record()? {
+            for (i, name) in header.iter().enumerate() {
+                if i >= builder.schema().arity() {
+                    break;
+                }
+                let expected = builder.schema().attribute(i).name();
+                if name.trim() != expected {
+                    return Err(TableError::Csv {
+                        line: csv.line(),
+                        message: format!("header field {i} is {name:?}, expected {expected:?}"),
+                    });
+                }
+            }
+        }
+    }
+    while let Some(rec) = csv.next_record()? {
+        let trimmed: Vec<&str> = rec.iter().map(|s| s.trim()).collect();
+        builder.push_row(&trimmed)?;
+    }
+    Ok(builder.build())
+}
+
+/// Writes a whole table (with header) to CSV.
+pub fn write_table<W: Write>(writer: W, table: &Table) -> Result<(), TableError> {
+    let mut csv = CsvWriter::new(std::io::BufWriter::new(writer));
+    let header: Vec<&str> = table
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| a.name())
+        .collect();
+    csv.write_record(&header)?;
+    for row in 0..table.n_rows() {
+        let fields = table.row(row);
+        csv.write_record(&fields)?;
+    }
+    csv.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, AttributeKind, Schema};
+
+    fn read_str(s: &str) -> Vec<Vec<String>> {
+        CsvReader::new(s.as_bytes()).read_all().unwrap()
+    }
+
+    #[test]
+    fn plain_fields() {
+        assert_eq!(read_str("a,b,c\n1,2,3\n"), vec![vec!["a", "b", "c"], vec![
+            "1", "2", "3"
+        ]]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let recs = read_str("\"a,b\",\"say \"\"hi\"\"\"\n");
+        assert_eq!(recs, vec![vec!["a,b".to_owned(), "say \"hi\"".to_owned()]]);
+    }
+
+    #[test]
+    fn quoted_field_with_embedded_newline() {
+        let recs = read_str("\"line1\nline2\",x\n");
+        assert_eq!(recs, vec![vec!["line1\nline2".to_owned(), "x".to_owned()]]);
+    }
+
+    #[test]
+    fn crlf_and_blank_lines() {
+        let recs = read_str("a,b\r\n\r\nc,d\r\n");
+        assert_eq!(recs, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn trailing_empty_field() {
+        assert_eq!(read_str("a,\n"), vec![vec!["a".to_owned(), String::new()]]);
+        assert_eq!(read_str(",\n"), vec![vec![String::new(), String::new()]]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = CsvReader::new("\"abc\n".as_bytes()).read_all().unwrap_err();
+        assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    #[test]
+    fn garbage_after_quote_is_error() {
+        let err = CsvReader::new("\"abc\"x,y\n".as_bytes())
+            .read_all()
+            .unwrap_err();
+        assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    #[test]
+    fn writer_round_trips() {
+        let mut out = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut out);
+            w.write_record(&["plain", "with,comma", "with\"quote", "with\nnewline"])
+                .unwrap();
+            w.flush().unwrap();
+        }
+        let recs = CsvReader::new(out.as_slice()).read_all().unwrap();
+        assert_eq!(recs, vec![vec![
+            "plain".to_owned(),
+            "with,comma".to_owned(),
+            "with\"quote".to_owned(),
+            "with\nnewline".to_owned(),
+        ]]);
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let schema = Schema::new(vec![
+            Attribute::new("Age", AttributeKind::QuasiIdentifier),
+            Attribute::new("Disease", AttributeKind::Sensitive),
+        ])
+        .unwrap();
+        let mut b = crate::TableBuilder::new(schema.clone());
+        b.push_row(&["23", "Flu"]).unwrap();
+        b.push_row(&["25", "Lung Cancer"]).unwrap();
+        let table = b.build();
+
+        let mut bytes = Vec::new();
+        write_table(&mut bytes, &table).unwrap();
+        let back = read_table(bytes.as_slice(), schema, true).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn header_mismatch_is_error() {
+        let schema = Schema::new(vec![
+            Attribute::new("Age", AttributeKind::QuasiIdentifier),
+            Attribute::new("Disease", AttributeKind::Sensitive),
+        ])
+        .unwrap();
+        let err = read_table("Wrong,Disease\n1,Flu\n".as_bytes(), schema, true).unwrap_err();
+        assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let recs = CsvReader::with_delimiter("a|b\n".as_bytes(), b'|')
+            .read_all()
+            .unwrap();
+        assert_eq!(recs, vec![vec!["a", "b"]]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Built-in example datasets.
+//!
+//! [`hospital_table`] reproduces Figure 1 of the paper — the running example
+//! used throughout Sections 1–3 (Bob, Charlie, …, Karen). The 5-anonymous
+//! bucketization of Figures 2/3 groups the five males (zip 1485*, age 2*) into
+//! one bucket and the five females into another; that grouping is exposed as
+//! [`hospital_bucket_of`] so downstream crates can rebuild Figure 3 exactly.
+
+use crate::{Attribute, AttributeKind, Schema, Table, TableBuilder, TupleId};
+
+/// Rows of Figure 1 in order: (Name, Zip, Age, Sex, Disease).
+pub const HOSPITAL_ROWS: [[&str; 5]; 10] = [
+    ["Bob", "14850", "23", "M", "Flu"],
+    ["Charlie", "14850", "24", "M", "Flu"],
+    ["Dave", "14850", "25", "M", "Lung Cancer"],
+    ["Ed", "14850", "27", "M", "Lung Cancer"],
+    ["Frank", "14853", "29", "M", "Mumps"],
+    ["Gloria", "14850", "21", "F", "Flu"],
+    ["Hannah", "14850", "22", "F", "Flu"],
+    ["Irma", "14853", "24", "F", "Breast Cancer"],
+    ["Jessica", "14853", "26", "F", "Ovarian Cancer"],
+    ["Karen", "14853", "28", "F", "Heart Disease"],
+];
+
+/// The schema of the hospital example: Name is identifying, Zip/Age/Sex are
+/// quasi-identifiers, Disease is sensitive.
+pub fn hospital_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("Name", AttributeKind::Identifier),
+        Attribute::new("Zip", AttributeKind::QuasiIdentifier),
+        Attribute::new("Age", AttributeKind::QuasiIdentifier),
+        Attribute::new("Sex", AttributeKind::QuasiIdentifier),
+        Attribute::new("Disease", AttributeKind::Sensitive),
+    ])
+    .expect("hospital schema is valid")
+}
+
+/// Builds the original table `T` of Figure 1.
+pub fn hospital_table() -> Table {
+    let mut b = TableBuilder::new(hospital_schema());
+    for row in &HOSPITAL_ROWS {
+        b.push_row(row).expect("static rows match schema");
+    }
+    b.build()
+}
+
+/// The bucket (0 = males, 1 = females) each tuple falls into under the
+/// 5-anonymous bucketization of Figures 2/3.
+pub fn hospital_bucket_of(t: TupleId) -> usize {
+    if t.index() < 5 {
+        0
+    } else {
+        1
+    }
+}
+
+/// Tuple id of a named person in the hospital table.
+pub fn hospital_person(table: &Table, name: &str) -> Option<TupleId> {
+    let col = table.column_by_name("Name").ok()?;
+    (0..table.n_rows())
+        .find(|&r| col.value(r) == name)
+        .map(|r| TupleId(r as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hospital_table_has_ten_tuples() {
+        let t = hospital_table();
+        assert_eq!(t.n_rows(), 10);
+        assert_eq!(t.sensitive_cardinality(), 6);
+    }
+
+    #[test]
+    fn ed_has_lung_cancer() {
+        let t = hospital_table();
+        let ed = hospital_person(&t, "Ed").unwrap();
+        assert_eq!(
+            t.sensitive_value(ed),
+            t.sensitive_code("Lung Cancer").unwrap()
+        );
+    }
+
+    #[test]
+    fn buckets_split_by_sex() {
+        let t = hospital_table();
+        let sex = t.column_by_name("Sex").unwrap();
+        for r in 0..t.n_rows() {
+            let expected = if sex.value(r) == "M" { 0 } else { 1 };
+            assert_eq!(hospital_bucket_of(TupleId(r as u32)), expected);
+        }
+    }
+
+    #[test]
+    fn unknown_person_is_none() {
+        let t = hospital_table();
+        assert!(hospital_person(&t, "Zelda").is_none());
+    }
+
+    #[test]
+    fn male_bucket_histogram_matches_figure_3() {
+        // Males: Flu x2, Lung Cancer x2, Mumps x1.
+        let t = hospital_table();
+        let mut counts = std::collections::HashMap::new();
+        for r in 0..5 {
+            *counts.entry(t.value(r, 4).to_owned()).or_insert(0) += 1;
+        }
+        assert_eq!(counts["Flu"], 2);
+        assert_eq!(counts["Lung Cancer"], 2);
+        assert_eq!(counts["Mumps"], 1);
+    }
+}

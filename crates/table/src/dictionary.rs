@@ -1,0 +1,142 @@
+//! String interner used for per-column dictionary encoding.
+
+use std::collections::HashMap;
+
+/// A bidirectional mapping between strings and dense `u32` codes.
+///
+/// Codes are assigned in first-seen order starting from 0, so a dictionary of
+/// `n` distinct values uses exactly the codes `0..n`. Downstream algorithms
+/// rely on this density (e.g. histograms indexed by code).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dictionary pre-populated with `values` in order.
+    ///
+    /// Duplicate entries map to the first occurrence's code.
+    pub fn from_values<I, S>(values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut dict = Self::new();
+        for v in values {
+            dict.intern(v.as_ref());
+        }
+        dict
+    }
+
+    /// Returns the code for `value`, inserting it if absent.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&code) = self.index.get(value) {
+            return code;
+        }
+        let code = u32::try_from(self.values.len()).expect("dictionary exceeds u32 codes");
+        self.values.push(value.to_owned());
+        self.index.insert(value.to_owned(), code);
+        code
+    }
+
+    /// Returns the code for `value` if it has been interned.
+    pub fn code(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// Returns the string for `code`, or `None` if the code is out of range.
+    pub fn get(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Returns the string for `code`, panicking on out-of-range codes.
+    ///
+    /// Intended for codes that were produced by this dictionary.
+    pub fn resolve(&self, code: u32) -> &str {
+        self.get(code).expect("dictionary code out of range")
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(code, value)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v.as_str()))
+    }
+
+    /// All interned values in code order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_codes() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("flu"), 0);
+        assert_eq!(d.intern("cancer"), 1);
+        assert_eq!(d.intern("flu"), 0);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn code_and_get_are_inverse() {
+        let mut d = Dictionary::new();
+        for v in ["a", "b", "c"] {
+            d.intern(v);
+        }
+        for v in ["a", "b", "c"] {
+            let c = d.code(v).unwrap();
+            assert_eq!(d.get(c), Some(v));
+        }
+        assert_eq!(d.code("missing"), None);
+        assert_eq!(d.get(99), None);
+    }
+
+    #[test]
+    fn from_values_dedups() {
+        let d = Dictionary::from_values(["x", "y", "x", "z"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.code("z"), Some(2));
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let d = Dictionary::from_values(["m", "n"]);
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "m"), (1, "n")]);
+    }
+
+    #[test]
+    fn resolve_known_code() {
+        let d = Dictionary::from_values(["only"]);
+        assert_eq!(d.resolve(0), "only");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn resolve_unknown_code_panics() {
+        let d = Dictionary::new();
+        d.resolve(0);
+    }
+}

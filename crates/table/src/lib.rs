@@ -1,0 +1,103 @@
+//! # wcbk-table — tabular data substrate
+//!
+//! The data model underlying the worst-case background-knowledge framework of
+//! Martin et al., *Worst-Case Background Knowledge for Privacy-Preserving Data
+//! Publishing* (ICDE 2007).
+//!
+//! A [`Table`] is a set of tuples, each corresponding to a unique individual.
+//! Every tuple has exactly one **sensitive** attribute (e.g. `Disease`) with a
+//! finite domain and one or more **non-sensitive** attributes (identifiers,
+//! quasi-identifiers, or insensitive attributes). Values are dictionary-encoded
+//! per column: each [`Column`] stores `u32` codes into its own [`Dictionary`],
+//! which keeps the combinatorial algorithms downstream allocation-free.
+//!
+//! The crate also provides:
+//!
+//! * [`Schema`] / [`Attribute`] / [`AttributeKind`] — attribute metadata,
+//! * a small, dependency-free RFC-4180 CSV reader/writer ([`csv`]),
+//! * [`datasets`] — the paper's running hospital example (Figure 1).
+//!
+//! Shared vocabulary types [`TupleId`] (a row of the original table — the
+//! paper's "person `p`") and [`SValue`] (a dictionary code of the sensitive
+//! domain `S`) live here so that every other crate in the workspace agrees on
+//! them.
+
+pub mod csv;
+pub mod datasets;
+mod dictionary;
+mod error;
+mod schema;
+mod table;
+
+pub use dictionary::Dictionary;
+pub use error::TableError;
+pub use schema::{Attribute, AttributeKind, Schema};
+pub use table::{Column, Table, TableBuilder};
+
+/// Identifies a tuple (person) of the original table by row position.
+///
+/// The paper assumes each record corresponds to a unique individual, so a row
+/// index doubles as the person identity `p ∈ P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The row position as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TupleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A value of the sensitive domain `S`, as a dictionary code of the sensitive
+/// column.
+///
+/// The paper overloads `S` to mean both the sensitive attribute and its finite
+/// domain; an `SValue` is an element of that domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SValue(pub u32);
+
+impl SValue {
+    /// The dictionary code as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_id_roundtrip() {
+        let t = TupleId(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(t.to_string(), "t7");
+    }
+
+    #[test]
+    fn svalue_roundtrip() {
+        let s = SValue(3);
+        assert_eq!(s.index(), 3);
+        assert_eq!(s.to_string(), "s3");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(TupleId(1) < TupleId(2));
+        assert!(SValue(0) < SValue(9));
+    }
+}

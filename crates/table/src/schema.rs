@@ -1,0 +1,188 @@
+//! Attribute metadata: names and privacy roles.
+
+use crate::TableError;
+
+/// The privacy role an attribute plays during publishing.
+///
+/// The paper's model (Section 2) distinguishes the single sensitive attribute
+/// `S` from non-sensitive attributes that an attacker may learn externally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeKind {
+    /// Directly identifying (e.g. name); always fully masked before release.
+    Identifier,
+    /// Externally linkable (e.g. zip, age, sex); coarsened by generalization.
+    QuasiIdentifier,
+    /// The sensitive attribute `S` (e.g. disease); permuted within buckets.
+    Sensitive,
+    /// Neither identifying nor sensitive; released as-is.
+    Insensitive,
+}
+
+impl AttributeKind {
+    /// Whether the attribute is released in some (possibly coarsened) form.
+    pub fn is_published(self) -> bool {
+        !matches!(self, AttributeKind::Identifier)
+    }
+}
+
+/// A named attribute with a privacy role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    kind: AttributeKind,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, kind: AttributeKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's privacy role.
+    pub fn kind(&self) -> AttributeKind {
+        self.kind
+    }
+}
+
+/// An ordered list of attributes with exactly one sensitive attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    sensitive: usize,
+}
+
+impl Schema {
+    /// Builds a schema, validating attribute-name uniqueness and that exactly
+    /// one attribute is [`AttributeKind::Sensitive`].
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, TableError> {
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name() == a.name()) {
+                return Err(TableError::DuplicateAttribute(a.name().to_owned()));
+            }
+        }
+        let sensitive_indices: Vec<usize> = attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind() == AttributeKind::Sensitive)
+            .map(|(i, _)| i)
+            .collect();
+        if sensitive_indices.len() != 1 {
+            return Err(TableError::SensitiveAttributeCount(sensitive_indices.len()));
+        }
+        Ok(Self {
+            sensitive: sensitive_indices[0],
+            attributes,
+        })
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attributes in column order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The attribute at `index`.
+    pub fn attribute(&self, index: usize) -> &Attribute {
+        &self.attributes[index]
+    }
+
+    /// Column index of the (unique) sensitive attribute.
+    pub fn sensitive_index(&self) -> usize {
+        self.sensitive
+    }
+
+    /// Column index of the attribute called `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize, TableError> {
+        self.attributes
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| TableError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// Column indices of all quasi-identifier attributes, in column order.
+    pub fn quasi_identifier_indices(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind() == AttributeKind::QuasiIdentifier)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("Name", AttributeKind::Identifier),
+            Attribute::new("Zip", AttributeKind::QuasiIdentifier),
+            Attribute::new("Age", AttributeKind::QuasiIdentifier),
+            Attribute::new("Disease", AttributeKind::Sensitive),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn sensitive_index_is_found() {
+        assert_eq!(demo_schema().sensitive_index(), 3);
+    }
+
+    #[test]
+    fn quasi_identifiers_in_order() {
+        assert_eq!(demo_schema().quasi_identifier_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn index_of_known_and_unknown() {
+        let s = demo_schema();
+        assert_eq!(s.index_of("Age").unwrap(), 2);
+        assert!(matches!(
+            s.index_of("Salary"),
+            Err(TableError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn zero_sensitive_rejected() {
+        let r = Schema::new(vec![Attribute::new("A", AttributeKind::QuasiIdentifier)]);
+        assert!(matches!(r, Err(TableError::SensitiveAttributeCount(0))));
+    }
+
+    #[test]
+    fn two_sensitive_rejected() {
+        let r = Schema::new(vec![
+            Attribute::new("A", AttributeKind::Sensitive),
+            Attribute::new("B", AttributeKind::Sensitive),
+        ]);
+        assert!(matches!(r, Err(TableError::SensitiveAttributeCount(2))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::new(vec![
+            Attribute::new("A", AttributeKind::QuasiIdentifier),
+            Attribute::new("A", AttributeKind::Sensitive),
+        ]);
+        assert!(matches!(r, Err(TableError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn identifier_not_published() {
+        assert!(!AttributeKind::Identifier.is_published());
+        assert!(AttributeKind::Sensitive.is_published());
+    }
+}

@@ -1,0 +1,254 @@
+//! Columnar, dictionary-encoded tables.
+
+use crate::{Dictionary, SValue, Schema, TableError, TupleId};
+
+/// One dictionary-encoded column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    dict: Dictionary,
+    codes: Vec<u32>,
+}
+
+impl Column {
+    fn new() -> Self {
+        Self {
+            dict: Dictionary::new(),
+            codes: Vec::new(),
+        }
+    }
+
+    /// The column's dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Raw codes, one per row.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The code at `row`.
+    #[inline]
+    pub fn code(&self, row: usize) -> u32 {
+        self.codes[row]
+    }
+
+    /// The decoded string at `row`.
+    pub fn value(&self, row: usize) -> &str {
+        self.dict.resolve(self.codes[row])
+    }
+
+    /// Number of distinct values appearing in the column.
+    pub fn cardinality(&self) -> usize {
+        self.dict.len()
+    }
+}
+
+/// A dictionary-encoded table: the publisher's private table `T`.
+///
+/// Rows are persons ([`TupleId`] is the row position); columns follow the
+/// [`Schema`]. Construction goes through [`TableBuilder`] (or the CSV loader)
+/// so every row is validated against the schema arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Whether the table has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// The column at schema position `index`.
+    pub fn column(&self, index: usize) -> &Column {
+        &self.columns[index]
+    }
+
+    /// The column for the attribute called `name`.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column, TableError> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// The sensitive column.
+    pub fn sensitive_column(&self) -> &Column {
+        &self.columns[self.schema.sensitive_index()]
+    }
+
+    /// The sensitive value of tuple `t`.
+    #[inline]
+    pub fn sensitive_value(&self, t: TupleId) -> SValue {
+        SValue(self.sensitive_column().code(t.index()))
+    }
+
+    /// The decoded string value at (`row`, `col`).
+    pub fn value(&self, row: usize, col: usize) -> &str {
+        self.columns[col].value(row)
+    }
+
+    /// Cardinality of the sensitive domain as observed in the table.
+    pub fn sensitive_cardinality(&self) -> usize {
+        self.sensitive_column().cardinality()
+    }
+
+    /// Iterates over all tuple ids `t0..t(n-1)`.
+    pub fn tuple_ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        (0..self.n_rows as u32).map(TupleId)
+    }
+
+    /// Decodes an entire row into owned strings (for display / export).
+    pub fn row(&self, row: usize) -> Vec<String> {
+        self.columns.iter().map(|c| c.value(row).to_owned()).collect()
+    }
+
+    /// Looks up the sensitive-domain code for a value string.
+    pub fn sensitive_code(&self, value: &str) -> Option<SValue> {
+        self.sensitive_column().dictionary().code(value).map(SValue)
+    }
+}
+
+/// Incremental [`Table`] constructor.
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl TableBuilder {
+    /// Starts a builder for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let columns = (0..schema.arity()).map(|_| Column::new()).collect();
+        Self {
+            schema,
+            columns,
+            n_rows: 0,
+        }
+    }
+
+    /// Appends one row of string fields; the arity must match the schema.
+    pub fn push_row<S: AsRef<str>>(&mut self, fields: &[S]) -> Result<TupleId, TableError> {
+        if fields.len() != self.schema.arity() {
+            return Err(TableError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: fields.len(),
+                row: self.n_rows,
+            });
+        }
+        for (col, field) in self.columns.iter_mut().zip(fields) {
+            let code = col.dict.intern(field.as_ref());
+            col.codes.push(code);
+        }
+        let id = TupleId(self.n_rows as u32);
+        self.n_rows += 1;
+        Ok(id)
+    }
+
+    /// Number of rows pushed so far.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The schema this builder validates rows against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Table {
+        Table {
+            schema: self.schema,
+            columns: self.columns,
+            n_rows: self.n_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, AttributeKind};
+
+    fn demo_table() -> Table {
+        let schema = Schema::new(vec![
+            Attribute::new("Age", AttributeKind::QuasiIdentifier),
+            Attribute::new("Disease", AttributeKind::Sensitive),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_row(&["23", "Flu"]).unwrap();
+        b.push_row(&["24", "Flu"]).unwrap();
+        b.push_row(&["25", "Cancer"]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_assigns_sequential_tuple_ids() {
+        let schema = Schema::new(vec![Attribute::new("D", AttributeKind::Sensitive)]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        assert_eq!(b.push_row(&["x"]).unwrap(), TupleId(0));
+        assert_eq!(b.push_row(&["y"]).unwrap(), TupleId(1));
+        assert_eq!(b.n_rows(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let schema = Schema::new(vec![Attribute::new("D", AttributeKind::Sensitive)]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        let err = b.push_row(&["a", "b"]).unwrap_err();
+        assert!(matches!(err, TableError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn values_decode_back() {
+        let t = demo_table();
+        assert_eq!(t.value(0, 0), "23");
+        assert_eq!(t.value(2, 1), "Cancer");
+        assert_eq!(t.row(1), vec!["24".to_owned(), "Flu".to_owned()]);
+    }
+
+    #[test]
+    fn sensitive_accessors() {
+        let t = demo_table();
+        assert_eq!(t.sensitive_cardinality(), 2);
+        assert_eq!(t.sensitive_value(TupleId(0)), t.sensitive_value(TupleId(1)));
+        assert_ne!(t.sensitive_value(TupleId(0)), t.sensitive_value(TupleId(2)));
+        assert_eq!(t.sensitive_code("Flu"), Some(t.sensitive_value(TupleId(0))));
+        assert_eq!(t.sensitive_code("Plague"), None);
+    }
+
+    #[test]
+    fn shared_codes_for_equal_values() {
+        let t = demo_table();
+        let disease = t.column_by_name("Disease").unwrap();
+        assert_eq!(disease.code(0), disease.code(1));
+        assert_eq!(disease.cardinality(), 2);
+    }
+
+    #[test]
+    fn tuple_ids_enumerates_all_rows() {
+        let t = demo_table();
+        let ids: Vec<_> = t.tuple_ids().collect();
+        assert_eq!(ids, vec![TupleId(0), TupleId(1), TupleId(2)]);
+    }
+
+    #[test]
+    fn empty_table_properties() {
+        let schema = Schema::new(vec![Attribute::new("D", AttributeKind::Sensitive)]).unwrap();
+        let t = TableBuilder::new(schema).build();
+        assert!(t.is_empty());
+        assert_eq!(t.sensitive_cardinality(), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Monte-Carlo approximate inference.
+//!
+//! Exact inference is #P-hard (Theorem 8); for spaces too large to
+//! enumerate, conditional probabilities can be *estimated* by sampling
+//! worlds — each world is an independent uniform draw obtained by shuffling
+//! every bucket's value multiset. Conditioning uses rejection: worlds
+//! violating the evidence are discarded. Estimates come with a standard
+//! error so callers can size their sample, and the estimator is validated
+//! against exact enumeration in the tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wcbk_logic::Formula;
+use wcbk_table::SValue;
+
+use crate::WorldSpace;
+
+/// A Monte-Carlo estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The point estimate.
+    pub value: f64,
+    /// Standard error of the estimate (binomial approximation).
+    pub std_error: f64,
+    /// Samples that satisfied the conditioning event (the effective sample
+    /// size for conditionals).
+    pub accepted: usize,
+}
+
+/// Samples one world into `assignment` (indexed by `TupleId::index()`).
+fn sample_world<R: Rng>(space: &WorldSpace, rng: &mut R, assignment: &mut [SValue]) {
+    for b in 0..space.n_buckets() {
+        // Build the multiset then Fisher–Yates it.
+        let mut values: Vec<SValue> = Vec::with_capacity(space.members(b).len());
+        for &(v, c) in space.value_counts(b) {
+            for _ in 0..c {
+                values.push(v);
+            }
+        }
+        for i in (1..values.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            values.swap(i, j);
+        }
+        for (&m, &v) in space.members(b).iter().zip(&values) {
+            assignment[m.index()] = v;
+        }
+    }
+}
+
+/// Estimates `Pr(target | B ∧ given)` from `samples` world draws, rejecting
+/// draws that violate `given`. Returns `None` when no draw satisfied the
+/// evidence (the estimate is undefined).
+pub fn estimate_conditional(
+    space: &WorldSpace,
+    target: &Formula,
+    given: &Formula,
+    samples: usize,
+    seed: u64,
+) -> Option<Estimate> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = space
+        .persons()
+        .iter()
+        .map(|p| p.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut assignment = vec![WorldSpace::UNASSIGNED; len];
+    let mut accepted = 0usize;
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        sample_world(space, &mut rng, &mut assignment);
+        if !given.eval(assignment.as_slice()) {
+            continue;
+        }
+        accepted += 1;
+        if target.eval(assignment.as_slice()) {
+            hits += 1;
+        }
+    }
+    if accepted == 0 {
+        return None;
+    }
+    let p = hits as f64 / accepted as f64;
+    let std_error = (p * (1.0 - p) / accepted as f64).sqrt();
+    Some(Estimate {
+        value: p,
+        std_error,
+        accepted,
+    })
+}
+
+/// Estimates an unconditional probability (no rejection).
+pub fn estimate_probability(
+    space: &WorldSpace,
+    formula: &Formula,
+    samples: usize,
+    seed: u64,
+) -> Estimate {
+    estimate_conditional(space, formula, &Formula::True, samples, seed)
+        .expect("True always accepts")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BucketSpec;
+    use wcbk_logic::{Atom, Knowledge, SimpleImplication};
+    use wcbk_table::TupleId;
+
+    fn sv(vals: &[u32]) -> Vec<SValue> {
+        vals.iter().map(|&v| SValue(v)).collect()
+    }
+
+    fn persons(ids: &[u32]) -> Vec<TupleId> {
+        ids.iter().map(|&i| TupleId(i)).collect()
+    }
+
+    fn figure3() -> WorldSpace {
+        WorldSpace::new(vec![
+            BucketSpec::new(persons(&[0, 1, 2, 3, 4]), sv(&[0, 0, 1, 1, 2])),
+            BucketSpec::new(persons(&[5, 6, 7, 8, 9]), sv(&[0, 0, 3, 4, 5])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn estimates_marginal_within_error() {
+        let space = figure3();
+        let f = Formula::Atom(Atom::new(TupleId(1), SValue(0)));
+        let est = estimate_probability(&space, &f, 20_000, 7);
+        assert!((est.value - 0.4).abs() < 5.0 * est.std_error.max(1e-3));
+        assert_eq!(est.accepted, 20_000);
+    }
+
+    #[test]
+    fn estimates_hannah_charlie_conditional() {
+        let space = figure3();
+        let phi = Knowledge::from_simple([SimpleImplication::new(
+            Atom::new(TupleId(6), SValue(0)),
+            Atom::new(TupleId(1), SValue(0)),
+        )])
+        .to_formula();
+        let target = Formula::Atom(Atom::new(TupleId(1), SValue(0)));
+        let est = estimate_conditional(&space, &target, &phi, 40_000, 11).unwrap();
+        let exact = 10.0 / 19.0;
+        assert!(
+            (est.value - exact).abs() < 5.0 * est.std_error.max(1e-3),
+            "estimate {} vs exact {exact} (se {})",
+            est.value,
+            est.std_error
+        );
+        // Rejection rate ≈ 1 - 19/25.
+        assert!(est.accepted > 25_000);
+    }
+
+    #[test]
+    fn impossible_evidence_yields_none() {
+        let space = figure3();
+        let impossible = Formula::Atom(Atom::new(TupleId(3), SValue(3)));
+        let target = Formula::True;
+        assert_eq!(
+            estimate_conditional(&space, &target, &impossible, 1000, 3),
+            None
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = figure3();
+        let f = Formula::Atom(Atom::new(TupleId(0), SValue(0)));
+        let a = estimate_probability(&space, &f, 5_000, 42);
+        let b = estimate_probability(&space, &f, 5_000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_shrinks_with_samples() {
+        let space = figure3();
+        let f = Formula::Atom(Atom::new(TupleId(0), SValue(0)));
+        let small = estimate_probability(&space, &f, 500, 1);
+        let large = estimate_probability(&space, &f, 50_000, 1);
+        assert!(large.std_error < small.std_error);
+    }
+}

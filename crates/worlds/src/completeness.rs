@@ -1,0 +1,223 @@
+//! The constructive side of Theorem 3 (completeness).
+//!
+//! Given full identification information, *any* predicate on tables can be
+//! expressed as a finite conjunction of basic implications. The construction:
+//! a predicate is equivalent to excluding the set of worlds where it fails,
+//! and a single world `w` is excluded by the basic implication
+//!
+//! ```text
+//! (∧_{p} t_p[S] = w(p))  →  (∨_{s ≠ w(p₀)} t_{p₀}[S] = s)
+//! ```
+//!
+//! whose antecedent pins down every person's value (so it fires exactly in
+//! `w`) and whose consequent is false in `w` (and `p₀` is chosen so a false
+//! consequent exists). As the paper notes, this blows up exponentially in
+//! general — the point of the theorem is expressiveness, not succinctness.
+
+use wcbk_logic::{Atom, BasicImplication, Knowledge};
+use wcbk_table::SValue;
+
+use crate::{WorldSpace, WorldsError};
+
+/// Errors specific to predicate compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletenessError {
+    /// The predicate excludes every world — no knowledge formula consistent
+    /// with the bucketization can express it.
+    Unsatisfiable,
+    /// A world must be excluded but every person's bucket has a single
+    /// distinct value, so no falsifiable consequent exists. (Only possible
+    /// when the world space has exactly one world, which reduces to
+    /// `Unsatisfiable`.)
+    NoFalsifiableConsequent,
+    /// Underlying world-space failure.
+    Worlds(WorldsError),
+}
+
+impl std::fmt::Display for CompletenessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompletenessError::Unsatisfiable => {
+                write!(f, "predicate excludes every world consistent with B")
+            }
+            CompletenessError::NoFalsifiableConsequent => {
+                write!(f, "no atom can be falsified: every bucket is constant")
+            }
+            CompletenessError::Worlds(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompletenessError {}
+
+impl From<WorldsError> for CompletenessError {
+    fn from(e: WorldsError) -> Self {
+        CompletenessError::Worlds(e)
+    }
+}
+
+/// Compiles `predicate` (over worlds of `space`) into a conjunction of basic
+/// implications `φ` such that for every world `w` of the space,
+/// `φ` holds in `w` iff `predicate(w)`.
+///
+/// The size of the result is the number of excluded worlds — exponential in
+/// general (see the paper's discussion after Theorem 3).
+pub fn compile_predicate<P: FnMut(&[SValue]) -> bool>(
+    space: &WorldSpace,
+    mut predicate: P,
+) -> Result<Knowledge, CompletenessError> {
+    let persons = space.persons();
+    let mut implications: Vec<BasicImplication> = Vec::new();
+    let mut any_world_kept = false;
+    let mut failure: Option<CompletenessError> = None;
+
+    space.for_each_world(|w| {
+        if failure.is_some() {
+            return;
+        }
+        if predicate(w) {
+            any_world_kept = true;
+            return;
+        }
+        // Build the excluding implication for this world.
+        let antecedents: Vec<Atom> = persons
+            .iter()
+            .map(|&p| Atom::new(p, w[p.index()]))
+            .collect();
+        // Find a person whose bucket offers a value different from w(p).
+        let consequent_atoms: Option<Vec<Atom>> = persons.iter().find_map(|&p| {
+            let b = space.bucket_of(p).expect("person is in a bucket");
+            let others: Vec<Atom> = space
+                .value_counts(b)
+                .iter()
+                .map(|&(v, _)| v)
+                .filter(|&v| v != w[p.index()])
+                .map(|v| Atom::new(p, v))
+                .collect();
+            if others.is_empty() {
+                None
+            } else {
+                Some(others)
+            }
+        });
+        match consequent_atoms {
+            Some(consequents) => {
+                implications.push(
+                    BasicImplication::new(antecedents, consequents)
+                        .expect("both sides nonempty by construction"),
+                );
+            }
+            None => failure = Some(CompletenessError::NoFalsifiableConsequent),
+        }
+    });
+
+    if let Some(f) = failure {
+        return Err(f);
+    }
+    if !any_world_kept {
+        return Err(CompletenessError::Unsatisfiable);
+    }
+    Ok(Knowledge::from_implications(implications))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BucketSpec;
+    use wcbk_table::TupleId;
+
+    fn sv(vals: &[u32]) -> Vec<SValue> {
+        vals.iter().map(|&v| SValue(v)).collect()
+    }
+
+    fn persons(ids: &[u32]) -> Vec<TupleId> {
+        ids.iter().map(|&i| TupleId(i)).collect()
+    }
+
+    fn space() -> WorldSpace {
+        WorldSpace::new(vec![
+            BucketSpec::new(persons(&[0, 1, 2]), sv(&[0, 0, 1])),
+            BucketSpec::new(persons(&[3, 4]), sv(&[2, 3])),
+        ])
+        .unwrap()
+    }
+
+    /// The compiled knowledge must hold in exactly the predicate's worlds.
+    fn assert_equivalent<P: Fn(&[SValue]) -> bool>(space: &WorldSpace, pred: P) {
+        let knowledge = compile_predicate(space, |w| pred(w)).unwrap();
+        space.for_each_world(|w| {
+            assert_eq!(
+                knowledge.holds(&w.to_vec()),
+                pred(w),
+                "world {w:?} disagrees"
+            );
+        });
+    }
+
+    #[test]
+    fn compiles_simple_atom_predicate() {
+        assert_equivalent(&space(), |w| w[0] == SValue(0));
+    }
+
+    #[test]
+    fn compiles_cross_bucket_predicate() {
+        // "t0 and t3 do not both have their first value" — a correlation
+        // not expressible with negated atoms alone.
+        assert_equivalent(&space(), |w| !(w[0] == SValue(0) && w[3] == SValue(2)));
+    }
+
+    #[test]
+    fn compiles_parity_style_predicate() {
+        // An arbitrary "weird" predicate: value codes of t1 and t4 sum even.
+        assert_equivalent(&space(), |w| (w[1].0 + w[4].0) % 2 == 0);
+    }
+
+    #[test]
+    fn compiles_tautology_to_empty_knowledge() {
+        let k = compile_predicate(&space(), |_| true).unwrap();
+        assert!(k.is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_predicate_rejected() {
+        let err = compile_predicate(&space(), |_| false).unwrap_err();
+        assert_eq!(err, CompletenessError::Unsatisfiable);
+    }
+
+    #[test]
+    fn conditioning_on_compiled_knowledge_matches_direct_conditioning() {
+        use wcbk_logic::Formula;
+        let space = space();
+        let pred = |w: &[SValue]| w[2] == SValue(1) || w[3] == SValue(3);
+        let knowledge = compile_predicate(&space, pred).unwrap();
+
+        // Direct: count worlds with predicate (and target) by enumeration.
+        let mut n_pred = 0u128;
+        let mut n_joint = 0u128;
+        space.for_each_world(|w| {
+            if pred(w) {
+                n_pred += 1;
+                if w[0] == SValue(0) {
+                    n_joint += 1;
+                }
+            }
+        });
+
+        // Via language: Pr(t0=0 | B ∧ compiled).
+        let target = Formula::Atom(Atom::new(TupleId(0), SValue(0)));
+        let p = space
+            .conditional(&target, &knowledge.to_formula())
+            .unwrap()
+            .unwrap();
+        assert_eq!(p, crate::Ratio::from_counts(n_joint, n_pred));
+    }
+
+    #[test]
+    fn single_world_space_cannot_exclude() {
+        // One bucket, all values identical: exactly one world.
+        let space = WorldSpace::new(vec![BucketSpec::new(persons(&[0, 1]), sv(&[7, 7]))]).unwrap();
+        let err = compile_predicate(&space, |_| false).unwrap_err();
+        // The only world cannot be excluded: no falsifiable consequent.
+        assert_eq!(err, CompletenessError::NoFalsifiableConsequent);
+    }
+}

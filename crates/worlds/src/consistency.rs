@@ -1,0 +1,289 @@
+//! Consistency of a bucketization with simple implications — the
+//! NP-complete problem of Theorem 8 — and `#P`-style model counting.
+//!
+//! Deciding whether a bucketization `B` and a conjunction of simple
+//! implications `φ` are simultaneously satisfiable is NP-complete; computing
+//! `Pr(C | B ∧ φ)` is #P-complete. This module implements both by
+//! backtracking search over the persons mentioned in `φ`, with forward
+//! checking (violated implications prune immediately) and multinomial
+//! weighting of unconstrained persons. It exists to demonstrate the hardness
+//! gap against the polynomial worst-case DP in `wcbk-core`, and as a second
+//! ground-truth path for tests.
+
+use std::collections::HashMap;
+
+use wcbk_logic::SimpleImplication;
+use wcbk_table::{SValue, TupleId};
+
+use crate::multiset::multinomial;
+use crate::{WorldSpace, WorldsError};
+
+/// Decides whether some world of `space` satisfies all `implications`
+/// (Theorem 8's NP-complete decision problem).
+pub fn is_consistent(
+    space: &WorldSpace,
+    implications: &[SimpleImplication],
+) -> Result<bool, WorldsError> {
+    let mut search = Search::new(space, implications)?;
+    Ok(search.run_decision())
+}
+
+/// Counts the worlds of `space` satisfying all `implications`
+/// (the #P-complete counting problem behind `Pr(C | B ∧ φ)`).
+pub fn count_satisfying_worlds(
+    space: &WorldSpace,
+    implications: &[SimpleImplication],
+) -> Result<u128, WorldsError> {
+    if space.n_worlds().is_none() {
+        return Err(WorldsError::TooManyWorlds);
+    }
+    let mut search = Search::new(space, implications)?;
+    Ok(search.run_count())
+}
+
+struct Search<'a> {
+    space: &'a WorldSpace,
+    implications: &'a [SimpleImplication],
+    /// Constrained persons in assignment order.
+    order: Vec<TupleId>,
+    /// position of a person in `order` (constrained persons only).
+    position: HashMap<TupleId, usize>,
+    /// Implications to check once the person at this order position is
+    /// assigned (i.e. implications whose last-assigned person this is).
+    checks_at: Vec<Vec<usize>>,
+    /// Remaining value multiplicities per bucket.
+    remaining: Vec<Vec<u64>>,
+    /// Current partial assignment, by order position.
+    assigned: Vec<SValue>,
+}
+
+impl<'a> Search<'a> {
+    fn new(
+        space: &'a WorldSpace,
+        implications: &'a [SimpleImplication],
+    ) -> Result<Self, WorldsError> {
+        let mut order: Vec<TupleId> = Vec::new();
+        for imp in implications {
+            for p in [imp.antecedent.person, imp.consequent.person] {
+                if space.bucket_of(p).is_none() {
+                    return Err(WorldsError::UnknownPerson(p));
+                }
+                if !order.contains(&p) {
+                    order.push(p);
+                }
+            }
+        }
+        // Heuristic: assign persons that appear in more implications first,
+        // so violations are detected early.
+        let mut degree: HashMap<TupleId, usize> = HashMap::new();
+        for imp in implications {
+            *degree.entry(imp.antecedent.person).or_default() += 1;
+            *degree.entry(imp.consequent.person).or_default() += 1;
+        }
+        order.sort_by_key(|p| std::cmp::Reverse(degree.get(p).copied().unwrap_or(0)));
+
+        let position: HashMap<TupleId, usize> =
+            order.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let mut checks_at: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+        for (ii, imp) in implications.iter().enumerate() {
+            let last = position[&imp.antecedent.person].max(position[&imp.consequent.person]);
+            checks_at[last].push(ii);
+        }
+        let remaining: Vec<Vec<u64>> = (0..space.n_buckets())
+            .map(|b| space.value_counts(b).iter().map(|&(_, c)| c).collect())
+            .collect();
+        let assigned = vec![WorldSpace::UNASSIGNED; order.len()];
+        Ok(Self {
+            space,
+            implications,
+            order,
+            position,
+            checks_at,
+            remaining,
+            assigned,
+        })
+    }
+
+    fn value_of(&self, p: TupleId) -> SValue {
+        self.assigned[self.position[&p]]
+    }
+
+    /// Checks the implications that became fully assigned at `depth`.
+    fn consistent_at(&self, depth: usize) -> bool {
+        self.checks_at[depth].iter().all(|&ii| {
+            let imp = &self.implications[ii];
+            self.value_of(imp.antecedent.person) != imp.antecedent.value
+                || self.value_of(imp.consequent.person) == imp.consequent.value
+        })
+    }
+
+    fn run_decision(&mut self) -> bool {
+        self.decide(0)
+    }
+
+    fn decide(&mut self, depth: usize) -> bool {
+        if depth == self.order.len() {
+            return true;
+        }
+        let bi = self.space.bucket_of(self.order[depth]).expect("validated");
+        for vi in 0..self.space.value_counts(bi).len() {
+            if self.remaining[bi][vi] == 0 {
+                continue;
+            }
+            self.remaining[bi][vi] -= 1;
+            self.assigned[depth] = self.space.value_counts(bi)[vi].0;
+            let ok = self.consistent_at(depth) && self.decide(depth + 1);
+            self.remaining[bi][vi] += 1;
+            if ok {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn run_count(&mut self) -> u128 {
+        self.count(0)
+    }
+
+    fn count(&mut self, depth: usize) -> u128 {
+        if depth == self.order.len() {
+            let mut weight: u128 = 1;
+            for rem in &self.remaining {
+                let w = multinomial(rem).expect("sub-multinomial fits u128");
+                weight = weight.checked_mul(w).expect("weight fits u128");
+            }
+            return weight;
+        }
+        let bi = self.space.bucket_of(self.order[depth]).expect("validated");
+        let mut total: u128 = 0;
+        for vi in 0..self.space.value_counts(bi).len() {
+            if self.remaining[bi][vi] == 0 {
+                continue;
+            }
+            self.remaining[bi][vi] -= 1;
+            self.assigned[depth] = self.space.value_counts(bi)[vi].0;
+            if self.consistent_at(depth) {
+                total += self.count(depth + 1);
+            }
+            self.remaining[bi][vi] += 1;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BucketSpec;
+    use wcbk_logic::{Atom, Formula, Knowledge};
+
+    fn sv(vals: &[u32]) -> Vec<SValue> {
+        vals.iter().map(|&v| SValue(v)).collect()
+    }
+
+    fn persons(ids: &[u32]) -> Vec<TupleId> {
+        ids.iter().map(|&i| TupleId(i)).collect()
+    }
+
+    fn imp(pa: u32, va: u32, pc: u32, vc: u32) -> SimpleImplication {
+        SimpleImplication::new(
+            Atom::new(TupleId(pa), SValue(va)),
+            Atom::new(TupleId(pc), SValue(vc)),
+        )
+    }
+
+    fn space2() -> WorldSpace {
+        WorldSpace::new(vec![
+            BucketSpec::new(persons(&[0, 1, 2]), sv(&[0, 0, 1])),
+            BucketSpec::new(persons(&[3, 4]), sv(&[2, 3])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_implications_always_consistent() {
+        assert!(is_consistent(&space2(), &[]).unwrap());
+        assert_eq!(
+            Some(count_satisfying_worlds(&space2(), &[]).unwrap()),
+            space2().n_worlds()
+        );
+    }
+
+    #[test]
+    fn impossible_antecedent_is_vacuous() {
+        // t3 never has value 9, so the implication holds vacuously everywhere.
+        let imps = [imp(3, 9, 0, 0)];
+        assert!(is_consistent(&space2(), &imps).unwrap());
+        assert_eq!(
+            Some(count_satisfying_worlds(&space2(), &imps).unwrap()),
+            space2().n_worlds()
+        );
+    }
+
+    #[test]
+    fn impossible_consequent_forces_negation() {
+        // (t0=0 → t0=9) ≡ ¬(t0=0): worlds where t0 has value 1.
+        let imps = [imp(0, 0, 0, 9)];
+        assert!(is_consistent(&space2(), &imps).unwrap());
+        // t0=1 fixes the bucket's single 1; the two 0s go to t1,t2 (1 way);
+        // bucket 2 contributes 2 worlds.
+        assert_eq!(count_satisfying_worlds(&space2(), &imps).unwrap(), 2);
+    }
+
+    #[test]
+    fn inconsistent_set_detected() {
+        // Bucket {0,0,1}: force all three members to value 1 — impossible.
+        let imps = [imp(0, 0, 0, 9), imp(1, 0, 1, 9), imp(2, 0, 2, 9)];
+        assert!(!is_consistent(&space2(), &imps).unwrap());
+        assert_eq!(count_satisfying_worlds(&space2(), &imps).unwrap(), 0);
+    }
+
+    #[test]
+    fn count_matches_formula_model_count() {
+        let space = space2();
+        let sets: Vec<Vec<SimpleImplication>> = vec![
+            vec![imp(0, 0, 1, 0)],
+            vec![imp(0, 0, 3, 2)],
+            vec![imp(3, 2, 4, 3)],
+            vec![imp(0, 0, 1, 0), imp(1, 0, 2, 1)],
+            vec![imp(0, 1, 3, 2), imp(4, 2, 2, 1)],
+        ];
+        for imps in sets {
+            let knowledge = Knowledge::from_simple(imps.iter().copied());
+            let expected = space.count_models(&knowledge.to_formula()).unwrap();
+            let got = count_satisfying_worlds(&space, &imps).unwrap();
+            assert_eq!(got, expected, "implications {imps:?}");
+            assert_eq!(
+                is_consistent(&space, &imps).unwrap(),
+                expected > 0,
+                "decision/count mismatch for {imps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_bucket_chain() {
+        // t0=1 → t3=2, t3=2 → t4=2 : t4 can never be 2 (bucket has {2,3}
+        // but then t3 != 2)... t4=2 possible only when t3=3. The chain
+        // forces: if t0=1 then t3=2, then t4=2 — contradiction with t3=2
+        // consuming the only 2. So satisfying worlds have t0 != 1.
+        let imps = [imp(0, 1, 3, 2), imp(3, 2, 4, 2)];
+        let space = space2();
+        assert!(is_consistent(&space, &imps).unwrap());
+        let knowledge = Knowledge::from_simple(imps.iter().copied());
+        let direct = space.count_models(&knowledge.to_formula()).unwrap();
+        assert_eq!(count_satisfying_worlds(&space, &imps).unwrap(), direct);
+        // Verify the reasoning: t0=1 in 1/3 of bucket-1 worlds; none survive.
+        let with_t0 = Formula::and([
+            Formula::Atom(Atom::new(TupleId(0), SValue(1))),
+            knowledge.to_formula(),
+        ]);
+        assert_eq!(space.count_models(&with_t0).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_person_rejected() {
+        let err = is_consistent(&space2(), &[imp(42, 0, 0, 0)]).unwrap_err();
+        assert_eq!(err, WorldsError::UnknownPerson(TupleId(42)));
+    }
+}

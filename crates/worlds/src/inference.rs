@@ -1,0 +1,331 @@
+//! Exact disclosure computations (Definitions 5 and 6) by enumeration.
+//!
+//! These routines are exponential — they exist as ground truth for the
+//! polynomial algorithms in `wcbk-core` and to validate Theorem 9 by
+//! exhaustive search over the language on small instances.
+
+use wcbk_logic::language::{all_atoms, all_simple_implications, for_each_subset_up_to};
+use wcbk_logic::{Atom, BasicImplication, Formula, Knowledge, SimpleImplication};
+use wcbk_table::SValue;
+
+use crate::{Ratio, WorldSpace, WorldsError};
+
+/// The outcome of a worst-case search: the maximizing knowledge, the predicted
+/// atom, and the disclosure value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxDisclosure {
+    /// The maximum disclosure value.
+    pub value: Ratio,
+    /// A maximizing formula `φ`.
+    pub knowledge: Knowledge,
+    /// The atom `t_p[S] = s` attaining the maximum prediction.
+    pub atom: Atom,
+}
+
+/// Definition 5: the disclosure risk of `B` w.r.t. fixed knowledge `φ`,
+/// `max_{t,s} Pr(t[S]=s | B ∧ φ)`, together with an arg-max atom.
+///
+/// Returns `None` when `φ` is inconsistent with the bucketization.
+pub fn disclosure_risk(
+    space: &WorldSpace,
+    knowledge: &Knowledge,
+) -> Result<Option<(Ratio, Atom)>, WorldsError> {
+    let given = knowledge.to_formula();
+    let denom = space.count_models(&given)?;
+    if denom == 0 {
+        return Ok(None);
+    }
+    let mut best: Option<(Ratio, Atom)> = None;
+    for b in 0..space.n_buckets() {
+        for &p in space.members(b) {
+            for &(v, _) in space.value_counts(b) {
+                let atom = Atom::new(p, v);
+                let joint = Formula::and([Formula::Atom(atom), given.clone()]);
+                let num = space.count_models(&joint)?;
+                let prob = Ratio::from_counts(num, denom);
+                if best.as_ref().map_or(true, |(b, _)| prob > *b) {
+                    best = Some((prob, atom));
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Definition 6 by brute force over **simple implications**: the maximum of
+/// `Pr(t[S]=s | B ∧ φ)` over all conjunctions of at most `k` simple
+/// implications (and all `t`, `s`).
+///
+/// By Theorem 9 this equals the maximum over all of `L^k_basic`. `limit`
+/// bounds the number of candidate conjunctions examined
+/// (`Err(TooManyWorlds)` is returned when exceeded, reusing the error type's
+/// "too big to enumerate" meaning).
+pub fn max_disclosure_over_simple(
+    space: &WorldSpace,
+    k: usize,
+    limit: u128,
+) -> Result<MaxDisclosure, WorldsError> {
+    let persons = space.persons();
+    let values = space.value_universe();
+    let atoms = all_atoms(&persons, &values);
+    let universe = all_simple_implications(&atoms);
+    search_over(space, &universe, k, limit, |imps| {
+        Knowledge::from_simple(imps.iter().copied())
+    })
+}
+
+/// Worst case over the **negated atom** sublanguage (the ℓ-diversity model):
+/// conjunctions of at most `k` statements `¬ t_p[S]=s`.
+pub fn max_disclosure_over_negations(
+    space: &WorldSpace,
+    k: usize,
+    limit: u128,
+) -> Result<MaxDisclosure, WorldsError> {
+    let persons = space.persons();
+    let values = space.value_universe();
+    let atoms = all_atoms(&persons, &values);
+    search_over(space, &atoms, k, limit, |negated| {
+        Knowledge::from_implications(negated.iter().map(|a| {
+            let witness = values
+                .iter()
+                .copied()
+                .find(|&w| w != a.value)
+                .unwrap_or(SValue(a.value.0 + 1));
+            BasicImplication::negated_atom(a.person, a.value, witness)
+                .expect("witness differs by construction")
+        }))
+    })
+}
+
+fn search_over<T: Copy, F: Fn(&[T]) -> Knowledge>(
+    space: &WorldSpace,
+    universe: &[T],
+    k: usize,
+    limit: u128,
+    to_knowledge: F,
+) -> Result<MaxDisclosure, WorldsError> {
+    let mut n_candidates: u128 = 0;
+    for size in 0..=k {
+        n_candidates =
+            n_candidates.saturating_add(wcbk_logic::language::binomial(universe.len(), size));
+    }
+    if n_candidates > limit {
+        return Err(WorldsError::TooManyWorlds);
+    }
+
+    let mut best: Option<MaxDisclosure> = None;
+    let mut error: Option<WorldsError> = None;
+    for_each_subset_up_to(universe, k, true, |subset| {
+        if error.is_some() {
+            return;
+        }
+        let knowledge = to_knowledge(subset);
+        match disclosure_risk(space, &knowledge) {
+            Ok(Some((value, atom))) => {
+                if best.as_ref().map_or(true, |b| value > b.value) {
+                    best = Some(MaxDisclosure {
+                        value,
+                        knowledge,
+                        atom,
+                    });
+                }
+            }
+            Ok(None) => {} // inconsistent with B: not admissible knowledge
+            Err(e) => error = Some(e),
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    Ok(best.expect("empty knowledge is always consistent"))
+}
+
+/// Cost-weighted Definition 5: `max_{t,s} cost(s) · Pr(t[S]=s | B ∧ φ)`
+/// for fixed knowledge `φ` (the §6 "cost-based disclosure" direction).
+/// `costs` is indexed by sensitive-value code; missing entries weigh 1.
+pub fn cost_disclosure_risk(
+    space: &WorldSpace,
+    knowledge: &Knowledge,
+    costs: &[f64],
+) -> Result<Option<(f64, Atom)>, WorldsError> {
+    let given = knowledge.to_formula();
+    let denom = space.count_models(&given)?;
+    if denom == 0 {
+        return Ok(None);
+    }
+    let mut best: Option<(f64, Atom)> = None;
+    for b in 0..space.n_buckets() {
+        for &p in space.members(b) {
+            for &(v, _) in space.value_counts(b) {
+                let atom = Atom::new(p, v);
+                let joint = Formula::and([Formula::Atom(atom), given.clone()]);
+                let num = space.count_models(&joint)?;
+                let weight = costs.get(v.index()).copied().unwrap_or(1.0);
+                let value = weight * num as f64 / denom as f64;
+                if best.as_ref().map_or(true, |(bv, _)| value > *bv) {
+                    best = Some((value, atom));
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// Convenience: `Pr(atom | B ∧ φ)` for a single target atom.
+pub fn atom_probability_given(
+    space: &WorldSpace,
+    atom: Atom,
+    knowledge: &Knowledge,
+) -> Result<Option<Ratio>, WorldsError> {
+    space.conditional(&Formula::Atom(atom), &knowledge.to_formula())
+}
+
+/// Evaluates the same-consequent simple-implication form used by the DP:
+/// `Pr(A | B ∧ ∧_i (A_i → A))` computed exactly.
+pub fn same_consequent_disclosure(
+    space: &WorldSpace,
+    antecedents: &[Atom],
+    consequent: Atom,
+) -> Result<Option<Ratio>, WorldsError> {
+    let knowledge = Knowledge::from_simple(
+        antecedents
+            .iter()
+            .map(|&a| SimpleImplication::new(a, consequent)),
+    );
+    atom_probability_given(space, consequent, &knowledge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BucketSpec;
+    use wcbk_table::TupleId;
+
+    fn sv(vals: &[u32]) -> Vec<SValue> {
+        vals.iter().map(|&v| SValue(v)).collect()
+    }
+
+    fn persons(ids: &[u32]) -> Vec<TupleId> {
+        ids.iter().map(|&i| TupleId(i)).collect()
+    }
+
+    /// The Figure 3 bucketization: males {Flu,Flu,LC,LC,Mumps} = {0,0,1,1,2},
+    /// females {Flu,Flu,BC,OC,HD} = {0,0,3,4,5}.
+    /// Persons 0..4 male bucket (Bob,Charlie,Dave,Ed,Frank),
+    /// 5..9 female (Gloria,Hannah,Irma,Jessica,Karen).
+    fn figure3() -> WorldSpace {
+        WorldSpace::new(vec![
+            BucketSpec::new(persons(&[0, 1, 2, 3, 4]), sv(&[0, 0, 1, 1, 2])),
+            BucketSpec::new(persons(&[5, 6, 7, 8, 9]), sv(&[0, 0, 3, 4, 5])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn no_knowledge_risk_is_top_frequency() {
+        let space = figure3();
+        let (risk, _) = disclosure_risk(&space, &Knowledge::none()).unwrap().unwrap();
+        assert_eq!(risk, Ratio::new(2, 5));
+    }
+
+    #[test]
+    fn hannah_charlie_example_is_ten_nineteenths() {
+        // Section 1 / 2.3: φ = (t_Hannah=flu → t_Charlie=flu) lifts
+        // Pr(t_Charlie = flu) from 2/5 to 10/19. Hannah is person 6,
+        // Charlie person 1, flu is value 0.
+        let space = figure3();
+        let phi = Knowledge::from_simple([SimpleImplication::new(
+            Atom::new(TupleId(6), SValue(0)),
+            Atom::new(TupleId(1), SValue(0)),
+        )]);
+        let p = atom_probability_given(&space, Atom::new(TupleId(1), SValue(0)), &phi)
+            .unwrap()
+            .unwrap();
+        assert_eq!(p, Ratio::new(10, 19));
+    }
+
+    #[test]
+    fn ed_ruling_out_mumps_then_flu() {
+        // Section 1: Ed (person 3, male bucket). Ruling out mumps:
+        // Pr(lung cancer) = 1/2; also ruling out flu: certainty.
+        let space = figure3();
+        let lung = Atom::new(TupleId(3), SValue(1));
+        let not_mumps = Knowledge::from_implications([BasicImplication::negated_atom(
+            TupleId(3),
+            SValue(2),
+            SValue(0),
+        )
+        .unwrap()]);
+        let p = atom_probability_given(&space, lung, &not_mumps).unwrap().unwrap();
+        assert_eq!(p, Ratio::new(1, 2));
+
+        let mut both = not_mumps.clone();
+        both.push(BasicImplication::negated_atom(TupleId(3), SValue(0), SValue(1)).unwrap());
+        let p = atom_probability_given(&space, lung, &both).unwrap().unwrap();
+        assert_eq!(p, Ratio::ONE);
+    }
+
+    #[test]
+    fn max_disclosure_k1_on_figure3_is_two_thirds() {
+        // The paper's prose claims 10/19, but its own language admits the
+        // negation-equivalent implication (t_p=lung → t_p=flu) with
+        // disclosure (2/5)/(3/5) = 2/3 > 10/19. Exhaustive search over a
+        // reduced variant (one bucket suffices to exhibit the max) confirms
+        // 2/3; the full-table search is exercised in integration tests.
+        let space = WorldSpace::new(vec![BucketSpec::new(
+            persons(&[0, 1, 2, 3, 4]),
+            sv(&[0, 0, 1, 1, 2]),
+        )])
+        .unwrap();
+        let best = max_disclosure_over_simple(&space, 1, 2_000_000).unwrap();
+        assert_eq!(best.value, Ratio::new(2, 3));
+    }
+
+    #[test]
+    fn negation_search_matches_frequency_formula() {
+        // Bucket {0,0,1,2}: best single negation rules out value 1 (or 2)
+        // for the target person: 2/(4-1) = 2/3.
+        let space = WorldSpace::new(vec![BucketSpec::new(
+            persons(&[0, 1, 2, 3]),
+            sv(&[0, 0, 1, 2]),
+        )])
+        .unwrap();
+        let best = max_disclosure_over_negations(&space, 1, 1_000_000).unwrap();
+        assert_eq!(best.value, Ratio::new(2, 3));
+        let best2 = max_disclosure_over_negations(&space, 2, 1_000_000).unwrap();
+        assert_eq!(best2.value, Ratio::ONE);
+    }
+
+    #[test]
+    fn implications_dominate_negations() {
+        let space = WorldSpace::new(vec![
+            BucketSpec::new(persons(&[0, 1, 2]), sv(&[0, 1, 2])),
+            BucketSpec::new(persons(&[3, 4]), sv(&[0, 1])),
+        ])
+        .unwrap();
+        for k in 0..=2 {
+            let imp = max_disclosure_over_simple(&space, k, 10_000_000).unwrap();
+            let neg = max_disclosure_over_negations(&space, k, 10_000_000).unwrap();
+            assert!(imp.value >= neg.value, "k={k}");
+        }
+    }
+
+    #[test]
+    fn limit_guard_trips() {
+        let space = figure3();
+        assert_eq!(
+            max_disclosure_over_simple(&space, 3, 10).unwrap_err(),
+            WorldsError::TooManyWorlds
+        );
+    }
+
+    #[test]
+    fn same_consequent_helper_agrees_with_manual() {
+        let space = figure3();
+        let consequent = Atom::new(TupleId(1), SValue(0));
+        let p = same_consequent_disclosure(&space, &[Atom::new(TupleId(6), SValue(0))], consequent)
+            .unwrap()
+            .unwrap();
+        assert_eq!(p, Ratio::new(10, 19));
+    }
+}

@@ -1,0 +1,42 @@
+//! # wcbk-worlds — exact random-worlds inference
+//!
+//! The paper's probability model (Section 2.2): given a published
+//! bucketization `B`, the attacker considers all tables consistent with `B`
+//! equally likely (*random worlds assumption* [Bacchus et al.]). A **world**
+//! is one assignment of each bucket's sensitive-value multiset to its
+//! members; since every distinct assignment arises from the same number of
+//! permutations, worlds are uniform.
+//!
+//! This crate computes probabilities **exactly** over that distribution:
+//!
+//! * [`WorldSpace`] — the set of worlds of a bucketization, with full
+//!   enumeration ([`WorldSpace::for_each_world`]) and *restricted*
+//!   enumeration ([`WorldSpace::count_models`]) that only branches on the
+//!   persons a formula mentions, weighting the remainder by multinomials.
+//! * [`inference`] — `Pr(φ | B)`, `Pr(C | B ∧ φ)`, Definition 5 disclosure
+//!   risk, and exhaustive maximum-disclosure search over `L^k` used to
+//!   validate Theorem 9 on small instances.
+//! * [`consistency`] — the NP-complete problem of Theorem 8: is a
+//!   bucketization consistent with a conjunction of simple implications?
+//!   (backtracking with forward checking), plus `#P`-style model counting.
+//! * [`completeness`] — the constructive Theorem 3: compile an arbitrary
+//!   predicate on tables into a conjunction of basic implications.
+//! * [`Ratio`] — exact rational arithmetic on `i128` (the sanctioned crate
+//!   list has no bignum crate; all exact computations here are small).
+//! * [`multiset`] — multiset permutation iteration, the combinatorial core.
+//!
+//! Everything here is exponential in the worst case — that is the point
+//! (Theorem 8). The polynomial-time algorithms live in `wcbk-core`; this
+//! crate is their ground truth.
+
+pub mod approx;
+pub mod completeness;
+pub mod consistency;
+pub mod inference;
+pub mod multiset;
+pub mod soft;
+mod ratio;
+mod space;
+
+pub use ratio::Ratio;
+pub use space::{BucketSpec, WorldSpace, WorldsError};

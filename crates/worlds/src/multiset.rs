@@ -1,0 +1,155 @@
+//! Multiset permutations.
+//!
+//! A bucket publishes a *multiset* of sensitive values; a world assigns that
+//! multiset to the bucket's members. Distinct assignments are exactly the
+//! distinct permutations of the multiset, and they are uniformly likely
+//! (every distinct assignment is produced by the same number `∏_s n_b(s)!` of
+//! raw permutations).
+
+/// Advances `items` to its next lexicographic permutation.
+///
+/// Returns `false` (leaving `items` sorted ascending, i.e. wrapped around)
+/// when `items` was the last permutation. Handles repeated elements
+/// correctly, yielding each distinct arrangement exactly once when started
+/// from sorted order.
+pub fn next_permutation<T: Ord>(items: &mut [T]) -> bool {
+    let n = items.len();
+    if n < 2 {
+        return false;
+    }
+    // Find the longest non-increasing suffix.
+    let mut i = n - 1;
+    while i > 0 && items[i - 1] >= items[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        items.reverse();
+        return false;
+    }
+    // items[i-1] is the pivot; find rightmost element greater than it.
+    let mut j = n - 1;
+    while items[j] <= items[i - 1] {
+        j -= 1;
+    }
+    items.swap(i - 1, j);
+    items[i..].reverse();
+    true
+}
+
+/// Calls `visit` once per distinct permutation of `items` (which is consumed
+/// as scratch space and must be handed in **sorted ascending** to guarantee
+/// full coverage).
+pub fn for_each_permutation<T: Ord, F: FnMut(&[T])>(items: &mut [T], mut visit: F) {
+    debug_assert!(items.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    loop {
+        visit(items);
+        if !next_permutation(items) {
+            return;
+        }
+    }
+}
+
+/// Number of distinct permutations of a multiset given by `counts`
+/// (a multinomial coefficient), or `None` on `u128` overflow.
+pub fn multinomial(counts: &[u64]) -> Option<u128> {
+    let mut result: u128 = 1;
+    let mut placed: u64 = 0;
+    for &c in counts {
+        for i in 1..=c {
+            placed += 1;
+            // result *= placed / i, computed exactly: result * placed is
+            // always divisible by i! accumulated stepwise.
+            result = result.checked_mul(placed as u128)?;
+            result /= i as u128;
+        }
+    }
+    Some(result)
+}
+
+/// Factorial as u128, or `None` on overflow.
+pub fn factorial(n: u64) -> Option<u128> {
+    let mut result: u128 = 1;
+    for i in 2..=n as u128 {
+        result = result.checked_mul(i)?;
+    }
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn permutations_of_distinct_elements() {
+        let mut v = vec![1, 2, 3];
+        let mut seen = Vec::new();
+        for_each_permutation(&mut v, |p| seen.push(p.to_vec()));
+        assert_eq!(seen.len(), 6);
+        let set: HashSet<_> = seen.iter().cloned().collect();
+        assert_eq!(set.len(), 6);
+        assert_eq!(seen[0], vec![1, 2, 3]);
+        assert_eq!(seen[5], vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn permutations_of_multiset_are_distinct() {
+        let mut v = vec![0, 0, 1, 1];
+        let mut seen = Vec::new();
+        for_each_permutation(&mut v, |p| seen.push(p.to_vec()));
+        // 4!/(2!2!) = 6 distinct arrangements.
+        assert_eq!(seen.len(), 6);
+        let set: HashSet<_> = seen.iter().cloned().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn permutation_count_matches_multinomial() {
+        let cases: Vec<Vec<u64>> = vec![vec![3], vec![2, 2], vec![2, 1, 1], vec![1, 1, 1, 1]];
+        for counts in cases {
+            let mut items = Vec::new();
+            for (code, &c) in counts.iter().enumerate() {
+                items.extend(std::iter::repeat(code).take(c as usize));
+            }
+            let mut n = 0u128;
+            for_each_permutation(&mut items, |_| n += 1);
+            assert_eq!(Some(n), multinomial(&counts), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        let mut v: Vec<u32> = vec![];
+        let mut n = 0;
+        for_each_permutation(&mut v, |_| n += 1);
+        assert_eq!(n, 1);
+        let mut v = vec![42];
+        let mut n = 0;
+        for_each_permutation(&mut v, |_| n += 1);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn next_permutation_wraps_to_sorted() {
+        let mut v = vec![3, 2, 1];
+        assert!(!next_permutation(&mut v));
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn multinomial_values() {
+        assert_eq!(multinomial(&[5]), Some(1));
+        assert_eq!(multinomial(&[2, 2, 1]), Some(30));
+        assert_eq!(multinomial(&[1, 1, 1]), Some(6));
+        assert_eq!(multinomial(&[]), Some(1));
+    }
+
+    #[test]
+    fn factorial_values_and_overflow() {
+        assert_eq!(factorial(0), Some(1));
+        assert_eq!(factorial(5), Some(120));
+        assert_eq!(factorial(20), Some(2_432_902_008_176_640_000));
+        assert!(factorial(34).is_some()); // largest factorial fitting u128
+        assert!(factorial(35).is_none()); // overflows
+    }
+}

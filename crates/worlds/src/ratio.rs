@@ -1,0 +1,230 @@
+//! Exact rational arithmetic on `i128`.
+//!
+//! Used for the ground-truth probability computations on small instances.
+//! All operations check for overflow and panic with a clear message if the
+//! exact computation leaves `i128` range — the caller (tests, examples)
+//! controls instance sizes, so this never fires in practice.
+
+/// An exact rational number `num / den` with `den > 0`, always reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Ratio {
+    /// Zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates `num / den`, reducing and normalizing the sign.
+    ///
+    /// # Panics
+    /// If `den == 0`.
+    pub fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "Ratio denominator must be non-zero");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Ratio { num, den }
+    }
+
+    /// Creates the integer `n`.
+    pub fn from_int(n: i128) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// Creates `num / den` from unsigned counts.
+    ///
+    /// # Panics
+    /// If either value exceeds `i128::MAX` or `den == 0`.
+    pub fn from_counts(num: u128, den: u128) -> Ratio {
+        let num = i128::try_from(num).expect("count exceeds i128 in exact arithmetic");
+        let den = i128::try_from(den).expect("count exceeds i128 in exact arithmetic");
+        Ratio::new(num, den)
+    }
+
+    /// Numerator (reduced form, sign carried here).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (reduced form, always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// If the value is zero.
+    pub fn recip(&self) -> Ratio {
+        assert!(self.num != 0, "cannot invert zero");
+        Ratio::new(self.den, self.num)
+    }
+
+    fn checked_op(a: i128, b: i128, what: &str) -> i128 {
+        a.checked_mul(b)
+            .unwrap_or_else(|| panic!("exact rational overflow during {what}"))
+    }
+}
+
+impl std::ops::Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        // Reduce cross terms first to delay overflow.
+        let g = gcd(self.den, rhs.den);
+        let lden = self.den / g;
+        let rden = rhs.den / g;
+        let num = Ratio::checked_op(self.num, rden, "add")
+            .checked_add(Ratio::checked_op(rhs.num, lden, "add"))
+            .expect("exact rational overflow during add");
+        let den = Ratio::checked_op(self.den, rden, "add");
+        Ratio::new(num, den)
+    }
+}
+
+impl std::ops::Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + Ratio::new(-rhs.num, rhs.den)
+    }
+}
+
+impl std::ops::Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        // Cross-reduce before multiplying.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = Ratio::checked_op(self.num / g1, rhs.num / g2, "mul");
+        let den = Ratio::checked_op(self.den / g2, rhs.den / g1, "mul");
+        Ratio::new(num, den)
+    }
+}
+
+impl std::ops::Div for Ratio {
+    type Output = Ratio;
+    // Division by the reciprocal reuses the cross-reducing multiply.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Ratio) -> Ratio {
+        self * rhs.recip()
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> std::cmp::Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        let lhs = Ratio::checked_op(self.num, other.den, "cmp");
+        let rhs = Ratio::checked_op(other.num, self.den, "cmp");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_sign_normalization() {
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(-2, -4), Ratio::new(1, 2));
+        assert_eq!(Ratio::new(2, -4), Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(0, -7), Ratio::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(1, 6);
+        assert_eq!(a + b, Ratio::new(1, 2));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 18));
+        assert_eq!(a / b, Ratio::from_int(2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 2) < Ratio::ZERO);
+        assert_eq!(Ratio::new(10, 19).max(Ratio::new(1, 2)), Ratio::new(10, 19));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::new(10, 19).to_string(), "10/19");
+        assert_eq!(Ratio::from_int(3).to_string(), "3");
+    }
+
+    #[test]
+    fn to_f64_close() {
+        assert!((Ratio::new(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_counts() {
+        assert_eq!(Ratio::from_counts(10, 20), Ratio::new(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_denominator_panics() {
+        Ratio::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn recip_zero_panics() {
+        Ratio::ZERO.recip();
+    }
+
+    #[test]
+    fn large_reduction_avoids_overflow() {
+        // (2^100 / 2^101) * (2^101 / 2^100) = 1 without overflowing i128
+        let big = 1i128 << 100;
+        let a = Ratio::new(big, big * 2);
+        let b = Ratio::new(big * 2, big);
+        assert_eq!(a * b, Ratio::ONE);
+    }
+}

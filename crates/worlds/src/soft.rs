@@ -1,0 +1,310 @@
+//! Probabilistic background knowledge (the paper's §6 future-work item
+//! "extending our framework for probabilistic background knowledge").
+//!
+//! An attacker may hold a belief with confidence rather than certainty:
+//! "with probability 0.9, if Hannah has the flu then Charlie does too."
+//! The standard mechanism is **Jeffrey conditioning**: given the random-
+//! worlds prior and a constraint `(φ, p)`, reweight worlds so that the
+//! posterior probability of `φ` is exactly `p`, scaling worlds inside and
+//! outside `φ` uniformly:
+//!
+//! ```text
+//!   w'(ω) = w(ω) · p / Pr(φ)        if ω ⊨ φ
+//!   w'(ω) = w(ω) · (1−p) / Pr(¬φ)   otherwise
+//! ```
+//!
+//! Hard knowledge is the `p = 1` special case and reproduces ordinary
+//! conditioning. Updates for multiple constraints are applied iteratively
+//! (Jeffrey updates do not commute in general — the classical caveat; the
+//! order is the order of `update` calls).
+//!
+//! The posterior is maintained as an explicit weight per world, so this is
+//! exact but limited to enumerable spaces (guarded by a world-count limit).
+
+use wcbk_logic::{Atom, Formula};
+use wcbk_table::SValue;
+
+use crate::{WorldSpace, WorldsError};
+
+/// Errors specific to soft conditioning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoftError {
+    /// The space has more worlds than `limit`.
+    TooLarge {
+        /// Worlds in the space.
+        n_worlds: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// Confidence must lie in `[0, 1]`.
+    BadConfidence(f64),
+    /// The constraint demands positive probability for an event the prior
+    /// (or current posterior) rules out entirely, or vice versa.
+    Incompatible {
+        /// Posterior probability of the constraint event before the update.
+        current: f64,
+        /// Demanded probability.
+        demanded: f64,
+    },
+    /// Underlying world-space failure.
+    Worlds(WorldsError),
+}
+
+impl std::fmt::Display for SoftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SoftError::TooLarge { n_worlds, limit } => {
+                write!(f, "{n_worlds} worlds exceed the soft-conditioning limit {limit}")
+            }
+            SoftError::BadConfidence(p) => write!(f, "confidence {p} outside [0,1]"),
+            SoftError::Incompatible { current, demanded } => write!(
+                f,
+                "cannot move an event of probability {current} to {demanded}"
+            ),
+            SoftError::Worlds(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SoftError {}
+
+impl From<WorldsError> for SoftError {
+    fn from(e: WorldsError) -> Self {
+        SoftError::Worlds(e)
+    }
+}
+
+/// An explicit posterior over the worlds of a bucketization, supporting
+/// Jeffrey updates with uncertain knowledge.
+#[derive(Debug, Clone)]
+pub struct SoftPosterior {
+    worlds: Vec<Vec<SValue>>,
+    weights: Vec<f64>,
+}
+
+impl SoftPosterior {
+    /// Materializes the uniform random-worlds prior. Fails when the space
+    /// has more than `limit` worlds.
+    pub fn new(space: &WorldSpace, limit: u128) -> Result<Self, SoftError> {
+        let n_worlds = space.n_worlds().unwrap_or(u128::MAX);
+        if n_worlds > limit {
+            return Err(SoftError::TooLarge { n_worlds, limit });
+        }
+        let mut worlds = Vec::with_capacity(n_worlds as usize);
+        space.for_each_world(|w| worlds.push(w.to_vec()));
+        let n = worlds.len();
+        Ok(Self {
+            worlds,
+            weights: vec![1.0 / n as f64; n],
+        })
+    }
+
+    /// Number of worlds carried.
+    pub fn n_worlds(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// Posterior probability of `formula`.
+    pub fn probability(&self, formula: &Formula) -> f64 {
+        self.worlds
+            .iter()
+            .zip(&self.weights)
+            .filter(|(w, _)| formula.eval(w.as_slice()))
+            .map(|(_, &wt)| wt)
+            .sum()
+    }
+
+    /// Jeffrey update: after this call, `Pr(formula) = confidence`.
+    ///
+    /// `confidence = 1` is hard conditioning on `formula`; `confidence = 0`
+    /// on its negation.
+    pub fn update(&mut self, formula: &Formula, confidence: f64) -> Result<(), SoftError> {
+        if !(0.0..=1.0).contains(&confidence) || confidence.is_nan() {
+            return Err(SoftError::BadConfidence(confidence));
+        }
+        let current = self.probability(formula);
+        if (current == 0.0 && confidence > 0.0) || (current == 1.0 && confidence < 1.0) {
+            return Err(SoftError::Incompatible {
+                current,
+                demanded: confidence,
+            });
+        }
+        let scale_in = if current > 0.0 {
+            confidence / current
+        } else {
+            0.0
+        };
+        let scale_out = if current < 1.0 {
+            (1.0 - confidence) / (1.0 - current)
+        } else {
+            0.0
+        };
+        for (w, wt) in self.worlds.iter().zip(self.weights.iter_mut()) {
+            *wt *= if formula.eval(w.as_slice()) {
+                scale_in
+            } else {
+                scale_out
+            };
+        }
+        Ok(())
+    }
+
+    /// Definition 5 under the soft posterior: the most probable sensitive
+    /// assignment and its probability.
+    pub fn disclosure_risk(&self, space: &WorldSpace) -> Option<(f64, Atom)> {
+        let mut best: Option<(f64, Atom)> = None;
+        for b in 0..space.n_buckets() {
+            for &p in space.members(b) {
+                for &(v, _) in space.value_counts(b) {
+                    let atom = Atom::new(p, v);
+                    let prob = self.probability(&Formula::Atom(atom));
+                    if best.as_ref().map_or(true, |(bp, _)| prob > *bp) {
+                        best = Some((prob, atom));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BucketSpec;
+    use wcbk_logic::{Knowledge, SimpleImplication};
+    use wcbk_table::TupleId;
+
+    fn sv(vals: &[u32]) -> Vec<SValue> {
+        vals.iter().map(|&v| SValue(v)).collect()
+    }
+
+    fn persons(ids: &[u32]) -> Vec<TupleId> {
+        ids.iter().map(|&i| TupleId(i)).collect()
+    }
+
+    /// Figure 3 male/female buckets.
+    fn figure3() -> WorldSpace {
+        WorldSpace::new(vec![
+            BucketSpec::new(persons(&[0, 1, 2, 3, 4]), sv(&[0, 0, 1, 1, 2])),
+            BucketSpec::new(persons(&[5, 6, 7, 8, 9]), sv(&[0, 0, 3, 4, 5])),
+        ])
+        .unwrap()
+    }
+
+    fn hannah_charlie() -> Formula {
+        Knowledge::from_simple([SimpleImplication::new(
+            Atom::new(TupleId(6), SValue(0)),
+            Atom::new(TupleId(1), SValue(0)),
+        )])
+        .to_formula()
+    }
+
+    #[test]
+    fn prior_matches_space() {
+        let space = figure3();
+        let post = SoftPosterior::new(&space, 10_000).unwrap();
+        assert_eq!(Some(post.n_worlds() as u128), space.n_worlds());
+        let charlie_flu = Formula::Atom(Atom::new(TupleId(1), SValue(0)));
+        assert!((post.probability(&charlie_flu) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hard_update_equals_conditioning() {
+        let space = figure3();
+        let mut post = SoftPosterior::new(&space, 10_000).unwrap();
+        let phi = hannah_charlie();
+        post.update(&phi, 1.0).unwrap();
+        let charlie_flu = Formula::Atom(Atom::new(TupleId(1), SValue(0)));
+        // Exact: 10/19 from the paper.
+        assert!((post.probability(&charlie_flu) - 10.0 / 19.0).abs() < 1e-12);
+        assert!((post.probability(&phi) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_op_update_at_prior_probability() {
+        let space = figure3();
+        let mut post = SoftPosterior::new(&space, 10_000).unwrap();
+        let phi = hannah_charlie();
+        let prior = post.probability(&phi);
+        let charlie_flu = Formula::Atom(Atom::new(TupleId(1), SValue(0)));
+        let before = post.probability(&charlie_flu);
+        post.update(&phi, prior).unwrap();
+        assert!((post.probability(&charlie_flu) - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_confidence_interpolates() {
+        let space = figure3();
+        let phi = hannah_charlie();
+        let charlie_flu = Formula::Atom(Atom::new(TupleId(1), SValue(0)));
+        let mut last = 0.0;
+        // Disclosure about Charlie grows monotonically with confidence in φ
+        // (φ raises Pr(Charlie=flu), so pushing Pr(φ) up can only help).
+        for confidence in [0.2, 0.5, 0.8, 0.95, 1.0] {
+            let mut post = SoftPosterior::new(&space, 10_000).unwrap();
+            post.update(&phi, confidence).unwrap();
+            let p = post.probability(&charlie_flu);
+            assert!(p >= last - 1e-12, "confidence {confidence}: {p} < {last}");
+            last = p;
+        }
+        assert!((last - 10.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_updates_hit_both_targets_last_wins() {
+        let space = figure3();
+        let mut post = SoftPosterior::new(&space, 10_000).unwrap();
+        let ed_flu = Formula::Atom(Atom::new(TupleId(3), SValue(0)));
+        let frank_flu = Formula::Atom(Atom::new(TupleId(4), SValue(0)));
+        post.update(&ed_flu, 0.9).unwrap();
+        post.update(&frank_flu, 0.9).unwrap();
+        // The most recent constraint holds exactly; the earlier one drifted.
+        assert!((post.probability(&frank_flu) - 0.9).abs() < 1e-12);
+        assert!(post.probability(&ed_flu) < 0.9);
+        // Weights stay a distribution.
+        let total: f64 = post.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disclosure_risk_under_soft_knowledge() {
+        let space = figure3();
+        let mut post = SoftPosterior::new(&space, 10_000).unwrap();
+        let (risk0, _) = post.disclosure_risk(&space).unwrap();
+        assert!((risk0 - 0.4).abs() < 1e-12);
+        post.update(&hannah_charlie(), 0.9).unwrap();
+        let (risk1, atom) = post.disclosure_risk(&space).unwrap();
+        assert!(risk1 > risk0);
+        assert!(risk1 < 10.0 / 19.0 + 1e-12);
+        // The lifted prediction is about Charlie having flu.
+        assert_eq!(atom, Atom::new(TupleId(1), SValue(0)));
+    }
+
+    #[test]
+    fn incompatible_and_invalid_updates_rejected() {
+        let space = figure3();
+        let mut post = SoftPosterior::new(&space, 10_000).unwrap();
+        // Ed = Breast Cancer is impossible in the male bucket.
+        let impossible = Formula::Atom(Atom::new(TupleId(3), SValue(3)));
+        assert!(matches!(
+            post.update(&impossible, 0.5),
+            Err(SoftError::Incompatible { .. })
+        ));
+        assert!(matches!(
+            post.update(&Formula::True, 1.5),
+            Err(SoftError::BadConfidence(_))
+        ));
+        // Probability-0 demand on an impossible event is fine (no-op).
+        post.update(&impossible, 0.0).unwrap();
+    }
+
+    #[test]
+    fn limit_guard() {
+        let space = figure3();
+        assert!(matches!(
+            SoftPosterior::new(&space, 10),
+            Err(SoftError::TooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based validation of the exact engine: restricted enumeration,
+//! backtracking consistency, the completeness compiler and the rational
+//! arithmetic all agree with full world enumeration.
+
+use proptest::prelude::*;
+
+use wcbk_logic::{Atom, Formula, Knowledge, SimpleImplication};
+use wcbk_table::{SValue, TupleId};
+use wcbk_worlds::consistency::{count_satisfying_worlds, is_consistent};
+use wcbk_worlds::multiset::{multinomial, next_permutation};
+use wcbk_worlds::{BucketSpec, Ratio, WorldSpace};
+
+/// Strategy: a small world space (1..=3 buckets, 1..=4 tuples each, values
+/// in 0..3).
+fn small_space() -> impl Strategy<Value = WorldSpace> {
+    prop::collection::vec(prop::collection::vec(0u32..3, 1..=4), 1..=3).prop_map(|groups| {
+        let mut next = 0u32;
+        let specs: Vec<BucketSpec> = groups
+            .into_iter()
+            .map(|vals| {
+                let members: Vec<TupleId> = (0..vals.len())
+                    .map(|_| {
+                        let t = TupleId(next);
+                        next += 1;
+                        t
+                    })
+                    .collect();
+                BucketSpec::new(members, vals.into_iter().map(SValue).collect())
+            })
+            .collect();
+        WorldSpace::new(specs).unwrap()
+    })
+}
+
+/// Strategy: a random simple implication over the space's persons/values.
+fn implications(n_persons: u32) -> impl Strategy<Value = Vec<SimpleImplication>> {
+    prop::collection::vec(
+        (0..n_persons, 0u32..3, 0..n_persons, 0u32..3),
+        0..=3,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(pa, va, pc, vc)| {
+                SimpleImplication::new(
+                    Atom::new(TupleId(pa), SValue(va)),
+                    Atom::new(TupleId(pc), SValue(vc)),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Restricted enumeration (count_models) == full enumeration, for
+    /// arbitrary conjunctions of implications.
+    #[test]
+    fn count_models_matches_full_enumeration(space in small_space(), seed_imps in implications(12)) {
+        let imps: Vec<SimpleImplication> = seed_imps
+            .into_iter()
+            .map(|mut imp| {
+                // Remap persons into range.
+                let n = space.n_persons() as u32;
+                imp.antecedent.person = TupleId(imp.antecedent.person.0 % n);
+                imp.consequent.person = TupleId(imp.consequent.person.0 % n);
+                imp
+            })
+            .collect();
+        let knowledge = Knowledge::from_simple(imps.iter().copied());
+        let formula = knowledge.to_formula();
+        let restricted = space.count_models(&formula).unwrap();
+        let mut full = 0u128;
+        space.for_each_world(|w| {
+            if formula.eval(w) {
+                full += 1;
+            }
+        });
+        prop_assert_eq!(restricted, full);
+
+        // The backtracking counter agrees too, and decision == (count > 0).
+        let via_backtracking = count_satisfying_worlds(&space, &imps).unwrap();
+        prop_assert_eq!(via_backtracking, full);
+        prop_assert_eq!(is_consistent(&space, &imps).unwrap(), full > 0);
+    }
+
+    /// The value-aggregated float path equals the rational path on random
+    /// implication conjunctions (soundness of the "other value" lumping).
+    #[test]
+    fn probability_f64_matches_rational_on_random_formulas(
+        space in small_space(),
+        seed_imps in implications(12),
+    ) {
+        let imps: Vec<SimpleImplication> = seed_imps
+            .into_iter()
+            .map(|mut imp| {
+                let n = space.n_persons() as u32;
+                imp.antecedent.person = TupleId(imp.antecedent.person.0 % n);
+                imp.consequent.person = TupleId(imp.consequent.person.0 % n);
+                imp
+            })
+            .collect();
+        let formula = Knowledge::from_simple(imps.iter().copied()).to_formula();
+        let exact = space.probability(&formula).unwrap().to_f64();
+        let float = space.probability_f64(&formula).unwrap();
+        prop_assert!((exact - float).abs() < 1e-12, "exact {exact} vs float {float}");
+    }
+
+    /// World counts equal the product of multinomials, and enumeration
+    /// yields exactly that many distinct worlds.
+    #[test]
+    fn world_count_matches_enumeration(space in small_space()) {
+        let mut seen = std::collections::HashSet::new();
+        space.for_each_world(|w| { seen.insert(w.to_vec()); });
+        prop_assert_eq!(Some(seen.len() as u128), space.n_worlds());
+    }
+
+    /// Per-bucket marginals: Pr(t = s) = n_b(s)/n_b for every person/value.
+    #[test]
+    fn atom_marginals_are_frequencies(space in small_space()) {
+        for b in 0..space.n_buckets() {
+            let n = space.members(b).len() as i128;
+            for &p in space.members(b) {
+                for &(v, c) in space.value_counts(b) {
+                    let f = Formula::Atom(Atom::new(p, v));
+                    let pr = space.probability(&f).unwrap();
+                    prop_assert_eq!(pr, Ratio::new(c as i128, n));
+                }
+            }
+        }
+    }
+
+    /// The Theorem 3 compiler produces knowledge equivalent to the predicate
+    /// on every world.
+    #[test]
+    fn completeness_compiler_equivalence(space in small_space(), target in 0u32..3) {
+        prop_assume!(space.n_worlds().is_some_and(|n| n <= 2000));
+        let persons = space.persons();
+        let p0 = persons[0];
+        let pred = move |w: &[SValue]| w[p0.index()] != SValue(target);
+        match wcbk_worlds::completeness::compile_predicate(&space, pred) {
+            Ok(knowledge) => {
+                space.for_each_world(|w| {
+                    assert_eq!(knowledge.holds(&w.to_vec()), pred(w));
+                });
+            }
+            Err(wcbk_worlds::completeness::CompletenessError::Unsatisfiable) => {
+                // Predicate false everywhere: person 0 always has `target`.
+                space.for_each_world(|w| assert!(!pred(w)));
+            }
+            Err(wcbk_worlds::completeness::CompletenessError::NoFalsifiableConsequent) => {
+                // Only possible when every bucket is constant.
+                for b in 0..space.n_buckets() {
+                    assert_eq!(space.value_counts(b).len(), 1);
+                }
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+
+    /// Multiset permutation machinery: distinct count == multinomial.
+    #[test]
+    fn permutation_count_is_multinomial(vals in prop::collection::vec(0u32..4, 1..=7)) {
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let mut counts: Vec<u64> = Vec::new();
+        for w in sorted.chunk_by(|a, b| a == b) {
+            counts.push(w.len() as u64);
+        }
+        let expected = multinomial(&counts).unwrap();
+        let mut n = 0u128;
+        let mut items = sorted.clone();
+        loop {
+            n += 1;
+            if !next_permutation(&mut items) {
+                break;
+            }
+        }
+        prop_assert_eq!(n, expected);
+        prop_assert_eq!(items, sorted); // wrapped back to start
+    }
+
+    /// Rational arithmetic laws on small operands.
+    #[test]
+    fn ratio_field_laws(a in -50i128..50, b in 1i128..20, c in -50i128..50, d in 1i128..20) {
+        let x = Ratio::new(a, b);
+        let y = Ratio::new(c, d);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x * y, y * x);
+        prop_assert_eq!((x + y) - y, x);
+        if !y.is_zero() {
+            prop_assert_eq!((x / y) * y, x);
+        }
+        // Ordering consistency with f64.
+        if x != y {
+            prop_assert_eq!(x < y, x.to_f64() < y.to_f64());
+        }
+        // Distributivity.
+        let z = Ratio::new(d, b);
+        prop_assert_eq!(x * (y + z), x * y + x * z);
+    }
+
+    /// Conditional probabilities: chain rule Pr(A ∧ B) = Pr(A|B)·Pr(B).
+    #[test]
+    fn chain_rule_holds(space in small_space(), pa in 0u32..12, va in 0u32..3, pb in 0u32..12, vb in 0u32..3) {
+        let n = space.n_persons() as u32;
+        let a = Formula::Atom(Atom::new(TupleId(pa % n), SValue(va)));
+        let b = Formula::Atom(Atom::new(TupleId(pb % n), SValue(vb)));
+        let p_b = space.probability(&b).unwrap();
+        let joint = space.probability(&Formula::and([a.clone(), b.clone()])).unwrap();
+        match space.conditional(&a, &b).unwrap() {
+            Some(cond) => prop_assert_eq!(cond * p_b, joint),
+            None => prop_assert!(p_b.is_zero()),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: publish a table safely.
+//!
+//! Builds a small patient table, buckets it, measures worst-case disclosure
+//! against background knowledge, and checks (c,k)-safety.
+//!
+//! Run: `cargo run --example quickstart`
+
+use wcbk::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The private table: one sensitive attribute (Disease), some
+    //    quasi-identifiers an attacker can link externally.
+    let schema = Schema::new(vec![
+        Attribute::new("Zip", AttributeKind::QuasiIdentifier),
+        Attribute::new("Age", AttributeKind::QuasiIdentifier),
+        Attribute::new("Disease", AttributeKind::Sensitive),
+    ])?;
+    let mut builder = TableBuilder::new(schema);
+    for row in [
+        ["14850", "23", "Flu"],
+        ["14850", "25", "Flu"],
+        ["14850", "29", "Cancer"],
+        ["14853", "31", "Mumps"],
+        ["14853", "34", "Flu"],
+        ["14853", "38", "Cancer"],
+    ] {
+        builder.push_row(&row)?;
+    }
+    let table = builder.build();
+
+    // 2. Bucketize by zip code (Anatomy-style publishing: within a bucket
+    //    the sensitive values are randomly permuted).
+    let buckets = Bucketization::from_grouping(&table, |t| {
+        table.value(t.index(), 0).to_owned()
+    })?;
+    println!("published {} buckets over {} tuples", buckets.n_buckets(), buckets.n_tuples());
+
+    // 3. Worst-case disclosure if the attacker knows k basic implications.
+    for k in 0..=2 {
+        let report = max_disclosure(&buckets, k)?;
+        println!(
+            "k = {k}: maximum disclosure = {:.4} (worst-case attacker: {})",
+            report.value,
+            report.witness.knowledge()
+        );
+    }
+
+    // 4. (c,k)-safety gate before publishing.
+    let c = 0.75;
+    let k = 1;
+    if is_ck_safe(&buckets, c, k)? {
+        println!("bucketization is ({c},{k})-safe: ship it");
+    } else {
+        println!("bucketization is NOT ({c},{k})-safe: coarsen before publishing");
+    }
+
+    // 5. Compare with the weaker negated-atom (ℓ-diversity-style) attacker.
+    let neg = negation_max_disclosure(&buckets, 1)?;
+    println!(
+        "negated-atom attacker at k = 1 reaches only {:.4}",
+        neg.value
+    );
+    Ok(())
+}

@@ -1,0 +1,314 @@
+//! `wcbk` — command-line worst-case disclosure auditing.
+//!
+//! ```text
+//! wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
+//! wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
+//! wcbk generate-adult [--rows N] [--seed N] [--out FILE]
+//! ```
+//!
+//! `audit` loads a CSV, buckets it by the (exact) quasi-identifier columns,
+//! and prints the maximum-disclosure curve, the worst-case attacker, and a
+//! (c,k)-safety verdict. `anatomize` publishes with the Anatomy algorithm
+//! instead and audits the result. `generate-adult` writes the synthetic
+//! Adult benchmark table.
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use wcbk::anonymize::anatomize;
+use wcbk::core::{is_ck_safe, max_disclosure, negation_max_disclosure, Bucketization};
+use wcbk::prelude::*;
+use wcbk::table::{Attribute, AttributeKind, Schema};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
+  wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
+  wcbk generate-adult [--rows N] [--seed N] [--out FILE]";
+
+/// Parsed command-line options (flat; validated per subcommand).
+#[derive(Debug, Default, Clone, PartialEq)]
+struct Options {
+    positional: Vec<String>,
+    sensitive: Option<String>,
+    qi: Vec<String>,
+    k: usize,
+    c: Option<f64>,
+    l: Option<usize>,
+    rows: usize,
+    seed: u64,
+    out: Option<String>,
+    header: bool,
+}
+
+/// Hand-rolled flag parser (the sanctioned dependency set has no CLI crate).
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        k: 3,
+        rows: 45_222,
+        seed: 20_070_419,
+        header: true,
+        ..Default::default()
+    };
+    let mut it = args.iter().peekable();
+    let need_value = |name: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("flag {name} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sensitive" => opts.sensitive = Some(need_value("--sensitive", &mut it)?),
+            "--qi" => {
+                let v = need_value("--qi", &mut it)?;
+                opts.qi = v.split(',').map(|s| s.trim().to_owned()).collect();
+            }
+            "--k" => {
+                opts.k = need_value("--k", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--k: {e}"))?
+            }
+            "--c" => {
+                opts.c = Some(
+                    need_value("--c", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--c: {e}"))?,
+                )
+            }
+            "--l" => {
+                opts.l = Some(
+                    need_value("--l", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--l: {e}"))?,
+                )
+            }
+            "--rows" => {
+                opts.rows = need_value("--rows", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = need_value("--seed", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => opts.out = Some(need_value("--out", &mut it)?),
+            "--no-header" => opts.header = false,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            _ => opts.positional.push(arg.clone()),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_args(args)?;
+    match opts.positional.first().map(String::as_str) {
+        Some("audit") => audit(&opts),
+        Some("anatomize") => anatomize_cmd(&opts),
+        Some("generate-adult") => generate_adult(&opts),
+        Some(other) => Err(format!("unknown command {other:?}").into()),
+        None => Err("missing command".into()),
+    }
+}
+
+/// Loads a CSV, inferring schema roles from the flags: the `--sensitive`
+/// column is sensitive, `--qi` columns are quasi-identifiers, everything
+/// else insensitive.
+fn load(opts: &Options) -> Result<Table, Box<dyn std::error::Error>> {
+    let path = opts
+        .positional
+        .get(1)
+        .ok_or("missing <csv> path argument")?;
+    let sensitive = opts
+        .sensitive
+        .as_deref()
+        .ok_or("--sensitive COL is required")?;
+    let file = std::fs::File::open(path)?;
+    let mut reader = wcbk::table::csv::CsvReader::new(BufReader::new(file));
+
+    // Read the header (or synthesize col0..colN names).
+    let first = reader
+        .next_record()?
+        .ok_or("empty CSV file")?;
+    let names: Vec<String> = if opts.header {
+        first.iter().map(|s| s.trim().to_owned()).collect()
+    } else {
+        (0..first.len()).map(|i| format!("col{i}")).collect()
+    };
+    let attributes: Vec<Attribute> = names
+        .iter()
+        .map(|n| {
+            let kind = if n == sensitive {
+                AttributeKind::Sensitive
+            } else if opts.qi.contains(n) {
+                AttributeKind::QuasiIdentifier
+            } else {
+                AttributeKind::Insensitive
+            };
+            Attribute::new(n.clone(), kind)
+        })
+        .collect();
+    let schema = Schema::new(attributes)?;
+
+    let mut builder = TableBuilder::new(schema);
+    if !opts.header {
+        let trimmed: Vec<&str> = first.iter().map(|s| s.trim()).collect();
+        builder.push_row(&trimmed)?;
+    }
+    while let Some(rec) = reader.next_record()? {
+        let trimmed: Vec<&str> = rec.iter().map(|s| s.trim()).collect();
+        builder.push_row(&trimmed)?;
+    }
+    Ok(builder.build())
+}
+
+fn report(b: &Bucketization, k_max: usize, c: Option<f64>) -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "buckets: {}   tuples: {}   sensitive domain: {}",
+        b.n_buckets(),
+        b.n_tuples(),
+        b.domain_size()
+    );
+    println!("\n  k   implications   negated-atoms");
+    for k in 0..=k_max {
+        let imp = max_disclosure(b, k)?;
+        let neg = negation_max_disclosure(b, k)?;
+        println!("{k:>3}   {:>12.6}   {:>13.6}", imp.value, neg.value);
+    }
+    let worst = max_disclosure(b, k_max)?;
+    println!("\nworst-case attacker at k={k_max}:");
+    println!("  predicts  {}", worst.witness.consequent);
+    println!("  knowing   {}", worst.witness.knowledge());
+    if let Some(c) = c {
+        let safe = is_ck_safe(b, c, k_max)?;
+        println!(
+            "\n({c},{k_max})-safety: {}",
+            if safe { "SAFE" } else { "NOT SAFE" }
+        );
+    }
+    Ok(())
+}
+
+fn audit(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let table = load(opts)?;
+    let qi_cols: Vec<usize> = opts
+        .qi
+        .iter()
+        .map(|n| table.schema().index_of(n))
+        .collect::<Result<_, _>>()?;
+    let b = if qi_cols.is_empty() {
+        Bucketization::from_grouping(&table, |_| 0u8)?
+    } else {
+        Bucketization::from_grouping(&table, |t| {
+            qi_cols
+                .iter()
+                .map(|&col| table.column(col).code(t.index()))
+                .collect::<Vec<u32>>()
+        })?
+    };
+    println!("== wcbk audit ==");
+    report(&b, opts.k, opts.c)
+}
+
+fn anatomize_cmd(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let table = load(opts)?;
+    let l = opts.l.ok_or("--l N is required for anatomize")?;
+    let outcome = anatomize(&table, l, opts.seed)?;
+    println!("== wcbk anatomize (l = {l}) ==");
+    println!("residue tuples absorbed: {}", outcome.residue);
+    report(&outcome.bucketization, opts.k, opts.c)
+}
+
+fn generate_adult(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let table = wcbk::datagen::adult::synthetic_adult(wcbk::datagen::adult::AdultConfig {
+        n_rows: opts.rows,
+        seed: opts.seed,
+    });
+    match &opts.out {
+        Some(path) => {
+            let file = std::fs::File::create(path)?;
+            wcbk::table::csv::write_table(file, &table)?;
+            eprintln!("wrote {} rows to {path}", table.n_rows());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            wcbk::table::csv::write_table(stdout.lock(), &table)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_audit_flags() {
+        let o = parse_args(&s(&[
+            "audit",
+            "data.csv",
+            "--sensitive",
+            "Disease",
+            "--qi",
+            "Zip, Age",
+            "--k",
+            "5",
+            "--c",
+            "0.7",
+        ]))
+        .unwrap();
+        assert_eq!(o.positional, vec!["audit", "data.csv"]);
+        assert_eq!(o.sensitive.as_deref(), Some("Disease"));
+        assert_eq!(o.qi, vec!["Zip", "Age"]);
+        assert_eq!(o.k, 5);
+        assert_eq!(o.c, Some(0.7));
+        assert!(o.header);
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let o = parse_args(&s(&["generate-adult"])).unwrap();
+        assert_eq!(o.rows, 45_222);
+        assert_eq!(o.seed, 20_070_419);
+        assert_eq!(o.k, 3);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse_args(&s(&["audit", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse_args(&s(&["audit", "--k"])).is_err());
+    }
+
+    #[test]
+    fn no_header_flag() {
+        let o = parse_args(&s(&["audit", "x.csv", "--no-header"])).unwrap();
+        assert!(!o.header);
+    }
+
+    #[test]
+    fn run_rejects_unknown_command() {
+        assert!(run(&s(&["transmogrify"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! E1 integration: every number the paper quotes for its running example,
+//! computed end-to-end through the public `wcbk` API — exact inference and
+//! polynomial DP must agree with the paper (and with each other).
+
+use wcbk::core::negation_max_disclosure;
+use wcbk::logic::parser::{parse_knowledge, SymbolTable};
+use wcbk::prelude::*;
+use wcbk::table::datasets::{hospital_bucket_of, hospital_person, hospital_table};
+use wcbk::worlds::inference::{atom_probability_given, max_disclosure_over_simple};
+
+fn setup() -> (Table, Bucketization, WorldSpace, SymbolTable) {
+    let table = hospital_table();
+    let symbols = SymbolTable::from_table(&table, "Name").unwrap();
+    let buckets = Bucketization::from_grouping(&table, hospital_bucket_of).unwrap();
+    let space = WorldSpace::new(
+        buckets
+            .to_parts()
+            .into_iter()
+            .map(|(m, v)| BucketSpec::new(m, v))
+            .collect(),
+    )
+    .unwrap();
+    (table, buckets, space, symbols)
+}
+
+#[test]
+fn ed_probability_ladder() {
+    let (table, _, space, symbols) = setup();
+    let ed = hospital_person(&table, "Ed").unwrap();
+    let ed_lung = Atom::new(ed, table.sensitive_code("Lung Cancer").unwrap());
+
+    let p = atom_probability_given(&space, ed_lung, &Knowledge::none())
+        .unwrap()
+        .unwrap();
+    assert_eq!(p, Ratio::new(2, 5));
+
+    let phi = parse_knowledge("!t[Ed]=Mumps", &symbols).unwrap();
+    let p = atom_probability_given(&space, ed_lung, &phi).unwrap().unwrap();
+    assert_eq!(p, Ratio::new(1, 2));
+
+    let phi = parse_knowledge("!t[Ed]=Mumps ; !t[Ed]=Flu", &symbols).unwrap();
+    let p = atom_probability_given(&space, ed_lung, &phi).unwrap().unwrap();
+    assert_eq!(p, Ratio::ONE);
+}
+
+#[test]
+fn hannah_charlie_cross_bucket_lift() {
+    let (table, _, space, symbols) = setup();
+    let charlie = hospital_person(&table, "Charlie").unwrap();
+    let charlie_flu = Atom::new(charlie, table.sensitive_code("Flu").unwrap());
+    let phi = parse_knowledge("t[Hannah]=Flu -> t[Charlie]=Flu", &symbols).unwrap();
+    let p = atom_probability_given(&space, charlie_flu, &phi).unwrap().unwrap();
+    assert_eq!(p, Ratio::new(10, 19));
+}
+
+#[test]
+fn figure3_maximum_disclosure_series() {
+    // k=0: 2/5. k=1: 2/3 (the paper's prose value 10/19 is only the
+    // cross-bucket candidate; see DESIGN.md errata). k>=2: certainty.
+    let (_, buckets, _, _) = setup();
+    let expected = [(0usize, 0.4), (1, 2.0 / 3.0), (2, 1.0), (3, 1.0)];
+    for (k, want) in expected {
+        let got = max_disclosure(&buckets, k).unwrap().value;
+        assert!((got - want).abs() < 1e-12, "k={k}: got {got}, want {want}");
+    }
+}
+
+#[test]
+fn dp_matches_exhaustive_language_search_at_k1() {
+    // The DP must equal brute force over every simple implication (10
+    // persons x 6 values -> 3540 candidate implications), by Theorem 9.
+    let (_, buckets, space, _) = setup();
+    let brute = max_disclosure_over_simple(&space, 1, 10_000_000).unwrap();
+    let dp = max_disclosure(&buckets, 1).unwrap();
+    assert!(
+        (brute.value.to_f64() - dp.value).abs() < 1e-9,
+        "brute {} vs dp {}",
+        brute.value,
+        dp.value
+    );
+}
+
+#[test]
+fn negations_never_beat_implications_and_match_formula() {
+    let (_, buckets, _, _) = setup();
+    for k in 0..=5 {
+        let neg = negation_max_disclosure(&buckets, k).unwrap();
+        let imp = max_disclosure(&buckets, k).unwrap();
+        assert!(imp.value >= neg.value - 1e-12, "k={k}");
+    }
+    // Male bucket {2,2,1}: k=1 negation = 2/(5-2).
+    let neg = negation_max_disclosure(&buckets, 1).unwrap();
+    assert!((neg.value - 2.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn witnesses_verify_exactly_for_all_k() {
+    let (_, buckets, space, _) = setup();
+    for k in 0..=5 {
+        let report = max_disclosure(&buckets, k).unwrap();
+        let exact = atom_probability_given(
+            &space,
+            report.witness.consequent,
+            &report.witness.knowledge(),
+        )
+        .unwrap()
+        .expect("witness consistent with B");
+        assert!(
+            (exact.to_f64() - report.value).abs() < 1e-9,
+            "k={k}: witness {} vs dp {}",
+            exact.to_f64(),
+            report.value
+        );
+    }
+}
+
+#[test]
+fn five_anonymous_but_not_safe() {
+    // The Figure 2/3 table is 5-anonymous yet fails (c,k)-safety for k >= 2
+    // at any threshold — k-anonymity does not bound background-knowledge
+    // disclosure (the paper's Section 1 argument).
+    let (_, buckets, _, _) = setup();
+    assert!(buckets.min_bucket_size() >= 5);
+    assert!(!is_ck_safe(&buckets, 1.0, 2).unwrap());
+    assert!(is_ck_safe(&buckets, 0.5, 0).unwrap());
+}

@@ -1,0 +1,151 @@
+//! Theorem-level validation on randomized small instances: the polynomial
+//! DP (which only ever considers same-consequent simple implications) must
+//! match exhaustive search over the *whole* simple-implication language
+//! (Theorem 9), and maximum disclosure must be monotone under coarsening
+//! (Theorem 14).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wcbk::core::partial_order::merge_buckets;
+use wcbk::prelude::*;
+use wcbk::worlds::inference::{max_disclosure_over_negations, max_disclosure_over_simple};
+
+/// Random small bucketization: up to 3 buckets of up to 4 tuples over up to
+/// 3 sensitive values — small enough for exhaustive language search.
+fn random_small(seed: u64) -> Bucketization {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_buckets = rng.gen_range(1..=3);
+    let n_values = rng.gen_range(2..=3u32);
+    let mut next = 0u32;
+    let mut buckets = Vec::new();
+    for _ in 0..n_buckets {
+        let size = rng.gen_range(1..=4);
+        let members: Vec<TupleId> = (0..size)
+            .map(|_| {
+                let t = TupleId(next);
+                next += 1;
+                t
+            })
+            .collect();
+        let values: Vec<SValue> = (0..size).map(|_| SValue(rng.gen_range(0..n_values))).collect();
+        buckets.push(Bucket::new(members, &values));
+    }
+    Bucketization::from_buckets(buckets, n_values).unwrap()
+}
+
+fn space_of(b: &Bucketization) -> WorldSpace {
+    WorldSpace::new(
+        b.to_parts()
+            .into_iter()
+            .map(|(m, v)| BucketSpec::new(m, v))
+            .collect(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn theorem9_dp_equals_exhaustive_search_k1() {
+    for seed in 0..30u64 {
+        let b = random_small(seed);
+        let space = space_of(&b);
+        let brute = max_disclosure_over_simple(&space, 1, 5_000_000).unwrap();
+        let dp = max_disclosure(&b, 1).unwrap();
+        assert!(
+            (brute.value.to_f64() - dp.value).abs() < 1e-9,
+            "seed {seed}: brute {} vs dp {} on {:?}",
+            brute.value,
+            dp.value,
+            b
+        );
+    }
+}
+
+#[test]
+fn theorem9_dp_equals_exhaustive_search_k2() {
+    // k=2 over all implication pairs is heavy; keep the instances tiny.
+    for seed in 0..8u64 {
+        let mut b = random_small(seed);
+        // Shrink: at most 2 buckets x 3 tuples.
+        if b.n_tuples() > 6 {
+            continue;
+        }
+        if b.n_buckets() > 2 {
+            b = merge_buckets(&b, 0, 1).unwrap();
+        }
+        let space = space_of(&b);
+        let Ok(brute) = max_disclosure_over_simple(&space, 2, 2_000_000) else {
+            continue; // candidate space too large for this seed
+        };
+        let dp = max_disclosure(&b, 2).unwrap();
+        assert!(
+            (brute.value.to_f64() - dp.value).abs() < 1e-9,
+            "seed {seed}: brute {} vs dp {}",
+            brute.value,
+            dp.value
+        );
+    }
+}
+
+#[test]
+fn negation_formula_equals_exhaustive_negation_search() {
+    for seed in 0..20u64 {
+        let b = random_small(seed);
+        let space = space_of(&b);
+        for k in 0..=2usize {
+            let brute = max_disclosure_over_negations(&space, k, 5_000_000).unwrap();
+            let formula = wcbk::core::negation_max_disclosure(&b, k).unwrap();
+            assert!(
+                (brute.value.to_f64() - formula.value).abs() < 1e-9,
+                "seed {seed} k={k}: brute {} vs formula {}",
+                brute.value,
+                formula.value
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem14_monotone_under_random_merges() {
+    for seed in 100..140u64 {
+        let b = random_small(seed);
+        if b.n_buckets() < 2 {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let i = rng.gen_range(0..b.n_buckets());
+        let mut j = rng.gen_range(0..b.n_buckets());
+        if i == j {
+            j = (j + 1) % b.n_buckets();
+        }
+        let merged = merge_buckets(&b, i, j).unwrap();
+        for k in 0..=3usize {
+            let fine = max_disclosure(&b, k).unwrap().value;
+            let coarse = max_disclosure(&merged, k).unwrap().value;
+            assert!(
+                coarse <= fine + 1e-12,
+                "seed {seed} k={k}: merge increased disclosure {fine} -> {coarse}"
+            );
+        }
+    }
+}
+
+#[test]
+fn disclosure_bounds_hold() {
+    for seed in 200..240u64 {
+        let b = random_small(seed);
+        let base = b.max_frequency_ratio();
+        let mut prev = 0.0f64;
+        for k in 0..=4usize {
+            let v = max_disclosure(&b, k).unwrap().value;
+            assert!(v >= base - 1e-12, "below k=0 baseline");
+            assert!(v <= 1.0 + 1e-12, "above 1");
+            assert!(v >= prev - 1e-12, "not monotone in k");
+            prev = v;
+        }
+        // With enough knowledge the attacker always reaches certainty:
+        // ruling out all other values of a person needs at most |S|-1 atoms.
+        let v = max_disclosure(&b, b.domain_size() as usize).unwrap().value;
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+}
