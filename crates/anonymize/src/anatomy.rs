@@ -85,7 +85,9 @@ pub fn anatomize(table: &Table, l: usize, seed: u64) -> Result<AnatomyOutcome, A
     loop {
         // Indices of the l largest non-empty groups (value code breaks ties
         // for determinism).
-        let mut order: Vec<usize> = (0..groups.len()).filter(|&v| !groups[v].is_empty()).collect();
+        let mut order: Vec<usize> = (0..groups.len())
+            .filter(|&v| !groups[v].is_empty())
+            .collect();
         if order.len() < l {
             break;
         }
@@ -217,10 +219,14 @@ mod tests {
         // k=0 disclosure is therefore at most 1/l.
         let t = table_with(&["a", "a", "a", "b", "b", "c", "c", "d", "e", "f", "f", "g"]);
         let out = anatomize(&t, 3, 11).unwrap();
-        let d0 = wcbk_core::max_disclosure(&out.bucketization, 0).unwrap().value;
+        let d0 = wcbk_core::max_disclosure(&out.bucketization, 0)
+            .unwrap()
+            .value;
         assert!(d0 <= 1.0 / 3.0 + 1e-12, "k=0 disclosure {d0}");
         // But background knowledge still defeats it (the paper's point):
-        let d2 = wcbk_core::max_disclosure(&out.bucketization, 2).unwrap().value;
+        let d2 = wcbk_core::max_disclosure(&out.bucketization, 2)
+            .unwrap()
+            .value;
         assert!((d2 - 1.0).abs() < 1e-12);
     }
 

@@ -7,20 +7,22 @@
 //! (c,k)-safety this is the paper's Theorem 14; for k-anonymity and the
 //! ℓ-diversity family it is classical.
 
-use wcbk_core::{Bucketization, CkSafety, CoreError, DisclosureEngine};
+use wcbk_core::{Bucketization, CacheStats, CkSafety, CoreError, DisclosureEngine};
 
 use crate::AnonymizeError;
 
 /// A monotone privacy predicate over bucketizations.
-pub trait PrivacyCriterion {
+///
+/// `Send + Sync` so one criterion instance can be shared across the worker
+/// threads of the parallel lattice search; implementations that memoize
+/// (the (c,k)-safety criterion caches MINIMIZE1 tables across calls) do so
+/// through interior mutability — `is_satisfied` takes `&self`.
+pub trait PrivacyCriterion: Send + Sync {
     /// Human-readable name with parameters, e.g. `"(0.70,3)-safety"`.
     fn name(&self) -> String;
 
     /// Whether `b` satisfies the criterion.
-    ///
-    /// Takes `&mut self` so implementations can keep caches (the
-    /// (c,k)-safety criterion memoizes MINIMIZE1 tables across calls).
-    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError>;
+    fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError>;
 }
 
 /// k-anonymity: every bucket holds at least `k` tuples.
@@ -44,7 +46,7 @@ impl PrivacyCriterion for KAnonymity {
         format!("{}-anonymity", self.k)
     }
 
-    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+    fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
         Ok(b.min_bucket_size() >= self.k)
     }
 }
@@ -68,7 +70,7 @@ impl PrivacyCriterion for DistinctLDiversity {
         format!("distinct {}-diversity", self.l)
     }
 
-    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+    fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
         Ok(b.buckets()
             .iter()
             .all(|bucket| bucket.histogram().distinct() >= self.l))
@@ -99,7 +101,7 @@ impl PrivacyCriterion for EntropyLDiversity {
         format!("entropy {}-diversity", self.l)
     }
 
-    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+    fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
         let threshold = self.l.ln();
         Ok(b.buckets()
             .iter()
@@ -132,7 +134,7 @@ impl PrivacyCriterion for RecursiveCLDiversity {
         format!("recursive ({},{})-diversity", self.c, self.l)
     }
 
-    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+    fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
         Ok(b.buckets().iter().all(|bucket| {
             let h = bucket.histogram();
             let tail: u64 = (self.l - 1..h.distinct()).map(|r| h.frequency(r)).sum();
@@ -143,6 +145,10 @@ impl PrivacyCriterion for RecursiveCLDiversity {
 
 /// (c,k)-safety (Definition 13), evaluated through a memoizing
 /// [`DisclosureEngine`].
+///
+/// The engine's sharded cache is interior-mutable, so the criterion can be
+/// shared across search threads: concurrent `is_satisfied` calls memoize
+/// MINIMIZE1 tables into the same cache.
 pub struct CkSafetyCriterion {
     safety: CkSafety,
     engine: DisclosureEngine,
@@ -161,6 +167,11 @@ impl CkSafetyCriterion {
     pub fn cache_stats(&self) -> (u64, u64) {
         self.engine.cache_stats()
     }
+
+    /// Full cache snapshot of the underlying engine, entry count included.
+    pub fn engine_stats(&self) -> CacheStats {
+        self.engine.stats()
+    }
 }
 
 impl PrivacyCriterion for CkSafetyCriterion {
@@ -168,8 +179,8 @@ impl PrivacyCriterion for CkSafetyCriterion {
         format!("({},{})-safety", self.safety.c(), self.safety.k())
     }
 
-    fn is_satisfied(&mut self, b: &Bucketization) -> Result<bool, AnonymizeError> {
-        Ok(self.safety.is_safe_with(&mut self.engine, b)?)
+    fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+        Ok(self.safety.is_safe_with(&self.engine, b)?)
     }
 }
 
@@ -239,9 +250,9 @@ mod tests {
     #[test]
     fn ck_safety_criterion_delegates_to_core() {
         let b = figure3();
-        let mut safe = CkSafetyCriterion::new(0.7, 1).unwrap();
+        let safe = CkSafetyCriterion::new(0.7, 1).unwrap();
         assert!(safe.is_satisfied(&b).unwrap());
-        let mut unsafe_ = CkSafetyCriterion::new(0.5, 1).unwrap();
+        let unsafe_ = CkSafetyCriterion::new(0.5, 1).unwrap();
         assert!(!unsafe_.is_satisfied(&b).unwrap());
     }
 
@@ -249,13 +260,13 @@ mod tests {
     fn criteria_are_monotone_under_full_merge() {
         let fine = figure3();
         let coarse = merge_all(&fine).unwrap();
-        let mut criteria: Vec<Box<dyn PrivacyCriterion>> = vec![
+        let criteria: Vec<Box<dyn PrivacyCriterion>> = vec![
             Box::new(KAnonymity::new(5)),
             Box::new(DistinctLDiversity::new(3)),
             Box::new(EntropyLDiversity::new(2.5).unwrap()),
             Box::new(CkSafetyCriterion::new(0.7, 1).unwrap()),
         ];
-        for c in criteria.iter_mut() {
+        for c in criteria.iter() {
             if c.is_satisfied(&fine).unwrap() {
                 assert!(
                     c.is_satisfied(&coarse).unwrap(),

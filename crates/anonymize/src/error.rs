@@ -29,7 +29,10 @@ impl fmt::Display for AnonymizeError {
             AnonymizeError::Core(e) => write!(f, "{e}"),
             AnonymizeError::Hierarchy(e) => write!(f, "{e}"),
             AnonymizeError::NoSafeNode => {
-                write!(f, "no generalization in the lattice satisfies the criterion")
+                write!(
+                    f,
+                    "no generalization in the lattice satisfies the criterion"
+                )
             }
             AnonymizeError::ChainNotMonotone { at } => {
                 write!(f, "chain is not monotone fine-to-coarse at step {at}")

@@ -43,7 +43,38 @@ pub struct IncognitoOutcome {
 pub fn incognito<C: PrivacyCriterion>(
     table: &Table,
     lattice: &GeneralizationLattice,
-    criterion: &mut C,
+    criterion: &C,
+) -> Result<IncognitoOutcome, AnonymizeError> {
+    incognito_with_threads(table, lattice, criterion, 1)
+}
+
+/// [`incognito`] with the per-level candidate evaluations fanned out over
+/// `threads` scoped workers (0 = all available cores).
+///
+/// The apriori join and the monotone roll-up are inherently sequential
+/// across levels, but candidates **within** one height level of one subset
+/// have all their predecessors on lower, already-merged levels — the same
+/// independence the parallel BFS exploits — so the outcome is identical to
+/// the sequential run's.
+pub fn incognito_parallel<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    criterion: &C,
+    threads: usize,
+) -> Result<IncognitoOutcome, AnonymizeError> {
+    let threads = if threads == 0 {
+        crate::search::default_threads()
+    } else {
+        threads
+    };
+    incognito_with_threads(table, lattice, criterion, threads)
+}
+
+fn incognito_with_threads<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    criterion: &C,
+    threads: usize,
 ) -> Result<IncognitoOutcome, AnonymizeError> {
     let n_dims = lattice.n_dims();
     let mut evaluated_total = 0usize;
@@ -76,6 +107,7 @@ pub fn incognito<C: PrivacyCriterion>(
             let candidate_set: HashSet<Vec<usize>> = candidates.into_iter().collect();
             let mut subset_safe: HashSet<Vec<usize>> = HashSet::new();
             for level in by_height {
+                let mut to_eval: Vec<Vec<usize>> = Vec::new();
                 for v in level {
                     let inherited = predecessors(&v).into_iter().any(|p| {
                         // Predecessors outside the candidate set are unsafe
@@ -85,11 +117,17 @@ pub fn incognito<C: PrivacyCriterion>(
                     });
                     if inherited {
                         subset_safe.insert(v);
-                        continue;
+                    } else {
+                        to_eval.push(v);
                     }
-                    evaluated_this_size += 1;
-                    let b = lattice.bucketize_subset(table, &dims, &v)?;
-                    if criterion.is_satisfied(&b)? {
+                }
+                evaluated_this_size += to_eval.len();
+                let verdicts = crate::search::parallel_verdicts(&to_eval, threads, |v| {
+                    let b = lattice.bucketize_subset(table, &dims, v)?;
+                    criterion.is_satisfied(&b)
+                })?;
+                for (v, ok) in to_eval.into_iter().zip(verdicts) {
+                    if ok {
                         subset_safe.insert(v);
                     }
                 }
@@ -110,11 +148,7 @@ pub fn incognito<C: PrivacyCriterion>(
     let full_safe = safe.remove(&full_mask).unwrap_or_default();
     let mut minimal_nodes: Vec<GenNode> = full_safe
         .iter()
-        .filter(|v| {
-            predecessors(v)
-                .into_iter()
-                .all(|p| !full_safe.contains(&p))
-        })
+        .filter(|v| predecessors(v).into_iter().all(|p| !full_safe.contains(&p)))
         .map(|v| GenNode(v.clone()))
         .collect();
     minimal_nodes.sort();
@@ -219,8 +253,8 @@ mod tests {
         let t = hospital_table();
         let l = lattice(&t);
         for k in [2u64, 3, 5, 10, 11] {
-            let inc = incognito(&t, &l, &mut KAnonymity::new(k)).unwrap();
-            let bfs = find_minimal_safe(&t, &l, &mut KAnonymity::new(k)).unwrap();
+            let inc = incognito(&t, &l, &KAnonymity::new(k)).unwrap();
+            let bfs = find_minimal_safe(&t, &l, &KAnonymity::new(k)).unwrap();
             assert_eq!(
                 inc.minimal_nodes,
                 sorted(bfs.minimal_nodes),
@@ -234,9 +268,8 @@ mod tests {
         let t = hospital_table();
         let l = lattice(&t);
         for (c, k) in [(0.5, 0), (0.7, 1), (0.9, 1), (1.0, 2), (0.45, 0)] {
-            let inc = incognito(&t, &l, &mut CkSafetyCriterion::new(c, k).unwrap()).unwrap();
-            let bfs =
-                find_minimal_safe(&t, &l, &mut CkSafetyCriterion::new(c, k).unwrap()).unwrap();
+            let inc = incognito(&t, &l, &CkSafetyCriterion::new(c, k).unwrap()).unwrap();
+            let bfs = find_minimal_safe(&t, &l, &CkSafetyCriterion::new(c, k).unwrap()).unwrap();
             assert_eq!(
                 inc.minimal_nodes,
                 sorted(bfs.minimal_nodes),
@@ -250,8 +283,8 @@ mod tests {
         let t = hospital_table();
         let l = lattice(&t);
         for ell in [2usize, 3, 4, 6] {
-            let inc = incognito(&t, &l, &mut DistinctLDiversity::new(ell)).unwrap();
-            let bfs = find_minimal_safe(&t, &l, &mut DistinctLDiversity::new(ell)).unwrap();
+            let inc = incognito(&t, &l, &DistinctLDiversity::new(ell)).unwrap();
+            let bfs = find_minimal_safe(&t, &l, &DistinctLDiversity::new(ell)).unwrap();
             assert_eq!(inc.minimal_nodes, sorted(bfs.minimal_nodes), "l={ell}");
         }
     }
@@ -262,7 +295,7 @@ mod tests {
         // larger candidates are ever generated.
         let t = hospital_table();
         let l = lattice(&t);
-        let inc = incognito(&t, &l, &mut KAnonymity::new(11)).unwrap();
+        let inc = incognito(&t, &l, &KAnonymity::new(11)).unwrap();
         assert!(inc.minimal_nodes.is_empty());
         let size2_candidates = inc.per_size[1].1;
         assert_eq!(size2_candidates, 0, "join should have emptied level 2");
@@ -272,7 +305,7 @@ mod tests {
     fn per_size_accounting_is_consistent() {
         let t = hospital_table();
         let l = lattice(&t);
-        let inc = incognito(&t, &l, &mut KAnonymity::new(5)).unwrap();
+        let inc = incognito(&t, &l, &KAnonymity::new(5)).unwrap();
         assert_eq!(inc.per_size.len(), 3);
         let total: usize = inc.per_size.iter().map(|&(_, _, e)| e).sum();
         assert_eq!(total, inc.evaluated);
@@ -285,10 +318,7 @@ mod tests {
     fn helpers_behave() {
         assert_eq!(subsets_of_size(3, 2), vec![0b011, 0b101, 0b110]);
         assert_eq!(mask_dims(0b101), vec![0, 2]);
-        assert_eq!(
-            predecessors(&[1, 0, 2]),
-            vec![vec![0, 0, 2], vec![1, 0, 1]]
-        );
+        assert_eq!(predecessors(&[1, 0, 2]), vec![vec![0, 0, 2], vec![1, 0, 1]]);
         assert!(predecessors(&[0, 0]).is_empty());
     }
 }

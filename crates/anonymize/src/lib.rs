@@ -26,19 +26,22 @@ pub mod anatomy;
 pub mod criteria;
 mod error;
 pub mod incognito;
-pub mod swap;
 pub mod pipeline;
 pub mod search;
+pub mod swap;
 pub mod utility;
 
+pub use anatomy::{anatomize, AnatomyOutcome};
 pub use criteria::{
     CkSafetyCriterion, DistinctLDiversity, EntropyLDiversity, KAnonymity, PrivacyCriterion,
     RecursiveCLDiversity,
 };
-pub use anatomy::{anatomize, AnatomyOutcome};
 pub use error::AnonymizeError;
-pub use incognito::{incognito, IncognitoOutcome};
+pub use incognito::{incognito, incognito_parallel, IncognitoOutcome};
+pub use pipeline::{anonymize, anonymize_parallel, AnonymizationOutcome};
+pub use search::{
+    binary_search_chain, default_threads, find_minimal_safe, find_minimal_safe_parallel,
+    SearchOutcome,
+};
 pub use swap::{swap_sanitize, SwapOutcome};
-pub use pipeline::{anonymize, AnonymizationOutcome};
-pub use search::{binary_search_chain, find_minimal_safe, SearchOutcome};
 pub use utility::UtilityMetric;

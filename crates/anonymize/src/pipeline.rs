@@ -37,10 +37,33 @@ impl AnonymizationOutcome {
 pub fn anonymize<C: PrivacyCriterion>(
     table: &Table,
     lattice: &GeneralizationLattice,
-    criterion: &mut C,
+    criterion: &C,
     metric: UtilityMetric,
 ) -> Result<AnonymizationOutcome, AnonymizeError> {
     let outcome = crate::search::find_minimal_safe(table, lattice, criterion)?;
+    rank_and_report(table, lattice, metric, outcome)
+}
+
+/// [`anonymize`] with the lattice search fanned out over `threads` worker
+/// threads (0 = all available cores). Same result, shorter wall clock: the
+/// search outcome is deterministic, so ranking sees identical inputs.
+pub fn anonymize_parallel<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    criterion: &C,
+    metric: UtilityMetric,
+    threads: usize,
+) -> Result<AnonymizationOutcome, AnonymizeError> {
+    let outcome = crate::search::find_minimal_safe_parallel(table, lattice, criterion, threads)?;
+    rank_and_report(table, lattice, metric, outcome)
+}
+
+fn rank_and_report(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    metric: UtilityMetric,
+    outcome: crate::search::SearchOutcome,
+) -> Result<AnonymizationOutcome, AnonymizeError> {
     let node = pick_best(metric, lattice, table, &outcome.minimal_nodes)?
         .ok_or(AnonymizeError::NoSafeNode)?;
     let bucketization = lattice.bucketize(table, &node)?;
@@ -78,13 +101,8 @@ mod tests {
     #[test]
     fn anonymize_with_k_anonymity() {
         let (t, l) = setup();
-        let outcome = anonymize(
-            &t,
-            &l,
-            &mut KAnonymity::new(5),
-            UtilityMetric::Discernibility,
-        )
-        .unwrap();
+        let outcome =
+            anonymize(&t, &l, &KAnonymity::new(5), UtilityMetric::Discernibility).unwrap();
         assert!(outcome.bucketization.min_bucket_size() >= 5);
         assert!(outcome.minimal_nodes.contains(&outcome.node));
         // The chosen node must truly be 5-anonymous and minimal.
@@ -97,8 +115,8 @@ mod tests {
     #[test]
     fn anonymize_with_ck_safety_and_audit() {
         let (t, l) = setup();
-        let mut criterion = CkSafetyCriterion::new(0.7, 1).unwrap();
-        let outcome = anonymize(&t, &l, &mut criterion, UtilityMetric::Height).unwrap();
+        let criterion = CkSafetyCriterion::new(0.7, 1).unwrap();
+        let outcome = anonymize(&t, &l, &criterion, UtilityMetric::Height).unwrap();
         let audit = outcome.audit(1).unwrap();
         assert!(audit.value < 0.7, "audit {} >= c", audit.value);
         // The witness knowledge must have at most k implications.
@@ -108,23 +126,18 @@ mod tests {
     #[test]
     fn impossible_criterion_errors() {
         let (t, l) = setup();
-        let err = anonymize(
-            &t,
-            &l,
-            &mut KAnonymity::new(11),
-            UtilityMetric::Discernibility,
-        )
-        .unwrap_err();
+        let err =
+            anonymize(&t, &l, &KAnonymity::new(11), UtilityMetric::Discernibility).unwrap_err();
         assert!(matches!(err, AnonymizeError::NoSafeNode));
     }
 
     #[test]
     fn stricter_criteria_push_higher_in_lattice() {
         let (t, l) = setup();
-        let loose = anonymize(&t, &l, &mut KAnonymity::new(2), UtilityMetric::Height)
+        let loose = anonymize(&t, &l, &KAnonymity::new(2), UtilityMetric::Height)
             .unwrap()
             .node;
-        let strict = anonymize(&t, &l, &mut KAnonymity::new(10), UtilityMetric::Height)
+        let strict = anonymize(&t, &l, &KAnonymity::new(10), UtilityMetric::Height)
             .unwrap()
             .node;
         assert!(loose.height() <= strict.height());

@@ -1,6 +1,19 @@
-//! Lattice search for minimal safe generalizations.
+//! Lattice search for minimal safe generalizations — sequential and
+//! level-parallel.
+//!
+//! Both searches share the same monotone-pruning structure: nodes are
+//! visited level by level (increasing height); a node with a known-safe
+//! predecessor is safe by monotonicity and never evaluated. Because a node's
+//! predecessors all live on strictly lower levels, the nodes that need
+//! evaluation within one level are **independent of each other** — which is
+//! exactly what [`find_minimal_safe_parallel`] exploits: it partitions each
+//! level's unpruned nodes across scoped worker threads sharing one
+//! `&C` criterion (hence [`PrivacyCriterion`]`: Send + Sync`), then merges
+//! results in level order so the outcome is bit-for-bit identical to the
+//! sequential search.
 
 use std::collections::HashSet;
+use std::num::NonZeroUsize;
 
 use wcbk_hierarchy::{GenNode, GeneralizationLattice};
 use wcbk_table::Table;
@@ -19,6 +32,14 @@ pub struct SearchOutcome {
     pub satisfied: usize,
 }
 
+/// The number of worker threads the parallel search uses by default: the
+/// machine's available parallelism (1 when that cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Bottom-up breadth-first search (Incognito-style) for **all minimal safe
 /// nodes** of the lattice under a monotone criterion.
 ///
@@ -29,7 +50,7 @@ pub struct SearchOutcome {
 pub fn find_minimal_safe<C: PrivacyCriterion>(
     table: &Table,
     lattice: &GeneralizationLattice,
-    criterion: &mut C,
+    criterion: &C,
 ) -> Result<SearchOutcome, AnonymizeError> {
     let mut safe: HashSet<GenNode> = HashSet::new();
     let mut minimal: Vec<GenNode> = Vec::new();
@@ -60,13 +81,132 @@ pub fn find_minimal_safe<C: PrivacyCriterion>(
     })
 }
 
+/// Level-synchronous parallel variant of [`find_minimal_safe`].
+///
+/// Per lattice level: nodes pruned by monotonicity are rolled into the safe
+/// set as usual; the remaining nodes are split into contiguous chunks and
+/// evaluated by `threads` scoped workers sharing `criterion` (and therefore
+/// its memoization cache). Verdicts are merged back **in level order**, so
+/// `minimal_nodes`, `evaluated`, and `satisfied` are exactly what the
+/// sequential search produces — monotonicity pruning is preserved because a
+/// node's predecessors are always on strictly lower, already-merged levels.
+///
+/// `threads == 0` selects [`default_threads`]; `threads == 1` degenerates to
+/// the sequential algorithm (without spawning).
+pub fn find_minimal_safe_parallel<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    criterion: &C,
+    threads: usize,
+) -> Result<SearchOutcome, AnonymizeError> {
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    if threads == 1 {
+        return find_minimal_safe(table, lattice, criterion);
+    }
+
+    let mut safe: HashSet<GenNode> = HashSet::new();
+    let mut minimal: Vec<GenNode> = Vec::new();
+    let mut evaluated = 0usize;
+
+    for level in lattice.nodes_by_height() {
+        // Partition the level: inherited-safe vs. needs-evaluation. The
+        // order of `to_eval` is the sequential visit order.
+        let mut to_eval: Vec<GenNode> = Vec::new();
+        for node in level {
+            let inherited = lattice
+                .predecessors(&node)
+                .into_iter()
+                .any(|p| safe.contains(&p));
+            if inherited {
+                safe.insert(node);
+            } else {
+                to_eval.push(node);
+            }
+        }
+        if to_eval.is_empty() {
+            continue;
+        }
+        evaluated += to_eval.len();
+        let verdicts = evaluate_nodes(table, lattice, criterion, &to_eval, threads)?;
+        for (node, ok) in to_eval.into_iter().zip(verdicts) {
+            if ok {
+                minimal.push(node.clone());
+                safe.insert(node);
+            }
+        }
+    }
+    Ok(SearchOutcome {
+        minimal_nodes: minimal,
+        evaluated,
+        satisfied: safe.len(),
+    })
+}
+
+/// Evaluates `criterion` on every node concurrently, returning verdicts
+/// aligned with `nodes`. Errors from any worker are propagated (the first
+/// one in node order wins, matching what the sequential search would hit).
+fn evaluate_nodes<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    criterion: &C,
+    nodes: &[GenNode],
+    threads: usize,
+) -> Result<Vec<bool>, AnonymizeError> {
+    parallel_verdicts(nodes, threads, |node| {
+        let b = lattice.bucketize(table, node)?;
+        criterion.is_satisfied(&b)
+    })
+}
+
+/// Maps `eval` over `items` on up to `threads` scoped worker threads,
+/// returning results aligned with `items`. The error reported is the first
+/// one in item order. Shared by the parallel BFS and parallel Incognito.
+pub(crate) fn parallel_verdicts<T, F>(
+    items: &[T],
+    threads: usize,
+    eval: F,
+) -> Result<Vec<bool>, AnonymizeError>
+where
+    T: Sync,
+    F: Fn(&T) -> Result<bool, AnonymizeError> + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(eval).collect();
+    }
+    let chunk_size = items.len().div_ceil(workers);
+    let mut chunk_results: Vec<Result<Vec<bool>, AnonymizeError>> = Vec::new();
+    std::thread::scope(|scope| {
+        let eval = &eval;
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || chunk.iter().map(eval).collect::<Result<Vec<bool>, _>>())
+            })
+            .collect();
+        chunk_results = handles
+            .into_iter()
+            .map(|h| h.join().expect("search worker panicked"))
+            .collect();
+    });
+    let mut verdicts = Vec::with_capacity(items.len());
+    for chunk in chunk_results {
+        verdicts.extend(chunk?);
+    }
+    Ok(verdicts)
+}
+
 /// Exhaustive sweep evaluating the criterion on **every** node — the
 /// unpruned baseline (used by benches to quantify the pruning win and by the
 /// Figure 6 experiment which needs per-node statistics anyway).
 pub fn sweep_all<C: PrivacyCriterion>(
     table: &Table,
     lattice: &GeneralizationLattice,
-    criterion: &mut C,
+    criterion: &C,
 ) -> Result<Vec<(GenNode, bool)>, AnonymizeError> {
     let mut out = Vec::with_capacity(lattice.n_nodes());
     for node in lattice.nodes() {
@@ -85,7 +225,7 @@ pub fn binary_search_chain<C: PrivacyCriterion>(
     table: &Table,
     lattice: &GeneralizationLattice,
     chain: &[GenNode],
-    criterion: &mut C,
+    criterion: &C,
 ) -> Result<Option<GenNode>, AnonymizeError> {
     for (i, w) in chain.windows(2).enumerate() {
         if !w[0].le(&w[1]) {
@@ -140,8 +280,8 @@ mod tests {
         lattice: &GeneralizationLattice,
         make: impl Fn() -> C,
     ) {
-        let outcome = find_minimal_safe(table, lattice, &mut make()).unwrap();
-        let sweep = sweep_all(table, lattice, &mut make()).unwrap();
+        let outcome = find_minimal_safe(table, lattice, &make()).unwrap();
+        let sweep = sweep_all(table, lattice, &make()).unwrap();
         let safe: HashSet<GenNode> = sweep
             .iter()
             .filter(|(_, ok)| *ok)
@@ -187,7 +327,7 @@ mod tests {
     fn pruning_saves_evaluations() {
         let t = hospital_table();
         let l = lattice(&t);
-        let outcome = find_minimal_safe(&t, &l, &mut KAnonymity::new(2)).unwrap();
+        let outcome = find_minimal_safe(&t, &l, &KAnonymity::new(2)).unwrap();
         assert!(outcome.evaluated < l.n_nodes(), "no pruning happened");
         assert!(!outcome.minimal_nodes.is_empty());
     }
@@ -197,7 +337,7 @@ mod tests {
         let t = hospital_table();
         let l = lattice(&t);
         // 11-anonymity is impossible for a 10-row table.
-        let outcome = find_minimal_safe(&t, &l, &mut KAnonymity::new(11)).unwrap();
+        let outcome = find_minimal_safe(&t, &l, &KAnonymity::new(11)).unwrap();
         assert!(outcome.minimal_nodes.is_empty());
         assert_eq!(outcome.satisfied, 0);
     }
@@ -207,8 +347,8 @@ mod tests {
         let t = hospital_table();
         let l = lattice(&t);
         let chain = l.maximal_chain();
-        let mut criterion = KAnonymity::new(5);
-        let found = binary_search_chain(&t, &l, &chain, &mut criterion)
+        let criterion = KAnonymity::new(5);
+        let found = binary_search_chain(&t, &l, &chain, &criterion)
             .unwrap()
             .expect("top is 5-anonymous");
         // Verify: found is safe, its chain predecessor is not.
@@ -228,7 +368,7 @@ mod tests {
         let t = hospital_table();
         let l = lattice(&t);
         let chain = l.maximal_chain();
-        let found = binary_search_chain(&t, &l, &chain, &mut KAnonymity::new(11)).unwrap();
+        let found = binary_search_chain(&t, &l, &chain, &KAnonymity::new(11)).unwrap();
         assert_eq!(found, None);
     }
 
@@ -238,7 +378,7 @@ mod tests {
         let l = lattice(&t);
         let mut chain = l.maximal_chain();
         chain.reverse();
-        let err = binary_search_chain(&t, &l, &chain, &mut KAnonymity::new(2)).unwrap_err();
+        let err = binary_search_chain(&t, &l, &chain, &KAnonymity::new(2)).unwrap_err();
         assert!(matches!(err, AnonymizeError::ChainNotMonotone { at: 0 }));
     }
 
@@ -248,8 +388,8 @@ mod tests {
         let l = lattice(&t);
         let chain = l.maximal_chain();
         for (c, k) in [(0.5, 0), (0.5, 1), (0.9, 2), (0.41, 0)] {
-            let mut criterion = CkSafetyCriterion::new(c, k).unwrap();
-            let binary = binary_search_chain(&t, &l, &chain, &mut criterion).unwrap();
+            let criterion = CkSafetyCriterion::new(c, k).unwrap();
+            let binary = binary_search_chain(&t, &l, &chain, &criterion).unwrap();
             let mut linear = None;
             for node in &chain {
                 let b = l.bucketize(&t, node).unwrap();

@@ -57,11 +57,7 @@ pub fn swap_sanitize(
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Materialize per-bucket value vectors (aligned with members).
-    let mut values: Vec<Vec<SValue>> = b
-        .to_parts()
-        .into_iter()
-        .map(|(_, vals)| vals)
-        .collect();
+    let mut values: Vec<Vec<SValue>> = b.to_parts().into_iter().map(|(_, vals)| vals).collect();
     let n = b.n_tuples() as usize;
     let swaps = ((rate * n as f64) / 2.0).round() as usize;
     let mut displaced = 0usize;
@@ -190,6 +186,9 @@ mod tests {
                 gained += 1;
             }
         }
-        assert!(gained >= 10, "only {gained}/20 seeds mixed values across buckets");
+        assert!(
+            gained >= 10,
+            "only {gained}/20 seeds mixed values across buckets"
+        );
     }
 }

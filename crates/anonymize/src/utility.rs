@@ -180,7 +180,9 @@ mod tests {
         let (t, l) = setup();
         // Top (one bucket of 10, 6 values) is more diverse than the
         // sex-split buckets.
-        let top_score = UtilityMetric::NegMinEntropy.score(&l, &t, &l.top()).unwrap();
+        let top_score = UtilityMetric::NegMinEntropy
+            .score(&l, &t, &l.top())
+            .unwrap();
         let split = GenNode(vec![1, 0]);
         let split_score = UtilityMetric::NegMinEntropy.score(&l, &t, &split).unwrap();
         assert!(top_score < split_score);
@@ -190,7 +192,9 @@ mod tests {
     fn loss_metric_bounds_and_monotonicity() {
         let (t, l) = setup();
         // Bottom: no generalization, loss 0. Top: full suppression, loss 1.
-        let bottom = UtilityMetric::LossMetric.score(&l, &t, &l.bottom()).unwrap();
+        let bottom = UtilityMetric::LossMetric
+            .score(&l, &t, &l.bottom())
+            .unwrap();
         assert!(bottom.abs() < 1e-12);
         let top = UtilityMetric::LossMetric.score(&l, &t, &l.top()).unwrap();
         assert!((top - 1.0).abs() < 1e-12);

@@ -1,0 +1,203 @@
+//! Equivalence and concurrency contracts of the parallel lattice search.
+//!
+//! The load-bearing guarantee of `find_minimal_safe_parallel` (and
+//! `incognito_parallel`) is that parallelism is *invisible* in the result:
+//! the same minimal antichain, the same `evaluated` count, the same
+//! `satisfied` count as the sequential search, for any thread count —
+//! verified here on the paper's 72-node Adult benchmark lattice. A separate
+//! smoke test drives one shared `DisclosureEngine`-backed criterion from
+//! many threads at once and checks that the shared cache still answers
+//! consistently.
+
+use wcbk_anonymize::search::{find_minimal_safe, find_minimal_safe_parallel};
+use wcbk_anonymize::{
+    anonymize, anonymize_parallel, incognito, incognito_parallel, CkSafetyCriterion,
+    DistinctLDiversity, KAnonymity, PrivacyCriterion, UtilityMetric,
+};
+use wcbk_datagen::adult::{synthetic_adult, AdultConfig};
+use wcbk_hierarchy::adult::adult_lattice;
+use wcbk_hierarchy::GeneralizationLattice;
+use wcbk_table::Table;
+
+fn adult(n_rows: usize) -> (Table, GeneralizationLattice) {
+    let table = synthetic_adult(AdultConfig {
+        n_rows,
+        ..Default::default()
+    });
+    let lattice = adult_lattice(&table).expect("adult lattice");
+    (table, lattice)
+}
+
+/// The acceptance-criterion test: on the Adult benchmark lattice, the
+/// parallel search returns a `SearchOutcome` *equal* (same `minimal_nodes`
+/// in the same order, same `evaluated`, same `satisfied`) to the sequential
+/// one, for several thread counts and criteria.
+#[test]
+fn parallel_equals_sequential_on_adult_lattice() {
+    let (table, lattice) = adult(1_500);
+    for threads in [2usize, 3, 8] {
+        let seq =
+            find_minimal_safe(&table, &lattice, &CkSafetyCriterion::new(0.8, 2).unwrap()).unwrap();
+        let par = find_minimal_safe_parallel(
+            &table,
+            &lattice,
+            &CkSafetyCriterion::new(0.8, 2).unwrap(),
+            threads,
+        )
+        .unwrap();
+        assert_eq!(
+            seq, par,
+            "(c,k)-safety outcome diverged at {threads} threads"
+        );
+        assert!(
+            !seq.minimal_nodes.is_empty(),
+            "search found nothing to compare"
+        );
+
+        let seq = find_minimal_safe(&table, &lattice, &KAnonymity::new(40)).unwrap();
+        let par =
+            find_minimal_safe_parallel(&table, &lattice, &KAnonymity::new(40), threads).unwrap();
+        assert_eq!(
+            seq, par,
+            "k-anonymity outcome diverged at {threads} threads"
+        );
+
+        let seq = find_minimal_safe(&table, &lattice, &DistinctLDiversity::new(5)).unwrap();
+        let par =
+            find_minimal_safe_parallel(&table, &lattice, &DistinctLDiversity::new(5), threads)
+                .unwrap();
+        assert_eq!(
+            seq, par,
+            "l-diversity outcome diverged at {threads} threads"
+        );
+    }
+}
+
+/// `threads == 0` (all cores) and `threads == 1` (sequential fast path) are
+/// also equivalent.
+#[test]
+fn thread_count_edge_cases_match() {
+    let (table, lattice) = adult(800);
+    let criterion = || CkSafetyCriterion::new(0.85, 1).unwrap();
+    let seq = find_minimal_safe(&table, &lattice, &criterion()).unwrap();
+    for threads in [0usize, 1] {
+        let par = find_minimal_safe_parallel(&table, &lattice, &criterion(), threads).unwrap();
+        assert_eq!(seq, par, "threads={threads}");
+    }
+}
+
+/// Incognito's apriori subset join with parallel per-level evaluation finds
+/// the same minimal nodes (and spends the same evaluation budget) as the
+/// sequential run.
+#[test]
+fn incognito_parallel_equals_sequential() {
+    let (table, lattice) = adult(1_000);
+    let seq = incognito(&table, &lattice, &CkSafetyCriterion::new(0.8, 2).unwrap()).unwrap();
+    for threads in [2usize, 4] {
+        let par = incognito_parallel(
+            &table,
+            &lattice,
+            &CkSafetyCriterion::new(0.8, 2).unwrap(),
+            threads,
+        )
+        .unwrap();
+        assert_eq!(seq, par, "incognito outcome diverged at {threads} threads");
+    }
+}
+
+/// The full pipeline picks the same node either way.
+#[test]
+fn anonymize_parallel_picks_same_node() {
+    let (table, lattice) = adult(800);
+    let seq = anonymize(
+        &table,
+        &lattice,
+        &CkSafetyCriterion::new(0.85, 1).unwrap(),
+        UtilityMetric::Discernibility,
+    )
+    .unwrap();
+    let par = anonymize_parallel(
+        &table,
+        &lattice,
+        &CkSafetyCriterion::new(0.85, 1).unwrap(),
+        UtilityMetric::Discernibility,
+        4,
+    )
+    .unwrap();
+    assert_eq!(seq.node, par.node);
+    assert_eq!(seq.minimal_nodes, par.minimal_nodes);
+    assert_eq!(seq.evaluated, par.evaluated);
+    assert_eq!(seq.utility_score, par.utility_score);
+}
+
+/// One criterion (hence one engine cache) shared by many threads hammering
+/// the same bucketizations must answer every query consistently, and the
+/// cache must actually be shared: total misses stay bounded by the number
+/// of distinct histograms, not multiplied by the thread count.
+#[test]
+fn shared_criterion_cache_is_thread_safe() {
+    let (table, lattice) = adult(600);
+    let criterion = CkSafetyCriterion::new(0.8, 2).unwrap();
+    let nodes: Vec<_> = lattice.nodes().into_iter().collect();
+
+    // Sequential reference verdicts.
+    let reference: Vec<bool> = nodes
+        .iter()
+        .map(|n| {
+            let b = lattice.bucketize(&table, n).unwrap();
+            CkSafetyCriterion::new(0.8, 2)
+                .unwrap()
+                .is_satisfied(&b)
+                .unwrap()
+        })
+        .collect();
+
+    let n_threads = 8;
+    std::thread::scope(|scope| {
+        for worker in 0..n_threads {
+            let criterion = &criterion;
+            let nodes = &nodes;
+            let table = &table;
+            let lattice = &lattice;
+            let reference = &reference;
+            scope.spawn(move || {
+                // Each worker sweeps every node, offset so workers collide
+                // on the cache from different positions.
+                for i in 0..nodes.len() {
+                    let idx = (i + worker * 7) % nodes.len();
+                    let b = lattice.bucketize(table, &nodes[idx]).unwrap();
+                    let got = criterion.is_satisfied(&b).unwrap();
+                    assert_eq!(got, reference[idx], "node {} verdict changed", nodes[idx]);
+                }
+            });
+        }
+    });
+
+    let stats = criterion.engine_stats();
+    // Every worker swept all nodes, so lookups are plentiful...
+    assert!(
+        stats.hits + stats.misses > 0,
+        "cache never consulted: {stats:?}"
+    );
+    // ...but distinct MINIMIZE1 builds are bounded by distinct histograms
+    // (entries), plus at most one lost insert race per entry per thread.
+    assert!(
+        stats.misses <= (stats.entries as u64) * n_threads as u64,
+        "cache not shared: {stats:?}"
+    );
+    assert!(
+        stats.hits >= stats.misses,
+        "with {n_threads} sweeps the cache should mostly hit: {stats:?}"
+    );
+}
+
+/// The concrete acceptance criterion: the engine (and the criteria built on
+/// it) are `Send + Sync`.
+#[test]
+fn engine_and_criteria_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<wcbk_core::DisclosureEngine>();
+    assert_send_sync::<CkSafetyCriterion>();
+    assert_send_sync::<KAnonymity>();
+    assert_send_sync::<Box<dyn PrivacyCriterion>>();
+}

@@ -55,8 +55,8 @@ proptest! {
     #[test]
     fn incognito_equals_bfs_k_anonymity(table in table_strategy(), k in 1u64..=6) {
         let lattice = lattice_for(&table);
-        let inc = incognito(&table, &lattice, &mut KAnonymity::new(k)).unwrap();
-        let bfs = find_minimal_safe(&table, &lattice, &mut KAnonymity::new(k)).unwrap();
+        let inc = incognito(&table, &lattice, &KAnonymity::new(k)).unwrap();
+        let bfs = find_minimal_safe(&table, &lattice, &KAnonymity::new(k)).unwrap();
         prop_assert_eq!(inc.minimal_nodes, sorted(bfs.minimal_nodes));
     }
 
@@ -65,9 +65,9 @@ proptest! {
     fn incognito_equals_bfs_ck_safety(table in table_strategy(), c10 in 3u32..=10, k in 0usize..=2) {
         let c = c10 as f64 / 10.0;
         let lattice = lattice_for(&table);
-        let inc = incognito(&table, &lattice, &mut CkSafetyCriterion::new(c, k).unwrap()).unwrap();
+        let inc = incognito(&table, &lattice, &CkSafetyCriterion::new(c, k).unwrap()).unwrap();
         let bfs =
-            find_minimal_safe(&table, &lattice, &mut CkSafetyCriterion::new(c, k).unwrap()).unwrap();
+            find_minimal_safe(&table, &lattice, &CkSafetyCriterion::new(c, k).unwrap()).unwrap();
         prop_assert_eq!(inc.minimal_nodes, sorted(bfs.minimal_nodes));
     }
 
@@ -77,8 +77,8 @@ proptest! {
     fn bfs_minimality_vs_sweep_l_diversity(table in table_strategy(), l in 1usize..=4) {
         let lattice = lattice_for(&table);
         let outcome =
-            find_minimal_safe(&table, &lattice, &mut DistinctLDiversity::new(l)).unwrap();
-        let sweep = sweep_all(&table, &lattice, &mut DistinctLDiversity::new(l)).unwrap();
+            find_minimal_safe(&table, &lattice, &DistinctLDiversity::new(l)).unwrap();
+        let sweep = sweep_all(&table, &lattice, &DistinctLDiversity::new(l)).unwrap();
         let safe: std::collections::HashSet<GenNode> = sweep
             .into_iter()
             .filter(|(_, ok)| *ok)

@@ -73,12 +73,12 @@ fn bench_engine_cache(c: &mut Criterion) {
         b.iter(|| black_box(max_disclosure(&bucketization, k).unwrap().value))
     });
     group.bench_function("warm_histogram_cache", |b| {
-        let mut engine = DisclosureEngine::new(k);
+        let engine = DisclosureEngine::new(k);
         engine.max_disclosure_value(&bucketization).unwrap();
         b.iter(|| black_box(engine.max_disclosure_value(&bucketization).unwrap()))
     });
     group.bench_function("value_only_vs_witness", |b| {
-        let mut engine = DisclosureEngine::new(k);
+        let engine = DisclosureEngine::new(k);
         b.iter(|| black_box(engine.max_disclosure(&bucketization).unwrap().value))
     });
     group.finish();
@@ -90,12 +90,10 @@ fn bench_incognito_vs_bfs(c: &mut Criterion) {
     let table = small_adult(5_000);
     let lattice = adult_lattice(&table).expect("adult lattice");
     group.bench_function("incognito_subset_join", |b| {
-        b.iter(|| black_box(incognito(&table, &lattice, &mut KAnonymity::new(50)).unwrap()))
+        b.iter(|| black_box(incognito(&table, &lattice, &KAnonymity::new(50)).unwrap()))
     });
     group.bench_function("plain_monotone_bfs", |b| {
-        b.iter(|| {
-            black_box(find_minimal_safe(&table, &lattice, &mut KAnonymity::new(50)).unwrap())
-        })
+        b.iter(|| black_box(find_minimal_safe(&table, &lattice, &KAnonymity::new(50)).unwrap()))
     });
     group.finish();
 }

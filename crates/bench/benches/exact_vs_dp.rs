@@ -70,9 +70,7 @@ fn bench_exact_vs_dp(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("exact_model_count", n_buckets),
             &imps,
-            |bench, imps| {
-                bench.iter(|| black_box(count_satisfying_worlds(&space, imps).unwrap()))
-            },
+            |bench, imps| bench.iter(|| black_box(count_satisfying_worlds(&space, imps).unwrap())),
         );
         group.bench_with_input(
             BenchmarkId::new("dp_max_disclosure_k4", n_buckets),

@@ -28,7 +28,7 @@ fn bench_incremental(c: &mut Criterion) {
         });
         let new_hist = replacement.bucket(0).histogram().clone();
 
-        let mut engine = DisclosureEngine::new(k);
+        let engine = DisclosureEngine::new(k);
         let session = engine.incremental(&bucketization).unwrap();
         let new_costs = engine.costs(&new_hist);
         let target = n_buckets / 2;
@@ -43,9 +43,14 @@ fn bench_incremental(c: &mut Criterion) {
 
         group.bench_function(BenchmarkId::new("cached_recompute", k), |b| {
             // Histogram-level caching only (the paper's memo-reuse claim).
-            let mut warm = DisclosureEngine::new(k);
+            let warm = DisclosureEngine::new(k);
             warm.max_disclosure_value(&bucketization).unwrap();
-            b.iter(|| black_box(warm.max_disclosure_value(black_box(&bucketization)).unwrap()))
+            b.iter(|| {
+                black_box(
+                    warm.max_disclosure_value(black_box(&bucketization))
+                        .unwrap(),
+                )
+            })
         });
         group.finish();
     }

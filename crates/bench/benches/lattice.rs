@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use wcbk_anonymize::search::{find_minimal_safe, sweep_all};
+use wcbk_anonymize::search::{find_minimal_safe, find_minimal_safe_parallel, sweep_all};
 use wcbk_anonymize::{CkSafetyCriterion, EntropyLDiversity, KAnonymity};
 use wcbk_bench::small_adult;
 use wcbk_hierarchy::adult::adult_lattice;
@@ -18,39 +18,56 @@ fn bench_lattice_search(c: &mut Criterion) {
 
     group.bench_function("ck_safety_pruned", |b| {
         b.iter(|| {
-            let mut criterion = CkSafetyCriterion::new(0.8, 3).unwrap();
-            black_box(find_minimal_safe(&table, &lattice, &mut criterion).unwrap())
+            let criterion = CkSafetyCriterion::new(0.8, 3).unwrap();
+            black_box(find_minimal_safe(&table, &lattice, &criterion).unwrap())
         })
     });
 
     group.bench_function("ck_safety_sweep_all", |b| {
         b.iter(|| {
-            let mut criterion = CkSafetyCriterion::new(0.8, 3).unwrap();
-            black_box(sweep_all(&table, &lattice, &mut criterion).unwrap())
+            let criterion = CkSafetyCriterion::new(0.8, 3).unwrap();
+            black_box(sweep_all(&table, &lattice, &criterion).unwrap())
         })
     });
 
     group.bench_function("k_anonymity_pruned", |b| {
         b.iter(|| {
-            let mut criterion = KAnonymity::new(50);
-            black_box(find_minimal_safe(&table, &lattice, &mut criterion).unwrap())
+            let criterion = KAnonymity::new(50);
+            black_box(find_minimal_safe(&table, &lattice, &criterion).unwrap())
         })
     });
 
     group.bench_function("entropy_ldiv_pruned", |b| {
         b.iter(|| {
-            let mut criterion = EntropyLDiversity::new(4.0).unwrap();
-            black_box(find_minimal_safe(&table, &lattice, &mut criterion).unwrap())
+            let criterion = EntropyLDiversity::new(4.0).unwrap();
+            black_box(find_minimal_safe(&table, &lattice, &criterion).unwrap())
         })
     });
 
     for k in [1usize, 5, 9] {
         group.bench_with_input(BenchmarkId::new("ck_safety_power", k), &k, |b, &k| {
             b.iter(|| {
-                let mut criterion = CkSafetyCriterion::new(0.8, k).unwrap();
-                black_box(find_minimal_safe(&table, &lattice, &mut criterion).unwrap())
+                let criterion = CkSafetyCriterion::new(0.8, k).unwrap();
+                black_box(find_minimal_safe(&table, &lattice, &criterion).unwrap())
             })
         });
+    }
+
+    // The parallel level-synchronous search against the sequential baseline,
+    // sharing one engine cache across worker threads.
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("ck_safety_parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let criterion = CkSafetyCriterion::new(0.8, 3).unwrap();
+                    black_box(
+                        find_minimal_safe_parallel(&table, &lattice, &criterion, threads).unwrap(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -44,7 +44,11 @@ fn main() -> Result<(), HarnessError> {
                 )
             })
             .collect();
-        println!("bucket {i}: {{{}}} -> {{{}}}", members.join(", "), hist.join(", "));
+        println!(
+            "bucket {i}: {{{}}} -> {{{}}}",
+            members.join(", "),
+            hist.join(", ")
+        );
     }
 
     let space = WorldSpace::new(

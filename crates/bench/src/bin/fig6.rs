@@ -56,7 +56,11 @@ fn main() -> Result<(), HarnessError> {
             .iter()
             .map(|p| vec![format!("{:.2}", p.entropy), format!("{:.6}", p.disclosure)])
             .collect();
-        print_aligned(&mut std::io::stdout(), &["min_entropy", "min_worst_case"], &cells)?;
+        print_aligned(
+            &mut std::io::stdout(),
+            &["min_entropy", "min_worst_case"],
+            &cells,
+        )?;
         println!();
         for p in points {
             csv_rows.push(vec![
@@ -66,7 +70,11 @@ fn main() -> Result<(), HarnessError> {
             ]);
         }
     }
-    let path = write_csv("results/fig6.csv", &["k", "min_entropy", "min_worst_case"], &csv_rows)?;
+    let path = write_csv(
+        "results/fig6.csv",
+        &["k", "min_entropy", "min_worst_case"],
+        &csv_rows,
+    )?;
     eprintln!("wrote {}", path.display());
 
     // Shape check: for each k, disclosure trend decreases with entropy.

@@ -4,17 +4,27 @@
 //!
 //! Run: `cargo run --release -p wcbk-bench --bin safe_search [n_rows] [c] [k]`
 
-use wcbk_anonymize::search::find_minimal_safe;
+use wcbk_anonymize::search::{find_minimal_safe, find_minimal_safe_parallel};
 use wcbk_anonymize::utility::{average_class_size, discernibility};
 use wcbk_anonymize::{
-    anonymize, CkSafetyCriterion, EntropyLDiversity, KAnonymity, PrivacyCriterion, UtilityMetric,
+    CkSafetyCriterion, EntropyLDiversity, KAnonymity, PrivacyCriterion, UtilityMetric,
 };
 use wcbk_bench::{print_aligned, write_csv, HarnessError};
 use wcbk_datagen::adult::{synthetic_adult, AdultConfig};
 use wcbk_hierarchy::adult::adult_lattice;
 
 fn main() -> Result<(), HarnessError> {
-    let mut args = std::env::args().skip(1);
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` (0 = all cores) selects the parallel search path.
+    let threads: usize = match raw.iter().position(|a| a == "--threads") {
+        Some(pos) => {
+            let value = raw.get(pos + 1).ok_or("--threads needs a value")?.parse()?;
+            raw.drain(pos..=pos + 1);
+            value
+        }
+        None => 1,
+    };
+    let mut args = raw.into_iter();
     let n_rows: usize = args
         .next()
         .map(|s| s.parse())
@@ -36,9 +46,9 @@ fn main() -> Result<(), HarnessError> {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
 
     let report = |name: String,
-                      outcome: wcbk_anonymize::SearchOutcome,
-                      rows: &mut Vec<Vec<String>>,
-                      csv_rows: &mut Vec<Vec<String>>| {
+                  outcome: wcbk_anonymize::SearchOutcome,
+                  rows: &mut Vec<Vec<String>>,
+                  csv_rows: &mut Vec<Vec<String>>| {
         let nodes = outcome
             .minimal_nodes
             .iter()
@@ -47,7 +57,11 @@ fn main() -> Result<(), HarnessError> {
             .join(" ");
         rows.push(vec![
             name.clone(),
-            if nodes.is_empty() { "(none)".into() } else { nodes.clone() },
+            if nodes.is_empty() {
+                "(none)".into()
+            } else {
+                nodes.clone()
+            },
             outcome.evaluated.to_string(),
             outcome.satisfied.to_string(),
         ]);
@@ -59,16 +73,26 @@ fn main() -> Result<(), HarnessError> {
         ]);
     };
 
-    let mut ck = CkSafetyCriterion::new(c, k)?;
-    let outcome = find_minimal_safe(&table, &lattice, &mut ck)?;
-    let (hits, misses) = ck.cache_stats();
+    let ck = CkSafetyCriterion::new(c, k)?;
+    if threads != 1 {
+        eprintln!("parallel search with {threads} threads (0 = all cores)…");
+    }
+    // Resolves 0 → all cores and degenerates to sequential at 1 thread.
+    let outcome = find_minimal_safe_parallel(&table, &lattice, &ck, threads)?;
+    let stats = ck.engine_stats();
     report(ck.name(), outcome, &mut rows, &mut csv_rows);
-    eprintln!("(c,k)-safety engine cache: {hits} hits / {misses} misses");
+    eprintln!(
+        "(c,k)-safety engine cache: {} hits / {} misses / {} entries ({:.1}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        100.0 * stats.hit_rate()
+    );
 
     // The same criterion through real Incognito (apriori subset join):
     // identical minimal nodes, different evaluation budget.
-    let mut ck_inc = CkSafetyCriterion::new(c, k)?;
-    let inc = wcbk_anonymize::incognito(&table, &lattice, &mut ck_inc)?;
+    let ck_inc = CkSafetyCriterion::new(c, k)?;
+    let inc = wcbk_anonymize::incognito_parallel(&table, &lattice, &ck_inc, threads)?;
     report(
         format!("{} [incognito]", ck_inc.name()),
         wcbk_anonymize::SearchOutcome {
@@ -84,12 +108,12 @@ fn main() -> Result<(), HarnessError> {
         inc.per_size
     );
 
-    let mut ka = KAnonymity::new(50);
-    let outcome = find_minimal_safe(&table, &lattice, &mut ka)?;
+    let ka = KAnonymity::new(50);
+    let outcome = find_minimal_safe(&table, &lattice, &ka)?;
     report(ka.name(), outcome, &mut rows, &mut csv_rows);
 
-    let mut el = EntropyLDiversity::new(4.0)?;
-    let outcome = find_minimal_safe(&table, &lattice, &mut el)?;
+    let el = EntropyLDiversity::new(4.0)?;
+    let outcome = find_minimal_safe(&table, &lattice, &el)?;
     report(el.name(), outcome, &mut rows, &mut csv_rows);
 
     print_aligned(&mut std::io::stdout(), &header, &rows)?;
@@ -97,8 +121,14 @@ fn main() -> Result<(), HarnessError> {
     eprintln!("\nwrote {}", path.display());
 
     println!("\n== utility-ranked (c,k)-safe publication ==");
-    let mut ck = CkSafetyCriterion::new(c, k)?;
-    match anonymize(&table, &lattice, &mut ck, UtilityMetric::Discernibility) {
+    let ck = CkSafetyCriterion::new(c, k)?;
+    match wcbk_anonymize::anonymize_parallel(
+        &table,
+        &lattice,
+        &ck,
+        UtilityMetric::Discernibility,
+        threads,
+    ) {
         Ok(outcome) => {
             let audit = outcome.audit(k)?;
             println!("chosen node:      {}", outcome.node);

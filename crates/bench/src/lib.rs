@@ -80,13 +80,12 @@ pub fn profile_adult_lattice(
     ks: &[usize],
 ) -> Result<Vec<NodeProfile>, HarnessError> {
     let lattice = adult_lattice(table)?;
-    let mut engines: Vec<DisclosureEngine> =
-        ks.iter().map(|&k| DisclosureEngine::new(k)).collect();
+    let engines: Vec<DisclosureEngine> = ks.iter().map(|&k| DisclosureEngine::new(k)).collect();
     let mut out = Vec::with_capacity(lattice.n_nodes());
     for node in lattice.nodes() {
         let b = lattice.bucketize(table, &node)?;
         let disclosures = engines
-            .iter_mut()
+            .iter()
             .map(|e| e.max_disclosure_value(&b))
             .collect::<Result<Vec<f64>, _>>()?;
         out.push(NodeProfile {
@@ -197,9 +196,7 @@ pub fn default_adult() -> Table {
 ///   the crate default seed).
 pub fn load_table_arg(args: &[String]) -> Result<Table, HarnessError> {
     if let Some(pos) = args.iter().position(|a| a == "--adult-csv") {
-        let path = args
-            .get(pos + 1)
-            .ok_or("--adult-csv needs a file path")?;
+        let path = args.get(pos + 1).ok_or("--adult-csv needs a file path")?;
         eprintln!("loading real Adult data from {path}…");
         let file = std::fs::File::open(path)?;
         let table = wcbk_datagen::adult::adult_from_reader(std::io::BufReader::new(file))?;

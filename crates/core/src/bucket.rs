@@ -191,9 +191,7 @@ impl Bucketization {
 
     /// The bucket index containing person `p`, if any.
     pub fn bucket_of(&self, p: TupleId) -> Option<usize> {
-        self.buckets
-            .iter()
-            .position(|b| b.members().contains(&p))
+        self.buckets.iter().position(|b| b.members().contains(&p))
     }
 
     /// Exports `(members, values)` pairs, e.g. to build an exact

@@ -95,7 +95,7 @@ pub fn cost_negation_max_disclosure(
             debug_assert!(denom >= f_t);
             let predicted = h.value_at(t).expect("t < distinct");
             let value = costs.cost(predicted) * f_t as f64 / denom as f64;
-            if best.as_ref().map_or(true, |b| value > b.value) {
+            if best.as_ref().is_none_or(|b| value > b.value) {
                 let ruled_out = (0..=r.min(d - 1))
                     .filter(|&rank| rank != t)
                     .take(r)

@@ -139,10 +139,7 @@ pub(crate) fn build_witness(
 }
 
 /// Domain values that do not occur in `hist`, in code order.
-fn spare_values(
-    hist: &SensitiveHistogram,
-    domain_size: u32,
-) -> impl Iterator<Item = SValue> + '_ {
+fn spare_values(hist: &SensitiveHistogram, domain_size: u32) -> impl Iterator<Item = SValue> + '_ {
     let present: std::collections::HashSet<SValue> = hist.values_desc().iter().copied().collect();
     (0..domain_size)
         .map(SValue)
@@ -246,8 +243,7 @@ mod tests {
         // One bucket {0,1,2,3}: k=0 → 1/4; k=1 → 1/3; k=2 → 1/2; k=3 → 1.
         let table = {
             use wcbk_table::{Attribute, AttributeKind, Schema, TableBuilder};
-            let schema =
-                Schema::new(vec![Attribute::new("D", AttributeKind::Sensitive)]).unwrap();
+            let schema = Schema::new(vec![Attribute::new("D", AttributeKind::Sensitive)]).unwrap();
             let mut tb = TableBuilder::new(schema);
             for v in ["a", "b", "c", "d"] {
                 tb.push_row(&[v]).unwrap();
@@ -283,8 +279,7 @@ mod tests {
         // the DP reaches certainty already at k=0; witnesses stay valid.
         let table = {
             use wcbk_table::{Attribute, AttributeKind, Schema, TableBuilder};
-            let schema =
-                Schema::new(vec![Attribute::new("D", AttributeKind::Sensitive)]).unwrap();
+            let schema = Schema::new(vec![Attribute::new("D", AttributeKind::Sensitive)]).unwrap();
             let mut tb = TableBuilder::new(schema);
             tb.push_row(&["x"]).unwrap();
             tb.push_row(&["x"]).unwrap();
@@ -304,8 +299,7 @@ mod tests {
     fn tuple_of_ten_distinct_values_needs_nine_implications() {
         let table = {
             use wcbk_table::{Attribute, AttributeKind, Schema, TableBuilder};
-            let schema =
-                Schema::new(vec![Attribute::new("D", AttributeKind::Sensitive)]).unwrap();
+            let schema = Schema::new(vec![Attribute::new("D", AttributeKind::Sensitive)]).unwrap();
             let mut tb = TableBuilder::new(schema);
             for i in 0..10 {
                 tb.push_row(&[format!("v{i}")]).unwrap();

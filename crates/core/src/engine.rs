@@ -9,14 +9,17 @@
 //! * [`DisclosureEngine`] — caches MINIMIZE1 tables keyed by the bucket's
 //!   descending frequency vector, shared across *all* bucketizations it
 //!   analyzes (during lattice search, sibling anonymizations share most
-//!   buckets).
+//!   buckets). The cache is sharded behind [`RwLock`]s and the engine is
+//!   `Send + Sync`, so one engine can serve many search threads at once —
+//!   the foundation of the parallel lattice search in `wcbk-anonymize`.
 //! * [`IncrementalDisclosure`] — prefix/suffix MINIMIZE2 tables over a fixed
 //!   bucket order, answering *what-if* queries (replace / remove / merge one
 //!   bucket) in `O(k²)` without touching the other buckets, as suggested by
 //!   the paper's bucket-reordering remark.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use crate::disclosure::build_witness;
 use crate::minimize1::Minimize1Table;
@@ -28,12 +31,45 @@ struct CachedBucket {
     costs: BucketCosts,
 }
 
+/// Number of independent cache shards. A small power of two: enough to keep
+/// search threads off each other's locks, few enough that per-shard maps
+/// stay densely used.
+const N_SHARDS: usize = 16;
+
+/// Snapshot of the engine cache's effectiveness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a MINIMIZE1 table.
+    pub misses: u64,
+    /// Distinct histograms currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (`0.0` when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Histogram-memoizing disclosure calculator for a fixed `k`.
+///
+/// Thread-safe: all methods take `&self`, the histogram cache lives behind
+/// sharded [`RwLock`]s, and hit/miss counters are atomic, so a single engine
+/// can be shared by reference (or `Arc`) across worker threads evaluating
+/// different bucketizations concurrently.
 pub struct DisclosureEngine {
     k: usize,
-    cache: HashMap<Vec<u64>, Rc<CachedBucket>>,
-    hits: u64,
-    misses: u64,
+    shards: [RwLock<HashMap<Vec<u64>, Arc<CachedBucket>>>; N_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl DisclosureEngine {
@@ -41,9 +77,9 @@ impl DisclosureEngine {
     pub fn new(k: usize) -> Self {
         Self {
             k,
-            cache: HashMap::new(),
-            hits: 0,
-            misses: 0,
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -54,38 +90,68 @@ impl DisclosureEngine {
 
     /// Number of distinct histograms cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard poisoned").len())
+            .sum()
     }
 
     /// `(hits, misses)` counters for cache effectiveness reporting.
     pub fn cache_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
-    fn cached(&mut self, hist: &SensitiveHistogram) -> Rc<CachedBucket> {
-        if let Some(entry) = self.cache.get(hist.key()) {
-            self.hits += 1;
-            return Rc::clone(entry);
+    /// Full counter snapshot including the entry count.
+    pub fn stats(&self) -> CacheStats {
+        let (hits, misses) = self.cache_stats();
+        CacheStats {
+            hits,
+            misses,
+            entries: self.cache_len(),
         }
-        self.misses += 1;
+    }
+
+    /// Which shard a histogram key hashes to (FNV-1a over the key words).
+    fn shard_of(key: &[u64]) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in key {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (h % N_SHARDS as u64) as usize
+    }
+
+    fn cached(&self, hist: &SensitiveHistogram) -> Arc<CachedBucket> {
+        let shard = &self.shards[Self::shard_of(hist.key())];
+        if let Some(entry) = shard.read().expect("cache shard poisoned").get(hist.key()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(entry);
+        }
+        // Build outside any lock: the O(k³) table dominates, and concurrent
+        // builders for the same key are rare (they waste a little work but
+        // never race on results — the first insert wins below).
         let table = Minimize1Table::build(hist, self.k + 1);
         let costs = BucketCosts::new(&table, hist.frequency(0), hist.n());
-        let entry = Rc::new(CachedBucket { table, costs });
-        self.cache.insert(hist.key().to_vec(), Rc::clone(&entry));
-        entry
+        let entry = Arc::new(CachedBucket { table, costs });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut w = shard.write().expect("cache shard poisoned");
+        Arc::clone(w.entry(hist.key().to_vec()).or_insert(entry))
     }
 
     /// The per-bucket DP costs for a histogram (cached).
-    pub fn costs(&mut self, hist: &SensitiveHistogram) -> BucketCosts {
+    pub fn costs(&self, hist: &SensitiveHistogram) -> BucketCosts {
         self.cached(hist).costs.clone()
     }
 
     /// Maximum disclosure value only (no witness reconstruction).
-    pub fn max_disclosure_value(&mut self, b: &Bucketization) -> Result<f64, CoreError> {
+    pub fn max_disclosure_value(&self, b: &Bucketization) -> Result<f64, CoreError> {
         if b.n_buckets() == 0 {
             return Err(CoreError::EmptyBucketization);
         }
-        let entries: Vec<Rc<CachedBucket>> = b
+        let entries: Vec<Arc<CachedBucket>> = b
             .buckets()
             .iter()
             .map(|bucket| self.cached(bucket.histogram()))
@@ -96,11 +162,11 @@ impl DisclosureEngine {
     }
 
     /// Full maximum disclosure with witness, using the cache.
-    pub fn max_disclosure(&mut self, b: &Bucketization) -> Result<DisclosureResult, CoreError> {
+    pub fn max_disclosure(&self, b: &Bucketization) -> Result<DisclosureResult, CoreError> {
         if b.n_buckets() == 0 {
             return Err(CoreError::EmptyBucketization);
         }
-        let entries: Vec<Rc<CachedBucket>> = b
+        let entries: Vec<Arc<CachedBucket>> = b
             .buckets()
             .iter()
             .map(|bucket| self.cached(bucket.histogram()))
@@ -118,7 +184,7 @@ impl DisclosureEngine {
     }
 
     /// Builds an incremental session over `b`'s buckets.
-    pub fn incremental(&mut self, b: &Bucketization) -> Result<IncrementalDisclosure, CoreError> {
+    pub fn incremental(&self, b: &Bucketization) -> Result<IncrementalDisclosure, CoreError> {
         if b.n_buckets() == 0 {
             return Err(CoreError::EmptyBucketization);
         }
@@ -241,11 +307,7 @@ impl IncrementalDisclosure {
 
     /// Maximum disclosure if buckets `i` and `i+1` were merged into a bucket
     /// with costs `merged`.
-    pub fn what_if_merge_adjacent(
-        &self,
-        i: usize,
-        merged: &BucketCosts,
-    ) -> Result<f64, CoreError> {
+    pub fn what_if_merge_adjacent(&self, i: usize, merged: &BucketCosts) -> Result<f64, CoreError> {
         self.check_index(i)?;
         self.check_index(i + 1)?;
         Ok(to_disclosure(self.compose(i, Some(merged), i + 2)))
@@ -347,22 +409,20 @@ mod tests {
     #[test]
     fn engine_matches_direct_computation() {
         for k in 0..=4 {
-            let mut engine = DisclosureEngine::new(k);
+            let engine = DisclosureEngine::new(k);
             for b in [figure3(), four_buckets()] {
                 let direct = max_disclosure(&b, k).unwrap();
                 let via_engine = engine.max_disclosure(&b).unwrap();
                 assert!((direct.value - via_engine.value).abs() < 1e-15, "k={k}");
                 assert_eq!(direct.witness, via_engine.witness, "k={k}");
-                assert!(
-                    (engine.max_disclosure_value(&b).unwrap() - direct.value).abs() < 1e-15
-                );
+                assert!((engine.max_disclosure_value(&b).unwrap() - direct.value).abs() < 1e-15);
             }
         }
     }
 
     #[test]
     fn cache_hits_across_shared_histograms() {
-        let mut engine = DisclosureEngine::new(2);
+        let engine = DisclosureEngine::new(2);
         let b = figure3();
         engine.max_disclosure_value(&b).unwrap();
         let (h0, m0) = engine.cache_stats();
@@ -377,9 +437,64 @@ mod tests {
     }
 
     #[test]
+    fn engine_is_shareable_across_threads() {
+        let engine = DisclosureEngine::new(2);
+        let b = figure3();
+        let expected = engine.max_disclosure_value(&b).unwrap();
+        // Pre-warmed cache: every lookup from the workers must hit.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = &engine;
+                let b = &b;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let v = engine.max_disclosure_value(b).unwrap();
+                        assert!((v - expected).abs() < 1e-15);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = engine.cache_stats();
+        assert_eq!(misses, 2, "workers rebuilt cached tables");
+        assert_eq!(hits, 4 * 50 * 2, "4 workers × 50 sweeps × 2 buckets");
+        assert_eq!(engine.cache_len(), 2);
+    }
+
+    #[test]
+    fn cold_cache_concurrent_builds_converge() {
+        // Four distinct bucketizations raced from four threads on a cold
+        // cache: values must match the direct computation and the cache must
+        // end up with exactly the distinct histograms.
+        let engine = DisclosureEngine::new(3);
+        let bs = [figure3(), four_buckets()];
+        let expected: Vec<f64> = bs
+            .iter()
+            .map(|b| max_disclosure(b, 3).unwrap().value)
+            .collect();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let engine = &engine;
+                let bs = &bs;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for i in 0..bs.len() {
+                        let idx = (i + worker) % bs.len();
+                        let v = engine.max_disclosure_value(&bs[idx]).unwrap();
+                        assert!((v - expected[idx]).abs() < 1e-15);
+                    }
+                });
+            }
+        });
+        // figure3 has 2 distinct histograms, four_buckets adds at most 4.
+        let stats = engine.stats();
+        assert!(stats.entries >= 2 && stats.entries <= 6, "{stats:?}");
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
     fn incremental_value_matches_direct() {
         for k in 0..=3 {
-            let mut engine = DisclosureEngine::new(k);
+            let engine = DisclosureEngine::new(k);
             let b = four_buckets();
             let inc = engine.incremental(&b).unwrap();
             let direct = max_disclosure(&b, k).unwrap();
@@ -390,7 +505,7 @@ mod tests {
     #[test]
     fn what_if_replace_matches_recompute() {
         let k = 2;
-        let mut engine = DisclosureEngine::new(k);
+        let engine = DisclosureEngine::new(k);
         let b = four_buckets();
         let inc = engine.incremental(&b).unwrap();
         // Replace bucket 1 with bucket 3's histogram (same table, different
@@ -415,7 +530,7 @@ mod tests {
     #[test]
     fn what_if_remove_matches_recompute() {
         let k = 2;
-        let mut engine = DisclosureEngine::new(k);
+        let engine = DisclosureEngine::new(k);
         let b = four_buckets();
         let inc = engine.incremental(&b).unwrap();
         for i in 0..4 {
@@ -436,7 +551,7 @@ mod tests {
     #[test]
     fn what_if_merge_matches_recompute() {
         let k = 2;
-        let mut engine = DisclosureEngine::new(k);
+        let engine = DisclosureEngine::new(k);
         let b = four_buckets();
         let inc = engine.incremental(&b).unwrap();
         for i in 0..3 {
@@ -453,7 +568,7 @@ mod tests {
     #[test]
     fn committed_replace_updates_value() {
         let k = 1;
-        let mut engine = DisclosureEngine::new(k);
+        let engine = DisclosureEngine::new(k);
         let b = four_buckets();
         let mut inc = engine.incremental(&b).unwrap();
         let hist = b.bucket(0).histogram().clone();
@@ -466,7 +581,7 @@ mod tests {
     #[test]
     fn push_extends_session() {
         let k = 1;
-        let mut engine = DisclosureEngine::new(k);
+        let engine = DisclosureEngine::new(k);
         let b = figure3();
         let mut inc = engine.incremental(&b).unwrap();
         assert_eq!(inc.n_buckets(), 2);
@@ -480,7 +595,7 @@ mod tests {
 
     #[test]
     fn index_errors() {
-        let mut engine = DisclosureEngine::new(1);
+        let engine = DisclosureEngine::new(1);
         let b = figure3();
         let inc = engine.incremental(&b).unwrap();
         assert!(matches!(
@@ -493,7 +608,7 @@ mod tests {
 
     #[test]
     fn prefix_and_suffix_agree_on_global_value() {
-        let mut engine = DisclosureEngine::new(3);
+        let engine = DisclosureEngine::new(3);
         let b = four_buckets();
         let inc = engine.incremental(&b).unwrap();
         let via_prefix = inc.prefix.get(4, 3, true);

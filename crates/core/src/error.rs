@@ -42,7 +42,10 @@ impl fmt::Display for CoreError {
                 write!(f, "tuple t{tuple} appears in more than one bucket")
             }
             CoreError::TupleOutOfRange { tuple, n_rows } => {
-                write!(f, "tuple t{tuple} out of range for table with {n_rows} rows")
+                write!(
+                    f,
+                    "tuple t{tuple} out of range for table with {n_rows} rows"
+                )
             }
             CoreError::InvalidThreshold(c) => {
                 write!(f, "threshold c = {c} must lie in (0, 1]")

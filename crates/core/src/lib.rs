@@ -45,7 +45,7 @@ pub mod safety;
 pub use bucket::{Bucket, Bucketization};
 pub use cost::{cost_negation_max_disclosure, CostNegationResult, CostVector};
 pub use disclosure::{max_disclosure, DisclosureResult, DisclosureWitness};
-pub use engine::{DisclosureEngine, IncrementalDisclosure};
+pub use engine::{CacheStats, DisclosureEngine, IncrementalDisclosure};
 pub use error::CoreError;
 pub use histogram::SensitiveHistogram;
 pub use negation::{negation_max_disclosure, NegationResult};

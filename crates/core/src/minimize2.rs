@@ -242,7 +242,10 @@ mod tests {
 
     /// Figure 3: male {0,0,1,1,2}, female {0,0,3,4,5}.
     fn figure3(k: usize) -> Vec<BucketCosts> {
-        vec![costs(&[0, 0, 1, 1, 2], k + 1), costs(&[0, 0, 3, 4, 5], k + 1)]
+        vec![
+            costs(&[0, 0, 1, 1, 2], k + 1),
+            costs(&[0, 0, 3, 4, 5], k + 1),
+        ]
     }
 
     #[test]
@@ -305,10 +308,7 @@ mod tests {
         let r = minimize2(&buckets, 3);
         let total_atoms: usize = r.allocation.iter().map(|a| a.atoms).sum();
         assert_eq!(total_atoms, 3);
-        assert_eq!(
-            r.allocation.iter().filter(|a| a.has_consequent).count(),
-            1
-        );
+        assert_eq!(r.allocation.iter().filter(|a| a.has_consequent).count(), 1);
         // Recompute the product from the allocation.
         let mut v = 1.0;
         for a in &r.allocation {

@@ -62,7 +62,7 @@ pub fn negation_max_disclosure(
         let denom = h.n() - (h.top_sum(j_max + 1) - h.frequency(0));
         debug_assert!(denom >= h.frequency(0));
         let value = h.frequency(0) as f64 / denom as f64;
-        if best.as_ref().map_or(true, |b| value > b.value) {
+        if best.as_ref().is_none_or(|b| value > b.value) {
             best = Some(NegationResult {
                 value,
                 k,

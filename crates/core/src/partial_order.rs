@@ -41,11 +41,7 @@ pub fn refines(fine: &Bucketization, coarse: &Bucketization) -> bool {
 /// Merges buckets `i` and `j` (`i ≠ j`) into one, producing a coarser
 /// bucketization (an immediate step up the partial order when `i`, `j` are
 /// the only buckets merged).
-pub fn merge_buckets(
-    b: &Bucketization,
-    i: usize,
-    j: usize,
-) -> Result<Bucketization, CoreError> {
+pub fn merge_buckets(b: &Bucketization, i: usize, j: usize) -> Result<Bucketization, CoreError> {
     let len = b.n_buckets();
     for &x in &[i, j] {
         if x >= len {
@@ -93,10 +89,7 @@ pub fn merge_all(b: &Bucketization) -> Result<Bucketization, CoreError> {
 }
 
 /// Adds two histograms (the sensitive multiset of a merged bucket).
-pub fn merge_histograms(
-    a: &SensitiveHistogram,
-    b: &SensitiveHistogram,
-) -> SensitiveHistogram {
+pub fn merge_histograms(a: &SensitiveHistogram, b: &SensitiveHistogram) -> SensitiveHistogram {
     let mut counts: HashMap<wcbk_table::SValue, u64> = HashMap::new();
     for h in [a, b] {
         for (v, c) in h.iter_counts() {
@@ -222,8 +215,7 @@ mod tests {
     #[test]
     fn different_universes_do_not_refine() {
         let t = table();
-        let partial =
-            Bucketization::from_partition(&t, &[vec![wcbk_table::TupleId(0)]]).unwrap();
+        let partial = Bucketization::from_partition(&t, &[vec![wcbk_table::TupleId(0)]]).unwrap();
         assert!(!refines(&partial, &figure3()));
         assert!(!refines(&figure3(), &partial));
     }
@@ -236,7 +228,10 @@ mod tests {
         for k in 0..=4 {
             let fine = crate::max_disclosure(&b, k).unwrap().value;
             let coarse = crate::max_disclosure(&merged, k).unwrap().value;
-            assert!(coarse <= fine + 1e-12, "k={k}: coarse {coarse} > fine {fine}");
+            assert!(
+                coarse <= fine + 1e-12,
+                "k={k}: coarse {coarse} > fine {fine}"
+            );
         }
     }
 
@@ -250,7 +245,10 @@ mod tests {
                 .map(|b| crate::max_disclosure(b, k).unwrap().value)
                 .collect();
             for w in values.windows(2) {
-                assert!(w[1] <= w[0] + 1e-12, "chain not monotone at k={k}: {values:?}");
+                assert!(
+                    w[1] <= w[0] + 1e-12,
+                    "chain not monotone at k={k}: {values:?}"
+                );
             }
         }
     }
@@ -260,8 +258,7 @@ mod tests {
         let chain = coarsening_chain(&bottom()).unwrap();
         for (c, k) in [(0.5, 0), (0.7, 1), (0.75, 2)] {
             let safety = crate::CkSafety::new(c, k).unwrap();
-            let found =
-                binary_search_coarsening(&chain, |b| safety.is_safe(b)).unwrap();
+            let found = binary_search_coarsening(&chain, |b| safety.is_safe(b)).unwrap();
             // Compare with a linear scan.
             let mut linear = None;
             for (i, b) in chain.iter().enumerate() {
@@ -283,10 +280,7 @@ mod tests {
             binary_search_coarsening(&chain, |b| safety.is_safe(b)).unwrap(),
             None
         );
-        assert_eq!(
-            binary_search_coarsening(&[], |_| Ok(true)).unwrap(),
-            None
-        );
+        assert_eq!(binary_search_coarsening(&[], |_| Ok(true)).unwrap(), None);
     }
 
     #[test]

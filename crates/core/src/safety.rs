@@ -52,7 +52,7 @@ impl CkSafety {
     /// the common case during lattice search).
     pub fn is_safe_with(
         &self,
-        engine: &mut DisclosureEngine,
+        engine: &DisclosureEngine,
         b: &Bucketization,
     ) -> Result<bool, CoreError> {
         if b.max_frequency_ratio() >= self.c {
@@ -123,11 +123,11 @@ mod tests {
     fn engine_and_direct_agree() {
         let b = figure3();
         for k in 0..=3 {
-            let mut engine = DisclosureEngine::new(k);
+            let engine = DisclosureEngine::new(k);
             let safety = CkSafety::new(0.65, k).unwrap();
             assert_eq!(
                 safety.is_safe(&b).unwrap(),
-                safety.is_safe_with(&mut engine, &b).unwrap(),
+                safety.is_safe_with(&engine, &b).unwrap(),
                 "k={k}"
             );
         }

@@ -6,7 +6,9 @@ use proptest::prelude::*;
 
 use wcbk_core::minimize1::{brute_force_profiles, paper_recursion, Minimize1Table};
 use wcbk_core::partial_order::{merge_buckets, refines};
-use wcbk_core::{max_disclosure, negation_max_disclosure, Bucket, Bucketization, SensitiveHistogram};
+use wcbk_core::{
+    max_disclosure, negation_max_disclosure, Bucket, Bucketization, SensitiveHistogram,
+};
 use wcbk_table::{SValue, TupleId};
 use wcbk_worlds::inference::atom_probability_given;
 use wcbk_worlds::{BucketSpec, WorldSpace};

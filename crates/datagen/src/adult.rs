@@ -225,8 +225,7 @@ pub fn synthetic_adult(config: AdultConfig) -> Table {
         let male = rng.gen_bool(male_p);
         let marital = Discrete::new(&marital_weights(age)).sample(&mut rng);
         let race = race_dist.sample(&mut rng);
-        let occupation =
-            occupation_dists[usize::from(!male)][age_band(age)].sample(&mut rng);
+        let occupation = occupation_dists[usize::from(!male)][age_band(age)].sample(&mut rng);
         age_buf.clear();
         {
             use std::fmt::Write as _;
@@ -323,8 +322,14 @@ mod tests {
             counts[occ.code(row) as usize] += 1;
         }
         // Prof-specialty should be among the most common, Armed-Forces rare.
-        let prof = occ.dictionary().code("Prof-specialty").map(|c| counts[c as usize]);
-        let armed = occ.dictionary().code("Armed-Forces").map(|c| counts[c as usize]);
+        let prof = occ
+            .dictionary()
+            .code("Prof-specialty")
+            .map(|c| counts[c as usize]);
+        let armed = occ
+            .dictionary()
+            .code("Armed-Forces")
+            .map(|c| counts[c as usize]);
         let prof = prof.unwrap_or(0);
         let armed = armed.unwrap_or(0);
         assert!(prof > 600, "Prof-specialty count {prof}");

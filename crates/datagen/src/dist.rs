@@ -40,7 +40,9 @@ impl Discrete {
         let total = *self.cdf.last().expect("non-empty");
         let x = rng.gen_range(0.0..total);
         // partition_point: first index with cdf[i] > x.
-        self.cdf.partition_point(|&c| c <= x).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= x)
+            .min(self.cdf.len() - 1)
     }
 }
 

@@ -54,10 +54,7 @@ pub fn marital_hierarchy(table: &Table) -> Result<Hierarchy, HierarchyError> {
             groups.push((label, present));
         }
     }
-    let borrowed: Vec<(&str, &[&str])> = groups
-        .iter()
-        .map(|(l, m)| (*l, m.as_slice()))
-        .collect();
+    let borrowed: Vec<(&str, &[&str])> = groups.iter().map(|(l, m)| (*l, m.as_slice())).collect();
     Hierarchy::from_groups("Marital-Status", dict, &[&borrowed])
 }
 
@@ -119,7 +116,13 @@ mod tests {
         .unwrap();
         let rows: Vec<[&str; 5]> = vec![
             ["17", "Never-married", "White", "Male", "Sales"],
-            ["25", "Married-civ-spouse", "Black", "Female", "Tech-support"],
+            [
+                "25",
+                "Married-civ-spouse",
+                "Black",
+                "Female",
+                "Tech-support",
+            ],
             ["37", "Divorced", "White", "Male", "Craft-repair"],
             ["52", "Widowed", "Asian-Pac-Islander", "Female", "Sales"],
             ["66", "Separated", "White", "Male", "Exec-managerial"],

@@ -137,10 +137,13 @@ impl Hierarchy {
         }
         let mut numeric: Vec<i64> = Vec::with_capacity(dict.len());
         for (_, v) in dict.iter() {
-            let parsed = v.trim().parse::<i64>().map_err(|_| HierarchyError::NotNumeric {
-                attribute: attribute.clone(),
-                value: v.to_owned(),
-            })?;
+            let parsed = v
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| HierarchyError::NotNumeric {
+                    attribute: attribute.clone(),
+                    value: v.to_owned(),
+                })?;
             numeric.push(parsed);
         }
         let origin = numeric.iter().copied().min().unwrap_or(0);
@@ -192,12 +195,12 @@ impl Hierarchy {
             for (gi, (label, members)) in groups.iter().enumerate() {
                 level_labels.push((*label).to_owned());
                 for member in *members {
-                    let code = dict.code(member).ok_or_else(|| {
-                        HierarchyError::UncoveredValue {
+                    let code = dict
+                        .code(member)
+                        .ok_or_else(|| HierarchyError::UncoveredValue {
                             attribute: attribute.clone(),
                             value: (*member).to_owned(),
-                        }
-                    })?;
+                        })?;
                     if map[code as usize] != u32::MAX {
                         return Err(HierarchyError::DoublyCovered {
                             attribute: attribute.clone(),
@@ -281,7 +284,7 @@ mod tests {
         let d = age_dict();
         let h = Hierarchy::intervals("Age", &d, &[5, 10]).unwrap();
         assert_eq!(h.n_levels(), 4); // identity, 5, 10, *
-        // Origin is 21; width 5 groups: [21,25], [26,30].
+                                     // Origin is 21; width 5 groups: [21,25], [26,30].
         let g23 = h.generalize(1, d.code("23").unwrap());
         let g25 = h.generalize(1, d.code("25").unwrap());
         let g26 = h.generalize(1, d.code("26").unwrap());

@@ -68,13 +68,22 @@ impl fmt::Display for HierarchyError {
                 level + 1
             ),
             HierarchyError::UncoveredValue { attribute, value } => {
-                write!(f, "hierarchy for {attribute:?} does not cover value {value:?}")
+                write!(
+                    f,
+                    "hierarchy for {attribute:?} does not cover value {value:?}"
+                )
             }
             HierarchyError::DoublyCovered { attribute, value } => {
-                write!(f, "hierarchy for {attribute:?} covers value {value:?} twice")
+                write!(
+                    f,
+                    "hierarchy for {attribute:?} covers value {value:?} twice"
+                )
             }
             HierarchyError::NotNumeric { attribute, value } => {
-                write!(f, "attribute {attribute:?} value {value:?} is not an integer")
+                write!(
+                    f,
+                    "attribute {attribute:?} value {value:?} is not an integer"
+                )
             }
             HierarchyError::BadWidths(w) => write!(
                 f,
@@ -89,7 +98,10 @@ impl fmt::Display for HierarchyError {
                 "level {level} out of range for attribute {attribute} ({n_levels} levels)"
             ),
             HierarchyError::DimensionMismatch { expected, found } => {
-                write!(f, "node has {found} levels, lattice has {expected} attributes")
+                write!(
+                    f,
+                    "node has {found} levels, lattice has {expected} attributes"
+                )
             }
             HierarchyError::Table(m) => write!(f, "table error: {m}"),
         }

@@ -184,7 +184,11 @@ impl GeneralizationLattice {
 
     /// Applies `node` to `table`: tuples with equal generalized
     /// quasi-identifier signatures share a bucket.
-    pub fn bucketize(&self, table: &Table, node: &GenNode) -> Result<Bucketization, HierarchyError> {
+    pub fn bucketize(
+        &self,
+        table: &Table,
+        node: &GenNode,
+    ) -> Result<Bucketization, HierarchyError> {
         self.validate(node)?;
         Bucketization::from_grouping(table, |t| {
             node.0
@@ -401,8 +405,7 @@ mod tests {
     #[test]
     fn single_dimension_lattice() {
         let d = Dictionary::from_values(["x", "y"]);
-        let l =
-            GeneralizationLattice::new(vec![(0, Hierarchy::suppression("A", &d))]).unwrap();
+        let l = GeneralizationLattice::new(vec![(0, Hierarchy::suppression("A", &d))]).unwrap();
         assert_eq!(l.n_nodes(), 2);
         assert_eq!(l.maximal_chain().len(), 2);
     }

@@ -152,8 +152,7 @@ mod tests {
 
     #[test]
     fn as_simple_fails_on_disjunctive_consequent() {
-        let b =
-            BasicImplication::new(vec![atom(0, 1)], vec![atom(1, 0), atom(1, 1)]).unwrap();
+        let b = BasicImplication::new(vec![atom(0, 1)], vec![atom(1, 0), atom(1, 1)]).unwrap();
         let k = Knowledge::from_implications([b]);
         assert!(!k.is_simple());
         assert!(k.as_simple().is_none());

@@ -50,11 +50,7 @@ pub struct Combinations {
 impl Combinations {
     /// Creates the iterator over `C(n, k)`.
     pub fn new(n: usize, k: usize) -> Self {
-        let state = if k <= n {
-            Some((0..k).collect())
-        } else {
-            None
-        };
+        let state = if k <= n { Some((0..k).collect()) } else { None };
         Self { n, k, state }
     }
 }

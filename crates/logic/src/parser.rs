@@ -119,8 +119,16 @@ impl SymbolTable {
 
     /// Renders a basic implication with names where available.
     pub fn display_implication(&self, imp: &BasicImplication) -> String {
-        let ants: Vec<String> = imp.antecedents().iter().map(|a| self.display_atom(a)).collect();
-        let cons: Vec<String> = imp.consequents().iter().map(|a| self.display_atom(a)).collect();
+        let ants: Vec<String> = imp
+            .antecedents()
+            .iter()
+            .map(|a| self.display_atom(a))
+            .collect();
+        let cons: Vec<String> = imp
+            .consequents()
+            .iter()
+            .map(|a| self.display_atom(a))
+            .collect();
         format!("{} -> {}", ants.join(" & "), cons.join(" | "))
     }
 }
@@ -148,7 +156,10 @@ impl std::fmt::Display for ParseError {
             ParseError::UnknownValue(v) => write!(f, "unknown sensitive value {v:?}"),
             ParseError::Logic(e) => write!(f, "{e}"),
             ParseError::NoWitness => {
-                write!(f, "cannot negate: sensitive domain has fewer than two values")
+                write!(
+                    f,
+                    "cannot negate: sensitive domain has fewer than two values"
+                )
             }
         }
     }
@@ -164,14 +175,21 @@ impl From<LogicError> for ParseError {
 
 /// Parses one implication, e.g. `t[Hannah]=Flu -> t[Charlie]=Flu` or
 /// `!t[Ed]=Flu`.
-pub fn parse_implication(input: &str, symbols: &SymbolTable) -> Result<BasicImplication, ParseError> {
+pub fn parse_implication(
+    input: &str,
+    symbols: &SymbolTable,
+) -> Result<BasicImplication, ParseError> {
     let input = input.trim();
     if let Some(rest) = input.strip_prefix('!') {
         let atom = parse_atom(rest.trim(), symbols)?;
         let witness = symbols
             .witness_other_than(atom.value)
             .ok_or(ParseError::NoWitness)?;
-        return Ok(BasicImplication::negated_atom(atom.person, atom.value, witness)?);
+        return Ok(BasicImplication::negated_atom(
+            atom.person,
+            atom.value,
+            witness,
+        )?);
     }
     let (lhs, rhs) = input
         .split_once("->")

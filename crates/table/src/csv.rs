@@ -292,9 +292,10 @@ mod tests {
 
     #[test]
     fn plain_fields() {
-        assert_eq!(read_str("a,b,c\n1,2,3\n"), vec![vec!["a", "b", "c"], vec![
-            "1", "2", "3"
-        ]]);
+        assert_eq!(
+            read_str("a,b,c\n1,2,3\n"),
+            vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]
+        );
     }
 
     #[test]
@@ -345,12 +346,15 @@ mod tests {
             w.flush().unwrap();
         }
         let recs = CsvReader::new(out.as_slice()).read_all().unwrap();
-        assert_eq!(recs, vec![vec![
-            "plain".to_owned(),
-            "with,comma".to_owned(),
-            "with\"quote".to_owned(),
-            "with\nnewline".to_owned(),
-        ]]);
+        assert_eq!(
+            recs,
+            vec![vec![
+                "plain".to_owned(),
+                "with,comma".to_owned(),
+                "with\"quote".to_owned(),
+                "with\nnewline".to_owned(),
+            ]]
+        );
     }
 
     #[test]

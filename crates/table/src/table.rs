@@ -110,7 +110,10 @@ impl Table {
 
     /// Decodes an entire row into owned strings (for display / export).
     pub fn row(&self, row: usize) -> Vec<String> {
-        self.columns.iter().map(|c| c.value(row).to_owned()).collect()
+        self.columns
+            .iter()
+            .map(|c| c.value(row).to_owned())
+            .collect()
     }
 
     /// Looks up the sensitive-domain code for a value string.

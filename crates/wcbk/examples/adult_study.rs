@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== Figure 5 anonymization: Age -> 20-year intervals, rest suppressed ==");
     let b = lattice.bucketize(&table, &figure5_node())?;
-    println!("  {} buckets; k=0 disclosure {:.4}", b.n_buckets(), b.max_frequency_ratio());
+    println!(
+        "  {} buckets; k=0 disclosure {:.4}",
+        b.n_buckets(),
+        b.max_frequency_ratio()
+    );
     println!("  k   implications  negations");
     for k in (0..=12).step_by(2) {
         let imp = max_disclosure(&b, k)?.value;
@@ -51,16 +55,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== Minimal (c,k)-safe publication via lattice search ==");
     let (c, k) = (0.75, 3);
-    let mut criterion = CkSafetyCriterion::new(c, k)?;
-    match anonymize(&table, &lattice, &mut criterion, UtilityMetric::Discernibility) {
+    let criterion = CkSafetyCriterion::new(c, k)?;
+    match anonymize(&table, &lattice, &criterion, UtilityMetric::Discernibility) {
         Ok(outcome) => {
             let audit = outcome.audit(k)?;
             println!("  criterion:       ({c},{k})-safety");
             println!("  minimal nodes:   {}", outcome.minimal_nodes.len());
             println!("  chosen node:     {} (best discernibility)", outcome.node);
             println!("  buckets:         {}", outcome.bucketization.n_buckets());
-            println!("  avg class size:  {:.1}", average_class_size(&outcome.bucketization));
-            println!("  discernibility:  {}", discernibility(&outcome.bucketization));
+            println!(
+                "  avg class size:  {:.1}",
+                average_class_size(&outcome.bucketization)
+            );
+            println!(
+                "  discernibility:  {}",
+                discernibility(&outcome.bucketization)
+            );
             println!("  max disclosure:  {:.4} < {c}", audit.value);
             println!("  criterion evals: {}", outcome.evaluated);
             let (hits, misses) = criterion.cache_stats();

@@ -9,8 +9,8 @@
 //!
 //! Run: `cargo run --example hospital`
 
-use wcbk::core::partial_order::merge_all;
 use wcbk::core::negation_max_disclosure;
+use wcbk::core::partial_order::merge_all;
 use wcbk::logic::parser::{parse_knowledge, SymbolTable};
 use wcbk::prelude::*;
 use wcbk::table::datasets::{hospital_bucket_of, hospital_person, hospital_table};
@@ -80,9 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Any predicate is expressible (Theorem 3) ==");
     // "The married couple Charlie and Hannah do not both have the flu."
     let hannah = hospital_person(&table, "Hannah").unwrap();
-    let predicate = move |w: &[SValue]| {
-        !(w[charlie.index()] == flu && w[hannah.index()] == flu)
-    };
+    let predicate = move |w: &[SValue]| !(w[charlie.index()] == flu && w[hannah.index()] == flu);
     let compiled = compile_predicate(&space, predicate)?;
     println!(
         "  compiled to {} basic implications; conditioning on them:",

@@ -24,13 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         skew: 0.9,
         seed: 2007,
     });
-    let mut engine = DisclosureEngine::new(k);
+    let engine = DisclosureEngine::new(k);
     let mut session = engine.incremental(&initial)?;
     println!(
         "initial release: {} buckets, max disclosure {:.4} ({})",
         session.n_buckets(),
         session.value(),
-        if session.value() < c { "safe" } else { "UNSAFE" },
+        if session.value() < c {
+            "safe"
+        } else {
+            "UNSAFE"
+        },
     );
 
     // Scenario 1: a new batch arrives as its own bucket. Skewed batches can
@@ -51,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut probe = engine.incremental(&initial)?;
         probe.push(costs.clone());
         let value = probe.value();
-        let verdict = if value < c { "accept" } else { "reject (would break safety)" };
+        let verdict = if value < c {
+            "accept"
+        } else {
+            "reject (would break safety)"
+        };
         println!(
             "  batch {i} (skew {skew:.1}, top value {}/10): disclosure -> {value:.4}  => {verdict}",
             hist.frequency(0)
@@ -80,13 +88,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let costs = engine.costs(&merged);
         if i + 1 < initial.n_buckets() {
             let v = session.what_if_merge_adjacent(i, &costs)?;
-            if best.as_ref().map_or(true, |&(_, bv)| v < bv) {
+            if best.as_ref().is_none_or(|&(_, bv)| v < bv) {
                 best = Some((i, v));
             }
         }
     }
     if let Some((i, v)) = best {
-        println!("  best single merge: buckets {i}+{} -> disclosure {v:.4} (now {current:.4})", i + 1);
+        println!(
+            "  best single merge: buckets {i}+{} -> disclosure {v:.4} (now {current:.4})",
+            i + 1
+        );
     }
 
     // Scenario 3: full re-audit with witness, to file with the release.

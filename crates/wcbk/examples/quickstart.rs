@@ -30,10 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Bucketize by zip code (Anatomy-style publishing: within a bucket
     //    the sensitive values are randomly permuted).
-    let buckets = Bucketization::from_grouping(&table, |t| {
-        table.value(t.index(), 0).to_owned()
-    })?;
-    println!("published {} buckets over {} tuples", buckets.n_buckets(), buckets.n_tuples());
+    let buckets = Bucketization::from_grouping(&table, |t| table.value(t.index(), 0).to_owned())?;
+    println!(
+        "published {} buckets over {} tuples",
+        buckets.n_buckets(),
+        buckets.n_tuples()
+    );
 
     // 3. Worst-case disclosure if the attacker knows k basic implications.
     for k in 0..=2 {

@@ -16,11 +16,7 @@ use wcbk::hierarchy::adult::adult_lattice;
 use wcbk::prelude::*;
 use wcbk::worlds::soft::SoftPosterior;
 
-fn audit_row(
-    name: &str,
-    b: &Bucketization,
-    k: usize,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn audit_row(name: &str, b: &Bucketization, k: usize) -> Result<(), Box<dyn std::error::Error>> {
     let d = max_disclosure(b, k)?;
     println!(
         "{name:<28} {:>8} {:>12.4} {:>16} {:>10.1}",
@@ -50,8 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Full-domain generalization chosen by lattice search.
     let lattice = adult_lattice(&table)?;
-    let mut criterion = CkSafetyCriterion::new(0.8, k)?;
-    let lattice_pub = anonymize(&table, &lattice, &mut criterion, UtilityMetric::Discernibility)?;
+    let criterion = CkSafetyCriterion::new(0.8, k)?;
+    let lattice_pub = anonymize(&table, &lattice, &criterion, UtilityMetric::Discernibility)?;
     audit_row("lattice (0.8,3)-safe", &lattice_pub.bucketization, k)?;
 
     // 2. Anatomy with l = 4 (if eligible).
@@ -66,7 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         audit_row("anatomy + 20% swap", &swapped.bucketization, k)?;
         println!(
             "{:<28} (swapped values displaced: {} of {})",
-            "", swapped.displaced, table.n_rows()
+            "",
+            swapped.displaced,
+            table.n_rows()
         );
     }
 
@@ -78,10 +76,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- future-work extensions on a small excerpt ---
     println!("\n== probabilistic background knowledge (Jeffrey conditioning) ==");
     let hospital = wcbk::table::datasets::hospital_table();
-    let buckets = Bucketization::from_grouping(
-        &hospital,
-        wcbk::table::datasets::hospital_bucket_of,
-    )?;
+    let buckets =
+        Bucketization::from_grouping(&hospital, wcbk::table::datasets::hospital_bucket_of)?;
     let space = WorldSpace::new(
         buckets
             .to_parts()

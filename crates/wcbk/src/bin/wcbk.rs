@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
+//! wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N] [--parallel] [--threads N]
 //! wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
 //! wcbk generate-adult [--rows N] [--seed N] [--out FILE]
 //! ```
 //!
 //! `audit` loads a CSV, buckets it by the (exact) quasi-identifier columns,
-//! and prints the maximum-disclosure curve, the worst-case attacker, and a
-//! (c,k)-safety verdict. `anatomize` publishes with the Anatomy algorithm
-//! instead and audits the result. `generate-adult` writes the synthetic
-//! Adult benchmark table.
+//! and prints the maximum-disclosure curve, the worst-case attacker, a
+//! (c,k)-safety verdict, and the disclosure engine's cache statistics.
+//! `search` finds all ⪯-minimal (c,k)-safe generalizations over suppression
+//! hierarchies on the quasi-identifiers — `--parallel`/`--threads N` fan the
+//! lattice search out over worker threads sharing one engine cache.
+//! `anatomize` publishes with the Anatomy algorithm instead and audits the
+//! result. `generate-adult` writes the synthetic Adult benchmark table.
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -35,6 +39,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
+  wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N] [--parallel] [--threads N]
   wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
   wcbk generate-adult [--rows N] [--seed N] [--out FILE]";
 
@@ -51,6 +56,9 @@ struct Options {
     seed: u64,
     out: Option<String>,
     header: bool,
+    /// Worker threads for the lattice search: `None` = sequential,
+    /// `Some(0)` = all cores, `Some(n)` = exactly `n`.
+    threads: Option<usize>,
 }
 
 /// Hand-rolled flag parser (the sanctioned dependency set has no CLI crate).
@@ -63,11 +71,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         ..Default::default()
     };
     let mut it = args.iter().peekable();
-    let need_value = |name: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| {
-        it.next()
-            .cloned()
-            .ok_or_else(|| format!("flag {name} needs a value"))
-    };
+    let need_value =
+        |name: &str, it: &mut std::iter::Peekable<std::slice::Iter<String>>| match it.next() {
+            Some(v) if !v.starts_with("--") => Ok(v.clone()),
+            _ => Err(format!("flag {name} needs a value")),
+        };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--sensitive" => opts.sensitive = Some(need_value("--sensitive", &mut it)?),
@@ -106,6 +114,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--out" => opts.out = Some(need_value("--out", &mut it)?),
             "--no-header" => opts.header = false,
+            "--parallel" => opts.threads = Some(0),
+            "--threads" => {
+                opts.threads = Some(
+                    need_value("--threads", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => opts.positional.push(arg.clone()),
         }
@@ -117,6 +133,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_args(args)?;
     match opts.positional.first().map(String::as_str) {
         Some("audit") => audit(&opts),
+        Some("search") => search_cmd(&opts),
         Some("anatomize") => anatomize_cmd(&opts),
         Some("generate-adult") => generate_adult(&opts),
         Some(other) => Err(format!("unknown command {other:?}").into()),
@@ -140,9 +157,7 @@ fn load(opts: &Options) -> Result<Table, Box<dyn std::error::Error>> {
     let mut reader = wcbk::table::csv::CsvReader::new(BufReader::new(file));
 
     // Read the header (or synthesize col0..colN names).
-    let first = reader
-        .next_record()?
-        .ok_or("empty CSV file")?;
+    let first = reader.next_record()?.ok_or("empty CSV file")?;
     let names: Vec<String> = if opts.header {
         first.iter().map(|s| s.trim().to_owned()).collect()
     } else {
@@ -175,7 +190,11 @@ fn load(opts: &Options) -> Result<Table, Box<dyn std::error::Error>> {
     Ok(builder.build())
 }
 
-fn report(b: &Bucketization, k_max: usize, c: Option<f64>) -> Result<(), Box<dyn std::error::Error>> {
+fn report(
+    b: &Bucketization,
+    k_max: usize,
+    c: Option<f64>,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "buckets: {}   tuples: {}   sensitive domain: {}",
         b.n_buckets(),
@@ -188,7 +207,10 @@ fn report(b: &Bucketization, k_max: usize, c: Option<f64>) -> Result<(), Box<dyn
         let neg = negation_max_disclosure(b, k)?;
         println!("{k:>3}   {:>12.6}   {:>13.6}", imp.value, neg.value);
     }
-    let worst = max_disclosure(b, k_max)?;
+    // The engine-backed pass at k_max: same value, but exercises and
+    // reports the shared MINIMIZE1 cache.
+    let engine = DisclosureEngine::new(k_max);
+    let worst = engine.max_disclosure(b)?;
     println!("\nworst-case attacker at k={k_max}:");
     println!("  predicts  {}", worst.witness.consequent);
     println!("  knowing   {}", worst.witness.knowledge());
@@ -199,7 +221,18 @@ fn report(b: &Bucketization, k_max: usize, c: Option<f64>) -> Result<(), Box<dyn
             if safe { "SAFE" } else { "NOT SAFE" }
         );
     }
+    print_cache_stats(engine.stats());
     Ok(())
+}
+
+fn print_cache_stats(stats: CacheStats) {
+    println!(
+        "\nengine cache: {} hits / {} misses / {} entries ({:.1}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        100.0 * stats.hit_rate()
+    );
 }
 
 fn audit(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
@@ -221,6 +254,60 @@ fn audit(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("== wcbk audit ==");
     report(&b, opts.k, opts.c)
+}
+
+/// `wcbk search`: minimal (c,k)-safe generalizations over suppression
+/// hierarchies on the quasi-identifier columns, sequential or parallel.
+fn search_cmd(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let table = load(opts)?;
+    let c = opts.c.ok_or("--c F is required for search")?;
+    if opts.qi.is_empty() {
+        return Err("--qi COL[,COL...] is required for search".into());
+    }
+    let dims = opts
+        .qi
+        .iter()
+        .map(|n| {
+            let col = table.schema().index_of(n)?;
+            Ok((
+                col,
+                Hierarchy::suppression(n, table.column(col).dictionary()),
+            ))
+        })
+        .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?;
+    let lattice = GeneralizationLattice::new(dims)?;
+
+    let criterion = CkSafetyCriterion::new(c, opts.k)?;
+    // find_minimal_safe_parallel resolves 0 → all cores and degenerates to
+    // the sequential search at 1 thread, so dispatch is unconditional.
+    let threads = opts.threads.unwrap_or(1);
+    let effective = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    let started = std::time::Instant::now();
+    let outcome = find_minimal_safe_parallel(&table, &lattice, &criterion, threads)?;
+    let elapsed = started.elapsed();
+    println!(
+        "== wcbk search ({} over {} lattice nodes) ==",
+        criterion.name(),
+        lattice.n_nodes()
+    );
+    println!(
+        "threads: {effective}   evaluated: {}   satisfied: {}   elapsed: {elapsed:.2?}",
+        outcome.evaluated, outcome.satisfied
+    );
+    if outcome.minimal_nodes.is_empty() {
+        println!("no safe generalization exists (even full suppression fails)");
+    } else {
+        println!("minimal safe nodes (levels over {:?}):", opts.qi);
+        for node in &outcome.minimal_nodes {
+            println!("  {node}");
+        }
+    }
+    print_cache_stats(criterion.engine_stats());
+    Ok(())
 }
 
 fn anatomize_cmd(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
@@ -298,12 +385,25 @@ mod tests {
     #[test]
     fn missing_value_rejected() {
         assert!(parse_args(&s(&["audit", "--k"])).is_err());
+        // A following flag is not a value.
+        assert!(parse_args(&s(&["audit", "--sensitive", "--qi", "Zip"])).is_err());
     }
 
     #[test]
     fn no_header_flag() {
         let o = parse_args(&s(&["audit", "x.csv", "--no-header"])).unwrap();
         assert!(!o.header);
+    }
+
+    #[test]
+    fn parallel_and_threads_flags() {
+        let o = parse_args(&s(&["search", "x.csv", "--parallel"])).unwrap();
+        assert_eq!(o.threads, Some(0));
+        let o = parse_args(&s(&["search", "x.csv", "--threads", "4"])).unwrap();
+        assert_eq!(o.threads, Some(4));
+        let o = parse_args(&s(&["search", "x.csv"])).unwrap();
+        assert_eq!(o.threads, None);
+        assert!(parse_args(&s(&["search", "--threads", "lots"])).is_err());
     }
 
     #[test]

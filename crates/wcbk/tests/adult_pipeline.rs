@@ -43,8 +43,8 @@ fn figure5_shape_on_adult() {
 fn lattice_search_finds_minimal_safe_nodes() {
     let table = adult(3_000);
     let lattice = adult_lattice(&table).unwrap();
-    let mut criterion = CkSafetyCriterion::new(0.9, 2).unwrap();
-    let outcome = find_minimal_safe(&table, &lattice, &mut criterion).unwrap();
+    let criterion = CkSafetyCriterion::new(0.9, 2).unwrap();
+    let outcome = find_minimal_safe(&table, &lattice, &criterion).unwrap();
     // The top node fully suppresses everything: a single bucket over 14
     // occupations is about as safe as it gets; expect at least one safe node.
     assert!(!outcome.minimal_nodes.is_empty());
@@ -75,9 +75,8 @@ fn anonymize_pipeline_audits_below_threshold() {
     let table = adult(3_000);
     let lattice = adult_lattice(&table).unwrap();
     let (c, k) = (0.85, 2);
-    let mut criterion = CkSafetyCriterion::new(c, k).unwrap();
-    let outcome = anonymize(&table, &lattice, &mut criterion, UtilityMetric::Discernibility)
-        .unwrap();
+    let criterion = CkSafetyCriterion::new(c, k).unwrap();
+    let outcome = anonymize(&table, &lattice, &criterion, UtilityMetric::Discernibility).unwrap();
     let audit = outcome.audit(k).unwrap();
     assert!(audit.value < c);
     assert!(outcome.bucketization.n_tuples() == table.n_rows() as u64);
@@ -94,7 +93,7 @@ fn k_anonymity_is_not_ck_safety() {
     let outcome = anonymize(
         &table,
         &lattice,
-        &mut KAnonymity::new(5),
+        &KAnonymity::new(5),
         UtilityMetric::Discernibility,
     )
     .unwrap();
@@ -146,8 +145,8 @@ fn dp_witness_verifies_exactly_on_full_scale_adult() {
 fn engine_cache_pays_off_across_lattice() {
     let table = adult(2_000);
     let lattice = adult_lattice(&table).unwrap();
-    let mut criterion = CkSafetyCriterion::new(0.9, 3).unwrap();
-    let _ = find_minimal_safe(&table, &lattice, &mut criterion).unwrap();
+    let criterion = CkSafetyCriterion::new(0.9, 3).unwrap();
+    let _ = find_minimal_safe(&table, &lattice, &criterion).unwrap();
     let (hits, misses) = criterion.cache_stats();
     assert!(hits + misses > 0);
     assert!(hits > 0, "no histogram sharing across lattice nodes?");

@@ -35,11 +35,15 @@ fn ed_probability_ladder() {
     assert_eq!(p, Ratio::new(2, 5));
 
     let phi = parse_knowledge("!t[Ed]=Mumps", &symbols).unwrap();
-    let p = atom_probability_given(&space, ed_lung, &phi).unwrap().unwrap();
+    let p = atom_probability_given(&space, ed_lung, &phi)
+        .unwrap()
+        .unwrap();
     assert_eq!(p, Ratio::new(1, 2));
 
     let phi = parse_knowledge("!t[Ed]=Mumps ; !t[Ed]=Flu", &symbols).unwrap();
-    let p = atom_probability_given(&space, ed_lung, &phi).unwrap().unwrap();
+    let p = atom_probability_given(&space, ed_lung, &phi)
+        .unwrap()
+        .unwrap();
     assert_eq!(p, Ratio::ONE);
 }
 
@@ -49,7 +53,9 @@ fn hannah_charlie_cross_bucket_lift() {
     let charlie = hospital_person(&table, "Charlie").unwrap();
     let charlie_flu = Atom::new(charlie, table.sensitive_code("Flu").unwrap());
     let phi = parse_knowledge("t[Hannah]=Flu -> t[Charlie]=Flu", &symbols).unwrap();
-    let p = atom_probability_given(&space, charlie_flu, &phi).unwrap().unwrap();
+    let p = atom_probability_given(&space, charlie_flu, &phi)
+        .unwrap()
+        .unwrap();
     assert_eq!(p, Ratio::new(10, 19));
 }
 

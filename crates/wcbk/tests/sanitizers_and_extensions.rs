@@ -38,10 +38,10 @@ fn anatomy_on_adult_is_l_diverse_and_auditable() {
 fn incognito_agrees_with_bfs_on_adult_lattice() {
     let table = adult(2_000);
     let lattice = adult_lattice(&table).unwrap();
-    let mut a = CkSafetyCriterion::new(0.85, 2).unwrap();
-    let mut b = CkSafetyCriterion::new(0.85, 2).unwrap();
-    let inc = incognito(&table, &lattice, &mut a).unwrap();
-    let bfs = find_minimal_safe(&table, &lattice, &mut b).unwrap();
+    let a = CkSafetyCriterion::new(0.85, 2).unwrap();
+    let b = CkSafetyCriterion::new(0.85, 2).unwrap();
+    let inc = incognito(&table, &lattice, &a).unwrap();
+    let bfs = find_minimal_safe(&table, &lattice, &b).unwrap();
     let mut bfs_nodes = bfs.minimal_nodes;
     bfs_nodes.sort();
     assert_eq!(inc.minimal_nodes, bfs_nodes);

@@ -28,7 +28,9 @@ fn random_small(seed: u64) -> Bucketization {
                 t
             })
             .collect();
-        let values: Vec<SValue> = (0..size).map(|_| SValue(rng.gen_range(0..n_values))).collect();
+        let values: Vec<SValue> = (0..size)
+            .map(|_| SValue(rng.gen_range(0..n_values)))
+            .collect();
         buckets.push(Bucket::new(members, &values));
     }
     Bucketization::from_buckets(buckets, n_values).unwrap()

@@ -43,7 +43,7 @@ pub fn disclosure_risk(
                 let joint = Formula::and([Formula::Atom(atom), given.clone()]);
                 let num = space.count_models(&joint)?;
                 let prob = Ratio::from_counts(num, denom);
-                if best.as_ref().map_or(true, |(b, _)| prob > *b) {
+                if best.as_ref().is_none_or(|(b, _)| prob > *b) {
                     best = Some((prob, atom));
                 }
             }
@@ -122,7 +122,7 @@ fn search_over<T: Copy, F: Fn(&[T]) -> Knowledge>(
         let knowledge = to_knowledge(subset);
         match disclosure_risk(space, &knowledge) {
             Ok(Some((value, atom))) => {
-                if best.as_ref().map_or(true, |b| value > b.value) {
+                if best.as_ref().is_none_or(|b| value > b.value) {
                     best = Some(MaxDisclosure {
                         value,
                         knowledge,
@@ -162,7 +162,7 @@ pub fn cost_disclosure_risk(
                 let num = space.count_models(&joint)?;
                 let weight = costs.get(v.index()).copied().unwrap_or(1.0);
                 let value = weight * num as f64 / denom as f64;
-                if best.as_ref().map_or(true, |(bv, _)| value > *bv) {
+                if best.as_ref().is_none_or(|(bv, _)| value > *bv) {
                     best = Some((value, atom));
                 }
             }
@@ -224,7 +224,9 @@ mod tests {
     #[test]
     fn no_knowledge_risk_is_top_frequency() {
         let space = figure3();
-        let (risk, _) = disclosure_risk(&space, &Knowledge::none()).unwrap().unwrap();
+        let (risk, _) = disclosure_risk(&space, &Knowledge::none())
+            .unwrap()
+            .unwrap();
         assert_eq!(risk, Ratio::new(2, 5));
     }
 
@@ -256,12 +258,16 @@ mod tests {
             SValue(0),
         )
         .unwrap()]);
-        let p = atom_probability_given(&space, lung, &not_mumps).unwrap().unwrap();
+        let p = atom_probability_given(&space, lung, &not_mumps)
+            .unwrap()
+            .unwrap();
         assert_eq!(p, Ratio::new(1, 2));
 
         let mut both = not_mumps.clone();
         both.push(BasicImplication::negated_atom(TupleId(3), SValue(0), SValue(1)).unwrap());
-        let p = atom_probability_given(&space, lung, &both).unwrap().unwrap();
+        let p = atom_probability_given(&space, lung, &both)
+            .unwrap()
+            .unwrap();
         assert_eq!(p, Ratio::ONE);
     }
 

@@ -34,8 +34,8 @@ pub mod completeness;
 pub mod consistency;
 pub mod inference;
 pub mod multiset;
-pub mod soft;
 mod ratio;
+pub mod soft;
 mod space;
 
 pub use ratio::Ratio;

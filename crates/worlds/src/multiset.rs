@@ -40,7 +40,10 @@ pub fn next_permutation<T: Ord>(items: &mut [T]) -> bool {
 /// as scratch space and must be handed in **sorted ascending** to guarantee
 /// full coverage).
 pub fn for_each_permutation<T: Ord, F: FnMut(&[T])>(items: &mut [T], mut visit: F) {
-    debug_assert!(items.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        items.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     loop {
         visit(items);
         if !next_permutation(items) {
@@ -109,7 +112,7 @@ mod tests {
         for counts in cases {
             let mut items = Vec::new();
             for (code, &c) in counts.iter().enumerate() {
-                items.extend(std::iter::repeat(code).take(c as usize));
+                items.extend(std::iter::repeat_n(code, c as usize));
             }
             let mut n = 0u128;
             for_each_permutation(&mut items, |_| n += 1);

@@ -54,7 +54,10 @@ impl std::fmt::Display for SoftError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SoftError::TooLarge { n_worlds, limit } => {
-                write!(f, "{n_worlds} worlds exceed the soft-conditioning limit {limit}")
+                write!(
+                    f,
+                    "{n_worlds} worlds exceed the soft-conditioning limit {limit}"
+                )
             }
             SoftError::BadConfidence(p) => write!(f, "confidence {p} outside [0,1]"),
             SoftError::Incompatible { current, demanded } => write!(
@@ -158,7 +161,7 @@ impl SoftPosterior {
                 for &(v, _) in space.value_counts(b) {
                     let atom = Atom::new(p, v);
                     let prob = self.probability(&Formula::Atom(atom));
-                    if best.as_ref().map_or(true, |(bp, _)| prob > *bp) {
+                    if best.as_ref().is_none_or(|(bp, _)| prob > *bp) {
                         best = Some((prob, atom));
                     }
                 }

@@ -391,7 +391,11 @@ impl WorldSpace {
             per_bucket[self.bucket_of[&p]].push(p);
         }
         // Slots left per bucket (denominator of the sequential pick).
-        let mut slots: Vec<u64> = self.buckets.iter().map(|b| b.members.len() as u64).collect();
+        let mut slots: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.members.len() as u64)
+            .collect();
         let order: Vec<TupleId> = per_bucket.iter().flatten().copied().collect();
         let mut assignment = vec![Self::UNASSIGNED; self.assignment_len];
         Ok(self.prob_rec(

@@ -34,11 +34,7 @@ fn small_space() -> impl Strategy<Value = WorldSpace> {
 
 /// Strategy: a random simple implication over the space's persons/values.
 fn implications(n_persons: u32) -> impl Strategy<Value = Vec<SimpleImplication>> {
-    prop::collection::vec(
-        (0..n_persons, 0u32..3, 0..n_persons, 0u32..3),
-        0..=3,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec((0..n_persons, 0u32..3, 0..n_persons, 0u32..3), 0..=3).prop_map(|raw| {
         raw.into_iter()
             .map(|(pa, va, pc, vc)| {
                 SimpleImplication::new(

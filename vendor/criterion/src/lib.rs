@@ -1,0 +1,230 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset of the criterion API the `wcbk-bench` targets use:
+//! [`Criterion::benchmark_group`]/[`Criterion::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical sampling it runs a short warm-up, then
+//! a fixed number of timed iterations per benchmark, printing mean and
+//! fastest wall-clock time. Good enough to compare orders of magnitude and
+//! exercise every bench path in CI; not a substitute for real criterion when
+//! the registry is reachable.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations timed per benchmark (after one untimed warm-up call).
+const TIMED_ITERS: u32 = 10;
+
+/// Top-level harness handle passed to each registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure over a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's parameterized-bench convention.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifies solely by the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Throughput hint (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the bench closure; `iter` does the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then [`TIMED_ITERS`] timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..TIMED_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let fastest = *bencher.samples.iter().min().expect("non-empty");
+    println!(
+        "{label:<50} mean {:>12?}   fastest {:>12?}   ({} iters)",
+        mean,
+        fastest,
+        bencher.samples.len()
+    );
+}
+
+/// Registers bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("counts", |b| b.iter(|| calls += 1));
+        // 1 warm-up + TIMED_ITERS timed.
+        assert_eq!(calls, TIMED_ITERS + 1);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).throughput(Throughput::Elements(3));
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", input.len()), &input, |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.bench_function("id", |b| b.iter(|| black_box(7)));
+        group.finish();
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.bench_function("demo", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn macros_wire_up() {
+        demo_group();
+    }
+}
