@@ -7,7 +7,7 @@
 //! (c,k)-safety this is the paper's Theorem 14; for k-anonymity and the
 //! ℓ-diversity family it is classical.
 
-use wcbk_core::{Bucketization, CacheStats, CkSafety, CoreError, DisclosureEngine};
+use wcbk_core::{Bucketization, CacheStats, CkSafety, CoreError, DisclosureEngine, HistogramSet};
 
 use crate::AnonymizeError;
 
@@ -16,13 +16,42 @@ use crate::AnonymizeError;
 /// `Send + Sync` so one criterion instance can be shared across the worker
 /// threads of the parallel lattice search; implementations that memoize
 /// (the (c,k)-safety criterion caches MINIMIZE1 tables across calls) do so
-/// through interior mutability — `is_satisfied` takes `&self`.
+/// through interior mutability — both check methods take `&self`.
+///
+/// The primary surface is [`is_satisfied_hist`](Self::is_satisfied_hist):
+/// every shipped criterion depends only on per-bucket sensitive histograms,
+/// which is what lets the lattice search evaluate nodes from rolled-up
+/// histograms without materializing a [`Bucketization`].
 pub trait PrivacyCriterion: Send + Sync {
     /// Human-readable name with parameters, e.g. `"(0.70,3)-safety"`.
     fn name(&self) -> String;
 
-    /// Whether `b` satisfies the criterion.
-    fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError>;
+    /// Whether the histogram-only view satisfies the criterion — the search
+    /// hot path.
+    fn is_satisfied_hist(&self, h: &HistogramSet) -> Result<bool, AnonymizeError>;
+
+    /// Whether `b` satisfies the criterion. The default delegates to the
+    /// histogram surface; implementations may override to skip the
+    /// histogram-cloning view.
+    fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+        self.is_satisfied_hist(&HistogramSet::from_bucketization(b))
+    }
+}
+
+/// Boxed criteria (e.g. `Box<dyn PrivacyCriterion>`) plug into the generic
+/// search functions by delegation.
+impl<T: PrivacyCriterion + ?Sized> PrivacyCriterion for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn is_satisfied_hist(&self, h: &HistogramSet) -> Result<bool, AnonymizeError> {
+        (**self).is_satisfied_hist(h)
+    }
+
+    fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+        (**self).is_satisfied(b)
+    }
 }
 
 /// k-anonymity: every bucket holds at least `k` tuples.
@@ -44,6 +73,10 @@ impl KAnonymity {
 impl PrivacyCriterion for KAnonymity {
     fn name(&self) -> String {
         format!("{}-anonymity", self.k)
+    }
+
+    fn is_satisfied_hist(&self, h: &HistogramSet) -> Result<bool, AnonymizeError> {
+        Ok(h.min_bucket_size() >= self.k)
     }
 
     fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
@@ -68,6 +101,10 @@ impl DistinctLDiversity {
 impl PrivacyCriterion for DistinctLDiversity {
     fn name(&self) -> String {
         format!("distinct {}-diversity", self.l)
+    }
+
+    fn is_satisfied_hist(&self, h: &HistogramSet) -> Result<bool, AnonymizeError> {
+        Ok(h.histograms().iter().all(|hist| hist.distinct() >= self.l))
     }
 
     fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
@@ -101,6 +138,13 @@ impl PrivacyCriterion for EntropyLDiversity {
         format!("entropy {}-diversity", self.l)
     }
 
+    fn is_satisfied_hist(&self, h: &HistogramSet) -> Result<bool, AnonymizeError> {
+        let threshold = self.l.ln();
+        Ok(h.histograms()
+            .iter()
+            .all(|hist| hist.entropy() >= threshold - 1e-12))
+    }
+
     fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
         let threshold = self.l.ln();
         Ok(b.buckets()
@@ -129,17 +173,26 @@ impl RecursiveCLDiversity {
     }
 }
 
+impl RecursiveCLDiversity {
+    fn histogram_ok(&self, h: &wcbk_core::SensitiveHistogram) -> bool {
+        let tail: u64 = (self.l - 1..h.distinct()).map(|r| h.frequency(r)).sum();
+        (h.frequency(0) as f64) < self.c * tail as f64
+    }
+}
+
 impl PrivacyCriterion for RecursiveCLDiversity {
     fn name(&self) -> String {
         format!("recursive ({},{})-diversity", self.c, self.l)
     }
 
+    fn is_satisfied_hist(&self, h: &HistogramSet) -> Result<bool, AnonymizeError> {
+        Ok(h.histograms().iter().all(|hist| self.histogram_ok(hist)))
+    }
+
     fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
-        Ok(b.buckets().iter().all(|bucket| {
-            let h = bucket.histogram();
-            let tail: u64 = (self.l - 1..h.distinct()).map(|r| h.frequency(r)).sum();
-            (h.frequency(0) as f64) < self.c * tail as f64
-        }))
+        Ok(b.buckets()
+            .iter()
+            .all(|bucket| self.histogram_ok(bucket.histogram())))
     }
 }
 
@@ -177,6 +230,10 @@ impl CkSafetyCriterion {
 impl PrivacyCriterion for CkSafetyCriterion {
     fn name(&self) -> String {
         format!("({},{})-safety", self.safety.c(), self.safety.k())
+    }
+
+    fn is_satisfied_hist(&self, h: &HistogramSet) -> Result<bool, AnonymizeError> {
+        Ok(self.safety.is_safe_set(&self.engine, h)?)
     }
 
     fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
@@ -271,6 +328,31 @@ mod tests {
                 assert!(
                     c.is_satisfied(&coarse).unwrap(),
                     "{} not monotone",
+                    c.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_surface_agrees_with_bucketization_surface() {
+        let criteria: Vec<Box<dyn PrivacyCriterion>> = vec![
+            Box::new(KAnonymity::new(3)),
+            Box::new(KAnonymity::new(6)),
+            Box::new(DistinctLDiversity::new(3)),
+            Box::new(DistinctLDiversity::new(4)),
+            Box::new(EntropyLDiversity::new(2.5).unwrap()),
+            Box::new(RecursiveCLDiversity::new(0.7, 2).unwrap()),
+            Box::new(CkSafetyCriterion::new(0.7, 1).unwrap()),
+            Box::new(CkSafetyCriterion::new(0.5, 1).unwrap()),
+        ];
+        for b in [figure3(), bottom()] {
+            let h = wcbk_core::HistogramSet::from_bucketization(&b);
+            for c in &criteria {
+                assert_eq!(
+                    c.is_satisfied(&b).unwrap(),
+                    c.is_satisfied_hist(&h).unwrap(),
+                    "{} disagrees across surfaces",
                     c.name()
                 );
             }

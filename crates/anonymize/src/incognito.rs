@@ -77,6 +77,10 @@ fn incognito_with_threads<C: PrivacyCriterion>(
     threads: usize,
 ) -> Result<IncognitoOutcome, AnonymizeError> {
     let n_dims = lattice.n_dims();
+    // One table scan up front; every subset projection is evaluated from
+    // rolled-up histograms. Signature-overflow tables fall back to
+    // per-candidate `bucketize_subset` scans.
+    let evaluator = crate::search::try_evaluator(table, lattice)?;
     let mut evaluated_total = 0usize;
     let mut per_size = Vec::with_capacity(n_dims);
     // safe[subset-bitmask] = set of level vectors (over that subset's dims,
@@ -122,10 +126,16 @@ fn incognito_with_threads<C: PrivacyCriterion>(
                     }
                 }
                 evaluated_this_size += to_eval.len();
-                let verdicts = crate::search::parallel_verdicts(&to_eval, threads, |v| {
-                    let b = lattice.bucketize_subset(table, &dims, v)?;
-                    criterion.is_satisfied(&b)
-                })?;
+                let verdicts =
+                    crate::search::parallel_verdicts(&to_eval, threads, |v| match &evaluator {
+                        Some(eval) => {
+                            criterion.is_satisfied_hist(&eval.histograms_subset(&dims, v)?)
+                        }
+                        None => {
+                            let b = lattice.bucketize_subset(table, &dims, v)?;
+                            criterion.is_satisfied(&b)
+                        }
+                    })?;
                 for (v, ok) in to_eval.into_iter().zip(verdicts) {
                     if ok {
                         subset_safe.insert(v);

@@ -41,7 +41,7 @@ pub use incognito::{incognito, incognito_parallel, IncognitoOutcome};
 pub use pipeline::{anonymize, anonymize_parallel, AnonymizationOutcome};
 pub use search::{
     binary_search_chain, default_threads, find_minimal_safe, find_minimal_safe_parallel,
-    SearchOutcome,
+    find_minimal_safe_rescan, sweep_all, sweep_all_rescan, SearchOutcome,
 };
 pub use swap::{swap_sanitize, SwapOutcome};
 pub use utility::UtilityMetric;

@@ -1,21 +1,29 @@
 //! Lattice search for minimal safe generalizations — sequential and
-//! level-parallel.
+//! level-parallel, over the one-scan roll-up pipeline.
 //!
 //! Both searches share the same monotone-pruning structure: nodes are
 //! visited level by level (increasing height); a node with a known-safe
 //! predecessor is safe by monotonicity and never evaluated. Because a node's
 //! predecessors all live on strictly lower levels, the nodes that need
 //! evaluation within one level are **independent of each other** — which is
-//! exactly what [`find_minimal_safe_parallel`] exploits: it partitions each
-//! level's unpruned nodes across scoped worker threads sharing one
-//! `&C` criterion (hence [`PrivacyCriterion`]`: Send + Sync`), then merges
-//! results in level order so the outcome is bit-for-bit identical to the
-//! sequential search.
+//! exactly what [`find_minimal_safe_parallel`] exploits: it deals each
+//! level's unpruned nodes round-robin across scoped worker threads sharing
+//! one `&C` criterion (hence [`PrivacyCriterion`]`: Send + Sync`), then
+//! merges results in item order so the outcome is bit-for-bit identical to
+//! the sequential search.
+//!
+//! **Evaluation never re-scans the table.** A [`NodeEvaluator`] scans it
+//! once at search start; every node is then judged from rolled-up
+//! [`HistogramSet`]s via [`PrivacyCriterion::is_satisfied_hist`], and a full
+//! `Bucketization` is only materialized (by callers such as the
+//! [`pipeline`](crate::pipeline)) for chosen minimal nodes. Tables whose
+//! packed quasi-identifier signature exceeds 64 bits fall back to the legacy
+//! `*_rescan` path, which bucketizes per node.
 
 use std::collections::HashSet;
 use std::num::NonZeroUsize;
 
-use wcbk_hierarchy::{GenNode, GeneralizationLattice};
+use wcbk_hierarchy::{GenNode, GeneralizationLattice, HierarchyError, NodeEvaluator};
 use wcbk_table::Table;
 
 use crate::{AnonymizeError, PrivacyCriterion};
@@ -40,18 +48,28 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Bottom-up breadth-first search (Incognito-style) for **all minimal safe
-/// nodes** of the lattice under a monotone criterion.
-///
-/// Nodes are visited by increasing height. A node with a known-safe
-/// predecessor is safe by monotonicity and skipped (it cannot be minimal);
-/// otherwise the criterion is evaluated. Evaluated-safe nodes are exactly
-/// the minimal ones: all their predecessors were found unsafe.
-pub fn find_minimal_safe<C: PrivacyCriterion>(
+/// Builds the roll-up evaluator, or `None` when the table's packed signature
+/// does not fit (the caller then takes the legacy re-scanning path). Shared
+/// with [`crate::incognito`] so the fallback policy lives in one place.
+pub(crate) fn try_evaluator<'a>(
     table: &Table,
+    lattice: &'a GeneralizationLattice,
+) -> Result<Option<NodeEvaluator<'a>>, AnonymizeError> {
+    match NodeEvaluator::new(table, lattice) {
+        Ok(eval) => Ok(Some(eval)),
+        Err(HierarchyError::SignatureOverflow { .. }) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// The monotone-pruned BFS skeleton, generic over how a node is judged.
+fn minimal_safe_with<E>(
     lattice: &GeneralizationLattice,
-    criterion: &C,
-) -> Result<SearchOutcome, AnonymizeError> {
+    mut eval: E,
+) -> Result<SearchOutcome, AnonymizeError>
+where
+    E: FnMut(&GenNode) -> Result<bool, AnonymizeError>,
+{
     let mut safe: HashSet<GenNode> = HashSet::new();
     let mut minimal: Vec<GenNode> = Vec::new();
     let mut evaluated = 0usize;
@@ -67,8 +85,7 @@ pub fn find_minimal_safe<C: PrivacyCriterion>(
                 continue;
             }
             evaluated += 1;
-            let b = lattice.bucketize(table, &node)?;
-            if criterion.is_satisfied(&b)? {
+            if eval(&node)? {
                 minimal.push(node.clone());
                 safe.insert(node);
             }
@@ -81,33 +98,50 @@ pub fn find_minimal_safe<C: PrivacyCriterion>(
     })
 }
 
-/// Level-synchronous parallel variant of [`find_minimal_safe`].
+/// Bottom-up breadth-first search (Incognito-style) for **all minimal safe
+/// nodes** of the lattice under a monotone criterion.
 ///
-/// Per lattice level: nodes pruned by monotonicity are rolled into the safe
-/// set as usual; the remaining nodes are split into contiguous chunks and
-/// evaluated by `threads` scoped workers sharing `criterion` (and therefore
-/// its memoization cache). Verdicts are merged back **in level order**, so
-/// `minimal_nodes`, `evaluated`, and `satisfied` are exactly what the
-/// sequential search produces — monotonicity pruning is preserved because a
-/// node's predecessors are always on strictly lower, already-merged levels.
-///
-/// `threads == 0` selects [`default_threads`]; `threads == 1` degenerates to
-/// the sequential algorithm (without spawning).
-pub fn find_minimal_safe_parallel<C: PrivacyCriterion>(
+/// Nodes are visited by increasing height. A node with a known-safe
+/// predecessor is safe by monotonicity and skipped (it cannot be minimal);
+/// otherwise the criterion is evaluated — on rolled-up histograms, after a
+/// single table scan. Evaluated-safe nodes are exactly the minimal ones: all
+/// their predecessors were found unsafe.
+pub fn find_minimal_safe<C: PrivacyCriterion>(
     table: &Table,
     lattice: &GeneralizationLattice,
     criterion: &C,
-    threads: usize,
 ) -> Result<SearchOutcome, AnonymizeError> {
-    let threads = if threads == 0 {
-        default_threads()
-    } else {
-        threads
-    };
-    if threads == 1 {
-        return find_minimal_safe(table, lattice, criterion);
+    match try_evaluator(table, lattice)? {
+        Some(eval) => minimal_safe_with(lattice, |node| {
+            criterion.is_satisfied_hist(&eval.histograms(node)?)
+        }),
+        None => find_minimal_safe_rescan(table, lattice, criterion),
     }
+}
 
+/// [`find_minimal_safe`] over the legacy per-node `bucketize` path (one full
+/// table scan per evaluated node). Kept public as the fallback for
+/// signature-overflow tables and as the baseline the equivalence tests and
+/// `bench_report` compare against.
+pub fn find_minimal_safe_rescan<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    criterion: &C,
+) -> Result<SearchOutcome, AnonymizeError> {
+    minimal_safe_with(lattice, |node| {
+        criterion.is_satisfied(&lattice.bucketize(table, node)?)
+    })
+}
+
+/// The level-synchronous parallel BFS skeleton, generic over a `Sync` judge.
+fn minimal_safe_parallel_with<E>(
+    lattice: &GeneralizationLattice,
+    threads: usize,
+    eval: E,
+) -> Result<SearchOutcome, AnonymizeError>
+where
+    E: Fn(&GenNode) -> Result<bool, AnonymizeError> + Sync,
+{
     let mut safe: HashSet<GenNode> = HashSet::new();
     let mut minimal: Vec<GenNode> = Vec::new();
     let mut evaluated = 0usize;
@@ -131,7 +165,7 @@ pub fn find_minimal_safe_parallel<C: PrivacyCriterion>(
             continue;
         }
         evaluated += to_eval.len();
-        let verdicts = evaluate_nodes(table, lattice, criterion, &to_eval, threads)?;
+        let verdicts = parallel_verdicts(&to_eval, threads, &eval)?;
         for (node, ok) in to_eval.into_iter().zip(verdicts) {
             if ok {
                 minimal.push(node.clone());
@@ -146,24 +180,48 @@ pub fn find_minimal_safe_parallel<C: PrivacyCriterion>(
     })
 }
 
-/// Evaluates `criterion` on every node concurrently, returning verdicts
-/// aligned with `nodes`. Errors from any worker are propagated (the first
-/// one in node order wins, matching what the sequential search would hit).
-fn evaluate_nodes<C: PrivacyCriterion>(
+/// Level-synchronous parallel variant of [`find_minimal_safe`].
+///
+/// Per lattice level: nodes pruned by monotonicity are rolled into the safe
+/// set as usual; the remaining nodes are dealt round-robin to `threads`
+/// scoped workers sharing `criterion` (and therefore its memoization cache)
+/// and one roll-up evaluator. Verdicts are merged back **in item order**, so
+/// `minimal_nodes`, `evaluated`, and `satisfied` are exactly what the
+/// sequential search produces — monotonicity pruning is preserved because a
+/// node's predecessors are always on strictly lower, already-merged levels.
+///
+/// `threads == 0` selects [`default_threads`]; `threads == 1` degenerates to
+/// the sequential algorithm (without spawning).
+pub fn find_minimal_safe_parallel<C: PrivacyCriterion>(
     table: &Table,
     lattice: &GeneralizationLattice,
     criterion: &C,
-    nodes: &[GenNode],
     threads: usize,
-) -> Result<Vec<bool>, AnonymizeError> {
-    parallel_verdicts(nodes, threads, |node| {
-        let b = lattice.bucketize(table, node)?;
-        criterion.is_satisfied(&b)
-    })
+) -> Result<SearchOutcome, AnonymizeError> {
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    if threads == 1 {
+        return find_minimal_safe(table, lattice, criterion);
+    }
+    match try_evaluator(table, lattice)? {
+        Some(eval) => minimal_safe_parallel_with(lattice, threads, |node| {
+            criterion.is_satisfied_hist(&eval.histograms(node)?)
+        }),
+        None => minimal_safe_parallel_with(lattice, threads, |node| {
+            criterion.is_satisfied(&lattice.bucketize(table, node)?)
+        }),
+    }
 }
 
 /// Maps `eval` over `items` on up to `threads` scoped worker threads,
-/// returning results aligned with `items`. The error reported is the first
+/// returning results aligned with `items`. Work is dealt **round-robin**
+/// (worker `w` takes items `w, w + workers, w + 2·workers, …`) rather than
+/// in contiguous chunks, so expensive neighbouring items — e.g. the slow
+/// top-of-lattice nodes, which sit together in level order — spread across
+/// all workers instead of piling onto one. The error reported is the first
 /// one in item order. Shared by the parallel BFS and parallel Incognito.
 pub(crate) fn parallel_verdicts<T, F>(
     items: &[T],
@@ -178,32 +236,74 @@ where
     if workers <= 1 {
         return items.iter().map(eval).collect();
     }
-    let chunk_size = items.len().div_ceil(workers);
-    let mut chunk_results: Vec<Result<Vec<bool>, AnonymizeError>> = Vec::new();
+    type WorkerResult = Result<Vec<(usize, bool)>, (usize, AnonymizeError)>;
+    let mut worker_results: Vec<WorkerResult> = Vec::new();
     std::thread::scope(|scope| {
         let eval = &eval;
-        let handles: Vec<_> = items
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || chunk.iter().map(eval).collect::<Result<Vec<bool>, _>>())
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || -> WorkerResult {
+                    let mut out = Vec::with_capacity(items.len() / workers + 1);
+                    for (i, item) in items.iter().enumerate().skip(w).step_by(workers) {
+                        match eval(item) {
+                            Ok(v) => out.push((i, v)),
+                            Err(e) => return Err((i, e)),
+                        }
+                    }
+                    Ok(out)
+                })
             })
             .collect();
-        chunk_results = handles
+        worker_results = handles
             .into_iter()
             .map(|h| h.join().expect("search worker panicked"))
             .collect();
     });
-    let mut verdicts = Vec::with_capacity(items.len());
-    for chunk in chunk_results {
-        verdicts.extend(chunk?);
+    let mut verdicts = vec![false; items.len()];
+    let mut first_err: Option<(usize, AnonymizeError)> = None;
+    for r in worker_results {
+        match r {
+            Ok(pairs) => {
+                for (i, v) in pairs {
+                    verdicts[i] = v;
+                }
+            }
+            Err((i, e)) => {
+                if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                    first_err = Some((i, e));
+                }
+            }
+        }
     }
-    Ok(verdicts)
+    match first_err {
+        Some((_, e)) => Err(e),
+        None => Ok(verdicts),
+    }
 }
 
 /// Exhaustive sweep evaluating the criterion on **every** node — the
 /// unpruned baseline (used by benches to quantify the pruning win and by the
-/// Figure 6 experiment which needs per-node statistics anyway).
+/// Figure 6 experiment which needs per-node statistics anyway). Runs on the
+/// roll-up pipeline: one table scan total.
 pub fn sweep_all<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    criterion: &C,
+) -> Result<Vec<(GenNode, bool)>, AnonymizeError> {
+    let Some(eval) = try_evaluator(table, lattice)? else {
+        return sweep_all_rescan(table, lattice, criterion);
+    };
+    let mut out = Vec::with_capacity(lattice.n_nodes());
+    for node in lattice.nodes() {
+        let ok = criterion.is_satisfied_hist(&eval.histograms(&node)?)?;
+        out.push((node, ok));
+    }
+    Ok(out)
+}
+
+/// [`sweep_all`] over the legacy per-node `bucketize` path — the
+/// fallback for signature-overflow tables and the `bench_report` baseline.
+pub fn sweep_all_rescan<C: PrivacyCriterion>(
     table: &Table,
     lattice: &GeneralizationLattice,
     criterion: &C,
@@ -235,18 +335,23 @@ pub fn binary_search_chain<C: PrivacyCriterion>(
     if chain.is_empty() {
         return Ok(None);
     }
+    let evaluator = try_evaluator(table, lattice)?;
+    let check = |node: &GenNode| -> Result<bool, AnonymizeError> {
+        match &evaluator {
+            Some(eval) => criterion.is_satisfied_hist(&eval.histograms(node)?),
+            None => criterion.is_satisfied(&lattice.bucketize(table, node)?),
+        }
+    };
     // Invariant: everything below `lo` is unsafe; if `hi_safe` then chain[hi]
     // is safe.
     let mut lo = 0usize;
     let mut hi = chain.len() - 1;
-    let b = lattice.bucketize(table, &chain[hi])?;
-    if !criterion.is_satisfied(&b)? {
+    if !check(&chain[hi])? {
         return Ok(None);
     }
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        let b = lattice.bucketize(table, &chain[mid])?;
-        if criterion.is_satisfied(&b)? {
+        if check(&chain[mid])? {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -321,6 +426,32 @@ mod tests {
         for (c, k) in [(0.5, 0), (0.7, 1), (0.9, 1), (1.0, 2)] {
             assert_minimal_consistent(&t, &l, || CkSafetyCriterion::new(c, k).unwrap());
         }
+    }
+
+    #[test]
+    fn rollup_search_matches_rescan_search() {
+        let t = hospital_table();
+        let l = lattice(&t);
+        for (c, k) in [(0.5, 0), (0.7, 1), (0.9, 1), (1.0, 2), (0.41, 0)] {
+            let rollup = find_minimal_safe(&t, &l, &CkSafetyCriterion::new(c, k).unwrap()).unwrap();
+            let rescan =
+                find_minimal_safe_rescan(&t, &l, &CkSafetyCriterion::new(c, k).unwrap()).unwrap();
+            assert_eq!(rollup, rescan, "(c,k)=({c},{k})");
+        }
+        for k in [2u64, 5, 11] {
+            let rollup = find_minimal_safe(&t, &l, &KAnonymity::new(k)).unwrap();
+            let rescan = find_minimal_safe_rescan(&t, &l, &KAnonymity::new(k)).unwrap();
+            assert_eq!(rollup, rescan, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_rescan_sweep() {
+        let t = hospital_table();
+        let l = lattice(&t);
+        let a = sweep_all(&t, &l, &CkSafetyCriterion::new(0.7, 1).unwrap()).unwrap();
+        let b = sweep_all_rescan(&t, &l, &CkSafetyCriterion::new(0.7, 1).unwrap()).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -404,6 +535,32 @@ mod tests {
             }
             assert_eq!(binary, linear, "c={c} k={k}");
         }
+    }
+
+    #[test]
+    fn strided_verdicts_align_with_items() {
+        // Verdicts must land at their item's index no matter the stride.
+        let items: Vec<u32> = (0..37).collect();
+        for threads in [2usize, 3, 4, 8, 64] {
+            let verdicts = parallel_verdicts(&items, threads, |&x| Ok(x % 3 == 0)).unwrap();
+            let expected: Vec<bool> = items.iter().map(|&x| x % 3 == 0).collect();
+            assert_eq!(verdicts, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn strided_verdicts_report_first_error_in_item_order() {
+        let items: Vec<u32> = (0..20).collect();
+        let err = parallel_verdicts(&items, 4, |&x| {
+            if x >= 7 {
+                Err(AnonymizeError::InvalidParameter(format!("item {x}")))
+            } else {
+                Ok(true)
+            }
+        })
+        .unwrap_err();
+        // Items 7, 8, 9, … all fail on different workers; item order wins.
+        assert!(err.to_string().contains("item 7"), "{err}");
     }
 
     use wcbk_table::Table;

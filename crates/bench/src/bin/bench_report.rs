@@ -1,0 +1,139 @@
+//! `bench_report` — machine-readable perf trajectory for the lattice search.
+//!
+//! Runs the lattice-search benchmark on a datagen Adult-style workload,
+//! comparing the legacy per-node `bucketize` path against the one-scan
+//! roll-up pipeline, verifies the two agree node-for-node, and writes JSON to
+//! `results/BENCH_search.json` (nodes evaluated, wall time, ns/node, cache
+//! hit rate, speedup) so successive PRs can track the trend.
+//!
+//! Run: `cargo run --release -p wcbk-bench --bin bench_report \
+//!       [n_rows] [c] [k] [--out FILE]`
+
+use std::time::{Duration, Instant};
+
+use wcbk_anonymize::search::{
+    find_minimal_safe, find_minimal_safe_rescan, sweep_all, sweep_all_rescan,
+};
+use wcbk_anonymize::CkSafetyCriterion;
+use wcbk_bench::{small_adult, HarnessError};
+use wcbk_hierarchy::adult::adult_lattice;
+use wcbk_hierarchy::NodeEvaluator;
+
+/// Medians over a few repetitions to keep single-run noise out of the
+/// committed trajectory.
+const REPS: usize = 5;
+
+fn median_time<T>(mut run: impl FnMut() -> T) -> (Duration, T) {
+    let mut samples: Vec<Duration> = Vec::with_capacity(REPS);
+    let mut last = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let out = run();
+        samples.push(start.elapsed());
+        last = Some(out);
+    }
+    samples.sort();
+    (samples[REPS / 2], last.expect("REPS > 0"))
+}
+
+fn ns_per_node(elapsed: Duration, nodes: usize) -> f64 {
+    elapsed.as_nanos() as f64 / nodes.max(1) as f64
+}
+
+fn main() -> Result<(), HarnessError> {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = match raw.iter().position(|a| a == "--out") {
+        Some(pos) => {
+            let value = raw.get(pos + 1).ok_or("--out needs a value")?.clone();
+            raw.drain(pos..=pos + 1);
+            value
+        }
+        None => "results/BENCH_search.json".to_owned(),
+    };
+    let mut args = raw.into_iter();
+    let n_rows: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(5_000);
+    let c: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.8);
+    let k: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(3);
+
+    eprintln!("generating synthetic Adult ({n_rows} rows)…");
+    let table = small_adult(n_rows);
+    let lattice = adult_lattice(&table)?;
+    let n_nodes = lattice.n_nodes();
+
+    // Exhaustive sweep: every node evaluated on both pipelines, so ns/node is
+    // directly comparable (the pruned search's node set depends on verdicts).
+    eprintln!("sweeping {n_nodes} nodes via legacy per-node bucketize…");
+    let (legacy_sweep, legacy_verdicts) = median_time(|| {
+        sweep_all_rescan(&table, &lattice, &CkSafetyCriterion::new(c, k).unwrap()).unwrap()
+    });
+    eprintln!("sweeping {n_nodes} nodes via one-scan roll-up…");
+    let (rollup_sweep, rollup_verdicts) = median_time(|| {
+        sweep_all(&table, &lattice, &CkSafetyCriterion::new(c, k).unwrap()).unwrap()
+    });
+    assert_eq!(
+        legacy_verdicts, rollup_verdicts,
+        "roll-up sweep diverged from the legacy sweep"
+    );
+
+    // The pruned search, both pipelines, same equivalence gate.
+    eprintln!("pruned search via legacy path…");
+    let (legacy_search, legacy_outcome) = median_time(|| {
+        find_minimal_safe_rescan(&table, &lattice, &CkSafetyCriterion::new(c, k).unwrap()).unwrap()
+    });
+    eprintln!("pruned search via roll-up path…");
+    let criterion = CkSafetyCriterion::new(c, k).unwrap();
+    let (rollup_search, rollup_outcome) =
+        median_time(|| find_minimal_safe(&table, &lattice, &criterion).unwrap());
+    assert_eq!(
+        legacy_outcome, rollup_outcome,
+        "roll-up search diverged from the legacy search"
+    );
+    let cache = criterion.engine_stats();
+
+    // Roll-up internals for the record: scans and derivations.
+    let eval = NodeEvaluator::new(&table, &lattice)?;
+    for node in lattice.nodes() {
+        eval.histograms(&node)?;
+    }
+    let rollup_stats = eval.stats();
+
+    let sweep_speedup = ns_per_node(legacy_sweep, n_nodes) / ns_per_node(rollup_sweep, n_nodes);
+    let search_speedup = ns_per_node(legacy_search, legacy_outcome.evaluated)
+        / ns_per_node(rollup_search, rollup_outcome.evaluated);
+
+    let json = format!(
+        "{{\n  \"workload\": {{ \"rows\": {n_rows}, \"lattice_nodes\": {n_nodes}, \"c\": {c}, \"k\": {k} }},\n  \
+           \"sweep\": {{ \"nodes_evaluated\": {n_nodes}, \"legacy_ns_per_node\": {:.0}, \"rollup_ns_per_node\": {:.0}, \"speedup\": {:.2} }},\n  \
+           \"search\": {{ \"nodes_evaluated\": {}, \"minimal_nodes\": {}, \"legacy_ms\": {:.3}, \"rollup_ms\": {:.3}, \"legacy_ns_per_node\": {:.0}, \"rollup_ns_per_node\": {:.0}, \"speedup\": {:.2} }},\n  \
+           \"rollup\": {{ \"table_scans\": {}, \"derived_nodes\": {}, \"bottom_groups\": {} }},\n  \
+           \"engine_cache\": {{ \"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4} }}\n}}\n",
+        ns_per_node(legacy_sweep, n_nodes),
+        ns_per_node(rollup_sweep, n_nodes),
+        sweep_speedup,
+        rollup_outcome.evaluated,
+        rollup_outcome.minimal_nodes.len(),
+        legacy_search.as_secs_f64() * 1e3,
+        rollup_search.as_secs_f64() * 1e3,
+        ns_per_node(legacy_search, legacy_outcome.evaluated),
+        ns_per_node(rollup_search, rollup_outcome.evaluated),
+        search_speedup,
+        rollup_stats.table_scans,
+        rollup_stats.derived,
+        rollup_stats.bottom_groups,
+        cache.hits,
+        cache.misses,
+        cache.entries,
+        cache.hit_rate(),
+    );
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(&out_path, &json)?;
+    println!("{json}");
+    eprintln!(
+        "sweep speedup {:.2}x, search speedup {:.2}x — wrote {out_path}",
+        sweep_speedup, search_speedup
+    );
+    Ok(())
+}

@@ -10,7 +10,7 @@ use std::path::Path;
 
 use wcbk_core::{max_disclosure, negation_max_disclosure, Bucketization, DisclosureEngine};
 use wcbk_hierarchy::adult::{adult_lattice, figure5_node};
-use wcbk_hierarchy::GenNode;
+use wcbk_hierarchy::{GenNode, HierarchyError, NodeEvaluator};
 use wcbk_table::Table;
 
 /// Any harness error, stringly typed — the binaries only print it.
@@ -75,23 +75,35 @@ pub struct NodeProfile {
 
 /// Sweeps the full 72-node Adult lattice, computing min-entropy and maximum
 /// disclosure for each `k` in `ks` at every node.
+///
+/// Runs on the roll-up pipeline — one table scan, every node evaluated from
+/// merged histograms — falling back to per-node `bucketize` only when the
+/// packed signature overflows.
 pub fn profile_adult_lattice(
     table: &Table,
     ks: &[usize],
 ) -> Result<Vec<NodeProfile>, HarnessError> {
     let lattice = adult_lattice(table)?;
     let engines: Vec<DisclosureEngine> = ks.iter().map(|&k| DisclosureEngine::new(k)).collect();
+    let evaluator = match NodeEvaluator::new(table, &lattice) {
+        Ok(eval) => Some(eval),
+        Err(HierarchyError::SignatureOverflow { .. }) => None,
+        Err(e) => return Err(e.into()),
+    };
     let mut out = Vec::with_capacity(lattice.n_nodes());
     for node in lattice.nodes() {
-        let b = lattice.bucketize(table, &node)?;
+        let h = match &evaluator {
+            Some(eval) => eval.histograms(&node)?,
+            None => wcbk_core::HistogramSet::from_bucketization(&lattice.bucketize(table, &node)?),
+        };
         let disclosures = engines
             .iter()
-            .map(|e| e.max_disclosure_value(&b))
+            .map(|e| e.max_disclosure_value_set(&h))
             .collect::<Result<Vec<f64>, _>>()?;
         out.push(NodeProfile {
             node,
-            n_buckets: b.n_buckets(),
-            min_entropy: b.min_bucket_entropy(),
+            n_buckets: h.n_buckets(),
+            min_entropy: h.min_bucket_entropy(),
             disclosures,
         });
     }

@@ -24,7 +24,7 @@ use std::sync::{Arc, RwLock};
 use crate::disclosure::build_witness;
 use crate::minimize1::Minimize1Table;
 use crate::minimize2::{minimize2, BucketCosts, SuffixTable};
-use crate::{Bucketization, CoreError, DisclosureResult, SensitiveHistogram};
+use crate::{Bucketization, CoreError, DisclosureResult, HistogramSet, SensitiveHistogram};
 
 struct CachedBucket {
     table: Minimize1Table,
@@ -146,19 +146,35 @@ impl DisclosureEngine {
         self.cached(hist).costs.clone()
     }
 
+    /// The `r_min` of a sequence of per-bucket histograms, through the
+    /// cache, cloning no [`BucketCosts`] — the hot path of lattice search.
+    fn r_min_of<'h, I>(&self, histograms: I) -> f64
+    where
+        I: Iterator<Item = &'h SensitiveHistogram>,
+    {
+        let entries: Vec<Arc<CachedBucket>> = histograms.map(|h| self.cached(h)).collect();
+        let costs: Vec<&BucketCosts> = entries.iter().map(|e| &e.costs).collect();
+        minimize2(&costs, self.k).r_min
+    }
+
     /// Maximum disclosure value only (no witness reconstruction).
     pub fn max_disclosure_value(&self, b: &Bucketization) -> Result<f64, CoreError> {
         if b.n_buckets() == 0 {
             return Err(CoreError::EmptyBucketization);
         }
-        let entries: Vec<Arc<CachedBucket>> = b
-            .buckets()
-            .iter()
-            .map(|bucket| self.cached(bucket.histogram()))
-            .collect();
-        let costs: Vec<BucketCosts> = entries.iter().map(|e| e.costs.clone()).collect();
-        let r = minimize2(&costs, self.k);
-        Ok(1.0 / (1.0 + r.r_min))
+        let r_min = self.r_min_of(b.buckets().iter().map(|bucket| bucket.histogram()));
+        Ok(1.0 / (1.0 + r_min))
+    }
+
+    /// Maximum disclosure value of a histogram-only bucketization view —
+    /// what the roll-up lattice search evaluates, with no `Bucketization`
+    /// ever materialized.
+    pub fn max_disclosure_value_set(&self, h: &HistogramSet) -> Result<f64, CoreError> {
+        if h.n_buckets() == 0 {
+            return Err(CoreError::EmptyBucketization);
+        }
+        let r_min = self.r_min_of(h.histograms().iter());
+        Ok(1.0 / (1.0 + r_min))
     }
 
     /// Full maximum disclosure with witness, using the cache.
@@ -171,7 +187,7 @@ impl DisclosureEngine {
             .iter()
             .map(|bucket| self.cached(bucket.histogram()))
             .collect();
-        let costs: Vec<BucketCosts> = entries.iter().map(|e| e.costs.clone()).collect();
+        let costs: Vec<&BucketCosts> = entries.iter().map(|e| &e.costs).collect();
         let result = minimize2(&costs, self.k);
         let tables: Vec<&Minimize1Table> = entries.iter().map(|e| &e.table).collect();
         let witness = build_witness(b, &tables, &result.allocation);
@@ -416,6 +432,20 @@ mod tests {
                 assert!((direct.value - via_engine.value).abs() < 1e-15, "k={k}");
                 assert_eq!(direct.witness, via_engine.witness, "k={k}");
                 assert!((engine.max_disclosure_value(&b).unwrap() - direct.value).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_set_path_matches_bucketization_path() {
+        for k in 0..=4 {
+            let engine = DisclosureEngine::new(k);
+            for b in [figure3(), four_buckets()] {
+                let via_buckets = engine.max_disclosure_value(&b).unwrap();
+                let via_set = engine
+                    .max_disclosure_value_set(&HistogramSet::from_bucketization(&b))
+                    .unwrap();
+                assert_eq!(via_buckets.to_bits(), via_set.to_bits(), "k={k}");
             }
         }
     }

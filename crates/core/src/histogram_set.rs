@@ -1,0 +1,129 @@
+//! Histogram-only view of a bucketization — the search-time evaluation
+//! surface.
+//!
+//! Everything the disclosure DP and the diversity criteria look at is the
+//! per-bucket sensitive histograms plus the global domain size; bucket
+//! *membership* is irrelevant until a chosen bucketization is actually
+//! published. [`HistogramSet`] captures exactly that, so lattice search can
+//! evaluate nodes from rolled-up histograms (see `wcbk-hierarchy`'s
+//! `NodeEvaluator`) without ever materializing a [`Bucketization`].
+
+use crate::{Bucketization, CoreError, SensitiveHistogram};
+
+/// The per-bucket sensitive histograms of a (possibly never-materialized)
+/// bucketization, in bucket order, plus the sensitive-domain cardinality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSet {
+    histograms: Vec<SensitiveHistogram>,
+    domain_size: u32,
+}
+
+impl HistogramSet {
+    /// Builds a set from per-bucket histograms. The set must be non-empty
+    /// and every histogram must count at least one tuple (mirroring
+    /// [`Bucketization`]'s invariants).
+    pub fn new(histograms: Vec<SensitiveHistogram>, domain_size: u32) -> Result<Self, CoreError> {
+        if histograms.is_empty() {
+            return Err(CoreError::EmptyBucketization);
+        }
+        if let Some(i) = histograms.iter().position(|h| h.n() == 0) {
+            return Err(CoreError::EmptyBucket(i));
+        }
+        Ok(Self {
+            histograms,
+            domain_size,
+        })
+    }
+
+    /// The histogram view of a materialized bucketization (clones the
+    /// per-bucket histograms).
+    pub fn from_bucketization(b: &Bucketization) -> Self {
+        Self {
+            histograms: b.buckets().iter().map(|x| x.histogram().clone()).collect(),
+            domain_size: b.domain_size(),
+        }
+    }
+
+    /// Per-bucket histograms in bucket order.
+    pub fn histograms(&self) -> &[SensitiveHistogram] {
+        &self.histograms
+    }
+
+    /// Number of buckets `|B|`.
+    pub fn n_buckets(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// Total tuples across buckets.
+    pub fn n_tuples(&self) -> u64 {
+        self.histograms.iter().map(SensitiveHistogram::n).sum()
+    }
+
+    /// Global sensitive-domain cardinality `|S|`.
+    pub fn domain_size(&self) -> u32 {
+        self.domain_size
+    }
+
+    /// The `k = 0` maximum disclosure: `max_b n_b(s⁰_b) / n_b`.
+    pub fn max_frequency_ratio(&self) -> f64 {
+        self.histograms
+            .iter()
+            .map(SensitiveHistogram::top_ratio)
+            .fold(0.0, f64::max)
+    }
+
+    /// Minimum per-bucket entropy (natural log).
+    pub fn min_bucket_entropy(&self) -> f64 {
+        self.histograms
+            .iter()
+            .map(SensitiveHistogram::entropy)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Smallest bucket size (the k-anonymity parameter of the grouping).
+    pub fn min_bucket_size(&self) -> u64 {
+        self.histograms
+            .iter()
+            .map(SensitiveHistogram::n)
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcbk_table::datasets::{hospital_bucket_of, hospital_table};
+
+    fn figure3() -> Bucketization {
+        Bucketization::from_grouping(&hospital_table(), hospital_bucket_of).unwrap()
+    }
+
+    #[test]
+    fn mirrors_bucketization_aggregates() {
+        let b = figure3();
+        let h = HistogramSet::from_bucketization(&b);
+        assert_eq!(h.n_buckets(), b.n_buckets());
+        assert_eq!(h.n_tuples(), b.n_tuples());
+        assert_eq!(h.domain_size(), b.domain_size());
+        assert!((h.max_frequency_ratio() - b.max_frequency_ratio()).abs() < 1e-15);
+        assert!((h.min_bucket_entropy() - b.min_bucket_entropy()).abs() < 1e-15);
+        assert_eq!(h.min_bucket_size(), b.min_bucket_size());
+        for (hist, bucket) in h.histograms().iter().zip(b.buckets()) {
+            assert_eq!(hist, bucket.histogram());
+        }
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(matches!(
+            HistogramSet::new(vec![], 3),
+            Err(CoreError::EmptyBucketization)
+        ));
+        let empty = SensitiveHistogram::from_counts(std::iter::empty());
+        assert!(matches!(
+            HistogramSet::new(vec![empty], 3),
+            Err(CoreError::EmptyBucket(0))
+        ));
+    }
+}

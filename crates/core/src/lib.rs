@@ -36,6 +36,7 @@ pub mod disclosure;
 pub mod engine;
 mod error;
 mod histogram;
+mod histogram_set;
 pub mod minimize1;
 pub mod minimize2;
 pub mod negation;
@@ -48,5 +49,6 @@ pub use disclosure::{max_disclosure, DisclosureResult, DisclosureWitness};
 pub use engine::{CacheStats, DisclosureEngine, IncrementalDisclosure};
 pub use error::CoreError;
 pub use histogram::SensitiveHistogram;
+pub use histogram_set::HistogramSet;
 pub use negation::{negation_max_disclosure, NegationResult};
 pub use safety::{is_ck_safe, CkSafety};

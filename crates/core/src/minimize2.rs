@@ -26,6 +26,8 @@
 //!    `a` is *initially false*; with `a = true` the consequent would never be
 //!    placed. The correct initial flag is `a = false` (`A` not yet placed).
 
+use std::borrow::Borrow;
+
 use crate::minimize1::Minimize1Table;
 
 /// Per-bucket inputs to the cross-bucket DP.
@@ -73,7 +75,12 @@ pub struct Minimize2Result {
 ///
 /// `buckets[b].m1` must cover `c = 0..=k+1`. Runs in `O(|B| · k²)` time and
 /// `O(|B| · k)` space (the suffix table is kept for reconstruction).
-pub fn minimize2(buckets: &[BucketCosts], k: usize) -> Minimize2Result {
+///
+/// Generic over owned or borrowed costs (`&[BucketCosts]`,
+/// `&[&BucketCosts]`, …) so callers holding cached entries — the
+/// [`DisclosureEngine`](crate::DisclosureEngine) hot path — need not clone a
+/// `BucketCosts` per bucket per evaluation.
+pub fn minimize2<B: Borrow<BucketCosts>>(buckets: &[B], k: usize) -> Minimize2Result {
     let suffix = SuffixTable::build(buckets, k);
     let r_min = suffix.get(0, k, false);
     let allocation = suffix.reconstruct(buckets, k);
@@ -102,7 +109,7 @@ impl SuffixTable {
     }
 
     /// Builds the table bottom-up from the last bucket.
-    pub fn build(buckets: &[BucketCosts], k: usize) -> Self {
+    pub fn build<B: Borrow<BucketCosts>>(buckets: &[B], k: usize) -> Self {
         let n_buckets = buckets.len();
         let mut table = Self {
             n_buckets,
@@ -126,8 +133,14 @@ impl SuffixTable {
 
     /// One bucket's transition: try every split `c` of the remaining atoms
     /// and, when `A` is still unplaced, the option of hosting it here.
-    fn transition(&self, buckets: &[BucketCosts], i: usize, h: usize, placed: bool) -> f64 {
-        let b = &buckets[i];
+    fn transition<B: Borrow<BucketCosts>>(
+        &self,
+        buckets: &[B],
+        i: usize,
+        h: usize,
+        placed: bool,
+    ) -> f64 {
+        let b: &BucketCosts = buckets[i].borrow();
         let mut best = f64::INFINITY;
         for c in 0..=h {
             // A not in this bucket.
@@ -158,11 +171,16 @@ impl SuffixTable {
     }
 
     /// Walks the table to recover a minimizing allocation.
-    fn reconstruct(&self, buckets: &[BucketCosts], k: usize) -> Vec<BucketAllocation> {
+    fn reconstruct<B: Borrow<BucketCosts>>(
+        &self,
+        buckets: &[B],
+        k: usize,
+    ) -> Vec<BucketAllocation> {
         let mut out = Vec::new();
         let mut h = k;
         let mut placed = false;
-        for (i, b) in buckets.iter().enumerate().take(self.n_buckets) {
+        for (i, entry) in buckets.iter().enumerate().take(self.n_buckets) {
+            let b: &BucketCosts = entry.borrow();
             let here = self.get(i, h, placed);
             if !here.is_finite() {
                 break; // infeasible (cannot happen for valid inputs)

@@ -6,7 +6,7 @@
 //! lattice-search machinery of `wcbk-anonymize` the same way k-anonymity
 //! plugs into Incognito.
 
-use crate::{max_disclosure, Bucketization, CoreError, DisclosureEngine};
+use crate::{max_disclosure, Bucketization, CoreError, DisclosureEngine, HistogramSet};
 
 /// The (c,k)-safety criterion.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +59,19 @@ impl CkSafety {
             return Ok(false);
         }
         Ok(engine.max_disclosure_value(b)? < self.c)
+    }
+
+    /// Checks safety of a histogram-only view through a memoizing engine —
+    /// the roll-up lattice search path, where no `Bucketization` exists.
+    pub fn is_safe_set(
+        &self,
+        engine: &DisclosureEngine,
+        h: &HistogramSet,
+    ) -> Result<bool, CoreError> {
+        if h.max_frequency_ratio() >= self.c {
+            return Ok(false);
+        }
+        Ok(engine.max_disclosure_value_set(h)? < self.c)
     }
 }
 

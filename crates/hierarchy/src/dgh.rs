@@ -240,6 +240,30 @@ impl Hierarchy {
         self.maps[level][code as usize]
     }
 
+    /// The full base-code → group map at `level` (`maps[level]`): the
+    /// generalization code map the roll-up evaluator re-keys signatures
+    /// through without touching table rows.
+    #[inline]
+    pub fn level_map(&self, level: usize) -> &[u32] {
+        &self.maps[level]
+    }
+
+    /// The parent map from `level` to `level + 1`: `parent[g]` is the
+    /// level-`level + 1` group containing level-`level` group `g`. Well
+    /// defined because levels are nested; groups no base value maps into
+    /// default to parent 0 (they can never appear in a signature).
+    pub fn parent_map(&self, level: usize) -> Vec<u32> {
+        assert!(
+            level + 1 < self.n_levels(),
+            "level {level} has no parent level"
+        );
+        let mut parent = vec![0u32; self.n_groups(level)];
+        for (code, &g) in self.maps[level].iter().enumerate() {
+            parent[g as usize] = self.maps[level + 1][code];
+        }
+        parent
+    }
+
     /// Number of groups at `level`.
     pub fn n_groups(&self, level: usize) -> usize {
         self.labels[level].len()

@@ -56,6 +56,13 @@ pub enum HierarchyError {
     },
     /// Underlying table error (e.g. unknown attribute name).
     Table(String),
+    /// The packed quasi-identifier signature does not fit the roll-up
+    /// evaluator's 64-bit signature word (callers fall back to the
+    /// row-scanning path).
+    SignatureOverflow {
+        /// Bits the dimensions would need.
+        bits: u32,
+    },
 }
 
 impl fmt::Display for HierarchyError {
@@ -104,6 +111,10 @@ impl fmt::Display for HierarchyError {
                 )
             }
             HierarchyError::Table(m) => write!(f, "table error: {m}"),
+            HierarchyError::SignatureOverflow { bits } => write!(
+                f,
+                "quasi-identifier signature needs {bits} bits (> 64); roll-up unavailable"
+            ),
         }
     }
 }

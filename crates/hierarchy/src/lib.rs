@@ -17,6 +17,11 @@
 //!   quasi-identifiers: node enumeration, covers (successors/predecessors),
 //!   chains, and [`GeneralizationLattice::bucketize`] which applies a node to
 //!   a table.
+//! * [`NodeEvaluator`] — the roll-up evaluation pipeline: one columnar table
+//!   scan materializes the bottom node's signature → histogram map; every
+//!   other node's histograms are derived by re-keying packed signatures
+//!   through parent/level maps and merging — `O(groups)` per node, no row
+//!   access, identical bucket order and histograms to `bucketize`.
 //! * [`adult`] — the paper's Adult hierarchies: Age 6 levels (exact, 5, 10,
 //!   20, 40, suppressed), Marital Status 3 levels, Race 2, Gender 2 — a
 //!   6·3·2·2 = 72-node lattice.
@@ -25,7 +30,9 @@ pub mod adult;
 mod dgh;
 mod error;
 mod lattice;
+mod rollup;
 
 pub use dgh::Hierarchy;
 pub use error::HierarchyError;
 pub use lattice::{GenNode, GeneralizationLattice};
+pub use rollup::{NodeEvaluator, RollupStats};

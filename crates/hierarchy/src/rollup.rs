@@ -1,0 +1,472 @@
+//! One-scan roll-up evaluation of lattice nodes.
+//!
+//! The paper's Section 3.3.3 complexity story is that re-analyzing a
+//! bucketization sharing buckets with an already-analyzed one should cost
+//! only the *new* buckets. The generalization lattice has exactly that
+//! structure: a coarser node's buckets are unions of a finer node's buckets,
+//! so its sensitive histograms are mergeable in `O(buckets)` without touching
+//! table rows. [`NodeEvaluator`] exploits this:
+//!
+//! * Construction scans the table **once**, packing each row's base
+//!   quasi-identifier codes into a single `u64` signature (no per-row heap
+//!   allocation) and tallying sensitive counts per distinct signature — the
+//!   bottom node's group table.
+//! * Any other node's histograms are derived without row access: from a
+//!   memoized immediate predecessor by re-keying one dimension through its
+//!   [`Hierarchy::parent_map`], or from the bottom table by re-keying every
+//!   dimension through its [`Hierarchy::level_map`]. Either way the cost is
+//!   `O(groups × dims)`, not `O(rows × dims)`.
+//! * Results are [`HistogramSet`]s — the histogram-only surface `wcbk-core`'s
+//!   criteria evaluate — in **exactly** the bucket order
+//!   [`GeneralizationLattice::bucketize`] produces (first row occurrence),
+//!   with identical histograms, so search outcomes are bit-for-bit the same.
+//!
+//! The evaluator is `Sync` (memo behind an `RwLock`, counters atomic), so
+//! one instance serves all workers of the parallel lattice search.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use wcbk_core::{CoreError, HistogramSet, SensitiveHistogram};
+use wcbk_table::{SValue, Table};
+
+use crate::{GenNode, GeneralizationLattice, Hierarchy, HierarchyError};
+
+/// One node's grouped view: packed signature and sparse sensitive counts per
+/// bucket, in first-row-occurrence order (the `bucketize` bucket order).
+#[derive(Debug, Clone)]
+struct NodeTable {
+    sigs: Vec<u64>,
+    /// `(value, count)` pairs sorted by value code, per bucket.
+    counts: Vec<Vec<(SValue, u64)>>,
+}
+
+impl NodeTable {
+    /// Groups `source`'s entries under re-keyed signatures, merging counts.
+    /// First-occurrence order over `source` entries preserves the row
+    /// first-occurrence bucket order transitively.
+    fn derive(source: &NodeTable, rekey: impl Fn(u64) -> u64) -> NodeTable {
+        let mut index: HashMap<u64, usize> = HashMap::with_capacity(source.sigs.len());
+        let mut sigs: Vec<u64> = Vec::new();
+        let mut tallies: Vec<HashMap<SValue, u64>> = Vec::new();
+        for (i, &sig) in source.sigs.iter().enumerate() {
+            let new_sig = rekey(sig);
+            let gi = *index.entry(new_sig).or_insert_with(|| {
+                sigs.push(new_sig);
+                tallies.push(HashMap::new());
+                sigs.len() - 1
+            });
+            for &(v, c) in &source.counts[i] {
+                *tallies[gi].entry(v).or_insert(0) += c;
+            }
+        }
+        NodeTable {
+            sigs,
+            counts: tallies.into_iter().map(sorted_counts).collect(),
+        }
+    }
+
+    fn histogram_set(&self, domain_size: u32) -> Result<HistogramSet, HierarchyError> {
+        if self.sigs.is_empty() {
+            // Mirror `bucketize` on an empty table, which fails building the
+            // (empty) partition.
+            return Err(HierarchyError::Table(
+                CoreError::EmptyBucketization.to_string(),
+            ));
+        }
+        let histograms: Vec<SensitiveHistogram> = self
+            .counts
+            .iter()
+            .map(|c| SensitiveHistogram::from_counts(c.iter().copied()))
+            .collect();
+        HistogramSet::new(histograms, domain_size).map_err(|e| HierarchyError::Table(e.to_string()))
+    }
+}
+
+fn sorted_counts(tally: HashMap<SValue, u64>) -> Vec<(SValue, u64)> {
+    let mut v: Vec<(SValue, u64)> = tally.into_iter().collect();
+    v.sort_unstable_by_key(|&(value, _)| value);
+    v
+}
+
+/// Counters describing how much work the roll-up pipeline actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollupStats {
+    /// Full table scans performed (always 1 — at construction).
+    pub table_scans: u64,
+    /// Node tables derived by merging (i.e. evaluated without row access).
+    pub derived: u64,
+    /// Node evaluations answered straight from the memo.
+    pub memo_hits: u64,
+    /// Distinct signatures at the lattice bottom (the scan's output size).
+    pub bottom_groups: usize,
+}
+
+/// Evaluates lattice nodes from one columnar table scan plus histogram
+/// roll-ups — see the module docs.
+pub struct NodeEvaluator<'a> {
+    lattice: &'a GeneralizationLattice,
+    domain_size: u32,
+    /// Bit offset of each dimension's field within a packed signature.
+    shifts: Vec<u32>,
+    /// Field mask (already shifted down) of each dimension.
+    masks: Vec<u64>,
+    /// `parent_maps[d][l]`: dimension `d`'s level-`l` → level-`l+1` map.
+    parent_maps: Vec<Vec<Vec<u32>>>,
+    /// The bottom node's table, built by the single scan.
+    bottom: Arc<NodeTable>,
+    memo: RwLock<HashMap<GenNode, Arc<NodeTable>>>,
+    derived: AtomicU64,
+    memo_hits: AtomicU64,
+}
+
+impl<'a> NodeEvaluator<'a> {
+    /// Builds the evaluator with exactly one scan over `table`.
+    ///
+    /// Fails with [`HierarchyError::SignatureOverflow`] when the packed
+    /// per-row signature does not fit 64 bits (callers then fall back to the
+    /// row-scanning `bucketize` path).
+    pub fn new(table: &Table, lattice: &'a GeneralizationLattice) -> Result<Self, HierarchyError> {
+        let n_dims = lattice.n_dims();
+        let mut shifts = Vec::with_capacity(n_dims);
+        let mut masks = Vec::with_capacity(n_dims);
+        let mut total_bits: u32 = 0;
+        for d in 0..n_dims {
+            let h = lattice.hierarchy(d);
+            // The field must hold group ids of *every* level (re-keying
+            // writes coarser ids into the same slot).
+            let max_groups = (0..h.n_levels()).map(|l| h.n_groups(l)).max().unwrap_or(1);
+            let bits = bits_for(max_groups);
+            shifts.push(total_bits);
+            masks.push(if bits == 0 { 0 } else { (!0u64) >> (64 - bits) });
+            total_bits += bits;
+        }
+        if total_bits > 64 {
+            return Err(HierarchyError::SignatureOverflow { bits: total_bits });
+        }
+
+        let parent_maps: Vec<Vec<Vec<u32>>> = (0..n_dims)
+            .map(|d| {
+                let h: &Hierarchy = lattice.hierarchy(d);
+                (0..h.n_levels() - 1).map(|l| h.parent_map(l)).collect()
+            })
+            .collect();
+
+        // The single columnar scan: pack base codes, tally sensitive values.
+        let mut index: HashMap<u64, usize> = HashMap::new();
+        let mut sigs: Vec<u64> = Vec::new();
+        let mut tallies: Vec<HashMap<SValue, u64>> = Vec::new();
+        let columns: Vec<&[u32]> = (0..n_dims)
+            .map(|d| table.column(lattice.column(d)).codes())
+            .collect();
+        for row in 0..table.n_rows() {
+            let mut sig = 0u64;
+            for (d, codes) in columns.iter().enumerate() {
+                sig |= u64::from(codes[row]) << shifts[d];
+            }
+            let gi = *index.entry(sig).or_insert_with(|| {
+                sigs.push(sig);
+                tallies.push(HashMap::new());
+                sigs.len() - 1
+            });
+            *tallies[gi]
+                .entry(table.sensitive_value(wcbk_table::TupleId(row as u32)))
+                .or_insert(0) += 1;
+        }
+        let bottom = Arc::new(NodeTable {
+            sigs,
+            counts: tallies.into_iter().map(sorted_counts).collect(),
+        });
+
+        Ok(Self {
+            lattice,
+            domain_size: table.sensitive_cardinality() as u32,
+            shifts,
+            masks,
+            parent_maps,
+            bottom,
+            memo: RwLock::new(HashMap::new()),
+            derived: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// The lattice this evaluator serves.
+    pub fn lattice(&self) -> &GeneralizationLattice {
+        self.lattice
+    }
+
+    /// Work counters (scan count, derivations, memo hits).
+    pub fn stats(&self) -> RollupStats {
+        RollupStats {
+            table_scans: 1,
+            derived: self.derived.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            bottom_groups: self.bottom.sigs.len(),
+        }
+    }
+
+    /// The histograms `node` induces, in `bucketize` bucket order — derived
+    /// by roll-up, never by re-scanning the table.
+    pub fn histograms(&self, node: &GenNode) -> Result<HistogramSet, HierarchyError> {
+        self.lattice.validate(node)?;
+        self.node_table(node).histogram_set(self.domain_size)
+    }
+
+    /// The histograms of the projection onto `dims` at `levels` (the
+    /// Incognito subset evaluation) — a single roll-up from the bottom
+    /// table; other dimensions are treated as fully suppressed.
+    pub fn histograms_subset(
+        &self,
+        dims: &[usize],
+        levels: &[usize],
+    ) -> Result<HistogramSet, HierarchyError> {
+        if dims.len() != levels.len() {
+            return Err(HierarchyError::DimensionMismatch {
+                expected: dims.len(),
+                found: levels.len(),
+            });
+        }
+        for (&d, &level) in dims.iter().zip(levels) {
+            if d >= self.lattice.n_dims() {
+                return Err(HierarchyError::DimensionMismatch {
+                    expected: self.lattice.n_dims(),
+                    found: d + 1,
+                });
+            }
+            if level >= self.lattice.hierarchy(d).n_levels() {
+                return Err(HierarchyError::LevelOutOfRange {
+                    attribute: d,
+                    level,
+                    n_levels: self.lattice.hierarchy(d).n_levels(),
+                });
+            }
+        }
+        let maps: Vec<(usize, &[u32])> = dims
+            .iter()
+            .zip(levels)
+            .map(|(&d, &level)| (d, self.lattice.hierarchy(d).level_map(level)))
+            .collect();
+        let table = NodeTable::derive(&self.bottom, |sig| {
+            let mut out = 0u64;
+            for &(d, map) in &maps {
+                let base = (sig >> self.shifts[d]) & self.masks[d];
+                out |= u64::from(map[base as usize]) << self.shifts[d];
+            }
+            out
+        });
+        self.derived.fetch_add(1, Ordering::Relaxed);
+        table.histogram_set(self.domain_size)
+    }
+
+    /// Fetches or derives `node`'s group table. Prefers re-keying a single
+    /// dimension of a memoized immediate predecessor (`O(groups)`); falls
+    /// back to re-keying every dimension of the bottom table.
+    fn node_table(&self, node: &GenNode) -> Arc<NodeTable> {
+        if node.height() == 0 {
+            return Arc::clone(&self.bottom);
+        }
+        if let Some(t) = self.memo.read().expect("rollup memo poisoned").get(node) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(t);
+        }
+
+        // A memoized immediate predecessor lets us re-key one dimension.
+        let mut source: Option<(Arc<NodeTable>, usize)> = None;
+        {
+            let memo = self.memo.read().expect("rollup memo poisoned");
+            for d in 0..self.lattice.n_dims() {
+                if node.0[d] == 0 {
+                    continue;
+                }
+                let mut pred = node.clone();
+                pred.0[d] -= 1;
+                if pred.height() == 0 {
+                    source = Some((Arc::clone(&self.bottom), d));
+                    break;
+                }
+                if let Some(t) = memo.get(&pred) {
+                    source = Some((Arc::clone(t), d));
+                    break;
+                }
+            }
+        }
+
+        let table = match source {
+            Some((pred_table, d)) => {
+                let parent = &self.parent_maps[d][node.0[d] - 1];
+                let shift = self.shifts[d];
+                let mask = self.masks[d];
+                NodeTable::derive(&pred_table, |sig| {
+                    let group = (sig >> shift) & mask;
+                    (sig & !(mask << shift)) | (u64::from(parent[group as usize]) << shift)
+                })
+            }
+            None => {
+                let maps: Vec<&[u32]> = (0..self.lattice.n_dims())
+                    .map(|d| self.lattice.hierarchy(d).level_map(node.0[d]))
+                    .collect();
+                NodeTable::derive(&self.bottom, |sig| {
+                    let mut out = 0u64;
+                    for (d, map) in maps.iter().enumerate() {
+                        let base = (sig >> self.shifts[d]) & self.masks[d];
+                        out |= u64::from(map[base as usize]) << self.shifts[d];
+                    }
+                    out
+                })
+            }
+        };
+        self.derived.fetch_add(1, Ordering::Relaxed);
+        let table = Arc::new(table);
+        let mut memo = self.memo.write().expect("rollup memo poisoned");
+        Arc::clone(memo.entry(node.clone()).or_insert(table))
+    }
+}
+
+/// Bits needed to represent group ids `0..n` (0 for a single-group domain).
+fn bits_for(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcbk_table::datasets::hospital_table;
+
+    fn hospital_lattice() -> (Table, GeneralizationLattice) {
+        let table = hospital_table();
+        let zip = table.column(1).dictionary().clone();
+        let age = table.column(2).dictionary().clone();
+        let sex = table.column(3).dictionary().clone();
+        let lattice = GeneralizationLattice::new(vec![
+            (1, Hierarchy::suppression("Zip", &zip)),
+            (2, Hierarchy::intervals("Age", &age, &[5]).unwrap()),
+            (3, Hierarchy::suppression("Sex", &sex)),
+        ])
+        .unwrap();
+        (table, lattice)
+    }
+
+    /// The roll-up result must equal the scan result at EVERY node: same
+    /// bucket count, same bucket order, same histograms.
+    #[test]
+    fn rollup_matches_bucketize_at_every_node() {
+        let (table, lattice) = hospital_lattice();
+        let eval = NodeEvaluator::new(&table, &lattice).unwrap();
+        for node in lattice.nodes() {
+            let rolled = eval.histograms(&node).unwrap();
+            let scanned = lattice.bucketize(&table, &node).unwrap();
+            assert_eq!(rolled.n_buckets(), scanned.n_buckets(), "node {node}");
+            assert_eq!(rolled.domain_size(), scanned.domain_size());
+            for (i, bucket) in scanned.buckets().iter().enumerate() {
+                assert_eq!(
+                    &rolled.histograms()[i],
+                    bucket.histogram(),
+                    "node {node} bucket {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_scan_and_derivations_counted() {
+        let (table, lattice) = hospital_lattice();
+        let eval = NodeEvaluator::new(&table, &lattice).unwrap();
+        for node in lattice.nodes() {
+            eval.histograms(&node).unwrap();
+        }
+        // Repeat: everything above the bottom now memoized.
+        for node in lattice.nodes() {
+            eval.histograms(&node).unwrap();
+        }
+        let stats = eval.stats();
+        assert_eq!(stats.table_scans, 1);
+        assert_eq!(stats.derived as usize, lattice.n_nodes() - 1);
+        assert_eq!(stats.memo_hits as usize, lattice.n_nodes() - 1);
+        assert_eq!(stats.bottom_groups, 10); // hospital rows are all distinct
+    }
+
+    #[test]
+    fn subset_matches_bucketize_subset() {
+        let (table, lattice) = hospital_lattice();
+        let eval = NodeEvaluator::new(&table, &lattice).unwrap();
+        let cases: Vec<(Vec<usize>, Vec<usize>)> = vec![
+            (vec![0], vec![0]),
+            (vec![1], vec![1]),
+            (vec![2], vec![0]),
+            (vec![0, 2], vec![1, 0]),
+            (vec![0, 1, 2], vec![0, 2, 1]),
+        ];
+        for (dims, levels) in cases {
+            let rolled = eval.histograms_subset(&dims, &levels).unwrap();
+            let scanned = lattice.bucketize_subset(&table, &dims, &levels).unwrap();
+            assert_eq!(
+                rolled.n_buckets(),
+                scanned.n_buckets(),
+                "{dims:?}/{levels:?}"
+            );
+            for (i, bucket) in scanned.buckets().iter().enumerate() {
+                assert_eq!(&rolled.histograms()[i], bucket.histogram());
+            }
+        }
+    }
+
+    #[test]
+    fn validates_nodes_and_subsets() {
+        let (table, lattice) = hospital_lattice();
+        let eval = NodeEvaluator::new(&table, &lattice).unwrap();
+        assert!(matches!(
+            eval.histograms(&GenNode(vec![0, 0])),
+            Err(HierarchyError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            eval.histograms(&GenNode(vec![0, 9, 0])),
+            Err(HierarchyError::LevelOutOfRange { .. })
+        ));
+        assert!(matches!(
+            eval.histograms_subset(&[0, 1], &[0]),
+            Err(HierarchyError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            eval.histograms_subset(&[7], &[0]),
+            Err(HierarchyError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            eval.histograms_subset(&[1], &[9]),
+            Err(HierarchyError::LevelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_signatures_overflow_cleanly() {
+        // Sex is a 2-value domain → 1 bit per dimension; 70 copies of it
+        // need 70 bits, which must be rejected (callers then fall back to
+        // the row-scanning path).
+        let table = hospital_table();
+        let sex = table.column(3).dictionary().clone();
+        let dims: Vec<(usize, Hierarchy)> = (0..70)
+            .map(|_| (3usize, Hierarchy::suppression("Sex", &sex)))
+            .collect();
+        let lattice = GeneralizationLattice::new(dims).unwrap();
+        assert!(matches!(
+            NodeEvaluator::new(&table, &lattice),
+            Err(HierarchyError::SignatureOverflow { bits: 70 })
+        ));
+    }
+
+    #[test]
+    fn bits_for_edges() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(1 << 20), 20);
+    }
+}

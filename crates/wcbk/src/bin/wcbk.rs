@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
-//! wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N] [--parallel] [--threads N]
+//! wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N]
+//!             [--hierarchy COL:W1,W2,...]... [--parallel] [--threads N]
 //! wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
 //! wcbk generate-adult [--rows N] [--seed N] [--out FILE]
 //! ```
@@ -10,9 +11,12 @@
 //! `audit` loads a CSV, buckets it by the (exact) quasi-identifier columns,
 //! and prints the maximum-disclosure curve, the worst-case attacker, a
 //! (c,k)-safety verdict, and the disclosure engine's cache statistics.
-//! `search` finds all ⪯-minimal (c,k)-safe generalizations over suppression
-//! hierarchies on the quasi-identifiers — `--parallel`/`--threads N` fan the
-//! lattice search out over worker threads sharing one engine cache.
+//! `search` finds all ⪯-minimal (c,k)-safe generalizations on the
+//! quasi-identifiers; each QI gets a suppression hierarchy unless a
+//! `--hierarchy COL:W1,W2,...` flag (repeatable) requests a numeric interval
+//! hierarchy with the given widths, like the library path —
+//! `--parallel`/`--threads N` fan the lattice search out over worker threads
+//! sharing one engine cache.
 //! `anatomize` publishes with the Anatomy algorithm instead and audits the
 //! result. `generate-adult` writes the synthetic Adult benchmark table.
 
@@ -39,7 +43,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
-  wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N] [--parallel] [--threads N]
+  wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N]
+              [--hierarchy COL:W1,W2,...]... [--parallel] [--threads N]
   wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
   wcbk generate-adult [--rows N] [--seed N] [--out FILE]";
 
@@ -49,6 +54,9 @@ struct Options {
     positional: Vec<String>,
     sensitive: Option<String>,
     qi: Vec<String>,
+    /// `--hierarchy COL:W1,W2,...` interval-hierarchy specs, repeatable;
+    /// unlisted QI columns get suppression hierarchies.
+    hierarchies: Vec<(String, Vec<u64>)>,
     k: usize,
     c: Option<f64>,
     l: Option<usize>,
@@ -82,6 +90,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--qi" => {
                 let v = need_value("--qi", &mut it)?;
                 opts.qi = v.split(',').map(|s| s.trim().to_owned()).collect();
+            }
+            "--hierarchy" => {
+                let v = need_value("--hierarchy", &mut it)?;
+                let (col, widths) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--hierarchy wants COL:W1,W2,..., got {v:?}"))?;
+                let widths = widths
+                    .split(',')
+                    .map(|w| w.trim().parse::<u64>())
+                    .collect::<Result<Vec<u64>, _>>()
+                    .map_err(|e| format!("--hierarchy {col}: {e}"))?;
+                let col = col.trim().to_owned();
+                if opts.hierarchies.iter().any(|(name, _)| *name == col) {
+                    return Err(format!("--hierarchy {col}: given twice"));
+                }
+                opts.hierarchies.push((col, widths));
             }
             "--k" => {
                 opts.k = need_value("--k", &mut it)?
@@ -264,15 +288,22 @@ fn search_cmd(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     if opts.qi.is_empty() {
         return Err("--qi COL[,COL...] is required for search".into());
     }
+    for (col, _) in &opts.hierarchies {
+        if !opts.qi.contains(col) {
+            return Err(format!("--hierarchy {col}: not a --qi column").into());
+        }
+    }
     let dims = opts
         .qi
         .iter()
         .map(|n| {
             let col = table.schema().index_of(n)?;
-            Ok((
-                col,
-                Hierarchy::suppression(n, table.column(col).dictionary()),
-            ))
+            let dict = table.column(col).dictionary();
+            let hierarchy = match opts.hierarchies.iter().find(|(name, _)| name == n) {
+                Some((_, widths)) => Hierarchy::intervals(n, dict, widths)?,
+                None => Hierarchy::suppression(n, dict),
+            };
+            Ok((col, hierarchy))
         })
         .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?;
     let lattice = GeneralizationLattice::new(dims)?;
@@ -404,6 +435,81 @@ mod tests {
         let o = parse_args(&s(&["search", "x.csv"])).unwrap();
         assert_eq!(o.threads, None);
         assert!(parse_args(&s(&["search", "--threads", "lots"])).is_err());
+    }
+
+    #[test]
+    fn hierarchy_flag_parses_and_repeats() {
+        let o = parse_args(&s(&[
+            "search",
+            "x.csv",
+            "--hierarchy",
+            "Age:5,10,20",
+            "--hierarchy",
+            "Zip: 100",
+        ]))
+        .unwrap();
+        assert_eq!(
+            o.hierarchies,
+            vec![
+                ("Age".to_owned(), vec![5, 10, 20]),
+                ("Zip".to_owned(), vec![100]),
+            ]
+        );
+        assert!(parse_args(&s(&["search", "--hierarchy", "Age"])).is_err());
+        assert!(parse_args(&s(&["search", "--hierarchy", "Age:five"])).is_err());
+        assert!(parse_args(&s(&["search", "--hierarchy", "Age:"])).is_err());
+        // The same column twice is ambiguous, not first-wins.
+        assert!(parse_args(&s(&[
+            "search",
+            "--hierarchy",
+            "Age:5",
+            "--hierarchy",
+            "Age:10,20"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn search_with_interval_hierarchy_end_to_end() {
+        // A tiny CSV with a numeric Age column: the interval hierarchy must
+        // produce a deeper lattice than plain suppression and still search.
+        let dir = std::env::temp_dir().join("wcbk_cli_hierarchy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(
+            &path,
+            "Age,Sex,Disease\n21,M,Flu\n23,F,Flu\n27,M,Cold\n29,F,Cold\n33,M,Flu\n35,F,Cold\n",
+        )
+        .unwrap();
+        let args = s(&[
+            "search",
+            path.to_str().unwrap(),
+            "--sensitive",
+            "Disease",
+            "--qi",
+            "Age,Sex",
+            "--c",
+            "0.9",
+            "--k",
+            "1",
+            "--hierarchy",
+            "Age:4,8",
+        ]);
+        run(&args).unwrap();
+        // A hierarchy spec naming a non-QI column is rejected.
+        let bad = s(&[
+            "search",
+            path.to_str().unwrap(),
+            "--sensitive",
+            "Disease",
+            "--qi",
+            "Sex",
+            "--c",
+            "0.9",
+            "--hierarchy",
+            "Age:4,8",
+        ]);
+        assert!(run(&bad).is_err());
     }
 
     #[test]

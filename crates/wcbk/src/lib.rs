@@ -54,16 +54,16 @@ pub use wcbk_worlds as worlds;
 pub mod prelude {
     pub use wcbk_anonymize::{
         anatomize, anonymize, anonymize_parallel, default_threads, find_minimal_safe,
-        find_minimal_safe_parallel, incognito, incognito_parallel, swap_sanitize,
+        find_minimal_safe_parallel, incognito, incognito_parallel, swap_sanitize, sweep_all,
         CkSafetyCriterion, DistinctLDiversity, EntropyLDiversity, KAnonymity, PrivacyCriterion,
         RecursiveCLDiversity, SearchOutcome, UtilityMetric,
     };
     pub use wcbk_core::{
         cost_negation_max_disclosure, is_ck_safe, max_disclosure, negation_max_disclosure, Bucket,
         Bucketization, CacheStats, CkSafety, CostVector, DisclosureEngine, DisclosureResult,
-        SensitiveHistogram,
+        HistogramSet, SensitiveHistogram,
     };
-    pub use wcbk_hierarchy::{GenNode, GeneralizationLattice, Hierarchy};
+    pub use wcbk_hierarchy::{GenNode, GeneralizationLattice, Hierarchy, NodeEvaluator};
     pub use wcbk_logic::{Atom, BasicImplication, Knowledge, SimpleImplication};
     pub use wcbk_table::{Attribute, AttributeKind, SValue, Schema, Table, TableBuilder, TupleId};
     pub use wcbk_worlds::{BucketSpec, Ratio, WorldSpace};

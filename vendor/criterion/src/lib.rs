@@ -5,19 +5,39 @@
 //! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
 //! [`black_box`], and the `criterion_group!`/`criterion_main!` macros.
 //!
-//! Instead of criterion's statistical sampling it runs a short warm-up, then
-//! a fixed number of timed iterations per benchmark, printing mean and
-//! fastest wall-clock time. Good enough to compare orders of magnitude and
-//! exercise every bench path in CI; not a substitute for real criterion when
-//! the registry is reachable.
+//! Instead of criterion's statistical sampling it runs one timed warm-up
+//! call, then an **adaptive** number of timed iterations chosen so each
+//! benchmark fills a target wall-time budget (default 200 ms, override with
+//! `WCBK_BENCH_TARGET_MS`), clamped to `[MIN_ITERS, MAX_ITERS]`. Fast
+//! sub-microsecond routines therefore get thousands of samples instead of
+//! under-sampling at a fixed count, while slow multi-second routines stay at
+//! the floor. Good enough to compare orders of magnitude and exercise every
+//! bench path in CI; not a substitute for real criterion when the registry
+//! is reachable.
 
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Iterations timed per benchmark (after one untimed warm-up call).
-const TIMED_ITERS: u32 = 10;
+/// Fewest timed iterations per benchmark, however slow the routine.
+const MIN_ITERS: u32 = 10;
+
+/// Most timed iterations per benchmark, however fast the routine.
+const MAX_ITERS: u32 = 100_000;
+
+/// Wall-time budget one benchmark's timed iterations aim to fill.
+fn target_time() -> Duration {
+    static TARGET: OnceLock<Duration> = OnceLock::new();
+    *TARGET.get_or_init(|| {
+        let ms = std::env::var("WCBK_BENCH_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        Duration::from_millis(ms.max(1))
+    })
+}
 
 /// Top-level harness handle passed to each registered bench function.
 #[derive(Debug, Default)]
@@ -140,11 +160,28 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `routine`: one warm-up call, then [`TIMED_ITERS`] timed calls.
+    /// Times `routine`: timed warm-up calls estimate the per-iteration
+    /// cost, which sets the iteration budget (`target_time / estimate`,
+    /// clamped to `[MIN_ITERS, MAX_ITERS]`); every budgeted call is then
+    /// timed individually.
+    ///
+    /// The estimate is the **fastest** of up to three warm-up calls (routines
+    /// already slower than the target get one), so a single cold-start or
+    /// scheduler preemption cannot collapse the budget of a fast routine.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        black_box(routine());
+        let mut estimate = Duration::MAX;
+        for _ in 0..3 {
+            let warmup = Instant::now();
+            black_box(routine());
+            estimate = estimate.min(warmup.elapsed().max(Duration::from_nanos(1)));
+            if estimate >= target_time() {
+                break;
+            }
+        }
+        let budget = (target_time().as_nanos() / estimate.as_nanos())
+            .clamp(u128::from(MIN_ITERS), u128::from(MAX_ITERS)) as u32;
         self.samples.clear();
-        for _ in 0..TIMED_ITERS {
+        for _ in 0..budget {
             let start = Instant::now();
             black_box(routine());
             self.samples.push(start.elapsed());
@@ -200,8 +237,33 @@ mod tests {
         let mut c = Criterion::default();
         let mut calls = 0u32;
         c.bench_function("counts", |b| b.iter(|| calls += 1));
-        // 1 warm-up + TIMED_ITERS timed.
-        assert_eq!(calls, TIMED_ITERS + 1);
+        // 1–3 warm-ups + an adaptive number of timed calls within the clamp.
+        assert!(
+            (MIN_ITERS + 1..=MAX_ITERS + 3).contains(&calls),
+            "{calls} calls outside [{}, {}]",
+            MIN_ITERS + 1,
+            MAX_ITERS + 3
+        );
+    }
+
+    #[test]
+    fn fast_routines_get_more_samples_than_the_old_fixed_ten() {
+        // A sub-microsecond routine must not under-sample at 10 iterations.
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1u64.wrapping_add(2)));
+        assert!(
+            b.samples.len() > 10,
+            "only {} samples for a nanosecond routine",
+            b.samples.len()
+        );
+    }
+
+    #[test]
+    fn slow_routines_stay_at_the_minimum() {
+        let mut b = Bencher::default();
+        // Far above any plausible target budget per iteration.
+        b.iter(|| std::thread::sleep(Duration::from_millis(25)));
+        assert_eq!(b.samples.len(), MIN_ITERS as usize);
     }
 
     #[test]
