@@ -54,6 +54,38 @@ impl<T: PrivacyCriterion + ?Sized> PrivacyCriterion for Box<T> {
     }
 }
 
+/// Borrowed criteria delegate too, so a caller can hand the same instance
+/// to several searches (the scheduler workers already share it by `&C`).
+impl<T: PrivacyCriterion + ?Sized> PrivacyCriterion for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn is_satisfied_hist(&self, h: &HistogramSet) -> Result<bool, AnonymizeError> {
+        (**self).is_satisfied_hist(h)
+    }
+
+    fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+        (**self).is_satisfied(b)
+    }
+}
+
+/// `Arc`-shared criteria delegate as well — the shape long-running services
+/// use to share one memoizing criterion across concurrent searches.
+impl<T: PrivacyCriterion + ?Sized> PrivacyCriterion for std::sync::Arc<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn is_satisfied_hist(&self, h: &HistogramSet) -> Result<bool, AnonymizeError> {
+        (**self).is_satisfied_hist(h)
+    }
+
+    fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
+        (**self).is_satisfied(b)
+    }
+}
+
 /// k-anonymity: every bucket holds at least `k` tuples.
 ///
 /// (The grouping view of k-anonymity — under full identification information

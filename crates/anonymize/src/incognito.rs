@@ -21,9 +21,11 @@
 
 use std::collections::{HashMap, HashSet};
 
+use wcbk_core::sched::{evaluate_work_stealing, MonotoneDag};
 use wcbk_hierarchy::{GenNode, GeneralizationLattice};
 use wcbk_table::Table;
 
+use crate::search::{Schedule, SearchConfig};
 use crate::{AnonymizeError, PrivacyCriterion};
 
 /// Statistics and results of an Incognito run.
@@ -45,42 +47,48 @@ pub fn incognito<C: PrivacyCriterion>(
     lattice: &GeneralizationLattice,
     criterion: &C,
 ) -> Result<IncognitoOutcome, AnonymizeError> {
-    incognito_with_threads(table, lattice, criterion, 1)
+    incognito_with(table, lattice, criterion, &SearchConfig::with_threads(1))
 }
 
-/// [`incognito`] with the per-level candidate evaluations fanned out over
-/// `threads` scoped workers (0 = all available cores).
-///
-/// The apriori join and the monotone roll-up are inherently sequential
-/// across levels, but candidates **within** one height level of one subset
-/// have all their predecessors on lower, already-merged levels — the same
-/// independence the parallel BFS exploits — so the outcome is identical to
-/// the sequential run's.
+/// [`incognito`] with candidate evaluations spread over worker threads
+/// under the default (work-stealing) schedule (0 = all available cores) —
+/// see [`incognito_with`].
 pub fn incognito_parallel<C: PrivacyCriterion>(
     table: &Table,
     lattice: &GeneralizationLattice,
     criterion: &C,
     threads: usize,
 ) -> Result<IncognitoOutcome, AnonymizeError> {
-    let threads = if threads == 0 {
-        crate::search::default_threads()
-    } else {
-        threads
-    };
-    incognito_with_threads(table, lattice, criterion, threads)
+    incognito_with(
+        table,
+        lattice,
+        criterion,
+        &SearchConfig::with_threads(threads),
+    )
 }
 
-fn incognito_with_threads<C: PrivacyCriterion>(
+/// [`incognito`] with an explicit [`SearchConfig`].
+///
+/// The apriori join is inherently sequential across subset sizes, but each
+/// subset's surviving candidates form a monotone-pruned DAG of their own —
+/// under [`Schedule::LevelSync`] it is drained one height at a time with
+/// round-robin fan-out; under [`Schedule::WorkStealing`] it goes through
+/// `wcbk_core::sched`'s whole-DAG scheduler (candidates become runnable as
+/// their last in-set predecessor resolves; idle workers speculate). Either
+/// way the outcome — minimal nodes, per-size evaluation counts, first-error
+/// semantics — is identical to the sequential run's.
+pub fn incognito_with<C: PrivacyCriterion>(
     table: &Table,
     lattice: &GeneralizationLattice,
     criterion: &C,
-    threads: usize,
+    config: &SearchConfig,
 ) -> Result<IncognitoOutcome, AnonymizeError> {
+    let threads = config.effective_threads();
     let n_dims = lattice.n_dims();
     // One table scan up front; every subset projection is evaluated from
     // rolled-up histograms. Signature-overflow tables fall back to
     // per-candidate `bucketize_subset` scans.
-    let evaluator = crate::search::try_evaluator(table, lattice)?;
+    let evaluator = crate::search::try_evaluator_capped(table, lattice, config.memo_capacity)?;
     let mut evaluated_total = 0usize;
     let mut per_size = Vec::with_capacity(n_dims);
     // safe[subset-bitmask] = set of level vectors (over that subset's dims,
@@ -98,8 +106,11 @@ fn incognito_with_threads<C: PrivacyCriterion>(
             let candidates = generate_candidates(lattice, mask, &dims, &safe);
             candidates_this_size += candidates.len();
 
-            // Bottom-up BFS restricted to the candidate set, with monotone
-            // roll-up: a candidate with a safe predecessor is safe unseen.
+            // Monotone-pruned drain restricted to the candidate set: a
+            // candidate with a safe in-set predecessor is safe unseen.
+            // (Predecessors outside the candidate set are unsafe — their
+            // projections failed — so only in-set ones grant safety or gate
+            // evaluation.)
             let mut by_height: Vec<Vec<Vec<usize>>> = Vec::new();
             for v in &candidates {
                 let h: usize = v.iter().sum();
@@ -109,39 +120,47 @@ fn incognito_with_threads<C: PrivacyCriterion>(
                 by_height[h].push(v.clone());
             }
             let candidate_set: HashSet<Vec<usize>> = candidates.into_iter().collect();
-            let mut subset_safe: HashSet<Vec<usize>> = HashSet::new();
-            for level in by_height {
-                let mut to_eval: Vec<Vec<usize>> = Vec::new();
-                for v in level {
-                    let inherited = predecessors(&v).into_iter().any(|p| {
-                        // Predecessors outside the candidate set are unsafe
-                        // (their projections failed), so only in-set ones
-                        // can grant safety.
-                        candidate_set.contains(&p) && subset_safe.contains(&p)
-                    });
-                    if inherited {
-                        subset_safe.insert(v);
-                    } else {
-                        to_eval.push(v);
+            let judge = |v: &Vec<usize>| -> Result<bool, AnonymizeError> {
+                match &evaluator {
+                    Some(eval) => criterion.is_satisfied_hist(&eval.histograms_subset(&dims, v)?),
+                    None => {
+                        let b = lattice.bucketize_subset(table, &dims, v)?;
+                        criterion.is_satisfied(&b)
                     }
                 }
-                evaluated_this_size += to_eval.len();
-                let verdicts =
-                    crate::search::parallel_verdicts(&to_eval, threads, |v| match &evaluator {
-                        Some(eval) => {
-                            criterion.is_satisfied_hist(&eval.histograms_subset(&dims, v)?)
+            };
+            let subset_safe = if threads > 1 && config.schedule == Schedule::WorkStealing {
+                // The subset's candidate DAG through the work-stealing
+                // scheduler — outcome-equivalent to the level loop below.
+                let order: Vec<Vec<usize>> = by_height.into_iter().flatten().collect();
+                let (safe_set, evaluated) =
+                    steal_candidates(&order, &candidate_set, threads, &judge)?;
+                evaluated_this_size += evaluated;
+                safe_set
+            } else {
+                let mut subset_safe: HashSet<Vec<usize>> = HashSet::new();
+                for level in by_height {
+                    let mut to_eval: Vec<Vec<usize>> = Vec::new();
+                    for v in level {
+                        let inherited = predecessors(&v)
+                            .into_iter()
+                            .any(|p| candidate_set.contains(&p) && subset_safe.contains(&p));
+                        if inherited {
+                            subset_safe.insert(v);
+                        } else {
+                            to_eval.push(v);
                         }
-                        None => {
-                            let b = lattice.bucketize_subset(table, &dims, v)?;
-                            criterion.is_satisfied(&b)
+                    }
+                    evaluated_this_size += to_eval.len();
+                    let verdicts = crate::search::parallel_verdicts(&to_eval, threads, judge)?;
+                    for (v, ok) in to_eval.into_iter().zip(verdicts) {
+                        if ok {
+                            subset_safe.insert(v);
                         }
-                    })?;
-                for (v, ok) in to_eval.into_iter().zip(verdicts) {
-                    if ok {
-                        subset_safe.insert(v);
                     }
                 }
-            }
+                subset_safe
+            };
             safe.insert(mask, subset_safe);
         }
         evaluated_total += evaluated_this_size;
@@ -167,6 +186,53 @@ fn incognito_with_threads<C: PrivacyCriterion>(
         evaluated: evaluated_total,
         per_size,
     })
+}
+
+/// Drains one subset's candidate DAG (candidates in height-major order,
+/// edges between in-set immediate predecessors) through the work-stealing
+/// scheduler. Returns the safe level vectors and the number of required
+/// evaluations — both identical to what the level-synchronous loop computes.
+fn steal_candidates<F>(
+    order: &[Vec<usize>],
+    candidate_set: &HashSet<Vec<usize>>,
+    threads: usize,
+    judge: &F,
+) -> Result<(HashSet<Vec<usize>>, usize), AnonymizeError>
+where
+    F: Fn(&Vec<usize>) -> Result<bool, AnonymizeError> + Sync,
+{
+    use wcbk_core::sched::NodeResolution;
+
+    let index: HashMap<&Vec<usize>, u32> = order
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v, i as u32))
+        .collect();
+    let preds: Vec<Vec<u32>> = order
+        .iter()
+        .map(|v| {
+            predecessors(v)
+                .iter()
+                .filter(|p| candidate_set.contains(*p))
+                .map(|p| index[p])
+                .collect::<Vec<u32>>()
+        })
+        .collect();
+    let dag = MonotoneDag::new(preds);
+    let outcome = evaluate_work_stealing(&dag, threads, true, |i| judge(&order[i]))?;
+    let safe_set: HashSet<Vec<usize>> = outcome
+        .resolutions
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| {
+            matches!(
+                r,
+                NodeResolution::PrunedSafe | NodeResolution::EvaluatedSafe
+            )
+        })
+        .map(|(i, _)| order[i].clone())
+        .collect();
+    Ok((safe_set, outcome.evaluated))
 }
 
 /// All bitmasks over `n` dims with exactly `size` bits set, ascending.

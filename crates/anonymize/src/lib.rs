@@ -37,11 +37,12 @@ pub use criteria::{
     RecursiveCLDiversity,
 };
 pub use error::AnonymizeError;
-pub use incognito::{incognito, incognito_parallel, IncognitoOutcome};
+pub use incognito::{incognito, incognito_parallel, incognito_with, IncognitoOutcome};
 pub use pipeline::{anonymize, anonymize_parallel, AnonymizationOutcome};
 pub use search::{
     binary_search_chain, default_threads, find_minimal_safe, find_minimal_safe_parallel,
-    find_minimal_safe_rescan, sweep_all, sweep_all_rescan, SearchOutcome,
+    find_minimal_safe_rescan, find_minimal_safe_with, sweep_all, sweep_all_rescan, Schedule,
+    SearchConfig, SearchOutcome,
 };
 pub use swap::{swap_sanitize, SwapOutcome};
 pub use utility::UtilityMetric;

@@ -1,32 +1,101 @@
-//! Lattice search for minimal safe generalizations — sequential and
-//! level-parallel, over the one-scan roll-up pipeline.
+//! Lattice search for minimal safe generalizations — sequential,
+//! level-parallel, and work-stealing whole-lattice, over the one-scan
+//! roll-up pipeline.
 //!
-//! Both searches share the same monotone-pruning structure: nodes are
-//! visited level by level (increasing height); a node with a known-safe
-//! predecessor is safe by monotonicity and never evaluated. Because a node's
-//! predecessors all live on strictly lower levels, the nodes that need
-//! evaluation within one level are **independent of each other** — which is
-//! exactly what [`find_minimal_safe_parallel`] exploits: it deals each
-//! level's unpruned nodes round-robin across scoped worker threads sharing
-//! one `&C` criterion (hence [`PrivacyCriterion`]`: Send + Sync`), then
-//! merges results in item order so the outcome is bit-for-bit identical to
-//! the sequential search.
+//! All searches share the same monotone-pruning contract: a node with a
+//! known-safe predecessor is safe by monotonicity and never evaluated; a
+//! node whose predecessors are all unsafe must be. Two parallel schedules
+//! implement it (see [`Schedule`]):
+//!
+//! * **Level-synchronous** — each height level's unpruned nodes are dealt
+//!   round-robin across scoped worker threads sharing one `&C` criterion
+//!   (hence [`PrivacyCriterion`]`: Send + Sync`), with verdicts merged in
+//!   item order. Every level waits on its slowest node.
+//! * **Work-stealing** (the default) — the whole lattice is handed to
+//!   [`wcbk_core::sched`]'s scheduler: a node becomes runnable the moment
+//!   its last predecessor's verdict lands, safe verdicts prune entire
+//!   up-sets immediately through the generalization partial order, and idle
+//!   workers speculatively evaluate still-pending nodes (discarding the
+//!   work if the node gets pruned). No level barriers.
+//!
+//! Either way the outcome is **bit-for-bit identical** to the sequential
+//! search — same minimal antichain in the same order, same `evaluated` and
+//! `satisfied` counts, same first-error semantics (pinned by
+//! `tests/parallel_search.rs` and `tests/rollup_equivalence.rs`).
 //!
 //! **Evaluation never re-scans the table.** A [`NodeEvaluator`] scans it
 //! once at search start; every node is then judged from rolled-up
-//! [`HistogramSet`]s via [`PrivacyCriterion::is_satisfied_hist`], and a full
+//! [`HistogramSet`](wcbk_core::HistogramSet)s via
+//! [`PrivacyCriterion::is_satisfied_hist`], and a full
 //! `Bucketization` is only materialized (by callers such as the
 //! [`pipeline`](crate::pipeline)) for chosen minimal nodes. Tables whose
-//! packed quasi-identifier signature exceeds 64 bits fall back to the legacy
-//! `*_rescan` path, which bucketizes per node.
+//! packed quasi-identifier signature exceeds 128 bits fall back to the
+//! legacy `*_rescan` path, which bucketizes per node. On deep lattices the
+//! evaluator's memo can be capped via [`SearchConfig::memo_capacity`].
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
 
+use wcbk_core::sched::{evaluate_work_stealing, MonotoneDag};
 use wcbk_hierarchy::{GenNode, GeneralizationLattice, HierarchyError, NodeEvaluator};
 use wcbk_table::Table;
 
 use crate::{AnonymizeError, PrivacyCriterion};
+
+/// How a parallel lattice search spreads node evaluations across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// One fan-out per height level; the level is a barrier.
+    LevelSync,
+    /// Whole-lattice work stealing with speculative evaluation — see the
+    /// module docs. The default.
+    #[default]
+    WorkStealing,
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "level" | "level-sync" => Ok(Schedule::LevelSync),
+            "steal" | "work-stealing" => Ok(Schedule::WorkStealing),
+            other => Err(format!("unknown schedule {other:?} (want level|steal)")),
+        }
+    }
+}
+
+/// Knobs for the parallel searches ([`find_minimal_safe_with`],
+/// [`crate::incognito::incognito_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchConfig {
+    /// Worker threads: `0` = all available cores, `1` = sequential.
+    pub threads: usize,
+    /// Parallel schedule (ignored at 1 thread).
+    pub schedule: Schedule,
+    /// Entry cap for the roll-up evaluator's memo (`None` = unbounded);
+    /// see [`NodeEvaluator::with_memo_capacity`].
+    pub memo_capacity: Option<usize>,
+}
+
+impl SearchConfig {
+    /// A config running `threads` workers under the default schedule.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// The effective worker count (`0` resolved to all cores).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        }
+    }
+}
 
 /// Outcome of a bottom-up lattice search.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,7 +124,17 @@ pub(crate) fn try_evaluator<'a>(
     table: &Table,
     lattice: &'a GeneralizationLattice,
 ) -> Result<Option<NodeEvaluator<'a>>, AnonymizeError> {
-    match NodeEvaluator::new(table, lattice) {
+    try_evaluator_capped(table, lattice, None)
+}
+
+/// [`try_evaluator`] with a memo entry cap (see
+/// [`NodeEvaluator::with_memo_capacity`]).
+pub(crate) fn try_evaluator_capped<'a>(
+    table: &Table,
+    lattice: &'a GeneralizationLattice,
+    memo_capacity: Option<usize>,
+) -> Result<Option<NodeEvaluator<'a>>, AnonymizeError> {
+    match NodeEvaluator::with_memo_capacity(table, lattice, memo_capacity) {
         Ok(eval) => Ok(Some(eval)),
         Err(HierarchyError::SignatureOverflow { .. }) => Ok(None),
         Err(e) => Err(e.into()),
@@ -180,15 +259,88 @@ where
     })
 }
 
-/// Level-synchronous parallel variant of [`find_minimal_safe`].
+/// The work-stealing whole-lattice skeleton: hands the lattice (nodes in
+/// sequential visit order — by height, mixed-radix within a height) to
+/// [`wcbk_core::sched::evaluate_work_stealing`] and maps the resolutions
+/// back onto a [`SearchOutcome`]. Outcome-equivalent to the sequential
+/// skeleton by the scheduler's contract.
+fn minimal_safe_steal_with<E>(
+    lattice: &GeneralizationLattice,
+    threads: usize,
+    eval: E,
+) -> Result<SearchOutcome, AnonymizeError>
+where
+    E: Fn(&GenNode) -> Result<bool, AnonymizeError> + Sync,
+{
+    let nodes: Vec<GenNode> = lattice.nodes_by_height().into_iter().flatten().collect();
+    let index: HashMap<&GenNode, u32> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n, i as u32))
+        .collect();
+    let preds: Vec<Vec<u32>> = nodes
+        .iter()
+        .map(|n| {
+            lattice
+                .predecessors(n)
+                .iter()
+                .map(|p| index[p])
+                .collect::<Vec<u32>>()
+        })
+        .collect();
+    let dag = MonotoneDag::new(preds);
+    let outcome = evaluate_work_stealing(&dag, threads, true, |i| eval(&nodes[i]))?;
+    Ok(SearchOutcome {
+        minimal_nodes: outcome
+            .evaluated_safe()
+            .into_iter()
+            .map(|i| nodes[i].clone())
+            .collect(),
+        evaluated: outcome.evaluated,
+        satisfied: outcome.safe_count(),
+    })
+}
+
+/// Parallel variant of [`find_minimal_safe`] with explicit [`SearchConfig`]
+/// — thread count, schedule, and evaluator memo cap.
 ///
-/// Per lattice level: nodes pruned by monotonicity are rolled into the safe
-/// set as usual; the remaining nodes are dealt round-robin to `threads`
-/// scoped workers sharing `criterion` (and therefore its memoization cache)
-/// and one roll-up evaluator. Verdicts are merged back **in item order**, so
-/// `minimal_nodes`, `evaluated`, and `satisfied` are exactly what the
-/// sequential search produces — monotonicity pruning is preserved because a
-/// node's predecessors are always on strictly lower, already-merged levels.
+/// Whatever the configuration, `minimal_nodes`, `evaluated`, and
+/// `satisfied` are exactly what the sequential search produces:
+///
+/// * under [`Schedule::LevelSync`], each level's unpruned nodes are dealt
+///   round-robin to scoped workers sharing `criterion` (and therefore its
+///   memoization cache) and one roll-up evaluator, with verdicts merged in
+///   item order;
+/// * under [`Schedule::WorkStealing`], the whole lattice drains through
+///   per-worker deques with stealing, immediate up-set pruning on safe
+///   verdicts, and speculative evaluation on idle workers — required
+///   evaluations, and therefore outcomes, are scheduling-independent.
+pub fn find_minimal_safe_with<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    criterion: &C,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, AnonymizeError> {
+    let threads = config.effective_threads();
+    let evaluator = try_evaluator_capped(table, lattice, config.memo_capacity)?;
+    let judge = |node: &GenNode| -> Result<bool, AnonymizeError> {
+        match &evaluator {
+            Some(eval) => criterion.is_satisfied_hist(&eval.histograms(node)?),
+            None => criterion.is_satisfied(&lattice.bucketize(table, node)?),
+        }
+    };
+    if threads == 1 {
+        return minimal_safe_with(lattice, judge);
+    }
+    match config.schedule {
+        Schedule::LevelSync => minimal_safe_parallel_with(lattice, threads, judge),
+        Schedule::WorkStealing => minimal_safe_steal_with(lattice, threads, judge),
+    }
+}
+
+/// Parallel variant of [`find_minimal_safe`] under the default
+/// (work-stealing) schedule — see [`find_minimal_safe_with`] for the full
+/// contract and [`Schedule`] for the alternatives.
 ///
 /// `threads == 0` selects [`default_threads`]; `threads == 1` degenerates to
 /// the sequential algorithm (without spawning).
@@ -198,22 +350,12 @@ pub fn find_minimal_safe_parallel<C: PrivacyCriterion>(
     criterion: &C,
     threads: usize,
 ) -> Result<SearchOutcome, AnonymizeError> {
-    let threads = if threads == 0 {
-        default_threads()
-    } else {
-        threads
-    };
-    if threads == 1 {
-        return find_minimal_safe(table, lattice, criterion);
-    }
-    match try_evaluator(table, lattice)? {
-        Some(eval) => minimal_safe_parallel_with(lattice, threads, |node| {
-            criterion.is_satisfied_hist(&eval.histograms(node)?)
-        }),
-        None => minimal_safe_parallel_with(lattice, threads, |node| {
-            criterion.is_satisfied(&lattice.bucketize(table, node)?)
-        }),
-    }
+    find_minimal_safe_with(
+        table,
+        lattice,
+        criterion,
+        &SearchConfig::with_threads(threads),
+    )
 }
 
 /// Maps `eval` over `items` on up to `threads` scoped worker threads,

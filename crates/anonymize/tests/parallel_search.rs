@@ -9,11 +9,14 @@
 //! many threads at once and checks that the shared cache still answers
 //! consistently.
 
-use wcbk_anonymize::search::{find_minimal_safe, find_minimal_safe_parallel};
-use wcbk_anonymize::{
-    anonymize, anonymize_parallel, incognito, incognito_parallel, CkSafetyCriterion,
-    DistinctLDiversity, KAnonymity, PrivacyCriterion, UtilityMetric,
+use wcbk_anonymize::search::{
+    find_minimal_safe, find_minimal_safe_parallel, find_minimal_safe_with, Schedule, SearchConfig,
 };
+use wcbk_anonymize::{
+    anonymize, anonymize_parallel, incognito, incognito_parallel, incognito_with, AnonymizeError,
+    CkSafetyCriterion, DistinctLDiversity, KAnonymity, PrivacyCriterion, UtilityMetric,
+};
+use wcbk_core::HistogramSet;
 use wcbk_datagen::adult::{synthetic_adult, AdultConfig};
 use wcbk_hierarchy::adult::adult_lattice;
 use wcbk_hierarchy::GeneralizationLattice;
@@ -189,6 +192,145 @@ fn shared_criterion_cache_is_thread_safe() {
         stats.hits >= stats.misses,
         "with {n_threads} sweeps the cache should mostly hit: {stats:?}"
     );
+}
+
+/// Both parallel schedules — the level-synchronous barrier fan-out and the
+/// work-stealing whole-lattice scheduler — must return the sequential
+/// outcome exactly, for any thread count.
+#[test]
+fn both_schedules_equal_sequential() {
+    let (table, lattice) = adult(1_200);
+    let criterion = || CkSafetyCriterion::new(0.8, 2).unwrap();
+    let seq = find_minimal_safe(&table, &lattice, &criterion()).unwrap();
+    assert!(!seq.minimal_nodes.is_empty());
+    for schedule in [Schedule::LevelSync, Schedule::WorkStealing] {
+        for threads in [2usize, 3, 8] {
+            let config = SearchConfig {
+                threads,
+                schedule,
+                memo_capacity: None,
+            };
+            let got = find_minimal_safe_with(&table, &lattice, &criterion(), &config).unwrap();
+            assert_eq!(seq, got, "{schedule:?} at {threads} threads diverged");
+        }
+    }
+}
+
+/// Scheduler edge case: far more workers than lattice nodes (the 72-node
+/// Adult lattice under 64 threads) still matches the sequential outcome.
+#[test]
+fn more_workers_than_nodes_matches_sequential() {
+    let (table, lattice) = adult(400);
+    let criterion = || KAnonymity::new(10);
+    let seq = find_minimal_safe(&table, &lattice, &criterion()).unwrap();
+    let config = SearchConfig {
+        threads: 64,
+        schedule: Schedule::WorkStealing,
+        memo_capacity: None,
+    };
+    let got = find_minimal_safe_with(&table, &lattice, &criterion(), &config).unwrap();
+    assert_eq!(seq, got);
+}
+
+/// Capping the roll-up evaluator's memo (forcing evictions and
+/// ancestor-fallback derivations) must not change any outcome.
+#[test]
+fn memo_capacity_does_not_change_outcomes() {
+    let (table, lattice) = adult(600);
+    let criterion = || CkSafetyCriterion::new(0.8, 2).unwrap();
+    let seq = find_minimal_safe(&table, &lattice, &criterion()).unwrap();
+    for cap in [1usize, 2, 8] {
+        for threads in [1usize, 4] {
+            let config = SearchConfig {
+                threads,
+                schedule: Schedule::WorkStealing,
+                memo_capacity: Some(cap),
+            };
+            let got = find_minimal_safe_with(&table, &lattice, &criterion(), &config).unwrap();
+            assert_eq!(seq, got, "cap={cap} threads={threads}");
+        }
+    }
+}
+
+/// A criterion that fails deterministically on specific histogram shapes:
+/// errors depend on the node alone, so sequential and stealing runs can be
+/// compared error-for-error.
+struct ErringCriterion {
+    /// Buckets-count band `[lo, hi]` that triggers the error.
+    lo: usize,
+    hi: usize,
+}
+
+impl PrivacyCriterion for ErringCriterion {
+    fn name(&self) -> String {
+        "erring".to_owned()
+    }
+
+    fn is_satisfied_hist(&self, h: &HistogramSet) -> Result<bool, AnonymizeError> {
+        let n = h.n_buckets();
+        if n >= self.lo && n <= self.hi {
+            return Err(AnonymizeError::InvalidParameter(format!(
+                "criterion failed at {n} buckets"
+            )));
+        }
+        // Monotone in practice on these workloads: few buckets = coarse.
+        Ok(n <= 4)
+    }
+}
+
+/// Scheduler edge case: a criterion that errors mid-search. The
+/// work-stealing run must surface exactly the error the sequential loop
+/// stops at (first in visit order), for any thread count — even though
+/// stealing workers may hit other erroring nodes first.
+#[test]
+fn first_error_semantics_preserved_under_stealing() {
+    let (table, lattice) = adult(500);
+    for (lo, hi) in [(10usize, 40usize), (5, 5), (1, 2)] {
+        let criterion = || ErringCriterion { lo, hi };
+        let seq_err = match find_minimal_safe(&table, &lattice, &criterion()) {
+            Err(e) => e.to_string(),
+            Ok(_) => continue, // band never hit on this workload
+        };
+        for threads in [1usize, 2, 4, 16] {
+            for schedule in [Schedule::LevelSync, Schedule::WorkStealing] {
+                let config = SearchConfig {
+                    threads,
+                    schedule,
+                    memo_capacity: None,
+                };
+                let err = find_minimal_safe_with(&table, &lattice, &criterion(), &config)
+                    .expect_err("sequential search errored, parallel must too");
+                assert_eq!(
+                    err.to_string(),
+                    seq_err,
+                    "band [{lo},{hi}] {schedule:?} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+/// Incognito under both schedules equals the sequential run (same minimal
+/// nodes, same per-size evaluation budget).
+#[test]
+fn incognito_schedules_equal_sequential() {
+    let (table, lattice) = adult(800);
+    let seq = incognito(&table, &lattice, &CkSafetyCriterion::new(0.8, 2).unwrap()).unwrap();
+    for schedule in [Schedule::LevelSync, Schedule::WorkStealing] {
+        let config = SearchConfig {
+            threads: 4,
+            schedule,
+            memo_capacity: None,
+        };
+        let got = incognito_with(
+            &table,
+            &lattice,
+            &CkSafetyCriterion::new(0.8, 2).unwrap(),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(seq, got, "{schedule:?} diverged");
+    }
 }
 
 /// The concrete acceptance criterion: the engine (and the criteria built on

@@ -5,7 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use wcbk_anonymize::search::{find_minimal_safe, find_minimal_safe_parallel, sweep_all};
+use wcbk_anonymize::search::{
+    find_minimal_safe, find_minimal_safe_parallel, find_minimal_safe_with, sweep_all, Schedule,
+    SearchConfig,
+};
 use wcbk_anonymize::{CkSafetyCriterion, EntropyLDiversity, KAnonymity};
 use wcbk_bench::small_adult;
 use wcbk_hierarchy::adult::adult_lattice;
@@ -53,8 +56,8 @@ fn bench_lattice_search(c: &mut Criterion) {
         });
     }
 
-    // The parallel level-synchronous search against the sequential baseline,
-    // sharing one engine cache across worker threads.
+    // The parallel search (work-stealing default schedule) against the
+    // sequential baseline, sharing one engine cache across worker threads.
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(
             BenchmarkId::new("ck_safety_parallel", threads),
@@ -68,6 +71,26 @@ fn bench_lattice_search(c: &mut Criterion) {
                 })
             },
         );
+    }
+
+    // Level-synchronous vs work-stealing, head to head per thread count.
+    for threads in [2usize, 4, 8] {
+        for (name, schedule) in [
+            ("ck_safety_level_sync", Schedule::LevelSync),
+            ("ck_safety_steal", Schedule::WorkStealing),
+        ] {
+            let config = SearchConfig {
+                threads,
+                schedule,
+                memo_capacity: None,
+            };
+            group.bench_with_input(BenchmarkId::new(name, threads), &config, |b, config| {
+                b.iter(|| {
+                    let criterion = CkSafetyCriterion::new(0.8, 3).unwrap();
+                    black_box(find_minimal_safe_with(&table, &lattice, &criterion, config).unwrap())
+                })
+            });
+        }
     }
     group.finish();
 }

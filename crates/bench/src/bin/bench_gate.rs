@@ -1,0 +1,295 @@
+//! `bench_gate` — CI perf-regression gate over `bench_report` output.
+//!
+//! Compares a freshly measured `BENCH_search.json` against the committed
+//! baseline and **fails (exit 1) when any gated ns/node metric regresses by
+//! more than the allowed ratio**, printing a markdown comparison table
+//! (optionally appended to a file — point `--summary` at
+//! `$GITHUB_STEP_SUMMARY` to surface it in the CI job summary).
+//!
+//! Gated metrics (candidate ≤ baseline × ratio):
+//! * `sweep.rollup_ns_per_node` — per-node cost of the unpruned sweep;
+//! * `search.rollup_ns_per_node` — per-node cost of the pruned search;
+//! * `parallel.steal_ns_per_node` — per-node cost of the 4-thread
+//!   work-stealing search (skipped when the baseline predates the metric).
+//!
+//! One intra-run gate rides along: the work-stealing schedule must not be
+//! more than the same ratio slower than the level-synchronous one measured
+//! in the *candidate* run (machine-independent by construction).
+//!
+//! The JSON is the fixed shape `bench_report` emits; values are pulled with
+//! a purpose-built extractor rather than a JSON dependency (the sanctioned
+//! dependency set has none).
+//!
+//! Run: `cargo run --release -p wcbk-bench --bin bench_gate -- \
+//!       results/BENCH_search.json /tmp/bench_new.json \
+//!       [--max-ratio 1.5] [--summary FILE]`
+
+use std::process::ExitCode;
+
+use wcbk_bench::HarnessError;
+
+/// Extracts `"key": <number>` from within `"section": { … }` of a
+/// `bench_report` JSON document.
+fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec_tag = format!("\"{section}\"");
+    let sec_start = json.find(&sec_tag)?;
+    let body_start = json[sec_start..].find('{')? + sec_start + 1;
+    let body_end = json[body_start..].find('}')? + body_start;
+    let body = &json[body_start..body_end];
+    let key_tag = format!("\"{key}\"");
+    let key_start = body.find(&key_tag)?;
+    let after_colon = body[key_start..].find(':')? + key_start + 1;
+    let number: String = body[after_colon..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    number.parse().ok()
+}
+
+/// One gate row: a metric, both readings, the ratio, and the verdict.
+struct GateRow {
+    metric: String,
+    baseline: f64,
+    candidate: f64,
+    ratio: f64,
+    passed: bool,
+}
+
+impl GateRow {
+    fn new(metric: &str, baseline: f64, candidate: f64, max_ratio: f64) -> Self {
+        let ratio = if baseline > 0.0 {
+            candidate / baseline
+        } else {
+            f64::INFINITY
+        };
+        Self {
+            metric: metric.to_owned(),
+            baseline,
+            candidate,
+            ratio,
+            passed: ratio <= max_ratio,
+        }
+    }
+}
+
+fn markdown(rows: &[GateRow], max_ratio: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "## bench-gate: lattice-search ns/node vs baseline (max ratio {max_ratio:.2})\n\n"
+    ));
+    out.push_str("| metric | baseline | candidate | ratio | status |\n");
+    out.push_str("|---|---:|---:|---:|:---:|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {:.0} | {:.0} | {:.2} | {} |\n",
+            r.metric,
+            r.baseline,
+            r.candidate,
+            r.ratio,
+            if r.passed { "pass" } else { "**FAIL**" }
+        ));
+    }
+    out
+}
+
+fn run(args: &[String]) -> Result<bool, HarnessError> {
+    let mut raw: Vec<String> = args.to_vec();
+    let mut take_flag = |name: &str| -> Result<Option<String>, HarnessError> {
+        match raw.iter().position(|a| a == name) {
+            Some(pos) => {
+                let value = raw
+                    .get(pos + 1)
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .clone();
+                raw.drain(pos..=pos + 1);
+                Ok(Some(value))
+            }
+            None => Ok(None),
+        }
+    };
+    let max_ratio: f64 = take_flag("--max-ratio")?
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1.5);
+    let summary_path = take_flag("--summary")?;
+    let [baseline_path, candidate_path] = raw.as_slice() else {
+        return Err("usage: bench_gate <baseline.json> <candidate.json> \
+                    [--max-ratio F] [--summary FILE]"
+            .into());
+    };
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+    let candidate = std::fs::read_to_string(candidate_path)
+        .map_err(|e| format!("reading candidate {candidate_path}: {e}"))?;
+
+    let mut rows: Vec<GateRow> = Vec::new();
+    for (section, key, label) in [
+        ("sweep", "rollup_ns_per_node", "sweep rollup ns/node"),
+        (
+            "search",
+            "rollup_ns_per_node",
+            "pruned-search rollup ns/node",
+        ),
+        ("parallel", "steal_ns_per_node", "4-thread steal ns/node"),
+    ] {
+        let cand = extract(&candidate, section, key)
+            .ok_or_else(|| format!("candidate is missing {section}.{key}"))?;
+        match extract(&baseline, section, key) {
+            Some(base) => rows.push(GateRow::new(label, base, cand, max_ratio)),
+            // A baseline from before the metric existed: nothing to gate.
+            None => eprintln!("note: baseline has no {section}.{key}; skipping that gate"),
+        }
+    }
+    // Intra-run gate: stealing must keep up with level-sync on the same
+    // machine, same run.
+    let level = extract(&candidate, "parallel", "level_ns_per_node")
+        .ok_or("candidate is missing parallel.level_ns_per_node")?;
+    let steal = extract(&candidate, "parallel", "steal_ns_per_node")
+        .ok_or("candidate is missing parallel.steal_ns_per_node")?;
+    rows.push(GateRow::new(
+        "steal vs level (same run)",
+        level,
+        steal,
+        max_ratio,
+    ));
+
+    let table = markdown(&rows, max_ratio);
+    println!("{table}");
+    if let Some(path) = summary_path {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("opening summary {path}: {e}"))?;
+        writeln!(f, "{table}")?;
+    }
+    let failed: Vec<&GateRow> = rows.iter().filter(|r| !r.passed).collect();
+    for r in &failed {
+        eprintln!(
+            "REGRESSION: {} went {:.0} -> {:.0} ns/node ({:.2}x > {max_ratio:.2}x allowed)",
+            r.metric, r.baseline, r.candidate, r.ratio
+        );
+    }
+    Ok(failed.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "workload": { "rows": 5000, "lattice_nodes": 72, "c": 0.8, "k": 3 },
+  "sweep": { "nodes_evaluated": 72, "legacy_ns_per_node": 624134, "rollup_ns_per_node": 109300, "speedup": 5.71 },
+  "search": { "nodes_evaluated": 63, "minimal_nodes": 5, "legacy_ms": 38.932, "rollup_ms": 7.303, "legacy_ns_per_node": 617968, "rollup_ns_per_node": 115915, "speedup": 5.33 },
+  "parallel": { "threads": 4, "level_ms": 2.5, "steal_ms": 2.0, "level_ns_per_node": 39683, "steal_ns_per_node": 31746, "steal_speedup_vs_level": 1.25 },
+  "rollup": { "table_scans": 1, "derived_nodes": 71, "bottom_groups": 980 },
+  "engine_cache": { "hits": 1093, "misses": 267, "entries": 267, "hit_rate": 0.8037 }
+}"#;
+
+    #[test]
+    fn extracts_scoped_keys() {
+        assert_eq!(
+            extract(SAMPLE, "sweep", "rollup_ns_per_node"),
+            Some(109300.0)
+        );
+        assert_eq!(
+            extract(SAMPLE, "search", "rollup_ns_per_node"),
+            Some(115915.0)
+        );
+        assert_eq!(
+            extract(SAMPLE, "parallel", "steal_ns_per_node"),
+            Some(31746.0)
+        );
+        assert_eq!(extract(SAMPLE, "search", "rollup_ms"), Some(7.303));
+        assert_eq!(extract(SAMPLE, "engine_cache", "hit_rate"), Some(0.8037));
+        // Keys do not leak across section boundaries.
+        assert_eq!(extract(SAMPLE, "rollup", "rollup_ns_per_node"), None);
+        assert_eq!(extract(SAMPLE, "nonexistent", "speedup"), None);
+    }
+
+    #[test]
+    fn gate_rows_compare_against_ratio() {
+        let pass = GateRow::new("m", 100.0, 149.0, 1.5);
+        assert!(pass.passed);
+        let fail = GateRow::new("m", 100.0, 151.0, 1.5);
+        assert!(!fail.passed);
+        let degenerate = GateRow::new("m", 0.0, 1.0, 1.5);
+        assert!(!degenerate.passed);
+    }
+
+    #[test]
+    fn run_passes_identical_files_and_fails_regressions() {
+        let dir = std::env::temp_dir().join("wcbk_bench_gate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cand = dir.join("cand.json");
+        std::fs::write(&base, SAMPLE).unwrap();
+        std::fs::write(&cand, SAMPLE).unwrap();
+        let args = |extra: &[&str]| -> Vec<String> {
+            [base.to_str().unwrap(), cand.to_str().unwrap()]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .chain(extra.iter().map(|s| (*s).to_owned()))
+                .collect()
+        };
+        assert!(run(&args(&[])).unwrap(), "identical files must pass");
+
+        // Regress the candidate's search ns/node 2x: must fail at 1.5.
+        let regressed = SAMPLE.replace(
+            "\"rollup_ns_per_node\": 115915",
+            "\"rollup_ns_per_node\": 231830",
+        );
+        std::fs::write(&cand, regressed).unwrap();
+        assert!(!run(&args(&[])).unwrap(), "2x regression must fail");
+        assert!(
+            run(&args(&["--max-ratio", "2.5"])).unwrap(),
+            "2x regression passes a 2.5x gate"
+        );
+
+        // A summary file gets the markdown appended.
+        std::fs::write(&cand, SAMPLE).unwrap();
+        let summary = dir.join("summary.md");
+        let _ = std::fs::remove_file(&summary);
+        let mut with_summary = args(&[]);
+        with_summary.extend(["--summary".to_owned(), summary.to_str().unwrap().to_owned()]);
+        assert!(run(&with_summary).unwrap());
+        let text = std::fs::read_to_string(&summary).unwrap();
+        assert!(text.contains("bench-gate"), "{text}");
+        assert!(text.contains("| sweep rollup ns/node |"), "{text}");
+    }
+
+    #[test]
+    fn missing_baseline_metric_is_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join("wcbk_bench_gate_skip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cand = dir.join("cand.json");
+        // A baseline from before the parallel section existed.
+        let old = SAMPLE
+            .lines()
+            .filter(|l| !l.contains("\"parallel\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        std::fs::write(&base, old).unwrap();
+        std::fs::write(&cand, SAMPLE).unwrap();
+        let args: Vec<String> = [base.to_str().unwrap(), cand.to_str().unwrap()]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert!(run(&args).unwrap());
+    }
+}

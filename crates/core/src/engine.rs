@@ -211,6 +211,19 @@ impl DisclosureEngine {
             .collect();
         Ok(IncrementalDisclosure::new(buckets, self.k))
     }
+
+    /// Builds an incremental session straight from a histogram-only view —
+    /// the composition streaming publishers use: per-bucket histograms are
+    /// maintained as a [`HistogramSet`], audited and what-if-probed through
+    /// [`IncrementalDisclosure`], with no [`Bucketization`] (i.e. no tuple
+    /// membership) ever materialized.
+    pub fn incremental_set(&self, h: &HistogramSet) -> Result<IncrementalDisclosure, CoreError> {
+        if h.n_buckets() == 0 {
+            return Err(CoreError::EmptyBucketization);
+        }
+        let buckets: Vec<BucketCosts> = h.histograms().iter().map(|x| self.costs(x)).collect();
+        Ok(IncrementalDisclosure::new(buckets, self.k))
+    }
 }
 
 /// Prefix analogue of [`SuffixTable`]: `P(i, h, placed)` = minimum cost over
@@ -446,6 +459,22 @@ mod tests {
                     .max_disclosure_value_set(&HistogramSet::from_bucketization(&b))
                     .unwrap();
                 assert_eq!(via_buckets.to_bits(), via_set.to_bits(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_set_matches_incremental() {
+        for k in 0..=3 {
+            let engine = DisclosureEngine::new(k);
+            for b in [figure3(), four_buckets()] {
+                let from_buckets = engine.incremental(&b).unwrap();
+                let from_set = engine
+                    .incremental_set(&HistogramSet::from_bucketization(&b))
+                    .unwrap();
+                assert_eq!(from_buckets.n_buckets(), from_set.n_buckets());
+                assert_eq!(from_buckets.value().to_bits(), from_set.value().to_bits());
+                assert_eq!(from_buckets.r_min().to_bits(), from_set.r_min().to_bits());
             }
         }
     }

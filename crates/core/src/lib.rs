@@ -25,6 +25,10 @@
 //! 7. [`engine`] adds histogram-keyed memoization across bucketizations and
 //!    `O(k²)` what-if re-evaluation when single buckets change
 //!    (the incremental remark closing Section 3.3.3).
+//! 8. [`sched`] is the scheduler-visible verdict/pruning surface: a
+//!    work-stealing evaluator for monotone-pruned DAGs, which the lattice
+//!    searches in `wcbk-anonymize` drive whole-lattice instead of
+//!    level-synchronously.
 //!
 //! Two errata in the paper's Algorithm 2 pseudocode are corrected here (the
 //! base case and the initial flag value); see `DESIGN.md` and the
@@ -42,6 +46,7 @@ pub mod minimize2;
 pub mod negation;
 pub mod partial_order;
 pub mod safety;
+pub mod sched;
 
 pub use bucket::{Bucket, Bucketization};
 pub use cost::{cost_negation_max_disclosure, CostNegationResult, CostVector};
@@ -52,3 +57,6 @@ pub use histogram::SensitiveHistogram;
 pub use histogram_set::HistogramSet;
 pub use negation::{negation_max_disclosure, NegationResult};
 pub use safety::{is_ck_safe, CkSafety};
+pub use sched::{
+    evaluate_sequential, evaluate_work_stealing, MonotoneDag, NodeResolution, ScheduleOutcome,
+};

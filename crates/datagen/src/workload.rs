@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use wcbk_core::{Bucket, Bucketization};
+use wcbk_core::{Bucket, Bucketization, HistogramSet};
 use wcbk_table::{SValue, TupleId};
 
 use crate::dist::{zipf_weights, Discrete};
@@ -81,6 +81,15 @@ fn shuffle<T, R: Rng>(items: &mut [T], rng: &mut R) {
     }
 }
 
+/// The histogram-only view of [`random_bucketization`]'s workload —
+/// bit-identical histograms for identical configs, handed over without
+/// bucket membership. This is the natural input for histogram-only
+/// consumers — the criteria surfaces, `DisclosureEngine::incremental_set` —
+/// which never look at membership.
+pub fn random_histogram_set(config: WorkloadConfig) -> HistogramSet {
+    HistogramSet::from_bucketization(&random_bucketization(config))
+}
+
 /// A family of increasingly fine/coarse workloads for scaling benchmarks:
 /// `sizes` bucket counts, all other parameters shared.
 pub fn scaling_series(bucket_counts: &[usize], base: WorkloadConfig) -> Vec<Bucketization> {
@@ -113,6 +122,24 @@ mod tests {
         assert_eq!(b.domain_size(), 5);
         for bucket in b.buckets() {
             assert!((3..=7).contains(&(bucket.n() as usize)));
+        }
+    }
+
+    #[test]
+    fn histogram_set_matches_bucketization_draws() {
+        let config = WorkloadConfig {
+            n_buckets: 12,
+            bucket_size: (2, 9),
+            n_values: 7,
+            skew: 1.4,
+            seed: 99,
+        };
+        let b = random_bucketization(config);
+        let h = random_histogram_set(config);
+        assert_eq!(h.n_buckets(), b.n_buckets());
+        assert_eq!(h.domain_size(), b.domain_size());
+        for (hist, bucket) in h.histograms().iter().zip(b.buckets()) {
+            assert_eq!(hist, bucket.histogram());
         }
     }
 

@@ -8,14 +8,27 @@
 //! table rows. [`NodeEvaluator`] exploits this:
 //!
 //! * Construction scans the table **once**, packing each row's base
-//!   quasi-identifier codes into a single `u64` signature (no per-row heap
+//!   quasi-identifier codes into a single integer signature (no per-row heap
 //!   allocation) and tallying sensitive counts per distinct signature — the
-//!   bottom node's group table.
+//!   bottom node's group table. Signatures are `u64` when the packed fields
+//!   fit 64 bits and `u128` up to 128 bits; wider tables fail with
+//!   [`HierarchyError::SignatureOverflow`] and callers fall back to the
+//!   legacy re-scanning path.
 //! * Any other node's histograms are derived without row access: from a
-//!   memoized immediate predecessor by re-keying one dimension through its
-//!   [`Hierarchy::parent_map`], or from the bottom table by re-keying every
-//!   dimension through its [`Hierarchy::level_map`]. Either way the cost is
-//!   `O(groups × dims)`, not `O(rows × dims)`.
+//!   memoized immediate predecessor by re-keying one dimension one level up,
+//!   or — when eviction or out-of-order (work-stealing, speculative)
+//!   evaluation has left no immediate predecessor behind — from the
+//!   **coarsest retained ancestor**, re-keying each differing dimension
+//!   through a composed parent map. The bottom table is always retained, so
+//!   a source always exists. Either way the cost is `O(groups × dims)`, not
+//!   `O(rows × dims)`.
+//! * The memo is **capacity-bounded** (see
+//!   [`NodeEvaluator::with_memo_capacity`]): beyond the entry cap the
+//!   least-recently-touched node table is evicted, so deep lattices don't
+//!   hold every node's group table. Derivation sources are a cache, not a
+//!   correctness input — any ancestor yields bit-identical histograms in the
+//!   same first-row-occurrence bucket order, so eviction never changes
+//!   results.
 //! * Results are [`HistogramSet`]s — the histogram-only surface `wcbk-core`'s
 //!   criteria evaluate — in **exactly** the bucket order
 //!   [`GeneralizationLattice::bucketize`] produces (first row occurrence),
@@ -24,7 +37,9 @@
 //! The evaluator is `Sync` (memo behind an `RwLock`, counters atomic), so
 //! one instance serves all workers of the parallel lattice search.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -33,22 +48,71 @@ use wcbk_table::{SValue, Table};
 
 use crate::{GenNode, GeneralizationLattice, Hierarchy, HierarchyError};
 
+/// A packed per-row quasi-identifier signature: one bit field per dimension,
+/// wide enough for that dimension's largest per-level group id.
+trait Signature: Copy + Eq + Hash + Send + Sync {
+    /// Total bits available in this representation.
+    const BITS: u32;
+    fn zero() -> Self;
+    /// Extracts the field at `shift` under `mask` as a group index.
+    fn field(self, shift: u32, mask: u64) -> usize;
+    /// Replaces the field at `shift` under `mask` with `group`.
+    fn with_field(self, shift: u32, mask: u64, group: u32) -> Self;
+}
+
+impl Signature for u64 {
+    const BITS: u32 = 64;
+
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn field(self, shift: u32, mask: u64) -> usize {
+        ((self >> shift) & mask) as usize
+    }
+
+    #[inline]
+    fn with_field(self, shift: u32, mask: u64, group: u32) -> Self {
+        (self & !(mask << shift)) | (u64::from(group) << shift)
+    }
+}
+
+impl Signature for u128 {
+    const BITS: u32 = 128;
+
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn field(self, shift: u32, mask: u64) -> usize {
+        ((self >> shift) as u64 & mask) as usize
+    }
+
+    #[inline]
+    fn with_field(self, shift: u32, mask: u64, group: u32) -> Self {
+        (self & !(u128::from(mask) << shift)) | (u128::from(group) << shift)
+    }
+}
+
 /// One node's grouped view: packed signature and sparse sensitive counts per
 /// bucket, in first-row-occurrence order (the `bucketize` bucket order).
 #[derive(Debug, Clone)]
-struct NodeTable {
-    sigs: Vec<u64>,
+struct NodeTable<S> {
+    sigs: Vec<S>,
     /// `(value, count)` pairs sorted by value code, per bucket.
     counts: Vec<Vec<(SValue, u64)>>,
 }
 
-impl NodeTable {
+impl<S: Signature> NodeTable<S> {
     /// Groups `source`'s entries under re-keyed signatures, merging counts.
     /// First-occurrence order over `source` entries preserves the row
-    /// first-occurrence bucket order transitively.
-    fn derive(source: &NodeTable, rekey: impl Fn(u64) -> u64) -> NodeTable {
-        let mut index: HashMap<u64, usize> = HashMap::with_capacity(source.sigs.len());
-        let mut sigs: Vec<u64> = Vec::new();
+    /// first-occurrence bucket order transitively — from *any* ancestor, so
+    /// the derivation source never affects results.
+    fn derive(source: &NodeTable<S>, rekey: impl Fn(S) -> S) -> NodeTable<S> {
+        let mut index: HashMap<S, usize> = HashMap::with_capacity(source.sigs.len());
+        let mut sigs: Vec<S> = Vec::new();
         let mut tallies: Vec<HashMap<SValue, u64>> = Vec::new();
         for (i, &sig) in source.sigs.iter().enumerate() {
             let new_sig = rekey(sig);
@@ -97,15 +161,28 @@ pub struct RollupStats {
     pub table_scans: u64,
     /// Node tables derived by merging (i.e. evaluated without row access).
     pub derived: u64,
+    /// Derivations that could not re-key a memoized immediate predecessor
+    /// and fell back to a retained (possibly bottom) ancestor instead.
+    pub ancestor_derived: u64,
     /// Node evaluations answered straight from the memo.
     pub memo_hits: u64,
+    /// Memoized node tables evicted to respect the entry cap.
+    pub evictions: u64,
+    /// Node tables currently memoized (bottom excluded; it is kept
+    /// separately and never evicted).
+    pub memo_entries: usize,
     /// Distinct signatures at the lattice bottom (the scan's output size).
     pub bottom_groups: usize,
 }
 
-/// Evaluates lattice nodes from one columnar table scan plus histogram
-/// roll-ups — see the module docs.
-pub struct NodeEvaluator<'a> {
+/// A memoized node table plus its last-touch tick for LRU eviction.
+struct MemoEntry<S> {
+    table: Arc<NodeTable<S>>,
+    touch: AtomicU64,
+}
+
+/// The signature-width-generic core of [`NodeEvaluator`].
+struct RollupEngine<'a, S> {
     lattice: &'a GeneralizationLattice,
     domain_size: u32,
     /// Bit offset of each dimension's field within a packed signature.
@@ -114,38 +191,60 @@ pub struct NodeEvaluator<'a> {
     masks: Vec<u64>,
     /// `parent_maps[d][l]`: dimension `d`'s level-`l` → level-`l+1` map.
     parent_maps: Vec<Vec<Vec<u32>>>,
-    /// The bottom node's table, built by the single scan.
-    bottom: Arc<NodeTable>,
-    memo: RwLock<HashMap<GenNode, Arc<NodeTable>>>,
+    /// The bottom node's table, built by the single scan. Never evicted, so
+    /// ancestor derivation always has a source.
+    bottom: Arc<NodeTable<S>>,
+    memo: RwLock<HashMap<GenNode, MemoEntry<S>>>,
+    /// Entry cap for `memo` (`None` = unbounded).
+    capacity: Option<usize>,
+    /// Monotone tick supplying `MemoEntry::touch` values.
+    clock: AtomicU64,
     derived: AtomicU64,
+    ancestor_derived: AtomicU64,
     memo_hits: AtomicU64,
+    evictions: AtomicU64,
 }
 
-impl<'a> NodeEvaluator<'a> {
-    /// Builds the evaluator with exactly one scan over `table`.
-    ///
-    /// Fails with [`HierarchyError::SignatureOverflow`] when the packed
-    /// per-row signature does not fit 64 bits (callers then fall back to the
-    /// row-scanning `bucketize` path).
-    pub fn new(table: &Table, lattice: &'a GeneralizationLattice) -> Result<Self, HierarchyError> {
-        let n_dims = lattice.n_dims();
-        let mut shifts = Vec::with_capacity(n_dims);
-        let mut masks = Vec::with_capacity(n_dims);
-        let mut total_bits: u32 = 0;
-        for d in 0..n_dims {
-            let h = lattice.hierarchy(d);
-            // The field must hold group ids of *every* level (re-keying
-            // writes coarser ids into the same slot).
-            let max_groups = (0..h.n_levels()).map(|l| h.n_groups(l)).max().unwrap_or(1);
-            let bits = bits_for(max_groups);
-            shifts.push(total_bits);
-            masks.push(if bits == 0 { 0 } else { (!0u64) >> (64 - bits) });
-            total_bits += bits;
-        }
-        if total_bits > 64 {
-            return Err(HierarchyError::SignatureOverflow { bits: total_bits });
-        }
+/// The per-dimension field layout, shared by both signature widths.
+struct Layout {
+    shifts: Vec<u32>,
+    masks: Vec<u64>,
+    total_bits: u32,
+}
 
+fn layout(lattice: &GeneralizationLattice) -> Layout {
+    let n_dims = lattice.n_dims();
+    let mut shifts = Vec::with_capacity(n_dims);
+    let mut masks = Vec::with_capacity(n_dims);
+    let mut total_bits: u32 = 0;
+    for d in 0..n_dims {
+        let h = lattice.hierarchy(d);
+        // The field must hold group ids of *every* level (re-keying
+        // writes coarser ids into the same slot).
+        let max_groups = (0..h.n_levels()).map(|l| h.n_groups(l)).max().unwrap_or(1);
+        let bits = bits_for(max_groups);
+        shifts.push(total_bits);
+        masks.push(if bits == 0 { 0 } else { (!0u64) >> (64 - bits) });
+        total_bits += bits;
+    }
+    Layout {
+        shifts,
+        masks,
+        total_bits,
+    }
+}
+
+impl<'a, S: Signature> RollupEngine<'a, S> {
+    /// Builds the engine with exactly one scan over `table`; the caller has
+    /// already checked that `layout.total_bits <= S::BITS`.
+    fn new(
+        table: &Table,
+        lattice: &'a GeneralizationLattice,
+        layout: Layout,
+        capacity: Option<usize>,
+    ) -> Self {
+        let n_dims = lattice.n_dims();
+        debug_assert!(layout.total_bits <= S::BITS);
         let parent_maps: Vec<Vec<Vec<u32>>> = (0..n_dims)
             .map(|d| {
                 let h: &Hierarchy = lattice.hierarchy(d);
@@ -154,16 +253,16 @@ impl<'a> NodeEvaluator<'a> {
             .collect();
 
         // The single columnar scan: pack base codes, tally sensitive values.
-        let mut index: HashMap<u64, usize> = HashMap::new();
-        let mut sigs: Vec<u64> = Vec::new();
+        let mut index: HashMap<S, usize> = HashMap::new();
+        let mut sigs: Vec<S> = Vec::new();
         let mut tallies: Vec<HashMap<SValue, u64>> = Vec::new();
         let columns: Vec<&[u32]> = (0..n_dims)
             .map(|d| table.column(lattice.column(d)).codes())
             .collect();
         for row in 0..table.n_rows() {
-            let mut sig = 0u64;
+            let mut sig = S::zero();
             for (d, codes) in columns.iter().enumerate() {
-                sig |= u64::from(codes[row]) << shifts[d];
+                sig = sig.with_field(layout.shifts[d], layout.masks[d], codes[row]);
             }
             let gi = *index.entry(sig).or_insert_with(|| {
                 sigs.push(sig);
@@ -179,39 +278,271 @@ impl<'a> NodeEvaluator<'a> {
             counts: tallies.into_iter().map(sorted_counts).collect(),
         });
 
-        Ok(Self {
+        Self {
             lattice,
             domain_size: table.sensitive_cardinality() as u32,
-            shifts,
-            masks,
+            shifts: layout.shifts,
+            masks: layout.masks,
             parent_maps,
             bottom,
             memo: RwLock::new(HashMap::new()),
+            capacity: capacity.map(|c| c.max(1)),
+            clock: AtomicU64::new(0),
             derived: AtomicU64::new(0),
+            ancestor_derived: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
-        })
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn stats(&self) -> RollupStats {
+        RollupStats {
+            table_scans: 1,
+            derived: self.derived.load(Ordering::Relaxed),
+            ancestor_derived: self.ancestor_derived.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            memo_entries: self.memo.read().expect("rollup memo poisoned").len(),
+            bottom_groups: self.bottom.sigs.len(),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn histograms(&self, node: &GenNode) -> Result<HistogramSet, HierarchyError> {
+        self.lattice.validate(node)?;
+        self.node_table(node).histogram_set(self.domain_size)
+    }
+
+    fn histograms_subset(
+        &self,
+        dims: &[usize],
+        levels: &[usize],
+    ) -> Result<HistogramSet, HierarchyError> {
+        let maps: Vec<(usize, &[u32])> = dims
+            .iter()
+            .zip(levels)
+            .map(|(&d, &level)| (d, self.lattice.hierarchy(d).level_map(level)))
+            .collect();
+        let table = NodeTable::derive(&self.bottom, |sig| {
+            let mut out = S::zero();
+            for &(d, map) in &maps {
+                let base = sig.field(self.shifts[d], self.masks[d]);
+                out = out.with_field(self.shifts[d], self.masks[d], map[base]);
+            }
+            out
+        });
+        self.derived.fetch_add(1, Ordering::Relaxed);
+        table.histogram_set(self.domain_size)
+    }
+
+    /// The map taking dimension `d`'s level-`from` group ids to level-`to`
+    /// ids: a stored single-step parent map, the hierarchy's base-level map,
+    /// or a fold of the parent maps in between.
+    fn cross_map(&self, d: usize, from: usize, to: usize) -> Cow<'_, [u32]> {
+        debug_assert!(from < to);
+        if to == from + 1 {
+            return Cow::Borrowed(&self.parent_maps[d][from]);
+        }
+        if from == 0 {
+            return Cow::Borrowed(self.lattice.hierarchy(d).level_map(to));
+        }
+        let mut map = self.parent_maps[d][from].clone();
+        for l in from + 1..to {
+            let step = &self.parent_maps[d][l];
+            for g in map.iter_mut() {
+                *g = step[*g as usize];
+            }
+        }
+        Cow::Owned(map)
+    }
+
+    /// Fetches or derives `node`'s group table. Prefers re-keying a single
+    /// dimension of a memoized immediate predecessor (`O(groups)`); falls
+    /// back to the coarsest retained ancestor — ultimately the bottom table,
+    /// which is never evicted.
+    fn node_table(&self, node: &GenNode) -> Arc<NodeTable<S>> {
+        if node.height() == 0 {
+            return Arc::clone(&self.bottom);
+        }
+        // Source selection: memoized node itself → immediate predecessor →
+        // coarsest retained ancestor → bottom.
+        let mut source: Option<(Arc<NodeTable<S>>, GenNode)> = None;
+        {
+            let memo = self.memo.read().expect("rollup memo poisoned");
+            if let Some(e) = memo.get(node) {
+                e.touch.store(self.tick(), Ordering::Relaxed);
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(&e.table);
+            }
+            for d in 0..self.lattice.n_dims() {
+                if node.0[d] == 0 {
+                    continue;
+                }
+                let mut pred = node.clone();
+                pred.0[d] -= 1;
+                if pred.height() == 0 {
+                    source = Some((Arc::clone(&self.bottom), pred));
+                    break;
+                }
+                if let Some(e) = memo.get(&pred) {
+                    e.touch.store(self.tick(), Ordering::Relaxed);
+                    source = Some((Arc::clone(&e.table), pred));
+                    break;
+                }
+            }
+            if source.is_none() {
+                // Coarsest retained ancestor: any memoized strictly-finer
+                // node works (derivation is source-independent); the highest
+                // one needs the fewest merge steps.
+                let mut best: Option<(&MemoEntry<S>, &GenNode)> = None;
+                for (cand, entry) in memo.iter() {
+                    if cand.le(node)
+                        && best
+                            .as_ref()
+                            .is_none_or(|(_, b)| cand.height() > b.height())
+                    {
+                        best = Some((entry, cand));
+                    }
+                }
+                if let Some((entry, cand)) = best {
+                    entry.touch.store(self.tick(), Ordering::Relaxed);
+                    source = Some((Arc::clone(&entry.table), cand.clone()));
+                }
+                self.ancestor_derived.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (src_table, src_node) =
+            source.unwrap_or_else(|| (Arc::clone(&self.bottom), self.lattice.bottom()));
+
+        // Re-key every dimension whose level differs, through (possibly
+        // composed) parent maps.
+        let maps: Vec<(u32, u64, Cow<'_, [u32]>)> = (0..self.lattice.n_dims())
+            .filter(|&d| src_node.0[d] < node.0[d])
+            .map(|d| {
+                (
+                    self.shifts[d],
+                    self.masks[d],
+                    self.cross_map(d, src_node.0[d], node.0[d]),
+                )
+            })
+            .collect();
+        let table = NodeTable::derive(&src_table, |sig| {
+            let mut out = sig;
+            for (shift, mask, map) in &maps {
+                let group = out.field(*shift, *mask);
+                out = out.with_field(*shift, *mask, map[group]);
+            }
+            out
+        });
+        self.derived.fetch_add(1, Ordering::Relaxed);
+        self.insert_memo(node.clone(), Arc::new(table))
+    }
+
+    /// Inserts under the entry cap, evicting least-recently-touched tables
+    /// first. (The bottom table lives outside the memo and is exempt.)
+    fn insert_memo(&self, node: GenNode, table: Arc<NodeTable<S>>) -> Arc<NodeTable<S>> {
+        let mut memo = self.memo.write().expect("rollup memo poisoned");
+        if let Some(cap) = self.capacity {
+            while memo.len() >= cap && !memo.contains_key(&node) {
+                let victim = memo
+                    .iter()
+                    .min_by_key(|(_, e)| e.touch.load(Ordering::Relaxed))
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(k) => {
+                        memo.remove(&k);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+        }
+        let touch = self.tick();
+        let entry = memo.entry(node).or_insert_with(|| MemoEntry {
+            table,
+            touch: AtomicU64::new(touch),
+        });
+        Arc::clone(&entry.table)
+    }
+}
+
+/// The two signature widths an evaluator can run at.
+enum Inner<'a> {
+    Narrow(RollupEngine<'a, u64>),
+    Wide(RollupEngine<'a, u128>),
+}
+
+/// Evaluates lattice nodes from one columnar table scan plus histogram
+/// roll-ups — see the module docs.
+pub struct NodeEvaluator<'a> {
+    inner: Inner<'a>,
+}
+
+impl<'a> NodeEvaluator<'a> {
+    /// Builds the evaluator with exactly one scan over `table` and an
+    /// unbounded memo (every derived node table is retained).
+    ///
+    /// Fails with [`HierarchyError::SignatureOverflow`] when the packed
+    /// per-row signature does not fit 128 bits (callers then fall back to
+    /// the row-scanning `bucketize` path).
+    pub fn new(table: &Table, lattice: &'a GeneralizationLattice) -> Result<Self, HierarchyError> {
+        Self::with_memo_capacity(table, lattice, None)
+    }
+
+    /// [`NodeEvaluator::new`] with a cap on memoized node tables:
+    /// `capacity = Some(n)` retains at most `n.max(1)` derived tables,
+    /// evicting the least recently touched. Derivations that miss every
+    /// immediate predecessor re-key the coarsest retained ancestor (at worst
+    /// the bottom table, which is held outside the cap), so results are
+    /// identical at any capacity — only derivation cost varies.
+    pub fn with_memo_capacity(
+        table: &Table,
+        lattice: &'a GeneralizationLattice,
+        capacity: Option<usize>,
+    ) -> Result<Self, HierarchyError> {
+        let l = layout(lattice);
+        let inner = if l.total_bits <= u64::BITS {
+            Inner::Narrow(RollupEngine::new(table, lattice, l, capacity))
+        } else if l.total_bits <= u128::BITS {
+            Inner::Wide(RollupEngine::new(table, lattice, l, capacity))
+        } else {
+            return Err(HierarchyError::SignatureOverflow { bits: l.total_bits });
+        };
+        Ok(Self { inner })
     }
 
     /// The lattice this evaluator serves.
     pub fn lattice(&self) -> &GeneralizationLattice {
-        self.lattice
+        match &self.inner {
+            Inner::Narrow(e) => e.lattice,
+            Inner::Wide(e) => e.lattice,
+        }
     }
 
-    /// Work counters (scan count, derivations, memo hits).
+    /// Whether signatures are packed into `u64` (`false`: the `u128`
+    /// wide-table fallback is active).
+    pub fn is_narrow(&self) -> bool {
+        matches!(self.inner, Inner::Narrow(_))
+    }
+
+    /// Work counters (scan count, derivations, memo traffic, evictions).
     pub fn stats(&self) -> RollupStats {
-        RollupStats {
-            table_scans: 1,
-            derived: self.derived.load(Ordering::Relaxed),
-            memo_hits: self.memo_hits.load(Ordering::Relaxed),
-            bottom_groups: self.bottom.sigs.len(),
+        match &self.inner {
+            Inner::Narrow(e) => e.stats(),
+            Inner::Wide(e) => e.stats(),
         }
     }
 
     /// The histograms `node` induces, in `bucketize` bucket order — derived
     /// by roll-up, never by re-scanning the table.
     pub fn histograms(&self, node: &GenNode) -> Result<HistogramSet, HierarchyError> {
-        self.lattice.validate(node)?;
-        self.node_table(node).histogram_set(self.domain_size)
+        match &self.inner {
+            Inner::Narrow(e) => e.histograms(node),
+            Inner::Wide(e) => e.histograms(node),
+        }
     }
 
     /// The histograms of the projection onto `dims` at `levels` (the
@@ -222,6 +553,7 @@ impl<'a> NodeEvaluator<'a> {
         dims: &[usize],
         levels: &[usize],
     ) -> Result<HistogramSet, HierarchyError> {
+        let lattice = self.lattice();
         if dims.len() != levels.len() {
             return Err(HierarchyError::DimensionMismatch {
                 expected: dims.len(),
@@ -229,98 +561,24 @@ impl<'a> NodeEvaluator<'a> {
             });
         }
         for (&d, &level) in dims.iter().zip(levels) {
-            if d >= self.lattice.n_dims() {
+            if d >= lattice.n_dims() {
                 return Err(HierarchyError::DimensionMismatch {
-                    expected: self.lattice.n_dims(),
+                    expected: lattice.n_dims(),
                     found: d + 1,
                 });
             }
-            if level >= self.lattice.hierarchy(d).n_levels() {
+            if level >= lattice.hierarchy(d).n_levels() {
                 return Err(HierarchyError::LevelOutOfRange {
                     attribute: d,
                     level,
-                    n_levels: self.lattice.hierarchy(d).n_levels(),
+                    n_levels: lattice.hierarchy(d).n_levels(),
                 });
             }
         }
-        let maps: Vec<(usize, &[u32])> = dims
-            .iter()
-            .zip(levels)
-            .map(|(&d, &level)| (d, self.lattice.hierarchy(d).level_map(level)))
-            .collect();
-        let table = NodeTable::derive(&self.bottom, |sig| {
-            let mut out = 0u64;
-            for &(d, map) in &maps {
-                let base = (sig >> self.shifts[d]) & self.masks[d];
-                out |= u64::from(map[base as usize]) << self.shifts[d];
-            }
-            out
-        });
-        self.derived.fetch_add(1, Ordering::Relaxed);
-        table.histogram_set(self.domain_size)
-    }
-
-    /// Fetches or derives `node`'s group table. Prefers re-keying a single
-    /// dimension of a memoized immediate predecessor (`O(groups)`); falls
-    /// back to re-keying every dimension of the bottom table.
-    fn node_table(&self, node: &GenNode) -> Arc<NodeTable> {
-        if node.height() == 0 {
-            return Arc::clone(&self.bottom);
+        match &self.inner {
+            Inner::Narrow(e) => e.histograms_subset(dims, levels),
+            Inner::Wide(e) => e.histograms_subset(dims, levels),
         }
-        if let Some(t) = self.memo.read().expect("rollup memo poisoned").get(node) {
-            self.memo_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(t);
-        }
-
-        // A memoized immediate predecessor lets us re-key one dimension.
-        let mut source: Option<(Arc<NodeTable>, usize)> = None;
-        {
-            let memo = self.memo.read().expect("rollup memo poisoned");
-            for d in 0..self.lattice.n_dims() {
-                if node.0[d] == 0 {
-                    continue;
-                }
-                let mut pred = node.clone();
-                pred.0[d] -= 1;
-                if pred.height() == 0 {
-                    source = Some((Arc::clone(&self.bottom), d));
-                    break;
-                }
-                if let Some(t) = memo.get(&pred) {
-                    source = Some((Arc::clone(t), d));
-                    break;
-                }
-            }
-        }
-
-        let table = match source {
-            Some((pred_table, d)) => {
-                let parent = &self.parent_maps[d][node.0[d] - 1];
-                let shift = self.shifts[d];
-                let mask = self.masks[d];
-                NodeTable::derive(&pred_table, |sig| {
-                    let group = (sig >> shift) & mask;
-                    (sig & !(mask << shift)) | (u64::from(parent[group as usize]) << shift)
-                })
-            }
-            None => {
-                let maps: Vec<&[u32]> = (0..self.lattice.n_dims())
-                    .map(|d| self.lattice.hierarchy(d).level_map(node.0[d]))
-                    .collect();
-                NodeTable::derive(&self.bottom, |sig| {
-                    let mut out = 0u64;
-                    for (d, map) in maps.iter().enumerate() {
-                        let base = (sig >> self.shifts[d]) & self.masks[d];
-                        out |= u64::from(map[base as usize]) << self.shifts[d];
-                    }
-                    out
-                })
-            }
-        };
-        self.derived.fetch_add(1, Ordering::Relaxed);
-        let table = Arc::new(table);
-        let mut memo = self.memo.write().expect("rollup memo poisoned");
-        Arc::clone(memo.entry(node.clone()).or_insert(table))
     }
 }
 
@@ -388,7 +646,57 @@ mod tests {
         assert_eq!(stats.table_scans, 1);
         assert_eq!(stats.derived as usize, lattice.n_nodes() - 1);
         assert_eq!(stats.memo_hits as usize, lattice.n_nodes() - 1);
+        assert_eq!(stats.memo_entries, lattice.n_nodes() - 1);
+        assert_eq!(stats.evictions, 0);
         assert_eq!(stats.bottom_groups, 10); // hospital rows are all distinct
+    }
+
+    /// A capped memo evicts, falls back to ancestor derivation, and still
+    /// produces histograms identical to `bucketize` at every node — in any
+    /// evaluation order.
+    #[test]
+    fn capped_memo_evicts_and_stays_correct() {
+        let (table, lattice) = hospital_lattice();
+        for cap in [1usize, 2, 3] {
+            let eval = NodeEvaluator::with_memo_capacity(&table, &lattice, Some(cap)).unwrap();
+            // Top-down order maximizes memo misses (predecessors evaluated
+            // after successors), then bottom-up for coverage.
+            let mut nodes = lattice.nodes();
+            nodes.reverse();
+            let forward = lattice.nodes();
+            for node in nodes.iter().chain(&forward) {
+                let rolled = eval.histograms(node).unwrap();
+                let scanned = lattice.bucketize(&table, node).unwrap();
+                assert_eq!(rolled.n_buckets(), scanned.n_buckets(), "cap {cap} {node}");
+                for (i, bucket) in scanned.buckets().iter().enumerate() {
+                    assert_eq!(
+                        &rolled.histograms()[i],
+                        bucket.histogram(),
+                        "cap {cap} node {node} bucket {i}"
+                    );
+                }
+            }
+            let stats = eval.stats();
+            assert!(stats.memo_entries <= cap, "cap {cap}: {stats:?}");
+            assert!(stats.evictions > 0, "cap {cap} never evicted: {stats:?}");
+            assert!(
+                stats.ancestor_derived > 0,
+                "cap {cap} never used the ancestor fallback: {stats:?}"
+            );
+        }
+    }
+
+    /// `Some(0)` behaves as a 1-entry cap rather than thrashing or panicking.
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let (table, lattice) = hospital_lattice();
+        let eval = NodeEvaluator::with_memo_capacity(&table, &lattice, Some(0)).unwrap();
+        for node in lattice.nodes() {
+            let rolled = eval.histograms(&node).unwrap();
+            let scanned = lattice.bucketize(&table, &node).unwrap();
+            assert_eq!(rolled.n_buckets(), scanned.n_buckets());
+        }
+        assert!(eval.stats().memo_entries <= 1);
     }
 
     #[test]
@@ -442,20 +750,56 @@ mod tests {
         ));
     }
 
+    /// 65–128 bits of packed codes now run on the `u128` representation
+    /// instead of falling back to row scans: 70 copies of the 1-bit Sex
+    /// dimension must produce `bucketize`-identical histograms.
     #[test]
-    fn wide_signatures_overflow_cleanly() {
-        // Sex is a 2-value domain → 1 bit per dimension; 70 copies of it
-        // need 70 bits, which must be rejected (callers then fall back to
-        // the row-scanning path).
+    fn wide_signatures_use_u128() {
         let table = hospital_table();
         let sex = table.column(3).dictionary().clone();
         let dims: Vec<(usize, Hierarchy)> = (0..70)
             .map(|_| (3usize, Hierarchy::suppression("Sex", &sex)))
             .collect();
         let lattice = GeneralizationLattice::new(dims).unwrap();
+        let eval = NodeEvaluator::new(&table, &lattice).unwrap();
+        assert!(!eval.is_narrow(), "70 bits should select the u128 engine");
+        // The full 2^70-node lattice is unenumerable; spot-check a mixed
+        // sample of nodes against the row-scanning baseline.
+        let mut nodes = vec![lattice.bottom(), lattice.top()];
+        nodes.push(GenNode((0..70).map(|d| usize::from(d % 2 == 0)).collect()));
+        nodes.push(GenNode((0..70).map(|d| usize::from(d < 35)).collect()));
+        nodes.push(GenNode((0..70).map(|d| usize::from(d == 69)).collect()));
+        for node in &nodes {
+            let rolled = eval.histograms(node).unwrap();
+            let scanned = lattice.bucketize(&table, node).unwrap();
+            assert_eq!(rolled.n_buckets(), scanned.n_buckets(), "node {node}");
+            for (i, bucket) in scanned.buckets().iter().enumerate() {
+                assert_eq!(&rolled.histograms()[i], bucket.histogram(), "{node}/{i}");
+            }
+        }
+        assert_eq!(eval.stats().table_scans, 1);
+    }
+
+    #[test]
+    fn narrow_signatures_stay_u64() {
+        let (table, lattice) = hospital_lattice();
+        let eval = NodeEvaluator::new(&table, &lattice).unwrap();
+        assert!(eval.is_narrow());
+    }
+
+    /// Beyond 128 bits the evaluator still fails cleanly (callers fall back
+    /// to the row-scanning path).
+    #[test]
+    fn very_wide_signatures_overflow_cleanly() {
+        let table = hospital_table();
+        let sex = table.column(3).dictionary().clone();
+        let dims: Vec<(usize, Hierarchy)> = (0..130)
+            .map(|_| (3usize, Hierarchy::suppression("Sex", &sex)))
+            .collect();
+        let lattice = GeneralizationLattice::new(dims).unwrap();
         assert!(matches!(
             NodeEvaluator::new(&table, &lattice),
-            Err(HierarchyError::SignatureOverflow { bits: 70 })
+            Err(HierarchyError::SignatureOverflow { bits: 130 })
         ));
     }
 

@@ -1,23 +1,27 @@
-//! Streaming publication with incremental safety monitoring.
+//! Streaming publication with incremental safety monitoring — histogram-only.
 //!
-//! A publisher maintains a bucketized release while the underlying cohort
-//! changes (new patient batches arrive, small buckets get merged). The
-//! incremental engine (Section 3.3.3's memo-reuse remark) answers
-//! "would this edit stay (c,k)-safe?" in `O(k²)` per what-if query instead
-//! of re-running the full `O(|B|·k³)` pipeline.
+//! A publisher maintains a release while the underlying cohort changes (new
+//! patient batches arrive, small buckets get merged). Everything the
+//! disclosure DP looks at is per-bucket sensitive histograms, so the monitor
+//! never materializes a `Bucketization` (tuple membership) at all: the
+//! release lives as a [`HistogramSet`], and the incremental engine
+//! (Section 3.3.3's memo-reuse remark) composed on top answers "would this
+//! edit stay (c,k)-safe?" in `O(k²)` per what-if query instead of re-running
+//! the full `O(|B|·k³)` pipeline.
 //!
 //! Run: `cargo run --release --example incremental_monitor`
 
 use wcbk::core::partial_order::merge_histograms;
-use wcbk::datagen::workload::{random_bucketization, WorkloadConfig};
+use wcbk::datagen::workload::{random_histogram_set, WorkloadConfig};
 use wcbk::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (c, k) = (0.8, 4);
     println!("monitoring a streaming release against ({c},{k})-safety\n");
 
-    // Initial release: 48 buckets of moderately skewed diagnoses.
-    let initial = random_bucketization(WorkloadConfig {
+    // Initial release: 48 buckets of moderately skewed diagnoses, kept as
+    // histograms only — no tuple ids anywhere in this example.
+    let initial: HistogramSet = random_histogram_set(WorkloadConfig {
         n_buckets: 48,
         bucket_size: (6, 24),
         n_values: 14,
@@ -25,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 2007,
     });
     let engine = DisclosureEngine::new(k);
-    let mut session = engine.incremental(&initial)?;
+    let mut session = engine.incremental_set(&initial)?;
     println!(
         "initial release: {} buckets, max disclosure {:.4} ({})",
         session.n_buckets(),
@@ -41,18 +45,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // break safety; the monitor checks before committing.
     println!("\n-- scenario 1: appending incoming batches --");
     for (i, skew) in [(1u64, 0.3), (2, 1.8), (3, 3.5)] {
-        let batch = random_bucketization(WorkloadConfig {
+        let batch = random_histogram_set(WorkloadConfig {
             n_buckets: 1,
             bucket_size: (10, 10),
             n_values: 14,
             skew,
             seed: 9000 + i,
         });
-        let hist = batch.bucket(0).histogram().clone();
+        let hist = batch.histograms()[0].clone();
         let costs = engine.costs(&hist);
         // What-if: session with the batch appended. (The prefix/suffix
         // composition treats an append as replacing the virtual end.)
-        let mut probe = engine.incremental(&initial)?;
+        let mut probe = engine.incremental_set(&initial)?;
         probe.push(costs.clone());
         let value = probe.value();
         let verdict = if value < c {
@@ -74,23 +78,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.value()
     );
 
-    // Scenario 2: repairing a risky bucket by merging it with a neighbour.
+    // Scenario 2: repairing a risky bucket by merging it with a neighbour —
+    // histogram merges compose with the incremental session directly.
     println!("\n-- scenario 2: what-if merges to repair skewed buckets --");
     let current = session.value();
     let mut best: Option<(usize, f64)> = None;
-    for i in 0..session.n_buckets() - 1 {
-        let merged = merge_histograms(
-            initial.bucket(i.min(initial.n_buckets() - 1)).histogram(),
-            initial
-                .bucket((i + 1).min(initial.n_buckets() - 1))
-                .histogram(),
-        );
+    for i in 0..initial.n_buckets() - 1 {
+        let merged = merge_histograms(&initial.histograms()[i], &initial.histograms()[i + 1]);
         let costs = engine.costs(&merged);
-        if i + 1 < initial.n_buckets() {
-            let v = session.what_if_merge_adjacent(i, &costs)?;
-            if best.as_ref().is_none_or(|&(_, bv)| v < bv) {
-                best = Some((i, v));
-            }
+        let v = session.what_if_merge_adjacent(i, &costs)?;
+        if best.as_ref().is_none_or(|&(_, bv)| v < bv) {
+            best = Some((i, v));
         }
     }
     if let Some((i, v)) = best {
@@ -100,16 +98,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Scenario 3: full re-audit with witness, to file with the release.
+    // Scenario 3: audit trail. The histogram surface answers the value
+    // directly; witness reconstruction (the actual worst-case implications)
+    // needs tuple membership, so a publisher wanting one would bucketize —
+    // the monitor itself never has to.
     println!("\n-- scenario 3: audit trail --");
-    let report = engine.max_disclosure(&initial)?;
+    let audited = engine.max_disclosure_value_set(&initial)?;
+    println!("  disclosure (full re-audit): {audited:.4}");
     println!(
-        "  worst-case attacker ({} implications): {}",
-        report.witness.k(),
-        report.witness.knowledge()
+        "  incremental session agrees:  {:.4}",
+        engine.incremental_set(&initial)?.value()
     );
-    println!("  predicted atom: {}", report.witness.consequent);
-    println!("  disclosure:     {:.4}", report.value);
     let (hits, misses) = engine.cache_stats();
     println!("  engine cache:   {hits} hits / {misses} misses across the session");
     Ok(())

@@ -4,6 +4,7 @@
 //! wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
 //! wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N]
 //!             [--hierarchy COL:W1,W2,...]... [--parallel] [--threads N]
+//!             [--schedule level|steal] [--memo-cap N]
 //! wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
 //! wcbk generate-adult [--rows N] [--seed N] [--out FILE]
 //! ```
@@ -15,8 +16,11 @@
 //! quasi-identifiers; each QI gets a suppression hierarchy unless a
 //! `--hierarchy COL:W1,W2,...` flag (repeatable) requests a numeric interval
 //! hierarchy with the given widths, like the library path —
-//! `--parallel`/`--threads N` fan the lattice search out over worker threads
-//! sharing one engine cache.
+//! `--parallel`/`--threads N` spread the lattice search over worker threads
+//! sharing one engine cache, `--schedule level|steal` picks the
+//! level-synchronous fan-out or the work-stealing whole-lattice scheduler
+//! (the default), and `--memo-cap N` bounds the roll-up evaluator's memo for
+//! deep lattices.
 //! `anatomize` publishes with the Anatomy algorithm instead and audits the
 //! result. `generate-adult` writes the synthetic Adult benchmark table.
 
@@ -45,6 +49,7 @@ const USAGE: &str = "usage:
   wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
   wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N]
               [--hierarchy COL:W1,W2,...]... [--parallel] [--threads N]
+              [--schedule level|steal] [--memo-cap N]
   wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
   wcbk generate-adult [--rows N] [--seed N] [--out FILE]";
 
@@ -67,6 +72,10 @@ struct Options {
     /// Worker threads for the lattice search: `None` = sequential,
     /// `Some(0)` = all cores, `Some(n)` = exactly `n`.
     threads: Option<usize>,
+    /// Parallel schedule for the lattice search.
+    schedule: Schedule,
+    /// Entry cap for the roll-up evaluator's memo (`None` = unbounded).
+    memo_cap: Option<usize>,
 }
 
 /// Hand-rolled flag parser (the sanctioned dependency set has no CLI crate).
@@ -144,6 +153,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     need_value("--threads", &mut it)?
                         .parse()
                         .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--schedule" => {
+                opts.schedule = need_value("--schedule", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--schedule: {e}"))?
+            }
+            "--memo-cap" => {
+                opts.memo_cap = Some(
+                    need_value("--memo-cap", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--memo-cap: {e}"))?,
                 )
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -309,24 +330,29 @@ fn search_cmd(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let lattice = GeneralizationLattice::new(dims)?;
 
     let criterion = CkSafetyCriterion::new(c, opts.k)?;
-    // find_minimal_safe_parallel resolves 0 → all cores and degenerates to
+    // `find_minimal_safe_with` resolves 0 → all cores and degenerates to
     // the sequential search at 1 thread, so dispatch is unconditional.
-    let threads = opts.threads.unwrap_or(1);
-    let effective = if threads == 0 {
-        default_threads()
-    } else {
-        threads
+    let config = SearchConfig {
+        threads: opts.threads.unwrap_or(1),
+        schedule: opts.schedule,
+        memo_capacity: opts.memo_cap,
     };
+    let effective = config.effective_threads();
     let started = std::time::Instant::now();
-    let outcome = find_minimal_safe_parallel(&table, &lattice, &criterion, threads)?;
+    let outcome = find_minimal_safe_with(&table, &lattice, &criterion, &config)?;
     let elapsed = started.elapsed();
     println!(
         "== wcbk search ({} over {} lattice nodes) ==",
         criterion.name(),
         lattice.n_nodes()
     );
+    let schedule = match (effective, opts.schedule) {
+        (1, _) => "sequential",
+        (_, Schedule::LevelSync) => "level-sync",
+        (_, Schedule::WorkStealing) => "work-stealing",
+    };
     println!(
-        "threads: {effective}   evaluated: {}   satisfied: {}   elapsed: {elapsed:.2?}",
+        "threads: {effective} ({schedule})   evaluated: {}   satisfied: {}   elapsed: {elapsed:.2?}",
         outcome.evaluated, outcome.satisfied
     );
     if outcome.minimal_nodes.is_empty() {
@@ -435,6 +461,54 @@ mod tests {
         let o = parse_args(&s(&["search", "x.csv"])).unwrap();
         assert_eq!(o.threads, None);
         assert!(parse_args(&s(&["search", "--threads", "lots"])).is_err());
+    }
+
+    #[test]
+    fn schedule_and_memo_cap_flags() {
+        let o = parse_args(&s(&["search", "x.csv"])).unwrap();
+        assert_eq!(o.schedule, Schedule::WorkStealing);
+        assert_eq!(o.memo_cap, None);
+        let o = parse_args(&s(&["search", "x.csv", "--schedule", "level"])).unwrap();
+        assert_eq!(o.schedule, Schedule::LevelSync);
+        let o = parse_args(&s(&["search", "x.csv", "--schedule", "steal"])).unwrap();
+        assert_eq!(o.schedule, Schedule::WorkStealing);
+        let o = parse_args(&s(&["search", "x.csv", "--memo-cap", "32"])).unwrap();
+        assert_eq!(o.memo_cap, Some(32));
+        assert!(parse_args(&s(&["search", "--schedule", "chaotic"])).is_err());
+        assert!(parse_args(&s(&["search", "--memo-cap", "many"])).is_err());
+    }
+
+    #[test]
+    fn search_with_schedule_end_to_end() {
+        let dir = std::env::temp_dir().join("wcbk_cli_schedule");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(
+            &path,
+            "Age,Sex,Disease\n21,M,Flu\n23,F,Flu\n27,M,Cold\n29,F,Cold\n33,M,Flu\n35,F,Cold\n",
+        )
+        .unwrap();
+        for schedule in ["level", "steal"] {
+            let args = s(&[
+                "search",
+                path.to_str().unwrap(),
+                "--sensitive",
+                "Disease",
+                "--qi",
+                "Age,Sex",
+                "--c",
+                "0.9",
+                "--k",
+                "1",
+                "--threads",
+                "2",
+                "--schedule",
+                schedule,
+                "--memo-cap",
+                "2",
+            ]);
+            run(&args).unwrap_or_else(|e| panic!("--schedule {schedule}: {e}"));
+        }
     }
 
     #[test]

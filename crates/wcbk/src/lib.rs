@@ -54,9 +54,10 @@ pub use wcbk_worlds as worlds;
 pub mod prelude {
     pub use wcbk_anonymize::{
         anatomize, anonymize, anonymize_parallel, default_threads, find_minimal_safe,
-        find_minimal_safe_parallel, incognito, incognito_parallel, swap_sanitize, sweep_all,
-        CkSafetyCriterion, DistinctLDiversity, EntropyLDiversity, KAnonymity, PrivacyCriterion,
-        RecursiveCLDiversity, SearchOutcome, UtilityMetric,
+        find_minimal_safe_parallel, find_minimal_safe_with, incognito, incognito_parallel,
+        incognito_with, swap_sanitize, sweep_all, CkSafetyCriterion, DistinctLDiversity,
+        EntropyLDiversity, KAnonymity, PrivacyCriterion, RecursiveCLDiversity, Schedule,
+        SearchConfig, SearchOutcome, UtilityMetric,
     };
     pub use wcbk_core::{
         cost_negation_max_disclosure, is_ck_safe, max_disclosure, negation_max_disclosure, Bucket,

@@ -262,7 +262,7 @@ pub mod collection {
 
     use crate::strategy::{Strategy, VecStrategy};
 
-    /// Accepted size arguments for [`vec`]: `n`, `a..b`, `a..=b`.
+    /// Accepted size arguments for [`vec()`]: `n`, `a..b`, `a..=b`.
     pub struct SizeRange {
         min: usize,
         max: usize,
