@@ -233,18 +233,37 @@ impl PrivacyCriterion for RecursiveCLDiversity {
 ///
 /// The engine's sharded cache is interior-mutable, so the criterion can be
 /// shared across search threads: concurrent `is_satisfied` calls memoize
-/// MINIMIZE1 tables into the same cache.
+/// MINIMIZE1 tables into the same cache. The engine itself is held behind an
+/// [`Arc`](std::sync::Arc), so long-lived callers (the `wcbk-serve` audit
+/// service) can hand **one** engine to many criteria via
+/// [`with_engine`](Self::with_engine) and keep its cache warm across
+/// requests that share bucket histograms.
 pub struct CkSafetyCriterion {
     safety: CkSafety,
-    engine: DisclosureEngine,
+    engine: std::sync::Arc<DisclosureEngine>,
 }
 
 impl CkSafetyCriterion {
-    /// Creates the criterion for threshold `c` and attacker power `k`.
+    /// Creates the criterion for threshold `c` and attacker power `k`, with
+    /// a fresh private engine.
     pub fn new(c: f64, k: usize) -> Result<Self, CoreError> {
         Ok(Self {
             safety: CkSafety::new(c, k)?,
-            engine: DisclosureEngine::new(k),
+            engine: std::sync::Arc::new(DisclosureEngine::new(k)),
+        })
+    }
+
+    /// Creates the criterion for threshold `c` sharing an existing `engine`
+    /// (whose `k` fixes the attacker power): MINIMIZE1 tables memoized by
+    /// any prior search through the same engine are reused, the shape
+    /// long-running services want across requests.
+    pub fn with_engine(
+        c: f64,
+        engine: std::sync::Arc<DisclosureEngine>,
+    ) -> Result<Self, CoreError> {
+        Ok(Self {
+            safety: CkSafety::new(c, engine.k())?,
+            engine,
         })
     }
 
@@ -343,6 +362,26 @@ mod tests {
         assert!(safe.is_satisfied(&b).unwrap());
         let unsafe_ = CkSafetyCriterion::new(0.5, 1).unwrap();
         assert!(!unsafe_.is_satisfied(&b).unwrap());
+    }
+
+    #[test]
+    fn with_engine_shares_cache_across_criteria() {
+        use std::sync::Arc;
+        let b = figure3();
+        let engine = Arc::new(DisclosureEngine::new(1));
+        let first = CkSafetyCriterion::with_engine(0.7, Arc::clone(&engine)).unwrap();
+        assert!(first.is_satisfied(&b).unwrap());
+        let (hits0, misses0) = engine.cache_stats();
+        assert_eq!(hits0, 0);
+        assert!(misses0 > 0);
+        // A second criterion (different c, same engine) reuses the MINIMIZE1
+        // tables the first one built.
+        let second = CkSafetyCriterion::with_engine(0.5, Arc::clone(&engine)).unwrap();
+        assert!(!second.is_satisfied(&b).unwrap());
+        let (hits1, misses1) = engine.cache_stats();
+        assert!(hits1 > 0, "second criterion must hit the shared cache");
+        assert_eq!(misses1, misses0);
+        assert_eq!(second.engine_stats().entries, engine.stats().entries);
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub use incognito::{incognito, incognito_parallel, incognito_with, IncognitoOutc
 pub use pipeline::{anonymize, anonymize_parallel, AnonymizationOutcome};
 pub use search::{
     binary_search_chain, default_threads, find_minimal_safe, find_minimal_safe_parallel,
-    find_minimal_safe_rescan, find_minimal_safe_with, sweep_all, sweep_all_rescan, Schedule,
-    SearchConfig, SearchOutcome,
+    find_minimal_safe_report, find_minimal_safe_rescan, find_minimal_safe_with, sweep_all,
+    sweep_all_rescan, Schedule, SearchConfig, SearchOutcome, SearchReport,
 };
 pub use swap::{swap_sanitize, SwapOutcome};
 pub use utility::UtilityMetric;

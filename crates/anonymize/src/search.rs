@@ -37,7 +37,7 @@ use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
 
 use wcbk_core::sched::{evaluate_work_stealing, MonotoneDag};
-use wcbk_hierarchy::{GenNode, GeneralizationLattice, HierarchyError, NodeEvaluator};
+use wcbk_hierarchy::{GenNode, GeneralizationLattice, HierarchyError, NodeEvaluator, RollupStats};
 use wcbk_table::Table;
 
 use crate::{AnonymizeError, PrivacyCriterion};
@@ -73,8 +73,9 @@ pub struct SearchConfig {
     pub threads: usize,
     /// Parallel schedule (ignored at 1 thread).
     pub schedule: Schedule,
-    /// Entry cap for the roll-up evaluator's memo (`None` = unbounded);
-    /// see [`NodeEvaluator::with_memo_capacity`].
+    /// Group budget for the roll-up evaluator's memo (`None` = unbounded):
+    /// retained node tables may total at most this many groups, weighed by
+    /// actual size; see [`NodeEvaluator::with_memo_capacity`].
     pub memo_capacity: Option<usize>,
 }
 
@@ -321,6 +322,29 @@ pub fn find_minimal_safe_with<C: PrivacyCriterion>(
     criterion: &C,
     config: &SearchConfig,
 ) -> Result<SearchOutcome, AnonymizeError> {
+    Ok(find_minimal_safe_report(table, lattice, criterion, config)?.outcome)
+}
+
+/// A [`SearchOutcome`] together with the roll-up evaluator's work counters —
+/// what long-running callers (the `wcbk-serve` audit service) aggregate
+/// across searches. `rollup` is `None` when the signature-overflow fallback
+/// re-scanned the table per node instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// The search result, identical to [`find_minimal_safe_with`]'s.
+    pub outcome: SearchOutcome,
+    /// The evaluator's counters at the end of the search.
+    pub rollup: Option<RollupStats>,
+}
+
+/// [`find_minimal_safe_with`], also reporting the roll-up evaluator's
+/// counters (table scans, derivations, memo traffic) for this search.
+pub fn find_minimal_safe_report<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    criterion: &C,
+    config: &SearchConfig,
+) -> Result<SearchReport, AnonymizeError> {
     let threads = config.effective_threads();
     let evaluator = try_evaluator_capped(table, lattice, config.memo_capacity)?;
     let judge = |node: &GenNode| -> Result<bool, AnonymizeError> {
@@ -329,13 +353,18 @@ pub fn find_minimal_safe_with<C: PrivacyCriterion>(
             None => criterion.is_satisfied(&lattice.bucketize(table, node)?),
         }
     };
-    if threads == 1 {
-        return minimal_safe_with(lattice, judge);
-    }
-    match config.schedule {
-        Schedule::LevelSync => minimal_safe_parallel_with(lattice, threads, judge),
-        Schedule::WorkStealing => minimal_safe_steal_with(lattice, threads, judge),
-    }
+    let outcome = if threads == 1 {
+        minimal_safe_with(lattice, judge)?
+    } else {
+        match config.schedule {
+            Schedule::LevelSync => minimal_safe_parallel_with(lattice, threads, judge)?,
+            Schedule::WorkStealing => minimal_safe_steal_with(lattice, threads, judge)?,
+        }
+    };
+    Ok(SearchReport {
+        outcome,
+        rollup: evaluator.as_ref().map(NodeEvaluator::stats),
+    })
 }
 
 /// Parallel variant of [`find_minimal_safe`] under the default
@@ -677,6 +706,20 @@ mod tests {
             }
             assert_eq!(binary, linear, "c={c} k={k}");
         }
+    }
+
+    #[test]
+    fn report_carries_outcome_and_rollup_stats() {
+        let t = hospital_table();
+        let l = lattice(&t);
+        let criterion = CkSafetyCriterion::new(0.7, 1).unwrap();
+        let config = SearchConfig::default();
+        let report = find_minimal_safe_report(&t, &l, &criterion, &config).unwrap();
+        let direct = find_minimal_safe_with(&t, &l, &criterion, &config).unwrap();
+        assert_eq!(report.outcome, direct);
+        let rollup = report.rollup.expect("hospital packs into u64 signatures");
+        assert_eq!(rollup.table_scans, 1);
+        assert!(rollup.derived > 0);
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! `load_gen` — closed-loop load generator for `wcbk serve`.
+//!
+//! Drives `--connections` persistent connections against a running server,
+//! each posting `--requests` `/batch` calls of `--tables` synthetic Adult
+//! tables (alternating `audit` and `search` jobs), reads the streamed
+//! NDJSON responses, and reports throughput plus latency percentiles into
+//! `results/BENCH_serve.json` so successive PRs can track the serving
+//! trajectory.
+//!
+//! Closed loop: each connection issues its next batch only after fully
+//! consuming the previous response, so offered load adapts to the server
+//! (this measures capacity, not queueing collapse).
+//!
+//! Exits non-zero when any request fails, any table errors, or throughput
+//! falls below `--min-throughput` tables/sec — making it usable directly as
+//! the CI `serve-smoke` gate.
+//!
+//! Run: `cargo run --release -p wcbk-bench --bin load_gen -- \
+//!       [--addr HOST:PORT] [--connections N] [--requests N] [--tables N] \
+//!       [--rows N] [--out FILE] [--min-throughput F] [--shutdown] \
+//!       [--wait-ms N]`
+
+use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use wcbk_bench::{small_adult, HarnessError};
+use wcbk_serve::http::client::Client;
+use wcbk_serve::json::Json;
+
+struct Config {
+    addr: String,
+    connections: usize,
+    requests: usize,
+    tables: usize,
+    rows: usize,
+    out: String,
+    min_throughput: f64,
+    shutdown: bool,
+    wait_ms: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<Config, HarnessError> {
+    let mut config = Config {
+        addr: "127.0.0.1:8080".to_owned(),
+        connections: 8,
+        requests: 4,
+        tables: 32,
+        rows: 120,
+        out: "results/BENCH_serve.json".to_owned(),
+        min_throughput: 0.0,
+        shutdown: false,
+        wait_ms: 15_000,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, HarnessError> {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value").into())
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value()?.clone(),
+            "--connections" => config.connections = value()?.parse()?,
+            "--requests" => config.requests = value()?.parse()?,
+            "--tables" => config.tables = value()?.parse()?,
+            "--rows" => config.rows = value()?.parse()?,
+            "--out" => config.out = value()?.clone(),
+            "--min-throughput" => config.min_throughput = value()?.parse()?,
+            "--shutdown" => config.shutdown = true,
+            "--wait-ms" => config.wait_ms = value()?.parse()?,
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    if config.connections == 0 || config.requests == 0 || config.tables == 0 {
+        return Err("--connections/--requests/--tables must be positive".into());
+    }
+    Ok(config)
+}
+
+/// Synthesizes batch job `i`: a distinct small Adult table (row count varies
+/// with `i`, so tables differ while sharing histogram shapes — the
+/// cross-request cache case), alternating audit and search ops.
+fn build_job(i: usize, base_rows: usize) -> Result<Json, HarnessError> {
+    let table = small_adult(base_rows + i);
+    let mut csv = Vec::new();
+    wcbk_table::csv::write_table(&mut csv, &table)?;
+    let csv = String::from_utf8(csv).map_err(|_| "non-UTF-8 CSV")?;
+    let job = if i % 2 == 0 {
+        Json::object(vec![
+            ("op", "audit".into()),
+            ("csv", csv.into()),
+            ("sensitive", "Occupation".into()),
+            ("qi", Json::Array(vec!["Age".into(), "Gender".into()])),
+            ("k", 3u64.into()),
+            ("c", 0.8.into()),
+        ])
+    } else {
+        Json::object(vec![
+            ("op", "search".into()),
+            ("csv", csv.into()),
+            ("sensitive", "Occupation".into()),
+            ("qi", Json::Array(vec!["Age".into(), "Gender".into()])),
+            (
+                "hierarchy",
+                Json::object(vec![("Age", Json::Array(vec![5u64.into(), 10u64.into()]))]),
+            ),
+            ("k", 3u64.into()),
+            ("c", 0.8.into()),
+            ("threads", 2u64.into()),
+            ("schedule", "steal".into()),
+        ])
+    };
+    Ok(job)
+}
+
+/// Polls `/healthz` until the server answers or the budget runs out.
+fn await_healthy(addr: &str, budget: Duration) -> Result<(), HarnessError> {
+    let deadline = Instant::now() + budget;
+    loop {
+        if let Ok(mut client) = Client::connect(addr, Some(Duration::from_secs(2))) {
+            if let Ok(response) = client.get("/healthz") {
+                if response.status == 200 {
+                    return Ok(());
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("server at {addr} not healthy within {budget:?}").into());
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[rank]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, HarnessError> {
+    let config = parse_args(args)?;
+    eprintln!(
+        "load_gen: {} connections x {} requests x {} tables (rows >= {}) against {}",
+        config.connections, config.requests, config.tables, config.rows, config.addr
+    );
+
+    eprintln!("building workload…");
+    let jobs: Vec<Json> = (0..config.tables)
+        .map(|i| build_job(i, config.rows))
+        .collect::<Result<_, _>>()?;
+    let batch = Json::object(vec![("tables", Json::Array(jobs))]).to_string();
+
+    eprintln!("waiting for /healthz…");
+    await_healthy(&config.addr, Duration::from_millis(config.wait_ms))?;
+
+    // The closed loop. Workers append (latency, table_errors) per batch.
+    let samples: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..config.connections {
+            let batch = &batch;
+            let samples = &samples;
+            let failures = &failures;
+            let config = &config;
+            scope.spawn(move || {
+                let fail = |message: String| {
+                    failures
+                        .lock()
+                        .expect("failure list poisoned")
+                        .push(format!("connection {worker}: {message}"));
+                };
+                let mut client = match Client::connect(&config.addr, Some(Duration::from_secs(120)))
+                {
+                    Ok(c) => c,
+                    Err(e) => return fail(format!("connect: {e}")),
+                };
+                for request in 0..config.requests {
+                    let sent = Instant::now();
+                    let response = match client.post("/batch", batch) {
+                        Ok(r) => r,
+                        Err(e) => return fail(format!("request {request}: {e}")),
+                    };
+                    let elapsed_ms = sent.elapsed().as_secs_f64() * 1e3;
+                    if response.status != 200 {
+                        return fail(format!("request {request}: HTTP {}", response.status));
+                    }
+                    let lines = match response.ndjson() {
+                        Ok(lines) => lines,
+                        Err(e) => return fail(format!("request {request}: {e}")),
+                    };
+                    if lines.len() != config.tables + 1 {
+                        return fail(format!(
+                            "request {request}: {} lines, expected {}",
+                            lines.len(),
+                            config.tables + 1
+                        ));
+                    }
+                    for line in &lines[..config.tables] {
+                        if let Some(error) = line.get("error").and_then(Json::as_str) {
+                            return fail(format!("request {request}: table error: {error}"));
+                        }
+                    }
+                    samples
+                        .lock()
+                        .expect("sample list poisoned")
+                        .push(elapsed_ms);
+                }
+            });
+        }
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let failures = failures.into_inner().expect("failure list poisoned");
+    for f in &failures {
+        eprintln!("FAILURE: {f}");
+    }
+    let mut samples = samples.into_inner().expect("sample list poisoned");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    let batches = samples.len();
+    let tables_done = batches * config.tables;
+    let tables_per_sec = tables_done as f64 / (wall_ms / 1e3);
+    let mean = if batches == 0 {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / batches as f64
+    };
+
+    // Server-side counters after the run (best effort).
+    let mut cache_hits = Json::Null;
+    let mut cache_hit_rate = Json::Null;
+    let mut rejected = Json::Null;
+    if let Ok(mut client) = Client::connect(&config.addr, Some(Duration::from_secs(5))) {
+        if let Ok(stats) = client.get("/stats").and_then(|r| r.json()) {
+            let engine = stats.get("engine_cache");
+            cache_hits = engine
+                .and_then(|e| e.get("hits"))
+                .cloned()
+                .unwrap_or(Json::Null);
+            cache_hit_rate = engine
+                .and_then(|e| e.get("hit_rate"))
+                .cloned()
+                .unwrap_or(Json::Null);
+            rejected = stats
+                .get("server")
+                .and_then(|s| s.get("rejected_503"))
+                .cloned()
+                .unwrap_or(Json::Null);
+        }
+    }
+    if config.shutdown {
+        eprintln!("requesting graceful shutdown…");
+        let mut client = Client::connect(&config.addr, Some(Duration::from_secs(10)))?;
+        let response = client.post("/shutdown", "{}")?;
+        if response.status != 200 {
+            return Err(format!("shutdown returned HTTP {}", response.status).into());
+        }
+    }
+
+    let report = Json::object(vec![
+        (
+            "workload",
+            Json::object(vec![
+                ("connections", config.connections.into()),
+                ("requests_per_connection", config.requests.into()),
+                ("tables_per_batch", config.tables.into()),
+                ("rows_base", config.rows.into()),
+                ("ops", "audit/search alternating".into()),
+            ]),
+        ),
+        (
+            "throughput",
+            Json::object(vec![
+                ("batches", batches.into()),
+                ("tables", tables_done.into()),
+                ("wall_ms", wall_ms.into()),
+                ("tables_per_sec", tables_per_sec.into()),
+                ("batches_per_sec", (batches as f64 / (wall_ms / 1e3)).into()),
+            ]),
+        ),
+        (
+            "latency_ms",
+            Json::object(vec![
+                ("p50", percentile(&samples, 0.50).into()),
+                ("p90", percentile(&samples, 0.90).into()),
+                ("p99", percentile(&samples, 0.99).into()),
+                ("max", samples.last().copied().unwrap_or(0.0).into()),
+                ("mean", mean.into()),
+            ]),
+        ),
+        (
+            "server",
+            Json::object(vec![
+                ("engine_cache_hits", cache_hits),
+                ("engine_cache_hit_rate", cache_hit_rate),
+                ("rejected_503", rejected),
+            ]),
+        ),
+        ("failures", failures.len().into()),
+    ]);
+    if let Some(dir) = std::path::Path::new(&config.out).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(&config.out, format!("{report}\n"))?;
+    eprintln!(
+        "done: {batches} batches, {tables_done} tables in {wall_ms:.0} ms \
+         ({tables_per_sec:.1} tables/s; p50 {:.1} ms, p99 {:.1} ms) -> {}",
+        percentile(&samples, 0.50),
+        percentile(&samples, 0.99),
+        config.out
+    );
+
+    let expected_batches = config.connections * config.requests;
+    if !failures.is_empty() || batches != expected_batches {
+        eprintln!(
+            "load_gen FAILED: {} failures, {batches}/{expected_batches} batches completed",
+            failures.len()
+        );
+        return Ok(false);
+    }
+    if tables_per_sec < config.min_throughput {
+        eprintln!(
+            "load_gen FAILED: {tables_per_sec:.2} tables/s below the {} floor",
+            config.min_throughput
+        );
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_defaults() {
+        let c = parse_args(&[]).unwrap();
+        assert_eq!(c.connections, 8);
+        assert_eq!(c.tables, 32);
+        assert!(!c.shutdown);
+        let args: Vec<String> = [
+            "--addr",
+            "127.0.0.1:9",
+            "--connections",
+            "2",
+            "--requests",
+            "3",
+            "--tables",
+            "4",
+            "--rows",
+            "50",
+            "--out",
+            "/tmp/x.json",
+            "--min-throughput",
+            "1.5",
+            "--shutdown",
+            "--wait-ms",
+            "100",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let c = parse_args(&args).unwrap();
+        assert_eq!(c.addr, "127.0.0.1:9");
+        assert_eq!(c.connections, 2);
+        assert_eq!(c.requests, 3);
+        assert_eq!(c.tables, 4);
+        assert_eq!(c.rows, 50);
+        assert!(c.shutdown);
+        assert!((c.min_throughput - 1.5).abs() < 1e-12);
+        assert!(parse_args(&["--connections".into(), "0".into()]).is_err());
+        assert!(parse_args(&["--frobnicate".into()]).is_err());
+        assert!(parse_args(&["--rows".into()]).is_err());
+    }
+
+    #[test]
+    fn jobs_alternate_ops_over_distinct_tables() {
+        let a = build_job(0, 40).unwrap();
+        let b = build_job(1, 40).unwrap();
+        assert_eq!(a.get("op").and_then(Json::as_str), Some("audit"));
+        assert_eq!(b.get("op").and_then(Json::as_str), Some("search"));
+        assert_ne!(
+            a.get("csv").and_then(Json::as_str),
+            b.get("csv").and_then(Json::as_str)
+        );
+        assert!(b.get("hierarchy").is_some());
+    }
+
+    #[test]
+    fn percentiles_pick_sorted_ranks() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    /// End-to-end: boot a real server in-process, run the closed loop
+    /// against it, and check the report it writes.
+    #[test]
+    fn drives_a_live_server_end_to_end() {
+        let server = wcbk_serve::Server::bind(&wcbk_serve::ServerConfig {
+            workers: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let join = std::thread::spawn(move || server.run());
+
+        let out = std::env::temp_dir().join("wcbk_load_gen_test.json");
+        let args: Vec<String> = [
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "2",
+            "--tables",
+            "3",
+            "--rows",
+            "40",
+            "--out",
+            out.to_str().unwrap(),
+            "--min-throughput",
+            "0.0001",
+            "--shutdown",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        assert!(run(&args).unwrap(), "load_gen reported failure");
+        join.join().unwrap().unwrap();
+
+        let report = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(
+            report
+                .get("throughput")
+                .and_then(|t| t.get("batches"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            report
+                .get("throughput")
+                .and_then(|t| t.get("tables"))
+                .and_then(Json::as_u64),
+            Some(12)
+        );
+        assert_eq!(report.get("failures").and_then(Json::as_u64), Some(0));
+        assert!(
+            report
+                .get("latency_ms")
+                .and_then(|l| l.get("p50"))
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+    }
+}

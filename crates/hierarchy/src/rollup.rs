@@ -22,13 +22,16 @@
 //!   through a composed parent map. The bottom table is always retained, so
 //!   a source always exists. Either way the cost is `O(groups × dims)`, not
 //!   `O(rows × dims)`.
-//! * The memo is **capacity-bounded** (see
-//!   [`NodeEvaluator::with_memo_capacity`]): beyond the entry cap the
-//!   least-recently-touched node table is evicted, so deep lattices don't
-//!   hold every node's group table. Derivation sources are a cache, not a
-//!   correctness input — any ancestor yields bit-identical histograms in the
-//!   same first-row-occurrence bucket order, so eviction never changes
-//!   results.
+//! * The memo is **weight-bounded** (see
+//!   [`NodeEvaluator::with_memo_capacity`]): the budget counts retained
+//!   *groups* (each group ≈ one packed signature plus its sparse sensitive
+//!   counts — the actual bytes a node table holds), not entries, so one huge
+//!   near-bottom table can't hide behind the same cap as a handful of tiny
+//!   near-top ones. Past the budget the least-recently-touched node table is
+//!   evicted, so deep lattices don't hold every node's group table.
+//!   Derivation sources are a cache, not a correctness input — any ancestor
+//!   yields bit-identical histograms in the same first-row-occurrence bucket
+//!   order, so eviction never changes results.
 //! * Results are [`HistogramSet`]s — the histogram-only surface `wcbk-core`'s
 //!   criteria evaluate — in **exactly** the bucket order
 //!   [`GeneralizationLattice::bucketize`] produces (first row occurrence),
@@ -38,7 +41,7 @@
 //! one instance serves all workers of the parallel lattice search.
 
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -166,11 +169,15 @@ pub struct RollupStats {
     pub ancestor_derived: u64,
     /// Node evaluations answered straight from the memo.
     pub memo_hits: u64,
-    /// Memoized node tables evicted to respect the entry cap.
+    /// Memoized node tables evicted to respect the group budget.
     pub evictions: u64,
     /// Node tables currently memoized (bottom excluded; it is kept
     /// separately and never evicted).
     pub memo_entries: usize,
+    /// Total groups currently retained across memoized tables — the
+    /// byte-ish weight the memo budget bounds (each group holds one packed
+    /// signature plus its sparse sensitive counts). Bottom excluded.
+    pub memo_groups: u64,
     /// Distinct signatures at the lattice bottom (the scan's output size).
     pub bottom_groups: usize,
 }
@@ -179,6 +186,53 @@ pub struct RollupStats {
 struct MemoEntry<S> {
     table: Arc<NodeTable<S>>,
     touch: AtomicU64,
+}
+
+/// The memo map plus the maintenance state kept in lockstep with it: a
+/// by-height index so ancestor lookups never scan the whole map, and the
+/// total retained group weight the eviction budget bounds.
+struct Memo<S> {
+    entries: HashMap<GenNode, MemoEntry<S>>,
+    /// Height → memoized nodes at that height. The coarsest-retained-
+    /// ancestor lookup walks heights downward from the target and stops at
+    /// the first `⪯`-comparable node, instead of scanning every entry under
+    /// the read lock.
+    by_height: BTreeMap<usize, HashSet<GenNode>>,
+    /// Σ group count over `entries` — the weight [`RollupStats::memo_groups`]
+    /// reports and the budget bounds.
+    groups: u64,
+}
+
+impl<S> Memo<S> {
+    fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            by_height: BTreeMap::new(),
+            groups: 0,
+        }
+    }
+
+    fn insert(&mut self, node: GenNode, entry: MemoEntry<S>, weight: u64) {
+        self.groups += weight;
+        self.by_height
+            .entry(node.height())
+            .or_default()
+            .insert(node.clone());
+        self.entries.insert(node, entry);
+    }
+
+    fn remove(&mut self, node: &GenNode) {
+        if let Some(entry) = self.entries.remove(node) {
+            self.groups -= entry.table.sigs.len() as u64;
+            let height = node.height();
+            if let Some(set) = self.by_height.get_mut(&height) {
+                set.remove(node);
+                if set.is_empty() {
+                    self.by_height.remove(&height);
+                }
+            }
+        }
+    }
 }
 
 /// The signature-width-generic core of [`NodeEvaluator`].
@@ -194,9 +248,10 @@ struct RollupEngine<'a, S> {
     /// The bottom node's table, built by the single scan. Never evicted, so
     /// ancestor derivation always has a source.
     bottom: Arc<NodeTable<S>>,
-    memo: RwLock<HashMap<GenNode, MemoEntry<S>>>,
-    /// Entry cap for `memo` (`None` = unbounded).
-    capacity: Option<usize>,
+    memo: RwLock<Memo<S>>,
+    /// Group budget for `memo` (`None` = unbounded): total retained groups
+    /// across memoized tables may not exceed it.
+    capacity: Option<u64>,
     /// Monotone tick supplying `MemoEntry::touch` values.
     clock: AtomicU64,
     derived: AtomicU64,
@@ -285,8 +340,8 @@ impl<'a, S: Signature> RollupEngine<'a, S> {
             masks: layout.masks,
             parent_maps,
             bottom,
-            memo: RwLock::new(HashMap::new()),
-            capacity: capacity.map(|c| c.max(1)),
+            memo: RwLock::new(Memo::new()),
+            capacity: capacity.map(|c| (c as u64).max(1)),
             clock: AtomicU64::new(0),
             derived: AtomicU64::new(0),
             ancestor_derived: AtomicU64::new(0),
@@ -296,13 +351,18 @@ impl<'a, S: Signature> RollupEngine<'a, S> {
     }
 
     fn stats(&self) -> RollupStats {
+        let (memo_entries, memo_groups) = {
+            let memo = self.memo.read().expect("rollup memo poisoned");
+            (memo.entries.len(), memo.groups)
+        };
         RollupStats {
             table_scans: 1,
             derived: self.derived.load(Ordering::Relaxed),
             ancestor_derived: self.ancestor_derived.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            memo_entries: self.memo.read().expect("rollup memo poisoned").len(),
+            memo_entries,
+            memo_groups,
             bottom_groups: self.bottom.sigs.len(),
         }
     }
@@ -372,7 +432,7 @@ impl<'a, S: Signature> RollupEngine<'a, S> {
         let mut source: Option<(Arc<NodeTable<S>>, GenNode)> = None;
         {
             let memo = self.memo.read().expect("rollup memo poisoned");
-            if let Some(e) = memo.get(node) {
+            if let Some(e) = memo.entries.get(node) {
                 e.touch.store(self.tick(), Ordering::Relaxed);
                 self.memo_hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(&e.table);
@@ -387,7 +447,7 @@ impl<'a, S: Signature> RollupEngine<'a, S> {
                     source = Some((Arc::clone(&self.bottom), pred));
                     break;
                 }
-                if let Some(e) = memo.get(&pred) {
+                if let Some(e) = memo.entries.get(&pred) {
                     e.touch.store(self.tick(), Ordering::Relaxed);
                     source = Some((Arc::clone(&e.table), pred));
                     break;
@@ -396,20 +456,20 @@ impl<'a, S: Signature> RollupEngine<'a, S> {
             if source.is_none() {
                 // Coarsest retained ancestor: any memoized strictly-finer
                 // node works (derivation is source-independent); the highest
-                // one needs the fewest merge steps.
-                let mut best: Option<(&MemoEntry<S>, &GenNode)> = None;
-                for (cand, entry) in memo.iter() {
-                    if cand.le(node)
-                        && best
-                            .as_ref()
-                            .is_none_or(|(_, b)| cand.height() > b.height())
-                    {
-                        best = Some((entry, cand));
+                // one needs the fewest merge steps. Walk the by-height index
+                // downward and stop at the first `⪯`-comparable node — no
+                // full-memo scan under the read lock. (A comparable node at
+                // equal height would be `node` itself, already missed, so
+                // strictly lower heights suffice.)
+                'heights: for (_, nodes) in memo.by_height.range(..node.height()).rev() {
+                    for cand in nodes {
+                        if cand.le(node) {
+                            let entry = &memo.entries[cand];
+                            entry.touch.store(self.tick(), Ordering::Relaxed);
+                            source = Some((Arc::clone(&entry.table), cand.clone()));
+                            break 'heights;
+                        }
                     }
-                }
-                if let Some((entry, cand)) = best {
-                    entry.touch.store(self.tick(), Ordering::Relaxed);
-                    source = Some((Arc::clone(&entry.table), cand.clone()));
                 }
                 self.ancestor_derived.fetch_add(1, Ordering::Relaxed);
             }
@@ -441,13 +501,27 @@ impl<'a, S: Signature> RollupEngine<'a, S> {
         self.insert_memo(node.clone(), Arc::new(table))
     }
 
-    /// Inserts under the entry cap, evicting least-recently-touched tables
-    /// first. (The bottom table lives outside the memo and is exempt.)
+    /// Inserts under the group budget, evicting least-recently-touched
+    /// tables (by total retained *group* count, the actual size, not entry
+    /// count) until the newcomer fits. A table that alone exceeds the whole
+    /// budget is served unmemoized rather than evicting everything for
+    /// nothing. (The bottom table lives outside the memo and is exempt.)
     fn insert_memo(&self, node: GenNode, table: Arc<NodeTable<S>>) -> Arc<NodeTable<S>> {
+        let weight = table.sigs.len() as u64;
         let mut memo = self.memo.write().expect("rollup memo poisoned");
-        if let Some(cap) = self.capacity {
-            while memo.len() >= cap && !memo.contains_key(&node) {
+        if let Some(existing) = memo.entries.get(&node) {
+            // Lost a race with a concurrent deriver: keep the first insert.
+            existing.touch.store(self.tick(), Ordering::Relaxed);
+            return Arc::clone(&existing.table);
+        }
+        if let Some(budget) = self.capacity {
+            if weight > budget {
+                // It can never fit: don't flush everything else first.
+                return table;
+            }
+            while memo.groups + weight > budget && !memo.entries.is_empty() {
                 let victim = memo
+                    .entries
                     .iter()
                     .min_by_key(|(_, e)| e.touch.load(Ordering::Relaxed))
                     .map(|(k, _)| k.clone());
@@ -459,13 +533,20 @@ impl<'a, S: Signature> RollupEngine<'a, S> {
                     None => break,
                 }
             }
+            if memo.groups + weight > budget {
+                return table;
+            }
         }
         let touch = self.tick();
-        let entry = memo.entry(node).or_insert_with(|| MemoEntry {
-            table,
-            touch: AtomicU64::new(touch),
-        });
-        Arc::clone(&entry.table)
+        memo.insert(
+            node,
+            MemoEntry {
+                table: Arc::clone(&table),
+                touch: AtomicU64::new(touch),
+            },
+            weight,
+        );
+        table
     }
 }
 
@@ -492,12 +573,15 @@ impl<'a> NodeEvaluator<'a> {
         Self::with_memo_capacity(table, lattice, None)
     }
 
-    /// [`NodeEvaluator::new`] with a cap on memoized node tables:
-    /// `capacity = Some(n)` retains at most `n.max(1)` derived tables,
-    /// evicting the least recently touched. Derivations that miss every
-    /// immediate predecessor re-key the coarsest retained ancestor (at worst
-    /// the bottom table, which is held outside the cap), so results are
-    /// identical at any capacity — only derivation cost varies.
+    /// [`NodeEvaluator::new`] with a **group budget** on memoized node
+    /// tables: `capacity = Some(n)` retains derived tables totalling at most
+    /// `n.max(1)` groups (a group ≈ one packed signature plus its sparse
+    /// sensitive counts — the actual bytes a table holds), evicting the
+    /// least recently touched until the newcomer fits; a table that alone
+    /// exceeds the whole budget is served unmemoized. Derivations that miss
+    /// every immediate predecessor re-key the coarsest retained ancestor (at
+    /// worst the bottom table, which is held outside the budget), so results
+    /// are identical at any capacity — only derivation cost varies.
     pub fn with_memo_capacity(
         table: &Table,
         lattice: &'a GeneralizationLattice,
@@ -649,15 +733,22 @@ mod tests {
         assert_eq!(stats.memo_entries, lattice.n_nodes() - 1);
         assert_eq!(stats.evictions, 0);
         assert_eq!(stats.bottom_groups, 10); // hospital rows are all distinct
+                                             // Unbounded memo: the retained weight is the sum of every derived
+                                             // table's group count — at least one group per entry, at most the
+                                             // bottom's group count each.
+        assert!(stats.memo_groups >= stats.memo_entries as u64);
+        assert!(stats.memo_groups <= (stats.memo_entries * stats.bottom_groups) as u64);
     }
 
-    /// A capped memo evicts, falls back to ancestor derivation, and still
+    /// A budgeted memo evicts, falls back to ancestor derivation, and still
     /// produces histograms identical to `bucketize` at every node — in any
-    /// evaluation order.
+    /// evaluation order. The budget counts retained groups, so entries ≤
+    /// groups ≤ budget throughout.
     #[test]
     fn capped_memo_evicts_and_stays_correct() {
         let (table, lattice) = hospital_lattice();
-        for cap in [1usize, 2, 3] {
+        let mut total_evictions = 0u64;
+        for cap in [1usize, 2, 3, 8] {
             let eval = NodeEvaluator::with_memo_capacity(&table, &lattice, Some(cap)).unwrap();
             // Top-down order maximizes memo misses (predecessors evaluated
             // after successors), then bottom-up for coverage.
@@ -677,16 +768,55 @@ mod tests {
                 }
             }
             let stats = eval.stats();
-            assert!(stats.memo_entries <= cap, "cap {cap}: {stats:?}");
-            assert!(stats.evictions > 0, "cap {cap} never evicted: {stats:?}");
+            assert!(stats.memo_groups <= cap as u64, "cap {cap}: {stats:?}");
+            assert!(stats.memo_entries as u64 <= stats.memo_groups);
+            // A cap that admits only one table may legitimately never evict
+            // (oversized tables bail out before touching the memo), so
+            // eviction is asserted across the cap sweep, not per cap.
+            total_evictions += stats.evictions;
             assert!(
                 stats.ancestor_derived > 0,
                 "cap {cap} never used the ancestor fallback: {stats:?}"
             );
         }
+        assert!(total_evictions > 0, "no cap in the sweep ever evicted");
     }
 
-    /// `Some(0)` behaves as a 1-entry cap rather than thrashing or panicking.
+    /// The budget is weighed in groups, not entries: a table bigger than the
+    /// whole budget is served unmemoized (it would evict everything and
+    /// still not fit), while small coarse tables are retained and re-served.
+    #[test]
+    fn group_weight_budget_skips_oversized_tables() {
+        let (table, lattice) = hospital_lattice();
+        let budget = 5usize;
+        let eval = NodeEvaluator::with_memo_capacity(&table, &lattice, Some(budget)).unwrap();
+        let fine = lattice
+            .nodes()
+            .into_iter()
+            .find(|n| n.height() > 0 && lattice.bucketize(&table, n).unwrap().n_buckets() > budget)
+            .expect("hospital lattice has a non-bottom node with > 5 buckets");
+        eval.histograms(&fine).unwrap();
+        let after_fine = eval.stats();
+        assert_eq!(after_fine.memo_entries, 0, "{after_fine:?}");
+        assert_eq!(after_fine.memo_groups, 0, "{after_fine:?}");
+        // The top table (1 group) fits, is memoized, and is re-served.
+        eval.histograms(&lattice.top()).unwrap();
+        assert_eq!(eval.stats().memo_entries, 1);
+        let hits_before = eval.stats().memo_hits;
+        eval.histograms(&lattice.top()).unwrap();
+        let stats = eval.stats();
+        assert_eq!(stats.memo_hits, hits_before + 1);
+        assert!(stats.memo_groups <= budget as u64, "{stats:?}");
+        // A second oversized derivation must not flush what is retained:
+        // it can never fit, so nothing is evicted for it.
+        eval.histograms(&fine).unwrap();
+        let stats = eval.stats();
+        assert_eq!(stats.memo_entries, 1, "{stats:?}");
+        assert_eq!(stats.evictions, 0, "{stats:?}");
+    }
+
+    /// `Some(0)` behaves as a 1-group budget rather than thrashing or
+    /// panicking.
     #[test]
     fn zero_capacity_is_clamped() {
         let (table, lattice) = hospital_lattice();

@@ -1,0 +1,555 @@
+//! Hand-rolled HTTP/1.1: request parsing, response writing (fixed-length
+//! and chunked), and a small blocking client.
+//!
+//! The sanctioned dependency set has no HTTP crate, so this implements the
+//! subset the audit service needs: `GET`/`POST` with `Content-Length`
+//! bodies, persistent connections (`Connection: close` honored), chunked
+//! transfer encoding for streamed batch responses, and hard limits on
+//! header and body sizes. The [`client`] side decodes both body framings
+//! and is shared by the integration tests and the `load_gen` benchmark
+//! binary.
+
+use std::fmt;
+use std::io::{BufRead, Read, Write};
+
+use crate::json::Json;
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 16 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+
+/// A failure while reading a request or response from the wire.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The underlying socket failed (including read timeouts).
+    Io(std::io::Error),
+    /// The peer sent something that is not HTTP/1.1 as we speak it.
+    Malformed(String),
+    /// The declared body exceeds the configured limit.
+    TooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Configured maximum.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request: method, path, headers, raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the peer, not by us).
+    pub method: String,
+    /// The request target, e.g. `/audit`.
+    pub path: String,
+    /// Header name/value pairs in wire order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// The raw body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to yes unless the peer asked to close.
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, rejecting lines past
+/// [`MAX_LINE`]. `Ok(None)` is clean EOF *before any byte*.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    let mut limited = reader.take((MAX_LINE + 1) as u64);
+    let n = limited.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        return Err(HttpError::Malformed(if buf.len() > MAX_LINE {
+            "line too long".into()
+        } else {
+            "truncated line".into()
+        }));
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))
+}
+
+/// Reads one request from the connection. `Ok(None)` means the peer closed
+/// cleanly between requests (normal keep-alive teardown).
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(HttpError::Malformed(format!("bad request line {line:?}"))),
+    };
+    // HTTP/1.1 only: a 1.0 peer would neither expect our default
+    // keep-alive nor understand chunked batch responses.
+    if version != "HTTP/1.1" {
+        return Err(HttpError::Malformed(format!("unsupported {version:?}")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let header =
+            read_line(reader)?.ok_or_else(|| HttpError::Malformed("eof inside headers".into()))?;
+        if header.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+        let (name, value) = header
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header {header:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let mut request = Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(len) = request.header("content-length") {
+        let declared: usize = len
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {len:?}")))?;
+        if declared > max_body {
+            return Err(HttpError::TooLarge {
+                declared,
+                limit: max_body,
+            });
+        }
+        let mut body = vec![0u8; declared];
+        reader.read_exact(&mut body)?;
+        request.body = body;
+    } else if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed(
+            "chunked request bodies are not supported".into(),
+        ));
+    }
+    Ok(Some(request))
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status_text(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Writes a JSON response.
+pub fn write_json<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &Json,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write_response(
+        writer,
+        status,
+        "application/json",
+        body.to_string().as_bytes(),
+        keep_alive,
+    )
+}
+
+/// A chunked-transfer response in progress: headers go out at construction,
+/// each [`chunk`](Self::chunk) is flushed immediately (that is the point —
+/// batch lines reach the client as they complete), and
+/// [`finish`](Self::finish) writes the terminating chunk.
+pub struct ChunkedWriter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Starts a chunked response.
+    pub fn new(
+        mut writer: W,
+        status: u16,
+        content_type: &str,
+        keep_alive: bool,
+    ) -> std::io::Result<Self> {
+        write!(
+            writer,
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+            status_text(status),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        writer.flush()?;
+        Ok(Self { writer })
+    }
+
+    /// Sends one chunk (skipped when empty — an empty chunk would terminate
+    /// the stream) and flushes it to the socket.
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.writer, "{:x}\r\n", data.len())?;
+        self.writer.write_all(data)?;
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()
+    }
+
+    /// Terminates the stream.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.writer.write_all(b"0\r\n\r\n")?;
+        self.writer.flush()
+    }
+}
+
+/// A small blocking HTTP/1.1 client speaking exactly this server's dialect —
+/// shared by the integration tests and the `load_gen` benchmark binary.
+pub mod client {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::{TcpStream, ToSocketAddrs};
+    use std::time::Duration;
+
+    use super::HttpError;
+    use crate::json::Json;
+
+    /// A persistent connection to the server.
+    pub struct Client {
+        writer: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    /// A decoded response.
+    #[derive(Debug, Clone)]
+    pub struct Response {
+        /// The status code.
+        pub status: u16,
+        /// The full (de-chunked) body.
+        pub body: String,
+    }
+
+    impl Response {
+        /// Parses the body as one JSON document.
+        pub fn json(&self) -> Result<Json, HttpError> {
+            Json::parse(&self.body).map_err(|e| HttpError::Malformed(format!("response body: {e}")))
+        }
+
+        /// Splits an `application/x-ndjson` body into parsed lines.
+        pub fn ndjson(&self) -> Result<Vec<Json>, HttpError> {
+            self.body
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(|l| {
+                    Json::parse(l)
+                        .map_err(|e| HttpError::Malformed(format!("ndjson line {l:?}: {e}")))
+                })
+                .collect()
+        }
+    }
+
+    impl Client {
+        /// Connects with a read timeout (`None` = block forever).
+        pub fn connect<A: ToSocketAddrs>(
+            addr: A,
+            read_timeout: Option<Duration>,
+        ) -> std::io::Result<Self> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_read_timeout(read_timeout)?;
+            stream.set_nodelay(true)?;
+            let reader = BufReader::new(stream.try_clone()?);
+            Ok(Self {
+                writer: stream,
+                reader,
+            })
+        }
+
+        /// Sends `GET path` and reads the response.
+        pub fn get(&mut self, path: &str) -> Result<Response, HttpError> {
+            write!(self.writer, "GET {path} HTTP/1.1\r\nHost: wcbk\r\n\r\n")?;
+            self.writer.flush()?;
+            self.read_response()
+        }
+
+        /// Sends `POST path` with a JSON body and reads the response.
+        pub fn post(&mut self, path: &str, body: &str) -> Result<Response, HttpError> {
+            write!(
+                self.writer,
+                "POST {path} HTTP/1.1\r\nHost: wcbk\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )?;
+            self.writer.write_all(body.as_bytes())?;
+            self.writer.flush()?;
+            self.read_response()
+        }
+
+        /// Sends raw bytes as-is (for malformed-request tests).
+        pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+            self.writer.write_all(bytes)?;
+            self.writer.flush()
+        }
+
+        /// Reads one response after [`send_raw`](Self::send_raw).
+        pub fn read_response(&mut self) -> Result<Response, HttpError> {
+            let status_line = read_line(&mut self.reader)?
+                .ok_or_else(|| HttpError::Malformed("eof before status line".into()))?;
+            let mut parts = status_line.split(' ');
+            let status: u16 = match (parts.next(), parts.next()) {
+                (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad status {status_line:?}")))?,
+                _ => {
+                    return Err(HttpError::Malformed(format!(
+                        "bad status line {status_line:?}"
+                    )))
+                }
+            };
+            let mut content_length: Option<usize> = None;
+            let mut chunked = false;
+            loop {
+                let header = read_line(&mut self.reader)?
+                    .ok_or_else(|| HttpError::Malformed("eof inside headers".into()))?;
+                if header.is_empty() {
+                    break;
+                }
+                let Some((name, value)) = header.split_once(':') else {
+                    continue;
+                };
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = Some(value.parse().map_err(|_| {
+                        HttpError::Malformed(format!("bad content-length {value:?}"))
+                    })?);
+                } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                    chunked = true;
+                }
+            }
+            let mut body = Vec::new();
+            if chunked {
+                loop {
+                    let size_line = read_line(&mut self.reader)?
+                        .ok_or_else(|| HttpError::Malformed("eof inside chunk size".into()))?;
+                    let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+                        HttpError::Malformed(format!("bad chunk size {size_line:?}"))
+                    })?;
+                    let mut chunk = vec![0u8; size + 2]; // data + CRLF
+                    self.reader.read_exact(&mut chunk)?;
+                    if size == 0 {
+                        break;
+                    }
+                    chunk.truncate(size);
+                    body.extend_from_slice(&chunk);
+                }
+            } else if let Some(len) = content_length {
+                body = vec![0u8; len];
+                self.reader.read_exact(&mut body)?;
+            } else {
+                self.reader.read_to_end(&mut body)?;
+            }
+            let body = String::from_utf8(body)
+                .map_err(|_| HttpError::Malformed("non-UTF-8 response body".into()))?;
+            Ok(Response { status, body })
+        }
+    }
+
+    /// Reads one CRLF/LF-terminated line from the response stream.
+    fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
+        let mut buf = Vec::new();
+        let n = reader.read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+        }
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        String::from_utf8(buf)
+            .map(Some)
+            .map_err(|_| HttpError::Malformed("non-UTF-8 line".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw), 1024)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_close() {
+        let req =
+            parse(b"POST /audit HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\n{\"a\"")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\"");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn bare_lf_lines_are_tolerated() {
+        let req = parse(b"GET / HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for raw in [
+            &b"NOT_HTTP\r\n\r\n"[..],
+            b"GET /x HTTP/2\r\n\r\n",
+            b"GET /x HTTP/1.0\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nHost: x\r\n", // EOF inside headers
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::Malformed(_))),
+                "{:?} should be malformed",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::TooLarge {
+                declared: 9999,
+                limit: 1024
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert!(matches!(err, HttpError::Io(_)));
+    }
+
+    #[test]
+    fn response_writers_produce_parseable_http() {
+        let mut out = Vec::new();
+        write_json(
+            &mut out,
+            200,
+            &Json::object(vec![("ok", true.into())]),
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+
+        let mut out = Vec::new();
+        let mut chunked = ChunkedWriter::new(&mut out, 200, "application/x-ndjson", false).unwrap();
+        chunked.chunk(b"{\"i\":0}\n").unwrap();
+        chunked.chunk(b"").unwrap(); // no accidental terminator
+        chunked.chunk(b"{\"i\":1}\n").unwrap();
+        chunked.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+        assert!(text.contains("8\r\n{\"i\":0}\n\r\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+    }
+
+    #[test]
+    fn status_texts_cover_served_codes() {
+        for code in [200u16, 400, 404, 405, 413, 500, 503] {
+            assert_ne!(status_text(code), "Unknown", "{code}");
+        }
+        assert_eq!(status_text(418), "Unknown");
+    }
+}

@@ -1,0 +1,47 @@
+//! # wcbk-serve — the batch/streaming disclosure-audit service
+//!
+//! PRs 1–3 made the disclosure machinery shareable (`Send + Sync` engine,
+//! one-scan roll-up evaluation, a work-stealing whole-lattice scheduler);
+//! this crate puts a network front-end on it, turning one-shot CLI runs
+//! into a long-lived service: **many tables, one shared engine**, the
+//! natural shape for sequential-release workloads where overlapping tables
+//! are re-audited as data accretes.
+//!
+//! Everything is `std`-only — hand-rolled HTTP/1.1 ([`http`]) and JSON
+//! ([`json`]) — because the build environment has no registry access.
+//!
+//! ## Endpoints
+//!
+//! | endpoint | does |
+//! |---|---|
+//! | `POST /audit` | CSV or inline rows → max disclosure + (c,k)-safety verdict |
+//! | `POST /search` | minimal safe generalizations (honors `threads`/`schedule`/`memo_cap`) |
+//! | `POST /batch` | many tables fanned over the work-stealing scheduler, streamed back one NDJSON line per completed table |
+//! | `GET /stats` | engine cache + roll-up + server counters |
+//! | `GET /healthz` | liveness |
+//! | `POST /shutdown` | graceful shutdown (in-flight work finishes) |
+//!
+//! Results are bit-identical to `wcbk audit` / `wcbk search`: same table
+//! construction, same engine code, and `f64`s serialized with shortest
+//! round-trip formatting. Backpressure is a bounded connection queue —
+//! beyond `queue_depth` waiting connections, new ones get an immediate
+//! `503` with `Retry-After` instead of unbounded buffering.
+//!
+//! ```no_run
+//! use wcbk_serve::{Server, ServerConfig};
+//!
+//! let server = Server::bind(&ServerConfig::default())?;
+//! println!("listening on {}", server.local_addr());
+//! let handle = server.handle(); // .shutdown() from any thread
+//! server.run()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod service;
+
+pub use json::{Json, JsonError};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use service::{AuditService, ServeError};

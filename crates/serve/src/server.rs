@@ -1,0 +1,559 @@
+//! The HTTP front-end: a bounded worker pool over one shared
+//! [`AuditService`].
+//!
+//! * **Dispatch** — the accept loop pushes connections onto a bounded queue;
+//!   `workers` threads pop and serve them (persistent connections, one
+//!   request at a time per connection).
+//! * **Backpressure** — when the queue is full the connection is answered
+//!   `503 Service Unavailable` (with `Retry-After`) and closed immediately:
+//!   heavy traffic degrades into fast rejections, never unbounded memory.
+//! * **Streaming** — `POST /batch` fans its tables out over the
+//!   work-stealing scheduler ([`wcbk_core::sched`]) and streams one JSON
+//!   line per completed table as a chunk, so clients see results while the
+//!   batch is still running.
+//! * **Graceful shutdown** — `POST /shutdown` (or
+//!   [`ServerHandle::shutdown`]) stops the accept loop, lets every queued
+//!   and in-flight request finish (a streaming batch runs to completion),
+//!   then returns from [`Server::run`]. Workers parked in a blocking read
+//!   on an idle keep-alive connection are unparked by shutting down that
+//!   connection's read half (responses in progress are unaffected), and the
+//!   per-connection read timeout bounds everything else, so shutdown cannot
+//!   hang on a silent peer.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use wcbk_core::sched::{evaluate_work_stealing, MonotoneDag};
+
+use crate::http::{read_request, write_json, ChunkedWriter, HttpError, Request};
+use crate::json::Json;
+use crate::service::{AuditService, ServeError};
+
+/// Server knobs; `Default` gives a loopback server with
+/// hardware-parallelism workers.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads serving connections (`0` = all cores).
+    pub workers: usize,
+    /// Connections held waiting for a worker before new ones get 503.
+    pub queue_depth: usize,
+    /// Threads each `/batch` request fans out over (`0` = the worker count).
+    pub batch_threads: usize,
+    /// Largest accepted request body.
+    pub max_body: usize,
+    /// Per-connection read timeout: bounds how long a worker can sit on an
+    /// idle or trickling connection (and therefore how long shutdown can
+    /// take). `None` disables the bound.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 0,
+            queue_depth: 64,
+            batch_threads: 0,
+            max_body: 64 * 1024 * 1024,
+            read_timeout: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// Counters the server adds to `/stats` next to the service's.
+#[derive(Default)]
+struct ServerCounters {
+    requests: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// State shared by the accept loop, the workers, and every handle.
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    /// Read halves of the connections currently being served, so graceful
+    /// shutdown can unpark workers sitting in a blocking read on an idle
+    /// keep-alive connection. Responses in progress are untouched (only the
+    /// read direction is shut down), so a streaming batch still completes.
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    counters: ServerCounters,
+    local_addr: SocketAddr,
+    queue_depth: usize,
+    workers: usize,
+    batch_threads: usize,
+    max_body: usize,
+    read_timeout: Option<Duration>,
+    started: Instant,
+}
+
+impl Shared {
+    /// Initiates graceful shutdown: stop accepting, wake every worker, and
+    /// poke the accept loop with a throwaway connection so `accept()`
+    /// returns.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.ready.notify_all();
+        // Unpark workers blocked reading a served connection: kill the read
+        // half only, so responses (and streaming batches) still complete.
+        // Connections dequeued after this point are served one last request
+        // and closed by the `keep_alive` check in `handle_connection`.
+        let conns = self
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for stream in conns.values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        drop(conns);
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A clonable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begins graceful shutdown (idempotent): in-flight and queued requests
+    /// finish, then [`Server::run`] returns.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound listener plus the shared service — see the module docs.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<AuditService>,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and materializes the shared state. The server
+    /// does not serve until [`run`](Self::run).
+    pub fn bind(config: &ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(std::collections::HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            counters: ServerCounters::default(),
+            local_addr,
+            queue_depth: config.queue_depth.max(1),
+            workers,
+            batch_threads: if config.batch_threads == 0 {
+                workers
+            } else {
+                config.batch_threads
+            },
+            max_body: config.max_body,
+            read_timeout: config.read_timeout,
+            started: Instant::now(),
+        });
+        Ok(Self {
+            listener,
+            service: Arc::new(AuditService::new()),
+            shared,
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// A remote control valid for the server's whole life.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The shared audit service (tests inspect its stats directly).
+    pub fn service(&self) -> Arc<AuditService> {
+        Arc::clone(&self.service)
+    }
+
+    /// Serves until graceful shutdown completes. The calling thread runs
+    /// the accept loop; workers run on scoped threads.
+    pub fn run(self) -> std::io::Result<()> {
+        let shared = &self.shared;
+        let service = &self.service;
+        std::thread::scope(|scope| {
+            for _ in 0..shared.workers {
+                scope.spawn(move || worker_loop(shared, service));
+            }
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match self.listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(_) => {
+                        // Persistent accept errors (EMFILE under fd
+                        // exhaustion) would otherwise busy-spin this thread;
+                        // back off briefly so workers can release fds.
+                        std::thread::sleep(Duration::from_millis(50));
+                        continue;
+                    }
+                };
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The shutdown poke (or a raced client; it gets EOF).
+                    break;
+                }
+                let _ = stream.set_read_timeout(shared.read_timeout);
+                let _ = stream.set_nodelay(true);
+                enqueue(shared, stream);
+            }
+            // Wake any worker still waiting so it can observe shutdown.
+            shared.ready.notify_all();
+        });
+        Ok(())
+    }
+}
+
+/// Locks the connection queue, recovering from poisoning: a queue of
+/// sockets has no invariant a panicked holder can break, and giving up the
+/// lock forever would turn one handler panic into a full-server outage.
+fn lock_queue(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+    shared
+        .queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Queues the connection or rejects it with 503 when the queue is full.
+fn enqueue(shared: &Shared, stream: TcpStream) {
+    let mut queue = lock_queue(shared);
+    if queue.len() >= shared.queue_depth {
+        drop(queue);
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        let mut stream = stream;
+        let body = Json::object(vec![("error", "server is at capacity".into())]).to_string();
+        let _ = write!(
+            stream,
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        return;
+    }
+    queue.push_back(stream);
+    shared.ready.notify_one();
+}
+
+/// Pops connections until shutdown is requested **and** the queue is
+/// drained (graceful: queued clients are served, not dropped).
+fn worker_loop(shared: &Shared, service: &AuditService) {
+    loop {
+        let stream = {
+            let mut queue = lock_queue(shared);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        match stream {
+            Some(stream) => {
+                // Panic isolation: a bug (or thread-spawn failure) while
+                // serving one connection must not take the worker — let
+                // alone the pool — down with it.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(shared, service, stream)
+                }));
+                if caught.is_err() {
+                    eprintln!("wcbk-serve: connection handler panicked; connection dropped");
+                }
+            }
+            None => return,
+        }
+    }
+}
+
+/// Removes a connection from the shutdown registry when serving ends.
+struct ConnGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(&self.id);
+    }
+}
+
+/// Serves one persistent connection: requests in sequence until the peer
+/// closes, asks to close, errors, or shutdown begins.
+fn handle_connection(shared: &Shared, service: &AuditService, stream: TcpStream) {
+    let Ok(reader_half) = stream.try_clone() else {
+        return;
+    };
+    let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(registered) = stream.try_clone() {
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(id, registered);
+    }
+    let _guard = ConnGuard { shared, id };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        // Dequeued during the drain: the begin_shutdown read-half sweep ran
+        // before this registration, so bound the read ourselves — a silent
+        // queued peer must not stall shutdown (notably with no configured
+        // read timeout). Buffered request bytes still get served.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+    }
+    let mut reader = BufReader::new(reader_half);
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader, shared.max_body) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(HttpError::Io(_)) => return, // peer gone or read timeout
+            Err(HttpError::TooLarge { declared, limit }) => {
+                service.count_bad_request();
+                let body = Json::object(vec![(
+                    "error",
+                    format!("body of {declared} bytes exceeds the {limit}-byte limit").into(),
+                )]);
+                let _ = write_json(&mut writer, 413, &body, false);
+                return;
+            }
+            Err(HttpError::Malformed(message)) => {
+                service.count_bad_request();
+                let body = Json::object(vec![("error", message.into())]);
+                let _ = write_json(&mut writer, 400, &body, false);
+                return;
+            }
+        };
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let shutdown_after = matches!(
+            (request.method.as_str(), request.path.as_str()),
+            ("POST", "/shutdown")
+        );
+        // During shutdown, finish this request but close the connection.
+        let keep_alive =
+            request.keep_alive() && !shutdown_after && !shared.shutdown.load(Ordering::SeqCst);
+        if respond(shared, service, &mut writer, &request, keep_alive).is_err() {
+            return;
+        }
+        if shutdown_after {
+            shared.begin_shutdown();
+        }
+        if !keep_alive || shutdown_after {
+            return;
+        }
+    }
+}
+
+/// Routes one request and writes its response.
+fn respond(
+    shared: &Shared,
+    service: &AuditService,
+    writer: &mut TcpStream,
+    request: &Request,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    // Everything except /batch (which streams) resolves to a status + body.
+    let (status, body): (u16, Json) = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            Json::object(vec![
+                ("status", "ok".into()),
+                (
+                    "uptime_ms",
+                    (shared.started.elapsed().as_millis() as u64).into(),
+                ),
+                (
+                    "shutting_down",
+                    shared.shutdown.load(Ordering::SeqCst).into(),
+                ),
+            ]),
+        ),
+        ("GET", "/stats") => {
+            let mut sections = service.stats();
+            sections.push((
+                "server",
+                Json::object(vec![
+                    (
+                        "requests",
+                        shared.counters.requests.load(Ordering::Relaxed).into(),
+                    ),
+                    (
+                        "rejected_503",
+                        shared.counters.rejected.load(Ordering::Relaxed).into(),
+                    ),
+                    ("workers", shared.workers.into()),
+                    ("queue_depth", shared.queue_depth.into()),
+                    ("batch_threads", shared.batch_threads.into()),
+                    (
+                        "uptime_ms",
+                        (shared.started.elapsed().as_millis() as u64).into(),
+                    ),
+                ]),
+            ));
+            (
+                200,
+                Json::Object(
+                    sections
+                        .into_iter()
+                        .map(|(k, v)| (k.to_owned(), v))
+                        .collect(),
+                ),
+            )
+        }
+        ("POST", "/shutdown") => (200, Json::object(vec![("ok", true.into())])),
+        ("POST", "/audit") => match parse_body(&request.body).and_then(|b| service.audit(&b)) {
+            Ok(out) => (200, out),
+            Err(e) => bad_request(service, e),
+        },
+        ("POST", "/search") => match parse_body(&request.body).and_then(|b| service.search(&b)) {
+            Ok(out) => (200, out),
+            Err(e) => bad_request(service, e),
+        },
+        ("POST", "/batch") => {
+            return handle_batch(shared, service, writer, &request.body, keep_alive)
+        }
+        ("GET" | "POST", _) => (
+            404,
+            Json::object(vec![("error", "no such endpoint".into())]),
+        ),
+        _ => (
+            405,
+            Json::object(vec![("error", "method not allowed".into())]),
+        ),
+    };
+    write_json(writer, status, &body, keep_alive)
+}
+
+/// Counts and renders a handler rejection as a 400 body.
+fn bad_request(service: &AuditService, e: ServeError) -> (u16, Json) {
+    service.count_bad_request();
+    let ServeError::BadRequest(message) = e;
+    (400, Json::object(vec![("error", message.into())]))
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, ServeError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServeError::BadRequest("body is not UTF-8".into()))?;
+    Json::parse(text).map_err(|e| ServeError::BadRequest(e.to_string()))
+}
+
+/// `POST /batch`: validate, then stream one NDJSON line per table as the
+/// work-stealing scheduler completes them, and a final summary line.
+fn handle_batch(
+    shared: &Shared,
+    service: &AuditService,
+    writer: &mut TcpStream,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let jobs = match parse_body(body).and_then(|b| {
+        let threads = match b.get("threads").map(|t| t.as_u64()) {
+            None => shared.batch_threads,
+            Some(Some(n)) => (n as usize).clamp(1, shared.batch_threads.max(1)),
+            Some(None) => {
+                return Err(ServeError::BadRequest(
+                    "\"threads\" must be a non-negative integer".into(),
+                ))
+            }
+        };
+        service.batch_jobs(&b).map(|jobs| (jobs, threads))
+    }) {
+        Ok(jobs) => jobs,
+        Err(ServeError::BadRequest(message)) => {
+            service.count_bad_request();
+            let body = Json::object(vec![("error", message.into())]);
+            return write_json(writer, 400, &body, keep_alive);
+        }
+    };
+    let (jobs, threads) = jobs;
+    let n = jobs.len();
+    let mut out = ChunkedWriter::new(&mut *writer, 200, "application/x-ndjson", keep_alive)?;
+    let (tx, rx) = mpsc::channel::<(usize, Json)>();
+    let mut write_failure: Option<std::io::Error> = None;
+    // Set when the client is gone, so the scheduler stops burning CPU on
+    // tables nobody will read.
+    let cancelled = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let tx = Mutex::new(tx);
+            // An edgeless DAG: every table is a source, so the scheduler is
+            // pure work-stealing fan-out; verdicts are irrelevant (no
+            // up-sets to prune) and errors cannot occur.
+            let dag = MonotoneDag::new(vec![Vec::new(); n]);
+            let _ = evaluate_work_stealing(&dag, threads, false, |i| {
+                if !cancelled.load(Ordering::Relaxed) {
+                    let result = service.run_job(&jobs[i]);
+                    let _ = tx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .send((i, result));
+                }
+                Ok::<bool, std::convert::Infallible>(false)
+            });
+            // `tx` drops here; the receive loop below then terminates.
+        });
+        for (index, result) in rx.iter() {
+            if write_failure.is_some() {
+                continue; // drain so the scheduler thread can finish
+            }
+            let mut line = vec![("index".to_owned(), Json::from(index))];
+            match result {
+                Json::Object(pairs) => line.extend(pairs),
+                other => line.push(("result".to_owned(), other)),
+            }
+            let mut text = Json::Object(line).to_string();
+            text.push('\n');
+            if let Err(e) = out.chunk(text.as_bytes()) {
+                write_failure = Some(e);
+                cancelled.store(true, Ordering::Relaxed);
+            }
+        }
+    });
+    if let Some(e) = write_failure {
+        return Err(e);
+    }
+    let mut summary = Json::object(vec![("done", true.into()), ("tables", n.into())]).to_string();
+    summary.push('\n');
+    out.chunk(summary.as_bytes())?;
+    out.finish()
+}

@@ -1,0 +1,850 @@
+//! The audit service: JSON requests in, engine-backed verdicts out.
+//!
+//! One [`AuditService`] lives for the whole server process and is shared by
+//! every connection handler. It owns the state that makes a long-running
+//! service faster than one-shot CLI runs:
+//!
+//! * a registry of [`DisclosureEngine`]s, one per attacker power `k`, so
+//!   MINIMIZE1 tables memoized by *any* request are reused by every later
+//!   request whose buckets share a histogram (the sequential-release
+//!   workload: re-audits of overlapping tables hit the cache);
+//! * accumulated roll-up counters from every search, surfaced by `/stats`.
+//!
+//! Results are **bit-identical** to the CLI `audit`/`search` paths: tables
+//! are built with the same schema rules, bucketized by the same grouping,
+//! and judged by the same engine code — only the transport differs (JSON
+//! numbers serialize via shortest-round-trip formatting, so not even the
+//! last bit of an `f64` is lost).
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use wcbk_anonymize::{
+    default_threads, find_minimal_safe_report, CkSafetyCriterion, PrivacyCriterion, Schedule,
+    SearchConfig, SearchReport,
+};
+use wcbk_core::{Bucketization, CkSafety, DisclosureEngine};
+use wcbk_hierarchy::{GeneralizationLattice, Hierarchy, RollupStats};
+use wcbk_table::{Attribute, AttributeKind, Schema, Table, TableBuilder};
+
+use crate::json::Json;
+
+/// A request the service could not satisfy.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The client's request is invalid (missing fields, bad CSV, unknown
+    /// columns, parameters out of range) — an HTTP 400.
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadRequest(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+fn bad(message: impl Into<String>) -> ServeError {
+    ServeError::BadRequest(message.into())
+}
+
+/// Accumulated roll-up counters across every search the service ran.
+#[derive(Default)]
+struct RollupTotals {
+    searches: AtomicU64,
+    table_scans: AtomicU64,
+    derived: AtomicU64,
+    ancestor_derived: AtomicU64,
+    memo_hits: AtomicU64,
+    evictions: AtomicU64,
+    /// Largest retained memo weight (groups) any single search reached.
+    peak_memo_groups: AtomicU64,
+}
+
+impl RollupTotals {
+    fn absorb(&self, stats: &RollupStats) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        self.table_scans
+            .fetch_add(stats.table_scans, Ordering::Relaxed);
+        self.derived.fetch_add(stats.derived, Ordering::Relaxed);
+        self.ancestor_derived
+            .fetch_add(stats.ancestor_derived, Ordering::Relaxed);
+        self.memo_hits.fetch_add(stats.memo_hits, Ordering::Relaxed);
+        self.evictions.fetch_add(stats.evictions, Ordering::Relaxed);
+        self.peak_memo_groups
+            .fetch_max(stats.memo_groups, Ordering::Relaxed);
+    }
+}
+
+/// Shared per-process audit state — see the module docs.
+#[derive(Default)]
+pub struct AuditService {
+    /// One shared engine per attacker power `k`.
+    engines: RwLock<HashMap<usize, Arc<DisclosureEngine>>>,
+    rollup: RollupTotals,
+    audits: AtomicU64,
+    searches: AtomicU64,
+    batches: AtomicU64,
+    batch_tables: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+impl AuditService {
+    /// Creates an empty service (engines materialize on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared engine for attacker power `k`, created on first request.
+    pub fn engine(&self, k: usize) -> Arc<DisclosureEngine> {
+        if let Some(engine) = self
+            .engines
+            .read()
+            .expect("engine registry poisoned")
+            .get(&k)
+        {
+            return Arc::clone(engine);
+        }
+        let mut engines = self.engines.write().expect("engine registry poisoned");
+        Arc::clone(
+            engines
+                .entry(k)
+                .or_insert_with(|| Arc::new(DisclosureEngine::new(k))),
+        )
+    }
+
+    /// Handles `POST /audit`: bucketize by the exact quasi-identifiers and
+    /// report maximum disclosure (and the (c,k)-safety verdict when `c` is
+    /// given), exactly like `wcbk audit`.
+    pub fn audit(&self, request: &Json) -> Result<Json, ServeError> {
+        let table = table_from_request(request)?;
+        let k = optional_usize(request, "k")?.unwrap_or(3);
+        let c = optional_f64(request, "c")?;
+        let qi_names = string_list(request, "qi")?;
+        let qi_cols = resolve_columns(&table, &qi_names)?;
+        let b = bucketize_exact(&table, &qi_cols)?;
+        let engine = self.engine(k);
+        let worst = engine
+            .max_disclosure(&b)
+            .map_err(|e| bad(format!("disclosure: {e}")))?;
+        let safe = match c {
+            Some(c) => {
+                let safety = CkSafety::new(c, k).map_err(|e| bad(e.to_string()))?;
+                Some(
+                    safety
+                        .is_safe_with(&engine, &b)
+                        .map_err(|e| bad(format!("safety: {e}")))?,
+                )
+            }
+            None => None,
+        };
+        self.audits.fetch_add(1, Ordering::Relaxed);
+        Ok(Json::object(vec![
+            ("op", "audit".into()),
+            ("buckets", b.n_buckets().into()),
+            ("tuples", b.n_tuples().into()),
+            ("domain", b.domain_size().into()),
+            ("k", k.into()),
+            ("max_disclosure", worst.value.into()),
+            (
+                "witness",
+                Json::object(vec![
+                    ("predicts", worst.witness.consequent.to_string().into()),
+                    ("knowing", worst.witness.knowledge().to_string().into()),
+                ]),
+            ),
+            ("c", c.map(Json::from).unwrap_or(Json::Null)),
+            ("safe", safe.map(Json::from).unwrap_or(Json::Null)),
+        ]))
+    }
+
+    /// Handles `POST /search`: minimal (c,k)-safe generalizations over the
+    /// request's hierarchies, honoring `threads` / `schedule` / `memo_cap`,
+    /// exactly like `wcbk search` — but through the **shared** engine for
+    /// that `k`, so repeated searches reuse each other's MINIMIZE1 tables.
+    pub fn search(&self, request: &Json) -> Result<Json, ServeError> {
+        let table = table_from_request(request)?;
+        let k = optional_usize(request, "k")?.unwrap_or(3);
+        let c = optional_f64(request, "c")?.ok_or_else(|| bad("search needs \"c\""))?;
+        let qi_names = string_list(request, "qi")?;
+        if qi_names.is_empty() {
+            return Err(bad("search needs a non-empty \"qi\" list"));
+        }
+        let config = search_config(request)?;
+        let lattice = build_lattice(&table, &qi_names, request)?;
+        let criterion =
+            CkSafetyCriterion::with_engine(c, self.engine(k)).map_err(|e| bad(e.to_string()))?;
+        let SearchReport { outcome, rollup } =
+            find_minimal_safe_report(&table, &lattice, &criterion, &config)
+                .map_err(|e| bad(format!("search: {e}")))?;
+        if let Some(stats) = &rollup {
+            self.rollup.absorb(stats);
+        }
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        let minimal: Vec<Json> = outcome
+            .minimal_nodes
+            .iter()
+            .map(|node| Json::Array(node.0.iter().map(|&l| l.into()).collect()))
+            .collect();
+        Ok(Json::object(vec![
+            ("op", "search".into()),
+            ("criterion", criterion.name().into()),
+            (
+                "qi",
+                Json::Array(qi_names.iter().map(|n| n.as_str().into()).collect()),
+            ),
+            ("nodes", lattice.n_nodes().into()),
+            ("evaluated", outcome.evaluated.into()),
+            ("satisfied", outcome.satisfied.into()),
+            ("safe", (!outcome.minimal_nodes.is_empty()).into()),
+            ("minimal", Json::Array(minimal)),
+            (
+                "rollup",
+                rollup.as_ref().map(rollup_json).unwrap_or(Json::Null),
+            ),
+        ]))
+    }
+
+    /// Validates a `POST /batch` request, returning the job list (each an
+    /// `audit`/`search` object as taken by [`audit`](Self::audit) and
+    /// [`search`](Self::search), selected by its `"op"` field).
+    pub fn batch_jobs(&self, request: &Json) -> Result<Vec<Json>, ServeError> {
+        let tables = request
+            .get("tables")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("batch needs a \"tables\" array"))?;
+        if tables.is_empty() {
+            return Err(bad("batch needs at least one table"));
+        }
+        for (i, job) in tables.iter().enumerate() {
+            if job.as_object().is_none() {
+                return Err(bad(format!("tables[{i}] is not an object")));
+            }
+            match job.get("op").map(|op| op.as_str()) {
+                None => {}
+                Some(Some("audit" | "search")) => {}
+                Some(other) => {
+                    return Err(bad(format!(
+                        "tables[{i}].op must be \"audit\" or \"search\", got {other:?}"
+                    )))
+                }
+            }
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        Ok(tables.to_vec())
+    }
+
+    /// Runs one batch job to a result object — never fails; job-level
+    /// errors are embedded as `{"error": …}` so one bad table cannot sink
+    /// its batch.
+    pub fn run_job(&self, job: &Json) -> Json {
+        let result = match job.get("op").and_then(Json::as_str).unwrap_or("audit") {
+            "search" => self.search(job),
+            _ => self.audit(job),
+        };
+        self.batch_tables.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(v) => v,
+            Err(e) => {
+                self.bad_requests.fetch_add(1, Ordering::Relaxed);
+                Json::object(vec![("error", e.to_string().into())])
+            }
+        }
+    }
+
+    /// Counts one request rejected before reaching a handler.
+    pub fn count_bad_request(&self) {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `/stats` body: engine cache totals (per `k` and summed), the
+    /// accumulated roll-up counters, and service-level request counts. The
+    /// caller (the server) appends its own section.
+    pub fn stats(&self) -> Vec<(&'static str, Json)> {
+        let engines = self.engines.read().expect("engine registry poisoned");
+        let mut per_k: Vec<(usize, Json)> = engines
+            .iter()
+            .map(|(&k, engine)| {
+                let s = engine.stats();
+                (
+                    k,
+                    Json::object(vec![
+                        ("k", k.into()),
+                        ("hits", s.hits.into()),
+                        ("misses", s.misses.into()),
+                        ("entries", s.entries.into()),
+                        ("hit_rate", s.hit_rate().into()),
+                    ]),
+                )
+            })
+            .collect();
+        per_k.sort_by_key(|&(k, _)| k);
+        let (hits, misses, entries) = engines.values().fold((0u64, 0u64, 0usize), |acc, e| {
+            let s = e.stats();
+            (acc.0 + s.hits, acc.1 + s.misses, acc.2 + s.entries)
+        });
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        vec![
+            (
+                "engine_cache",
+                Json::object(vec![
+                    ("engines", engines.len().into()),
+                    ("hits", hits.into()),
+                    ("misses", misses.into()),
+                    ("entries", entries.into()),
+                    ("hit_rate", hit_rate.into()),
+                    (
+                        "per_k",
+                        Json::Array(per_k.into_iter().map(|(_, v)| v).collect()),
+                    ),
+                ]),
+            ),
+            (
+                "rollup",
+                Json::object(vec![
+                    (
+                        "searches",
+                        self.rollup.searches.load(Ordering::Relaxed).into(),
+                    ),
+                    (
+                        "table_scans",
+                        self.rollup.table_scans.load(Ordering::Relaxed).into(),
+                    ),
+                    (
+                        "derived",
+                        self.rollup.derived.load(Ordering::Relaxed).into(),
+                    ),
+                    (
+                        "ancestor_derived",
+                        self.rollup.ancestor_derived.load(Ordering::Relaxed).into(),
+                    ),
+                    (
+                        "memo_hits",
+                        self.rollup.memo_hits.load(Ordering::Relaxed).into(),
+                    ),
+                    (
+                        "evictions",
+                        self.rollup.evictions.load(Ordering::Relaxed).into(),
+                    ),
+                    (
+                        "peak_memo_groups",
+                        self.rollup.peak_memo_groups.load(Ordering::Relaxed).into(),
+                    ),
+                ]),
+            ),
+            (
+                "service",
+                Json::object(vec![
+                    ("audits", self.audits.load(Ordering::Relaxed).into()),
+                    ("searches", self.searches.load(Ordering::Relaxed).into()),
+                    ("batches", self.batches.load(Ordering::Relaxed).into()),
+                    (
+                        "batch_tables",
+                        self.batch_tables.load(Ordering::Relaxed).into(),
+                    ),
+                    (
+                        "bad_requests",
+                        self.bad_requests.load(Ordering::Relaxed).into(),
+                    ),
+                ]),
+            ),
+        ]
+    }
+}
+
+fn rollup_json(stats: &RollupStats) -> Json {
+    Json::object(vec![
+        ("table_scans", stats.table_scans.into()),
+        ("derived", stats.derived.into()),
+        ("ancestor_derived", stats.ancestor_derived.into()),
+        ("memo_hits", stats.memo_hits.into()),
+        ("evictions", stats.evictions.into()),
+        ("memo_entries", stats.memo_entries.into()),
+        ("memo_groups", stats.memo_groups.into()),
+        ("bottom_groups", stats.bottom_groups.into()),
+    ])
+}
+
+fn optional_usize(request: &Json, key: &str) -> Result<Option<usize>, ServeError> {
+    match request.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(|n| Some(n as usize))
+            .ok_or_else(|| bad(format!("\"{key}\" must be a non-negative integer"))),
+    }
+}
+
+fn optional_f64(request: &Json, key: &str) -> Result<Option<f64>, ServeError> {
+    match request.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("\"{key}\" must be a number"))),
+    }
+}
+
+/// An optional list of strings (absent → empty).
+fn string_list(request: &Json, key: &str) -> Result<Vec<String>, ServeError> {
+    match request.get(key) {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| bad(format!("\"{key}\" must be an array of strings")))?
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| bad(format!("\"{key}\" must be an array of strings")))
+            })
+            .collect(),
+    }
+}
+
+/// Parses `threads` / `schedule` / `memo_cap` (alias `memo-cap`) into a
+/// [`SearchConfig`] with the same defaults and spellings as the CLI.
+/// `threads` is capped at the machine's core count — it is a
+/// client-supplied number on a network surface, and the scheduler's own
+/// clamp (lattice size) is *also* client-controlled via `hierarchy`.
+fn search_config(request: &Json) -> Result<SearchConfig, ServeError> {
+    let threads = optional_usize(request, "threads")?
+        .unwrap_or(1)
+        .min(default_threads());
+    let schedule = match request.get("schedule") {
+        None | Some(Json::Null) => Schedule::default(),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| bad("\"schedule\" must be a string"))?
+            .parse::<Schedule>()
+            .map_err(bad)?,
+    };
+    let memo_capacity = match optional_usize(request, "memo_cap")? {
+        Some(n) => Some(n),
+        None => optional_usize(request, "memo-cap")?,
+    };
+    Ok(SearchConfig {
+        threads,
+        schedule,
+        memo_capacity,
+    })
+}
+
+/// Builds the generalization lattice for `qi` from the request's
+/// `"hierarchy"` object (`{"Age": [5, 10], …}` — interval widths per
+/// column; unlisted columns get suppression hierarchies), mirroring the
+/// CLI's `--hierarchy COL:W1,W2,…` flags.
+fn build_lattice(
+    table: &Table,
+    qi: &[String],
+    request: &Json,
+) -> Result<GeneralizationLattice, ServeError> {
+    let specs: Vec<(String, Vec<u64>)> = match request.get("hierarchy") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(v) => v
+            .as_object()
+            .ok_or_else(|| bad("\"hierarchy\" must be an object of column -> widths"))?
+            .iter()
+            .map(|(col, widths)| {
+                let widths = widths
+                    .as_array()
+                    .ok_or_else(|| bad(format!("hierarchy {col:?}: widths must be an array")))?
+                    .iter()
+                    .map(|w| {
+                        w.as_u64()
+                            .ok_or_else(|| bad(format!("hierarchy {col:?}: bad width")))
+                    })
+                    .collect::<Result<Vec<u64>, ServeError>>()?;
+                Ok((col.clone(), widths))
+            })
+            .collect::<Result<_, ServeError>>()?,
+    };
+    for (col, _) in &specs {
+        if !qi.contains(col) {
+            return Err(bad(format!("hierarchy column {col:?} is not a qi column")));
+        }
+    }
+    let dims = qi
+        .iter()
+        .map(|name| {
+            let col = table
+                .schema()
+                .index_of(name)
+                .map_err(|e| bad(e.to_string()))?;
+            let dict = table.column(col).dictionary();
+            let hierarchy = match specs.iter().find(|(sc, _)| sc == name) {
+                Some((_, widths)) => {
+                    Hierarchy::intervals(name, dict, widths).map_err(|e| bad(e.to_string()))?
+                }
+                None => Hierarchy::suppression(name, dict),
+            };
+            Ok((col, hierarchy))
+        })
+        .collect::<Result<Vec<_>, ServeError>>()?;
+    GeneralizationLattice::new(dims).map_err(|e| bad(e.to_string()))
+}
+
+fn resolve_columns(table: &Table, names: &[String]) -> Result<Vec<usize>, ServeError> {
+    names
+        .iter()
+        .map(|n| table.schema().index_of(n).map_err(|e| bad(e.to_string())))
+        .collect()
+}
+
+/// Buckets by the exact quasi-identifier codes (the `wcbk audit` grouping);
+/// no quasi-identifiers means one bucket holding every tuple.
+fn bucketize_exact(table: &Table, qi_cols: &[usize]) -> Result<Bucketization, ServeError> {
+    let b = if qi_cols.is_empty() {
+        Bucketization::from_grouping(table, |_| 0u8)
+    } else {
+        Bucketization::from_grouping(table, |t| {
+            qi_cols
+                .iter()
+                .map(|&col| table.column(col).code(t.index()))
+                .collect::<Vec<u32>>()
+        })
+    };
+    b.map_err(|e| bad(format!("bucketize: {e}")))
+}
+
+/// Builds a [`Table`] from the request: either `"csv"` (text, first record
+/// the header) or `"columns"` + `"rows"` (inline). Column roles follow the
+/// CLI: `"sensitive"` names the sensitive column, `"qi"` columns are
+/// quasi-identifiers, everything else insensitive.
+pub fn table_from_request(request: &Json) -> Result<Table, ServeError> {
+    if request.as_object().is_none() {
+        return Err(bad("request body must be a JSON object"));
+    }
+    let sensitive = request
+        .get("sensitive")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing \"sensitive\" column name"))?;
+    let qi = string_list(request, "qi")?;
+
+    let (names, rows): (Vec<String>, Vec<Vec<String>>) = match request.get("csv") {
+        Some(csv) => {
+            let text = csv
+                .as_str()
+                .ok_or_else(|| bad("\"csv\" must be a string"))?;
+            let mut reader = wcbk_table::csv::CsvReader::new(BufReader::new(text.as_bytes()));
+            let header = reader
+                .next_record()
+                .map_err(|e| bad(format!("csv: {e}")))?
+                .ok_or_else(|| bad("csv is empty"))?;
+            let names = header.iter().map(|s| s.trim().to_owned()).collect();
+            let mut rows = Vec::new();
+            while let Some(record) = reader.next_record().map_err(|e| bad(format!("csv: {e}")))? {
+                rows.push(record);
+            }
+            (names, rows)
+        }
+        None => {
+            let names = string_list(request, "columns")?;
+            if names.is_empty() {
+                return Err(bad("need \"csv\" text or \"columns\" + \"rows\""));
+            }
+            let rows = request
+                .get("rows")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("\"rows\" must be an array of arrays"))?
+                .iter()
+                .map(|row| {
+                    row.as_array()
+                        .ok_or_else(|| bad("\"rows\" must be an array of arrays"))?
+                        .iter()
+                        .map(|cell| {
+                            cell.as_str()
+                                .map(str::to_owned)
+                                .ok_or_else(|| bad("row cells must be strings"))
+                        })
+                        .collect::<Result<Vec<String>, ServeError>>()
+                })
+                .collect::<Result<Vec<_>, ServeError>>()?;
+            (names, rows)
+        }
+    };
+
+    let attributes: Vec<Attribute> = names
+        .iter()
+        .map(|n| {
+            let kind = if n == sensitive {
+                AttributeKind::Sensitive
+            } else if qi.contains(n) {
+                AttributeKind::QuasiIdentifier
+            } else {
+                AttributeKind::Insensitive
+            };
+            Attribute::new(n.clone(), kind)
+        })
+        .collect();
+    let schema = Schema::new(attributes).map_err(|e| bad(e.to_string()))?;
+    let mut builder = TableBuilder::new(schema);
+    for row in &rows {
+        let trimmed: Vec<&str> = row.iter().map(|s| s.trim()).collect();
+        builder.push_row(&trimmed).map_err(|e| bad(e.to_string()))?;
+    }
+    let table = builder.build();
+    if table.n_rows() == 0 {
+        return Err(bad("table has no rows"));
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOSPITAL_CSV: &str =
+        "Age,Sex,Disease\n21,M,Flu\n23,F,Flu\n27,M,Cold\n29,F,Cold\n33,M,Flu\n35,F,Cold\n";
+
+    fn audit_request() -> String {
+        Json::object(vec![
+            ("csv", HOSPITAL_CSV.into()),
+            ("sensitive", "Disease".into()),
+            ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+            ("k", 1u64.into()),
+            ("c", 0.9.into()),
+        ])
+        .to_string()
+    }
+
+    #[test]
+    fn audit_matches_direct_engine_path() {
+        let service = AuditService::new();
+        let request = Json::parse(&audit_request()).unwrap();
+        let out = service.audit(&request).unwrap();
+
+        // The same computation through the library directly.
+        let table = table_from_request(&request).unwrap();
+        let qi_cols = resolve_columns(&table, &["Age".into(), "Sex".into()]).unwrap();
+        let b = bucketize_exact(&table, &qi_cols).unwrap();
+        let engine = DisclosureEngine::new(1);
+        let direct = engine.max_disclosure(&b).unwrap();
+        assert_eq!(
+            out.get("max_disclosure")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits(),
+            direct.value.to_bits()
+        );
+        assert_eq!(
+            out.get("safe").unwrap().as_bool(),
+            Some(wcbk_core::is_ck_safe(&b, 0.9, 1).unwrap())
+        );
+        assert_eq!(out.get("buckets").unwrap().as_u64(), Some(6));
+        assert_eq!(out.get("tuples").unwrap().as_u64(), Some(6));
+    }
+
+    #[test]
+    fn search_matches_library_search() {
+        let service = AuditService::new();
+        let request = Json::parse(
+            &Json::object(vec![
+                ("csv", HOSPITAL_CSV.into()),
+                ("sensitive", "Disease".into()),
+                ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+                ("k", 1u64.into()),
+                ("c", 0.9.into()),
+                ("threads", 2u64.into()),
+                ("schedule", "steal".into()),
+                ("memo_cap", 16u64.into()),
+            ])
+            .to_string(),
+        )
+        .unwrap();
+        let out = service.search(&request).unwrap();
+
+        let table = table_from_request(&request).unwrap();
+        let lattice = build_lattice(&table, &["Age".into(), "Sex".into()], &request).unwrap();
+        let criterion = CkSafetyCriterion::new(0.9, 1).unwrap();
+        let config = SearchConfig {
+            threads: 2,
+            schedule: Schedule::WorkStealing,
+            memo_capacity: Some(16),
+        };
+        let direct =
+            wcbk_anonymize::find_minimal_safe_with(&table, &lattice, &criterion, &config).unwrap();
+        let minimal = out.get("minimal").unwrap().as_array().unwrap();
+        assert_eq!(minimal.len(), direct.minimal_nodes.len());
+        for (got, want) in minimal.iter().zip(&direct.minimal_nodes) {
+            let got: Vec<usize> = got
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|l| l.as_u64().unwrap() as usize)
+                .collect();
+            assert_eq!(got, want.0);
+        }
+        assert_eq!(
+            out.get("evaluated").unwrap().as_u64(),
+            Some(direct.evaluated as u64)
+        );
+        assert_eq!(
+            out.get("satisfied").unwrap().as_u64(),
+            Some(direct.satisfied as u64)
+        );
+        // The roll-up section made it into the response and the totals.
+        assert!(out.get("rollup").unwrap().get("table_scans").is_some());
+        let stats = Json::Object(
+            service
+                .stats()
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        );
+        assert_eq!(
+            stats
+                .get("rollup")
+                .unwrap()
+                .get("searches")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn shared_engine_hits_across_requests() {
+        let service = AuditService::new();
+        let request = Json::parse(&audit_request()).unwrap();
+        service.audit(&request).unwrap();
+        service.audit(&request).unwrap();
+        let stats = Json::Object(
+            service
+                .stats()
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        );
+        let cache = stats.get("engine_cache").unwrap();
+        assert!(
+            cache.get("hits").unwrap().as_u64().unwrap() > 0,
+            "second audit must hit the shared engine cache: {stats}"
+        );
+        assert_eq!(cache.get("engines").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn inline_rows_equal_csv() {
+        let service = AuditService::new();
+        let by_csv = service
+            .audit(&Json::parse(&audit_request()).unwrap())
+            .unwrap();
+        let rows: Vec<Json> = HOSPITAL_CSV
+            .lines()
+            .skip(1)
+            .map(|l| Json::Array(l.split(',').map(Json::from).collect()))
+            .collect();
+        let by_rows = service
+            .audit(&Json::object(vec![
+                (
+                    "columns",
+                    Json::Array(vec!["Age".into(), "Sex".into(), "Disease".into()]),
+                ),
+                ("rows", Json::Array(rows)),
+                ("sensitive", "Disease".into()),
+                ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+                ("k", 1u64.into()),
+                ("c", 0.9.into()),
+            ]))
+            .unwrap();
+        assert_eq!(by_csv, by_rows);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_reasons() {
+        let service = AuditService::new();
+        let cases: Vec<Json> = vec![
+            Json::Array(vec![]),
+            Json::object(vec![("csv", HOSPITAL_CSV.into())]), // no sensitive
+            Json::object(vec![("sensitive", "Disease".into())]), // no data
+            Json::object(vec![
+                ("csv", "A,B\n".into()), // header only
+                ("sensitive", "A".into()),
+            ]),
+            Json::object(vec![
+                ("csv", HOSPITAL_CSV.into()),
+                ("sensitive", "Nope".into()),
+            ]),
+            Json::object(vec![
+                ("csv", HOSPITAL_CSV.into()),
+                ("sensitive", "Disease".into()),
+                ("k", (-1.0).into()),
+            ]),
+        ];
+        for request in cases {
+            assert!(service.audit(&request).is_err(), "{request} should fail");
+        }
+        // Search-specific: missing c, empty qi, hierarchy on non-qi column.
+        let base = vec![
+            ("csv", Json::from(HOSPITAL_CSV)),
+            ("sensitive", "Disease".into()),
+        ];
+        let mut no_c = base.clone();
+        no_c.push(("qi", Json::Array(vec!["Age".into()])));
+        assert!(service.search(&Json::object(no_c)).is_err());
+        let mut no_qi = base.clone();
+        no_qi.push(("c", 0.9.into()));
+        assert!(service.search(&Json::object(no_qi)).is_err());
+        let mut bad_hier = base.clone();
+        bad_hier.push(("c", 0.9.into()));
+        bad_hier.push(("qi", Json::Array(vec!["Sex".into()])));
+        bad_hier.push((
+            "hierarchy",
+            Json::object(vec![("Age", Json::Array(vec![5u64.into()]))]),
+        ));
+        assert!(service.search(&Json::object(bad_hier)).is_err());
+    }
+
+    #[test]
+    fn batch_jobs_validate_shape() {
+        let service = AuditService::new();
+        assert!(service.batch_jobs(&Json::object(vec![])).is_err());
+        assert!(service
+            .batch_jobs(&Json::object(vec![("tables", Json::Array(vec![]))]))
+            .is_err());
+        assert!(service
+            .batch_jobs(&Json::object(vec![(
+                "tables",
+                Json::Array(vec![Json::Null])
+            )]))
+            .is_err());
+        assert!(service
+            .batch_jobs(&Json::object(vec![(
+                "tables",
+                Json::Array(vec![Json::object(vec![("op", "explode".into())])])
+            )]))
+            .is_err());
+        let ok = service
+            .batch_jobs(&Json::object(vec![(
+                "tables",
+                Json::Array(vec![
+                    Json::object(vec![("op", "audit".into())]),
+                    Json::object(vec![("op", "search".into())]),
+                    Json::object(vec![]),
+                ]),
+            )]))
+            .unwrap();
+        assert_eq!(ok.len(), 3);
+    }
+
+    #[test]
+    fn run_job_embeds_errors() {
+        let service = AuditService::new();
+        let out = service.run_job(&Json::object(vec![("op", "audit".into())]));
+        assert!(out.get("error").is_some(), "{out}");
+        let ok = service.run_job(&Json::parse(&audit_request()).unwrap());
+        assert!(ok.get("error").is_none(), "{ok}");
+        assert_eq!(ok.get("op").unwrap().as_str(), Some("audit"));
+    }
+}

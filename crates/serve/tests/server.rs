@@ -1,0 +1,534 @@
+//! End-to-end tests over the real TCP surface: concurrency, backpressure,
+//! graceful shutdown, malformed traffic, and — the acceptance pin — batch
+//! verdicts bit-identical to the CLI `audit`/`search` code paths.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use wcbk_anonymize::{find_minimal_safe_with, CkSafetyCriterion, Schedule, SearchConfig};
+use wcbk_core::{is_ck_safe, Bucketization, DisclosureEngine};
+use wcbk_hierarchy::{GeneralizationLattice, Hierarchy};
+use wcbk_serve::http::client::Client;
+use wcbk_serve::json::Json;
+use wcbk_serve::service::AuditService;
+use wcbk_serve::{Server, ServerConfig};
+use wcbk_table::{Attribute, AttributeKind, Schema, Table, TableBuilder};
+
+type ServerThread = std::thread::JoinHandle<std::io::Result<()>>;
+
+fn start(
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    wcbk_serve::ServerHandle,
+    Arc<AuditService>,
+    ServerThread,
+) {
+    let server = Server::bind(&config).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let service = server.service();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, service, join)
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect(addr, Some(Duration::from_secs(30))).expect("connect")
+}
+
+/// Table `i` of the test workload: six rows whose ages shift with `i`, so
+/// tables are distinct but share histogram shapes (the cross-request cache
+/// hit case).
+fn workload_csv(i: usize) -> String {
+    let base = 20 + (i % 7) as u32;
+    let mut csv = String::from("Age,Sex,Disease\n");
+    for (j, (sex, disease)) in [
+        ("M", "Flu"),
+        ("F", "Flu"),
+        ("M", "Cold"),
+        ("F", "Cold"),
+        ("M", "Flu"),
+        ("F", "Cold"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        csv.push_str(&format!("{},{sex},{disease}\n", base + 2 * j as u32));
+    }
+    csv
+}
+
+/// Builds table `i` the way the CLI's `load()` does (same schema roles).
+fn workload_table(i: usize) -> Table {
+    let csv = workload_csv(i);
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+    let attributes: Vec<Attribute> = header
+        .iter()
+        .map(|n| {
+            let kind = if *n == "Disease" {
+                AttributeKind::Sensitive
+            } else {
+                AttributeKind::QuasiIdentifier
+            };
+            Attribute::new((*n).to_owned(), kind)
+        })
+        .collect();
+    let mut builder = TableBuilder::new(Schema::new(attributes).unwrap());
+    for line in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        builder.push_row(&fields).unwrap();
+    }
+    builder.build()
+}
+
+fn audit_job(i: usize) -> Json {
+    Json::object(vec![
+        ("op", "audit".into()),
+        ("csv", workload_csv(i).into()),
+        ("sensitive", "Disease".into()),
+        ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+        ("k", 1u64.into()),
+        ("c", 0.9.into()),
+    ])
+}
+
+fn search_job(i: usize) -> Json {
+    // k = 0 so safe generalizations exist (two sensitive values disclose
+    // fully under any implication) and minimal-node comparison is
+    // non-trivial.
+    Json::object(vec![
+        ("op", "search".into()),
+        ("csv", workload_csv(i).into()),
+        ("sensitive", "Disease".into()),
+        ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+        ("k", 0u64.into()),
+        ("c", 0.9.into()),
+        ("threads", 2u64.into()),
+        ("schedule", "steal".into()),
+    ])
+}
+
+/// The CLI `audit` computation for table `i`: exact-QI bucketization,
+/// engine disclosure, (c,k) verdict.
+fn expected_audit(i: usize) -> (f64, bool) {
+    let table = workload_table(i);
+    let qi_cols = [0usize, 1];
+    let b = Bucketization::from_grouping(&table, |t| {
+        qi_cols
+            .iter()
+            .map(|&col| table.column(col).code(t.index()))
+            .collect::<Vec<u32>>()
+    })
+    .unwrap();
+    let engine = DisclosureEngine::new(1);
+    let value = engine.max_disclosure(&b).unwrap().value;
+    let safe = is_ck_safe(&b, 0.9, 1).unwrap();
+    (value, safe)
+}
+
+/// The CLI `search` computation for table `i`: suppression hierarchies on
+/// the quasi-identifiers, (c,k)-safety, work stealing at 2 threads.
+fn expected_search(i: usize) -> (Vec<Vec<usize>>, usize, usize) {
+    let table = workload_table(i);
+    let age = table.column(0).dictionary().clone();
+    let sex = table.column(1).dictionary().clone();
+    let lattice = GeneralizationLattice::new(vec![
+        (0, Hierarchy::suppression("Age", &age)),
+        (1, Hierarchy::suppression("Sex", &sex)),
+    ])
+    .unwrap();
+    let criterion = CkSafetyCriterion::new(0.9, 0).unwrap();
+    let config = SearchConfig {
+        threads: 2,
+        schedule: Schedule::WorkStealing,
+        memo_capacity: None,
+    };
+    let outcome = find_minimal_safe_with(&table, &lattice, &criterion, &config).unwrap();
+    assert!(
+        !outcome.minimal_nodes.is_empty(),
+        "workload should admit a safe generalization at k = 0"
+    );
+    (
+        outcome.minimal_nodes.iter().map(|n| n.0.clone()).collect(),
+        outcome.evaluated,
+        outcome.satisfied,
+    )
+}
+
+#[test]
+fn healthz_and_stats_respond() {
+    let (addr, handle, _service, join) = start(ServerConfig::default());
+    let mut client = connect(addr);
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let health = health.json().unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        health.get("shutting_down").and_then(Json::as_bool),
+        Some(false)
+    );
+
+    let stats = client.get("/stats").unwrap().json().unwrap();
+    assert!(stats.get("engine_cache").is_some(), "{stats}");
+    assert!(stats.get("rollup").is_some());
+    assert!(stats.get("server").unwrap().get("workers").is_some());
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// The acceptance pin: a 32-table `/batch` from 8 concurrent connections
+/// produces verdicts bit-identical to the CLI `audit`/`search` paths, and
+/// `/stats` afterwards shows cross-request engine cache hits.
+#[test]
+fn concurrent_batches_match_cli_paths_bit_for_bit() {
+    const TABLES: usize = 32;
+    const CLIENTS: usize = 8;
+    let (addr, handle, _service, join) = start(ServerConfig {
+        workers: 4,
+        queue_depth: 32,
+        ..ServerConfig::default()
+    });
+
+    let jobs: Vec<Json> = (0..TABLES)
+        .map(|i| {
+            if i % 2 == 0 {
+                audit_job(i)
+            } else {
+                search_job(i)
+            }
+        })
+        .collect();
+    let batch = Json::object(vec![("tables", Json::Array(jobs))]).to_string();
+
+    let mut all_lines: Vec<Vec<Json>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let batch = &batch;
+                scope.spawn(move || {
+                    let mut client = connect(addr);
+                    let response = client.post("/batch", batch).unwrap();
+                    assert_eq!(response.status, 200);
+                    response.ndjson().unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            all_lines.push(h.join().unwrap());
+        }
+    });
+
+    for lines in &all_lines {
+        // TABLES result lines plus the summary line.
+        assert_eq!(lines.len(), TABLES + 1, "{lines:?}");
+        let summary = lines.last().unwrap();
+        assert_eq!(summary.get("done").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            summary.get("tables").and_then(Json::as_u64),
+            Some(TABLES as u64)
+        );
+        // Every index exactly once; every result matching the CLI path.
+        let mut seen = [false; TABLES];
+        for line in &lines[..TABLES] {
+            let i = line.get("index").and_then(Json::as_u64).unwrap() as usize;
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+            assert!(line.get("error").is_none(), "table {i}: {line}");
+            if i % 2 == 0 {
+                let (value, safe) = expected_audit(i);
+                assert_eq!(
+                    line.get("max_disclosure")
+                        .and_then(Json::as_f64)
+                        .unwrap()
+                        .to_bits(),
+                    value.to_bits(),
+                    "table {i} disclosure diverged from the CLI path"
+                );
+                assert_eq!(line.get("safe").and_then(Json::as_bool), Some(safe));
+            } else {
+                let (minimal, evaluated, satisfied) = expected_search(i);
+                let got: Vec<Vec<usize>> = line
+                    .get("minimal")
+                    .and_then(Json::as_array)
+                    .unwrap()
+                    .iter()
+                    .map(|node| {
+                        node.as_array()
+                            .unwrap()
+                            .iter()
+                            .map(|l| l.as_u64().unwrap() as usize)
+                            .collect()
+                    })
+                    .collect();
+                assert_eq!(got, minimal, "table {i} minimal nodes diverged");
+                assert_eq!(
+                    line.get("evaluated").and_then(Json::as_u64),
+                    Some(evaluated as u64)
+                );
+                assert_eq!(
+                    line.get("satisfied").and_then(Json::as_u64),
+                    Some(satisfied as u64)
+                );
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "missing indices");
+    }
+
+    // Cross-request cache effectiveness is observable, not hypothetical.
+    let stats = connect(addr).get("/stats").unwrap().json().unwrap();
+    let hits = stats
+        .get("engine_cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(hits > 0, "no cross-request engine cache hits: {stats}");
+    let batch_tables = stats
+        .get("service")
+        .and_then(|s| s.get("batch_tables"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(batch_tables, (TABLES * CLIENTS) as u64);
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn search_honors_schedule_threads_and_memo_cap() {
+    let (addr, handle, _service, join) = start(ServerConfig::default());
+    let mut client = connect(addr);
+    let request = Json::object(vec![
+        ("csv", workload_csv(0).into()),
+        ("sensitive", "Disease".into()),
+        ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+        (
+            "hierarchy",
+            Json::object(vec![("Age", Json::Array(vec![2u64.into(), 4u64.into()]))]),
+        ),
+        ("k", 1u64.into()),
+        ("c", 0.9.into()),
+        ("threads", 2u64.into()),
+        ("schedule", "level".into()),
+        ("memo_cap", 1u64.into()),
+    ]);
+    let out = client.post("/search", &request.to_string()).unwrap();
+    assert_eq!(out.status, 200);
+    let out = out.json().unwrap();
+
+    // Library computation under the identical config.
+    let table = workload_table(0);
+    let age = table.column(0).dictionary().clone();
+    let sex = table.column(1).dictionary().clone();
+    let lattice = GeneralizationLattice::new(vec![
+        (0, Hierarchy::intervals("Age", &age, &[2, 4]).unwrap()),
+        (1, Hierarchy::suppression("Sex", &sex)),
+    ])
+    .unwrap();
+    let outcome = find_minimal_safe_with(
+        &table,
+        &lattice,
+        &CkSafetyCriterion::new(0.9, 1).unwrap(),
+        &SearchConfig {
+            threads: 2,
+            schedule: Schedule::LevelSync,
+            memo_capacity: Some(1),
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        out.get("evaluated").and_then(Json::as_u64),
+        Some(outcome.evaluated as u64)
+    );
+    assert_eq!(
+        out.get("minimal").and_then(Json::as_array).unwrap().len(),
+        outcome.minimal_nodes.len()
+    );
+    // The memo budget reached the evaluator: at most 1 group retained.
+    let memo_groups = out
+        .get("rollup")
+        .and_then(|r| r.get("memo_groups"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(memo_groups <= 1, "{out}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_requests_get_4xx() {
+    let (addr, handle, _service, join) = start(ServerConfig {
+        max_body: 4096,
+        ..ServerConfig::default()
+    });
+
+    // Garbage instead of a request line.
+    let mut raw = connect(addr);
+    raw.send_raw(b"EXPLODE\r\n\r\n").unwrap();
+    assert_eq!(raw.read_response().unwrap().status, 400);
+
+    // Bad JSON body.
+    let mut client = connect(addr);
+    let r = client.post("/audit", "{not json").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.json().unwrap().get("error").is_some());
+
+    // Valid JSON, invalid request (missing sensitive).
+    let r = client
+        .post("/audit", "{\"csv\": \"A,B\\n1,2\\n\"}")
+        .unwrap();
+    assert_eq!(r.status, 400);
+
+    // Batch with a non-array tables field.
+    let r = client.post("/batch", "{\"tables\": 7}").unwrap();
+    assert_eq!(r.status, 400);
+
+    // Unknown endpoint and disallowed method.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    let mut raw = connect(addr);
+    raw.send_raw(b"DELETE /audit HTTP/1.1\r\n\r\n").unwrap();
+    assert_eq!(raw.read_response().unwrap().status, 405);
+
+    // Oversized declared body.
+    let mut raw = connect(addr);
+    raw.send_raw(b"POST /audit HTTP/1.1\r\nContent-Length: 999999\r\n\r\n")
+        .unwrap();
+    assert_eq!(raw.read_response().unwrap().status, 413);
+
+    // The service kept count.
+    let stats = connect(addr).get("/stats").unwrap().json().unwrap();
+    let bad = stats
+        .get("service")
+        .and_then(|s| s.get("bad_requests"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(bad >= 5, "{stats}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// One worker, one queue slot: a stalled connection occupies the worker, a
+/// second waits in the queue, and a third is rejected with 503 immediately.
+/// Once the stall clears, both held connections are served.
+#[test]
+fn queue_full_gets_503_and_recovers() {
+    let (addr, handle, _service, join) = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Some(Duration::from_secs(30)),
+        ..ServerConfig::default()
+    });
+
+    // A: completes one request. Reading the response proves the lone
+    // worker is now dedicated to A's keep-alive connection (parked in its
+    // next blocking read) — held deterministically, no sleeps.
+    let mut holder = connect(addr);
+    assert_eq!(holder.get("/healthz").unwrap().status, 200);
+
+    // B: accepted into the queue (the worker is busy with A) → queue full.
+    // `Connection: close` so the worker moves on after eventually serving
+    // it.
+    let mut queued = connect(addr);
+    queued
+        .send_raw(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+
+    // C: connects after B's connect returned, so the single accept loop
+    // enqueues B (filling the queue) before it reaches C → immediate 503.
+    let mut rejected = connect(addr);
+    let r = rejected.read_response().unwrap();
+    assert_eq!(r.status, 503);
+    assert!(r.json().unwrap().get("error").is_some());
+
+    // A's next request asks to close, releasing the worker to drain B.
+    holder
+        .send_raw(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    assert_eq!(holder.read_response().unwrap().status, 200);
+    assert_eq!(queued.read_response().unwrap().status, 200);
+
+    let stats = connect(addr).get("/stats").unwrap().json().unwrap();
+    let rejected_count = stats
+        .get("server")
+        .and_then(|s| s.get("rejected_503"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(rejected_count >= 1, "{stats}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Shutdown during a streaming batch: the batch runs to completion (every
+/// line plus the summary arrives), then the server exits and the port
+/// closes.
+#[test]
+fn graceful_shutdown_mid_batch() {
+    const TABLES: usize = 24;
+    let (addr, handle, _service, join) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+
+    let jobs: Vec<Json> = (0..TABLES).map(search_job).collect();
+    let batch = Json::object(vec![("tables", Json::Array(jobs))]).to_string();
+
+    let mut client = connect(addr);
+    let response = std::thread::scope(|scope| {
+        let batch_client = scope.spawn(move || {
+            let r = client.post("/batch", &batch).unwrap();
+            (r.status, r.ndjson().unwrap())
+        });
+        // Trigger shutdown while the batch is (very likely) still running;
+        // correctness does not depend on the overlap, only the assertions
+        // below do not.
+        let mut killer = connect(addr);
+        let r = killer.post("/shutdown", "{}").unwrap();
+        assert_eq!(r.status, 200);
+        batch_client.join().unwrap()
+    });
+    let (status, lines) = response;
+    assert_eq!(status, 200);
+    assert_eq!(lines.len(), TABLES + 1, "batch truncated by shutdown");
+    assert_eq!(
+        lines.last().unwrap().get("done").and_then(Json::as_bool),
+        Some(true)
+    );
+    for line in &lines[..TABLES] {
+        assert!(line.get("error").is_none(), "{line}");
+    }
+
+    assert!(handle.is_shutting_down());
+    join.join().unwrap().unwrap();
+    // The listener is gone: new connections are refused.
+    assert!(TcpStream::connect(addr).is_err(), "port still open");
+}
+
+/// Keep-alive reuse: many requests over one connection, mixed endpoints.
+#[test]
+fn persistent_connections_serve_sequential_requests() {
+    let (addr, handle, _service, join) = start(ServerConfig::default());
+    let mut client = connect(addr);
+    for i in 0..5 {
+        let r = client.post("/audit", &audit_job(i).to_string()).unwrap();
+        assert_eq!(r.status, 200, "request {i}");
+        let body = r.json().unwrap();
+        let (value, safe) = expected_audit(i);
+        assert_eq!(
+            body.get("max_disclosure")
+                .and_then(Json::as_f64)
+                .unwrap()
+                .to_bits(),
+            value.to_bits()
+        );
+        assert_eq!(body.get("safe").and_then(Json::as_bool), Some(safe));
+    }
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}

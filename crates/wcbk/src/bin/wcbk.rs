@@ -7,7 +7,14 @@
 //!             [--schedule level|steal] [--memo-cap N]
 //! wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
 //! wcbk generate-adult [--rows N] [--seed N] [--out FILE]
+//! wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //! ```
+//!
+//! **Exit codes:** `0` success (and, for `audit`/`search` with a `--c`
+//! threshold, a safe verdict), `1` usage or runtime error, `2` the audit
+//! found the table **not** (c,k)-safe / the search found **no** safe
+//! generalization — so scripts and CI can branch on safety without parsing
+//! stdout.
 //!
 //! `audit` loads a CSV, buckets it by the (exact) quasi-identifier columns,
 //! and prints the maximum-disclosure curve, the worst-case attacker, a
@@ -23,6 +30,9 @@
 //! deep lattices.
 //! `anatomize` publishes with the Anatomy algorithm instead and audits the
 //! result. `generate-adult` writes the synthetic Adult benchmark table.
+//! `serve` runs the `wcbk-serve` HTTP audit service (endpoints `/audit`,
+//! `/search`, `/batch`, `/stats`, `/healthz`, `/shutdown`) on one shared
+//! engine until a graceful shutdown is requested.
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -32,10 +42,22 @@ use wcbk::core::{is_ck_safe, max_disclosure, negation_max_disclosure, Bucketizat
 use wcbk::prelude::*;
 use wcbk::table::{Attribute, AttributeKind, Schema};
 
+/// What a completed command decided, mapped onto the process exit code:
+/// scripts branch on safety without parsing stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// Success; for audit/search with `--c`, the table/search was safe.
+    Ok,
+    /// The audit found the table unsafe, or the search found no safe
+    /// generalization — exit code 2 (distinct from errors' 1).
+    Unsafe,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Verdict::Ok) => ExitCode::SUCCESS,
+        Ok(Verdict::Unsafe) => ExitCode::from(2),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
@@ -51,7 +73,11 @@ const USAGE: &str = "usage:
               [--hierarchy COL:W1,W2,...]... [--parallel] [--threads N]
               [--schedule level|steal] [--memo-cap N]
   wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
-  wcbk generate-adult [--rows N] [--seed N] [--out FILE]";
+  wcbk generate-adult [--rows N] [--seed N] [--out FILE]
+  wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+
+exit codes: 0 ok/safe, 1 error, 2 unsafe verdict (audit with --c, or a
+search that found no safe generalization)";
 
 /// Parsed command-line options (flat; validated per subcommand).
 #[derive(Debug, Default, Clone, PartialEq)]
@@ -74,8 +100,14 @@ struct Options {
     threads: Option<usize>,
     /// Parallel schedule for the lattice search.
     schedule: Schedule,
-    /// Entry cap for the roll-up evaluator's memo (`None` = unbounded).
+    /// Group budget for the roll-up evaluator's memo (`None` = unbounded).
     memo_cap: Option<usize>,
+    /// `serve`: listen address.
+    addr: Option<String>,
+    /// `serve`: worker thread count (`None`/0 = all cores).
+    workers: Option<usize>,
+    /// `serve`: queued-connection bound before 503s.
+    queue_depth: Option<usize>,
 }
 
 /// Hand-rolled flag parser (the sanctioned dependency set has no CLI crate).
@@ -167,6 +199,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("--memo-cap: {e}"))?,
                 )
             }
+            "--addr" => opts.addr = Some(need_value("--addr", &mut it)?),
+            "--workers" => {
+                opts.workers = Some(
+                    need_value("--workers", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
+            }
+            "--queue-depth" => {
+                opts.queue_depth = Some(
+                    need_value("--queue-depth", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--queue-depth: {e}"))?,
+                )
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => opts.positional.push(arg.clone()),
         }
@@ -174,13 +221,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn run(args: &[String]) -> Result<Verdict, Box<dyn std::error::Error>> {
     let opts = parse_args(args)?;
     match opts.positional.first().map(String::as_str) {
         Some("audit") => audit(&opts),
         Some("search") => search_cmd(&opts),
         Some("anatomize") => anatomize_cmd(&opts),
         Some("generate-adult") => generate_adult(&opts),
+        Some("serve") => serve_cmd(&opts),
         Some(other) => Err(format!("unknown command {other:?}").into()),
         None => Err("missing command".into()),
     }
@@ -235,11 +283,13 @@ fn load(opts: &Options) -> Result<Table, Box<dyn std::error::Error>> {
     Ok(builder.build())
 }
 
+/// Prints the disclosure report; returns the safety verdict when a `--c`
+/// threshold was given (`None` otherwise).
 fn report(
     b: &Bucketization,
     k_max: usize,
     c: Option<f64>,
-) -> Result<(), Box<dyn std::error::Error>> {
+) -> Result<Option<bool>, Box<dyn std::error::Error>> {
     println!(
         "buckets: {}   tuples: {}   sensitive domain: {}",
         b.n_buckets(),
@@ -259,15 +309,17 @@ fn report(
     println!("\nworst-case attacker at k={k_max}:");
     println!("  predicts  {}", worst.witness.consequent);
     println!("  knowing   {}", worst.witness.knowledge());
+    let mut verdict = None;
     if let Some(c) = c {
         let safe = is_ck_safe(b, c, k_max)?;
         println!(
             "\n({c},{k_max})-safety: {}",
             if safe { "SAFE" } else { "NOT SAFE" }
         );
+        verdict = Some(safe);
     }
     print_cache_stats(engine.stats());
-    Ok(())
+    Ok(verdict)
 }
 
 fn print_cache_stats(stats: CacheStats) {
@@ -280,7 +332,7 @@ fn print_cache_stats(stats: CacheStats) {
     );
 }
 
-fn audit(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn audit(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
     let table = load(opts)?;
     let qi_cols: Vec<usize> = opts
         .qi
@@ -298,12 +350,16 @@ fn audit(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         })?
     };
     println!("== wcbk audit ==");
-    report(&b, opts.k, opts.c)
+    let verdict = report(&b, opts.k, opts.c)?;
+    Ok(match verdict {
+        Some(false) => Verdict::Unsafe,
+        _ => Verdict::Ok,
+    })
 }
 
 /// `wcbk search`: minimal (c,k)-safe generalizations over suppression
 /// hierarchies on the quasi-identifier columns, sequential or parallel.
-fn search_cmd(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn search_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
     let table = load(opts)?;
     let c = opts.c.ok_or("--c F is required for search")?;
     if opts.qi.is_empty() {
@@ -355,28 +411,33 @@ fn search_cmd(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         "threads: {effective} ({schedule})   evaluated: {}   satisfied: {}   elapsed: {elapsed:.2?}",
         outcome.evaluated, outcome.satisfied
     );
-    if outcome.minimal_nodes.is_empty() {
+    let verdict = if outcome.minimal_nodes.is_empty() {
         println!("no safe generalization exists (even full suppression fails)");
+        Verdict::Unsafe
     } else {
         println!("minimal safe nodes (levels over {:?}):", opts.qi);
         for node in &outcome.minimal_nodes {
             println!("  {node}");
         }
-    }
+        Verdict::Ok
+    };
     print_cache_stats(criterion.engine_stats());
-    Ok(())
+    Ok(verdict)
 }
 
-fn anatomize_cmd(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn anatomize_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
     let table = load(opts)?;
     let l = opts.l.ok_or("--l N is required for anatomize")?;
     let outcome = anatomize(&table, l, opts.seed)?;
     println!("== wcbk anatomize (l = {l}) ==");
     println!("residue tuples absorbed: {}", outcome.residue);
-    report(&outcome.bucketization, opts.k, opts.c)
+    // Anatomize publishes regardless of the verdict; the safety line is
+    // informational, so (unlike audit/search) it does not set exit code 2.
+    report(&outcome.bucketization, opts.k, opts.c)?;
+    Ok(Verdict::Ok)
 }
 
-fn generate_adult(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+fn generate_adult(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
     let table = wcbk::datagen::adult::synthetic_adult(wcbk::datagen::adult::AdultConfig {
         n_rows: opts.rows,
         seed: opts.seed,
@@ -392,7 +453,29 @@ fn generate_adult(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             wcbk::table::csv::write_table(stdout.lock(), &table)?;
         }
     }
-    Ok(())
+    Ok(Verdict::Ok)
+}
+
+/// `wcbk serve`: run the HTTP audit service until graceful shutdown
+/// (`POST /shutdown`, or the process being signalled away).
+fn serve_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
+    let config = wcbk::serve::ServerConfig {
+        addr: opts
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_owned()),
+        workers: opts.workers.unwrap_or(0),
+        queue_depth: opts.queue_depth.unwrap_or(64),
+        ..wcbk::serve::ServerConfig::default()
+    };
+    let server = wcbk::serve::Server::bind(&config)?;
+    eprintln!(
+        "wcbk serve: listening on http://{} (endpoints: /audit /search /batch /stats /healthz /shutdown)",
+        server.local_addr()
+    );
+    server.run()?;
+    eprintln!("wcbk serve: drained and shut down");
+    Ok(Verdict::Ok)
 }
 
 #[cfg(test)]
@@ -590,5 +673,99 @@ mod tests {
     fn run_rejects_unknown_command() {
         assert!(run(&s(&["transmogrify"])).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let o = parse_args(&s(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(o.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.workers, Some(2));
+        assert_eq!(o.queue_depth, Some(8));
+        assert!(parse_args(&s(&["serve", "--workers", "many"])).is_err());
+        assert!(parse_args(&s(&["serve", "--queue-depth"])).is_err());
+    }
+
+    /// The distinct exit path: audit/search return `Verdict::Unsafe` (exit
+    /// code 2) on unsafe verdicts, `Verdict::Ok` otherwise.
+    #[test]
+    fn audit_and_search_verdicts_drive_exit_codes() {
+        let dir = std::env::temp_dir().join("wcbk_cli_verdict");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(
+            &path,
+            "Age,Sex,Disease\n21,M,Flu\n23,F,Flu\n27,M,Cold\n29,F,Cold\n33,M,Flu\n35,F,Cold\n",
+        )
+        .unwrap();
+        let path = path.to_str().unwrap();
+
+        // Exact-QI audit: singleton buckets disclose fully → NOT SAFE.
+        let unsafe_audit = s(&[
+            "audit",
+            path,
+            "--sensitive",
+            "Disease",
+            "--qi",
+            "Age,Sex",
+            "--k",
+            "1",
+            "--c",
+            "0.5",
+        ]);
+        assert_eq!(run(&unsafe_audit).unwrap(), Verdict::Unsafe);
+        // One big bucket at k=0: half Flu, half Cold → SAFE at c = 0.9.
+        let safe_audit = s(&[
+            "audit",
+            path,
+            "--sensitive",
+            "Disease",
+            "--k",
+            "0",
+            "--c",
+            "0.9",
+        ]);
+        assert_eq!(run(&safe_audit).unwrap(), Verdict::Ok);
+        // No --c: nothing to verdict on.
+        let no_c = s(&["audit", path, "--sensitive", "Disease", "--k", "1"]);
+        assert_eq!(run(&no_c).unwrap(), Verdict::Ok);
+
+        // A satisfiable search succeeds, an unsatisfiable one exits Unsafe.
+        // (k = 0: with a two-value sensitive domain, a single implication
+        // already forces full disclosure, so k ≥ 1 is never satisfiable.)
+        let safe_search = s(&[
+            "search",
+            path,
+            "--sensitive",
+            "Disease",
+            "--qi",
+            "Age,Sex",
+            "--c",
+            "0.9",
+            "--k",
+            "0",
+        ]);
+        assert_eq!(run(&safe_search).unwrap(), Verdict::Ok);
+        let hopeless_search = s(&[
+            "search",
+            path,
+            "--sensitive",
+            "Disease",
+            "--qi",
+            "Age,Sex",
+            "--c",
+            "0.4",
+            "--k",
+            "0",
+        ]);
+        assert_eq!(run(&hopeless_search).unwrap(), Verdict::Unsafe);
     }
 }

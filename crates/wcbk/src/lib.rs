@@ -41,12 +41,14 @@
 //! | [`hierarchy`] | DGHs, generalization lattice, the Adult hierarchies |
 //! | [`anonymize`] | privacy criteria, Incognito-style search, utility |
 //! | [`datagen`] | synthetic Adult and random workloads |
+//! | [`serve`] | batch/streaming HTTP audit service on the shared engine |
 
 pub use wcbk_anonymize as anonymize;
 pub use wcbk_core as core;
 pub use wcbk_datagen as datagen;
 pub use wcbk_hierarchy as hierarchy;
 pub use wcbk_logic as logic;
+pub use wcbk_serve as serve;
 pub use wcbk_table as table;
 pub use wcbk_worlds as worlds;
 
@@ -54,18 +56,21 @@ pub use wcbk_worlds as worlds;
 pub mod prelude {
     pub use wcbk_anonymize::{
         anatomize, anonymize, anonymize_parallel, default_threads, find_minimal_safe,
-        find_minimal_safe_parallel, find_minimal_safe_with, incognito, incognito_parallel,
-        incognito_with, swap_sanitize, sweep_all, CkSafetyCriterion, DistinctLDiversity,
-        EntropyLDiversity, KAnonymity, PrivacyCriterion, RecursiveCLDiversity, Schedule,
-        SearchConfig, SearchOutcome, UtilityMetric,
+        find_minimal_safe_parallel, find_minimal_safe_report, find_minimal_safe_with, incognito,
+        incognito_parallel, incognito_with, swap_sanitize, sweep_all, CkSafetyCriterion,
+        DistinctLDiversity, EntropyLDiversity, KAnonymity, PrivacyCriterion, RecursiveCLDiversity,
+        Schedule, SearchConfig, SearchOutcome, SearchReport, UtilityMetric,
     };
     pub use wcbk_core::{
         cost_negation_max_disclosure, is_ck_safe, max_disclosure, negation_max_disclosure, Bucket,
         Bucketization, CacheStats, CkSafety, CostVector, DisclosureEngine, DisclosureResult,
         HistogramSet, SensitiveHistogram,
     };
-    pub use wcbk_hierarchy::{GenNode, GeneralizationLattice, Hierarchy, NodeEvaluator};
+    pub use wcbk_hierarchy::{
+        GenNode, GeneralizationLattice, Hierarchy, NodeEvaluator, RollupStats,
+    };
     pub use wcbk_logic::{Atom, BasicImplication, Knowledge, SimpleImplication};
+    pub use wcbk_serve::{AuditService, Server, ServerConfig, ServerHandle};
     pub use wcbk_table::{Attribute, AttributeKind, SValue, Schema, Table, TableBuilder, TupleId};
     pub use wcbk_worlds::{BucketSpec, Ratio, WorldSpace};
 }
