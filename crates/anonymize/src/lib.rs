@@ -21,6 +21,11 @@
 //!   minimum bucket entropy).
 //! * [`pipeline`] — a one-call anonymizer: search, rank by utility, return
 //!   the chosen node, its bucketization and a disclosure report.
+//! * [`session`] — the dataset-handle API: a [`DatasetSession`] is built
+//!   once from table + hierarchies (one scan), then serves audits,
+//!   searches, sweeps, and sequential-release composition checks forever —
+//!   the register-once surface the `wcbk-serve` resource endpoints and the
+//!   CLI both run on.
 
 pub mod anatomy;
 pub mod criteria;
@@ -28,6 +33,7 @@ mod error;
 pub mod incognito;
 pub mod pipeline;
 pub mod search;
+pub mod session;
 pub mod swap;
 pub mod utility;
 
@@ -44,5 +50,6 @@ pub use search::{
     find_minimal_safe_report, find_minimal_safe_rescan, find_minimal_safe_with, sweep_all,
     sweep_all_rescan, Schedule, SearchConfig, SearchOutcome, SearchReport,
 };
+pub use session::{AuditReport, CompositionReport, DatasetSession, ReleaseReport, SessionOptions};
 pub use swap::{swap_sanitize, SwapOutcome};
 pub use utility::UtilityMetric;

@@ -121,21 +121,36 @@ pub fn default_threads() -> usize {
 /// Builds the roll-up evaluator, or `None` when the table's packed signature
 /// does not fit (the caller then takes the legacy re-scanning path). Shared
 /// with [`crate::incognito`] so the fallback policy lives in one place.
-pub(crate) fn try_evaluator<'a>(
+pub(crate) fn try_evaluator(
     table: &Table,
-    lattice: &'a GeneralizationLattice,
-) -> Result<Option<NodeEvaluator<'a>>, AnonymizeError> {
+    lattice: &GeneralizationLattice,
+) -> Result<Option<NodeEvaluator>, AnonymizeError> {
     try_evaluator_capped(table, lattice, None)
 }
 
 /// [`try_evaluator`] with a memo entry cap (see
 /// [`NodeEvaluator::with_memo_capacity`]).
-pub(crate) fn try_evaluator_capped<'a>(
+pub(crate) fn try_evaluator_capped(
     table: &Table,
-    lattice: &'a GeneralizationLattice,
+    lattice: &GeneralizationLattice,
     memo_capacity: Option<usize>,
-) -> Result<Option<NodeEvaluator<'a>>, AnonymizeError> {
+) -> Result<Option<NodeEvaluator>, AnonymizeError> {
     match NodeEvaluator::with_memo_capacity(table, lattice, memo_capacity) {
+        Ok(eval) => Ok(Some(eval)),
+        Err(HierarchyError::SignatureOverflow { .. }) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Builds a **shared** evaluator over an `Arc`-held lattice, with the same
+/// overflow-fallback policy: `None` means the packed signature does not fit
+/// and callers must re-scan per node. The session constructor uses this.
+pub(crate) fn try_evaluator_shared(
+    table: &Table,
+    lattice: std::sync::Arc<GeneralizationLattice>,
+    memo_capacity: Option<usize>,
+) -> Result<Option<NodeEvaluator>, AnonymizeError> {
+    match NodeEvaluator::shared(table, lattice, memo_capacity) {
         Ok(eval) => Ok(Some(eval)),
         Err(HierarchyError::SignatureOverflow { .. }) => Ok(None),
         Err(e) => Err(e.into()),
@@ -345,26 +360,60 @@ pub fn find_minimal_safe_report<C: PrivacyCriterion>(
     criterion: &C,
     config: &SearchConfig,
 ) -> Result<SearchReport, AnonymizeError> {
-    let threads = config.effective_threads();
     let evaluator = try_evaluator_capped(table, lattice, config.memo_capacity)?;
-    let judge = |node: &GenNode| -> Result<bool, AnonymizeError> {
-        match &evaluator {
-            Some(eval) => criterion.is_satisfied_hist(&eval.histograms(node)?),
-            None => criterion.is_satisfied(&lattice.bucketize(table, node)?),
-        }
-    };
-    let outcome = if threads == 1 {
-        minimal_safe_with(lattice, judge)?
-    } else {
-        match config.schedule {
-            Schedule::LevelSync => minimal_safe_parallel_with(lattice, threads, judge)?,
-            Schedule::WorkStealing => minimal_safe_steal_with(lattice, threads, judge)?,
-        }
-    };
+    let outcome = minimal_safe_over(table, lattice, evaluator.as_ref(), criterion, config)?;
     Ok(SearchReport {
         outcome,
         rollup: evaluator.as_ref().map(NodeEvaluator::stats),
     })
+}
+
+/// The schedule dispatcher over an **injected** evaluator (`None` = the
+/// signature-overflow re-scanning fallback). This is the primitive both the
+/// one-shot entry points and [`crate::DatasetSession`] (which owns a
+/// long-lived evaluator shared across many searches) run on; outcomes are
+/// identical either way.
+pub(crate) fn minimal_safe_over<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    evaluator: Option<&NodeEvaluator>,
+    criterion: &C,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, AnonymizeError> {
+    let threads = config.effective_threads();
+    let judge = |node: &GenNode| -> Result<bool, AnonymizeError> {
+        match evaluator {
+            Some(eval) => criterion.is_satisfied_hist(&eval.histograms(node)?),
+            None => criterion.is_satisfied(&lattice.bucketize(table, node)?),
+        }
+    };
+    if threads == 1 {
+        minimal_safe_with(lattice, judge)
+    } else {
+        match config.schedule {
+            Schedule::LevelSync => minimal_safe_parallel_with(lattice, threads, judge),
+            Schedule::WorkStealing => minimal_safe_steal_with(lattice, threads, judge),
+        }
+    }
+}
+
+/// The exhaustive sweep over an injected evaluator — the session-owned
+/// counterpart of [`sweep_all`].
+pub(crate) fn sweep_over<C: PrivacyCriterion>(
+    table: &Table,
+    lattice: &GeneralizationLattice,
+    evaluator: Option<&NodeEvaluator>,
+    criterion: &C,
+) -> Result<Vec<(GenNode, bool)>, AnonymizeError> {
+    let mut out = Vec::with_capacity(lattice.n_nodes());
+    for node in lattice.nodes() {
+        let ok = match evaluator {
+            Some(eval) => criterion.is_satisfied_hist(&eval.histograms(&node)?)?,
+            None => criterion.is_satisfied(&lattice.bucketize(table, &node)?)?,
+        };
+        out.push((node, ok));
+    }
+    Ok(out)
 }
 
 /// Parallel variant of [`find_minimal_safe`] under the default

@@ -1,0 +1,662 @@
+//! The dataset-handle API: **register once, audit forever**.
+//!
+//! The paper's core loop — publish a candidate generalization, check
+//! worst-case (c,k)-disclosure, refine — is inherently *repeated* against
+//! one table, and sequential-release monitoring makes the same table the
+//! unit of many audits over time. A [`DatasetSession`] is that unit made
+//! first-class: built **once** from a table plus its generalization
+//! lattice, it owns
+//!
+//! * the shared roll-up [`NodeEvaluator`] (one columnar scan, built
+//!   lazily on first need; every later audit and search derives histograms
+//!   from the memo, never re-reading rows),
+//! * the exact-quasi-identifier [`Bucketization`] (the `wcbk audit`
+//!   grouping, for witness reconstruction),
+//! * a [`dataset_fingerprint`] — the stable content identity services key
+//!   handles by,
+//! * a per-`k` [`EngineRegistry`] (own or shared with other sessions), and
+//! * a per-release history for sequential-release composition audits
+//!   (riding [`DisclosureEngine::incremental_set`]).
+//!
+//! Every method returns the **same types as the one-shot entry points**
+//! ([`SearchReport`], [`DisclosureResult`], …) with bit-identical values —
+//! pinned by `tests/session_equivalence.rs` — so "one-shot" is just
+//! "register → run → drop" over this API.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use wcbk_core::{
+    Bucketization, CkSafety, DisclosureEngine, DisclosureResult, EngineRegistry, HistogramSet,
+    SensitiveHistogram,
+};
+use wcbk_hierarchy::{
+    dataset_fingerprint, GenNode, GeneralizationLattice, NodeEvaluator, RollupStats,
+};
+use wcbk_table::Table;
+
+use crate::search::{minimal_safe_over, sweep_over, try_evaluator_shared, SearchConfig};
+use crate::{AnonymizeError, PrivacyCriterion, SearchReport};
+
+/// Construction knobs for a [`DatasetSession`].
+#[derive(Default, Clone)]
+pub struct SessionOptions {
+    /// Group budget for the session's roll-up memo (`None` = unbounded);
+    /// fixed at registration — per-search configs cannot change it, because
+    /// rebuilding the evaluator would re-scan the table.
+    pub memo_capacity: Option<usize>,
+    /// The per-`k` engine registry to draw [`DisclosureEngine`]s from.
+    /// `None` gives the session a private unbounded registry; services pass
+    /// one shared registry so MINIMIZE1 tables memoized through any session
+    /// serve every other.
+    pub engines: Option<Arc<EngineRegistry>>,
+}
+
+/// One audit of the registered dataset: maximum disclosure (with the
+/// worst-case witness) at attacker power `k`, plus the (c,k)-safety verdict
+/// when a threshold was given. Field values are bit-identical to the
+/// one-shot `wcbk audit` path.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Buckets of the exact-quasi-identifier grouping.
+    pub buckets: usize,
+    /// Tuples in the table.
+    pub tuples: u64,
+    /// Sensitive domain size.
+    pub domain: u32,
+    /// Attacker power bound.
+    pub k: usize,
+    /// Maximum disclosure and its witness.
+    pub disclosure: DisclosureResult,
+    /// The threshold checked, when given.
+    pub c: Option<f64>,
+    /// The (c,k)-safety verdict, when `c` was given.
+    pub safe: Option<bool>,
+}
+
+/// One recorded release of the dataset (a lattice node's bucketization
+/// added to the sequential-release history).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleaseReport {
+    /// Zero-based index of this release in the session history.
+    pub index: usize,
+    /// The node released.
+    pub node: GenNode,
+    /// Buckets this release contributed.
+    pub buckets: usize,
+    /// Total buckets across the whole history after this release.
+    pub total_buckets: usize,
+}
+
+/// A composition audit over **all** recorded releases: the attacker sees
+/// every released bucket at once, so maximum disclosure is computed over
+/// their union (through [`DisclosureEngine::incremental_set`], so per-bucket
+/// MINIMIZE1 work stays cached in the shared engine).
+#[derive(Debug, Clone)]
+pub struct CompositionReport {
+    /// Releases composed.
+    pub releases: usize,
+    /// Buckets in the union.
+    pub buckets: usize,
+    /// Attacker power bound.
+    pub k: usize,
+    /// Maximum disclosure over the union of released buckets.
+    pub value: f64,
+    /// The threshold checked, when given.
+    pub c: Option<f64>,
+    /// Whether `value < c`, when `c` was given.
+    pub safe: Option<bool>,
+}
+
+/// The sequential-release history: released bucket histograms in release
+/// order, plus per-release bookkeeping.
+struct ReleaseHistory {
+    histograms: Vec<SensitiveHistogram>,
+    per_release: Vec<(GenNode, usize)>,
+}
+
+/// A registered dataset: table + lattice + shared evaluation state — see
+/// the module docs.
+///
+/// The expensive pieces (roll-up evaluator, exact grouping, fingerprint)
+/// are built **lazily, at most once**: a transient register → audit → drop
+/// session only ever pays for the exact grouping, a register → search →
+/// drop session only for the evaluator. Long-lived services force
+/// everything up front (registration reports the fingerprint and the
+/// evaluator's weight), after which every path is scan-free.
+pub struct DatasetSession {
+    table: Table,
+    lattice: Arc<GeneralizationLattice>,
+    memo_capacity: Option<usize>,
+    /// Lazily built; the inner `None` means the packed signature overflows
+    /// 128 bits and searches fall back to per-node re-scans, exactly like
+    /// the one-shot paths.
+    evaluator: OnceLock<Option<NodeEvaluator>>,
+    /// The exact-quasi-identifier grouping (the lattice bottom), lazily
+    /// built for witness reconstruction.
+    exact: OnceLock<Bucketization>,
+    fingerprint: OnceLock<u64>,
+    engines: Arc<EngineRegistry>,
+    releases: Mutex<ReleaseHistory>,
+}
+
+impl DatasetSession {
+    /// Registers `table` under `lattice` with default options (private
+    /// unbounded engine registry, unbounded memo). The roll-up evaluator
+    /// scans the table once, on first need; every audit and search after
+    /// that is scan-free.
+    pub fn new(table: Table, lattice: GeneralizationLattice) -> Result<Self, AnonymizeError> {
+        Self::with_options(table, lattice, SessionOptions::default())
+    }
+
+    /// [`DatasetSession::new`] with explicit [`SessionOptions`].
+    pub fn with_options(
+        table: Table,
+        lattice: GeneralizationLattice,
+        options: SessionOptions,
+    ) -> Result<Self, AnonymizeError> {
+        if table.is_empty() {
+            return Err(AnonymizeError::InvalidParameter(
+                "dataset session needs a non-empty table".into(),
+            ));
+        }
+        Ok(Self {
+            table,
+            lattice: Arc::new(lattice),
+            memo_capacity: options.memo_capacity,
+            evaluator: OnceLock::new(),
+            exact: OnceLock::new(),
+            fingerprint: OnceLock::new(),
+            engines: options
+                .engines
+                .unwrap_or_else(|| Arc::new(EngineRegistry::new())),
+            releases: Mutex::new(ReleaseHistory {
+                histograms: Vec::new(),
+                per_release: Vec::new(),
+            }),
+        })
+    }
+
+    /// The shared evaluator, built (one table scan) on first need. `None`
+    /// means the packed signature does not fit 128 bits — callers re-scan
+    /// per node, like the one-shot paths.
+    fn evaluator(&self) -> Option<&NodeEvaluator> {
+        self.evaluator
+            .get_or_init(|| {
+                try_evaluator_shared(&self.table, Arc::clone(&self.lattice), self.memo_capacity)
+                    .unwrap_or(None)
+            })
+            .as_ref()
+    }
+
+    /// The exact-quasi-identifier grouping, built on first audit.
+    fn exact(&self) -> &Bucketization {
+        self.exact.get_or_init(|| {
+            self.lattice
+                .bucketize(&self.table, &self.lattice.bottom())
+                .expect("a non-empty table bucketizes at the lattice bottom")
+        })
+    }
+
+    /// The stable content identity of this dataset (schema roles, hierarchy
+    /// maps, dictionaries, row codes) — what services key handles by.
+    /// Computed once, on first request.
+    pub fn fingerprint(&self) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| dataset_fingerprint(&self.table, &self.lattice))
+    }
+
+    /// The registered table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The generalization lattice the session audits against.
+    pub fn lattice(&self) -> &GeneralizationLattice {
+        &self.lattice
+    }
+
+    /// Whether the roll-up pipeline is active (`false`: the packed
+    /// signature overflowed and searches re-scan per node). Forces the
+    /// evaluator build.
+    pub fn has_evaluator(&self) -> bool {
+        self.evaluator().is_some()
+    }
+
+    /// Cumulative roll-up counters since the evaluator's one scan (`None`
+    /// when the signature-overflow fallback is active). Forces the
+    /// evaluator build; `table_scans` stays `1` for the session's whole
+    /// life afterwards — the register-once contract.
+    pub fn rollup_stats(&self) -> Option<RollupStats> {
+        self.evaluator().map(NodeEvaluator::stats)
+    }
+
+    /// Whether `other` holds exactly the same dataset: same schema (names
+    /// and roles), same row codes and dictionary values in every column,
+    /// and the same lattice structure (columns, level maps). This is the
+    /// collision check behind fingerprint-keyed handle stores — two
+    /// distinct datasets colliding on [`fingerprint`](Self::fingerprint)
+    /// must be rejected, never silently merged.
+    pub fn same_dataset(&self, other: &DatasetSession) -> bool {
+        let (a, b) = (&self.table, &other.table);
+        if a.n_rows() != b.n_rows() || a.schema().arity() != b.schema().arity() {
+            return false;
+        }
+        let same_attr = a
+            .schema()
+            .attributes()
+            .iter()
+            .zip(b.schema().attributes())
+            .all(|(x, y)| x.name() == y.name() && x.kind() == y.kind());
+        if !same_attr {
+            return false;
+        }
+        for col in 0..a.schema().arity() {
+            let (ca, cb) = (a.column(col), b.column(col));
+            if ca.codes() != cb.codes() || ca.dictionary().values() != cb.dictionary().values() {
+                return false;
+            }
+        }
+        let (la, lb) = (&self.lattice, &other.lattice);
+        if la.n_dims() != lb.n_dims() {
+            return false;
+        }
+        (0..la.n_dims()).all(|d| {
+            la.column(d) == lb.column(d)
+                && la.hierarchy(d).attribute() == lb.hierarchy(d).attribute()
+                && la.hierarchy(d).n_levels() == lb.hierarchy(d).n_levels()
+                && (0..la.hierarchy(d).n_levels())
+                    .all(|l| la.hierarchy(d).level_map(l) == lb.hierarchy(d).level_map(l))
+        })
+    }
+
+    /// The shared engine for attacker power `k` (from the session's
+    /// registry — pass one registry to many sessions to share MINIMIZE1
+    /// tables across them).
+    pub fn engine(&self, k: usize) -> Arc<DisclosureEngine> {
+        self.engines.engine(k)
+    }
+
+    /// Audits the exact-quasi-identifier grouping at attacker power `k`:
+    /// maximum disclosure with witness, plus the (c,k)-safety verdict when
+    /// `c` is given. Bit-identical to `wcbk audit` / `POST /audit`.
+    pub fn audit(&self, c: Option<f64>, k: usize) -> Result<AuditReport, AnonymizeError> {
+        let engine = self.engines.engine(k);
+        let exact = self.exact();
+        let disclosure = engine.max_disclosure(exact)?;
+        let safe = match c {
+            Some(c) => {
+                let safety = CkSafety::new(c, k)?;
+                Some(safety.is_safe_with(&engine, exact)?)
+            }
+            None => None,
+        };
+        Ok(AuditReport {
+            buckets: exact.n_buckets(),
+            tuples: exact.n_tuples(),
+            domain: exact.domain_size(),
+            k,
+            disclosure,
+            c,
+            safe,
+        })
+    }
+
+    /// Finds all ⪯-minimal nodes satisfying `criterion`, through the
+    /// session's shared evaluator — no table scan, whatever `config` says.
+    /// The outcome is bit-identical to [`crate::find_minimal_safe_with`];
+    /// the report's `rollup` is the session's **cumulative** counters
+    /// (`config.memo_capacity` is ignored: the memo budget was fixed at
+    /// registration).
+    pub fn search<C: PrivacyCriterion>(
+        &self,
+        criterion: &C,
+        config: &SearchConfig,
+    ) -> Result<SearchReport, AnonymizeError> {
+        let outcome = minimal_safe_over(
+            &self.table,
+            &self.lattice,
+            self.evaluator(),
+            criterion,
+            config,
+        )?;
+        Ok(SearchReport {
+            outcome,
+            rollup: self.rollup_stats(),
+        })
+    }
+
+    /// Evaluates `criterion` on **every** lattice node (the unpruned
+    /// baseline), through the shared evaluator — bit-identical to
+    /// [`crate::sweep_all`].
+    pub fn sweep<C: PrivacyCriterion>(
+        &self,
+        criterion: &C,
+    ) -> Result<Vec<(GenNode, bool)>, AnonymizeError> {
+        sweep_over(&self.table, &self.lattice, self.evaluator(), criterion)
+    }
+
+    /// Records a release of `node`'s bucketization into the
+    /// sequential-release history (histograms only — no tuple membership is
+    /// retained, matching what a published anatomized table reveals).
+    pub fn release(&self, node: &GenNode) -> Result<ReleaseReport, AnonymizeError> {
+        let histograms: Vec<SensitiveHistogram> = match self.evaluator() {
+            Some(eval) => eval.histograms(node)?.histograms().to_vec(),
+            None => self
+                .lattice
+                .bucketize(&self.table, node)?
+                .buckets()
+                .iter()
+                .map(|b| b.histogram().clone())
+                .collect(),
+        };
+        let buckets = histograms.len();
+        let mut history = self.releases.lock().expect("release history poisoned");
+        history.histograms.extend(histograms);
+        history.per_release.push((node.clone(), buckets));
+        Ok(ReleaseReport {
+            index: history.per_release.len() - 1,
+            node: node.clone(),
+            buckets,
+            total_buckets: history.histograms.len(),
+        })
+    }
+
+    /// Number of releases recorded so far.
+    pub fn releases(&self) -> usize {
+        self.releases
+            .lock()
+            .expect("release history poisoned")
+            .per_release
+            .len()
+    }
+
+    /// Forgets the release history (the next composition starts empty).
+    pub fn clear_releases(&self) {
+        let mut history = self.releases.lock().expect("release history poisoned");
+        history.histograms.clear();
+        history.per_release.clear();
+    }
+
+    /// Audits the **composition** of every recorded release: the attacker
+    /// holds all released buckets at once, so maximum disclosure is
+    /// computed over their union through
+    /// [`DisclosureEngine::incremental_set`] (per-bucket MINIMIZE1 work
+    /// stays cached in the shared engine, so successive composition audits
+    /// after each release cost only the new buckets).
+    ///
+    /// Errors when no release has been recorded.
+    pub fn audit_composition(
+        &self,
+        c: Option<f64>,
+        k: usize,
+    ) -> Result<CompositionReport, AnonymizeError> {
+        let (histograms, releases) = {
+            let history = self.releases.lock().expect("release history poisoned");
+            (history.histograms.clone(), history.per_release.len())
+        };
+        if histograms.is_empty() {
+            return Err(AnonymizeError::InvalidParameter(
+                "composition audit needs at least one recorded release".into(),
+            ));
+        }
+        let buckets = histograms.len();
+        let set = HistogramSet::new(histograms, self.table.sensitive_cardinality() as u32)?;
+        let engine = self.engines.engine(k);
+        let value = engine.incremental_set(&set)?.value();
+        let safe = match c {
+            Some(c) => {
+                CkSafety::new(c, k)?;
+                Some(value < c)
+            }
+            None => None,
+        };
+        Ok(CompositionReport {
+            releases,
+            buckets,
+            k,
+            value,
+            c,
+            safe,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{find_minimal_safe_with, sweep_all, Schedule};
+    use crate::CkSafetyCriterion;
+    use wcbk_hierarchy::Hierarchy;
+    use wcbk_table::datasets::hospital_table;
+
+    fn hospital_lattice(table: &Table) -> GeneralizationLattice {
+        let zip = table.column(1).dictionary().clone();
+        let age = table.column(2).dictionary().clone();
+        let sex = table.column(3).dictionary().clone();
+        GeneralizationLattice::new(vec![
+            (1, Hierarchy::suppression("Zip", &zip)),
+            (2, Hierarchy::intervals("Age", &age, &[5]).unwrap()),
+            (3, Hierarchy::suppression("Sex", &sex)),
+        ])
+        .unwrap()
+    }
+
+    fn session() -> DatasetSession {
+        let table = hospital_table();
+        let lattice = hospital_lattice(&table);
+        DatasetSession::new(table, lattice).unwrap()
+    }
+
+    #[test]
+    fn audit_matches_the_oneshot_engine_path() {
+        let s = session();
+        for k in 0..=2 {
+            let report = s.audit(Some(0.9), k).unwrap();
+            // The one-shot path: exact-QI grouping through a fresh engine.
+            let table = hospital_table();
+            let qi = [1usize, 2, 3];
+            let b = Bucketization::from_grouping(&table, |t| {
+                qi.iter()
+                    .map(|&col| table.column(col).code(t.index()))
+                    .collect::<Vec<u32>>()
+            })
+            .unwrap();
+            let engine = DisclosureEngine::new(k);
+            let direct = engine.max_disclosure(&b).unwrap();
+            assert_eq!(
+                report.disclosure.value.to_bits(),
+                direct.value.to_bits(),
+                "k={k}"
+            );
+            assert_eq!(report.disclosure.witness, direct.witness, "k={k}");
+            assert_eq!(report.buckets, b.n_buckets());
+            assert_eq!(report.tuples, b.n_tuples());
+            assert_eq!(
+                report.safe,
+                Some(
+                    CkSafety::new(0.9, k)
+                        .unwrap()
+                        .is_safe_with(&engine, &b)
+                        .unwrap()
+                )
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_audits_never_rescan() {
+        let s = session();
+        for _ in 0..5 {
+            s.audit(Some(0.7), 1).unwrap();
+        }
+        let stats = s.rollup_stats().unwrap();
+        assert_eq!(stats.table_scans, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn search_and_sweep_match_the_oneshot_paths() {
+        let s = session();
+        let table = hospital_table();
+        let lattice = hospital_lattice(&table);
+        for (c, k) in [(0.5, 0), (0.7, 1), (0.9, 1), (1.0, 2)] {
+            for config in [
+                SearchConfig::default(),
+                SearchConfig {
+                    threads: 3,
+                    schedule: Schedule::WorkStealing,
+                    memo_capacity: None,
+                },
+                SearchConfig {
+                    threads: 2,
+                    schedule: Schedule::LevelSync,
+                    memo_capacity: None,
+                },
+            ] {
+                let criterion = CkSafetyCriterion::new(c, k).unwrap();
+                let via_session = s.search(&criterion, &config).unwrap();
+                let direct = find_minimal_safe_with(
+                    &table,
+                    &lattice,
+                    &CkSafetyCriterion::new(c, k).unwrap(),
+                    &config,
+                )
+                .unwrap();
+                assert_eq!(via_session.outcome, direct, "(c,k)=({c},{k}) {config:?}");
+            }
+            let via_session = s.sweep(&CkSafetyCriterion::new(c, k).unwrap()).unwrap();
+            let direct =
+                sweep_all(&table, &lattice, &CkSafetyCriterion::new(c, k).unwrap()).unwrap();
+            assert_eq!(via_session, direct, "sweep (c,k)=({c},{k})");
+        }
+        // All of the above cost exactly one scan.
+        assert_eq!(s.rollup_stats().unwrap().table_scans, 1);
+    }
+
+    #[test]
+    fn shared_registry_shares_minimize1_tables() {
+        let registry = Arc::new(EngineRegistry::new());
+        let table = hospital_table();
+        let lattice = hospital_lattice(&table);
+        let s1 = DatasetSession::with_options(
+            table.clone(),
+            lattice.clone(),
+            SessionOptions {
+                memo_capacity: None,
+                engines: Some(Arc::clone(&registry)),
+            },
+        )
+        .unwrap();
+        s1.audit(None, 1).unwrap();
+        let after_first = registry.stats().totals();
+        assert!(after_first.misses > 0);
+        // A second session over the same data hits the shared cache.
+        let s2 = DatasetSession::with_options(
+            table,
+            lattice,
+            SessionOptions {
+                memo_capacity: None,
+                engines: Some(registry.clone()),
+            },
+        )
+        .unwrap();
+        s2.audit(None, 1).unwrap();
+        let after_second = registry.stats().totals();
+        assert_eq!(after_second.misses, after_first.misses);
+        assert!(after_second.hits > after_first.hits);
+        assert_eq!(s1.fingerprint(), s2.fingerprint());
+    }
+
+    #[test]
+    fn composition_audit_rides_incremental_set() {
+        let s = session();
+        assert_eq!(s.releases(), 0);
+        assert!(s.audit_composition(None, 1).is_err(), "empty history");
+
+        let lattice = hospital_lattice(&hospital_table());
+        let first = s.release(&lattice.top()).unwrap();
+        assert_eq!(first.index, 0);
+        assert_eq!(first.buckets, 1);
+        let node = GenNode(vec![1, 2, 0]); // the Figure 3 by-sex split
+        let second = s.release(&node).unwrap();
+        assert_eq!(second.index, 1);
+        assert_eq!(second.total_buckets, 3);
+
+        let report = s.audit_composition(Some(0.9), 1).unwrap();
+        assert_eq!(report.releases, 2);
+        assert_eq!(report.buckets, 3);
+
+        // Direct recomputation over the concatenated histograms.
+        let table = hospital_table();
+        let mut histograms: Vec<SensitiveHistogram> = Vec::new();
+        for n in [lattice.top(), node] {
+            let b = lattice.bucketize(&table, &n).unwrap();
+            histograms.extend(b.buckets().iter().map(|x| x.histogram().clone()));
+        }
+        let set = HistogramSet::new(histograms, b_domain(&table)).unwrap();
+        let engine = DisclosureEngine::new(1);
+        let direct = engine.incremental_set(&set).unwrap().value();
+        assert_eq!(report.value.to_bits(), direct.to_bits());
+        assert_eq!(report.safe, Some(direct < 0.9));
+
+        s.clear_releases();
+        assert_eq!(s.releases(), 0);
+    }
+
+    fn b_domain(table: &Table) -> u32 {
+        table.sensitive_cardinality() as u32
+    }
+
+    /// The fingerprint-collision guard: identical datasets compare equal;
+    /// any difference in rows, values, or hierarchy structure does not.
+    #[test]
+    fn same_dataset_detects_content_differences() {
+        let table = hospital_table();
+        let a = DatasetSession::new(table.clone(), hospital_lattice(&table)).unwrap();
+        let b = DatasetSession::new(table.clone(), hospital_lattice(&table)).unwrap();
+        assert!(a.same_dataset(&b));
+        assert!(b.same_dataset(&a));
+
+        // Different hierarchy structure over the same table.
+        let zip = table.column(1).dictionary().clone();
+        let narrower =
+            GeneralizationLattice::new(vec![(1, Hierarchy::suppression("Zip", &zip))]).unwrap();
+        let c = DatasetSession::new(table.clone(), narrower).unwrap();
+        assert!(!a.same_dataset(&c));
+
+        // Different rows.
+        let mut builder = wcbk_table::TableBuilder::new(table.schema().clone());
+        builder
+            .push_row(&["Zed", "13068", "21", "M", "Flu"])
+            .unwrap();
+        let other = builder.build();
+        let lattice = GeneralizationLattice::new(vec![(
+            1,
+            Hierarchy::suppression("Zip", other.column(1).dictionary()),
+        )])
+        .unwrap();
+        let d = DatasetSession::new(other, lattice).unwrap();
+        assert!(!c.same_dataset(&d));
+    }
+
+    #[test]
+    fn empty_tables_are_rejected_at_registration() {
+        let table = hospital_table();
+        let schema = table.schema().clone();
+        let empty = wcbk_table::TableBuilder::new(schema).build();
+        let lattice = GeneralizationLattice::new(Vec::new()).unwrap();
+        assert!(DatasetSession::new(empty, lattice).is_err());
+    }
+
+    #[test]
+    fn zero_quasi_identifiers_means_one_bucket() {
+        // An empty lattice (no dims) groups everything into one bucket —
+        // the `wcbk audit` behavior with no --qi.
+        let table = hospital_table();
+        let lattice = GeneralizationLattice::new(Vec::new()).unwrap();
+        let s = DatasetSession::new(table, lattice).unwrap();
+        let report = s.audit(Some(0.9), 0).unwrap();
+        assert_eq!(report.buckets, 1);
+        assert_eq!(report.tuples, 10);
+    }
+}

@@ -7,18 +7,26 @@
 //! `results/BENCH_serve.json` so successive PRs can track the serving
 //! trajectory.
 //!
+//! With `--handles`, a second phase measures the **dataset-handle** path on
+//! the same re-audit workload: every table is registered once via
+//! `POST /tables` (one scan each), then the same connections fan
+//! (c,k)-audit/search jobs over `POST /tables/{id}/batch` — no CSV upload,
+//! no re-parse, no re-scan. The handle-vs-oneshot throughput ratio lands in
+//! the report, and `--min-handle-ratio` turns it into a CI gate.
+//!
 //! Closed loop: each connection issues its next batch only after fully
 //! consuming the previous response, so offered load adapts to the server
 //! (this measures capacity, not queueing collapse).
 //!
-//! Exits non-zero when any request fails, any table errors, or throughput
-//! falls below `--min-throughput` tables/sec — making it usable directly as
-//! the CI `serve-smoke` gate.
+//! Exits non-zero when any request fails, any table errors, throughput
+//! falls below `--min-throughput` tables/sec, or the handle ratio falls
+//! below `--min-handle-ratio` — making it usable directly as the CI
+//! `serve-smoke` gate.
 //!
 //! Run: `cargo run --release -p wcbk-bench --bin load_gen -- \
 //!       [--addr HOST:PORT] [--connections N] [--requests N] [--tables N] \
-//!       [--rows N] [--out FILE] [--min-throughput F] [--shutdown] \
-//!       [--wait-ms N]`
+//!       [--rows N] [--out FILE] [--min-throughput F] [--handles] \
+//!       [--min-handle-ratio F] [--shutdown] [--wait-ms N]`
 
 use std::process::ExitCode;
 use std::sync::Mutex;
@@ -36,6 +44,8 @@ struct Config {
     rows: usize,
     out: String,
     min_throughput: f64,
+    handles: bool,
+    min_handle_ratio: f64,
     shutdown: bool,
     wait_ms: u64,
 }
@@ -49,6 +59,8 @@ fn parse_args(args: &[String]) -> Result<Config, HarnessError> {
         rows: 120,
         out: "results/BENCH_serve.json".to_owned(),
         min_throughput: 0.0,
+        handles: false,
+        min_handle_ratio: 0.0,
         shutdown: false,
         wait_ms: 15_000,
     };
@@ -66,6 +78,8 @@ fn parse_args(args: &[String]) -> Result<Config, HarnessError> {
             "--rows" => config.rows = value()?.parse()?,
             "--out" => config.out = value()?.clone(),
             "--min-throughput" => config.min_throughput = value()?.parse()?,
+            "--handles" => config.handles = true,
+            "--min-handle-ratio" => config.min_handle_ratio = value()?.parse()?,
             "--shutdown" => config.shutdown = true,
             "--wait-ms" => config.wait_ms = value()?.parse()?,
             other => return Err(format!("unknown flag {other}").into()),
@@ -131,52 +145,32 @@ fn await_healthy(addr: &str, budget: Duration) -> Result<(), HarnessError> {
     }
 }
 
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
-    sorted_ms[rank]
+/// One measured closed-loop phase.
+struct Phase {
+    /// Batches that completed cleanly (== samples recorded).
+    batches: usize,
+    wall_ms: f64,
+    /// Per-batch latencies, sorted ascending.
+    samples: Vec<f64>,
+    failures: Vec<String>,
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::FAILURE,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn run(args: &[String]) -> Result<bool, HarnessError> {
-    let config = parse_args(args)?;
-    eprintln!(
-        "load_gen: {} connections x {} requests x {} tables (rows >= {}) against {}",
-        config.connections, config.requests, config.tables, config.rows, config.addr
-    );
-
-    eprintln!("building workload…");
-    let jobs: Vec<Json> = (0..config.tables)
-        .map(|i| build_job(i, config.rows))
-        .collect::<Result<_, _>>()?;
-    let batch = Json::object(vec![("tables", Json::Array(jobs))]).to_string();
-
-    eprintln!("waiting for /healthz…");
-    await_healthy(&config.addr, Duration::from_millis(config.wait_ms))?;
-
-    // The closed loop. Workers append (latency, table_errors) per batch.
+/// The closed loop: `connections` workers × `requests` posts each, the
+/// target chosen per request by `target(worker, request)` → (path, body).
+/// Every response must stream `tables + 1` NDJSON lines (results + summary)
+/// with no embedded errors.
+fn drive<F>(config: &Config, target: F) -> Phase
+where
+    F: Fn(usize, usize) -> (String, String) + Sync,
+{
     let samples: Mutex<Vec<f64>> = Mutex::new(Vec::new());
     let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let started = Instant::now();
     std::thread::scope(|scope| {
+        let target = &target;
         for worker in 0..config.connections {
-            let batch = &batch;
             let samples = &samples;
             let failures = &failures;
-            let config = &config;
             scope.spawn(move || {
                 let fail = |message: String| {
                     failures
@@ -190,8 +184,9 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
                     Err(e) => return fail(format!("connect: {e}")),
                 };
                 for request in 0..config.requests {
+                    let (path, body) = target(worker, request);
                     let sent = Instant::now();
-                    let response = match client.post("/batch", batch) {
+                    let response = match client.post(&path, &body) {
                         Ok(r) => r,
                         Err(e) => return fail(format!("request {request}: {e}")),
                     };
@@ -230,15 +225,172 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
     }
     let mut samples = samples.into_inner().expect("sample list poisoned");
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Phase {
+        batches: samples.len(),
+        wall_ms,
+        samples,
+        failures,
+    }
+}
 
-    let batches = samples.len();
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[rank]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, HarnessError> {
+    let config = parse_args(args)?;
+    eprintln!(
+        "load_gen: {} connections x {} requests x {} tables (rows >= {}) against {}",
+        config.connections, config.requests, config.tables, config.rows, config.addr
+    );
+
+    eprintln!("building workload…");
+    let jobs: Vec<Json> = (0..config.tables)
+        .map(|i| build_job(i, config.rows))
+        .collect::<Result<_, _>>()?;
+    let batch = Json::object(vec![("tables", Json::Array(jobs))]).to_string();
+
+    eprintln!("waiting for /healthz…");
+    await_healthy(&config.addr, Duration::from_millis(config.wait_ms))?;
+
+    // Phase 1: the one-shot workload (every job carries its CSV).
+    let oneshot = drive(&config, |_, _| ("/batch".to_owned(), batch.clone()));
+    let batches = oneshot.batches;
     let tables_done = batches * config.tables;
+    let wall_ms = oneshot.wall_ms;
     let tables_per_sec = tables_done as f64 / (wall_ms / 1e3);
+    let samples = oneshot.samples;
     let mean = if batches == 0 {
         0.0
     } else {
         samples.iter().sum::<f64>() / batches as f64
     };
+
+    // Phase 2 (--handles): register every table once, then fan the same
+    // job mix over /tables/{id}/batch — the re-audit workload with zero
+    // parsing and zero scans.
+    let mut handle_section = Json::Null;
+    let mut handle_failures = 0usize;
+    let mut handle_ratio: Option<f64> = None;
+    if config.handles {
+        eprintln!("registering {} handles…", config.tables);
+        // The registration client lives in its own block: an idle
+        // keep-alive connection would otherwise pin a server worker (up to
+        // the read timeout) for the whole measured phase.
+        let ids: Vec<String> = {
+            let mut register = Client::connect(&config.addr, Some(Duration::from_secs(120)))?;
+            let mut ids = Vec::with_capacity(config.tables);
+            for i in 0..config.tables {
+                let mut job = build_job(i, config.rows)?;
+                if let Json::Object(pairs) = &mut job {
+                    pairs.retain(|(k, _)| {
+                        matches!(k.as_str(), "csv" | "sensitive" | "qi" | "hierarchy")
+                    });
+                    // Every handle gets the Age interval hierarchy, so
+                    // handle-phase search jobs run the same lattices the
+                    // one-shot search jobs do (build_job only attaches it
+                    // to odd, search-op tables).
+                    if !pairs.iter().any(|(k, _)| k == "hierarchy") {
+                        pairs.push((
+                            "hierarchy".to_owned(),
+                            Json::object(vec![(
+                                "Age",
+                                Json::Array(vec![5u64.into(), 10u64.into()]),
+                            )]),
+                        ));
+                    }
+                }
+                let response = register.post("/tables", &job.to_string())?;
+                if response.status != 200 {
+                    return Err(format!("register {i}: HTTP {}", response.status).into());
+                }
+                let id = response
+                    .json()?
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or("register response lacks an id")?
+                    .to_owned();
+                ids.push(id);
+            }
+            ids
+        };
+        // The handle-batch job list: the one-shot ops with (c, k) varied
+        // across jobs, so a batch exercises several engines and lattice
+        // verdicts instead of answering one warm lookup 32 times. (Re-audit
+        // workloads are warm-cache by design in BOTH phases — the one-shot
+        // loop re-posts the same tables too — so the ratio isolates what
+        // the handle path removes: per-job parse + scan + evaluator build.)
+        let jobs: Vec<Json> = (0..config.tables)
+            .map(|i| {
+                let k = 2 + (i % 3) as u64;
+                let c = 0.7 + 0.1 * (i % 3) as f64;
+                if i % 2 == 0 {
+                    Json::object(vec![
+                        ("op", "audit".into()),
+                        ("k", k.into()),
+                        ("c", c.into()),
+                    ])
+                } else {
+                    Json::object(vec![
+                        ("op", "search".into()),
+                        ("k", k.into()),
+                        ("c", c.into()),
+                        ("threads", 2u64.into()),
+                        ("schedule", "steal".into()),
+                    ])
+                }
+            })
+            .collect();
+        let handle_body = Json::object(vec![("jobs", Json::Array(jobs))]).to_string();
+        let ids = &ids;
+        let handle_body = &handle_body;
+        let phase = drive(&config, move |worker, request| {
+            let id = &ids[(worker + request) % ids.len()];
+            (format!("/tables/{id}/batch"), handle_body.clone())
+        });
+        let handle_jobs = phase.batches * config.tables;
+        let jobs_per_sec = handle_jobs as f64 / (phase.wall_ms / 1e3);
+        let ratio = if tables_per_sec > 0.0 {
+            jobs_per_sec / tables_per_sec
+        } else {
+            0.0
+        };
+        handle_failures =
+            phase.failures.len() + (phase.batches != config.connections * config.requests) as usize;
+        handle_ratio = Some(ratio);
+        handle_section = Json::object(vec![
+            ("registered", config.tables.into()),
+            ("batches", phase.batches.into()),
+            ("jobs", handle_jobs.into()),
+            ("wall_ms", phase.wall_ms.into()),
+            ("jobs_per_sec", jobs_per_sec.into()),
+            ("p50", percentile(&phase.samples, 0.50).into()),
+            ("p99", percentile(&phase.samples, 0.99).into()),
+            ("ratio_vs_oneshot", ratio.into()),
+            ("failures", phase.failures.len().into()),
+        ]);
+        eprintln!(
+            "handles: {handle_jobs} jobs in {:.0} ms ({jobs_per_sec:.1} jobs/s; {ratio:.2}x one-shot)",
+            phase.wall_ms
+        );
+    }
+    let failures = oneshot.failures;
 
     // Server-side counters after the run (best effort).
     let mut cache_hits = Json::Null;
@@ -302,6 +454,7 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
                 ("mean", mean.into()),
             ]),
         ),
+        ("handles", handle_section),
         (
             "server",
             Json::object(vec![
@@ -339,6 +492,19 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
         );
         return Ok(false);
     }
+    if handle_failures > 0 {
+        eprintln!("load_gen FAILED: {handle_failures} handle-phase failures");
+        return Ok(false);
+    }
+    if let Some(ratio) = handle_ratio {
+        if ratio < config.min_handle_ratio {
+            eprintln!(
+                "load_gen FAILED: handle ratio {ratio:.2}x below the {:.2}x floor",
+                config.min_handle_ratio
+            );
+            return Ok(false);
+        }
+    }
     Ok(true)
 }
 
@@ -352,6 +518,16 @@ mod tests {
         assert_eq!(c.connections, 8);
         assert_eq!(c.tables, 32);
         assert!(!c.shutdown);
+        assert!(!c.handles);
+        assert_eq!(c.min_handle_ratio, 0.0);
+        let c = parse_args(&[
+            "--handles".into(),
+            "--min-handle-ratio".into(),
+            "2.5".into(),
+        ])
+        .unwrap();
+        assert!(c.handles);
+        assert!((c.min_handle_ratio - 2.5).abs() < 1e-12);
         let args: Vec<String> = [
             "--addr",
             "127.0.0.1:9",
@@ -437,6 +613,9 @@ mod tests {
             out.to_str().unwrap(),
             "--min-throughput",
             "0.0001",
+            "--handles",
+            "--min-handle-ratio",
+            "0.0001",
             "--shutdown",
         ]
         .iter()
@@ -469,5 +648,18 @@ mod tests {
                 .unwrap()
                 > 0.0
         );
+        // The handle phase ran: 3 handles registered, 4 batches × 3 jobs,
+        // a positive throughput ratio, zero failures.
+        let handles = report.get("handles").unwrap();
+        assert_eq!(handles.get("registered").and_then(Json::as_u64), Some(3));
+        assert_eq!(handles.get("jobs").and_then(Json::as_u64), Some(12));
+        assert!(
+            handles
+                .get("ratio_vs_oneshot")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert_eq!(handles.get("failures").and_then(Json::as_u64), Some(0));
     }
 }

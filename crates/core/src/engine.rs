@@ -31,6 +31,13 @@ struct CachedBucket {
     costs: BucketCosts,
 }
 
+/// A cached bucket plus its last-touch tick for LRU eviction under a cache
+/// budget.
+struct CacheEntry {
+    bucket: Arc<CachedBucket>,
+    touch: AtomicU64,
+}
+
 /// Number of independent cache shards. A small power of two: enough to keep
 /// search threads off each other's locks, few enough that per-shard maps
 /// stay densely used.
@@ -45,6 +52,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct histograms currently cached.
     pub entries: usize,
+    /// Total retained weight across entries — each entry weighs its
+    /// histogram's distinct-frequency **group** count, the driver of its
+    /// `O(groups·k²)` table size. This is what a cache budget bounds
+    /// (mirroring the roll-up memo's group-weighted eviction).
+    pub groups: u64,
+    /// Entries evicted to respect the cache budget (0 when unbounded).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -67,19 +81,51 @@ impl CacheStats {
 /// different bucketizations concurrently.
 pub struct DisclosureEngine {
     k: usize,
-    shards: [RwLock<HashMap<Vec<u64>, Arc<CachedBucket>>>; N_SHARDS],
+    shards: [RwLock<HashMap<Vec<u64>, CacheEntry>>; N_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Group budget for the cache (`None` = unbounded, the CLI default):
+    /// the total retained weight (Σ per-entry histogram group counts) may
+    /// not exceed it; past the budget the least-recently-touched entry is
+    /// evicted, mirroring the roll-up memo's group-weighted LRU.
+    capacity: Option<u64>,
+    /// Σ entry weights currently retained (all shards).
+    groups: AtomicU64,
+    evictions: AtomicU64,
+    /// Monotone tick supplying `CacheEntry::touch` values.
+    clock: AtomicU64,
+}
+
+/// The LRU weight of one cached histogram: its distinct-frequency group
+/// count (`key` length), the factor its MINIMIZE1 table size scales with.
+fn entry_weight(key: &[u64]) -> u64 {
+    (key.len() as u64).max(1)
 }
 
 impl DisclosureEngine {
-    /// Creates an engine for attacker power `k`.
+    /// Creates an engine for attacker power `k` with an **unbounded** cache
+    /// (every MINIMIZE1 table ever built is retained — the right default
+    /// for one-shot CLI runs).
     pub fn new(k: usize) -> Self {
+        Self::with_cache_capacity(k, None)
+    }
+
+    /// [`DisclosureEngine::new`] with a **group budget** on the MINIMIZE1
+    /// cache: `capacity = Some(n)` retains entries totalling at most
+    /// `n.max(1)` groups (an entry weighs its histogram's distinct-frequency
+    /// count), evicting the least recently touched until a newcomer fits; an
+    /// entry that alone exceeds the whole budget is served unmemoized.
+    /// Results are identical at any capacity — only rebuild cost varies.
+    pub fn with_cache_capacity(k: usize, capacity: Option<u64>) -> Self {
         Self {
             k,
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            capacity: capacity.map(|c| c.max(1)),
+            groups: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
         }
     }
 
@@ -104,14 +150,20 @@ impl DisclosureEngine {
         )
     }
 
-    /// Full counter snapshot including the entry count.
+    /// Full counter snapshot including the entry count and retained weight.
     pub fn stats(&self) -> CacheStats {
         let (hits, misses) = self.cache_stats();
         CacheStats {
             hits,
             misses,
             entries: self.cache_len(),
+            groups: self.groups.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Which shard a histogram key hashes to (FNV-1a over the key words).
@@ -125,20 +177,80 @@ impl DisclosureEngine {
     }
 
     fn cached(&self, hist: &SensitiveHistogram) -> Arc<CachedBucket> {
-        let shard = &self.shards[Self::shard_of(hist.key())];
+        let shard_index = Self::shard_of(hist.key());
+        let shard = &self.shards[shard_index];
         if let Some(entry) = shard.read().expect("cache shard poisoned").get(hist.key()) {
+            entry.touch.store(self.tick(), Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(entry);
+            return Arc::clone(&entry.bucket);
         }
         // Build outside any lock: the O(k³) table dominates, and concurrent
         // builders for the same key are rare (they waste a little work but
         // never race on results — the first insert wins below).
         let table = Minimize1Table::build(hist, self.k + 1);
         let costs = BucketCosts::new(&table, hist.frequency(0), hist.n());
-        let entry = Arc::new(CachedBucket { table, costs });
+        let bucket = Arc::new(CachedBucket { table, costs });
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut w = shard.write().expect("cache shard poisoned");
-        Arc::clone(w.entry(hist.key().to_vec()).or_insert(entry))
+        let weight = entry_weight(hist.key());
+        if self.capacity.is_some_and(|budget| weight > budget) {
+            // It can never fit: serve it unmemoized rather than flushing the
+            // whole cache for nothing (the roll-up memo's contract).
+            return bucket;
+        }
+        {
+            let mut w = shard.write().expect("cache shard poisoned");
+            match w.entry(hist.key().to_vec()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    // Lost a race with a concurrent builder: keep the first.
+                    e.get().touch.store(self.tick(), Ordering::Relaxed);
+                    return Arc::clone(&e.get().bucket);
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(CacheEntry {
+                        bucket: Arc::clone(&bucket),
+                        touch: AtomicU64::new(self.tick()),
+                    });
+                    self.groups.fetch_add(weight, Ordering::Relaxed);
+                }
+            }
+        }
+        self.enforce_budget();
+        bucket
+    }
+
+    /// Evicts least-recently-touched entries until the retained weight fits
+    /// the budget. Locks one shard at a time (candidate scan under read
+    /// locks, removal under that shard's write lock), so it never holds two
+    /// shard locks at once.
+    fn enforce_budget(&self) {
+        let Some(budget) = self.capacity else {
+            return;
+        };
+        while self.groups.load(Ordering::Relaxed) > budget {
+            // Global LRU victim: the minimum touch tick across all shards.
+            let mut victim: Option<(usize, Vec<u64>, u64)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let guard = shard.read().expect("cache shard poisoned");
+                for (key, entry) in guard.iter() {
+                    let touch = entry.touch.load(Ordering::Relaxed);
+                    if victim.as_ref().is_none_or(|(_, _, t)| touch < *t) {
+                        victim = Some((i, key.clone(), touch));
+                    }
+                }
+            }
+            let Some((shard_index, key, _)) = victim else {
+                return; // nothing left to evict
+            };
+            let mut guard = self.shards[shard_index]
+                .write()
+                .expect("cache shard poisoned");
+            if guard.remove(&key).is_some() {
+                self.groups.fetch_sub(entry_weight(&key), Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            // A concurrent evictor may have removed it first; either way the
+            // loop re-checks the weight and converges.
+        }
     }
 
     /// The per-bucket DP costs for a histogram (cached).
@@ -548,6 +660,85 @@ mod tests {
         let stats = engine.stats();
         assert!(stats.entries >= 2 && stats.entries <= 6, "{stats:?}");
         assert!(stats.hit_rate() > 0.0);
+    }
+
+    /// A bounded cache evicts by LRU group weight, stays within budget, and
+    /// keeps producing values identical to the unbounded engine.
+    #[test]
+    fn capped_cache_evicts_and_stays_correct() {
+        let k = 2;
+        let reference = DisclosureEngine::new(k);
+        let bs = [figure3(), four_buckets()];
+        let expected: Vec<f64> = bs
+            .iter()
+            .map(|b| reference.max_disclosure_value(b).unwrap())
+            .collect();
+        for cap in [1u64, 2, 3, 8] {
+            let engine = DisclosureEngine::with_cache_capacity(k, Some(cap));
+            for round in 0..3 {
+                for (b, want) in bs.iter().zip(&expected) {
+                    let got = engine.max_disclosure_value(b).unwrap();
+                    assert_eq!(got.to_bits(), want.to_bits(), "cap {cap} round {round}");
+                    let stats = engine.stats();
+                    assert!(stats.groups <= cap, "cap {cap}: {stats:?}");
+                    assert!(stats.entries as u64 <= stats.groups.max(1), "{stats:?}");
+                }
+            }
+        }
+        // A tight budget across distinct histograms must have evicted.
+        let tight = DisclosureEngine::with_cache_capacity(k, Some(3));
+        for b in &bs {
+            tight.max_disclosure_value(b).unwrap();
+        }
+        for b in &bs {
+            tight.max_disclosure_value(b).unwrap();
+        }
+        assert!(tight.stats().evictions > 0, "{:?}", tight.stats());
+    }
+
+    /// An entry heavier than the whole budget is served unmemoized instead
+    /// of flushing everything else; `Some(0)` clamps to a 1-group budget.
+    #[test]
+    fn oversized_entries_bypass_the_cache() {
+        let engine = DisclosureEngine::with_cache_capacity(2, Some(1));
+        let b = four_buckets(); // histograms with >1 distinct frequency
+        let direct = max_disclosure(&b, 2).unwrap().value;
+        let got = engine.max_disclosure_value(&b).unwrap();
+        assert_eq!(got.to_bits(), direct.to_bits());
+        let stats = engine.stats();
+        assert!(stats.groups <= 1, "{stats:?}");
+        assert_eq!(stats.evictions, 0, "oversized entries never evict");
+
+        let clamped = DisclosureEngine::with_cache_capacity(2, Some(0));
+        let got = clamped.max_disclosure_value(&b).unwrap();
+        assert_eq!(got.to_bits(), direct.to_bits());
+        assert!(clamped.stats().groups <= 1);
+    }
+
+    /// Concurrent access under a tight budget stays correct and bounded.
+    #[test]
+    fn capped_cache_is_thread_safe() {
+        let engine = DisclosureEngine::with_cache_capacity(2, Some(2));
+        let bs = [figure3(), four_buckets()];
+        let expected: Vec<f64> = bs
+            .iter()
+            .map(|b| max_disclosure(b, 2).unwrap().value)
+            .collect();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let engine = &engine;
+                let bs = &bs;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for i in 0..40 {
+                        let idx = (i + worker) % bs.len();
+                        let v = engine.max_disclosure_value(&bs[idx]).unwrap();
+                        assert_eq!(v.to_bits(), expected[idx].to_bits());
+                    }
+                });
+            }
+        });
+        assert!(engine.stats().groups <= 2, "{:?}", engine.stats());
     }
 
     #[test]

@@ -24,7 +24,8 @@
 //!    helpers (Theorem 14).
 //! 7. [`engine`] adds histogram-keyed memoization across bucketizations and
 //!    `O(k²)` what-if re-evaluation when single buckets change
-//!    (the incremental remark closing Section 3.3.3).
+//!    (the incremental remark closing Section 3.3.3); [`registry`] bounds a
+//!    long-lived fleet of per-`k` engines under group-weighted LRU budgets.
 //! 8. [`sched`] is the scheduler-visible verdict/pruning surface: a
 //!    work-stealing evaluator for monotone-pruned DAGs, which the lattice
 //!    searches in `wcbk-anonymize` drive whole-lattice instead of
@@ -45,6 +46,7 @@ pub mod minimize1;
 pub mod minimize2;
 pub mod negation;
 pub mod partial_order;
+pub mod registry;
 pub mod safety;
 pub mod sched;
 
@@ -56,6 +58,7 @@ pub use error::CoreError;
 pub use histogram::SensitiveHistogram;
 pub use histogram_set::HistogramSet;
 pub use negation::{negation_max_disclosure, NegationResult};
+pub use registry::{EngineRegistry, RegistryStats};
 pub use safety::{is_ck_safe, CkSafety};
 pub use sched::{
     evaluate_sequential, evaluate_work_stealing, MonotoneDag, NodeResolution, ScheduleOutcome,

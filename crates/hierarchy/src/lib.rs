@@ -22,6 +22,10 @@
 //!   other node's histograms are derived by re-keying packed signatures
 //!   through parent/level maps and merging — `O(groups)` per node, no row
 //!   access, identical bucket order and histograms to `bucketize`.
+//! * [`dataset_fingerprint`] — a stable 64-bit content identity for a
+//!   (table, lattice) pair: schema roles, hierarchy grouping maps,
+//!   dictionaries, and row codes all mixed in — what a dataset-handle
+//!   service keys registrations by ("register once, audit forever").
 //! * [`adult`] — the paper's Adult hierarchies: Age 6 levels (exact, 5, 10,
 //!   20, 40, suppressed), Marital Status 3 levels, Race 2, Gender 2 — a
 //!   6·3·2·2 = 72-node lattice.
@@ -29,10 +33,12 @@
 pub mod adult;
 mod dgh;
 mod error;
+mod fingerprint;
 mod lattice;
 mod rollup;
 
 pub use dgh::Hierarchy;
 pub use error::HierarchyError;
+pub use fingerprint::dataset_fingerprint;
 pub use lattice::{GenNode, GeneralizationLattice};
 pub use rollup::{NodeEvaluator, RollupStats};

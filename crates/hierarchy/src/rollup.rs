@@ -236,8 +236,11 @@ impl<S> Memo<S> {
 }
 
 /// The signature-width-generic core of [`NodeEvaluator`].
-struct RollupEngine<'a, S> {
-    lattice: &'a GeneralizationLattice,
+struct RollupEngine<S> {
+    /// The lattice the evaluator serves. Held by `Arc` so an evaluator can
+    /// be **owned** alongside its lattice by long-lived callers (a
+    /// `DatasetSession`) instead of borrowing from the stack.
+    lattice: Arc<GeneralizationLattice>,
     domain_size: u32,
     /// Bit offset of each dimension's field within a packed signature.
     shifts: Vec<u32>,
@@ -289,12 +292,12 @@ fn layout(lattice: &GeneralizationLattice) -> Layout {
     }
 }
 
-impl<'a, S: Signature> RollupEngine<'a, S> {
+impl<S: Signature> RollupEngine<S> {
     /// Builds the engine with exactly one scan over `table`; the caller has
     /// already checked that `layout.total_bits <= S::BITS`.
     fn new(
         table: &Table,
-        lattice: &'a GeneralizationLattice,
+        lattice: Arc<GeneralizationLattice>,
         layout: Layout,
         capacity: Option<usize>,
     ) -> Self {
@@ -551,25 +554,31 @@ impl<'a, S: Signature> RollupEngine<'a, S> {
 }
 
 /// The two signature widths an evaluator can run at.
-enum Inner<'a> {
-    Narrow(RollupEngine<'a, u64>),
-    Wide(RollupEngine<'a, u128>),
+enum Inner {
+    Narrow(RollupEngine<u64>),
+    Wide(RollupEngine<u128>),
 }
 
 /// Evaluates lattice nodes from one columnar table scan plus histogram
 /// roll-ups — see the module docs.
-pub struct NodeEvaluator<'a> {
-    inner: Inner<'a>,
+///
+/// The evaluator **owns** its lattice (behind an [`Arc`]), so it can
+/// outlive the stack frame that built it — the shape long-lived dataset
+/// sessions need to reuse one scan across many audits.
+pub struct NodeEvaluator {
+    inner: Inner,
 }
 
-impl<'a> NodeEvaluator<'a> {
+impl NodeEvaluator {
     /// Builds the evaluator with exactly one scan over `table` and an
-    /// unbounded memo (every derived node table is retained).
+    /// unbounded memo (every derived node table is retained). The lattice
+    /// is cloned into the evaluator; use [`NodeEvaluator::shared`] to hand
+    /// over an existing [`Arc`] instead.
     ///
     /// Fails with [`HierarchyError::SignatureOverflow`] when the packed
     /// per-row signature does not fit 128 bits (callers then fall back to
     /// the row-scanning `bucketize` path).
-    pub fn new(table: &Table, lattice: &'a GeneralizationLattice) -> Result<Self, HierarchyError> {
+    pub fn new(table: &Table, lattice: &GeneralizationLattice) -> Result<Self, HierarchyError> {
         Self::with_memo_capacity(table, lattice, None)
     }
 
@@ -584,10 +593,21 @@ impl<'a> NodeEvaluator<'a> {
     /// are identical at any capacity — only derivation cost varies.
     pub fn with_memo_capacity(
         table: &Table,
-        lattice: &'a GeneralizationLattice,
+        lattice: &GeneralizationLattice,
         capacity: Option<usize>,
     ) -> Result<Self, HierarchyError> {
-        let l = layout(lattice);
+        Self::shared(table, Arc::new(lattice.clone()), capacity)
+    }
+
+    /// [`NodeEvaluator::with_memo_capacity`] over a lattice the caller
+    /// already shares by [`Arc`] — no clone, and the evaluator can be moved
+    /// into long-lived owners alongside that `Arc`.
+    pub fn shared(
+        table: &Table,
+        lattice: Arc<GeneralizationLattice>,
+        capacity: Option<usize>,
+    ) -> Result<Self, HierarchyError> {
+        let l = layout(&lattice);
         let inner = if l.total_bits <= u64::BITS {
             Inner::Narrow(RollupEngine::new(table, lattice, l, capacity))
         } else if l.total_bits <= u128::BITS {
@@ -601,8 +621,8 @@ impl<'a> NodeEvaluator<'a> {
     /// The lattice this evaluator serves.
     pub fn lattice(&self) -> &GeneralizationLattice {
         match &self.inner {
-            Inner::Narrow(e) => e.lattice,
-            Inner::Wide(e) => e.lattice,
+            Inner::Narrow(e) => &e.lattice,
+            Inner::Wide(e) => &e.lattice,
         }
     }
 

@@ -12,14 +12,32 @@
 //!
 //! ## Endpoints
 //!
+//! The primary surface is the **dataset-handle resource model**: register a
+//! table once (one scan builds the shared roll-up evaluator), then audit it
+//! forever by handle — no re-parse, no re-scan.
+//!
 //! | endpoint | does |
 //! |---|---|
-//! | `POST /audit` | CSV or inline rows → max disclosure + (c,k)-safety verdict |
-//! | `POST /search` | minimal safe generalizations (honors `threads`/`schedule`/`memo_cap`) |
+//! | `POST /tables` | register CSV/rows + hierarchies → content-fingerprint handle (idempotent) |
+//! | `GET /tables/{id}` | handle metadata + cumulative roll-up counters |
+//! | `DELETE /tables/{id}` | drop the handle |
+//! | `POST /tables/{id}/audit` | max disclosure + (c,k) verdict against the registered evaluator |
+//! | `POST /tables/{id}/search` | minimal safe generalizations, scan-free |
+//! | `POST /tables/{id}/batch` | many (c,k)/config jobs over one evaluator, streamed NDJSON |
+//! | `POST /tables/{id}/release` | record a node's buckets into the sequential-release history |
+//! | `POST /tables/{id}/composition` | worst-case disclosure over the union of all releases |
+//! | `POST /audit` | one-shot: register → run → drop (bit-identical to `wcbk audit`) |
+//! | `POST /search` | one-shot: register → run → drop (honors `threads`/`schedule`/`memo_cap`) |
 //! | `POST /batch` | many tables fanned over the work-stealing scheduler, streamed back one NDJSON line per completed table |
-//! | `GET /stats` | engine cache + roll-up + server counters |
+//! | `GET /stats` | engine cache + roll-up + per-session + server counters |
 //! | `GET /healthz` | liveness |
 //! | `POST /shutdown` | graceful shutdown (in-flight work finishes) |
+//!
+//! The session store and the per-`k` engine registry sit under
+//! group-weighted LRU budgets ([`ServiceLimits`]; `wcbk serve
+//! --engine-cache-cap/--engine-budget/--session-budget`), so a long-lived
+//! server is memory-bounded: an evicted handle answers a clean 404 and can
+//! simply be re-registered.
 //!
 //! Results are bit-identical to `wcbk audit` / `wcbk search`: same table
 //! construction, same engine code, and `f64`s serialized with shortest
@@ -44,4 +62,4 @@ pub mod service;
 
 pub use json::{Json, JsonError};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use service::{AuditService, ServeError};
+pub use service::{AuditService, ServeError, ServiceLimits};

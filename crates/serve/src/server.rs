@@ -32,7 +32,7 @@ use wcbk_core::sched::{evaluate_work_stealing, MonotoneDag};
 
 use crate::http::{read_request, write_json, ChunkedWriter, HttpError, Request};
 use crate::json::Json;
-use crate::service::{AuditService, ServeError};
+use crate::service::{AuditService, ServeError, ServiceLimits};
 
 /// Server knobs; `Default` gives a loopback server with
 /// hardware-parallelism workers.
@@ -52,6 +52,9 @@ pub struct ServerConfig {
     /// idle or trickling connection (and therefore how long shutdown can
     /// take). `None` disables the bound.
     pub read_timeout: Option<Duration>,
+    /// Memory budgets for the engine registry and the session store
+    /// (`Default`: unbounded — the one-shot behavior).
+    pub limits: ServiceLimits,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +66,7 @@ impl Default for ServerConfig {
             batch_threads: 0,
             max_body: 64 * 1024 * 1024,
             read_timeout: Some(Duration::from_secs(5)),
+            limits: ServiceLimits::default(),
         }
     }
 }
@@ -178,7 +182,7 @@ impl Server {
         });
         Ok(Self {
             listener,
-            service: Arc::new(AuditService::new()),
+            service: Arc::new(AuditService::with_limits(config.limits)),
             shared,
         })
     }
@@ -452,6 +456,59 @@ fn respond(
         ("POST", "/batch") => {
             return handle_batch(shared, service, writer, &request.body, keep_alive)
         }
+        ("POST", "/tables") => {
+            match parse_body(&request.body).and_then(|b| service.register_table(&b)) {
+                Ok(out) => (200, out),
+                Err(e) => bad_request(service, e),
+            }
+        }
+        (method, path) if path.starts_with("/tables/") => match route_table(method, path) {
+            TableRoute::Info(id) => match service.table_info(id) {
+                Ok(out) => (200, out),
+                Err(e) => bad_request(service, e),
+            },
+            TableRoute::Drop(id) => match service.drop_table(id) {
+                Ok(out) => (200, out),
+                Err(e) => bad_request(service, e),
+            },
+            TableRoute::Audit(id) => {
+                match parse_body(&request.body).and_then(|b| service.session_audit(id, &b)) {
+                    Ok(out) => (200, out),
+                    Err(e) => bad_request(service, e),
+                }
+            }
+            TableRoute::Search(id) => {
+                match parse_body(&request.body).and_then(|b| service.session_search(id, &b)) {
+                    Ok(out) => (200, out),
+                    Err(e) => bad_request(service, e),
+                }
+            }
+            TableRoute::Release(id) => {
+                match parse_body(&request.body).and_then(|b| service.session_release(id, &b)) {
+                    Ok(out) => (200, out),
+                    Err(e) => bad_request(service, e),
+                }
+            }
+            TableRoute::Composition(id) => {
+                match parse_body(&request.body).and_then(|b| service.session_composition(id, &b)) {
+                    Ok(out) => (200, out),
+                    Err(e) => bad_request(service, e),
+                }
+            }
+            TableRoute::Batch(id) => {
+                return handle_session_batch(shared, service, writer, id, &request.body, keep_alive)
+            }
+            TableRoute::NotFound => (
+                404,
+                Json::object(vec![("error", "no such endpoint".into())]),
+            ),
+            TableRoute::MethodNotAllowed => (
+                405,
+                Json::object(vec![("error", "method not allowed".into())]),
+            ),
+        },
+        // DELETE is only meaningful on /tables/{id} (handled above): on any
+        // other path it stays 405, like every other unsupported method.
         ("GET" | "POST", _) => (
             404,
             Json::object(vec![("error", "no such endpoint".into())]),
@@ -464,17 +521,76 @@ fn respond(
     write_json(writer, status, &body, keep_alive)
 }
 
-/// Counts and renders a handler rejection as a 400 body.
+/// A parsed `/tables/…` request target.
+enum TableRoute<'a> {
+    Info(&'a str),
+    Drop(&'a str),
+    Audit(&'a str),
+    Search(&'a str),
+    Release(&'a str),
+    Composition(&'a str),
+    Batch(&'a str),
+    NotFound,
+    MethodNotAllowed,
+}
+
+/// Resolves method + `/tables/{id}[/action]` to a route. Unknown actions
+/// are 404; known targets with the wrong method are 405.
+fn route_table<'a>(method: &str, path: &'a str) -> TableRoute<'a> {
+    let rest = &path["/tables/".len()..];
+    if rest.is_empty() {
+        return TableRoute::NotFound;
+    }
+    match rest.split_once('/') {
+        None => match method {
+            "GET" => TableRoute::Info(rest),
+            "DELETE" => TableRoute::Drop(rest),
+            _ => TableRoute::MethodNotAllowed,
+        },
+        Some((id, action)) if !id.is_empty() => match (method, action) {
+            ("POST", "audit") => TableRoute::Audit(id),
+            ("POST", "search") => TableRoute::Search(id),
+            ("POST", "release") => TableRoute::Release(id),
+            ("POST", "composition") => TableRoute::Composition(id),
+            ("POST", "batch") => TableRoute::Batch(id),
+            (_, "audit" | "search" | "release" | "composition" | "batch") => {
+                TableRoute::MethodNotAllowed
+            }
+            _ => TableRoute::NotFound,
+        },
+        Some(_) => TableRoute::NotFound,
+    }
+}
+
+/// Counts and renders a handler rejection: invalid requests are 400,
+/// unknown/evicted table handles are 404.
 fn bad_request(service: &AuditService, e: ServeError) -> (u16, Json) {
-    service.count_bad_request();
-    let ServeError::BadRequest(message) = e;
-    (400, Json::object(vec![("error", message.into())]))
+    let status = match &e {
+        ServeError::BadRequest(_) => {
+            service.count_bad_request();
+            400
+        }
+        ServeError::UnknownTable(_) => 404,
+    };
+    (status, Json::object(vec![("error", e.to_string().into())]))
 }
 
 fn parse_body(body: &[u8]) -> Result<Json, ServeError> {
     let text = std::str::from_utf8(body)
         .map_err(|_| ServeError::BadRequest("body is not UTF-8".into()))?;
     Json::parse(text).map_err(|e| ServeError::BadRequest(e.to_string()))
+}
+
+/// Parses the per-request `threads` override for a batch, clamped to the
+/// server's batch fan-out.
+fn batch_threads(shared: &Shared, b: &Json) -> Result<usize, ServeError> {
+    match b.get("threads").map(|t| t.as_u64()) {
+        None => Ok(shared.batch_threads),
+        Some(Some(n)) => Ok((n as usize).clamp(1, shared.batch_threads.max(1))),
+        Some(None) => Err(ServeError::BadRequest(
+            "\"threads\" must be a non-negative integer".into(),
+        )),
+    }
 }
 
 /// `POST /batch`: validate, then stream one NDJSON line per table as the
@@ -486,27 +602,64 @@ fn handle_batch(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let jobs = match parse_body(body).and_then(|b| {
-        let threads = match b.get("threads").map(|t| t.as_u64()) {
-            None => shared.batch_threads,
-            Some(Some(n)) => (n as usize).clamp(1, shared.batch_threads.max(1)),
-            Some(None) => {
-                return Err(ServeError::BadRequest(
-                    "\"threads\" must be a non-negative integer".into(),
-                ))
-            }
-        };
+    let parsed = parse_body(body).and_then(|b| {
+        let threads = batch_threads(shared, &b)?;
         service.batch_jobs(&b).map(|jobs| (jobs, threads))
-    }) {
-        Ok(jobs) => jobs,
-        Err(ServeError::BadRequest(message)) => {
-            service.count_bad_request();
-            let body = Json::object(vec![("error", message.into())]);
-            return write_json(writer, 400, &body, keep_alive);
+    });
+    let (jobs, threads) = match parsed {
+        Ok(x) => x,
+        Err(e) => {
+            let (status, body) = bad_request(service, e);
+            return write_json(writer, status, &body, keep_alive);
         }
     };
-    let (jobs, threads) = jobs;
-    let n = jobs.len();
+    stream_jobs(writer, keep_alive, threads, jobs.len(), |i| {
+        service.run_job(&jobs[i])
+    })
+}
+
+/// `POST /tables/{id}/batch`: many (c,k)/config jobs fanned over the
+/// scheduler against **one registered evaluator** — no CSV parsing, no
+/// table scan, just memo-served histograms and cached MINIMIZE1 tables.
+fn handle_session_batch(
+    shared: &Shared,
+    service: &AuditService,
+    writer: &mut TcpStream,
+    id: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let parsed = parse_body(body).and_then(|b| {
+        let threads = batch_threads(shared, &b)?;
+        service
+            .session_batch_jobs(id, &b)
+            .map(|(session, jobs)| (session, jobs, threads))
+    });
+    let (session, jobs, threads) = match parsed {
+        Ok(x) => x,
+        Err(e) => {
+            let (status, body) = bad_request(service, e);
+            return write_json(writer, status, &body, keep_alive);
+        }
+    };
+    stream_jobs(writer, keep_alive, threads, jobs.len(), |i| {
+        service.run_session_job(id, &session, &jobs[i])
+    })
+}
+
+/// The shared batch streamer: fan `n` jobs over the work-stealing scheduler
+/// and chunk one NDJSON line per completed job (in completion order) plus a
+/// summary line.
+fn stream_jobs<F>(
+    writer: &mut TcpStream,
+    keep_alive: bool,
+    threads: usize,
+    n: usize,
+    run: F,
+) -> std::io::Result<()>
+where
+    F: Fn(usize) -> Json + Sync,
+{
     let mut out = ChunkedWriter::new(&mut *writer, 200, "application/x-ndjson", keep_alive)?;
     let (tx, rx) = mpsc::channel::<(usize, Json)>();
     let mut write_failure: Option<std::io::Error> = None;
@@ -522,7 +675,7 @@ fn handle_batch(
             let dag = MonotoneDag::new(vec![Vec::new(); n]);
             let _ = evaluate_work_stealing(&dag, threads, false, |i| {
                 if !cancelled.load(Ordering::Relaxed) {
-                    let result = service.run_job(&jobs[i]);
+                    let result = run(i);
                     let _ = tx
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)

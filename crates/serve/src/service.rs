@@ -1,14 +1,22 @@
 //! The audit service: JSON requests in, engine-backed verdicts out.
 //!
 //! One [`AuditService`] lives for the whole server process and is shared by
-//! every connection handler. It owns the state that makes a long-running
-//! service faster than one-shot CLI runs:
+//! every connection handler. Since the dataset-handle redesign it is a
+//! **resource manager over [`DatasetSession`]s**:
 //!
-//! * a registry of [`DisclosureEngine`]s, one per attacker power `k`, so
-//!   MINIMIZE1 tables memoized by *any* request are reused by every later
-//!   request whose buckets share a histogram (the sequential-release
-//!   workload: re-audits of overlapping tables hit the cache);
-//! * accumulated roll-up counters from every search, surfaced by `/stats`.
+//! * `POST /tables` registers a dataset (table + hierarchies) once — one
+//!   scan builds the shared roll-up evaluator — and returns a
+//!   content-fingerprint handle; `/tables/{id}/audit|search|batch|release|
+//!   composition` then run against that session **without ever re-parsing
+//!   or re-scanning**. Registering identical content returns the existing
+//!   handle.
+//! * The session store and the per-`k` [`EngineRegistry`] both sit under
+//!   group-weighted LRU budgets, so a long-lived server is memory-bounded;
+//!   an evicted handle answers a clean 404 (re-register to continue).
+//! * The one-shot endpoints (`POST /audit`, `POST /search`) are
+//!   reimplemented as *register → run → drop* over transient sessions —
+//!   same engine registry, bit-identical results (pinned by the
+//!   integration tests).
 //!
 //! Results are **bit-identical** to the CLI `audit`/`search` paths: tables
 //! are built with the same schema rules, bucketized by the same grouping,
@@ -22,11 +30,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use wcbk_anonymize::{
-    default_threads, find_minimal_safe_report, CkSafetyCriterion, PrivacyCriterion, Schedule,
-    SearchConfig, SearchReport,
+    default_threads, AuditReport, CkSafetyCriterion, DatasetSession, PrivacyCriterion, Schedule,
+    SearchConfig, SearchReport, SessionOptions,
 };
-use wcbk_core::{Bucketization, CkSafety, DisclosureEngine};
-use wcbk_hierarchy::{GeneralizationLattice, Hierarchy, RollupStats};
+use wcbk_core::EngineRegistry;
+use wcbk_hierarchy::{GenNode, GeneralizationLattice, Hierarchy, RollupStats};
 use wcbk_table::{Attribute, AttributeKind, Schema, Table, TableBuilder};
 
 use crate::json::Json;
@@ -37,12 +45,16 @@ pub enum ServeError {
     /// The client's request is invalid (missing fields, bad CSV, unknown
     /// columns, parameters out of range) — an HTTP 400.
     BadRequest(String),
+    /// The addressed table handle does not exist (never registered, dropped,
+    /// or evicted under the session budget) — an HTTP 404.
+    UnknownTable(String),
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::BadRequest(m) => write!(f, "{m}"),
+            ServeError::UnknownTable(id) => write!(f, "no table registered under {id:?}"),
         }
     }
 }
@@ -51,6 +63,21 @@ impl std::error::Error for ServeError {}
 
 fn bad(message: impl Into<String>) -> ServeError {
     ServeError::BadRequest(message.into())
+}
+
+/// Memory budgets for a long-lived service; `Default` is fully unbounded
+/// (the one-shot behavior).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceLimits {
+    /// MINIMIZE1 cache budget (groups) for every engine the registry
+    /// creates — `wcbk serve --engine-cache-cap`.
+    pub engine_cache_cap: Option<u64>,
+    /// Registry budget (total retained groups across per-`k` engines);
+    /// past it, least-recently-requested engines are dropped.
+    pub engine_budget: Option<u64>,
+    /// Session-store budget (Σ per-session bottom-group weight); past it,
+    /// least-recently-used handles are evicted (→ 404 until re-registered).
+    pub session_budget: Option<u64>,
 }
 
 /// Accumulated roll-up counters across every search the service ran.
@@ -81,11 +108,121 @@ impl RollupTotals {
     }
 }
 
+/// A registered session plus the store's bookkeeping for it.
+struct StoredSession {
+    id: String,
+    session: Arc<DatasetSession>,
+    /// Column names echoed back by `GET /tables/{id}`.
+    qi: Vec<String>,
+    sensitive: String,
+    /// LRU weight: the session's bottom group count (the scan's resident
+    /// output — its dominant memory cost), or the row count when the
+    /// signature-overflow fallback left no evaluator.
+    weight: u64,
+    touch: AtomicU64,
+}
+
+/// The handle → session map under a group-weighted LRU budget.
+struct SessionStore {
+    inner: RwLock<HashMap<String, Arc<StoredSession>>>,
+    budget: Option<u64>,
+    clock: AtomicU64,
+    evictions: AtomicU64,
+    /// Registrations that created a new session (dedup hits excluded).
+    registered: AtomicU64,
+}
+
+impl SessionStore {
+    fn new(budget: Option<u64>) -> Self {
+        Self {
+            inner: RwLock::new(HashMap::new()),
+            budget: budget.map(|b| b.max(1)),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            registered: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn get(&self, id: &str) -> Option<Arc<StoredSession>> {
+        let inner = self.inner.read().expect("session store poisoned");
+        inner.get(id).map(|s| {
+            s.touch.store(self.tick(), Ordering::Relaxed);
+            Arc::clone(s)
+        })
+    }
+
+    /// Inserts (or dedups onto) `stored`, returning `(session, created)`.
+    /// A dedup hit must hold the **same dataset**, not merely the same
+    /// 64-bit fingerprint — FNV-1a is not collision-resistant, and silently
+    /// merging distinct datasets would serve one table's verdicts for the
+    /// other. Past the budget, least-recently-used **other** handles are
+    /// evicted — the handle just registered always survives, so one big
+    /// dataset can exceed the budget rather than thrash.
+    fn insert(&self, stored: StoredSession) -> Result<(Arc<StoredSession>, bool), ServeError> {
+        let id = stored.id.clone();
+        let mut inner = self.inner.write().expect("session store poisoned");
+        if let Some(existing) = inner.get(&id) {
+            if !existing.session.same_dataset(&stored.session) {
+                return Err(bad(format!(
+                    "fingerprint collision: handle {id} already holds a different dataset; \
+                     change the table or hierarchies and re-register"
+                )));
+            }
+            existing.touch.store(self.tick(), Ordering::Relaxed);
+            return Ok((Arc::clone(existing), false));
+        }
+        stored.touch.store(self.tick(), Ordering::Relaxed);
+        let stored = Arc::new(stored);
+        inner.insert(id.clone(), Arc::clone(&stored));
+        self.registered.fetch_add(1, Ordering::Relaxed);
+        if let Some(budget) = self.budget {
+            while inner.len() > 1 {
+                let total: u64 = inner.values().map(|s| s.weight).sum();
+                if total <= budget {
+                    break;
+                }
+                let victim = inner
+                    .iter()
+                    .filter(|(vid, _)| **vid != id)
+                    .min_by_key(|(_, s)| s.touch.load(Ordering::Relaxed))
+                    .map(|(vid, _)| vid.clone());
+                match victim {
+                    Some(vid) => {
+                        inner.remove(&vid);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok((stored, true))
+    }
+
+    fn remove(&self, id: &str) -> bool {
+        self.inner
+            .write()
+            .expect("session store poisoned")
+            .remove(id)
+            .is_some()
+    }
+
+    fn snapshot(&self) -> Vec<Arc<StoredSession>> {
+        let inner = self.inner.read().expect("session store poisoned");
+        let mut all: Vec<Arc<StoredSession>> = inner.values().cloned().collect();
+        all.sort_by(|a, b| a.id.cmp(&b.id));
+        all
+    }
+}
+
 /// Shared per-process audit state — see the module docs.
-#[derive(Default)]
 pub struct AuditService {
-    /// One shared engine per attacker power `k`.
-    engines: RwLock<HashMap<usize, Arc<DisclosureEngine>>>,
+    /// One shared engine per attacker power `k`, budget-bounded.
+    engines: Arc<EngineRegistry>,
+    sessions: SessionStore,
     rollup: RollupTotals,
     audits: AtomicU64,
     searches: AtomicU64,
@@ -94,96 +231,193 @@ pub struct AuditService {
     bad_requests: AtomicU64,
 }
 
+impl Default for AuditService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl AuditService {
-    /// Creates an empty service (engines materialize on first use).
+    /// Creates an unbounded service (engines and sessions materialize on
+    /// first use and are never evicted).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_limits(ServiceLimits::default())
+    }
+
+    /// Creates a service under explicit memory budgets.
+    pub fn with_limits(limits: ServiceLimits) -> Self {
+        Self {
+            engines: Arc::new(EngineRegistry::with_limits(
+                limits.engine_cache_cap,
+                limits.engine_budget,
+            )),
+            sessions: SessionStore::new(limits.session_budget),
+            rollup: RollupTotals::default(),
+            audits: AtomicU64::new(0),
+            searches: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_tables: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+        }
     }
 
     /// The shared engine for attacker power `k`, created on first request.
-    pub fn engine(&self, k: usize) -> Arc<DisclosureEngine> {
-        if let Some(engine) = self
-            .engines
-            .read()
-            .expect("engine registry poisoned")
-            .get(&k)
-        {
-            return Arc::clone(engine);
-        }
-        let mut engines = self.engines.write().expect("engine registry poisoned");
-        Arc::clone(
-            engines
-                .entry(k)
-                .or_insert_with(|| Arc::new(DisclosureEngine::new(k))),
-        )
+    pub fn engine(&self, k: usize) -> Arc<wcbk_core::DisclosureEngine> {
+        self.engines.engine(k)
     }
 
-    /// Handles `POST /audit`: bucketize by the exact quasi-identifiers and
-    /// report maximum disclosure (and the (c,k)-safety verdict when `c` is
-    /// given), exactly like `wcbk audit`.
-    pub fn audit(&self, request: &Json) -> Result<Json, ServeError> {
+    /// Builds a [`DatasetSession`] from a request body (table + qi +
+    /// hierarchies + optional `memo_cap`), on the service's shared engine
+    /// registry. Both `POST /tables` and the one-shot endpoints
+    /// (register → run → drop) construct through here, which is what makes
+    /// their results bit-identical.
+    fn build_session(
+        &self,
+        request: &Json,
+    ) -> Result<(DatasetSession, Vec<String>, String), ServeError> {
         let table = table_from_request(request)?;
-        let k = optional_usize(request, "k")?.unwrap_or(3);
-        let c = optional_f64(request, "c")?;
+        let sensitive = request
+            .get("sensitive")
+            .and_then(Json::as_str)
+            .expect("table_from_request validated \"sensitive\"")
+            .to_owned();
         let qi_names = string_list(request, "qi")?;
-        let qi_cols = resolve_columns(&table, &qi_names)?;
-        let b = bucketize_exact(&table, &qi_cols)?;
-        let engine = self.engine(k);
-        let worst = engine
-            .max_disclosure(&b)
-            .map_err(|e| bad(format!("disclosure: {e}")))?;
-        let safe = match c {
-            Some(c) => {
-                let safety = CkSafety::new(c, k).map_err(|e| bad(e.to_string()))?;
-                Some(
-                    safety
-                        .is_safe_with(&engine, &b)
-                        .map_err(|e| bad(format!("safety: {e}")))?,
-                )
-            }
-            None => None,
+        let lattice = build_lattice(&table, &qi_names, request)?;
+        let memo_capacity = match optional_usize(request, "memo_cap")? {
+            Some(n) => Some(n),
+            None => optional_usize(request, "memo-cap")?,
         };
-        self.audits.fetch_add(1, Ordering::Relaxed);
+        let session = DatasetSession::with_options(
+            table,
+            lattice,
+            SessionOptions {
+                memo_capacity,
+                engines: Some(Arc::clone(&self.engines)),
+            },
+        )
+        .map_err(|e| bad(e.to_string()))?;
+        Ok((session, qi_names, sensitive))
+    }
+
+    /// Handles `POST /tables`: register the dataset once, returning its
+    /// content-fingerprint handle. Registering identical content returns
+    /// the existing handle (`"created": false`) without rebuilding.
+    pub fn register_table(&self, request: &Json) -> Result<Json, ServeError> {
+        let (session, qi, sensitive) = self.build_session(request)?;
+        let weight = session
+            .rollup_stats()
+            .map(|s| s.bottom_groups as u64)
+            .unwrap_or(session.table().n_rows() as u64)
+            .max(1);
+        let id = format!("{:016x}", session.fingerprint());
+        let rows = session.table().n_rows();
+        let buckets = session.lattice().n_nodes();
+        let (stored, created) = self.sessions.insert(StoredSession {
+            id: id.clone(),
+            session: Arc::new(session),
+            qi,
+            sensitive,
+            weight,
+            touch: AtomicU64::new(0),
+        })?;
         Ok(Json::object(vec![
-            ("op", "audit".into()),
-            ("buckets", b.n_buckets().into()),
-            ("tuples", b.n_tuples().into()),
-            ("domain", b.domain_size().into()),
-            ("k", k.into()),
-            ("max_disclosure", worst.value.into()),
+            ("op", "register".into()),
+            ("id", id.into()),
+            ("created", created.into()),
+            ("rows", rows.into()),
+            ("lattice_nodes", buckets.into()),
+            ("weight", stored.weight.into()),
             (
-                "witness",
-                Json::object(vec![
-                    ("predicts", worst.witness.consequent.to_string().into()),
-                    ("knowing", worst.witness.knowledge().to_string().into()),
-                ]),
+                "rollup",
+                stored
+                    .session
+                    .rollup_stats()
+                    .as_ref()
+                    .map(rollup_json)
+                    .unwrap_or(Json::Null),
             ),
-            ("c", c.map(Json::from).unwrap_or(Json::Null)),
-            ("safe", safe.map(Json::from).unwrap_or(Json::Null)),
         ]))
     }
 
-    /// Handles `POST /search`: minimal (c,k)-safe generalizations over the
-    /// request's hierarchies, honoring `threads` / `schedule` / `memo_cap`,
-    /// exactly like `wcbk search` — but through the **shared** engine for
-    /// that `k`, so repeated searches reuse each other's MINIMIZE1 tables.
-    pub fn search(&self, request: &Json) -> Result<Json, ServeError> {
-        let table = table_from_request(request)?;
+    /// Resolves a handle or reports 404 (unknown, dropped, or evicted).
+    fn stored(&self, id: &str) -> Result<Arc<StoredSession>, ServeError> {
+        self.sessions
+            .get(id)
+            .ok_or_else(|| ServeError::UnknownTable(id.to_owned()))
+    }
+
+    /// Handles `GET /tables/{id}`.
+    pub fn table_info(&self, id: &str) -> Result<Json, ServeError> {
+        let stored = self.stored(id)?;
+        Ok(Json::object(vec![
+            ("id", stored.id.as_str().into()),
+            ("rows", stored.session.table().n_rows().into()),
+            (
+                "qi",
+                Json::Array(stored.qi.iter().map(|n| n.as_str().into()).collect()),
+            ),
+            ("sensitive", stored.sensitive.as_str().into()),
+            ("lattice_nodes", stored.session.lattice().n_nodes().into()),
+            ("releases", stored.session.releases().into()),
+            ("weight", stored.weight.into()),
+            (
+                "rollup",
+                stored
+                    .session
+                    .rollup_stats()
+                    .as_ref()
+                    .map(rollup_json)
+                    .unwrap_or(Json::Null),
+            ),
+        ]))
+    }
+
+    /// Handles `DELETE /tables/{id}`.
+    pub fn drop_table(&self, id: &str) -> Result<Json, ServeError> {
+        if !self.sessions.remove(id) {
+            return Err(ServeError::UnknownTable(id.to_owned()));
+        }
+        Ok(Json::object(vec![
+            ("op", "drop".into()),
+            ("id", id.into()),
+            ("deleted", true.into()),
+        ]))
+    }
+
+    /// Runs one audit against a session and renders it in the one-shot
+    /// `/audit` response shape.
+    fn audit_on(&self, session: &DatasetSession, request: &Json) -> Result<Json, ServeError> {
+        let k = optional_usize(request, "k")?.unwrap_or(3);
+        let c = optional_f64(request, "c")?;
+        let report = session.audit(c, k).map_err(|e| bad(e.to_string()))?;
+        self.audits.fetch_add(1, Ordering::Relaxed);
+        Ok(audit_json(&report))
+    }
+
+    /// Runs one search against a session and renders it in the one-shot
+    /// `/search` response shape.
+    fn search_on(
+        &self,
+        session: &DatasetSession,
+        qi_names: &[String],
+        request: &Json,
+        absorb: bool,
+    ) -> Result<Json, ServeError> {
         let k = optional_usize(request, "k")?.unwrap_or(3);
         let c = optional_f64(request, "c")?.ok_or_else(|| bad("search needs \"c\""))?;
-        let qi_names = string_list(request, "qi")?;
         if qi_names.is_empty() {
             return Err(bad("search needs a non-empty \"qi\" list"));
         }
         let config = search_config(request)?;
-        let lattice = build_lattice(&table, &qi_names, request)?;
         let criterion =
-            CkSafetyCriterion::with_engine(c, self.engine(k)).map_err(|e| bad(e.to_string()))?;
-        let SearchReport { outcome, rollup } =
-            find_minimal_safe_report(&table, &lattice, &criterion, &config)
-                .map_err(|e| bad(format!("search: {e}")))?;
-        if let Some(stats) = &rollup {
-            self.rollup.absorb(stats);
+            CkSafetyCriterion::with_engine(c, session.engine(k)).map_err(|e| bad(e.to_string()))?;
+        let SearchReport { outcome, rollup } = session
+            .search(&criterion, &config)
+            .map_err(|e| bad(format!("search: {e}")))?;
+        if absorb {
+            if let Some(stats) = &rollup {
+                self.rollup.absorb(stats);
+            }
         }
         self.searches.fetch_add(1, Ordering::Relaxed);
         let minimal: Vec<Json> = outcome
@@ -198,7 +432,7 @@ impl AuditService {
                 "qi",
                 Json::Array(qi_names.iter().map(|n| n.as_str().into()).collect()),
             ),
-            ("nodes", lattice.n_nodes().into()),
+            ("nodes", session.lattice().n_nodes().into()),
             ("evaluated", outcome.evaluated.into()),
             ("satisfied", outcome.satisfied.into()),
             ("safe", (!outcome.minimal_nodes.is_empty()).into()),
@@ -208,6 +442,154 @@ impl AuditService {
                 rollup.as_ref().map(rollup_json).unwrap_or(Json::Null),
             ),
         ]))
+    }
+
+    /// Handles `POST /audit`: **register → run → drop** over a transient
+    /// session — bucketize by the exact quasi-identifiers and report
+    /// maximum disclosure (and the (c,k)-safety verdict when `c` is given),
+    /// exactly like `wcbk audit`.
+    pub fn audit(&self, request: &Json) -> Result<Json, ServeError> {
+        let (session, _, _) = self.build_session(request)?;
+        self.audit_on(&session, request)
+    }
+
+    /// Handles `POST /search`: register → run → drop over a transient
+    /// session; minimal (c,k)-safe generalizations over the request's
+    /// hierarchies, honoring `threads` / `schedule` / `memo_cap`, exactly
+    /// like `wcbk search` — through the **shared** engine for that `k`, so
+    /// repeated searches reuse each other's MINIMIZE1 tables.
+    pub fn search(&self, request: &Json) -> Result<Json, ServeError> {
+        let (session, qi_names, _) = self.build_session(request)?;
+        self.search_on(&session, &qi_names, request, true)
+    }
+
+    /// Handles `POST /tables/{id}/audit`: the registered evaluator answers
+    /// without re-parsing or re-scanning anything.
+    pub fn session_audit(&self, id: &str, request: &Json) -> Result<Json, ServeError> {
+        let stored = self.stored(id)?;
+        let mut out = self.audit_on(&stored.session, request)?;
+        annotate_id(&mut out, id);
+        Ok(out)
+    }
+
+    /// Handles `POST /tables/{id}/search`. `memo_cap` is ignored here: the
+    /// session's memo budget was fixed at registration (results are
+    /// identical at any cap, so this cannot change answers).
+    pub fn session_search(&self, id: &str, request: &Json) -> Result<Json, ServeError> {
+        let stored = self.stored(id)?;
+        let mut out = self.search_on(&stored.session, &stored.qi, request, false)?;
+        annotate_id(&mut out, id);
+        Ok(out)
+    }
+
+    /// Handles `POST /tables/{id}/release`: record `"node"` (one level per
+    /// lattice dimension) into the sequential-release history.
+    pub fn session_release(&self, id: &str, request: &Json) -> Result<Json, ServeError> {
+        let stored = self.stored(id)?;
+        let node = request
+            .get("node")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("release needs a \"node\" array of levels"))?
+            .iter()
+            .map(|l| {
+                l.as_u64()
+                    .map(|v| v as usize)
+                    .ok_or_else(|| bad("\"node\" levels must be non-negative integers"))
+            })
+            .collect::<Result<Vec<usize>, ServeError>>()?;
+        let report = stored
+            .session
+            .release(&GenNode(node))
+            .map_err(|e| bad(e.to_string()))?;
+        Ok(Json::object(vec![
+            ("op", "release".into()),
+            ("id", id.into()),
+            ("index", report.index.into()),
+            (
+                "node",
+                Json::Array(report.node.0.iter().map(|&l| l.into()).collect()),
+            ),
+            ("buckets", report.buckets.into()),
+            ("total_buckets", report.total_buckets.into()),
+        ]))
+    }
+
+    /// Handles `POST /tables/{id}/composition`: worst-case disclosure over
+    /// the union of every recorded release.
+    pub fn session_composition(&self, id: &str, request: &Json) -> Result<Json, ServeError> {
+        let stored = self.stored(id)?;
+        let k = optional_usize(request, "k")?.unwrap_or(3);
+        let c = optional_f64(request, "c")?;
+        let report = stored
+            .session
+            .audit_composition(c, k)
+            .map_err(|e| bad(e.to_string()))?;
+        Ok(Json::object(vec![
+            ("op", "composition".into()),
+            ("id", id.into()),
+            ("releases", report.releases.into()),
+            ("buckets", report.buckets.into()),
+            ("k", report.k.into()),
+            ("max_disclosure", report.value.into()),
+            ("c", report.c.map(Json::from).unwrap_or(Json::Null)),
+            ("safe", report.safe.map(Json::from).unwrap_or(Json::Null)),
+        ]))
+    }
+
+    /// Validates `POST /tables/{id}/batch`: many (c,k)/config jobs against
+    /// one registered evaluator. Returns the resolved session and job list.
+    pub fn session_batch_jobs(
+        &self,
+        id: &str,
+        request: &Json,
+    ) -> Result<(Arc<DatasetSession>, Vec<Json>), ServeError> {
+        let stored = self.stored(id)?;
+        let jobs = request
+            .get("jobs")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("table batch needs a \"jobs\" array"))?;
+        if jobs.is_empty() {
+            return Err(bad("table batch needs at least one job"));
+        }
+        for (i, job) in jobs.iter().enumerate() {
+            if job.as_object().is_none() {
+                return Err(bad(format!("jobs[{i}] is not an object")));
+            }
+            match job.get("op").map(|op| op.as_str()) {
+                None => {}
+                Some(Some("audit" | "search")) => {}
+                Some(other) => {
+                    return Err(bad(format!(
+                        "jobs[{i}].op must be \"audit\" or \"search\", got {other:?}"
+                    )))
+                }
+            }
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        Ok((Arc::clone(&stored.session), jobs.to_vec()))
+    }
+
+    /// Runs one job of a `/tables/{id}/batch` — never fails; job-level
+    /// errors are embedded as `{"error": …}`.
+    pub fn run_session_job(&self, id: &str, session: &DatasetSession, job: &Json) -> Json {
+        let qi: Vec<String> = (0..session.lattice().n_dims())
+            .map(|d| session.lattice().hierarchy(d).attribute().to_owned())
+            .collect();
+        let result = match job.get("op").and_then(Json::as_str).unwrap_or("audit") {
+            "search" => self.search_on(session, &qi, job, false),
+            _ => self.audit_on(session, job),
+        };
+        self.batch_tables.fetch_add(1, Ordering::Relaxed);
+        match result {
+            Ok(mut v) => {
+                annotate_id(&mut v, id);
+                v
+            }
+            Err(e) => {
+                self.bad_requests.fetch_add(1, Ordering::Relaxed);
+                Json::object(vec![("error", e.to_string().into())])
+            }
+        }
     }
 
     /// Validates a `POST /batch` request, returning the job list (each an
@@ -263,49 +645,76 @@ impl AuditService {
     }
 
     /// The `/stats` body: engine cache totals (per `k` and summed), the
-    /// accumulated roll-up counters, and service-level request counts. The
-    /// caller (the server) appends its own section.
+    /// accumulated roll-up counters, per-session snapshots, and
+    /// service-level request counts. The caller (the server) appends its
+    /// own section.
     pub fn stats(&self) -> Vec<(&'static str, Json)> {
-        let engines = self.engines.read().expect("engine registry poisoned");
-        let mut per_k: Vec<(usize, Json)> = engines
+        let registry = self.engines.stats();
+        let per_k: Vec<Json> = registry
+            .per_k
             .iter()
-            .map(|(&k, engine)| {
-                let s = engine.stats();
-                (
-                    k,
-                    Json::object(vec![
-                        ("k", k.into()),
-                        ("hits", s.hits.into()),
-                        ("misses", s.misses.into()),
-                        ("entries", s.entries.into()),
-                        ("hit_rate", s.hit_rate().into()),
-                    ]),
-                )
+            .map(|(k, s)| {
+                Json::object(vec![
+                    ("k", (*k).into()),
+                    ("hits", s.hits.into()),
+                    ("misses", s.misses.into()),
+                    ("entries", s.entries.into()),
+                    ("groups", s.groups.into()),
+                    ("evictions", s.evictions.into()),
+                    ("hit_rate", s.hit_rate().into()),
+                ])
             })
             .collect();
-        per_k.sort_by_key(|&(k, _)| k);
-        let (hits, misses, entries) = engines.values().fold((0u64, 0u64, 0usize), |acc, e| {
-            let s = e.stats();
-            (acc.0 + s.hits, acc.1 + s.misses, acc.2 + s.entries)
-        });
-        let hit_rate = if hits + misses == 0 {
-            0.0
-        } else {
-            hits as f64 / (hits + misses) as f64
-        };
+        let totals = registry.totals();
+        let sessions = self.sessions.snapshot();
+        let per_session: Vec<Json> = sessions
+            .iter()
+            .map(|s| {
+                Json::object(vec![
+                    ("id", s.id.as_str().into()),
+                    ("weight", s.weight.into()),
+                    ("releases", s.session.releases().into()),
+                    (
+                        "rollup",
+                        s.session
+                            .rollup_stats()
+                            .as_ref()
+                            .map(rollup_json)
+                            .unwrap_or(Json::Null),
+                    ),
+                ])
+            })
+            .collect();
+        let session_groups: u64 = sessions.iter().map(|s| s.weight).sum();
         vec![
             (
                 "engine_cache",
                 Json::object(vec![
-                    ("engines", engines.len().into()),
-                    ("hits", hits.into()),
-                    ("misses", misses.into()),
-                    ("entries", entries.into()),
-                    ("hit_rate", hit_rate.into()),
+                    ("engines", registry.engines.into()),
+                    ("hits", totals.hits.into()),
+                    ("misses", totals.misses.into()),
+                    ("entries", totals.entries.into()),
+                    ("groups", totals.groups.into()),
+                    ("cache_evictions", totals.evictions.into()),
+                    ("engine_evictions", registry.evictions.into()),
+                    ("hit_rate", totals.hit_rate().into()),
+                    ("per_k", Json::Array(per_k)),
+                ]),
+            ),
+            (
+                "sessions",
+                Json::object(vec![
+                    ("count", sessions.len().into()),
+                    ("groups", session_groups.into()),
                     (
-                        "per_k",
-                        Json::Array(per_k.into_iter().map(|(_, v)| v).collect()),
+                        "evictions",
+                        self.sessions.evictions.load(Ordering::Relaxed).into(),
                     ),
+                    (
+                        "registered",
+                        self.sessions.registered.load(Ordering::Relaxed).into(),
+                    ),
+                    ("per_session", Json::Array(per_session)),
                 ]),
             ),
             (
@@ -358,6 +767,41 @@ impl AuditService {
                 ]),
             ),
         ]
+    }
+}
+
+/// Renders an [`AuditReport`] in the `/audit` response shape (unchanged
+/// across the handle redesign, pinned by the integration tests).
+fn audit_json(report: &AuditReport) -> Json {
+    Json::object(vec![
+        ("op", "audit".into()),
+        ("buckets", report.buckets.into()),
+        ("tuples", report.tuples.into()),
+        ("domain", report.domain.into()),
+        ("k", report.k.into()),
+        ("max_disclosure", report.disclosure.value.into()),
+        (
+            "witness",
+            Json::object(vec![
+                (
+                    "predicts",
+                    report.disclosure.witness.consequent.to_string().into(),
+                ),
+                (
+                    "knowing",
+                    report.disclosure.witness.knowledge().to_string().into(),
+                ),
+            ]),
+        ),
+        ("c", report.c.map(Json::from).unwrap_or(Json::Null)),
+        ("safe", report.safe.map(Json::from).unwrap_or(Json::Null)),
+    ])
+}
+
+/// Appends the handle id to a session response object.
+fn annotate_id(out: &mut Json, id: &str) {
+    if let Json::Object(pairs) = out {
+        pairs.push(("id".to_owned(), id.into()));
     }
 }
 
@@ -493,6 +937,7 @@ fn build_lattice(
     GeneralizationLattice::new(dims).map_err(|e| bad(e.to_string()))
 }
 
+#[cfg(test)]
 fn resolve_columns(table: &Table, names: &[String]) -> Result<Vec<usize>, ServeError> {
     names
         .iter()
@@ -501,12 +946,18 @@ fn resolve_columns(table: &Table, names: &[String]) -> Result<Vec<usize>, ServeE
 }
 
 /// Buckets by the exact quasi-identifier codes (the `wcbk audit` grouping);
-/// no quasi-identifiers means one bucket holding every tuple.
-fn bucketize_exact(table: &Table, qi_cols: &[usize]) -> Result<Bucketization, ServeError> {
+/// no quasi-identifiers means one bucket holding every tuple. Kept as the
+/// tests' independent baseline for what a session's exact grouping must
+/// equal.
+#[cfg(test)]
+fn bucketize_exact(
+    table: &Table,
+    qi_cols: &[usize],
+) -> Result<wcbk_core::Bucketization, ServeError> {
     let b = if qi_cols.is_empty() {
-        Bucketization::from_grouping(table, |_| 0u8)
+        wcbk_core::Bucketization::from_grouping(table, |_| 0u8)
     } else {
-        Bucketization::from_grouping(table, |t| {
+        wcbk_core::Bucketization::from_grouping(table, |t| {
             qi_cols
                 .iter()
                 .map(|&col| table.column(col).code(t.index()))
@@ -602,6 +1053,7 @@ pub fn table_from_request(request: &Json) -> Result<Table, ServeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wcbk_core::DisclosureEngine;
 
     const HOSPITAL_CSV: &str =
         "Age,Sex,Disease\n21,M,Flu\n23,F,Flu\n27,M,Cold\n29,F,Cold\n33,M,Flu\n35,F,Cold\n";
@@ -836,6 +1288,304 @@ mod tests {
             )]))
             .unwrap();
         assert_eq!(ok.len(), 3);
+    }
+
+    fn register_request() -> String {
+        Json::object(vec![
+            ("csv", HOSPITAL_CSV.into()),
+            ("sensitive", "Disease".into()),
+            ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+        ])
+        .to_string()
+    }
+
+    #[test]
+    fn register_is_idempotent_and_handles_serve_audits() {
+        let service = AuditService::new();
+        let request = Json::parse(&register_request()).unwrap();
+        let first = service.register_table(&request).unwrap();
+        assert_eq!(first.get("created").unwrap().as_bool(), Some(true));
+        let id = first.get("id").unwrap().as_str().unwrap().to_owned();
+        assert_eq!(
+            first
+                .get("rollup")
+                .unwrap()
+                .get("table_scans")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        // Same content again: same handle, nothing rebuilt.
+        let second = service.register_table(&request).unwrap();
+        assert_eq!(second.get("created").unwrap().as_bool(), Some(false));
+        assert_eq!(second.get("id").unwrap().as_str(), Some(id.as_str()));
+
+        // A handle audit matches the one-shot audit bit for bit.
+        let params = Json::object(vec![("k", 1u64.into()), ("c", 0.9.into())]);
+        let via_handle = service.session_audit(&id, &params).unwrap();
+        let oneshot = service
+            .audit(&Json::parse(&audit_request()).unwrap())
+            .unwrap();
+        assert_eq!(
+            via_handle
+                .get("max_disclosure")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits(),
+            oneshot
+                .get("max_disclosure")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits()
+        );
+        assert_eq!(via_handle.get("safe"), oneshot.get("safe"));
+        assert_eq!(via_handle.get("witness"), oneshot.get("witness"));
+        assert_eq!(via_handle.get("id").unwrap().as_str(), Some(id.as_str()));
+
+        // Info and drop; dropped handles answer 404.
+        let info = service.table_info(&id).unwrap();
+        assert_eq!(info.get("rows").unwrap().as_u64(), Some(6));
+        service.drop_table(&id).unwrap();
+        assert!(matches!(
+            service.session_audit(&id, &params),
+            Err(ServeError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            service.drop_table(&id),
+            Err(ServeError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn handle_search_matches_oneshot_search() {
+        let service = AuditService::new();
+        let request = Json::parse(
+            &Json::object(vec![
+                ("csv", HOSPITAL_CSV.into()),
+                ("sensitive", "Disease".into()),
+                ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+                (
+                    "hierarchy",
+                    Json::object(vec![("Age", Json::Array(vec![4u64.into(), 8u64.into()]))]),
+                ),
+            ])
+            .to_string(),
+        )
+        .unwrap();
+        let id = service
+            .register_table(&request)
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let params = Json::object(vec![
+            ("k", 1u64.into()),
+            ("c", 0.9.into()),
+            ("threads", 2u64.into()),
+            ("schedule", "steal".into()),
+        ]);
+        let via_handle = service.session_search(&id, &params).unwrap();
+        // One-shot with the same table, hierarchy, and params.
+        let mut oneshot_request = request.clone();
+        if let Json::Object(pairs) = &mut oneshot_request {
+            pairs.push(("k".into(), 1u64.into()));
+            pairs.push(("c".into(), 0.9.into()));
+            pairs.push(("threads".into(), 2u64.into()));
+            pairs.push(("schedule".into(), "steal".into()));
+        }
+        let oneshot = service.search(&oneshot_request).unwrap();
+        assert_eq!(via_handle.get("minimal"), oneshot.get("minimal"));
+        assert_eq!(via_handle.get("evaluated"), oneshot.get("evaluated"));
+        assert_eq!(via_handle.get("satisfied"), oneshot.get("satisfied"));
+        // Repeated handle searches never rescan: cumulative scans stay 1.
+        service.session_search(&id, &params).unwrap();
+        let via_handle = service.session_search(&id, &params).unwrap();
+        assert_eq!(
+            via_handle
+                .get("rollup")
+                .unwrap()
+                .get("table_scans")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn release_and_composition_flow() {
+        let service = AuditService::new();
+        let id = service
+            .register_table(&Json::parse(&register_request()).unwrap())
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        // Composing before any release is a 400.
+        let params = Json::object(vec![("k", 1u64.into()), ("c", 0.9.into())]);
+        assert!(matches!(
+            service.session_composition(&id, &params),
+            Err(ServeError::BadRequest(_))
+        ));
+        // Release the top (full suppression: 1 bucket), then by-Sex. Both
+        // qi columns carry 2-level suppression hierarchies here.
+        let top = Json::object(vec![("node", Json::Array(vec![1u64.into(), 1u64.into()]))]);
+        let r = service.session_release(&id, &top).unwrap();
+        assert_eq!(r.get("buckets").unwrap().as_u64(), Some(1));
+        let by_sex = Json::object(vec![("node", Json::Array(vec![1u64.into(), 0u64.into()]))]);
+        let r = service.session_release(&id, &by_sex).unwrap();
+        assert_eq!(r.get("index").unwrap().as_u64(), Some(1));
+        let out = service.session_composition(&id, &params).unwrap();
+        assert_eq!(out.get("releases").unwrap().as_u64(), Some(2));
+        assert_eq!(out.get("buckets").unwrap().as_u64(), Some(3));
+        assert!(out.get("max_disclosure").unwrap().as_f64().unwrap() > 0.0);
+        // Bad node shape is a 400.
+        assert!(matches!(
+            service.session_release(&id, &Json::object(vec![("node", "x".into())])),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn session_budget_evicts_lru_handles() {
+        let service = AuditService::with_limits(ServiceLimits {
+            session_budget: Some(8),
+            ..Default::default()
+        });
+        // Three distinct 6-row tables (weight 6 each, all rows distinct):
+        // only one fits an 8-group budget at a time.
+        let mut ids = Vec::new();
+        for variant in 0..3 {
+            let csv = format!(
+                "Age,Sex,Disease\n2{variant},M,Flu\n23,F,Flu\n27,M,Cold\n29,F,Cold\n33,M,Flu\n35,F,Cold\n"
+            );
+            let request = Json::object(vec![
+                ("csv", csv.into()),
+                ("sensitive", "Disease".into()),
+                ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+            ]);
+            let out = service.register_table(&request).unwrap();
+            ids.push(out.get("id").unwrap().as_str().unwrap().to_owned());
+        }
+        // The latest handle lives; earlier ones were evicted.
+        let params = Json::object(vec![("k", 1u64.into())]);
+        assert!(service.session_audit(&ids[2], &params).is_ok());
+        assert!(matches!(
+            service.session_audit(&ids[0], &params),
+            Err(ServeError::UnknownTable(_))
+        ));
+        let stats = Json::Object(
+            service
+                .stats()
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        );
+        let sessions = stats.get("sessions").unwrap();
+        assert_eq!(sessions.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(sessions.get("evictions").unwrap().as_u64(), Some(2));
+        assert_eq!(sessions.get("registered").unwrap().as_u64(), Some(3));
+        // Re-registering an evicted handle brings it back.
+        let csv =
+            "Age,Sex,Disease\n20,M,Flu\n23,F,Flu\n27,M,Cold\n29,F,Cold\n33,M,Flu\n35,F,Cold\n";
+        let request = Json::object(vec![
+            ("csv", csv.into()),
+            ("sensitive", "Disease".into()),
+            ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+        ]);
+        let again = service.register_table(&request).unwrap();
+        assert_eq!(again.get("created").unwrap().as_bool(), Some(true));
+        assert_eq!(again.get("id").unwrap().as_str(), Some(ids[0].as_str()));
+    }
+
+    #[test]
+    fn stats_report_per_session_rollups() {
+        let service = AuditService::new();
+        let id = service
+            .register_table(&Json::parse(&register_request()).unwrap())
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let params = Json::object(vec![("k", 1u64.into()), ("c", 0.9.into())]);
+        service.session_search(&id, &params).unwrap();
+        let stats = Json::Object(
+            service
+                .stats()
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        );
+        let per_session = stats
+            .get("sessions")
+            .unwrap()
+            .get("per_session")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(per_session.len(), 1);
+        let entry = &per_session[0];
+        assert_eq!(entry.get("id").unwrap().as_str(), Some(id.as_str()));
+        let rollup = entry.get("rollup").unwrap();
+        assert_eq!(rollup.get("table_scans").unwrap().as_u64(), Some(1));
+        assert!(rollup.get("derived").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn session_batch_jobs_validate_shape() {
+        let service = AuditService::new();
+        let id = service
+            .register_table(&Json::parse(&register_request()).unwrap())
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned();
+        assert!(matches!(
+            service.session_batch_jobs("nope", &Json::object(vec![])),
+            Err(ServeError::UnknownTable(_))
+        ));
+        assert!(service
+            .session_batch_jobs(&id, &Json::object(vec![]))
+            .is_err());
+        assert!(service
+            .session_batch_jobs(&id, &Json::object(vec![("jobs", Json::Array(vec![]))]))
+            .is_err());
+        let (session, jobs) = service
+            .session_batch_jobs(
+                &id,
+                &Json::object(vec![(
+                    "jobs",
+                    Json::Array(vec![
+                        Json::object(vec![("op", "audit".into()), ("k", 1u64.into())]),
+                        Json::object(vec![
+                            ("op", "search".into()),
+                            ("k", 1u64.into()),
+                            ("c", 0.9.into()),
+                        ]),
+                    ]),
+                )]),
+            )
+            .unwrap();
+        assert_eq!(jobs.len(), 2);
+        // Jobs run clean against the session; results carry the handle id.
+        for job in &jobs {
+            let out = service.run_session_job(&id, &session, job);
+            assert!(out.get("error").is_none(), "{out}");
+            assert_eq!(out.get("id").unwrap().as_str(), Some(id.as_str()));
+        }
+        // A bad job embeds its error instead of failing the batch.
+        let out =
+            service.run_session_job(&id, &session, &Json::object(vec![("op", "search".into())]));
+        assert!(out.get("error").is_some(), "{out}");
     }
 
     #[test]

@@ -469,7 +469,7 @@ fn queue_full_gets_503_and_recovers() {
 #[test]
 fn graceful_shutdown_mid_batch() {
     const TABLES: usize = 24;
-    let (addr, handle, _service, join) = start(ServerConfig {
+    let (addr, handle, service, join) = start(ServerConfig {
         workers: 2,
         ..ServerConfig::default()
     });
@@ -483,9 +483,25 @@ fn graceful_shutdown_mid_batch() {
             let r = client.post("/batch", &batch).unwrap();
             (r.status, r.ndjson().unwrap())
         });
-        // Trigger shutdown while the batch is (very likely) still running;
-        // correctness does not depend on the overlap, only the assertions
-        // below do not.
+        // Wait until the server has *accepted* the batch (its request fully
+        // read and validated) before racing shutdown against the stream —
+        // shutdown's read-half sweep may legitimately drop a request whose
+        // bytes are still arriving, which is not what this test pins.
+        // Correctness does not depend on shutdown overlapping the stream,
+        // only the assertions below do not.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            let batches = service
+                .stats()
+                .into_iter()
+                .find(|(k, _)| *k == "service")
+                .and_then(|(_, v)| v.get("batches").and_then(Json::as_u64))
+                .unwrap_or(0);
+            if batches >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
         let mut killer = connect(addr);
         let r = killer.post("/shutdown", "{}").unwrap();
         assert_eq!(r.status, 200);
@@ -529,6 +545,387 @@ fn persistent_connections_serve_sequential_requests() {
     }
     let health = client.get("/healthz").unwrap();
     assert_eq!(health.status, 200);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Registers workload table `i` over HTTP and returns its handle id.
+fn register(client: &mut Client, i: usize) -> String {
+    let body = Json::object(vec![
+        ("csv", workload_csv(i).into()),
+        ("sensitive", "Disease".into()),
+        ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+    ]);
+    let r = client.post("/tables", &body.to_string()).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    r.json()
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned()
+}
+
+/// Sends `DELETE /tables/{id}` (the client helper only speaks GET/POST).
+fn delete_table(client: &mut Client, id: &str) -> u16 {
+    client
+        .send_raw(format!("DELETE /tables/{id} HTTP/1.1\r\nHost: wcbk\r\n\r\n").as_bytes())
+        .unwrap();
+    client.read_response().unwrap().status
+}
+
+/// The acceptance pin for the dataset-handle redesign: `POST /tables` then
+/// N× `/tables/{id}/audit` performs **exactly one row scan total**
+/// (`RollupStats::table_scans == 1` in the per-session `/stats` snapshot),
+/// with every audit bit-identical to the one-shot path.
+#[test]
+fn register_then_n_audits_scans_once() {
+    let (addr, handle, _service, join) = start(ServerConfig::default());
+    let mut client = connect(addr);
+
+    let id = register(&mut client, 0);
+    // Re-registering identical content returns the same handle.
+    let body = Json::object(vec![
+        ("csv", workload_csv(0).into()),
+        ("sensitive", "Disease".into()),
+        ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+    ]);
+    let again = client.post("/tables", &body.to_string()).unwrap();
+    assert_eq!(
+        again.json().unwrap().get("id").unwrap().as_str(),
+        Some(id.as_str())
+    );
+    assert_eq!(
+        again.json().unwrap().get("created").unwrap().as_bool(),
+        Some(false)
+    );
+
+    let (want_value, want_safe) = expected_audit(0);
+    let audit_body = Json::object(vec![("k", 1u64.into()), ("c", 0.9.into())]).to_string();
+    for round in 0..8 {
+        let r = client
+            .post(&format!("/tables/{id}/audit"), &audit_body)
+            .unwrap();
+        assert_eq!(r.status, 200, "round {round}: {}", r.body);
+        let out = r.json().unwrap();
+        assert_eq!(
+            out.get("max_disclosure")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                .to_bits(),
+            want_value.to_bits(),
+            "round {round}"
+        );
+        assert_eq!(out.get("safe").unwrap().as_bool(), Some(want_safe));
+    }
+    // And a few handle searches for good measure — still no new scan.
+    let search_body = Json::object(vec![
+        ("k", 0u64.into()),
+        ("c", 0.9.into()),
+        ("threads", 2u64.into()),
+        ("schedule", "steal".into()),
+    ])
+    .to_string();
+    let (want_minimal, want_evaluated, want_satisfied) = expected_search(0);
+    for _ in 0..3 {
+        let r = client
+            .post(&format!("/tables/{id}/search"), &search_body)
+            .unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+        let out = r.json().unwrap();
+        let minimal: Vec<Vec<usize>> = out
+            .get("minimal")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|n| {
+                n.as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|l| l.as_u64().unwrap() as usize)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(minimal, want_minimal);
+        assert_eq!(
+            out.get("evaluated").unwrap().as_u64(),
+            Some(want_evaluated as u64)
+        );
+        assert_eq!(
+            out.get("satisfied").unwrap().as_u64(),
+            Some(want_satisfied as u64)
+        );
+    }
+
+    // The one-scan assertion, via the per-session /stats snapshot.
+    let stats = client.get("/stats").unwrap().json().unwrap();
+    let per_session = stats
+        .get("sessions")
+        .unwrap()
+        .get("per_session")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    let entry = per_session
+        .iter()
+        .find(|s| s.get("id").unwrap().as_str() == Some(id.as_str()))
+        .expect("registered session missing from /stats");
+    assert_eq!(
+        entry
+            .get("rollup")
+            .unwrap()
+            .get("table_scans")
+            .unwrap()
+            .as_u64(),
+        Some(1),
+        "register + N audits must scan exactly once: {entry}"
+    );
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// The handle batch endpoint streams job results bit-identical to the
+/// library paths, and the release → composition flow works over HTTP.
+#[test]
+fn handle_batch_release_and_composition_roundtrip() {
+    let (addr, handle, _service, join) = start(ServerConfig::default());
+    let mut client = connect(addr);
+    let id = register(&mut client, 3);
+
+    // Batch: alternating audit/search jobs against the one evaluator.
+    let jobs: Vec<Json> = (0..6)
+        .map(|j| {
+            if j % 2 == 0 {
+                Json::object(vec![
+                    ("op", "audit".into()),
+                    ("k", 1u64.into()),
+                    ("c", 0.9.into()),
+                ])
+            } else {
+                Json::object(vec![
+                    ("op", "search".into()),
+                    ("k", 0u64.into()),
+                    ("c", 0.9.into()),
+                    ("threads", 2u64.into()),
+                    ("schedule", "steal".into()),
+                ])
+            }
+        })
+        .collect();
+    let body = Json::object(vec![("jobs", Json::Array(jobs))]).to_string();
+    let r = client.post(&format!("/tables/{id}/batch"), &body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let lines = r.ndjson().unwrap();
+    assert_eq!(lines.len(), 7, "6 results + summary");
+    let (want_value, want_safe) = expected_audit(3);
+    let (want_minimal, _, _) = expected_search(3);
+    for line in &lines[..6] {
+        assert!(line.get("error").is_none(), "{line}");
+        assert_eq!(line.get("id").unwrap().as_str(), Some(id.as_str()));
+        match line.get("op").unwrap().as_str().unwrap() {
+            "audit" => {
+                assert_eq!(
+                    line.get("max_disclosure")
+                        .unwrap()
+                        .as_f64()
+                        .unwrap()
+                        .to_bits(),
+                    want_value.to_bits()
+                );
+                assert_eq!(line.get("safe").unwrap().as_bool(), Some(want_safe));
+            }
+            "search" => {
+                let minimal: Vec<Vec<usize>> = line
+                    .get("minimal")
+                    .unwrap()
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|n| {
+                        n.as_array()
+                            .unwrap()
+                            .iter()
+                            .map(|l| l.as_u64().unwrap() as usize)
+                            .collect()
+                    })
+                    .collect();
+                assert_eq!(minimal, want_minimal);
+            }
+            other => panic!("unexpected op {other}"),
+        }
+    }
+    assert_eq!(lines[6].get("done").unwrap().as_bool(), Some(true));
+
+    // Release twice, audit the composition, compare to the library.
+    for node in [[1u64, 1u64], [1, 0]] {
+        let body = Json::object(vec![(
+            "node",
+            Json::Array(node.iter().map(|&l| l.into()).collect()),
+        )]);
+        let r = client
+            .post(&format!("/tables/{id}/release"), &body.to_string())
+            .unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+    let r = client
+        .post(
+            &format!("/tables/{id}/composition"),
+            &Json::object(vec![("k", 1u64.into()), ("c", 0.9.into())]).to_string(),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let out = r.json().unwrap();
+    assert_eq!(out.get("releases").unwrap().as_u64(), Some(2));
+    assert_eq!(out.get("buckets").unwrap().as_u64(), Some(3));
+    // Direct: union of the two releases' histograms through incremental_set.
+    let table = workload_table(3);
+    let age = table.column(0).dictionary().clone();
+    let sex = table.column(1).dictionary().clone();
+    let lattice = GeneralizationLattice::new(vec![
+        (0, Hierarchy::suppression("Age", &age)),
+        (1, Hierarchy::suppression("Sex", &sex)),
+    ])
+    .unwrap();
+    let mut histograms = Vec::new();
+    for node in [vec![1usize, 1], vec![1, 0]] {
+        let b = lattice
+            .bucketize(&table, &wcbk_hierarchy::GenNode(node))
+            .unwrap();
+        histograms.extend(b.buckets().iter().map(|x| x.histogram().clone()));
+    }
+    let set =
+        wcbk_core::HistogramSet::new(histograms, table.sensitive_cardinality() as u32).unwrap();
+    let engine = DisclosureEngine::new(1);
+    let direct = engine.incremental_set(&set).unwrap().value();
+    assert_eq!(
+        out.get("max_disclosure")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .to_bits(),
+        direct.to_bits()
+    );
+
+    // Info, then drop; the handle is gone (404) afterwards.
+    assert_eq!(client.get(&format!("/tables/{id}")).unwrap().status, 200);
+    assert_eq!(delete_table(&mut client, &id), 200);
+    assert_eq!(client.get(&format!("/tables/{id}")).unwrap().status, 404);
+    assert_eq!(
+        client
+            .post(&format!("/tables/{id}/audit"), "{}")
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(delete_table(&mut client, &id), 404);
+    // Wrong method on a handle action is 405; unknown action 404.
+    assert_eq!(
+        client.get(&format!("/tables/{id}/audit")).unwrap().status,
+        405
+    );
+    assert_eq!(
+        client
+            .post(&format!("/tables/{id}/explode"), "{}")
+            .unwrap()
+            .status,
+        404
+    );
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Concurrent register / audit / evict / delete races on a tiny session
+/// budget: every audit answer is either the table's correct value or a
+/// clean 404 (evicted/dropped handle) — never a wrong answer, and the
+/// server survives to serve a correct audit afterwards.
+#[test]
+fn session_eviction_races_never_answer_wrong() {
+    let (addr, handle, _service, join) = start(ServerConfig {
+        workers: 4,
+        limits: wcbk_serve::ServiceLimits {
+            // Each 6-row workload table weighs 6 bottom groups: budget 13
+            // holds at most two sessions, so registrations evict constantly.
+            session_budget: Some(13),
+            ..Default::default()
+        },
+        ..ServerConfig::default()
+    });
+
+    let n_tables = 4usize;
+    let expected: Vec<(f64, bool)> = (0..n_tables).map(expected_audit).collect();
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = connect(addr);
+                let audit_body =
+                    Json::object(vec![("k", 1u64.into()), ("c", 0.9.into())]).to_string();
+                for round in 0..12 {
+                    let i = (worker + round) % n_tables;
+                    let id = register(&mut client, i);
+                    // Audit the handle we just registered; it may already
+                    // have been evicted by a racing registration, or even
+                    // deleted by a racing worker — both must be clean 404s.
+                    let r = client
+                        .post(&format!("/tables/{id}/audit"), &audit_body)
+                        .unwrap();
+                    match r.status {
+                        200 => {
+                            let out = r.json().unwrap();
+                            assert_eq!(
+                                out.get("max_disclosure")
+                                    .unwrap()
+                                    .as_f64()
+                                    .unwrap()
+                                    .to_bits(),
+                                expected[i].0.to_bits(),
+                                "worker {worker} round {round} table {i}: wrong answer"
+                            );
+                            assert_eq!(out.get("safe").unwrap().as_bool(), Some(expected[i].1));
+                        }
+                        404 => {} // evicted or deleted underfoot — fine
+                        other => panic!("worker {worker} round {round}: HTTP {other}: {}", r.body),
+                    }
+                    if round % 5 == 4 {
+                        // Racing deletes: 200 or 404 both acceptable.
+                        let status = delete_table(&mut client, &id);
+                        assert!(status == 200 || status == 404, "delete: HTTP {status}");
+                    }
+                }
+            });
+        }
+    });
+
+    // After the storm: the store is within budget and still serves.
+    let mut client = connect(addr);
+    let id = register(&mut client, 0);
+    let r = client
+        .post(
+            &format!("/tables/{id}/audit"),
+            &Json::object(vec![("k", 1u64.into()), ("c", 0.9.into())]).to_string(),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        r.json()
+            .unwrap()
+            .get("max_disclosure")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .to_bits(),
+        expected[0].0.to_bits()
+    );
+    let stats = client.get("/stats").unwrap().json().unwrap();
+    let sessions = stats.get("sessions").unwrap();
+    assert!(sessions.get("groups").unwrap().as_u64().unwrap() <= 13);
+    assert!(sessions.get("evictions").unwrap().as_u64().unwrap() > 0);
+
     handle.shutdown();
     join.join().unwrap().unwrap();
 }

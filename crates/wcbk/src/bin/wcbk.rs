@@ -8,6 +8,11 @@
 //! wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
 //! wcbk generate-adult [--rows N] [--seed N] [--out FILE]
 //! wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!            [--engine-cache-cap N] [--engine-budget N] [--session-budget N]
+//! wcbk table add <csv> --addr HOST:PORT --sensitive COL [--qi ...] [--hierarchy ...] [--memo-cap N]
+//! wcbk table audit|search <id> --addr HOST:PORT [--k N] [--c F] [--threads N] [--schedule s]
+//! wcbk table release <id> --addr HOST:PORT --node L1,L2,...
+//! wcbk table composition|info|rm <id> --addr HOST:PORT
 //! ```
 //!
 //! **Exit codes:** `0` success (and, for `audit`/`search` with a `--c`
@@ -30,9 +35,16 @@
 //! deep lattices.
 //! `anatomize` publishes with the Anatomy algorithm instead and audits the
 //! result. `generate-adult` writes the synthetic Adult benchmark table.
-//! `serve` runs the `wcbk-serve` HTTP audit service (endpoints `/audit`,
-//! `/search`, `/batch`, `/stats`, `/healthz`, `/shutdown`) on one shared
-//! engine until a graceful shutdown is requested.
+//! `serve` runs the `wcbk-serve` HTTP audit service (one-shot `/audit`,
+//! `/search`, `/batch` plus the dataset-handle `/tables` resources, and
+//! `/stats`, `/healthz`, `/shutdown`) on one shared engine until a graceful
+//! shutdown is requested; `--engine-cache-cap`/`--engine-budget`/
+//! `--session-budget` bound its memory under long-lived diverse traffic.
+//! `table` drives the handle resources of a **running** server: `add`
+//! registers a CSV once (idempotent content fingerprint), `audit`/`search`
+//! re-audit by handle without re-uploading, `release`/`composition` run the
+//! sequential-release monitor, `info`/`rm` inspect and drop. Audit and
+//! search verdicts map to exit code 2 exactly like the local verbs.
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -75,6 +87,14 @@ const USAGE: &str = "usage:
   wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
   wcbk generate-adult [--rows N] [--seed N] [--out FILE]
   wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+             [--engine-cache-cap N] [--engine-budget N] [--session-budget N]
+  wcbk table add <csv> --addr HOST:PORT --sensitive COL [--qi COL[,COL...]]
+             [--hierarchy COL:W1,W2,...]... [--memo-cap N] [--no-header]
+  wcbk table audit <id> --addr HOST:PORT [--k N] [--c F]
+  wcbk table search <id> --addr HOST:PORT --c F [--k N] [--threads N] [--schedule s]
+  wcbk table release <id> --addr HOST:PORT --node L1,L2,...
+  wcbk table composition <id> --addr HOST:PORT [--k N] [--c F]
+  wcbk table info|rm <id> --addr HOST:PORT
 
 exit codes: 0 ok/safe, 1 error, 2 unsafe verdict (audit with --c, or a
 search that found no safe generalization)";
@@ -102,12 +122,20 @@ struct Options {
     schedule: Schedule,
     /// Group budget for the roll-up evaluator's memo (`None` = unbounded).
     memo_cap: Option<usize>,
-    /// `serve`: listen address.
+    /// `serve` / `table`: listen address / server address.
     addr: Option<String>,
     /// `serve`: worker thread count (`None`/0 = all cores).
     workers: Option<usize>,
     /// `serve`: queued-connection bound before 503s.
     queue_depth: Option<usize>,
+    /// `serve`: per-engine MINIMIZE1 cache budget (groups).
+    engine_cache_cap: Option<u64>,
+    /// `serve`: total engine-registry budget (groups across engines).
+    engine_budget: Option<u64>,
+    /// `serve`: session-store budget (Σ bottom groups across handles).
+    session_budget: Option<u64>,
+    /// `table release`: the lattice node to record (one level per qi).
+    node: Option<Vec<u64>>,
 }
 
 /// Hand-rolled flag parser (the sanctioned dependency set has no CLI crate).
@@ -214,6 +242,36 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("--queue-depth: {e}"))?,
                 )
             }
+            "--engine-cache-cap" => {
+                opts.engine_cache_cap = Some(
+                    need_value("--engine-cache-cap", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--engine-cache-cap: {e}"))?,
+                )
+            }
+            "--engine-budget" => {
+                opts.engine_budget = Some(
+                    need_value("--engine-budget", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--engine-budget: {e}"))?,
+                )
+            }
+            "--session-budget" => {
+                opts.session_budget = Some(
+                    need_value("--session-budget", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--session-budget: {e}"))?,
+                )
+            }
+            "--node" => {
+                let v = need_value("--node", &mut it)?;
+                opts.node = Some(
+                    v.split(',')
+                        .map(|l| l.trim().parse::<u64>())
+                        .collect::<Result<Vec<u64>, _>>()
+                        .map_err(|e| format!("--node: {e}"))?,
+                );
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             _ => opts.positional.push(arg.clone()),
         }
@@ -229,6 +287,7 @@ fn run(args: &[String]) -> Result<Verdict, Box<dyn std::error::Error>> {
         Some("anatomize") => anatomize_cmd(&opts),
         Some("generate-adult") => generate_adult(&opts),
         Some("serve") => serve_cmd(&opts),
+        Some("table") => table_cmd(&opts),
         Some(other) => Err(format!("unknown command {other:?}").into()),
         None => Err("missing command".into()),
     }
@@ -385,9 +444,21 @@ fn search_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
         .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?;
     let lattice = GeneralizationLattice::new(dims)?;
 
-    let criterion = CkSafetyCriterion::new(c, opts.k)?;
-    // `find_minimal_safe_with` resolves 0 → all cores and degenerates to
-    // the sequential search at 1 thread, so dispatch is unconditional.
+    // Register → run → drop over the dataset-handle API: the session owns
+    // the one-scan evaluator and the engine registry, and its search is
+    // bit-identical to `find_minimal_safe_with` (pinned by the
+    // session-equivalence tests).
+    let session = DatasetSession::with_options(
+        table,
+        lattice,
+        SessionOptions {
+            memo_capacity: opts.memo_cap,
+            engines: None,
+        },
+    )?;
+    let criterion = CkSafetyCriterion::with_engine(c, session.engine(opts.k))?;
+    // The session search resolves 0 → all cores and degenerates to the
+    // sequential search at 1 thread, so dispatch is unconditional.
     let config = SearchConfig {
         threads: opts.threads.unwrap_or(1),
         schedule: opts.schedule,
@@ -395,12 +466,12 @@ fn search_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
     };
     let effective = config.effective_threads();
     let started = std::time::Instant::now();
-    let outcome = find_minimal_safe_with(&table, &lattice, &criterion, &config)?;
+    let outcome = session.search(&criterion, &config)?.outcome;
     let elapsed = started.elapsed();
     println!(
         "== wcbk search ({} over {} lattice nodes) ==",
         criterion.name(),
-        lattice.n_nodes()
+        session.lattice().n_nodes()
     );
     let schedule = match (effective, opts.schedule) {
         (1, _) => "sequential",
@@ -466,16 +537,147 @@ fn serve_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
             .unwrap_or_else(|| "127.0.0.1:8080".to_owned()),
         workers: opts.workers.unwrap_or(0),
         queue_depth: opts.queue_depth.unwrap_or(64),
+        limits: ServiceLimits {
+            engine_cache_cap: opts.engine_cache_cap,
+            engine_budget: opts.engine_budget,
+            session_budget: opts.session_budget,
+        },
         ..wcbk::serve::ServerConfig::default()
     };
     let server = wcbk::serve::Server::bind(&config)?;
     eprintln!(
-        "wcbk serve: listening on http://{} (endpoints: /audit /search /batch /stats /healthz /shutdown)",
+        "wcbk serve: listening on http://{} (endpoints: /tables /tables/{{id}}/audit|search|batch|release|composition /audit /search /batch /stats /healthz /shutdown)",
         server.local_addr()
     );
     server.run()?;
     eprintln!("wcbk serve: drained and shut down");
     Ok(Verdict::Ok)
+}
+
+/// `wcbk table <add|audit|search|release|composition|info|rm>`: drive the
+/// dataset-handle resources of a **running** server.
+fn table_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
+    use wcbk::serve::http::client::Client;
+    use wcbk::serve::Json;
+
+    let action = opts
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("table needs an action: add|audit|search|release|composition|info|rm")?;
+    let addr = opts.addr.as_deref().ok_or("--addr HOST:PORT is required")?;
+    let mut client = Client::connect(addr, Some(std::time::Duration::from_secs(120)))?;
+
+    let response = match action {
+        "add" => {
+            let path = opts.positional.get(2).ok_or("table add needs <csv>")?;
+            let sensitive = opts
+                .sensitive
+                .as_deref()
+                .ok_or("--sensitive COL is required")?;
+            let csv = std::fs::read_to_string(path)?;
+            let csv = if opts.header {
+                csv
+            } else {
+                // Synthesize col0..colN names, mirroring `load`.
+                let cols = csv
+                    .lines()
+                    .next()
+                    .ok_or("empty CSV file")?
+                    .split(',')
+                    .count();
+                let header: Vec<String> = (0..cols).map(|i| format!("col{i}")).collect();
+                format!("{}\n{csv}", header.join(","))
+            };
+            let mut body = vec![
+                ("csv".to_owned(), Json::from(csv.as_str())),
+                ("sensitive".to_owned(), sensitive.into()),
+                (
+                    "qi".to_owned(),
+                    Json::Array(opts.qi.iter().map(|q| q.as_str().into()).collect()),
+                ),
+            ];
+            if !opts.hierarchies.is_empty() {
+                body.push((
+                    "hierarchy".to_owned(),
+                    Json::Object(
+                        opts.hierarchies
+                            .iter()
+                            .map(|(col, widths)| {
+                                (
+                                    col.clone(),
+                                    Json::Array(widths.iter().map(|&w| w.into()).collect()),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            if let Some(cap) = opts.memo_cap {
+                body.push(("memo_cap".to_owned(), cap.into()));
+            }
+            client.post("/tables", &Json::Object(body).to_string())?
+        }
+        "audit" | "search" | "composition" => {
+            let id = opts.positional.get(2).ok_or("table needs <id>")?;
+            let mut body: Vec<(String, Json)> = vec![("k".to_owned(), opts.k.into())];
+            if let Some(c) = opts.c {
+                body.push(("c".to_owned(), c.into()));
+            }
+            if action == "search" {
+                if let Some(threads) = opts.threads {
+                    body.push(("threads".to_owned(), threads.into()));
+                }
+                body.push((
+                    "schedule".to_owned(),
+                    match opts.schedule {
+                        Schedule::LevelSync => "level".into(),
+                        Schedule::WorkStealing => "steal".into(),
+                    },
+                ));
+            }
+            client.post(
+                &format!("/tables/{id}/{action}"),
+                &Json::Object(body).to_string(),
+            )?
+        }
+        "release" => {
+            let id = opts.positional.get(2).ok_or("table release needs <id>")?;
+            let node = opts
+                .node
+                .as_ref()
+                .ok_or("table release needs --node L1,L2,...")?;
+            let body = Json::object(vec![(
+                "node",
+                Json::Array(node.iter().map(|&l| l.into()).collect()),
+            )]);
+            client.post(&format!("/tables/{id}/release"), &body.to_string())?
+        }
+        "info" => {
+            let id = opts.positional.get(2).ok_or("table info needs <id>")?;
+            client.get(&format!("/tables/{id}"))?
+        }
+        "rm" => {
+            let id = opts.positional.get(2).ok_or("table rm needs <id>")?;
+            client.send_raw(
+                format!("DELETE /tables/{id} HTTP/1.1\r\nHost: wcbk\r\n\r\n").as_bytes(),
+            )?;
+            client.read_response()?
+        }
+        other => return Err(format!("unknown table action {other:?}").into()),
+    };
+
+    println!("{}", response.body.trim_end());
+    if response.status != 200 {
+        return Err(format!("server answered HTTP {}", response.status).into());
+    }
+    // Audit/search/composition verdicts drive the exit code like the local
+    // verbs: a "safe": false in the response exits 2.
+    let body = Json::parse(&response.body)?;
+    Ok(match body.get("safe").map(|s| s.as_bool()) {
+        Some(Some(false)) => Verdict::Unsafe,
+        _ => Verdict::Ok,
+    })
 }
 
 #[cfg(test)]
@@ -692,6 +894,165 @@ mod tests {
         assert_eq!(o.queue_depth, Some(8));
         assert!(parse_args(&s(&["serve", "--workers", "many"])).is_err());
         assert!(parse_args(&s(&["serve", "--queue-depth"])).is_err());
+    }
+
+    #[test]
+    fn serve_budget_and_table_flags_parse() {
+        let o = parse_args(&s(&[
+            "serve",
+            "--engine-cache-cap",
+            "4096",
+            "--engine-budget",
+            "65536",
+            "--session-budget",
+            "100000",
+        ]))
+        .unwrap();
+        assert_eq!(o.engine_cache_cap, Some(4096));
+        assert_eq!(o.engine_budget, Some(65536));
+        assert_eq!(o.session_budget, Some(100_000));
+        assert!(parse_args(&s(&["serve", "--engine-budget", "lots"])).is_err());
+
+        let o = parse_args(&s(&[
+            "table",
+            "release",
+            "abc",
+            "--addr",
+            "127.0.0.1:1",
+            "--node",
+            "1, 2,0",
+        ]))
+        .unwrap();
+        assert_eq!(o.positional, vec!["table", "release", "abc"]);
+        assert_eq!(o.node, Some(vec![1, 2, 0]));
+        assert!(parse_args(&s(&["table", "release", "x", "--node", "one"])).is_err());
+    }
+
+    /// End-to-end `wcbk table` against an in-process server: add is
+    /// idempotent, audit/search/release/composition run by handle, rm
+    /// makes the handle 404.
+    #[test]
+    fn table_verbs_drive_a_live_server() {
+        let server = wcbk::serve::Server::bind(&wcbk::serve::ServerConfig {
+            workers: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let join = std::thread::spawn(move || server.run());
+
+        let dir = std::env::temp_dir().join("wcbk_cli_table");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(
+            &path,
+            "Age,Sex,Disease\n21,M,Flu\n23,F,Flu\n27,M,Cold\n29,F,Cold\n33,M,Flu\n35,F,Cold\n",
+        )
+        .unwrap();
+        let path = path.to_str().unwrap();
+
+        let add = |_label: &str| {
+            s(&[
+                "table",
+                "add",
+                path,
+                "--addr",
+                &addr,
+                "--sensitive",
+                "Disease",
+                "--qi",
+                "Age,Sex",
+            ])
+        };
+        assert_eq!(run(&add("first")).unwrap(), Verdict::Ok);
+        assert_eq!(run(&add("again")).unwrap(), Verdict::Ok);
+
+        // The handle is the content fingerprint: recompute it like the
+        // server does to address the audit.
+        let table = {
+            let o = parse_args(&add("local")).unwrap();
+            let mut o2 = o.clone();
+            o2.positional = vec!["audit".into(), path.into()];
+            load(&o2).unwrap()
+        };
+        let dims: Vec<(usize, Hierarchy)> = ["Age", "Sex"]
+            .iter()
+            .map(|n| {
+                let col = table.schema().index_of(n).unwrap();
+                (
+                    col,
+                    Hierarchy::suppression(*n, table.column(col).dictionary()),
+                )
+            })
+            .collect();
+        let lattice = GeneralizationLattice::new(dims).unwrap();
+        let id = format!(
+            "{:016x}",
+            wcbk::prelude::dataset_fingerprint(&table, &lattice)
+        );
+
+        // Safe audit at k=0, c=0.9 (one big 50/50 bucket is impossible here:
+        // exact QI gives singletons, so this is NOT safe → exit 2).
+        let unsafe_audit = s(&[
+            "table", "audit", &id, "--addr", &addr, "--k", "1", "--c", "0.5",
+        ]);
+        assert_eq!(run(&unsafe_audit).unwrap(), Verdict::Unsafe);
+
+        // Search at k=0, c=0.9 finds safe generalizations → exit ok.
+        let search = s(&[
+            "table",
+            "search",
+            &id,
+            "--addr",
+            &addr,
+            "--k",
+            "0",
+            "--c",
+            "0.9",
+            "--threads",
+            "2",
+        ]);
+        assert_eq!(run(&search).unwrap(), Verdict::Ok);
+
+        // Release the top node, then audit the composition.
+        let release = s(&["table", "release", &id, "--addr", &addr, "--node", "1,1"]);
+        assert_eq!(run(&release).unwrap(), Verdict::Ok);
+        let composition = s(&[
+            "table",
+            "composition",
+            &id,
+            "--addr",
+            &addr,
+            "--k",
+            "0",
+            "--c",
+            "0.9",
+        ]);
+        assert_eq!(run(&composition).unwrap(), Verdict::Ok);
+
+        // Info works; rm drops; audit afterwards is an HTTP 404 → error.
+        assert_eq!(
+            run(&s(&["table", "info", &id, "--addr", &addr])).unwrap(),
+            Verdict::Ok
+        );
+        assert_eq!(
+            run(&s(&["table", "rm", &id, "--addr", &addr])).unwrap(),
+            Verdict::Ok
+        );
+        assert!(run(&unsafe_audit).is_err());
+
+        // Unknown action and missing --addr are usage errors.
+        assert!(run(&s(&["table", "frobnicate", &id, "--addr", &addr])).is_err());
+        assert!(run(&s(&["table", "info", &id])).is_err());
+
+        // Shut the server down.
+        let mut client = wcbk::serve::http::client::Client::connect(
+            &addr,
+            Some(std::time::Duration::from_secs(5)),
+        )
+        .unwrap();
+        client.post("/shutdown", "{}").unwrap();
+        join.join().unwrap().unwrap();
     }
 
     /// The distinct exit path: audit/search return `Verdict::Unsafe` (exit

@@ -57,20 +57,21 @@ pub mod prelude {
     pub use wcbk_anonymize::{
         anatomize, anonymize, anonymize_parallel, default_threads, find_minimal_safe,
         find_minimal_safe_parallel, find_minimal_safe_report, find_minimal_safe_with, incognito,
-        incognito_parallel, incognito_with, swap_sanitize, sweep_all, CkSafetyCriterion,
-        DistinctLDiversity, EntropyLDiversity, KAnonymity, PrivacyCriterion, RecursiveCLDiversity,
-        Schedule, SearchConfig, SearchOutcome, SearchReport, UtilityMetric,
+        incognito_parallel, incognito_with, swap_sanitize, sweep_all, AuditReport,
+        CkSafetyCriterion, CompositionReport, DatasetSession, DistinctLDiversity,
+        EntropyLDiversity, KAnonymity, PrivacyCriterion, RecursiveCLDiversity, ReleaseReport,
+        Schedule, SearchConfig, SearchOutcome, SearchReport, SessionOptions, UtilityMetric,
     };
     pub use wcbk_core::{
         cost_negation_max_disclosure, is_ck_safe, max_disclosure, negation_max_disclosure, Bucket,
         Bucketization, CacheStats, CkSafety, CostVector, DisclosureEngine, DisclosureResult,
-        HistogramSet, SensitiveHistogram,
+        EngineRegistry, HistogramSet, SensitiveHistogram,
     };
     pub use wcbk_hierarchy::{
-        GenNode, GeneralizationLattice, Hierarchy, NodeEvaluator, RollupStats,
+        dataset_fingerprint, GenNode, GeneralizationLattice, Hierarchy, NodeEvaluator, RollupStats,
     };
     pub use wcbk_logic::{Atom, BasicImplication, Knowledge, SimpleImplication};
-    pub use wcbk_serve::{AuditService, Server, ServerConfig, ServerHandle};
+    pub use wcbk_serve::{AuditService, Server, ServerConfig, ServerHandle, ServiceLimits};
     pub use wcbk_table::{Attribute, AttributeKind, SValue, Schema, Table, TableBuilder, TupleId};
     pub use wcbk_worlds::{BucketSpec, Ratio, WorldSpace};
 }
