@@ -88,7 +88,12 @@ pub fn incognito_with<C: PrivacyCriterion>(
     // One table scan up front; every subset projection is evaluated from
     // rolled-up histograms. Signature-overflow tables fall back to
     // per-candidate `bucketize_subset` scans.
-    let evaluator = crate::search::try_evaluator_capped(table, lattice, config.memo_capacity)?;
+    let evaluator = crate::search::try_evaluator_capped(
+        table,
+        lattice,
+        config.memo_capacity,
+        config.scan_options(),
+    )?;
     let mut evaluated_total = 0usize;
     let mut per_size = Vec::with_capacity(n_dims);
     // safe[subset-bitmask] = set of level vectors (over that subset's dims,

@@ -53,3 +53,4 @@ pub use search::{
 pub use session::{AuditReport, CompositionReport, DatasetSession, ReleaseReport, SessionOptions};
 pub use swap::{swap_sanitize, SwapOutcome};
 pub use utility::UtilityMetric;
+pub use wcbk_hierarchy::ScanOptions;

@@ -37,7 +37,9 @@ use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
 
 use wcbk_core::sched::{evaluate_work_stealing, MonotoneDag};
-use wcbk_hierarchy::{GenNode, GeneralizationLattice, HierarchyError, NodeEvaluator, RollupStats};
+use wcbk_hierarchy::{
+    GenNode, GeneralizationLattice, HierarchyError, NodeEvaluator, RollupStats, ScanOptions,
+};
 use wcbk_table::Table;
 
 use crate::{AnonymizeError, PrivacyCriterion};
@@ -77,6 +79,10 @@ pub struct SearchConfig {
     /// retained node tables may total at most this many groups, weighed by
     /// actual size; see [`NodeEvaluator::with_memo_capacity`].
     pub memo_capacity: Option<usize>,
+    /// Worker threads for the evaluator's one bottom scan (`0` = all
+    /// available cores, `1` = in-thread). Bit-neutral: the scan's output is
+    /// identical at any thread count — see [`ScanOptions`].
+    pub scan_threads: usize,
 }
 
 impl SearchConfig {
@@ -94,6 +100,14 @@ impl SearchConfig {
             default_threads()
         } else {
             self.threads
+        }
+    }
+
+    /// The bottom-scan tuning this config implies.
+    pub fn scan_options(&self) -> ScanOptions {
+        ScanOptions {
+            threads: self.scan_threads,
+            ..ScanOptions::default()
         }
     }
 }
@@ -125,21 +139,23 @@ pub(crate) fn try_evaluator(
     table: &Table,
     lattice: &GeneralizationLattice,
 ) -> Result<Option<NodeEvaluator>, AnonymizeError> {
-    try_evaluator_capped(table, lattice, None)
+    try_evaluator_capped(table, lattice, None, ScanOptions::default())
 }
 
 /// [`try_evaluator`] with a memo entry cap (see
-/// [`NodeEvaluator::with_memo_capacity`]).
+/// [`NodeEvaluator::with_memo_capacity`]) and explicit bottom-scan tuning.
 pub(crate) fn try_evaluator_capped(
     table: &Table,
     lattice: &GeneralizationLattice,
     memo_capacity: Option<usize>,
+    scan: ScanOptions,
 ) -> Result<Option<NodeEvaluator>, AnonymizeError> {
-    match NodeEvaluator::with_memo_capacity(table, lattice, memo_capacity) {
-        Ok(eval) => Ok(Some(eval)),
-        Err(HierarchyError::SignatureOverflow { .. }) => Ok(None),
-        Err(e) => Err(e.into()),
-    }
+    try_evaluator_shared(
+        table,
+        std::sync::Arc::new(lattice.clone()),
+        memo_capacity,
+        scan,
+    )
 }
 
 /// Builds a **shared** evaluator over an `Arc`-held lattice, with the same
@@ -149,8 +165,9 @@ pub(crate) fn try_evaluator_shared(
     table: &Table,
     lattice: std::sync::Arc<GeneralizationLattice>,
     memo_capacity: Option<usize>,
+    scan: ScanOptions,
 ) -> Result<Option<NodeEvaluator>, AnonymizeError> {
-    match NodeEvaluator::shared(table, lattice, memo_capacity) {
+    match NodeEvaluator::shared_with_scan(table, lattice, memo_capacity, scan) {
         Ok(eval) => Ok(Some(eval)),
         Err(HierarchyError::SignatureOverflow { .. }) => Ok(None),
         Err(e) => Err(e.into()),
@@ -360,7 +377,8 @@ pub fn find_minimal_safe_report<C: PrivacyCriterion>(
     criterion: &C,
     config: &SearchConfig,
 ) -> Result<SearchReport, AnonymizeError> {
-    let evaluator = try_evaluator_capped(table, lattice, config.memo_capacity)?;
+    let evaluator =
+        try_evaluator_capped(table, lattice, config.memo_capacity, config.scan_options())?;
     let outcome = minimal_safe_over(table, lattice, evaluator.as_ref(), criterion, config)?;
     Ok(SearchReport {
         outcome,

@@ -30,7 +30,7 @@ use wcbk_core::{
     SensitiveHistogram,
 };
 use wcbk_hierarchy::{
-    dataset_fingerprint, GenNode, GeneralizationLattice, NodeEvaluator, RollupStats,
+    dataset_fingerprint, GenNode, GeneralizationLattice, NodeEvaluator, RollupStats, ScanOptions,
 };
 use wcbk_table::Table;
 
@@ -49,6 +49,9 @@ pub struct SessionOptions {
     /// one shared registry so MINIMIZE1 tables memoized through any session
     /// serve every other.
     pub engines: Option<Arc<EngineRegistry>>,
+    /// Worker threads for the evaluator's one bottom scan (`0` = all
+    /// available cores). Bit-neutral — results never depend on it.
+    pub scan_threads: usize,
 }
 
 /// One audit of the registered dataset: maximum disclosure (with the
@@ -127,6 +130,7 @@ pub struct DatasetSession {
     table: Table,
     lattice: Arc<GeneralizationLattice>,
     memo_capacity: Option<usize>,
+    scan_threads: usize,
     /// Lazily built; the inner `None` means the packed signature overflows
     /// 128 bits and searches fall back to per-node re-scans, exactly like
     /// the one-shot paths.
@@ -163,6 +167,7 @@ impl DatasetSession {
             table,
             lattice: Arc::new(lattice),
             memo_capacity: options.memo_capacity,
+            scan_threads: options.scan_threads,
             evaluator: OnceLock::new(),
             exact: OnceLock::new(),
             fingerprint: OnceLock::new(),
@@ -182,8 +187,16 @@ impl DatasetSession {
     fn evaluator(&self) -> Option<&NodeEvaluator> {
         self.evaluator
             .get_or_init(|| {
-                try_evaluator_shared(&self.table, Arc::clone(&self.lattice), self.memo_capacity)
-                    .unwrap_or(None)
+                try_evaluator_shared(
+                    &self.table,
+                    Arc::clone(&self.lattice),
+                    self.memo_capacity,
+                    ScanOptions {
+                        threads: self.scan_threads,
+                        ..ScanOptions::default()
+                    },
+                )
+                .unwrap_or(None)
             })
             .as_ref()
     }
@@ -506,11 +519,13 @@ mod tests {
                     threads: 3,
                     schedule: Schedule::WorkStealing,
                     memo_capacity: None,
+                    scan_threads: 0,
                 },
                 SearchConfig {
                     threads: 2,
                     schedule: Schedule::LevelSync,
                     memo_capacity: None,
+                    scan_threads: 0,
                 },
             ] {
                 let criterion = CkSafetyCriterion::new(c, k).unwrap();
@@ -544,6 +559,7 @@ mod tests {
             SessionOptions {
                 memo_capacity: None,
                 engines: Some(Arc::clone(&registry)),
+                scan_threads: 0,
             },
         )
         .unwrap();
@@ -557,6 +573,7 @@ mod tests {
             SessionOptions {
                 memo_capacity: None,
                 engines: Some(registry.clone()),
+                scan_threads: 0,
             },
         )
         .unwrap();

@@ -209,6 +209,7 @@ fn both_schedules_equal_sequential() {
                 threads,
                 schedule,
                 memo_capacity: None,
+                scan_threads: 0,
             };
             let got = find_minimal_safe_with(&table, &lattice, &criterion(), &config).unwrap();
             assert_eq!(seq, got, "{schedule:?} at {threads} threads diverged");
@@ -227,6 +228,7 @@ fn more_workers_than_nodes_matches_sequential() {
         threads: 64,
         schedule: Schedule::WorkStealing,
         memo_capacity: None,
+        scan_threads: 0,
     };
     let got = find_minimal_safe_with(&table, &lattice, &criterion(), &config).unwrap();
     assert_eq!(seq, got);
@@ -245,6 +247,7 @@ fn memo_capacity_does_not_change_outcomes() {
                 threads,
                 schedule: Schedule::WorkStealing,
                 memo_capacity: Some(cap),
+                scan_threads: 0,
             };
             let got = find_minimal_safe_with(&table, &lattice, &criterion(), &config).unwrap();
             assert_eq!(seq, got, "cap={cap} threads={threads}");
@@ -297,6 +300,7 @@ fn first_error_semantics_preserved_under_stealing() {
                     threads,
                     schedule,
                     memo_capacity: None,
+                    scan_threads: 0,
                 };
                 let err = find_minimal_safe_with(&table, &lattice, &criterion(), &config)
                     .expect_err("sequential search errored, parallel must too");
@@ -321,6 +325,7 @@ fn incognito_schedules_equal_sequential() {
             threads: 4,
             schedule,
             memo_capacity: None,
+            scan_threads: 0,
         };
         let got = incognito_with(
             &table,

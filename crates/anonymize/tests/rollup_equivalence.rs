@@ -172,6 +172,7 @@ proptest! {
                 threads: 3,
                 schedule: Schedule::LevelSync,
                 memo_capacity: None,
+                scan_threads: 0,
             };
             let level =
                 find_minimal_safe_with(&table, &lattice, criterion, &level_cfg).unwrap();
@@ -182,6 +183,7 @@ proptest! {
                 threads: 3,
                 schedule: Schedule::WorkStealing,
                 memo_capacity: Some(2),
+                scan_threads: 0,
             };
             let capped =
                 find_minimal_safe_with(&table, &lattice, criterion, &capped_cfg).unwrap();

@@ -128,7 +128,7 @@ proptest! {
         let session = DatasetSession::with_options(
             table.clone(),
             lattice.clone(),
-            SessionOptions { memo_capacity: memo_cap, engines: None },
+            SessionOptions { memo_capacity: memo_cap, engines: None, scan_threads: 0 },
         )
         .unwrap();
 
@@ -138,8 +138,8 @@ proptest! {
         ];
         let configs = [
             SearchConfig::default(),
-            SearchConfig { threads: 3, schedule: Schedule::WorkStealing, memo_capacity: None },
-            SearchConfig { threads: 2, schedule: Schedule::LevelSync, memo_capacity: None },
+            SearchConfig { threads: 3, schedule: Schedule::WorkStealing, memo_capacity: None, scan_threads: 0 },
+            SearchConfig { threads: 2, schedule: Schedule::LevelSync, memo_capacity: None, scan_threads: 0 },
         ];
         for criterion in &criteria {
             for config in &configs {

@@ -83,6 +83,7 @@ fn bench_lattice_search(c: &mut Criterion) {
                 threads,
                 schedule,
                 memo_capacity: None,
+                scan_threads: 0,
             };
             group.bench_with_input(BenchmarkId::new(name, threads), &config, |b, config| {
                 b.iter(|| {

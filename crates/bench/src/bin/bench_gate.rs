@@ -23,6 +23,13 @@
 //! Run: `cargo run --release -p wcbk-bench --bin bench_gate -- \
 //!       results/BENCH_search.json /tmp/bench_new.json \
 //!       [--max-ratio 1.5] [--summary FILE]`
+//!
+//! A second mode, `--scale <candidate.json>`, gates the `bench_report
+//! --scale` output on its own **in-run** speedups (machine-independent by
+//! construction — both sides of each ratio were measured in the same run):
+//! the chunked kernel must beat the row-at-a-time reference scan by
+//! `--min-kernel` (default 1.2×) on one thread and by `--min-parallel`
+//! (default 1.5×) at the run's thread count. No baseline file is needed.
 
 use std::process::ExitCode;
 
@@ -93,8 +100,97 @@ fn markdown(rows: &[GateRow], max_ratio: f64) -> String {
     out
 }
 
+/// `--scale` mode: gate `bench_report --scale` output on its own in-run
+/// speedups. Both sides of each ratio came from the same run on the same
+/// machine, so the floors hold anywhere the kernel is genuinely faster —
+/// no committed baseline to go stale.
+fn run_scale(args: &[String]) -> Result<bool, HarnessError> {
+    let mut raw: Vec<String> = args.to_vec();
+    let mut take_flag = |name: &str| -> Result<Option<String>, HarnessError> {
+        match raw.iter().position(|a| a == name) {
+            Some(pos) => {
+                let value = raw
+                    .get(pos + 1)
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .clone();
+                raw.drain(pos..=pos + 1);
+                Ok(Some(value))
+            }
+            None => Ok(None),
+        }
+    };
+    let min_kernel: f64 = take_flag("--min-kernel")?
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1.2);
+    let min_parallel: f64 = take_flag("--min-parallel")?
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1.5);
+    let summary_path = take_flag("--summary")?;
+    let [candidate_path] = raw.as_slice() else {
+        return Err("usage: bench_gate --scale <candidate.json> \
+                    [--min-kernel F] [--min-parallel F] [--summary FILE]"
+            .into());
+    };
+    let candidate = std::fs::read_to_string(candidate_path)
+        .map_err(|e| format!("reading candidate {candidate_path}: {e}"))?;
+
+    let mut rows: Vec<(String, f64, f64, bool)> = Vec::new();
+    for (key, label, floor) in [
+        (
+            "kernel_speedup",
+            "chunked kernel vs reference (1 thread)",
+            min_kernel,
+        ),
+        (
+            "parallel_speedup",
+            "chunked kernel vs reference (parallel)",
+            min_parallel,
+        ),
+    ] {
+        let speedup = extract(&candidate, "bottom_scan", key)
+            .ok_or_else(|| format!("candidate is missing bottom_scan.{key}"))?;
+        rows.push((label.to_owned(), speedup, floor, speedup >= floor));
+    }
+
+    let mut table = String::from("## scale-gate: bottom-scan in-run speedups\n\n");
+    table.push_str("| metric | speedup | floor | status |\n|---|---:|---:|:---:|\n");
+    for (label, speedup, floor, passed) in &rows {
+        table.push_str(&format!(
+            "| {} | {:.2}x | {:.2}x | {} |\n",
+            label,
+            speedup,
+            floor,
+            if *passed { "pass" } else { "**FAIL**" }
+        ));
+    }
+    println!("{table}");
+    if let Some(path) = summary_path {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("opening summary {path}: {e}"))?;
+        writeln!(f, "{table}")?;
+    }
+    let mut ok = true;
+    for (label, speedup, floor, passed) in &rows {
+        if !passed {
+            ok = false;
+            eprintln!("REGRESSION: {label} speedup {speedup:.2}x below the {floor:.2}x floor");
+        }
+    }
+    Ok(ok)
+}
+
 fn run(args: &[String]) -> Result<bool, HarnessError> {
     let mut raw: Vec<String> = args.to_vec();
+    if let Some(pos) = raw.iter().position(|a| a == "--scale") {
+        raw.remove(pos);
+        return run_scale(&raw);
+    }
     let mut take_flag = |name: &str| -> Result<Option<String>, HarnessError> {
         match raw.iter().position(|a| a == name) {
             Some(pos) => {
@@ -270,6 +366,53 @@ mod tests {
         let text = std::fs::read_to_string(&summary).unwrap();
         assert!(text.contains("bench-gate"), "{text}");
         assert!(text.contains("| sweep rollup ns/node |"), "{text}");
+    }
+
+    const SCALE_SAMPLE: &str = r#"{
+  "workload": { "rows": 1000000, "lattice_nodes": 72, "bottom_groups": 4153, "scan_threads": 4 },
+  "bottom_scan": { "reference_ms": 55.0, "kernel_ms": 12.2, "parallel_ms": 14.8, "reference_rows_per_s": 18155209, "kernel_rows_per_s": 82273263, "parallel_rows_per_s": 67354663, "kernel_speedup": 4.53, "parallel_speedup": 3.71 }
+}"#;
+
+    #[test]
+    fn scale_gate_checks_in_run_speedup_floors() {
+        let dir = std::env::temp_dir().join("wcbk_bench_gate_scale");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cand = dir.join("scale.json");
+        std::fs::write(&cand, SCALE_SAMPLE).unwrap();
+        let args = |extra: &[&str]| -> Vec<String> {
+            ["--scale", cand.to_str().unwrap()]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .chain(extra.iter().map(|s| (*s).to_owned()))
+                .collect()
+        };
+        assert!(
+            run(&args(&[])).unwrap(),
+            "healthy speedups pass the defaults"
+        );
+        assert!(
+            run(&args(&["--min-kernel", "1.5", "--min-parallel", "3.0"])).unwrap(),
+            "acceptance floors pass on the committed numbers"
+        );
+        assert!(
+            !run(&args(&["--min-parallel", "5.0"])).unwrap(),
+            "a floor above the measured speedup fails"
+        );
+
+        // A kernel regression to parity with the reference scan fails.
+        let regressed = SCALE_SAMPLE
+            .replace("\"kernel_speedup\": 4.53", "\"kernel_speedup\": 1.0")
+            .replace("\"parallel_speedup\": 3.71", "\"parallel_speedup\": 1.0");
+        std::fs::write(&cand, regressed).unwrap();
+        assert!(!run(&args(&[])).unwrap(), "parity must fail the gate");
+
+        // The summary file gets the scale table appended.
+        std::fs::write(&cand, SCALE_SAMPLE).unwrap();
+        let summary = dir.join("summary.md");
+        let _ = std::fs::remove_file(&summary);
+        assert!(run(&args(&["--summary", summary.to_str().unwrap()])).unwrap());
+        let text = std::fs::read_to_string(&summary).unwrap();
+        assert!(text.contains("scale-gate"), "{text}");
     }
 
     #[test]

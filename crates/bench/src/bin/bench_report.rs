@@ -11,7 +11,15 @@
 //!
 //! Run: `cargo run --release -p wcbk-bench --bin bench_report \
 //!       [n_rows] [c] [k] [--out FILE]`
+//!
+//! A second mode, `--scale [n_rows]` (default 1 000 000), benchmarks the
+//! **bottom scan itself** at scale: the row-at-a-time reference scan vs the
+//! chunked columnar kernel at 1 thread vs `--scan-threads` (default 4)
+//! threads, asserts all three agree node-for-node across the whole lattice,
+//! and writes rows/s plus in-run speedups to `results/BENCH_scale.json`
+//! (gated by `bench_gate --scale` in CI).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wcbk_anonymize::search::{
@@ -21,7 +29,7 @@ use wcbk_anonymize::search::{
 use wcbk_anonymize::CkSafetyCriterion;
 use wcbk_bench::{small_adult, HarnessError};
 use wcbk_hierarchy::adult::adult_lattice;
-use wcbk_hierarchy::NodeEvaluator;
+use wcbk_hierarchy::{NodeEvaluator, ScanOptions};
 
 /// Medians over a few repetitions to keep single-run noise out of the
 /// committed trajectory.
@@ -44,16 +52,131 @@ fn ns_per_node(elapsed: Duration, nodes: usize) -> f64 {
     elapsed.as_nanos() as f64 / nodes.max(1) as f64
 }
 
+/// `--scale` mode: the million-row bottom-scan benchmark. Times the
+/// construction scan of the shared evaluator three ways — the pre-kernel
+/// row-at-a-time reference, the chunked columnar kernel on one thread, and
+/// the kernel across `threads` workers — asserts all three produce
+/// node-for-node identical histograms across the whole lattice, and writes
+/// `results/BENCH_scale.json` with rows/s plus the two in-run speedups the
+/// CI `scale-gate` job checks.
+fn run_scale(n_rows: usize, threads: usize, out_path: &str) -> Result<(), HarnessError> {
+    eprintln!("generating synthetic Adult ({n_rows} rows)…");
+    let table = small_adult(n_rows);
+    let lattice = Arc::new(adult_lattice(&table)?);
+    let n_nodes = lattice.n_nodes();
+
+    let build = |scan: ScanOptions| {
+        NodeEvaluator::shared_with_scan(&table, Arc::clone(&lattice), None, scan).unwrap()
+    };
+    eprintln!("bottom scan, row-at-a-time reference…");
+    let (reference_time, reference_eval) = median_time(|| {
+        build(ScanOptions {
+            reference: true,
+            ..ScanOptions::default()
+        })
+    });
+    eprintln!("bottom scan, chunked kernel, 1 thread…");
+    let (kernel_time, kernel_eval) = median_time(|| {
+        build(ScanOptions {
+            threads: 1,
+            ..ScanOptions::default()
+        })
+    });
+    eprintln!("bottom scan, chunked kernel, {threads} threads…");
+    let (parallel_time, parallel_eval) = median_time(|| {
+        build(ScanOptions {
+            threads,
+            ..ScanOptions::default()
+        })
+    });
+
+    // Equivalence gate: every lattice node's histograms identical across
+    // all three scans (first-occurrence group order and all).
+    eprintln!("verifying node-for-node equivalence across {n_nodes} nodes…");
+    for node in lattice.nodes() {
+        let want = reference_eval.histograms(&node)?;
+        for (eval, label) in [(&kernel_eval, "kernel"), (&parallel_eval, "parallel")] {
+            let got = eval.histograms(&node)?;
+            assert_eq!(
+                got.n_buckets(),
+                want.n_buckets(),
+                "{label} scan diverged from reference at node {node}"
+            );
+            assert_eq!(
+                got.histograms(),
+                want.histograms(),
+                "{label} scan diverged from reference at node {node}"
+            );
+        }
+    }
+    let bottom_groups = reference_eval.stats().bottom_groups;
+
+    let rows_per_s = |t: Duration| n_rows as f64 / t.as_secs_f64();
+    let kernel_speedup = rows_per_s(kernel_time) / rows_per_s(reference_time);
+    let parallel_speedup = rows_per_s(parallel_time) / rows_per_s(reference_time);
+
+    let json = format!(
+        "{{\n  \"workload\": {{ \"rows\": {n_rows}, \"lattice_nodes\": {n_nodes}, \"bottom_groups\": {bottom_groups}, \"scan_threads\": {threads} }},\n  \
+           \"bottom_scan\": {{ \"reference_ms\": {:.3}, \"kernel_ms\": {:.3}, \"parallel_ms\": {:.3}, \
+\"reference_rows_per_s\": {:.0}, \"kernel_rows_per_s\": {:.0}, \"parallel_rows_per_s\": {:.0}, \
+\"kernel_speedup\": {:.2}, \"parallel_speedup\": {:.2} }}\n}}\n",
+        reference_time.as_secs_f64() * 1e3,
+        kernel_time.as_secs_f64() * 1e3,
+        parallel_time.as_secs_f64() * 1e3,
+        rows_per_s(reference_time),
+        rows_per_s(kernel_time),
+        rows_per_s(parallel_time),
+        kernel_speedup,
+        parallel_speedup,
+    );
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(out_path, &json)?;
+    println!("{json}");
+    eprintln!(
+        "kernel speedup {kernel_speedup:.2}x, parallel speedup {parallel_speedup:.2}x — wrote {out_path}"
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), HarnessError> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let scale = match raw.iter().position(|a| a == "--scale") {
+        Some(pos) => {
+            raw.remove(pos);
+            true
+        }
+        None => false,
+    };
+    let scan_threads: usize = match raw.iter().position(|a| a == "--scan-threads") {
+        Some(pos) => {
+            let value = raw
+                .get(pos + 1)
+                .ok_or("--scan-threads needs a value")?
+                .clone();
+            raw.drain(pos..=pos + 1);
+            value.parse()?
+        }
+        None => 4,
+    };
     let out_path = match raw.iter().position(|a| a == "--out") {
         Some(pos) => {
             let value = raw.get(pos + 1).ok_or("--out needs a value")?.clone();
             raw.drain(pos..=pos + 1);
             value
         }
+        None if scale => "results/BENCH_scale.json".to_owned(),
         None => "results/BENCH_search.json".to_owned(),
     };
+    if scale {
+        let n_rows: usize = raw
+            .first()
+            .map(|s| s.parse())
+            .transpose()?
+            .unwrap_or(1_000_000);
+        return run_scale(n_rows, scan_threads.max(1), &out_path);
+    }
     let mut args = raw.into_iter();
     let n_rows: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(5_000);
     let c: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(0.8);
@@ -103,6 +226,7 @@ fn main() -> Result<(), HarnessError> {
         threads: par_threads,
         schedule: Schedule::LevelSync,
         memo_capacity: None,
+        scan_threads: 0,
     };
     let (level_search, level_outcome) = median_time(|| {
         find_minimal_safe_with(&table, &lattice, &level_criterion, &level_cfg).unwrap()
@@ -117,6 +241,7 @@ fn main() -> Result<(), HarnessError> {
         threads: par_threads,
         schedule: Schedule::WorkStealing,
         memo_capacity: None,
+        scan_threads: 0,
     };
     let (steal_search, steal_outcome) = median_time(|| {
         find_minimal_safe_with(&table, &lattice, &steal_criterion, &steal_cfg).unwrap()

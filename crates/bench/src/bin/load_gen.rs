@@ -56,7 +56,7 @@ fn parse_args(args: &[String]) -> Result<Config, HarnessError> {
         connections: 8,
         requests: 4,
         tables: 32,
-        rows: 120,
+        rows: 500,
         out: "results/BENCH_serve.json".to_owned(),
         min_throughput: 0.0,
         handles: false,
@@ -431,6 +431,13 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
                 ("requests_per_connection", config.requests.into()),
                 ("tables_per_batch", config.tables.into()),
                 ("rows_base", config.rows.into()),
+                // Total rows across the batch's distinct tables (table i
+                // holds rows_base + i rows) — scales with --rows so the
+                // committed report says how much data the run pushed.
+                (
+                    "rows_total",
+                    (config.tables * config.rows + config.tables * (config.tables - 1) / 2).into(),
+                ),
                 ("ops", "audit/search alternating".into()),
             ]),
         ),
@@ -640,6 +647,14 @@ mod tests {
             Some(12)
         );
         assert_eq!(report.get("failures").and_then(Json::as_u64), Some(0));
+        // rows_total scales with --rows: 3 tables of 40, 41, 42 rows.
+        assert_eq!(
+            report
+                .get("workload")
+                .and_then(|w| w.get("rows_total"))
+                .and_then(Json::as_u64),
+            Some(123)
+        );
         assert!(
             report
                 .get("latency_ms")

@@ -55,8 +55,13 @@ pub struct ScheduleOutcome {
     pub evaluated: usize,
     /// Evaluations started speculatively (predecessors still pending).
     pub speculated: usize,
-    /// Speculative evaluations whose node ended up pruned — work discarded.
+    /// Speculative evaluations that ran to a verdict on a node that ended up
+    /// pruned — work discarded.
     pub discarded: usize,
+    /// Speculative claims abandoned before evaluating because the node was
+    /// pruned between the claim and the evaluation (pruning is final, so the
+    /// verdict could never be committed).
+    pub abandoned: usize,
 }
 
 impl ScheduleOutcome {
@@ -148,6 +153,7 @@ where
         evaluated,
         speculated: 0,
         discarded: 0,
+        abandoned: 0,
     })
 }
 
@@ -166,6 +172,11 @@ const ERRORED: u8 = 5;
 const NOT_STARTED: u8 = 0;
 const RUNNING: u8 = 1;
 const DONE: u8 = 2;
+/// A speculative claim dropped without evaluating: the node was pruned
+/// between the claim and the evaluation. Only reachable from `RUNNING` on a
+/// `PRUNED_SAFE` node, so `make_required` (which excludes pruned nodes by
+/// the pending-count invariant) never observes it.
+const ABANDONED: u8 = 3;
 
 struct Shared<'d, E, F> {
     dag: &'d MonotoneDag,
@@ -189,6 +200,8 @@ struct Shared<'d, E, F> {
     /// Nodes in a final state; workers exit when this reaches `n`.
     resolved: AtomicUsize,
     speculated: AtomicUsize,
+    /// Speculative claims dropped before evaluating (node pruned mid-flight).
+    abandoned: AtomicUsize,
     /// Errors from *required* evaluations, with their node index.
     errors: Mutex<Vec<(u32, E)>>,
     /// Set when a worker unwinds, so siblings stop instead of spinning.
@@ -216,6 +229,7 @@ where
             spec_cursor: AtomicUsize::new(0),
             resolved: AtomicUsize::new(0),
             speculated: AtomicUsize::new(0),
+            abandoned: AtomicUsize::new(0),
             errors: Mutex::new(Vec::new()),
             abort: AtomicBool::new(false),
         }
@@ -287,6 +301,15 @@ where
     /// Runs a speculatively claimed node; commits only if the node became
     /// required in the meantime.
     fn run_speculative(&self, w: usize, i: u32) {
+        // The node may have been pruned between the claim and here. Pruning
+        // is final (`PRUNED_SAFE` nodes never become required — their
+        // pending count never reaches zero), so the verdict could never be
+        // committed: abandon the claim instead of evaluating into the void.
+        if self.resolution[i as usize].load(Ordering::SeqCst) == PRUNED_SAFE {
+            self.eval_state[i as usize].store(ABANDONED, Ordering::SeqCst);
+            self.abandoned.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let verdict = (self.eval)(i as usize);
         *self.results[i as usize]
             .lock()
@@ -431,6 +454,7 @@ where
             evaluated: 0,
             speculated: 0,
             discarded: 0,
+            abandoned: 0,
         });
     }
     let workers = workers.clamp(1, n);
@@ -474,9 +498,11 @@ where
     let resolutions: Vec<NodeResolution> = (0..n)
         .map(|i| match shared.resolution[i].load(Ordering::SeqCst) {
             PRUNED_SAFE => {
-                // A parked verdict on a pruned node is discarded speculation.
-                if shared.eval_state[i].load(Ordering::SeqCst) != NOT_STARTED {
-                    discarded += 1;
+                // A parked verdict on a pruned node is discarded speculation;
+                // an abandoned claim never evaluated, so it is counted apart.
+                match shared.eval_state[i].load(Ordering::SeqCst) {
+                    NOT_STARTED | ABANDONED => {}
+                    _ => discarded += 1,
                 }
                 NodeResolution::PrunedSafe
             }
@@ -496,6 +522,7 @@ where
         evaluated,
         speculated: shared.speculated.load(Ordering::Relaxed),
         discarded,
+        abandoned: shared.abandoned.load(Ordering::Relaxed),
     })
 }
 
@@ -666,6 +693,33 @@ mod tests {
         assert_eq!(out.safe_count(), n);
         assert_eq!(out.evaluated_safe(), vec![0]);
         assert_eq!(out.discarded + 1, evals.load(Ordering::Relaxed).max(1));
+        // Every speculative claim either ran (discarded here — nothing else
+        // ever becomes required) or was abandoned before evaluating.
+        assert_eq!(out.speculated, out.discarded + out.abandoned);
+    }
+
+    /// A speculative claim on a node pruned after the claim is abandoned
+    /// without invoking the evaluator at all.
+    #[test]
+    fn pruned_claim_is_abandoned_before_evaluating() {
+        let dag = MonotoneDag::new(vec![vec![], vec![0]]);
+        let evals = AtomicUsize::new(0);
+        let shared = Shared::<(), _>::new(&dag, 1, |_| {
+            evals.fetch_add(1, Ordering::Relaxed);
+            Ok(true)
+        });
+        // Simulate: worker claimed node 1 speculatively, then node 0's safe
+        // verdict pruned node 1 before the evaluation started.
+        shared.eval_state[1].store(RUNNING, Ordering::SeqCst);
+        shared.resolution[1].store(PRUNED_SAFE, Ordering::SeqCst);
+        shared.run_speculative(0, 1);
+        assert_eq!(evals.load(Ordering::Relaxed), 0, "evaluator must not run");
+        assert_eq!(shared.eval_state[1].load(Ordering::SeqCst), ABANDONED);
+        assert_eq!(shared.abandoned.load(Ordering::Relaxed), 1);
+        assert!(
+            shared.results[1].lock().unwrap().is_none(),
+            "no verdict may be parked for an abandoned claim"
+        );
     }
 
     #[test]

@@ -217,13 +217,21 @@ pub fn synthetic_adult(config: AdultConfig) -> Table {
                 .collect()
         })
         .collect();
+    // Marital distributions precomputed per distinct age: the CDF depends
+    // only on the age, so hoisting the construction out of the row loop
+    // leaves the sampling stream (and thus every generated table)
+    // unchanged while making million-row generation allocation-free per
+    // row.
+    let marital_dists: Vec<Discrete> = (17u32..=17 + age_weights().len() as u32 - 1)
+        .map(|age| Discrete::new(&marital_weights(age)))
+        .collect();
 
     let mut builder = TableBuilder::new(adult_schema());
     let mut age_buf = String::new();
     for _ in 0..config.n_rows {
         let age = 17 + age_dist.sample(&mut rng) as u32;
         let male = rng.gen_bool(male_p);
-        let marital = Discrete::new(&marital_weights(age)).sample(&mut rng);
+        let marital = marital_dists[(age - 17) as usize].sample(&mut rng);
         let race = race_dist.sample(&mut rng);
         let occupation = occupation_dists[usize::from(!male)][age_band(age)].sample(&mut rng);
         age_buf.clear();

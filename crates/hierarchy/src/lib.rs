@@ -36,9 +36,10 @@ mod error;
 mod fingerprint;
 mod lattice;
 mod rollup;
+mod scan;
 
 pub use dgh::Hierarchy;
 pub use error::HierarchyError;
 pub use fingerprint::dataset_fingerprint;
 pub use lattice::{GenNode, GeneralizationLattice};
-pub use rollup::{NodeEvaluator, RollupStats};
+pub use rollup::{NodeEvaluator, RollupStats, ScanOptions};

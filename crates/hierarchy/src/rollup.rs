@@ -42,60 +42,43 @@
 
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use wcbk_core::{CoreError, HistogramSet, SensitiveHistogram};
 use wcbk_table::{SValue, Table};
 
+use crate::scan::{self, MergeTallies, ScanResult, SigMap, Signature};
 use crate::{GenNode, GeneralizationLattice, Hierarchy, HierarchyError};
 
-/// A packed per-row quasi-identifier signature: one bit field per dimension,
-/// wide enough for that dimension's largest per-level group id.
-trait Signature: Copy + Eq + Hash + Send + Sync {
-    /// Total bits available in this representation.
-    const BITS: u32;
-    fn zero() -> Self;
-    /// Extracts the field at `shift` under `mask` as a group index.
-    fn field(self, shift: u32, mask: u64) -> usize;
-    /// Replaces the field at `shift` under `mask` with `group`.
-    fn with_field(self, shift: u32, mask: u64, group: u32) -> Self;
+/// Tuning for the single bottom-table scan a [`NodeEvaluator`] performs at
+/// construction. Every setting is **bit-neutral**: the scan's output (and
+/// therefore every histogram downstream) is identical at any thread count,
+/// chunk size, or kernel choice — only throughput varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanOptions {
+    /// Worker threads for the chunked scan. `0` picks the machine's
+    /// available parallelism; `1` runs the kernel on the calling thread.
+    /// Small tables (a single chunk) never spawn regardless.
+    pub threads: usize,
+    /// Rows per scan chunk (`0` = default 65 536).
+    pub chunk_rows: usize,
+    /// Use the pre-kernel row-at-a-time scan instead of the chunked
+    /// columnar kernel — the equivalence/throughput baseline for tests and
+    /// `bench_report --scale`.
+    pub reference: bool,
 }
 
-impl Signature for u64 {
-    const BITS: u32 = 64;
-
-    fn zero() -> Self {
-        0
-    }
-
-    #[inline]
-    fn field(self, shift: u32, mask: u64) -> usize {
-        ((self >> shift) & mask) as usize
-    }
-
-    #[inline]
-    fn with_field(self, shift: u32, mask: u64, group: u32) -> Self {
-        (self & !(mask << shift)) | (u64::from(group) << shift)
-    }
-}
-
-impl Signature for u128 {
-    const BITS: u32 = 128;
-
-    fn zero() -> Self {
-        0
-    }
-
-    #[inline]
-    fn field(self, shift: u32, mask: u64) -> usize {
-        ((self >> shift) as u64 & mask) as usize
-    }
-
-    #[inline]
-    fn with_field(self, shift: u32, mask: u64, group: u32) -> Self {
-        (self & !(u128::from(mask) << shift)) | (u128::from(group) << shift)
+impl ScanOptions {
+    /// The thread count `0` resolves to: one worker per available core.
+    fn effective_threads(self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -113,24 +96,20 @@ impl<S: Signature> NodeTable<S> {
     /// First-occurrence order over `source` entries preserves the row
     /// first-occurrence bucket order transitively — from *any* ancestor, so
     /// the derivation source never affects results.
-    fn derive(source: &NodeTable<S>, rekey: impl Fn(S) -> S) -> NodeTable<S> {
-        let mut index: HashMap<S, usize> = HashMap::with_capacity(source.sigs.len());
-        let mut sigs: Vec<S> = Vec::new();
-        let mut tallies: Vec<HashMap<SValue, u64>> = Vec::new();
+    ///
+    /// Group lookup is an open-addressed [`SigMap`]; count rows merge as
+    /// dense arrays (small sensitive domains) or linear runs over the
+    /// already-sorted source rows — no hash re-insertion on either side.
+    fn derive(source: &NodeTable<S>, domain: usize, rekey: impl Fn(S) -> S) -> NodeTable<S> {
+        let mut index = SigMap::with_capacity(source.sigs.len());
+        let mut tallies = MergeTallies::new(domain);
         for (i, &sig) in source.sigs.iter().enumerate() {
-            let new_sig = rekey(sig);
-            let gi = *index.entry(new_sig).or_insert_with(|| {
-                sigs.push(new_sig);
-                tallies.push(HashMap::new());
-                sigs.len() - 1
-            });
-            for &(v, c) in &source.counts[i] {
-                *tallies[gi].entry(v).or_insert(0) += c;
-            }
+            let gi = index.get_or_insert(rekey(sig));
+            tallies.add_sorted(gi, &source.counts[i]);
         }
         NodeTable {
-            sigs,
-            counts: tallies.into_iter().map(sorted_counts).collect(),
+            sigs: index.into_sigs(),
+            counts: tallies.finish(),
         }
     }
 
@@ -149,12 +128,6 @@ impl<S: Signature> NodeTable<S> {
             .collect();
         HistogramSet::new(histograms, domain_size).map_err(|e| HierarchyError::Table(e.to_string()))
     }
-}
-
-fn sorted_counts(tally: HashMap<SValue, u64>) -> Vec<(SValue, u64)> {
-    let mut v: Vec<(SValue, u64)> = tally.into_iter().collect();
-    v.sort_unstable_by_key(|&(value, _)| value);
-    v
 }
 
 /// Counters describing how much work the roll-up pipeline actually did.
@@ -300,6 +273,7 @@ impl<S: Signature> RollupEngine<S> {
         lattice: Arc<GeneralizationLattice>,
         layout: Layout,
         capacity: Option<usize>,
+        scan: ScanOptions,
     ) -> Self {
         let n_dims = lattice.n_dims();
         debug_assert!(layout.total_bits <= S::BITS);
@@ -311,30 +285,24 @@ impl<S: Signature> RollupEngine<S> {
             .collect();
 
         // The single columnar scan: pack base codes, tally sensitive values.
-        let mut index: HashMap<S, usize> = HashMap::new();
-        let mut sigs: Vec<S> = Vec::new();
-        let mut tallies: Vec<HashMap<SValue, u64>> = Vec::new();
         let columns: Vec<&[u32]> = (0..n_dims)
             .map(|d| table.column(lattice.column(d)).codes())
             .collect();
-        for row in 0..table.n_rows() {
-            let mut sig = S::zero();
-            for (d, codes) in columns.iter().enumerate() {
-                sig = sig.with_field(layout.shifts[d], layout.masks[d], codes[row]);
-            }
-            let gi = *index.entry(sig).or_insert_with(|| {
-                sigs.push(sig);
-                tallies.push(HashMap::new());
-                sigs.len() - 1
-            });
-            *tallies[gi]
-                .entry(table.sensitive_value(wcbk_table::TupleId(row as u32)))
-                .or_insert(0) += 1;
-        }
-        let bottom = Arc::new(NodeTable {
-            sigs,
-            counts: tallies.into_iter().map(sorted_counts).collect(),
-        });
+        let sensitive = table.sensitive_column().codes();
+        let domain = table.sensitive_cardinality();
+        let ScanResult { sigs, counts } = if scan.reference {
+            scan::scan_reference::<S>(&columns, &layout.shifts, &layout.masks, sensitive)
+        } else {
+            scan::scan_kernel::<S>(
+                &columns,
+                &layout.shifts,
+                sensitive,
+                domain,
+                scan.chunk_rows,
+                scan.effective_threads(),
+            )
+        };
+        let bottom = Arc::new(NodeTable { sigs, counts });
 
         Self {
             lattice,
@@ -389,7 +357,7 @@ impl<S: Signature> RollupEngine<S> {
             .zip(levels)
             .map(|(&d, &level)| (d, self.lattice.hierarchy(d).level_map(level)))
             .collect();
-        let table = NodeTable::derive(&self.bottom, |sig| {
+        let table = NodeTable::derive(&self.bottom, self.domain_size as usize, |sig| {
             let mut out = S::zero();
             for &(d, map) in &maps {
                 let base = sig.field(self.shifts[d], self.masks[d]);
@@ -492,7 +460,7 @@ impl<S: Signature> RollupEngine<S> {
                 )
             })
             .collect();
-        let table = NodeTable::derive(&src_table, |sig| {
+        let table = NodeTable::derive(&src_table, self.domain_size as usize, |sig| {
             let mut out = sig;
             for (shift, mask, map) in &maps {
                 let group = out.field(*shift, *mask);
@@ -607,11 +575,24 @@ impl NodeEvaluator {
         lattice: Arc<GeneralizationLattice>,
         capacity: Option<usize>,
     ) -> Result<Self, HierarchyError> {
+        Self::shared_with_scan(table, lattice, capacity, ScanOptions::default())
+    }
+
+    /// [`NodeEvaluator::shared`] with explicit [`ScanOptions`] for the
+    /// construction-time bottom scan. All settings are bit-neutral — the
+    /// evaluator's results are identical at any thread count or chunk size;
+    /// only construction throughput varies.
+    pub fn shared_with_scan(
+        table: &Table,
+        lattice: Arc<GeneralizationLattice>,
+        capacity: Option<usize>,
+        scan: ScanOptions,
+    ) -> Result<Self, HierarchyError> {
         let l = layout(&lattice);
         let inner = if l.total_bits <= u64::BITS {
-            Inner::Narrow(RollupEngine::new(table, lattice, l, capacity))
+            Inner::Narrow(RollupEngine::new(table, lattice, l, capacity, scan))
         } else if l.total_bits <= u128::BITS {
-            Inner::Wide(RollupEngine::new(table, lattice, l, capacity))
+            Inner::Wide(RollupEngine::new(table, lattice, l, capacity, scan))
         } else {
             return Err(HierarchyError::SignatureOverflow { bits: l.total_bits });
         };

@@ -35,7 +35,7 @@ use wcbk_anonymize::{
 };
 use wcbk_core::EngineRegistry;
 use wcbk_hierarchy::{GenNode, GeneralizationLattice, Hierarchy, RollupStats};
-use wcbk_table::{Attribute, AttributeKind, Schema, Table, TableBuilder};
+use wcbk_table::{Attribute, AttributeKind, ChunkedTableBuilder, Schema, Table};
 
 use crate::json::Json;
 
@@ -287,12 +287,16 @@ impl AuditService {
             Some(n) => Some(n),
             None => optional_usize(request, "memo-cap")?,
         };
+        let scan_threads = optional_usize(request, "scan_threads")?
+            .unwrap_or(0)
+            .min(default_threads());
         let session = DatasetSession::with_options(
             table,
             lattice,
             SessionOptions {
                 memo_capacity,
                 engines: Some(Arc::clone(&self.engines)),
+                scan_threads,
             },
         )
         .map_err(|e| bad(e.to_string()))?;
@@ -855,13 +859,17 @@ fn string_list(request: &Json, key: &str) -> Result<Vec<String>, ServeError> {
     }
 }
 
-/// Parses `threads` / `schedule` / `memo_cap` (alias `memo-cap`) into a
-/// [`SearchConfig`] with the same defaults and spellings as the CLI.
-/// `threads` is capped at the machine's core count — it is a
-/// client-supplied number on a network surface, and the scheduler's own
-/// clamp (lattice size) is *also* client-controlled via `hierarchy`.
+/// Parses `threads` / `schedule` / `memo_cap` (alias `memo-cap`) /
+/// `scan_threads` into a [`SearchConfig`] with the same defaults and
+/// spellings as the CLI. `threads` and `scan_threads` are capped at the
+/// machine's core count — they are client-supplied numbers on a network
+/// surface, and the scheduler's own clamp (lattice size) is *also*
+/// client-controlled via `hierarchy`.
 fn search_config(request: &Json) -> Result<SearchConfig, ServeError> {
     let threads = optional_usize(request, "threads")?
+        .unwrap_or(1)
+        .min(default_threads());
+    let scan_threads = optional_usize(request, "scan_threads")?
         .unwrap_or(1)
         .min(default_threads());
     let schedule = match request.get("schedule") {
@@ -880,6 +888,7 @@ fn search_config(request: &Json) -> Result<SearchConfig, ServeError> {
         threads,
         schedule,
         memo_capacity,
+        scan_threads,
     })
 }
 
@@ -967,63 +976,14 @@ fn bucketize_exact(
     b.map_err(|e| bad(format!("bucketize: {e}")))
 }
 
-/// Builds a [`Table`] from the request: either `"csv"` (text, first record
-/// the header) or `"columns"` + `"rows"` (inline). Column roles follow the
-/// CLI: `"sensitive"` names the sensitive column, `"qi"` columns are
-/// quasi-identifiers, everything else insensitive.
-pub fn table_from_request(request: &Json) -> Result<Table, ServeError> {
-    if request.as_object().is_none() {
-        return Err(bad("request body must be a JSON object"));
-    }
-    let sensitive = request
-        .get("sensitive")
-        .and_then(Json::as_str)
-        .ok_or_else(|| bad("missing \"sensitive\" column name"))?;
-    let qi = string_list(request, "qi")?;
-
-    let (names, rows): (Vec<String>, Vec<Vec<String>>) = match request.get("csv") {
-        Some(csv) => {
-            let text = csv
-                .as_str()
-                .ok_or_else(|| bad("\"csv\" must be a string"))?;
-            let mut reader = wcbk_table::csv::CsvReader::new(BufReader::new(text.as_bytes()));
-            let header = reader
-                .next_record()
-                .map_err(|e| bad(format!("csv: {e}")))?
-                .ok_or_else(|| bad("csv is empty"))?;
-            let names = header.iter().map(|s| s.trim().to_owned()).collect();
-            let mut rows = Vec::new();
-            while let Some(record) = reader.next_record().map_err(|e| bad(format!("csv: {e}")))? {
-                rows.push(record);
-            }
-            (names, rows)
-        }
-        None => {
-            let names = string_list(request, "columns")?;
-            if names.is_empty() {
-                return Err(bad("need \"csv\" text or \"columns\" + \"rows\""));
-            }
-            let rows = request
-                .get("rows")
-                .and_then(Json::as_array)
-                .ok_or_else(|| bad("\"rows\" must be an array of arrays"))?
-                .iter()
-                .map(|row| {
-                    row.as_array()
-                        .ok_or_else(|| bad("\"rows\" must be an array of arrays"))?
-                        .iter()
-                        .map(|cell| {
-                            cell.as_str()
-                                .map(str::to_owned)
-                                .ok_or_else(|| bad("row cells must be strings"))
-                        })
-                        .collect::<Result<Vec<String>, ServeError>>()
-                })
-                .collect::<Result<Vec<_>, ServeError>>()?;
-            (names, rows)
-        }
-    };
-
+/// Builds the [`Schema`] for the request's column `names`: `sensitive`
+/// names the sensitive column, `qi` columns are quasi-identifiers,
+/// everything else insensitive — the same roles the CLI assigns.
+fn schema_from_names(
+    names: &[String],
+    sensitive: &str,
+    qi: &[String],
+) -> Result<Schema, ServeError> {
     let attributes: Vec<Attribute> = names
         .iter()
         .map(|n| {
@@ -1037,13 +997,78 @@ pub fn table_from_request(request: &Json) -> Result<Table, ServeError> {
             Attribute::new(n.clone(), kind)
         })
         .collect();
-    let schema = Schema::new(attributes).map_err(|e| bad(e.to_string()))?;
-    let mut builder = TableBuilder::new(schema);
-    for row in &rows {
-        let trimmed: Vec<&str> = row.iter().map(|s| s.trim()).collect();
-        builder.push_row(&trimmed).map_err(|e| bad(e.to_string()))?;
+    Schema::new(attributes).map_err(|e| bad(e.to_string()))
+}
+
+/// Builds a [`Table`] from the request: either `"csv"` (text, first record
+/// the header) or `"columns"` + `"rows"` (inline). Column roles follow the
+/// CLI: `"sensitive"` names the sensitive column, `"qi"` columns are
+/// quasi-identifiers, everything else insensitive.
+///
+/// The CSV body is **streamed** into a [`ChunkedTableBuilder`]: each record
+/// is dictionary-encoded the moment it is parsed, so registration never
+/// stages the decoded rows (`Vec<Vec<String>>`) in memory — at a million
+/// rows that staging used to dwarf the table itself. The built table is
+/// bit-identical to the old buffering path (the chunked builder is pinned
+/// `==` to [`TableBuilder`](wcbk_table::TableBuilder) in `wcbk-table`).
+pub fn table_from_request(request: &Json) -> Result<Table, ServeError> {
+    if request.as_object().is_none() {
+        return Err(bad("request body must be a JSON object"));
     }
-    let table = builder.build();
+    let sensitive = request
+        .get("sensitive")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing \"sensitive\" column name"))?;
+    let qi = string_list(request, "qi")?;
+
+    let table = match request.get("csv") {
+        Some(csv) => {
+            let text = csv
+                .as_str()
+                .ok_or_else(|| bad("\"csv\" must be a string"))?;
+            let mut reader = wcbk_table::csv::CsvReader::new(BufReader::new(text.as_bytes()));
+            let header = reader
+                .next_record()
+                .map_err(|e| bad(format!("csv: {e}")))?
+                .ok_or_else(|| bad("csv is empty"))?;
+            let names: Vec<String> = header.iter().map(|s| s.trim().to_owned()).collect();
+            let schema = schema_from_names(&names, sensitive, &qi)?;
+            let mut builder = ChunkedTableBuilder::new(schema);
+            while let Some(record) = reader.next_record().map_err(|e| bad(format!("csv: {e}")))? {
+                let trimmed: Vec<&str> = record.iter().map(|s| s.trim()).collect();
+                builder.push_row(&trimmed).map_err(|e| bad(e.to_string()))?;
+            }
+            builder.build()
+        }
+        None => {
+            let names = string_list(request, "columns")?;
+            if names.is_empty() {
+                return Err(bad("need \"csv\" text or \"columns\" + \"rows\""));
+            }
+            let schema = schema_from_names(&names, sensitive, &qi)?;
+            let mut builder = ChunkedTableBuilder::new(schema);
+            let rows = request
+                .get("rows")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("\"rows\" must be an array of arrays"))?;
+            let mut trimmed: Vec<&str> = Vec::with_capacity(names.len());
+            for row in rows {
+                let cells = row
+                    .as_array()
+                    .ok_or_else(|| bad("\"rows\" must be an array of arrays"))?;
+                trimmed.clear();
+                for cell in cells {
+                    trimmed.push(
+                        cell.as_str()
+                            .ok_or_else(|| bad("row cells must be strings"))?
+                            .trim(),
+                    );
+                }
+                builder.push_row(&trimmed).map_err(|e| bad(e.to_string()))?;
+            }
+            builder.build()
+        }
+    };
     if table.n_rows() == 0 {
         return Err(bad("table has no rows"));
     }
@@ -1097,6 +1122,57 @@ mod tests {
         assert_eq!(out.get("tuples").unwrap().as_u64(), Some(6));
     }
 
+    /// The streamed register path (CSV records encoded as parsed, via the
+    /// chunked builder) produces a table `==` to pushing the same trimmed
+    /// rows through the classic row builder — for both request shapes.
+    #[test]
+    fn streamed_register_is_bit_identical_to_row_builder() {
+        let csv_request = Json::parse(
+            &Json::object(vec![
+                ("csv", HOSPITAL_CSV.into()),
+                ("sensitive", "Disease".into()),
+                ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+            ])
+            .to_string(),
+        )
+        .unwrap();
+        let streamed = table_from_request(&csv_request).unwrap();
+
+        let mut reference = wcbk_table::TableBuilder::new(streamed.schema().clone());
+        let mut reader = wcbk_table::csv::CsvReader::new(BufReader::new(HOSPITAL_CSV.as_bytes()));
+        reader.next_record().unwrap().unwrap(); // header
+        while let Some(record) = reader.next_record().unwrap() {
+            let trimmed: Vec<&str> = record.iter().map(|s| s.trim()).collect();
+            reference.push_row(&trimmed).unwrap();
+        }
+        assert_eq!(streamed, reference.build());
+
+        let inline_request = Json::parse(
+            &Json::object(vec![
+                (
+                    "columns",
+                    Json::Array(vec!["Age".into(), "Sex".into(), "Disease".into()]),
+                ),
+                (
+                    "rows",
+                    Json::Array(vec![
+                        Json::Array(vec!["21 ".into(), "M".into(), "Flu".into()]),
+                        Json::Array(vec![" 23".into(), "F".into(), "Flu".into()]),
+                    ]),
+                ),
+                ("sensitive", "Disease".into()),
+                ("qi", Json::Array(vec!["Age".into()])),
+            ])
+            .to_string(),
+        )
+        .unwrap();
+        let inline = table_from_request(&inline_request).unwrap();
+        let mut reference = wcbk_table::TableBuilder::new(inline.schema().clone());
+        reference.push_row(&["21", "M", "Flu"]).unwrap();
+        reference.push_row(&["23", "F", "Flu"]).unwrap();
+        assert_eq!(inline, reference.build());
+    }
+
     #[test]
     fn search_matches_library_search() {
         let service = AuditService::new();
@@ -1123,6 +1199,7 @@ mod tests {
             threads: 2,
             schedule: Schedule::WorkStealing,
             memo_capacity: Some(16),
+            scan_threads: 0,
         };
         let direct =
             wcbk_anonymize::find_minimal_safe_with(&table, &lattice, &criterion, &config).unwrap();

@@ -144,6 +144,7 @@ fn expected_search(i: usize) -> (Vec<Vec<usize>>, usize, usize) {
         threads: 2,
         schedule: Schedule::WorkStealing,
         memo_capacity: None,
+        scan_threads: 0,
     };
     let outcome = find_minimal_safe_with(&table, &lattice, &criterion, &config).unwrap();
     assert!(
@@ -335,6 +336,7 @@ fn search_honors_schedule_threads_and_memo_cap() {
             threads: 2,
             schedule: Schedule::LevelSync,
             memo_capacity: Some(1),
+            scan_threads: 0,
         },
     )
     .unwrap();

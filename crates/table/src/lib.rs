@@ -14,6 +14,9 @@
 //! The crate also provides:
 //!
 //! * [`Schema`] / [`Attribute`] / [`AttributeKind`] — attribute metadata,
+//! * [`TableBuilder`] and the streaming [`ChunkedTableBuilder`] — the latter
+//!   encodes rows into fixed-size code blocks as they arrive, so CSV bodies
+//!   can be turned into columns without staging decoded rows in memory,
 //! * a small, dependency-free RFC-4180 CSV reader/writer ([`csv`]),
 //! * [`datasets`] — the paper's running hospital example (Figure 1).
 //!
@@ -32,7 +35,7 @@ mod table;
 pub use dictionary::Dictionary;
 pub use error::TableError;
 pub use schema::{Attribute, AttributeKind, Schema};
-pub use table::{Column, Table, TableBuilder};
+pub use table::{ChunkedTableBuilder, Column, Table, TableBuilder, DEFAULT_BUILDER_CHUNK_ROWS};
 
 /// Identifies a tuple (person) of the original table by row position.
 ///

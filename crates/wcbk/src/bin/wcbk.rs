@@ -4,7 +4,7 @@
 //! wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
 //! wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N]
 //!             [--hierarchy COL:W1,W2,...]... [--parallel] [--threads N]
-//!             [--schedule level|steal] [--memo-cap N]
+//!             [--schedule level|steal] [--memo-cap N] [--scan-threads N]
 //! wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
 //! wcbk generate-adult [--rows N] [--seed N] [--out FILE]
 //! wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
@@ -31,8 +31,10 @@
 //! `--parallel`/`--threads N` spread the lattice search over worker threads
 //! sharing one engine cache, `--schedule level|steal` picks the
 //! level-synchronous fan-out or the work-stealing whole-lattice scheduler
-//! (the default), and `--memo-cap N` bounds the roll-up evaluator's memo for
-//! deep lattices.
+//! (the default), `--memo-cap N` bounds the roll-up evaluator's memo for
+//! deep lattices, and `--scan-threads N` spreads the evaluator's one
+//! chunked bottom scan over N workers (`0`/default: all cores; bit-neutral
+//! either way).
 //! `anatomize` publishes with the Anatomy algorithm instead and audits the
 //! result. `generate-adult` writes the synthetic Adult benchmark table.
 //! `serve` runs the `wcbk-serve` HTTP audit service (one-shot `/audit`,
@@ -83,7 +85,7 @@ const USAGE: &str = "usage:
   wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
   wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N]
               [--hierarchy COL:W1,W2,...]... [--parallel] [--threads N]
-              [--schedule level|steal] [--memo-cap N]
+              [--schedule level|steal] [--memo-cap N] [--scan-threads N]
   wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
   wcbk generate-adult [--rows N] [--seed N] [--out FILE]
   wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
@@ -120,6 +122,9 @@ struct Options {
     threads: Option<usize>,
     /// Parallel schedule for the lattice search.
     schedule: Schedule,
+    /// Worker threads for the evaluator's one bottom scan: `None` = all
+    /// cores (the scan is bit-neutral, so this only affects throughput).
+    scan_threads: Option<usize>,
     /// Group budget for the roll-up evaluator's memo (`None` = unbounded).
     memo_cap: Option<usize>,
     /// `serve` / `table`: listen address / server address.
@@ -219,6 +224,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.schedule = need_value("--schedule", &mut it)?
                     .parse()
                     .map_err(|e| format!("--schedule: {e}"))?
+            }
+            "--scan-threads" => {
+                opts.scan_threads = Some(
+                    need_value("--scan-threads", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--scan-threads: {e}"))?,
+                )
             }
             "--memo-cap" => {
                 opts.memo_cap = Some(
@@ -454,6 +466,7 @@ fn search_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
         SessionOptions {
             memo_capacity: opts.memo_cap,
             engines: None,
+            scan_threads: opts.scan_threads.unwrap_or(0),
         },
     )?;
     let criterion = CkSafetyCriterion::with_engine(c, session.engine(opts.k))?;
@@ -463,6 +476,7 @@ fn search_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
         threads: opts.threads.unwrap_or(1),
         schedule: opts.schedule,
         memo_capacity: opts.memo_cap,
+        scan_threads: opts.scan_threads.unwrap_or(0),
     };
     let effective = config.effective_threads();
     let started = std::time::Instant::now();
