@@ -18,15 +18,27 @@
 //! consuming the previous response, so offered load adapts to the server
 //! (this measures capacity, not queueing collapse).
 //!
+//! With `--conn-scale N`, a third phase measures **connection scaling** on
+//! the evented server: the same fixed total request rate of cheap handle
+//! audits is offered first over 8 connections, then spread across `N`
+//! keep-alive connections (optionally with `--slowloris M` stalled
+//! connections trickling partial headers alongside). On a reactor, idle
+//! keep-alive connections cost ~0, so p99 at `N` connections should stay
+//! close to p99 at 8; `--max-p99-ratio` turns that into a CI gate. (The
+//! phase is a *paced open loop* — a closed loop's per-connection latency
+//! trivially scales with the connection count and would measure nothing.)
+//!
 //! Exits non-zero when any request fails, any table errors, throughput
-//! falls below `--min-throughput` tables/sec, or the handle ratio falls
-//! below `--min-handle-ratio` — making it usable directly as the CI
-//! `serve-smoke` gate.
+//! falls below `--min-throughput` tables/sec, the handle ratio falls
+//! below `--min-handle-ratio`, or the conn-scale p99 ratio exceeds
+//! `--max-p99-ratio` — making it usable directly as the CI `serve-smoke`
+//! gate.
 //!
 //! Run: `cargo run --release -p wcbk-bench --bin load_gen -- \
 //!       [--addr HOST:PORT] [--connections N] [--requests N] [--tables N] \
 //!       [--rows N] [--out FILE] [--min-throughput F] [--handles] \
-//!       [--min-handle-ratio F] [--shutdown] [--wait-ms N]`
+//!       [--min-handle-ratio F] [--conn-scale N] [--slowloris N] \
+//!       [--max-p99-ratio F] [--shutdown] [--wait-ms N]`
 
 use std::process::ExitCode;
 use std::sync::Mutex;
@@ -46,6 +58,9 @@ struct Config {
     min_throughput: f64,
     handles: bool,
     min_handle_ratio: f64,
+    conn_scale: usize,
+    slowloris: usize,
+    max_p99_ratio: f64,
     shutdown: bool,
     wait_ms: u64,
 }
@@ -61,6 +76,9 @@ fn parse_args(args: &[String]) -> Result<Config, HarnessError> {
         min_throughput: 0.0,
         handles: false,
         min_handle_ratio: 0.0,
+        conn_scale: 0,
+        slowloris: 0,
+        max_p99_ratio: 0.0,
         shutdown: false,
         wait_ms: 15_000,
     };
@@ -80,6 +98,9 @@ fn parse_args(args: &[String]) -> Result<Config, HarnessError> {
             "--min-throughput" => config.min_throughput = value()?.parse()?,
             "--handles" => config.handles = true,
             "--min-handle-ratio" => config.min_handle_ratio = value()?.parse()?,
+            "--conn-scale" => config.conn_scale = value()?.parse()?,
+            "--slowloris" => config.slowloris = value()?.parse()?,
+            "--max-p99-ratio" => config.max_p99_ratio = value()?.parse()?,
             "--shutdown" => config.shutdown = true,
             "--wait-ms" => config.wait_ms = value()?.parse()?,
             other => return Err(format!("unknown flag {other}").into()),
@@ -241,6 +262,196 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     sorted_ms[rank]
 }
 
+/// Baseline connection count the conn-scale phase compares against.
+const SCALE_BASELINE_CONNS: usize = 8;
+/// Total requests offered per conn-scale measurement (same at both counts).
+const SCALE_TOTAL_REQUESTS: usize = 768;
+/// Aggregate offered rate (requests/sec) across all connections — well
+/// under the capacity of a warm handle audit, so queueing reflects the
+/// connection count, not saturation.
+const SCALE_RATE_PER_SEC: f64 = 160.0;
+
+/// One paced open-loop measurement.
+struct ScalePhase {
+    samples: Vec<f64>,
+    wall_ms: f64,
+    failures: Vec<String>,
+}
+
+/// Offers `SCALE_TOTAL_REQUESTS` posts of `body` to `path` at a fixed
+/// aggregate `SCALE_RATE_PER_SEC`, spread evenly over `connections`
+/// keep-alive connections (send times are scheduled on the clock, not on
+/// the previous response — an open loop). Returns sorted latencies.
+fn drive_open_loop(addr: &str, path: &str, body: &str, connections: usize) -> ScalePhase {
+    let samples: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..connections {
+            let samples = &samples;
+            let failures = &failures;
+            scope.spawn(move || {
+                let fail = |message: String| {
+                    failures
+                        .lock()
+                        .expect("failure list poisoned")
+                        .push(format!("scale connection {worker}: {message}"));
+                };
+                let count = SCALE_TOTAL_REQUESTS / connections
+                    + usize::from(worker < SCALE_TOTAL_REQUESTS % connections);
+                let mut client = match Client::connect(addr, Some(Duration::from_secs(120))) {
+                    Ok(c) => c,
+                    Err(e) => return fail(format!("connect: {e}")),
+                };
+                for i in 0..count {
+                    // Worker w fires at t0 + (w + i*connections)/rate: the
+                    // aggregate arrival process is a steady rate/sec comb
+                    // regardless of how many connections share it.
+                    let due = started
+                        + Duration::from_secs_f64(
+                            (worker + i * connections) as f64 / SCALE_RATE_PER_SEC,
+                        );
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let sent = Instant::now();
+                    match client.post(path, body) {
+                        Ok(r) if r.status == 200 => {
+                            let elapsed_ms = sent.elapsed().as_secs_f64() * 1e3;
+                            samples
+                                .lock()
+                                .expect("sample list poisoned")
+                                .push(elapsed_ms);
+                        }
+                        Ok(r) => return fail(format!("request {i}: HTTP {}", r.status)),
+                        Err(e) => return fail(format!("request {i}: {e}")),
+                    }
+                }
+            });
+        }
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let failures = failures.into_inner().expect("failure list poisoned");
+    for f in &failures {
+        eprintln!("FAILURE: {f}");
+    }
+    let mut samples = samples.into_inner().expect("sample list poisoned");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ScalePhase {
+        samples,
+        wall_ms,
+        failures,
+    }
+}
+
+/// The conn-scale phase: registers one handle, measures p99 of the same
+/// offered load over `SCALE_BASELINE_CONNS` and then `config.conn_scale`
+/// connections (with `config.slowloris` stalled connections trickling
+/// partial headers alongside the scaled run), and reports the ratio.
+/// Returns `(report_section, ratio, failure_count)`.
+fn run_conn_scale(config: &Config) -> Result<(Json, f64, usize), HarnessError> {
+    use std::io::Write as _;
+
+    // One small handle; its audits are warm after the first few, so each
+    // request is cheap and the measurement isolates connection overhead.
+    let table = small_adult(200);
+    let mut csv = Vec::new();
+    wcbk_table::csv::write_table(&mut csv, &table)?;
+    let register = Json::object(vec![
+        (
+            "csv",
+            String::from_utf8(csv).map_err(|_| "non-UTF-8 CSV")?.into(),
+        ),
+        ("sensitive", "Occupation".into()),
+        ("qi", Json::Array(vec!["Age".into(), "Gender".into()])),
+    ]);
+    let mut client = Client::connect(&config.addr, Some(Duration::from_secs(120)))?;
+    let response = client.post("/tables", &register.to_string())?;
+    if response.status != 200 {
+        return Err(format!("conn-scale register: HTTP {}", response.status).into());
+    }
+    let id = response
+        .json()?
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("register response lacks an id")?
+        .to_owned();
+    let path = format!("/tables/{id}/audit");
+    let body = Json::object(vec![("k", 3u64.into()), ("c", 0.8.into())]).to_string();
+    // Warm the memo so neither measurement pays the first-audit scan.
+    for _ in 0..4 {
+        let r = client.post(&path, &body)?;
+        if r.status != 200 {
+            return Err(format!("conn-scale warmup: HTTP {}", r.status).into());
+        }
+    }
+    drop(client);
+
+    eprintln!(
+        "conn-scale: {} requests at {:.0}/s over {} connections…",
+        SCALE_TOTAL_REQUESTS, SCALE_RATE_PER_SEC, SCALE_BASELINE_CONNS
+    );
+    let baseline = drive_open_loop(&config.addr, &path, &body, SCALE_BASELINE_CONNS);
+
+    // The scaled run, with stalled header-tricklers riding alongside: on
+    // the evented server they occupy reactor entries, never workers.
+    let tricklers: Vec<std::net::TcpStream> = (0..config.slowloris)
+        .filter_map(|_| {
+            let mut s = std::net::TcpStream::connect(&config.addr).ok()?;
+            s.write_all(b"POST /audit HT").ok()?;
+            Some(s)
+        })
+        .collect();
+    eprintln!(
+        "conn-scale: same load over {} connections (+{} slowloris)…",
+        config.conn_scale,
+        tricklers.len()
+    );
+    let scaled = drive_open_loop(&config.addr, &path, &body, config.conn_scale);
+    drop(tricklers);
+
+    let p99_base = percentile(&baseline.samples, 0.99);
+    let p99_scaled = percentile(&scaled.samples, 0.99);
+    // Sub-millisecond baselines make the ratio a noise amplifier; floor
+    // the denominator at 1 ms so the gate measures regressions, not timer
+    // jitter.
+    let ratio = p99_scaled / p99_base.max(1.0);
+    let failures = baseline.failures.len()
+        + scaled.failures.len()
+        + (baseline.samples.len() != SCALE_TOTAL_REQUESTS) as usize
+        + (scaled.samples.len() != SCALE_TOTAL_REQUESTS) as usize;
+    let section = Json::object(vec![
+        ("baseline_connections", SCALE_BASELINE_CONNS.into()),
+        ("scaled_connections", config.conn_scale.into()),
+        ("slowloris", config.slowloris.into()),
+        ("requests_per_run", SCALE_TOTAL_REQUESTS.into()),
+        ("offered_rate_per_sec", SCALE_RATE_PER_SEC.into()),
+        (
+            "baseline",
+            Json::object(vec![
+                ("p50", percentile(&baseline.samples, 0.50).into()),
+                ("p99", p99_base.into()),
+                ("wall_ms", baseline.wall_ms.into()),
+            ]),
+        ),
+        (
+            "scaled",
+            Json::object(vec![
+                ("p50", percentile(&scaled.samples, 0.50).into()),
+                ("p99", p99_scaled.into()),
+                ("wall_ms", scaled.wall_ms.into()),
+            ]),
+        ),
+        ("p99_ratio", ratio.into()),
+        ("failures", failures.into()),
+    ]);
+    eprintln!(
+        "conn-scale: p99 {p99_base:.2} ms @ {SCALE_BASELINE_CONNS} conns -> {p99_scaled:.2} ms @ {} conns ({ratio:.2}x)",
+        config.conn_scale
+    );
+    Ok((section, ratio, failures))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -392,6 +603,18 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
     }
     let failures = oneshot.failures;
 
+    // Phase 3 (--conn-scale): the same offered load over few vs many
+    // keep-alive connections; on the evented server the p99s should match.
+    let mut scale_section = Json::Null;
+    let mut scale_failures = 0usize;
+    let mut scale_ratio: Option<f64> = None;
+    if config.conn_scale > 0 {
+        let (section, ratio, phase_failures) = run_conn_scale(&config)?;
+        scale_section = section;
+        scale_failures = phase_failures;
+        scale_ratio = Some(ratio);
+    }
+
     // Server-side counters after the run (best effort).
     let mut cache_hits = Json::Null;
     let mut cache_hit_rate = Json::Null;
@@ -462,6 +685,7 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
             ]),
         ),
         ("handles", handle_section),
+        ("conn_scale", scale_section),
         (
             "server",
             Json::object(vec![
@@ -512,6 +736,19 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
             return Ok(false);
         }
     }
+    if scale_failures > 0 {
+        eprintln!("load_gen FAILED: {scale_failures} conn-scale failures");
+        return Ok(false);
+    }
+    if let Some(ratio) = scale_ratio {
+        if config.max_p99_ratio > 0.0 && ratio > config.max_p99_ratio {
+            eprintln!(
+                "load_gen FAILED: conn-scale p99 ratio {ratio:.2}x above the {:.2}x ceiling",
+                config.max_p99_ratio
+            );
+            return Ok(false);
+        }
+    }
     Ok(true)
 }
 
@@ -527,14 +764,26 @@ mod tests {
         assert!(!c.shutdown);
         assert!(!c.handles);
         assert_eq!(c.min_handle_ratio, 0.0);
+        assert_eq!(c.conn_scale, 0);
+        assert_eq!(c.slowloris, 0);
+        assert_eq!(c.max_p99_ratio, 0.0);
         let c = parse_args(&[
             "--handles".into(),
             "--min-handle-ratio".into(),
             "2.5".into(),
+            "--conn-scale".into(),
+            "128".into(),
+            "--slowloris".into(),
+            "16".into(),
+            "--max-p99-ratio".into(),
+            "8.0".into(),
         ])
         .unwrap();
         assert!(c.handles);
         assert!((c.min_handle_ratio - 2.5).abs() < 1e-12);
+        assert_eq!(c.conn_scale, 128);
+        assert_eq!(c.slowloris, 16);
+        assert!((c.max_p99_ratio - 8.0).abs() < 1e-12);
         let args: Vec<String> = [
             "--addr",
             "127.0.0.1:9",
@@ -623,6 +872,10 @@ mod tests {
             "--handles",
             "--min-handle-ratio",
             "0.0001",
+            "--conn-scale",
+            "16",
+            "--max-p99-ratio",
+            "10000",
             "--shutdown",
         ]
         .iter()
@@ -676,5 +929,14 @@ mod tests {
                 > 0.0
         );
         assert_eq!(handles.get("failures").and_then(Json::as_u64), Some(0));
+        // The conn-scale phase ran: both runs completed at the offered
+        // rate with a finite p99 ratio and no failures.
+        let scale = report.get("conn_scale").unwrap();
+        assert_eq!(
+            scale.get("scaled_connections").and_then(Json::as_u64),
+            Some(16)
+        );
+        assert_eq!(scale.get("failures").and_then(Json::as_u64), Some(0));
+        assert!(scale.get("p99_ratio").and_then(Json::as_f64).unwrap() > 0.0);
     }
 }

@@ -173,6 +173,330 @@ pub fn read_request<R: BufRead>(
     Ok(Some(request))
 }
 
+/// Where an in-flight [`RequestParser`] is in the current request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseState {
+    /// Reading the request line and headers.
+    Head,
+    /// Reading a `Content-Length` body.
+    Body { remaining: usize },
+    /// Reading a chunk-size line of a chunked body.
+    ChunkSize,
+    /// Reading chunk data.
+    ChunkData { remaining: usize },
+    /// Reading the CRLF that terminates a chunk's data.
+    ChunkDataEnd,
+    /// Reading (and discarding) trailer lines after the `0` chunk.
+    Trailers,
+}
+
+/// Incremental, resumable HTTP/1.1 request parsing for nonblocking sockets.
+///
+/// Feed raw bytes with [`push`](Self::push), then call
+/// [`advance`](Self::advance): `Ok(None)` means more input is needed,
+/// `Ok(Some(request))` yields one complete request and leaves any pipelined
+/// leftover bytes buffered for the next one. Unlike [`read_request`], this
+/// parser also decodes `Transfer-Encoding: chunked` bodies, and can hand
+/// body bytes out *as they decode* ([`stream_body`](Self::stream_body) +
+/// [`take_body`](Self::take_body)) so large uploads never need a full-size
+/// buffer.
+pub struct RequestParser {
+    buf: Vec<u8>,
+    pos: usize,
+    state: ParseState,
+    max_body: usize,
+    /// Request line once parsed: method, path.
+    request_line: Option<(String, String)>,
+    headers: Vec<(String, String)>,
+    /// The parsed head (empty body) once headers are complete.
+    head: Option<Request>,
+    /// Total decoded chunked-body bytes (for the body limit).
+    decoded_total: usize,
+    /// When true, body bytes go to `stream_out` instead of `head.body`.
+    streaming: bool,
+    stream_out: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A parser enforcing the given body-size limit.
+    pub fn new(max_body: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            pos: 0,
+            state: ParseState::Head,
+            max_body,
+            request_line: None,
+            headers: Vec::new(),
+            head: None,
+            decoded_total: 0,
+            streaming: false,
+            stream_out: Vec::new(),
+        }
+    }
+
+    /// Appends raw bytes from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// No request is in flight and no bytes are buffered: the connection is
+    /// genuinely idle (safe to reap on an idle timeout).
+    pub fn is_idle(&self) -> bool {
+        self.state == ParseState::Head && self.request_line.is_none() && self.pos >= self.buf.len()
+    }
+
+    /// Headers of the current request are fully parsed (body may not be).
+    pub fn head_received(&self) -> bool {
+        self.head.is_some()
+    }
+
+    /// The parsed head (empty body) once headers are complete and before
+    /// the request is returned — lets the caller pick streaming mode.
+    pub fn head(&self) -> Option<&Request> {
+        self.head.as_ref()
+    }
+
+    /// Switches the in-flight request to streaming: decoded body bytes are
+    /// handed out via [`take_body`](Self::take_body) instead of being
+    /// accumulated, and the eventual [`advance`](Self::advance) completion
+    /// carries an empty `body`. Any bytes already accumulated move to the
+    /// stream buffer so nothing is lost.
+    pub fn stream_body(&mut self) {
+        if !self.streaming {
+            self.streaming = true;
+            if let Some(head) = self.head.as_mut() {
+                self.stream_out.append(&mut head.body);
+            }
+        }
+    }
+
+    /// Drains decoded body bytes accumulated in streaming mode.
+    pub fn take_body(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.stream_out)
+    }
+
+    /// Pulls the next complete line (without its terminator) out of the
+    /// buffer, enforcing [`MAX_LINE`]. `Ok(None)` = need more input.
+    fn take_line(&mut self) -> Result<Option<String>, HttpError> {
+        let avail = &self.buf[self.pos..];
+        let Some(nl) = avail.iter().position(|&b| b == b'\n') else {
+            if avail.len() > MAX_LINE {
+                return Err(HttpError::Malformed("line too long".into()));
+            }
+            return Ok(None);
+        };
+        if nl > MAX_LINE {
+            return Err(HttpError::Malformed("line too long".into()));
+        }
+        let mut line = avail[..nl].to_vec();
+        self.pos += nl + 1;
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        String::from_utf8(line)
+            .map(Some)
+            .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))
+    }
+
+    /// Consumes up to `limit` raw body bytes, appending them to the right
+    /// sink. Returns how many were taken.
+    fn take_body_bytes(&mut self, limit: usize) -> usize {
+        let n = limit.min(self.buf.len() - self.pos);
+        if n > 0 {
+            let range = self.pos..self.pos + n;
+            if self.streaming {
+                self.stream_out.extend_from_slice(&self.buf[range]);
+            } else if let Some(head) = self.head.as_mut() {
+                head.body.extend_from_slice(&self.buf[range]);
+            }
+            self.pos += n;
+        }
+        n
+    }
+
+    /// Headers are complete: decide the body framing.
+    fn begin_body(&mut self) -> Result<(), HttpError> {
+        let head = self.head.as_ref().expect("head set before begin_body");
+        if let Some(len) = head.header("content-length") {
+            let declared: usize = len
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad content-length {len:?}")))?;
+            if declared > self.max_body {
+                return Err(HttpError::TooLarge {
+                    declared,
+                    limit: self.max_body,
+                });
+            }
+            self.state = ParseState::Body {
+                remaining: declared,
+            };
+        } else if let Some(te) = head.header("transfer-encoding") {
+            if !te.eq_ignore_ascii_case("chunked") {
+                return Err(HttpError::Malformed(format!(
+                    "unsupported transfer-encoding {te:?}"
+                )));
+            }
+            self.decoded_total = 0;
+            self.state = ParseState::ChunkSize;
+        } else {
+            self.state = ParseState::Body { remaining: 0 };
+        }
+        Ok(())
+    }
+
+    /// The current request is fully parsed: reset for the next one and
+    /// return it (body empty in streaming mode).
+    fn complete(&mut self) -> Request {
+        let mut request = self.head.take().expect("complete requires a head");
+        if self.streaming {
+            request.body = Vec::new();
+        }
+        self.state = ParseState::Head;
+        self.request_line = None;
+        self.headers = Vec::new();
+        self.decoded_total = 0;
+        self.streaming = false;
+        request
+    }
+
+    /// Makes as much progress as the buffered input allows. `Ok(None)`
+    /// means more bytes are needed; `Ok(Some(_))` yields one complete
+    /// request (pipelined leftovers stay buffered). Errors are fatal to the
+    /// connection: the caller should respond (400/413) and close.
+    pub fn advance(&mut self) -> Result<Option<Request>, HttpError> {
+        let result = self.advance_inner();
+        // Compact consumed bytes once per call (not per internal step) so
+        // large bodies don't turn the buffer into an O(n^2) shift.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        result
+    }
+
+    fn advance_inner(&mut self) -> Result<Option<Request>, HttpError> {
+        loop {
+            match self.state {
+                ParseState::Head => {
+                    let Some(line) = self.take_line()? else {
+                        return Ok(None);
+                    };
+                    if self.request_line.is_none() {
+                        let mut parts = line.split(' ');
+                        let (method, path, version) =
+                            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                                (Some(m), Some(p), Some(v), None)
+                                    if !m.is_empty() && p.starts_with('/') =>
+                                {
+                                    (m, p, v)
+                                }
+                                _ => {
+                                    return Err(HttpError::Malformed(format!(
+                                        "bad request line {line:?}"
+                                    )))
+                                }
+                            };
+                        if version != "HTTP/1.1" {
+                            return Err(HttpError::Malformed(format!("unsupported {version:?}")));
+                        }
+                        self.request_line = Some((method.to_owned(), path.to_owned()));
+                    } else if line.is_empty() {
+                        let (method, path) =
+                            self.request_line.clone().expect("request line parsed");
+                        self.head = Some(Request {
+                            method,
+                            path,
+                            headers: std::mem::take(&mut self.headers),
+                            body: Vec::new(),
+                        });
+                        self.begin_body()?;
+                        if self.state == (ParseState::Body { remaining: 0 }) {
+                            return Ok(Some(self.complete()));
+                        }
+                    } else {
+                        if self.headers.len() >= MAX_HEADERS {
+                            return Err(HttpError::Malformed("too many headers".into()));
+                        }
+                        let (name, value) = line
+                            .split_once(':')
+                            .ok_or_else(|| HttpError::Malformed(format!("bad header {line:?}")))?;
+                        self.headers
+                            .push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+                    }
+                }
+                ParseState::Body { remaining } => {
+                    let taken = self.take_body_bytes(remaining);
+                    let remaining = remaining - taken;
+                    self.state = ParseState::Body { remaining };
+                    if remaining == 0 {
+                        return Ok(Some(self.complete()));
+                    }
+                    return Ok(None);
+                }
+                ParseState::ChunkSize => {
+                    let Some(line) = self.take_line()? else {
+                        return Ok(None);
+                    };
+                    // Chunk extensions (after ';') are tolerated, ignored.
+                    let digits = line.split(';').next().unwrap_or("").trim();
+                    let size = usize::from_str_radix(digits, 16)
+                        .map_err(|_| HttpError::Malformed(format!("bad chunk size {line:?}")))?;
+                    if size == 0 {
+                        self.state = ParseState::Trailers;
+                        continue;
+                    }
+                    self.decoded_total = self.decoded_total.saturating_add(size);
+                    if self.decoded_total > self.max_body {
+                        return Err(HttpError::TooLarge {
+                            declared: self.decoded_total,
+                            limit: self.max_body,
+                        });
+                    }
+                    self.state = ParseState::ChunkData { remaining: size };
+                }
+                ParseState::ChunkData { remaining } => {
+                    let taken = self.take_body_bytes(remaining);
+                    let remaining = remaining - taken;
+                    self.state = ParseState::ChunkData { remaining };
+                    if remaining > 0 {
+                        return Ok(None);
+                    }
+                    self.state = ParseState::ChunkDataEnd;
+                }
+                ParseState::ChunkDataEnd => {
+                    let avail = &self.buf[self.pos..];
+                    match avail {
+                        [] => return Ok(None),
+                        [b'\n', ..] => {
+                            self.pos += 1;
+                            self.state = ParseState::ChunkSize;
+                        }
+                        [b'\r'] => return Ok(None),
+                        [b'\r', b'\n', ..] => {
+                            self.pos += 2;
+                            self.state = ParseState::ChunkSize;
+                        }
+                        _ => {
+                            return Err(HttpError::Malformed(
+                                "missing CRLF after chunk data".into(),
+                            ))
+                        }
+                    }
+                }
+                ParseState::Trailers => {
+                    let Some(line) = self.take_line()? else {
+                        return Ok(None);
+                    };
+                    if line.is_empty() {
+                        return Ok(Some(self.complete()));
+                    }
+                    // Trailer fields are read and discarded.
+                }
+            }
+        }
+    }
+}
+
 /// The reason phrase for the status codes this server emits.
 pub fn status_text(status: u16) -> &'static str {
     match status {
@@ -543,6 +867,127 @@ mod tests {
         assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
         assert!(text.contains("8\r\n{\"i\":0}\n\r\n"), "{text}");
         assert!(text.ends_with("0\r\n\r\n"), "{text}");
+    }
+
+    /// Feeds `raw` one request at a time with the input split at `cut`,
+    /// asserting the parser needs more bytes until the full input arrives.
+    fn parse_split(raw: &[u8], cut: usize, max_body: usize) -> Request {
+        let mut parser = RequestParser::new(max_body);
+        parser.push(&raw[..cut]);
+        // Anything short of the full request must be Incomplete, never Err.
+        if cut < raw.len() {
+            assert!(
+                parser.advance().unwrap().is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        parser.push(&raw[cut..]);
+        let req = parser.advance().unwrap().expect("complete request");
+        assert!(parser.is_idle(), "no leftover bytes after a single request");
+        req
+    }
+
+    #[test]
+    fn incremental_parser_handles_every_split_point() {
+        let raw = b"POST /audit HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 9\r\n\r\n{\"k\":3}\r\n";
+        for cut in 0..=raw.len() {
+            let req = parse_split(raw, cut, 1024);
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/audit");
+            assert_eq!(req.body, b"{\"k\":3}\r\n");
+        }
+    }
+
+    #[test]
+    fn incremental_parser_decodes_chunked_at_every_split_point() {
+        let raw = b"POST /tables HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nab,c\r\n6\r\n\nd,e,f\r\n0\r\n\r\n";
+        for cut in 0..=raw.len() {
+            let req = parse_split(raw, cut, 1024);
+            assert_eq!(req.body, b"ab,c\nd,e,f");
+        }
+    }
+
+    #[test]
+    fn incremental_parser_preserves_pipelined_requests() {
+        let mut parser = RequestParser::new(1024);
+        parser.push(b"GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\n\r\n");
+        let first = parser.advance().unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        assert!(!parser.is_idle(), "second request still buffered");
+        let second = parser.advance().unwrap().unwrap();
+        assert_eq!(second.path, "/stats");
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversized_declared_body_at_header_time() {
+        let mut parser = RequestParser::new(64);
+        parser.push(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
+        assert!(matches!(
+            parser.advance(),
+            Err(HttpError::TooLarge { declared: 9999, .. })
+        ));
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversized_chunked_mid_stream() {
+        let mut parser = RequestParser::new(8);
+        parser.push(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nabcdef\r\n6\r\nghijkl\r\n",
+        );
+        assert!(matches!(
+            parser.advance(),
+            Err(HttpError::TooLarge { declared: 12, .. })
+        ));
+    }
+
+    #[test]
+    fn incremental_parser_rejects_garbage() {
+        for raw in [
+            &b"NOT_HTTP\r\n\r\n"[..],
+            b"GET /x HTTP/1.0\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nabXX",
+        ] {
+            let mut parser = RequestParser::new(1024);
+            parser.push(raw);
+            assert!(
+                parser.advance().is_err(),
+                "{:?} should be rejected",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_mode_hands_body_bytes_out_incrementally() {
+        let mut parser = RequestParser::new(1024);
+        parser.push(b"POST /tables HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert!(parser.advance().unwrap().is_none());
+        assert!(parser.head_received());
+        assert_eq!(parser.head().unwrap().path, "/tables");
+        parser.stream_body();
+        parser.push(b"3\r\na,b\r\n");
+        assert!(parser.advance().unwrap().is_none());
+        assert_eq!(parser.take_body(), b"a,b");
+        parser.push(b"4\r\n\n1,2\r\n0\r\n\r\n");
+        let done = parser.advance().unwrap().unwrap();
+        assert!(done.body.is_empty(), "streamed body is not re-buffered");
+        assert_eq!(parser.take_body(), b"\n1,2");
+    }
+
+    #[test]
+    fn streaming_mode_recovers_bytes_already_buffered() {
+        let mut parser = RequestParser::new(1024);
+        parser.push(b"POST /tables HTTP/1.1\r\nContent-Length: 8\r\n\r\nabc");
+        assert!(parser.advance().unwrap().is_none());
+        parser.stream_body();
+        assert_eq!(parser.take_body(), b"abc");
+        parser.push(b"defgh");
+        assert!(parser.advance().unwrap().unwrap().body.is_empty());
+        assert_eq!(parser.take_body(), b"defgh");
     }
 
     #[test]

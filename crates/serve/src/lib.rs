@@ -41,9 +41,17 @@
 //!
 //! Results are bit-identical to `wcbk audit` / `wcbk search`: same table
 //! construction, same engine code, and `f64`s serialized with shortest
-//! round-trip formatting. Backpressure is a bounded connection queue —
-//! beyond `queue_depth` waiting connections, new ones get an immediate
-//! `503` with `Retry-After` instead of unbounded buffering.
+//! round-trip formatting.
+//!
+//! Connections are served by a **readiness-based reactor** ([`poll`],
+//! [`server`]): every socket is nonblocking, one thread multiplexes all of
+//! them, and CPU-bound work runs on a bounded worker pool — so thousands
+//! of idle keep-alive clients cost ~0 threads, slow clients are reaped by
+//! deadline instead of pinning a worker, and `POST /tables` accepts
+//! `Transfer-Encoding: chunked` CSV uploads decoded incrementally off the
+//! wire. Admission is either the classic bounded queue (`queue_depth`
+//! waiting connections, then an immediate `503` with `Retry-After`) or,
+//! with `max_connections` set, a flat connection cap.
 //!
 //! ```no_run
 //! use wcbk_serve::{Server, ServerConfig};
@@ -57,6 +65,7 @@
 
 pub mod http;
 pub mod json;
+pub mod poll;
 pub mod server;
 pub mod service;
 

@@ -1,0 +1,373 @@
+//! Readiness multiplexing for the evented server, std-only.
+//!
+//! The sanctioned dependency set has no `mio`/`libc`, so on unix this module
+//! declares the one syscall it needs — `poll(2)` — directly via `extern
+//! "C"` (the symbol is in libc, which every Rust binary already links).
+//! [`Poller::wait`] blocks until any registered descriptor is readable /
+//! writable, a timeout elapses, or the [`Waker`] is poked from another
+//! thread (worker threads use it to hand completed response bytes back to
+//! the reactor).
+//!
+//! On non-unix targets a coarse fallback reports every descriptor ready on
+//! a short tick; correctness is preserved because all sockets are
+//! nonblocking (a spurious "ready" just yields `WouldBlock`), only
+//! efficiency degrades.
+
+/// A raw file descriptor (or the platform's nearest equivalent).
+pub type Fd = i32;
+
+/// What a registered descriptor is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor is readable.
+    pub readable: bool,
+    /// Wake when the descriptor is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Read and write interest.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// Readiness reported for one descriptor after a [`Poller::wait`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Readiness {
+    /// Data (or EOF, or an incoming connection) can be read.
+    pub readable: bool,
+    /// The socket send buffer has room.
+    pub writable: bool,
+    /// The descriptor errored or hung up; treat as readable so the state
+    /// machine observes the failure on its next I/O attempt.
+    pub error: bool,
+}
+
+impl Readiness {
+    /// Whether anything at all happened.
+    pub fn any(&self) -> bool {
+        self.readable || self.writable || self.error
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::{Fd, Interest, Readiness};
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // `poll(2)` per POSIX; every supported unix libc exports it with this
+    // exact ABI. `nfds_t` is `c_ulong` on the platforms we build for.
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: i32) -> i32;
+    }
+
+    /// Multiplexes readiness over a set of descriptors via `poll(2)`.
+    pub struct Poller {
+        fds: Vec<PollFd>,
+        wake_rx: UnixStream,
+        wake_tx: Arc<UnixStream>,
+    }
+
+    /// Pokes the poller awake from any thread.
+    #[derive(Clone)]
+    pub struct Waker {
+        tx: Arc<UnixStream>,
+    }
+
+    impl Waker {
+        /// Wakes the poller. Never blocks: the pipe is nonblocking and a
+        /// full pipe already guarantees a pending wakeup.
+        pub fn wake(&self) {
+            let _ = (&*self.tx).write(&[1u8]);
+        }
+    }
+
+    impl Poller {
+        /// Creates a poller and its wakeup channel.
+        pub fn new() -> std::io::Result<(Self, Waker)> {
+            let (wake_rx, wake_tx) = UnixStream::pair()?;
+            wake_rx.set_nonblocking(true)?;
+            wake_tx.set_nonblocking(true)?;
+            let wake_tx = Arc::new(wake_tx);
+            let waker = Waker {
+                tx: Arc::clone(&wake_tx),
+            };
+            Ok((
+                Self {
+                    fds: Vec::new(),
+                    wake_rx,
+                    wake_tx,
+                },
+                waker,
+            ))
+        }
+
+        /// Blocks until at least one of `entries` is ready, the waker is
+        /// poked, or `timeout` elapses (`None` = wait forever). Returns
+        /// per-entry readiness aligned with `entries`, and whether the
+        /// waker fired.
+        pub fn wait(
+            &mut self,
+            entries: &[(Fd, Interest)],
+            timeout: Option<Duration>,
+        ) -> std::io::Result<(Vec<Readiness>, bool)> {
+            self.fds.clear();
+            self.fds.push(PollFd {
+                fd: self.wake_rx.as_raw_fd(),
+                events: POLLIN,
+                revents: 0,
+            });
+            for &(fd, interest) in entries {
+                let mut events = 0i16;
+                if interest.readable {
+                    events |= POLLIN;
+                }
+                if interest.writable {
+                    events |= POLLOUT;
+                }
+                self.fds.push(PollFd {
+                    fd,
+                    events,
+                    revents: 0,
+                });
+            }
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                // Round up so a 1ns deadline doesn't spin at timeout 0.
+                Some(d) => d
+                    .as_millis()
+                    .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                    .min(i32::MAX as u128) as i32,
+            };
+            loop {
+                let rc = unsafe {
+                    poll(
+                        self.fds.as_mut_ptr(),
+                        self.fds.len() as std::ffi::c_ulong,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break;
+                }
+                let err = std::io::Error::last_os_error();
+                if err.kind() != std::io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+            let woke = self.fds[0].revents & (POLLIN | POLLERR | POLLHUP) != 0;
+            if woke {
+                // Drain every queued poke; the pipe is nonblocking.
+                let mut sink = [0u8; 64];
+                while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+            }
+            let ready = self.fds[1..]
+                .iter()
+                .map(|p| Readiness {
+                    readable: p.revents & POLLIN != 0,
+                    writable: p.revents & POLLOUT != 0,
+                    error: p.revents & (POLLERR | POLLHUP | POLLNVAL) != 0,
+                })
+                .collect();
+            Ok((ready, woke))
+        }
+
+        /// A fresh waker for this poller.
+        pub fn waker(&self) -> Waker {
+            Waker {
+                tx: Arc::clone(&self.wake_tx),
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::{Fd, Interest, Readiness};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    /// Fallback poller: reports every descriptor ready on a short tick.
+    /// Sockets are nonblocking, so spurious readiness only costs a
+    /// `WouldBlock`; the server stays correct, just less efficient.
+    pub struct Poller {
+        state: Arc<(Mutex<bool>, Condvar)>,
+    }
+
+    /// Pokes the fallback poller awake.
+    #[derive(Clone)]
+    pub struct Waker {
+        state: Arc<(Mutex<bool>, Condvar)>,
+    }
+
+    impl Waker {
+        /// Wakes the poller.
+        pub fn wake(&self) {
+            let (flag, cv) = &*self.state;
+            *flag.lock().unwrap() = true;
+            cv.notify_all();
+        }
+    }
+
+    impl Poller {
+        /// Creates a poller and its wakeup channel.
+        pub fn new() -> std::io::Result<(Self, Waker)> {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            Ok((
+                Self {
+                    state: Arc::clone(&state),
+                },
+                Waker { state },
+            ))
+        }
+
+        /// Sleeps briefly (or until poked), then reports everything ready.
+        pub fn wait(
+            &mut self,
+            entries: &[(Fd, Interest)],
+            timeout: Option<Duration>,
+        ) -> std::io::Result<(Vec<Readiness>, bool)> {
+            let tick = timeout
+                .unwrap_or(Duration::from_millis(5))
+                .min(Duration::from_millis(5));
+            let (flag, cv) = &*self.state;
+            let woke = {
+                let guard = flag.lock().unwrap();
+                let (mut guard, _) = cv.wait_timeout(guard, tick).unwrap();
+                std::mem::replace(&mut *guard, false)
+            };
+            let ready = entries
+                .iter()
+                .map(|&(_, interest)| Readiness {
+                    readable: interest.readable,
+                    writable: interest.writable,
+                    error: false,
+                })
+                .collect();
+            Ok((ready, woke))
+        }
+
+        /// A fresh waker for this poller.
+        pub fn waker(&self) -> Waker {
+            Waker {
+                state: Arc::clone(&self.state),
+            }
+        }
+    }
+}
+
+pub use sys::{Poller, Waker};
+
+/// The raw descriptor of any socket-like object, for registration.
+#[cfg(unix)]
+pub fn fd_of<T: std::os::unix::io::AsRawFd>(sock: &T) -> Fd {
+    sock.as_raw_fd()
+}
+
+/// Fallback: the poller ignores descriptors on non-unix targets.
+#[cfg(not(unix))]
+pub fn fd_of<T>(_sock: &T) -> Fd {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn waker_interrupts_an_idle_wait() {
+        let (mut poller, waker) = Poller::new().unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let start = std::time::Instant::now();
+        let (_, woke) = poller.wait(&[], Some(Duration::from_secs(10))).unwrap();
+        assert!(woke, "waker poke should be observed");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "wait should return promptly after the poke"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_elapses_without_events() {
+        let (mut poller, _waker) = Poller::new().unwrap();
+        let start = std::time::Instant::now();
+        let (ready, woke) = poller.wait(&[], Some(Duration::from_millis(20))).unwrap();
+        assert!(ready.is_empty());
+        assert!(!woke);
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn readable_socket_is_reported() {
+        use std::io::Write;
+        use std::os::unix::net::UnixStream;
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let (mut poller, _waker) = Poller::new().unwrap();
+        // Nothing written yet: b is not readable but is writable.
+        let (ready, _) = poller
+            .wait(
+                &[(fd_of(&b), Interest::READ_WRITE)],
+                Some(Duration::from_millis(50)),
+            )
+            .unwrap();
+        assert!(!ready[0].readable);
+        assert!(ready[0].writable);
+        a.write_all(b"x").unwrap();
+        let (ready, _) = poller
+            .wait(&[(fd_of(&b), Interest::READ)], Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(ready[0].readable, "peer data should mark b readable");
+        // Read interest only: writability is not reported even though the
+        // send buffer has room.
+        assert!(!ready[0].writable);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn peer_close_reports_readable_or_error() {
+        use std::os::unix::net::UnixStream;
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(a);
+        let (mut poller, _waker) = Poller::new().unwrap();
+        let (ready, _) = poller
+            .wait(&[(fd_of(&b), Interest::READ)], Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(ready[0].readable || ready[0].error);
+    }
+}

@@ -1,27 +1,42 @@
-//! The HTTP front-end: a bounded worker pool over one shared
-//! [`AuditService`].
+//! The HTTP front-end: a readiness-based connection reactor over one shared
+//! [`AuditService`] and a bounded CPU worker pool.
 //!
-//! * **Dispatch** — the accept loop pushes connections onto a bounded queue;
-//!   `workers` threads pop and serve them (persistent connections, one
-//!   request at a time per connection).
-//! * **Backpressure** — when the queue is full the connection is answered
-//!   `503 Service Unavailable` (with `Retry-After`) and closed immediately:
-//!   heavy traffic degrades into fast rejections, never unbounded memory.
-//! * **Streaming** — `POST /batch` fans its tables out over the
-//!   work-stealing scheduler ([`wcbk_core::sched`]) and streams one JSON
-//!   line per completed table as a chunk, so clients see results while the
-//!   batch is still running.
+//! * **Evented I/O** — every socket is nonblocking. One reactor thread (the
+//!   caller of [`Server::run`]) multiplexes all connections with
+//!   [`crate::poll`]: it accepts, parses requests incrementally
+//!   ([`RequestParser`]), flushes response bytes as sockets become
+//!   writable, and parks when nothing is ready. A connection is a small
+//!   state machine (reading → dispatched → writing → idle keep-alive), so
+//!   thousands of mostly-idle keep-alive clients cost a few hundred bytes
+//!   each — not a thread.
+//! * **Workers never touch sockets** — CPU-bound service work runs on
+//!   `workers` pool threads. A worker receives a fully parsed request,
+//!   renders the response into memory (`ConnWriter`), and hands the bytes
+//!   back to the reactor (`Completion`); the reactor alone writes to the
+//!   socket. Connections never block a worker; workers never block on a
+//!   socket. Streaming batches work the same way: each NDJSON line becomes
+//!   one completion, flushed by write-readiness.
+//! * **Admission** — with `max_connections = 0` (the default) the server
+//!   reproduces the classic bounded-queue semantics exactly: `workers`
+//!   virtual *leases*, up to `queue_depth` connections waiting for one, and
+//!   an immediate `503` (with `Retry-After`) beyond that. With
+//!   `max_connections = N` the server switches to evented admission: up to
+//!   `N` concurrent connections, each dispatching as soon as a request
+//!   parses, `503` past `N`.
+//! * **Deadlines** — the reactor reaps slow clients without spending a
+//!   worker on them: headers must complete within `read_timeout` of the
+//!   first request byte (slowloris), body and response writes must keep
+//!   making progress, and idle keep-alive connections are reaped after
+//!   `read_timeout` (lease mode) or `idle_timeout` (evented mode). Reaped
+//!   connections are closed silently and counted in `/stats`.
 //! * **Graceful shutdown** — `POST /shutdown` (or
-//!   [`ServerHandle::shutdown`]) stops the accept loop, lets every queued
-//!   and in-flight request finish (a streaming batch runs to completion),
-//!   then returns from [`Server::run`]. Workers parked in a blocking read
-//!   on an idle keep-alive connection are unparked by shutting down that
-//!   connection's read half (responses in progress are unaffected), and the
-//!   per-connection read timeout bounds everything else, so shutdown cannot
-//!   hang on a silent peer.
+//!   [`ServerHandle::shutdown`]) stops accepting, closes idle connections
+//!   immediately, gives partially-read requests a short grace period, and
+//!   lets every dispatched request — including a streaming batch — run to
+//!   completion before [`Server::run`] returns.
 
-use std::collections::VecDeque;
-use std::io::{BufReader, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -30,28 +45,52 @@ use std::time::{Duration, Instant};
 
 use wcbk_core::sched::{evaluate_work_stealing, MonotoneDag};
 
-use crate::http::{read_request, write_json, ChunkedWriter, HttpError, Request};
+use crate::http::{write_json, ChunkedWriter, HttpError, Request, RequestParser};
 use crate::json::Json;
-use crate::service::{AuditService, ServeError, ServiceLimits};
+use crate::poll::{fd_of, Fd, Interest, Poller, Waker};
+use crate::service::{AuditService, CsvUpload, ServeError, ServiceLimits};
+
+/// Bytes read from a socket per reactor pass over a readable connection.
+const READ_CHUNK: usize = 64 * 1024;
+/// A worker's response buffer auto-flushes to the reactor past this size.
+const FLUSH_THRESHOLD: usize = 256 * 1024;
+/// Hard cap on un-flushed response bytes buffered for one connection; a
+/// client that stops reading its (streaming) response is cut off here
+/// rather than ballooning memory.
+const MAX_PENDING_OUT: usize = 32 * 1024 * 1024;
+/// How long a partially-read request may linger once shutdown begins.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(1);
+/// Pause on persistent `accept` errors (EMFILE under fd exhaustion) so the
+/// reactor doesn't busy-spin while workers release descriptors.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
 
 /// Server knobs; `Default` gives a loopback server with
-/// hardware-parallelism workers.
+/// hardware-parallelism workers and classic bounded-queue admission.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Listen address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
     pub addr: String,
-    /// Worker threads serving connections (`0` = all cores).
+    /// Worker threads running service work (`0` = all cores).
     pub workers: usize,
-    /// Connections held waiting for a worker before new ones get 503.
+    /// Lease mode only: connections held waiting for a worker lease before
+    /// new ones get 503.
     pub queue_depth: usize,
     /// Threads each `/batch` request fans out over (`0` = the worker count).
     pub batch_threads: usize,
     /// Largest accepted request body.
     pub max_body: usize,
-    /// Per-connection read timeout: bounds how long a worker can sit on an
-    /// idle or trickling connection (and therefore how long shutdown can
-    /// take). `None` disables the bound.
+    /// Slow-client deadline: headers must complete within this of the first
+    /// request byte, body bytes and response writes must keep progressing,
+    /// and (in lease mode) an idle keep-alive connection is reaped after
+    /// this long. `None` disables the bound.
     pub read_timeout: Option<Duration>,
+    /// Evented mode (`max_connections > 0`): connection cap, beyond which
+    /// new connections are answered 503 at accept. `0` keeps the classic
+    /// worker-lease admission (`workers` + `queue_depth` bound concurrency).
+    pub max_connections: usize,
+    /// Evented mode: idle keep-alive connections are reaped after this.
+    /// `None` keeps them forever (until `max_connections` pushes back).
+    pub idle_timeout: Option<Duration>,
     /// Memory budgets for the engine registry and the session store
     /// (`Default`: unbounded — the one-shot behavior).
     pub limits: ServiceLimits,
@@ -66,6 +105,8 @@ impl Default for ServerConfig {
             batch_threads: 0,
             max_body: 64 * 1024 * 1024,
             read_timeout: Some(Duration::from_secs(5)),
+            max_connections: 0,
+            idle_timeout: Some(Duration::from_secs(60)),
             limits: ServiceLimits::default(),
         }
     }
@@ -76,19 +117,41 @@ impl Default for ServerConfig {
 struct ServerCounters {
     requests: AtomicU64,
     rejected: AtomicU64,
+    open: AtomicU64,
+    peak: AtomicU64,
+    reaped_idle: AtomicU64,
+    reaped_slow: AtomicU64,
+    wakeups: AtomicU64,
 }
 
-/// State shared by the accept loop, the workers, and every handle.
+/// A parsed request handed from the reactor to the worker pool.
+struct Job {
+    conn: u64,
+    request: Request,
+    /// Set by the reactor when the connection dies, so the worker aborts
+    /// (streamed) work nobody will read.
+    dead: Arc<AtomicBool>,
+    /// A streamed CSV upload decoded off the wire, ready to finalize.
+    upload: Option<CsvUpload>,
+}
+
+/// Bytes (or the end-of-response marker) a worker hands back to the
+/// reactor for socket flushing.
+enum Completion {
+    Data(Vec<u8>),
+    End { keep_alive: bool },
+}
+
+/// State shared by the reactor, the workers, and every handle.
 struct Shared {
-    queue: Mutex<VecDeque<TcpStream>>,
+    jobs: Mutex<VecDeque<Job>>,
     ready: Condvar,
+    completions: Mutex<Vec<(u64, Completion)>>,
+    waker: Waker,
     shutdown: AtomicBool,
-    /// Read halves of the connections currently being served, so graceful
-    /// shutdown can unpark workers sitting in a blocking read on an idle
-    /// keep-alive connection. Responses in progress are untouched (only the
-    /// read direction is shut down), so a streaming batch still completes.
-    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
-    next_conn: AtomicU64,
+    /// Set once the reactor has drained every connection; workers exit when
+    /// this is set and the job queue is empty.
+    drained: AtomicBool,
     counters: ServerCounters,
     local_addr: SocketAddr,
     queue_depth: usize,
@@ -96,32 +159,34 @@ struct Shared {
     batch_threads: usize,
     max_body: usize,
     read_timeout: Option<Duration>,
+    idle_timeout: Option<Duration>,
+    max_connections: usize,
     started: Instant,
 }
 
 impl Shared {
-    /// Initiates graceful shutdown: stop accepting, wake every worker, and
-    /// poke the accept loop with a throwaway connection so `accept()`
-    /// returns.
+    /// Initiates graceful shutdown: flag it, wake parked workers, and poke
+    /// the reactor so it observes the flag immediately.
     fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
         self.ready.notify_all();
-        // Unpark workers blocked reading a served connection: kill the read
-        // half only, so responses (and streaming batches) still complete.
-        // Connections dequeued after this point are served one last request
-        // and closed by the `keep_alive` check in `handle_connection`.
-        let conns = self
-            .conns
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        for stream in conns.values() {
-            let _ = stream.shutdown(std::net::Shutdown::Read);
-        }
-        drop(conns);
-        let _ = TcpStream::connect(self.local_addr);
+        self.waker.wake();
     }
+}
+
+/// Locks a mutex, recovering from poisoning: none of the shared queues has
+/// an invariant a panicked holder can break, and giving up the lock forever
+/// would turn one handler panic into a full-server outage.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn push_completion(shared: &Shared, conn: u64, completion: Completion) {
+    lock(&shared.completions).push((conn, completion));
 }
 
 /// A clonable remote control for a running [`Server`].
@@ -146,6 +211,7 @@ impl ServerHandle {
 /// A bound listener plus the shared service — see the module docs.
 pub struct Server {
     listener: TcpListener,
+    poller: Poller,
     service: Arc<AuditService>,
     shared: Arc<Shared>,
 }
@@ -156,17 +222,19 @@ impl Server {
     pub fn bind(config: &ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let (poller, waker) = Poller::new()?;
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
             config.workers
         };
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            jobs: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            waker,
             shutdown: AtomicBool::new(false),
-            conns: Mutex::new(std::collections::HashMap::new()),
-            next_conn: AtomicU64::new(0),
+            drained: AtomicBool::new(false),
             counters: ServerCounters::default(),
             local_addr,
             queue_depth: config.queue_depth.max(1),
@@ -178,10 +246,13 @@ impl Server {
             },
             max_body: config.max_body,
             read_timeout: config.read_timeout,
+            idle_timeout: config.idle_timeout,
+            max_connections: config.max_connections,
             started: Instant::now(),
         });
         Ok(Self {
             listener,
+            poller,
             service: Arc::new(AuditService::with_limits(config.limits)),
             shared,
         })
@@ -205,194 +276,845 @@ impl Server {
     }
 
     /// Serves until graceful shutdown completes. The calling thread runs
-    /// the accept loop; workers run on scoped threads.
+    /// the reactor; workers run on scoped threads.
     pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
         let shared = &self.shared;
         let service = &self.service;
+        let mut reactor = Reactor {
+            shared,
+            service,
+            listener: Some(self.listener),
+            poller: self.poller,
+            conns: HashMap::new(),
+            next_id: 0,
+            leases_free: shared.workers,
+            waiters: 0,
+            evented: shared.max_connections > 0,
+            shutdown_seen: false,
+            shutdown_at: Instant::now(),
+            accept_backoff_until: None,
+            open: 0,
+        };
         std::thread::scope(|scope| {
             for _ in 0..shared.workers {
                 scope.spawn(move || worker_loop(shared, service));
             }
-            loop {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let stream = match self.listener.accept() {
-                    Ok((stream, _)) => stream,
-                    Err(_) => {
-                        // Persistent accept errors (EMFILE under fd
-                        // exhaustion) would otherwise busy-spin this thread;
-                        // back off briefly so workers can release fds.
-                        std::thread::sleep(Duration::from_millis(50));
-                        continue;
-                    }
-                };
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    // The shutdown poke (or a raced client; it gets EOF).
-                    break;
-                }
-                let _ = stream.set_read_timeout(shared.read_timeout);
-                let _ = stream.set_nodelay(true);
-                enqueue(shared, stream);
-            }
-            // Wake any worker still waiting so it can observe shutdown.
+            reactor.run();
+            shared.drained.store(true, Ordering::SeqCst);
             shared.ready.notify_all();
         });
         Ok(())
     }
 }
 
-/// Locks the connection queue, recovering from poisoning: a queue of
-/// sockets has no invariant a panicked holder can break, and giving up the
-/// lock forever would turn one handler panic into a full-server outage.
-fn lock_queue(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
-    shared
-        .queue
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Where a connection's state machine currently stands.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Parsing request bytes (or idle between keep-alive requests).
+    Reading,
+    /// Lease mode: a complete request is parsed but waiting for a free
+    /// worker lease (the classic bounded queue, without the thread).
+    Pending,
+    /// A request is on the worker pool; response bytes arrive as
+    /// completions.
+    Dispatched,
+    /// Flushing the last bytes, then close.
+    Closing,
 }
 
-/// Queues the connection or rejects it with 503 when the queue is full.
-fn enqueue(shared: &Shared, stream: TcpStream) {
-    let mut queue = lock_queue(shared);
-    if queue.len() >= shared.queue_depth {
-        drop(queue);
-        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-        let mut stream = stream;
+/// Which deadline fired, for the reap counters.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DeadlineKind {
+    Idle,
+    Slow,
+    Grace,
+}
+
+/// One connection owned by the reactor.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Response bytes not yet written; `out_pos` marks the flushed prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    state: ConnState,
+    dead: Arc<AtomicBool>,
+    /// Lease mode: this connection holds one of the `workers` leases.
+    has_lease: bool,
+    /// A synthetic connection that only delivers a 503 (not counted open).
+    is_reject: bool,
+    read_eof: bool,
+    /// When the current request's first byte arrived — the whole-headers
+    /// deadline anchors here, so trickling headers can't evade it.
+    first_byte_at: Option<Instant>,
+    /// Last observed progress (bytes read or written).
+    last_progress: Instant,
+    /// When the connection last went idle between requests.
+    idle_since: Instant,
+    /// An in-flight streamed CSV upload being decoded as bytes arrive.
+    upload: Option<CsvUpload>,
+    /// Lease mode: the parsed request waiting for a lease.
+    pending_job: Option<Job>,
+}
+
+/// Poll-set key for the listener (connection ids count up from zero).
+const LISTENER_KEY: u64 = u64::MAX;
+
+/// The reactor: owns every connection and the listener, multiplexed by one
+/// [`Poller`].
+struct Reactor<'a> {
+    shared: &'a Shared,
+    service: &'a AuditService,
+    listener: Option<TcpListener>,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+    /// Lease mode: worker leases not currently held by a connection.
+    leases_free: usize,
+    /// Lease mode: connections waiting for a lease (the bounded queue).
+    waiters: usize,
+    evented: bool,
+    shutdown_seen: bool,
+    shutdown_at: Instant,
+    accept_backoff_until: Option<Instant>,
+    /// Admitted (non-reject) connections currently open.
+    open: u64,
+}
+
+impl Reactor<'_> {
+    fn run(&mut self) {
+        loop {
+            self.shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.drain_completions();
+            if self.shared.shutdown.load(Ordering::SeqCst) && !self.shutdown_seen {
+                self.enter_shutdown();
+            }
+            if self.shutdown_seen && self.conns.is_empty() {
+                return;
+            }
+
+            let now = Instant::now();
+            let accept_paused = self.accept_backoff_until.is_some_and(|t| now < t);
+            if !accept_paused {
+                self.accept_backoff_until = None;
+            }
+            let mut entries: Vec<(Fd, Interest)> = Vec::with_capacity(self.conns.len() + 1);
+            let mut keys: Vec<u64> = Vec::with_capacity(self.conns.len() + 1);
+            if !accept_paused {
+                if let Some(listener) = &self.listener {
+                    entries.push((fd_of(listener), Interest::READ));
+                    keys.push(LISTENER_KEY);
+                }
+            }
+            let mut wake_at: Option<Instant> = self.accept_backoff_until;
+            for (&id, conn) in &self.conns {
+                entries.push((
+                    fd_of(&conn.stream),
+                    Interest {
+                        readable: conn.state == ConnState::Reading && !conn.read_eof,
+                        writable: conn.out_pos < conn.out.len(),
+                    },
+                ));
+                keys.push(id);
+                if let Some((at, _)) = self.conn_deadline(conn) {
+                    if wake_at.is_none_or(|w| at < w) {
+                        wake_at = Some(at);
+                    }
+                }
+            }
+            let timeout = wake_at.map(|at| at.saturating_duration_since(now));
+            let ready = match self.poller.wait(&entries, timeout) {
+                Ok((ready, _woke)) => ready,
+                Err(_) => {
+                    // A failed poll (resource exhaustion) must not busy-spin.
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+            };
+            for (i, &key) in keys.iter().enumerate() {
+                if !ready[i].any() {
+                    continue;
+                }
+                if key == LISTENER_KEY {
+                    self.do_accept();
+                    continue;
+                }
+                if !self.conns.contains_key(&key) {
+                    continue; // closed earlier this pass
+                }
+                if ready[i].error {
+                    self.close_conn(key);
+                    continue;
+                }
+                if ready[i].writable {
+                    self.flush_conn(key);
+                }
+                if ready[i].readable && self.conns.contains_key(&key) {
+                    self.read_conn(key);
+                }
+            }
+            self.reap_deadlines();
+        }
+    }
+
+    /// Applies every completion the workers queued since the last pass.
+    fn drain_completions(&mut self) {
+        let done = std::mem::take(&mut *lock(&self.shared.completions));
+        for (id, completion) in done {
+            match completion {
+                Completion::Data(bytes) => self.append_output(id, &bytes),
+                Completion::End { keep_alive } => self.finish_request(id, keep_alive),
+            }
+        }
+    }
+
+    /// First observation of the shutdown flag: stop accepting, close idle
+    /// connections, dispatch queued (lease-waiting) requests, and start the
+    /// grace clock for partially-read ones.
+    fn enter_shutdown(&mut self) {
+        self.shutdown_seen = true;
+        self.shutdown_at = Instant::now();
+        self.listener = None;
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue;
+            };
+            match conn.state {
+                ConnState::Pending => {
+                    let job = conn.pending_job.take().expect("pending conn holds a job");
+                    conn.state = ConnState::Dispatched;
+                    self.submit(job);
+                }
+                ConnState::Reading => {
+                    if conn.parser.is_idle() && conn.out_pos >= conn.out.len() {
+                        self.close_conn(id);
+                    }
+                    // Mid-request connections get SHUTDOWN_GRACE (see
+                    // `conn_deadline`) to finish or be cut.
+                }
+                ConnState::Dispatched | ConnState::Closing => {}
+            }
+        }
+    }
+
+    /// The soonest deadline (if any) that should reap this connection.
+    fn conn_deadline(&self, conn: &Conn) -> Option<(Instant, DeadlineKind)> {
+        let mut best: Option<(Instant, DeadlineKind)> = None;
+        let push = |at: Instant, kind: DeadlineKind, best: &mut Option<(Instant, DeadlineKind)>| {
+            if best.is_none_or(|(b, _)| at < b) {
+                *best = Some((at, kind));
+            }
+        };
+        // A response (or a 503) the peer won't read: write-stall deadline.
+        if conn.out_pos < conn.out.len() {
+            if let Some(rt) = self.shared.read_timeout {
+                push(conn.last_progress + rt, DeadlineKind::Slow, &mut best);
+            }
+        }
+        if conn.state == ConnState::Reading {
+            if conn.parser.is_idle() {
+                if conn.out_pos >= conn.out.len() {
+                    if self.evented {
+                        if let Some(it) = self.shared.idle_timeout {
+                            push(conn.idle_since + it, DeadlineKind::Idle, &mut best);
+                        }
+                    } else if conn.has_lease {
+                        // Lease mode mirrors the classic blocking-read
+                        // timeout on an idle keep-alive connection.
+                        if let Some(rt) = self.shared.read_timeout {
+                            push(conn.idle_since + rt, DeadlineKind::Idle, &mut best);
+                        }
+                    }
+                }
+            } else {
+                if let Some(rt) = self.shared.read_timeout {
+                    if conn.parser.head_received() {
+                        // Body: progress-based.
+                        push(conn.last_progress + rt, DeadlineKind::Slow, &mut best);
+                    } else if let Some(first) = conn.first_byte_at {
+                        // Headers: absolute from the first byte, so a
+                        // byte-at-a-time slowloris cannot reset it.
+                        push(first + rt, DeadlineKind::Slow, &mut best);
+                    }
+                }
+                if self.shutdown_seen {
+                    push(
+                        self.shutdown_at + SHUTDOWN_GRACE,
+                        DeadlineKind::Grace,
+                        &mut best,
+                    );
+                }
+            }
+        }
+        if self.shutdown_seen && conn.is_reject {
+            push(
+                self.shutdown_at + SHUTDOWN_GRACE,
+                DeadlineKind::Grace,
+                &mut best,
+            );
+        }
+        best
+    }
+
+    /// Closes every connection whose deadline has passed.
+    fn reap_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<(u64, DeadlineKind)> = self
+            .conns
+            .iter()
+            .filter_map(|(&id, conn)| {
+                self.conn_deadline(conn)
+                    .filter(|&(at, _)| at <= now)
+                    .map(|(_, kind)| (id, kind))
+            })
+            .collect();
+        for (id, kind) in expired {
+            match kind {
+                DeadlineKind::Idle => {
+                    self.shared
+                        .counters
+                        .reaped_idle
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                DeadlineKind::Slow => {
+                    self.shared
+                        .counters
+                        .reaped_slow
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                DeadlineKind::Grace => {}
+            }
+            self.close_conn(id);
+        }
+    }
+
+    /// Accepts until the listener would block.
+    fn do_accept(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.admit(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(_) => {
+                    self.accept_backoff_until = Some(Instant::now() + ACCEPT_BACKOFF);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Admission control: lease mode reproduces the classic queue
+    /// (lease → waiter → 503); evented mode caps open connections.
+    fn admit(&mut self, stream: TcpStream) {
+        let admitted = if self.evented {
+            (self.open as usize) < self.shared.max_connections
+        } else {
+            self.leases_free > 0 || self.waiters < self.shared.queue_depth
+        };
+        if !admitted {
+            self.reject(stream);
+            return;
+        }
+        let has_lease = !self.evented && self.leases_free > 0;
+        if has_lease {
+            self.leases_free -= 1;
+        } else if !self.evented {
+            self.waiters += 1;
+        }
+        let now = Instant::now();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.open += 1;
+        self.shared
+            .counters
+            .open
+            .store(self.open, Ordering::Relaxed);
+        self.shared
+            .counters
+            .peak
+            .fetch_max(self.open, Ordering::Relaxed);
+        self.conns.insert(
+            id,
+            Conn {
+                stream,
+                parser: RequestParser::new(self.shared.max_body),
+                out: Vec::new(),
+                out_pos: 0,
+                state: ConnState::Reading,
+                dead: Arc::new(AtomicBool::new(false)),
+                has_lease,
+                is_reject: false,
+                read_eof: false,
+                first_byte_at: None,
+                last_progress: now,
+                idle_since: now,
+                upload: None,
+                pending_job: None,
+            },
+        );
+    }
+
+    /// Registers a synthetic connection whose only job is to deliver the
+    /// 503 (poll-driven, so a slow rejectee can't stall the reactor).
+    fn reject(&mut self, stream: TcpStream) {
+        self.shared
+            .counters
+            .rejected
+            .fetch_add(1, Ordering::Relaxed);
         let body = Json::object(vec![("error", "server is at capacity".into())]).to_string();
-        let _ = write!(
-            stream,
+        let out = format!(
             "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{body}",
             body.len()
+        )
+        .into_bytes();
+        let now = Instant::now();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.conns.insert(
+            id,
+            Conn {
+                stream,
+                parser: RequestParser::new(0),
+                out,
+                out_pos: 0,
+                state: ConnState::Closing,
+                dead: Arc::new(AtomicBool::new(false)),
+                has_lease: false,
+                is_reject: true,
+                read_eof: false,
+                first_byte_at: None,
+                last_progress: now,
+                idle_since: now,
+                upload: None,
+                pending_job: None,
+            },
         );
-        return;
+        self.flush_conn(id);
     }
-    queue.push_back(stream);
-    shared.ready.notify_one();
+
+    /// Removes a connection, recycling its lease (and granting it to the
+    /// longest-waiting connection) in lease mode.
+    fn close_conn(&mut self, id: u64) {
+        let Some(conn) = self.conns.remove(&id) else {
+            return;
+        };
+        conn.dead.store(true, Ordering::SeqCst);
+        if !conn.is_reject {
+            self.open -= 1;
+            self.shared
+                .counters
+                .open
+                .store(self.open, Ordering::Relaxed);
+            if conn.has_lease {
+                self.leases_free += 1;
+            } else if !self.evented {
+                self.waiters -= 1;
+            }
+            if !self.evented && !self.shutdown_seen {
+                self.grant_leases();
+            }
+        }
+    }
+
+    /// Hands freed leases to waiting connections in arrival order.
+    fn grant_leases(&mut self) {
+        while self.leases_free > 0 {
+            let Some(id) = self
+                .conns
+                .iter()
+                .filter(|(_, c)| !c.has_lease && !c.is_reject)
+                .map(|(&id, _)| id)
+                .min()
+            else {
+                return;
+            };
+            let conn = self.conns.get_mut(&id).expect("waiter id just found");
+            conn.has_lease = true;
+            conn.idle_since = Instant::now();
+            self.leases_free -= 1;
+            self.waiters -= 1;
+            if conn.state == ConnState::Pending {
+                let job = conn.pending_job.take().expect("pending conn holds a job");
+                conn.state = ConnState::Dispatched;
+                self.submit(job);
+            }
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        lock(&self.shared.jobs).push_back(job);
+        self.shared.ready.notify_one();
+    }
+
+    /// One nonblocking read; level-triggered polling re-reports leftover
+    /// kernel bytes, so a single chunk per pass keeps the loop fair.
+    fn read_conn(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if conn.state != ConnState::Reading || conn.read_eof {
+            return;
+        }
+        let mut buf = [0u8; READ_CHUNK];
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.read_eof = true;
+                if conn.parser.is_idle() {
+                    if conn.out_pos >= conn.out.len() {
+                        self.close_conn(id);
+                    } else {
+                        // Finish flushing the previous response, then close.
+                        conn.state = ConnState::Closing;
+                    }
+                } else {
+                    // EOF mid-request: it can never complete.
+                    self.close_conn(id);
+                }
+            }
+            Ok(n) => {
+                let now = Instant::now();
+                if conn.parser.is_idle() {
+                    conn.first_byte_at = Some(now);
+                }
+                conn.last_progress = now;
+                conn.parser.push(&buf[..n]);
+                self.advance_parser(id);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => self.close_conn(id),
+        }
+    }
+
+    /// Drives the request parser after new bytes (or after a response, for
+    /// pipelined requests), dispatching at most one request.
+    fn advance_parser(&mut self, id: u64) {
+        enum Outcome {
+            Wait,
+            Dispatch(Box<Job>),
+            Respond(u16, String),
+            Close,
+        }
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if conn.state != ConnState::Reading {
+            return;
+        }
+        let outcome = match conn.parser.advance() {
+            Ok(Some(mut request)) => {
+                conn.first_byte_at = None;
+                let mut upload = conn.upload.take();
+                if let Some(u) = upload.as_mut() {
+                    // Residual decoded bytes from the completing advance.
+                    let tail = conn.parser.take_body();
+                    u.push(&tail);
+                } else if is_csv_upload(&request) {
+                    // Small upload that arrived fully buffered: route it
+                    // through the same incremental path for one code path.
+                    let mut u = CsvUpload::new(&request.path);
+                    u.push(&request.body);
+                    request.body = Vec::new();
+                    upload = Some(u);
+                }
+                if let Some(u) = upload.as_mut() {
+                    u.finish();
+                }
+                self.shared
+                    .counters
+                    .requests
+                    .fetch_add(1, Ordering::Relaxed);
+                Outcome::Dispatch(Box::new(Job {
+                    conn: id,
+                    request,
+                    dead: Arc::clone(&conn.dead),
+                    upload,
+                }))
+            }
+            Ok(None) => {
+                if conn.upload.is_none() {
+                    if let Some(head) = conn.parser.head() {
+                        if is_csv_upload(head) {
+                            let upload = CsvUpload::new(&head.path);
+                            conn.parser.stream_body();
+                            conn.upload = Some(upload);
+                        }
+                    }
+                }
+                if let Some(u) = conn.upload.as_mut() {
+                    let bytes = conn.parser.take_body();
+                    if !bytes.is_empty() {
+                        u.push(&bytes);
+                    }
+                }
+                Outcome::Wait
+            }
+            Err(HttpError::TooLarge { declared, limit }) => Outcome::Respond(
+                413,
+                format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+            ),
+            Err(HttpError::Malformed(message)) => Outcome::Respond(400, message),
+            Err(HttpError::Io(_)) => Outcome::Close,
+        };
+        match outcome {
+            Outcome::Wait => {}
+            Outcome::Dispatch(job) => {
+                let conn = self.conns.get_mut(&id).expect("conn parsed a request");
+                if self.evented || conn.has_lease || self.shutdown_seen {
+                    conn.state = ConnState::Dispatched;
+                    self.submit(*job);
+                } else {
+                    conn.state = ConnState::Pending;
+                    conn.pending_job = Some(*job);
+                }
+            }
+            Outcome::Respond(status, message) => {
+                // HTTP-level errors are answered by the reactor itself — no
+                // worker (or lease) needed — and close the connection.
+                self.service.count_bad_request();
+                let body = Json::object(vec![("error", message.into())]);
+                let mut bytes = Vec::new();
+                let _ = write_json(&mut bytes, status, &body, false);
+                let conn = self.conns.get_mut(&id).expect("conn hit a parse error");
+                if conn.out_pos > 0 {
+                    conn.out.drain(..conn.out_pos);
+                    conn.out_pos = 0;
+                }
+                conn.out.extend_from_slice(&bytes);
+                conn.state = ConnState::Closing;
+                self.flush_conn(id);
+            }
+            Outcome::Close => self.close_conn(id),
+        }
+    }
+
+    /// Appends worker-produced response bytes and flushes opportunistically.
+    fn append_output(&mut self, id: u64, bytes: &[u8]) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if conn.out_pos > 0 {
+            conn.out.drain(..conn.out_pos);
+            conn.out_pos = 0;
+        }
+        conn.out.extend_from_slice(bytes);
+        if conn.out.len() > MAX_PENDING_OUT {
+            // The peer has stopped reading a response this large; cut it
+            // off rather than buffering without bound.
+            self.shared
+                .counters
+                .reaped_slow
+                .fetch_add(1, Ordering::Relaxed);
+            self.close_conn(id);
+            return;
+        }
+        self.flush_conn(id);
+    }
+
+    /// A worker finished one request: back to keep-alive reading (serving
+    /// any pipelined request already buffered) or flush-and-close.
+    fn finish_request(&mut self, id: u64, keep_alive: bool) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let keep = keep_alive
+            && !self.shutdown_seen
+            && !conn.read_eof
+            && !conn.dead.load(Ordering::Relaxed);
+        if keep {
+            let now = Instant::now();
+            conn.state = ConnState::Reading;
+            conn.idle_since = now;
+            conn.last_progress = now;
+            self.flush_conn(id);
+            if self.conns.contains_key(&id) {
+                self.advance_parser(id);
+            }
+        } else {
+            conn.state = ConnState::Closing;
+            self.flush_conn(id);
+        }
+    }
+
+    /// Writes as much pending output as the socket accepts; closes the
+    /// connection when a `Closing` state finishes flushing.
+    fn flush_conn(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let mut failed = false;
+        while conn.out_pos < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    failed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_progress = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            self.close_conn(id);
+            return;
+        }
+        let conn = self.conns.get_mut(&id).expect("conn still open");
+        if conn.out_pos >= conn.out.len() {
+            conn.out.clear();
+            conn.out_pos = 0;
+            if conn.state == ConnState::Closing {
+                self.close_conn(id);
+            }
+        }
+    }
 }
 
-/// Pops connections until shutdown is requested **and** the queue is
-/// drained (graceful: queued clients are served, not dropped).
+/// Pops jobs until the reactor has drained and no work remains.
 fn worker_loop(shared: &Shared, service: &AuditService) {
     loop {
-        let stream = {
-            let mut queue = lock_queue(shared);
+        let job = {
+            let mut jobs = lock(&shared.jobs);
             loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
                 }
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if shared.drained.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared
+                jobs = shared
                     .ready
-                    .wait(queue)
+                    .wait(jobs)
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        match stream {
-            Some(stream) => {
-                // Panic isolation: a bug (or thread-spawn failure) while
-                // serving one connection must not take the worker — let
-                // alone the pool — down with it.
-                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_connection(shared, service, stream)
-                }));
-                if caught.is_err() {
-                    eprintln!("wcbk-serve: connection handler panicked; connection dropped");
-                }
-            }
-            None => return,
+        let Some(job) = job else { return };
+        let conn = job.conn;
+        // Panic isolation: a bug while serving one request must not take
+        // the worker — let alone the pool — down with it. The reactor is
+        // told the request ended so the connection is closed, not leaked.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_job(shared, service, job)
+        }));
+        if caught.is_err() {
+            eprintln!("wcbk-serve: request handler panicked; connection dropped");
+            push_completion(shared, conn, Completion::End { keep_alive: false });
+            shared.waker.wake();
         }
     }
 }
 
-/// Removes a connection from the shutdown registry when serving ends.
-struct ConnGuard<'a> {
-    shared: &'a Shared,
-    id: u64,
-}
-
-impl Drop for ConnGuard<'_> {
-    fn drop(&mut self) {
-        self.shared
-            .conns
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .remove(&self.id);
-    }
-}
-
-/// Serves one persistent connection: requests in sequence until the peer
-/// closes, asks to close, errors, or shutdown begins.
-fn handle_connection(shared: &Shared, service: &AuditService, stream: TcpStream) {
-    let Ok(reader_half) = stream.try_clone() else {
-        return;
+/// Runs one request on a worker thread, rendering the response through a
+/// [`ConnWriter`] back to the reactor.
+fn serve_job(shared: &Shared, service: &AuditService, job: Job) {
+    let Job {
+        conn,
+        request,
+        dead,
+        upload,
+    } = job;
+    let shutdown_after = request.method == "POST" && request.path == "/shutdown";
+    let keep_alive =
+        request.keep_alive() && !shutdown_after && !shared.shutdown.load(Ordering::SeqCst);
+    let mut writer = ConnWriter {
+        shared,
+        conn,
+        dead: &dead,
+        buf: Vec::new(),
     };
-    let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-    if let Ok(registered) = stream.try_clone() {
-        shared
-            .conns
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(id, registered);
+    let result = match upload {
+        Some(upload) => {
+            let (status, body) = match service.register_upload(upload) {
+                Ok(out) => (200, out),
+                Err(e) => bad_request(service, e),
+            };
+            write_json(&mut writer, status, &body, keep_alive)
+        }
+        None => respond(shared, service, &mut writer, &request, keep_alive),
+    };
+    let flushed = writer.flush().is_ok();
+    push_completion(
+        shared,
+        conn,
+        Completion::End {
+            keep_alive: keep_alive && result.is_ok() && flushed,
+        },
+    );
+    shared.waker.wake();
+    if shutdown_after {
+        shared.begin_shutdown();
     }
-    let _guard = ConnGuard { shared, id };
-    if shared.shutdown.load(Ordering::SeqCst) {
-        // Dequeued during the drain: the begin_shutdown read-half sweep ran
-        // before this registration, so bound the read ourselves — a silent
-        // queued peer must not stall shutdown (notably with no configured
-        // read timeout). Buffered request bytes still get served.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+}
+
+/// Whether a request head is a wire CSV upload (`POST /tables` with a
+/// `text/csv` body; parameters ride in the query string). JSON-body
+/// registration is untouched.
+fn is_csv_upload(head: &Request) -> bool {
+    head.method == "POST"
+        && (head.path == "/tables" || head.path.starts_with("/tables?"))
+        && head
+            .header("content-type")
+            .is_some_and(|ct| ct.to_ascii_lowercase().contains("text/csv"))
+}
+
+/// A worker's response sink: buffers locally, handing finished byte runs to
+/// the reactor as [`Completion::Data`]. Never blocks; reports the peer
+/// dead (broken pipe) so streamed batches cancel instead of computing for
+/// nobody.
+struct ConnWriter<'a> {
+    shared: &'a Shared,
+    conn: u64,
+    dead: &'a AtomicBool,
+    buf: Vec<u8>,
+}
+
+impl Write for ConnWriter<'_> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(std::io::ErrorKind::BrokenPipe.into());
+        }
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= FLUSH_THRESHOLD {
+            self.flush()?;
+        }
+        Ok(data.len())
     }
-    let mut reader = BufReader::new(reader_half);
-    let mut writer = stream;
-    loop {
-        let request = match read_request(&mut reader, shared.max_body) {
-            Ok(Some(request)) => request,
-            Ok(None) => return,
-            Err(HttpError::Io(_)) => return, // peer gone or read timeout
-            Err(HttpError::TooLarge { declared, limit }) => {
-                service.count_bad_request();
-                let body = Json::object(vec![(
-                    "error",
-                    format!("body of {declared} bytes exceeds the {limit}-byte limit").into(),
-                )]);
-                let _ = write_json(&mut writer, 413, &body, false);
-                return;
-            }
-            Err(HttpError::Malformed(message)) => {
-                service.count_bad_request();
-                let body = Json::object(vec![("error", message.into())]);
-                let _ = write_json(&mut writer, 400, &body, false);
-                return;
-            }
-        };
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let shutdown_after = matches!(
-            (request.method.as_str(), request.path.as_str()),
-            ("POST", "/shutdown")
-        );
-        // During shutdown, finish this request but close the connection.
-        let keep_alive =
-            request.keep_alive() && !shutdown_after && !shared.shutdown.load(Ordering::SeqCst);
-        if respond(shared, service, &mut writer, &request, keep_alive).is_err() {
-            return;
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(std::io::ErrorKind::BrokenPipe.into());
         }
-        if shutdown_after {
-            shared.begin_shutdown();
+        if !self.buf.is_empty() {
+            let bytes = std::mem::take(&mut self.buf);
+            push_completion(self.shared, self.conn, Completion::Data(bytes));
+            self.shared.waker.wake();
         }
-        if !keep_alive || shutdown_after {
-            return;
-        }
+        Ok(())
     }
 }
 
 /// Routes one request and writes its response.
-fn respond(
+fn respond<W: Write>(
     shared: &Shared,
     service: &AuditService,
-    writer: &mut TcpStream,
+    writer: &mut W,
     request: &Request,
     keep_alive: bool,
 ) -> std::io::Result<()> {
@@ -414,20 +1136,21 @@ fn respond(
         ),
         ("GET", "/stats") => {
             let mut sections = service.stats();
+            let c = &shared.counters;
             sections.push((
                 "server",
                 Json::object(vec![
-                    (
-                        "requests",
-                        shared.counters.requests.load(Ordering::Relaxed).into(),
-                    ),
-                    (
-                        "rejected_503",
-                        shared.counters.rejected.load(Ordering::Relaxed).into(),
-                    ),
+                    ("requests", c.requests.load(Ordering::Relaxed).into()),
+                    ("rejected_503", c.rejected.load(Ordering::Relaxed).into()),
                     ("workers", shared.workers.into()),
                     ("queue_depth", shared.queue_depth.into()),
                     ("batch_threads", shared.batch_threads.into()),
+                    ("max_connections", shared.max_connections.into()),
+                    ("open_connections", c.open.load(Ordering::Relaxed).into()),
+                    ("peak_connections", c.peak.load(Ordering::Relaxed).into()),
+                    ("reaped_idle", c.reaped_idle.load(Ordering::Relaxed).into()),
+                    ("reaped_slow", c.reaped_slow.load(Ordering::Relaxed).into()),
+                    ("reactor_wakeups", c.wakeups.load(Ordering::Relaxed).into()),
                     (
                         "uptime_ms",
                         (shared.started.elapsed().as_millis() as u64).into(),
@@ -595,10 +1318,10 @@ fn batch_threads(shared: &Shared, b: &Json) -> Result<usize, ServeError> {
 
 /// `POST /batch`: validate, then stream one NDJSON line per table as the
 /// work-stealing scheduler completes them, and a final summary line.
-fn handle_batch(
+fn handle_batch<W: Write>(
     shared: &Shared,
     service: &AuditService,
-    writer: &mut TcpStream,
+    writer: &mut W,
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
@@ -621,10 +1344,10 @@ fn handle_batch(
 /// `POST /tables/{id}/batch`: many (c,k)/config jobs fanned over the
 /// scheduler against **one registered evaluator** — no CSV parsing, no
 /// table scan, just memo-served histograms and cached MINIMIZE1 tables.
-fn handle_session_batch(
+fn handle_session_batch<W: Write>(
     shared: &Shared,
     service: &AuditService,
-    writer: &mut TcpStream,
+    writer: &mut W,
     id: &str,
     body: &[u8],
     keep_alive: bool,
@@ -649,15 +1372,17 @@ fn handle_session_batch(
 
 /// The shared batch streamer: fan `n` jobs over the work-stealing scheduler
 /// and chunk one NDJSON line per completed job (in completion order) plus a
-/// summary line.
-fn stream_jobs<F>(
-    writer: &mut TcpStream,
+/// summary line. Each chunk flushes through the writer, so on the evented
+/// server every line reaches the reactor (and the client) as it completes.
+fn stream_jobs<W, F>(
+    writer: &mut W,
     keep_alive: bool,
     threads: usize,
     n: usize,
     run: F,
 ) -> std::io::Result<()>
 where
+    W: Write,
     F: Fn(usize) -> Json + Sync,
 {
     let mut out = ChunkedWriter::new(&mut *writer, 200, "application/x-ndjson", keep_alive)?;

@@ -35,6 +35,7 @@ use wcbk_anonymize::{
 };
 use wcbk_core::EngineRegistry;
 use wcbk_hierarchy::{GenNode, GeneralizationLattice, Hierarchy, RollupStats};
+use wcbk_table::csv::RecordSplitter;
 use wcbk_table::{Attribute, AttributeKind, ChunkedTableBuilder, Schema, Table};
 
 use crate::json::Json;
@@ -276,10 +277,22 @@ impl AuditService {
         request: &Json,
     ) -> Result<(DatasetSession, Vec<String>, String), ServeError> {
         let table = table_from_request(request)?;
+        self.session_from_table(table, request)
+    }
+
+    /// Builds a session from an already-constructed table plus the request
+    /// parameters (qi, hierarchies, memo/scan knobs) — the tail of
+    /// [`build_session`](Self::build_session), shared with the streamed
+    /// wire-CSV upload path so both produce identical sessions.
+    fn session_from_table(
+        &self,
+        table: Table,
+        request: &Json,
+    ) -> Result<(DatasetSession, Vec<String>, String), ServeError> {
         let sensitive = request
             .get("sensitive")
             .and_then(Json::as_str)
-            .expect("table_from_request validated \"sensitive\"")
+            .ok_or_else(|| bad("missing \"sensitive\" column name"))?
             .to_owned();
         let qi_names = string_list(request, "qi")?;
         let lattice = build_lattice(&table, &qi_names, request)?;
@@ -308,6 +321,36 @@ impl AuditService {
     /// the existing handle (`"created": false`) without rebuilding.
     pub fn register_table(&self, request: &Json) -> Result<Json, ServeError> {
         let (session, qi, sensitive) = self.build_session(request)?;
+        self.register_session(session, qi, sensitive)
+    }
+
+    /// Finalizes a wire-streamed CSV upload ([`CsvUpload`]): builds the
+    /// table the upload decoded incrementally off the socket, then
+    /// registers it exactly as `POST /tables` with a JSON body would — the
+    /// handle is the content fingerprint, so a chunked upload of the same
+    /// data resolves to the **same id** as a buffered registration.
+    pub fn register_upload(&self, upload: CsvUpload) -> Result<Json, ServeError> {
+        let params = upload.params;
+        let builder = match upload.state {
+            UploadState::Failed(e) => return Err(e),
+            UploadState::AwaitingHeader => return Err(bad("csv is empty")),
+            UploadState::Building { builder } => builder,
+        };
+        let table = builder.build();
+        if table.n_rows() == 0 {
+            return Err(bad("table has no rows"));
+        }
+        let (session, qi, sensitive) = self.session_from_table(table, &params)?;
+        self.register_session(session, qi, sensitive)
+    }
+
+    /// Stores a built session and renders the registration response.
+    fn register_session(
+        &self,
+        session: DatasetSession,
+        qi: Vec<String>,
+        sensitive: String,
+    ) -> Result<Json, ServeError> {
         let weight = session
             .rollup_stats()
             .map(|s| s.bottom_groups as u64)
@@ -1073,6 +1116,225 @@ pub fn table_from_request(request: &Json) -> Result<Table, ServeError> {
         return Err(bad("table has no rows"));
     }
     Ok(table)
+}
+
+/// Where a [`CsvUpload`] stands as body bytes stream in.
+enum UploadState {
+    /// No complete record yet — the header row names the columns.
+    AwaitingHeader,
+    /// Header consumed; data records dictionary-encode as they complete.
+    Building { builder: ChunkedTableBuilder },
+    /// Something was invalid (parameters, CSV syntax, a short row); the
+    /// error is held until [`AuditService::register_upload`] reports it, so
+    /// the connection can keep draining the body cheaply.
+    Failed(ServeError),
+}
+
+/// An incremental wire-CSV registration: `POST /tables` with a `text/csv`
+/// body (parameters in the query string: `sensitive=…`, `qi=A,B`,
+/// repeatable `hierarchy=COL:W1,W2`, `memo_cap=…`, `scan_threads=…`).
+///
+/// The reactor [`push`](Self::push)es raw body bytes as they arrive off
+/// the socket; records split and dictionary-encode immediately
+/// ([`RecordSplitter`] + [`ChunkedTableBuilder`]), so the upload never
+/// materializes the request body — the peak transient is one record. The
+/// resulting table is bit-identical to the buffered JSON `"csv"` path
+/// (same trimming, same builder), so both roads produce the same
+/// content-fingerprint handle.
+pub struct CsvUpload {
+    /// Query-string parameters lifted into the same JSON shape the body
+    /// path uses, so the session-building tail is literally shared code.
+    params: Json,
+    splitter: RecordSplitter,
+    state: UploadState,
+}
+
+impl CsvUpload {
+    /// Starts an upload for a request target like
+    /// `/tables?sensitive=Disease&qi=Age,Sex`. Never fails: bad parameters
+    /// park the upload in `Failed` and surface as the 400 when finalized.
+    pub fn new(target: &str) -> CsvUpload {
+        let query = target.split_once('?').map_or("", |(_, q)| q);
+        let (params, state) = match upload_params(query) {
+            Ok(params) => (params, UploadState::AwaitingHeader),
+            Err(e) => (Json::Null, UploadState::Failed(e)),
+        };
+        CsvUpload {
+            params,
+            splitter: RecordSplitter::new(),
+            state,
+        }
+    }
+
+    /// Feeds decoded body bytes, consuming every record they complete.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if matches!(self.state, UploadState::Failed(_)) {
+            return;
+        }
+        self.splitter.push(bytes);
+        loop {
+            match self.splitter.next_record() {
+                Ok(Some(record)) => self.consume(record),
+                Ok(None) => return,
+                Err(e) => {
+                    self.state = UploadState::Failed(bad(format!("csv: {e}")));
+                    return;
+                }
+            }
+            if matches!(self.state, UploadState::Failed(_)) {
+                return;
+            }
+        }
+    }
+
+    /// Marks end-of-body, consuming a trailing unterminated record.
+    pub fn finish(&mut self) {
+        if matches!(self.state, UploadState::Failed(_)) {
+            return;
+        }
+        match self.splitter.finish() {
+            Ok(Some(record)) => self.consume(record),
+            Ok(None) => {}
+            Err(e) => self.state = UploadState::Failed(bad(format!("csv: {e}"))),
+        }
+    }
+
+    /// Applies one parsed record: the first names the columns, the rest
+    /// are rows — with the exact trimming the buffered path applies.
+    fn consume(&mut self, record: Vec<String>) {
+        match &mut self.state {
+            UploadState::AwaitingHeader => {
+                let names: Vec<String> = record.iter().map(|s| s.trim().to_owned()).collect();
+                let built = (|| {
+                    let sensitive = self
+                        .params
+                        .get("sensitive")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("missing \"sensitive\" column name"))?;
+                    let qi = string_list(&self.params, "qi")?;
+                    let schema = schema_from_names(&names, sensitive, &qi)?;
+                    Ok(ChunkedTableBuilder::new(schema))
+                })();
+                self.state = match built {
+                    Ok(builder) => UploadState::Building { builder },
+                    Err(e) => UploadState::Failed(e),
+                };
+            }
+            UploadState::Building { builder } => {
+                let trimmed: Vec<&str> = record.iter().map(|s| s.trim()).collect();
+                if let Err(e) = builder.push_row(&trimmed) {
+                    self.state = UploadState::Failed(bad(e.to_string()));
+                }
+            }
+            UploadState::Failed(_) => {}
+        }
+    }
+}
+
+/// Parses an upload query string into the JSON parameter shape
+/// `POST /tables` bodies use (`sensitive`, `qi`, `hierarchy`, `memo_cap`,
+/// `scan_threads`), with `%XX`/`+` decoding. Unknown keys are rejected —
+/// a typo silently ignored here would mis-register a dataset.
+fn upload_params(query: &str) -> Result<Json, ServeError> {
+    let mut sensitive: Option<String> = None;
+    let mut qi: Vec<Json> = Vec::new();
+    let mut hierarchy: Vec<(String, Json)> = Vec::new();
+    let mut memo_cap: Option<u64> = None;
+    let mut scan_threads: Option<u64> = None;
+    for pair in query.split('&').filter(|s| !s.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        let key = percent_decode(key);
+        let value = percent_decode(value);
+        match key.as_str() {
+            "sensitive" => sensitive = Some(value),
+            "qi" => qi.extend(value.split(',').filter(|s| !s.is_empty()).map(Json::from)),
+            "hierarchy" => {
+                let (col, widths) = value
+                    .split_once(':')
+                    .ok_or_else(|| bad(format!("hierarchy {value:?}: expected COL:W1,W2,…")))?;
+                let widths = widths
+                    .split(',')
+                    .map(|w| {
+                        w.trim()
+                            .parse::<u64>()
+                            .map(Json::from)
+                            .map_err(|_| bad(format!("hierarchy {col:?}: bad width")))
+                    })
+                    .collect::<Result<Vec<Json>, ServeError>>()?;
+                hierarchy.push((col.to_owned(), Json::Array(widths)));
+            }
+            "memo_cap" | "memo-cap" => {
+                memo_cap = Some(
+                    value
+                        .parse()
+                        .map_err(|_| bad("\"memo_cap\" must be a non-negative integer"))?,
+                );
+            }
+            "scan_threads" => {
+                scan_threads = Some(
+                    value
+                        .parse()
+                        .map_err(|_| bad("\"scan_threads\" must be a non-negative integer"))?,
+                );
+            }
+            other => return Err(bad(format!("unknown query parameter {other:?}"))),
+        }
+    }
+    let mut params: Vec<(String, Json)> = Vec::new();
+    if let Some(s) = sensitive {
+        params.push(("sensitive".to_owned(), s.into()));
+    }
+    params.push(("qi".to_owned(), Json::Array(qi)));
+    if !hierarchy.is_empty() {
+        params.push(("hierarchy".to_owned(), Json::Object(hierarchy)));
+    }
+    if let Some(n) = memo_cap {
+        params.push(("memo_cap".to_owned(), n.into()));
+    }
+    if let Some(n) = scan_threads {
+        params.push(("scan_threads".to_owned(), n.into()));
+    }
+    Ok(Json::Object(params))
+}
+
+/// Decodes `%XX` escapes and `+`-for-space in a query component. Invalid
+/// escapes pass through literally; non-UTF-8 decodes lossily (the value
+/// will then simply fail to match a column name).
+fn percent_decode(s: &str) -> String {
+    let raw = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(raw.len());
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = raw.get(i + 1..i + 3);
+                let decoded = hex.and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match decoded {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 #[cfg(test)]

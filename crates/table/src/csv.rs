@@ -79,6 +79,106 @@ impl<R: BufRead> CsvReader<R> {
     }
 }
 
+/// Push-based record splitter for CSV arriving in arbitrary byte slices
+/// (e.g. decoded HTTP chunks), with the exact record semantics of
+/// [`CsvReader`]: records may span physical lines inside quoted fields,
+/// blank lines are skipped, and a trailing line without a newline is still
+/// a record at [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct RecordSplitter {
+    delimiter: u8,
+    buf: Vec<u8>,
+    pos: usize,
+    /// Physical lines of the record being assembled (quoted newlines).
+    pending: Vec<u8>,
+    line: usize,
+}
+
+impl Default for RecordSplitter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RecordSplitter {
+    /// Creates a comma-separated splitter.
+    pub fn new() -> Self {
+        Self {
+            delimiter: b',',
+            buf: Vec::new(),
+            pos: 0,
+            pending: Vec::new(),
+            line: 0,
+        }
+    }
+
+    /// One-based line number of the last physical line consumed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Appends raw input bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete record, or `Ok(None)` when more input is
+    /// needed — call again after [`push`](Self::push), or call
+    /// [`finish`](Self::finish) at end of input.
+    pub fn next_record(&mut self) -> Result<Option<Vec<String>>, TableError> {
+        loop {
+            let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') else {
+                return Ok(None);
+            };
+            self.pending
+                .extend_from_slice(&self.buf[self.pos..self.pos + nl + 1]);
+            self.pos += nl + 1;
+            self.line += 1;
+            // Keep pulling physical lines while inside an open quote — the
+            // same rule CsvReader applies when a quoted field spans lines.
+            if has_open_quote(&self.pending) {
+                continue;
+            }
+            let mut record = std::mem::take(&mut self.pending);
+            trim_trailing_newline(&mut record);
+            if record.is_empty() {
+                continue; // skip blank line
+            }
+            return parse_record(&record, self.delimiter, self.line).map(Some);
+        }
+    }
+
+    /// Ends the input: a trailing line without a newline is still a record;
+    /// ending inside an open quote is the same error [`CsvReader`] reports
+    /// at EOF.
+    pub fn finish(&mut self) -> Result<Option<Vec<String>>, TableError> {
+        if self.pos < self.buf.len() {
+            self.pending.extend_from_slice(&self.buf[self.pos..]);
+            self.pos = self.buf.len();
+            self.line += 1;
+        }
+        let mut record = std::mem::take(&mut self.pending);
+        if record.is_empty() {
+            return Ok(None);
+        }
+        if has_open_quote(&record) {
+            return Err(TableError::Csv {
+                line: self.line,
+                message: "unterminated quoted field at end of input".into(),
+            });
+        }
+        trim_trailing_newline(&mut record);
+        if record.is_empty() {
+            return Ok(None);
+        }
+        parse_record(&record, self.delimiter, self.line).map(Some)
+    }
+}
+
 fn trim_trailing_newline(buf: &mut Vec<u8>) {
     if buf.last() == Some(&b'\n') {
         buf.pop();
@@ -384,6 +484,58 @@ mod tests {
         .unwrap();
         let err = read_table("Wrong,Disease\n1,Flu\n".as_bytes(), schema, true).unwrap_err();
         assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    /// Runs the splitter over `input` delivered in `step`-byte slices.
+    fn split_str(input: &str, step: usize) -> Result<Vec<Vec<String>>, TableError> {
+        let mut splitter = RecordSplitter::new();
+        let mut out = Vec::new();
+        for piece in input.as_bytes().chunks(step.max(1)) {
+            splitter.push(piece);
+            while let Some(rec) = splitter.next_record()? {
+                out.push(rec);
+            }
+        }
+        if let Some(rec) = splitter.finish()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn record_splitter_matches_csv_reader_at_any_chunking() {
+        let inputs = [
+            "a,b,c\n1,2,3\n",
+            "a,b\r\n\r\nc,d\r\n",
+            "\"a,b\",\"say \"\"hi\"\"\"\n",
+            "\"line1\nline2\",x\nnext,row\n",
+            "trailing,no_newline",
+            "a,\n,\n",
+            "\n\n\nonly,after,blanks\n",
+        ];
+        for input in inputs {
+            let expected = CsvReader::new(input.as_bytes()).read_all().unwrap();
+            for step in 1..=input.len() {
+                assert_eq!(
+                    split_str(input, step).unwrap(),
+                    expected,
+                    "input {input:?} at step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn record_splitter_errors_match_csv_reader() {
+        for input in ["\"abc\n", "\"abc\"x,y\n", "\"open quote, no end"] {
+            let expected = CsvReader::new(input.as_bytes()).read_all();
+            let got = split_str(input, 1);
+            assert_eq!(
+                expected.is_err(),
+                got.is_err(),
+                "input {input:?}: reader {expected:?} vs splitter {got:?}"
+            );
+        }
     }
 
     #[test]

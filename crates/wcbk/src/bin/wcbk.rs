@@ -8,6 +8,7 @@
 //! wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
 //! wcbk generate-adult [--rows N] [--seed N] [--out FILE]
 //! wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!            [--max-connections N] [--idle-timeout-ms N]
 //!            [--engine-cache-cap N] [--engine-budget N] [--session-budget N]
 //! wcbk table add <csv> --addr HOST:PORT --sensitive COL [--qi ...] [--hierarchy ...] [--memo-cap N]
 //! wcbk table audit|search <id> --addr HOST:PORT [--k N] [--c F] [--threads N] [--schedule s]
@@ -89,6 +90,7 @@ const USAGE: &str = "usage:
   wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
   wcbk generate-adult [--rows N] [--seed N] [--out FILE]
   wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+             [--max-connections N] [--idle-timeout-ms N]
              [--engine-cache-cap N] [--engine-budget N] [--session-budget N]
   wcbk table add <csv> --addr HOST:PORT --sensitive COL [--qi COL[,COL...]]
              [--hierarchy COL:W1,W2,...]... [--memo-cap N] [--no-header]
@@ -133,6 +135,12 @@ struct Options {
     workers: Option<usize>,
     /// `serve`: queued-connection bound before 503s.
     queue_depth: Option<usize>,
+    /// `serve`: evented connection cap (`0`/absent = classic worker-lease
+    /// admission; `N` = up to N concurrent connections, 503 past that).
+    max_connections: Option<usize>,
+    /// `serve`: idle keep-alive reap deadline in milliseconds (evented
+    /// mode; `0` = never reap idle connections).
+    idle_timeout_ms: Option<u64>,
     /// `serve`: per-engine MINIMIZE1 cache budget (groups).
     engine_cache_cap: Option<u64>,
     /// `serve`: total engine-registry budget (groups across engines).
@@ -252,6 +260,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     need_value("--queue-depth", &mut it)?
                         .parse()
                         .map_err(|e| format!("--queue-depth: {e}"))?,
+                )
+            }
+            "--max-connections" => {
+                opts.max_connections = Some(
+                    need_value("--max-connections", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--max-connections: {e}"))?,
+                )
+            }
+            "--idle-timeout-ms" => {
+                opts.idle_timeout_ms = Some(
+                    need_value("--idle-timeout-ms", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--idle-timeout-ms: {e}"))?,
                 )
             }
             "--engine-cache-cap" => {
@@ -551,6 +573,12 @@ fn serve_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
             .unwrap_or_else(|| "127.0.0.1:8080".to_owned()),
         workers: opts.workers.unwrap_or(0),
         queue_depth: opts.queue_depth.unwrap_or(64),
+        max_connections: opts.max_connections.unwrap_or(0),
+        idle_timeout: match opts.idle_timeout_ms {
+            None => wcbk::serve::ServerConfig::default().idle_timeout,
+            Some(0) => None,
+            Some(ms) => Some(std::time::Duration::from_millis(ms)),
+        },
         limits: ServiceLimits {
             engine_cache_cap: opts.engine_cache_cap,
             engine_budget: opts.engine_budget,
@@ -901,13 +929,21 @@ mod tests {
             "2",
             "--queue-depth",
             "8",
+            "--max-connections",
+            "256",
+            "--idle-timeout-ms",
+            "30000",
         ]))
         .unwrap();
         assert_eq!(o.addr.as_deref(), Some("127.0.0.1:0"));
         assert_eq!(o.workers, Some(2));
         assert_eq!(o.queue_depth, Some(8));
+        assert_eq!(o.max_connections, Some(256));
+        assert_eq!(o.idle_timeout_ms, Some(30_000));
         assert!(parse_args(&s(&["serve", "--workers", "many"])).is_err());
         assert!(parse_args(&s(&["serve", "--queue-depth"])).is_err());
+        assert!(parse_args(&s(&["serve", "--max-connections", "lots"])).is_err());
+        assert!(parse_args(&s(&["serve", "--idle-timeout-ms"])).is_err());
     }
 
     #[test]
