@@ -229,6 +229,18 @@ impl DatasetSession {
         &self.lattice
     }
 
+    /// The memo budget fixed at construction (`None` = unbounded). A
+    /// durable catalog persists this so a rehydrated session is rebuilt
+    /// with the same options it was registered with.
+    pub fn memo_capacity(&self) -> Option<usize> {
+        self.memo_capacity
+    }
+
+    /// The scan thread count fixed at construction (0 = sequential).
+    pub fn scan_threads(&self) -> usize {
+        self.scan_threads
+    }
+
     /// Whether the roll-up pipeline is active (`false`: the packed
     /// signature overflowed and searches re-scan per node). Forces the
     /// evaluator build.
@@ -373,6 +385,19 @@ impl DatasetSession {
             buckets,
             total_buckets: history.histograms.len(),
         })
+    }
+
+    /// The recorded release history as `(node, buckets)` pairs in release
+    /// order — what a durable catalog persists and an export endpoint
+    /// serves. Replaying these nodes through [`DatasetSession::release`] on
+    /// a fresh session of the same dataset reproduces the composition
+    /// history bit-identically.
+    pub fn release_history(&self) -> Vec<(GenNode, usize)> {
+        self.releases
+            .lock()
+            .expect("release history poisoned")
+            .per_release
+            .clone()
     }
 
     /// Number of releases recorded so far.

@@ -56,6 +56,9 @@ pub enum HierarchyError {
     },
     /// Underlying table error (e.g. unknown attribute name).
     Table(String),
+    /// A serialized dataset or node failed to decode (bad magic, truncated
+    /// input, values that do not validate).
+    Decode(String),
     /// The packed quasi-identifier signature does not fit the roll-up
     /// evaluator's 64-bit signature word (callers fall back to the
     /// row-scanning path).
@@ -111,6 +114,7 @@ impl fmt::Display for HierarchyError {
                 )
             }
             HierarchyError::Table(m) => write!(f, "table error: {m}"),
+            HierarchyError::Decode(m) => write!(f, "decode error: {m}"),
             HierarchyError::SignatureOverflow { bits } => write!(
                 f,
                 "quasi-identifier signature needs {bits} bits (> 64); roll-up unavailable"

@@ -26,6 +26,10 @@
 //!   (table, lattice) pair: schema roles, hierarchy grouping maps,
 //!   dictionaries, and row codes all mixed in — what a dataset-handle
 //!   service keys registrations by ("register once, audit forever").
+//! * [`encode_dataset`] / [`decode_dataset`] and [`encode_node`] /
+//!   [`decode_node`] — the stable binary format the durable catalog
+//!   persists datasets and release records in; a decoded dataset
+//!   fingerprints bit-identically to the encoded one.
 //! * [`adult`] — the paper's Adult hierarchies: Age 6 levels (exact, 5, 10,
 //!   20, 40, suppressed), Marital Status 3 levels, Race 2, Gender 2 — a
 //!   6·3·2·2 = 72-node lattice.
@@ -37,9 +41,11 @@ mod fingerprint;
 mod lattice;
 mod rollup;
 mod scan;
+mod serial;
 
 pub use dgh::Hierarchy;
 pub use error::HierarchyError;
 pub use fingerprint::dataset_fingerprint;
 pub use lattice::{GenNode, GeneralizationLattice};
 pub use rollup::{NodeEvaluator, RollupStats, ScanOptions};
+pub use serial::{decode_dataset, decode_node, encode_dataset, encode_node};

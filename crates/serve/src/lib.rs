@@ -26,6 +26,7 @@
 //! | `POST /tables/{id}/batch` | many (c,k)/config jobs over one evaluator, streamed NDJSON |
 //! | `POST /tables/{id}/release` | record a node's buckets into the sequential-release history |
 //! | `POST /tables/{id}/composition` | worst-case disclosure over the union of all releases |
+//! | `GET /tables/{id}/history` | the recorded release history (the composition audit trail) |
 //! | `POST /audit` | one-shot: register → run → drop (bit-identical to `wcbk audit`) |
 //! | `POST /search` | one-shot: register → run → drop (honors `threads`/`schedule`/`memo_cap`) |
 //! | `POST /batch` | many tables fanned over the work-stealing scheduler, streamed back one NDJSON line per completed table |
@@ -38,6 +39,15 @@
 //! --engine-cache-cap/--engine-budget/--session-budget`), so a long-lived
 //! server is memory-bounded: an evicted handle answers a clean 404 and can
 //! simply be re-registered.
+//!
+//! With a durable catalog attached (`wcbk serve --data-dir DIR`, backed by
+//! [`wcbk_store::DatasetStore`]) the story strengthens: registrations and
+//! releases are persisted write-ahead **before** they are acknowledged, the
+//! server replays its catalog on boot, and an evicted or restart-forgotten
+//! handle is lazily rebuilt from disk on first touch instead of 404ing —
+//! with bit-identical answers, and still exactly one table scan per handle
+//! per process. `DELETE /tables/{id}` becomes the one true deletion
+//! (removed from disk too). See [`persist`] for the payload format.
 //!
 //! Results are bit-identical to `wcbk audit` / `wcbk search`: same table
 //! construction, same engine code, and `f64`s serialized with shortest
@@ -65,6 +75,7 @@
 
 pub mod http;
 pub mod json;
+pub mod persist;
 pub mod poll;
 pub mod server;
 pub mod service;

@@ -38,12 +38,14 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use wcbk_core::sched::{evaluate_work_stealing, MonotoneDag};
+use wcbk_store::DatasetStore;
 
 use crate::http::{write_json, ChunkedWriter, HttpError, Request, RequestParser};
 use crate::json::Json;
@@ -94,6 +96,11 @@ pub struct ServerConfig {
     /// Memory budgets for the engine registry and the session store
     /// (`Default`: unbounded — the one-shot behavior).
     pub limits: ServiceLimits,
+    /// Durable catalog directory (`wcbk serve --data-dir`). `Some` makes
+    /// registrations and releases crash-safe: the WAL is replayed at bind,
+    /// known handles resume serving (lazily rebuilt on first touch), and
+    /// `DELETE` deletes durably. `None` keeps the classic in-memory server.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +115,7 @@ impl Default for ServerConfig {
             max_connections: 0,
             idle_timeout: Some(Duration::from_secs(60)),
             limits: ServiceLimits::default(),
+            data_dir: None,
         }
     }
 }
@@ -250,10 +258,19 @@ impl Server {
             max_connections: config.max_connections,
             started: Instant::now(),
         });
+        // Open (and replay) the durable catalog before serving: a corrupt
+        // store fails the bind loudly instead of 500ing every request.
+        let service = match &config.data_dir {
+            Some(dir) => {
+                let store = DatasetStore::open(dir)?;
+                AuditService::with_store(config.limits, Arc::new(store))
+            }
+            None => AuditService::with_limits(config.limits),
+        };
         Ok(Self {
             listener,
             poller,
-            service: Arc::new(AuditService::with_limits(config.limits)),
+            service: Arc::new(service),
             shared,
         })
     }
@@ -1218,6 +1235,10 @@ fn respond<W: Write>(
                     Err(e) => bad_request(service, e),
                 }
             }
+            TableRoute::History(id) => match service.table_history(id) {
+                Ok(out) => (200, out),
+                Err(e) => bad_request(service, e),
+            },
             TableRoute::Batch(id) => {
                 return handle_session_batch(shared, service, writer, id, &request.body, keep_alive)
             }
@@ -1252,6 +1273,7 @@ enum TableRoute<'a> {
     Search(&'a str),
     Release(&'a str),
     Composition(&'a str),
+    History(&'a str),
     Batch(&'a str),
     NotFound,
     MethodNotAllowed,
@@ -1275,8 +1297,9 @@ fn route_table<'a>(method: &str, path: &'a str) -> TableRoute<'a> {
             ("POST", "search") => TableRoute::Search(id),
             ("POST", "release") => TableRoute::Release(id),
             ("POST", "composition") => TableRoute::Composition(id),
+            ("GET", "history") => TableRoute::History(id),
             ("POST", "batch") => TableRoute::Batch(id),
-            (_, "audit" | "search" | "release" | "composition" | "batch") => {
+            (_, "audit" | "search" | "release" | "composition" | "history" | "batch") => {
                 TableRoute::MethodNotAllowed
             }
             _ => TableRoute::NotFound,
@@ -1286,7 +1309,9 @@ fn route_table<'a>(method: &str, path: &'a str) -> TableRoute<'a> {
 }
 
 /// Counts and renders a handler rejection: invalid requests are 400,
-/// unknown/evicted table handles are 404.
+/// unknown/evicted table handles are 404, durable-store failures are 500
+/// (the request was fine; the server couldn't honor it — not counted as a
+/// bad request).
 fn bad_request(service: &AuditService, e: ServeError) -> (u16, Json) {
     let status = match &e {
         ServeError::BadRequest(_) => {
@@ -1294,6 +1319,7 @@ fn bad_request(service: &AuditService, e: ServeError) -> (u16, Json) {
             400
         }
         ServeError::UnknownTable(_) => 404,
+        ServeError::Internal(_) => 500,
     };
     (status, Json::object(vec![("error", e.to_string().into())]))
 }

@@ -35,10 +35,12 @@ use wcbk_anonymize::{
 };
 use wcbk_core::EngineRegistry;
 use wcbk_hierarchy::{GenNode, GeneralizationLattice, Hierarchy, RollupStats};
+use wcbk_store::{DatasetStore, StoreError};
 use wcbk_table::csv::RecordSplitter;
 use wcbk_table::{Attribute, AttributeKind, ChunkedTableBuilder, Schema, Table};
 
 use crate::json::Json;
+use crate::persist;
 
 /// A request the service could not satisfy.
 #[derive(Debug)]
@@ -49,6 +51,10 @@ pub enum ServeError {
     /// The addressed table handle does not exist (never registered, dropped,
     /// or evicted under the session budget) — an HTTP 404.
     UnknownTable(String),
+    /// The durable store failed (I/O error persisting, corrupt catalog
+    /// payload on rehydration) — an HTTP 500. The request was valid; the
+    /// server could not durably honor it.
+    Internal(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -56,6 +62,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::BadRequest(m) => write!(f, "{m}"),
             ServeError::UnknownTable(id) => write!(f, "no table registered under {id:?}"),
+            ServeError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -64,6 +71,20 @@ impl std::error::Error for ServeError {}
 
 fn bad(message: impl Into<String>) -> ServeError {
     ServeError::BadRequest(message.into())
+}
+
+/// Parses a handle id back to its fingerprint. Handles are minted by
+/// `format!("{:016x}", fp)`, so only exactly-16 lowercase hex digits can
+/// name a catalog entry — anything else is unknown without touching disk.
+fn parse_handle(id: &str) -> Option<u64> {
+    if id.len() != 16
+        || !id
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(id, 16).ok()
 }
 
 /// Memory budgets for a long-lived service; `Default` is fully unbounded
@@ -131,6 +152,9 @@ struct SessionStore {
     evictions: AtomicU64,
     /// Registrations that created a new session (dedup hits excluded).
     registered: AtomicU64,
+    /// Sessions rebuilt from the durable catalog (restart or post-eviction
+    /// reload) — these are not new registrations.
+    rehydrated: AtomicU64,
 }
 
 impl SessionStore {
@@ -141,6 +165,7 @@ impl SessionStore {
             clock: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             registered: AtomicU64::new(0),
+            rehydrated: AtomicU64::new(0),
         }
     }
 
@@ -163,7 +188,11 @@ impl SessionStore {
     /// other. Past the budget, least-recently-used **other** handles are
     /// evicted — the handle just registered always survives, so one big
     /// dataset can exceed the budget rather than thrash.
-    fn insert(&self, stored: StoredSession) -> Result<(Arc<StoredSession>, bool), ServeError> {
+    fn insert(
+        &self,
+        stored: StoredSession,
+        rehydrated: bool,
+    ) -> Result<(Arc<StoredSession>, bool), ServeError> {
         let id = stored.id.clone();
         let mut inner = self.inner.write().expect("session store poisoned");
         if let Some(existing) = inner.get(&id) {
@@ -179,7 +208,11 @@ impl SessionStore {
         stored.touch.store(self.tick(), Ordering::Relaxed);
         let stored = Arc::new(stored);
         inner.insert(id.clone(), Arc::clone(&stored));
-        self.registered.fetch_add(1, Ordering::Relaxed);
+        if rehydrated {
+            self.rehydrated.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.registered.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(budget) = self.budget {
             while inner.len() > 1 {
                 let total: u64 = inner.values().map(|s| s.weight).sum();
@@ -224,6 +257,9 @@ pub struct AuditService {
     /// One shared engine per attacker power `k`, budget-bounded.
     engines: Arc<EngineRegistry>,
     sessions: SessionStore,
+    /// Durable catalog. `None` (no `--data-dir`) keeps the classic
+    /// in-memory-only behavior, bit-for-bit.
+    store: Option<Arc<DatasetStore>>,
     rollup: RollupTotals,
     audits: AtomicU64,
     searches: AtomicU64,
@@ -253,6 +289,7 @@ impl AuditService {
                 limits.engine_budget,
             )),
             sessions: SessionStore::new(limits.session_budget),
+            store: None,
             rollup: RollupTotals::default(),
             audits: AtomicU64::new(0),
             searches: AtomicU64::new(0),
@@ -260,6 +297,21 @@ impl AuditService {
             batch_tables: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
         }
+    }
+
+    /// [`AuditService::with_limits`] backed by a durable catalog: new
+    /// registrations and releases are persisted through `store`, and
+    /// handles it already holds are served again — lazily rebuilt on first
+    /// touch — instead of 404ing after a restart or an LRU eviction.
+    pub fn with_store(limits: ServiceLimits, store: Arc<DatasetStore>) -> Self {
+        let mut service = Self::with_limits(limits);
+        service.store = Some(store);
+        service
+    }
+
+    /// The durable catalog, when one is attached.
+    pub fn store(&self) -> Option<&Arc<DatasetStore>> {
+        self.store.as_ref()
     }
 
     /// The shared engine for attacker power `k`, created on first request.
@@ -359,14 +411,43 @@ impl AuditService {
         let id = format!("{:016x}", session.fingerprint());
         let rows = session.table().n_rows();
         let buckets = session.lattice().n_nodes();
-        let (stored, created) = self.sessions.insert(StoredSession {
-            id: id.clone(),
-            session: Arc::new(session),
-            qi,
-            sensitive,
-            weight,
-            touch: AtomicU64::new(0),
-        })?;
+        // If the catalog already holds this dataset but memory doesn't
+        // (fresh process, or evicted), rehydrate it *first* so the insert
+        // below dedups onto the session carrying the durable release
+        // history — a blank just-built session must never shadow it.
+        if self.sessions.get(&id).is_none() {
+            self.rehydrate(&id)?;
+        }
+        let (stored, created) = self.sessions.insert(
+            StoredSession {
+                id: id.clone(),
+                session: Arc::new(session),
+                qi,
+                sensitive,
+                weight,
+                touch: AtomicU64::new(0),
+            },
+            false,
+        )?;
+        if created {
+            if let Some(store) = &self.store {
+                // Persist before acknowledging: when this response reaches
+                // the client, the handle survives any crash. The store is
+                // first-writer-wins per fingerprint, so re-registering
+                // after a restart (memory empty, disk populated) is a
+                // durable no-op.
+                let payload =
+                    persist::encode_session(&stored.session, &stored.qi, &stored.sensitive);
+                if let Err(e) = store.register(stored.session.fingerprint(), &payload) {
+                    // Keep memory and disk consistent: an unpersisted
+                    // handle must not be served as if it were durable.
+                    self.sessions.remove(&id);
+                    return Err(ServeError::Internal(format!(
+                        "persisting registration of {id}: {e}"
+                    )));
+                }
+            }
+        }
         Ok(Json::object(vec![
             ("op", "register".into()),
             ("id", id.into()),
@@ -386,11 +467,77 @@ impl AuditService {
         ]))
     }
 
-    /// Resolves a handle or reports 404 (unknown, dropped, or evicted).
+    /// Resolves a handle: the in-memory map first, then — with a durable
+    /// catalog attached — rehydration from disk, so an evicted or
+    /// restart-forgotten handle answers again instead of 404ing. Only a
+    /// handle on neither tier is unknown.
     fn stored(&self, id: &str) -> Result<Arc<StoredSession>, ServeError> {
-        self.sessions
-            .get(id)
-            .ok_or_else(|| ServeError::UnknownTable(id.to_owned()))
+        if let Some(stored) = self.sessions.get(id) {
+            return Ok(stored);
+        }
+        if let Some(stored) = self.rehydrate(id)? {
+            return Ok(stored);
+        }
+        Err(ServeError::UnknownTable(id.to_owned()))
+    }
+
+    /// Rebuilds a session from its catalog record: decode the payload,
+    /// reconstruct the [`DatasetSession`] with the options it was
+    /// registered with, and replay its persisted release nodes — each
+    /// recomputed deterministically, so the composition history is
+    /// bit-identical to the pre-restart one. Returns `Ok(None)` when no
+    /// store is attached or the catalog has no such fingerprint.
+    fn rehydrate(&self, id: &str) -> Result<Option<Arc<StoredSession>>, ServeError> {
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        let Some(fp) = parse_handle(id) else {
+            return Ok(None);
+        };
+        let Some(record) = store.get(fp) else {
+            return Ok(None);
+        };
+        let internal = |m: String| ServeError::Internal(format!("rehydrating {id}: {m}"));
+        let payload = persist::decode_session(&record.payload).map_err(internal)?;
+        let session = DatasetSession::with_options(
+            payload.table,
+            payload.lattice,
+            SessionOptions {
+                memo_capacity: payload.memo_capacity,
+                engines: Some(Arc::clone(&self.engines)),
+                scan_threads: payload.scan_threads,
+            },
+        )
+        .map_err(|e| internal(e.to_string()))?;
+        if session.fingerprint() != fp {
+            return Err(internal(
+                "payload fingerprints differently than its catalog key; refusing to serve".into(),
+            ));
+        }
+        for rec in &record.releases {
+            let node = wcbk_hierarchy::decode_node(rec).map_err(|e| internal(e.to_string()))?;
+            session
+                .release(&node)
+                .map_err(|e| internal(e.to_string()))?;
+        }
+        let weight = session
+            .rollup_stats()
+            .map(|s| s.bottom_groups as u64)
+            .unwrap_or(session.table().n_rows() as u64)
+            .max(1);
+        // A concurrent rehydration of the same handle dedups inside insert.
+        let (stored, _) = self.sessions.insert(
+            StoredSession {
+                id: id.to_owned(),
+                session: Arc::new(session),
+                qi: payload.qi,
+                sensitive: payload.sensitive,
+                weight,
+                touch: AtomicU64::new(0),
+            },
+            true,
+        )?;
+        Ok(Some(stored))
     }
 
     /// Handles `GET /tables/{id}`.
@@ -419,9 +566,18 @@ impl AuditService {
         ]))
     }
 
-    /// Handles `DELETE /tables/{id}`.
+    /// Handles `DELETE /tables/{id}`. With a durable catalog attached this
+    /// is the one *true* deletion: the handle leaves both memory and disk,
+    /// so — unlike an LRU eviction — it stays gone across restarts.
     pub fn drop_table(&self, id: &str) -> Result<Json, ServeError> {
-        if !self.sessions.remove(id) {
+        let in_memory = self.sessions.remove(id);
+        let on_disk = match (&self.store, parse_handle(id)) {
+            (Some(store), Some(fp)) => store
+                .delete(fp)
+                .map_err(|e| ServeError::Internal(format!("deleting {id}: {e}")))?,
+            _ => false,
+        };
+        if !in_memory && !on_disk {
             return Err(ServeError::UnknownTable(id.to_owned()));
         }
         Ok(Json::object(vec![
@@ -530,7 +686,10 @@ impl AuditService {
     }
 
     /// Handles `POST /tables/{id}/release`: record `"node"` (one level per
-    /// lattice dimension) into the sequential-release history.
+    /// lattice dimension) into the sequential-release history. With a
+    /// durable catalog attached the node is appended to the store **before**
+    /// the in-memory release — an acknowledged release survives any crash
+    /// (replay recomputes its histograms bit-identically on rehydration).
     pub fn session_release(&self, id: &str, request: &Json) -> Result<Json, ServeError> {
         let stored = self.stored(id)?;
         let node = request
@@ -544,9 +703,37 @@ impl AuditService {
                     .ok_or_else(|| bad("\"node\" levels must be non-negative integers"))
             })
             .collect::<Result<Vec<usize>, ServeError>>()?;
+        let node = GenNode(node);
+        if let Some(store) = &self.store {
+            // Validate first so only releases the session would accept hit
+            // the durable history, then persist before computing: if we
+            // crash between the append and the response, replay produces a
+            // release the client never saw acknowledged — the standard WAL
+            // contract (acknowledged ⇒ durable; durable ⇏ acknowledged).
+            stored
+                .session
+                .lattice()
+                .validate(&node)
+                .map_err(|e| bad(e.to_string()))?;
+            let record = wcbk_hierarchy::encode_node(&node);
+            match store.append_release(stored.session.fingerprint(), &record) {
+                Ok(_) => {}
+                // The handle raced a DELETE: the catalog entry is gone, so
+                // this release must not outlive it.
+                Err(StoreError::UnknownDataset(_)) => {
+                    self.sessions.remove(id);
+                    return Err(ServeError::UnknownTable(id.to_owned()));
+                }
+                Err(e) => {
+                    return Err(ServeError::Internal(format!(
+                        "persisting release on {id}: {e}"
+                    )))
+                }
+            }
+        }
         let report = stored
             .session
-            .release(&GenNode(node))
+            .release(&node)
             .map_err(|e| bad(e.to_string()))?;
         Ok(Json::object(vec![
             ("op", "release".into()),
@@ -580,6 +767,35 @@ impl AuditService {
             ("max_disclosure", report.value.into()),
             ("c", report.c.map(Json::from).unwrap_or(Json::Null)),
             ("safe", report.safe.map(Json::from).unwrap_or(Json::Null)),
+        ]))
+    }
+
+    /// Handles `GET /tables/{id}/history`: the session's release history in
+    /// release order — the audit trail `audit_composition` runs over. Served
+    /// from the (possibly rehydrated) session, so the answer is identical
+    /// before and after a restart.
+    pub fn table_history(&self, id: &str) -> Result<Json, ServeError> {
+        let stored = self.stored(id)?;
+        let history = stored.session.release_history();
+        let entries: Vec<Json> = history
+            .iter()
+            .enumerate()
+            .map(|(index, (node, buckets))| {
+                Json::object(vec![
+                    ("index", index.into()),
+                    (
+                        "node",
+                        Json::Array(node.0.iter().map(|&l| l.into()).collect()),
+                    ),
+                    ("buckets", (*buckets).into()),
+                ])
+            })
+            .collect();
+        Ok(Json::object(vec![
+            ("op", "history".into()),
+            ("id", id.into()),
+            ("releases", entries.len().into()),
+            ("history", Json::Array(entries)),
         ]))
     }
 
@@ -733,7 +949,7 @@ impl AuditService {
             })
             .collect();
         let session_groups: u64 = sessions.iter().map(|s| s.weight).sum();
-        vec![
+        let mut out = vec![
             (
                 "engine_cache",
                 Json::object(vec![
@@ -760,6 +976,10 @@ impl AuditService {
                     (
                         "registered",
                         self.sessions.registered.load(Ordering::Relaxed).into(),
+                    ),
+                    (
+                        "rehydrated",
+                        self.sessions.rehydrated.load(Ordering::Relaxed).into(),
                     ),
                     ("per_session", Json::Array(per_session)),
                 ]),
@@ -813,7 +1033,23 @@ impl AuditService {
                     ),
                 ]),
             ),
-        ]
+        ];
+        if let Some(store) = &self.store {
+            let s = store.stats();
+            out.push((
+                "store",
+                Json::object(vec![
+                    ("datasets", s.datasets.into()),
+                    ("releases", s.releases.into()),
+                    ("wal_records", s.wal_records.into()),
+                    ("wal_bytes", s.wal_bytes.into()),
+                    ("checkpoints", s.checkpoints.into()),
+                    ("replayed_records", s.replayed_records.into()),
+                    ("truncated_bytes", s.truncated_bytes.into()),
+                ]),
+            ));
+        }
+        out
     }
 }
 

@@ -1,0 +1,335 @@
+//! End-to-end durability tests: a server with `--data-dir` must resume
+//! serving every acknowledged handle after a restart — metadata, audits,
+//! release history, and composition verdicts **bit-identical** to the
+//! pre-restart responses — while still doing exactly one table scan per
+//! handle per process. Eviction becomes reload (not 404), and `DELETE`
+//! becomes durable.
+
+use std::fs;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use wcbk_serve::http::client::Client;
+use wcbk_serve::json::Json;
+use wcbk_serve::service::AuditService;
+use wcbk_serve::{Server, ServerConfig, ServiceLimits};
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("wcbk-persist-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+type Running = (
+    SocketAddr,
+    wcbk_serve::ServerHandle,
+    Arc<AuditService>,
+    std::thread::JoinHandle<std::io::Result<()>>,
+);
+
+fn start(config: ServerConfig) -> Running {
+    let server = Server::bind(&config).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let service = server.service();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, service, join)
+}
+
+fn durable_config(dir: &Scratch) -> ServerConfig {
+    ServerConfig {
+        data_dir: Some(dir.0.clone()),
+        ..ServerConfig::default()
+    }
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect(addr, Some(Duration::from_secs(30))).expect("connect")
+}
+
+fn register_body() -> String {
+    let csv = "Age,Sex,Disease\n\
+               21,M,Flu\n22,F,Flu\n23,M,Cold\n24,F,Cold\n\
+               31,M,Flu\n32,F,Cold\n33,M,Cold\n34,F,Flu\n";
+    Json::object(vec![
+        ("csv", csv.into()),
+        ("sensitive", "Disease".into()),
+        ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+        (
+            "hierarchy",
+            Json::object(vec![("Age", Json::Array(vec![10u64.into()]))]),
+        ),
+    ])
+    .to_string()
+}
+
+fn audit_body() -> String {
+    Json::object(vec![("k", 2u64.into()), ("c", 0.9.into())]).to_string()
+}
+
+fn release(client: &mut Client, id: &str, node: &[u64]) -> Json {
+    let body = Json::object(vec![(
+        "node",
+        Json::Array(node.iter().map(|&l| l.into()).collect()),
+    )]);
+    let response = client
+        .post(&format!("/tables/{id}/release"), &body.to_string())
+        .unwrap();
+    assert_eq!(response.status, 200, "release: {}", response.body);
+    response.json().unwrap()
+}
+
+fn table_scans(client: &mut Client, id: &str) -> u64 {
+    let info = client
+        .get(&format!("/tables/{id}"))
+        .unwrap()
+        .json()
+        .unwrap();
+    info.get("rollup")
+        .and_then(|r| r.get("table_scans"))
+        .and_then(Json::as_u64)
+        .expect("rollup.table_scans")
+}
+
+/// The tentpole acceptance pin: register + release against a durable
+/// server, restart it on the same data dir, and get byte-identical
+/// metadata, audit, history, and composition answers for the old handle —
+/// with exactly one table scan in the new process.
+#[test]
+fn restart_resumes_handles_with_bit_identical_answers() {
+    let scratch = Scratch::new("restart");
+
+    // ---- First server life: register, audit, release twice, compose.
+    let (addr, handle, service, join) = start(durable_config(&scratch));
+    let mut client = connect(addr);
+    let reg = client.post("/tables", &register_body()).unwrap();
+    assert_eq!(reg.status, 200, "register: {}", reg.body);
+    let reg = reg.json().unwrap();
+    assert_eq!(reg.get("created").and_then(Json::as_bool), Some(true));
+    let id = reg.get("id").and_then(Json::as_str).unwrap().to_owned();
+
+    release(&mut client, &id, &[0, 0]);
+    release(&mut client, &id, &[1, 1]);
+    let audit_before = client
+        .post(&format!("/tables/{id}/audit"), &audit_body())
+        .unwrap();
+    assert_eq!(audit_before.status, 200);
+    let composition_before = client
+        .post(&format!("/tables/{id}/composition"), &audit_body())
+        .unwrap();
+    assert_eq!(composition_before.status, 200);
+    let history_before = client.get(&format!("/tables/{id}/history")).unwrap();
+    assert_eq!(history_before.status, 200);
+    let info_before = client.get(&format!("/tables/{id}")).unwrap();
+    assert_eq!(table_scans(&mut client, &id), 1);
+    drop(client);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    drop(service);
+
+    // ---- Second life, same directory: the handle must still answer.
+    let (addr, handle, service, join) = start(durable_config(&scratch));
+    let mut client = connect(addr);
+    let info_after = client.get(&format!("/tables/{id}")).unwrap();
+    assert_eq!(info_after.status, 200, "rehydrate: {}", info_after.body);
+    assert_eq!(info_after.body, info_before.body, "table info drifted");
+    let history_after = client.get(&format!("/tables/{id}/history")).unwrap();
+    assert_eq!(history_after.body, history_before.body, "history drifted");
+    let audit_after = client
+        .post(&format!("/tables/{id}/audit"), &audit_body())
+        .unwrap();
+    assert_eq!(audit_after.body, audit_before.body, "audit verdict drifted");
+    let composition_after = client
+        .post(&format!("/tables/{id}/composition"), &audit_body())
+        .unwrap();
+    assert_eq!(
+        composition_after.body, composition_before.body,
+        "composition verdict drifted"
+    );
+    // Scan-free-after-registration holds per process: rehydration did one
+    // scan, and every answer above reused it.
+    assert_eq!(table_scans(&mut client, &id), 1);
+
+    // The handle was rehydrated, not re-registered.
+    let stats = client.get("/stats").unwrap().json().unwrap();
+    let sessions = stats.get("sessions").unwrap();
+    assert_eq!(
+        sessions.get("rehydrated").and_then(Json::as_u64),
+        Some(1),
+        "expected one rehydration"
+    );
+    assert_eq!(sessions.get("registered").and_then(Json::as_u64), Some(0));
+    // And the store section reports the durable state.
+    let store = stats.get("store").expect("store stats section");
+    assert_eq!(store.get("datasets").and_then(Json::as_u64), Some(1));
+    assert_eq!(store.get("releases").and_then(Json::as_u64), Some(2));
+
+    drop(client);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    drop(service);
+}
+
+/// Re-registering identical content after a restart dedups onto the
+/// rehydrated handle: same id, `created: false`, and the durable release
+/// history is already attached to the session it returns.
+#[test]
+fn reregistration_after_restart_dedups_onto_rehydrated_state() {
+    let scratch = Scratch::new("rereg");
+    let (addr, handle, _service, join) = start(durable_config(&scratch));
+    let mut client = connect(addr);
+    let reg = client
+        .post("/tables", &register_body())
+        .unwrap()
+        .json()
+        .unwrap();
+    let id = reg.get("id").and_then(Json::as_str).unwrap().to_owned();
+    release(&mut client, &id, &[1, 0]);
+    drop(client);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+
+    let (addr, handle, _service, join) = start(durable_config(&scratch));
+    let mut client = connect(addr);
+    // POST the same content again on the fresh process: the *registration
+    // path* touches memory first, so this must not fabricate a blank
+    // session that shadows the durable history.
+    let reg2 = client
+        .post("/tables", &register_body())
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(reg2.get("id").and_then(Json::as_str), Some(id.as_str()));
+    let info = client
+        .get(&format!("/tables/{id}"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(
+        info.get("releases").and_then(Json::as_u64),
+        Some(1),
+        "durable release history lost to re-registration"
+    );
+    drop(client);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Under a session budget, eviction no longer strands a durable handle:
+/// the next touch reloads it from the catalog instead of 404ing.
+#[test]
+fn evicted_handle_reloads_from_catalog() {
+    let scratch = Scratch::new("evict");
+    let config = ServerConfig {
+        limits: ServiceLimits {
+            session_budget: Some(1),
+            ..ServiceLimits::default()
+        },
+        ..durable_config(&scratch)
+    };
+    let (addr, handle, service, join) = start(config);
+    let mut client = connect(addr);
+    let reg = client
+        .post("/tables", &register_body())
+        .unwrap()
+        .json()
+        .unwrap();
+    let id_a = reg.get("id").and_then(Json::as_str).unwrap().to_owned();
+    release(&mut client, &id_a, &[1, 1]);
+
+    // A second, different dataset pushes the first out of the budget.
+    let other = Json::object(vec![
+        ("csv", "Age,Disease\n41,Flu\n42,Cold\n43,Flu\n".into()),
+        ("sensitive", "Disease".into()),
+        ("qi", Json::Array(vec!["Age".into()])),
+    ])
+    .to_string();
+    let reg_b = client.post("/tables", &other).unwrap().json().unwrap();
+    assert_ne!(reg_b.get("id").and_then(Json::as_str), Some(id_a.as_str()));
+
+    // The evicted handle still answers — reloaded from disk, history intact.
+    let info = client.get(&format!("/tables/{id_a}")).unwrap();
+    assert_eq!(info.status, 200, "evicted handle 404ed: {}", info.body);
+    let info = info.json().unwrap();
+    assert_eq!(info.get("releases").and_then(Json::as_u64), Some(1));
+    assert!(service.stats().iter().any(|(k, _)| *k == "store"));
+    drop(client);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// `DELETE /tables/{id}` is the true deletion: unlike an eviction it
+/// removes the catalog entry, so the handle stays gone across a restart.
+#[test]
+fn delete_is_durable_across_restart() {
+    let scratch = Scratch::new("delete");
+    let (addr, handle, _service, join) = start(durable_config(&scratch));
+    let mut client = connect(addr);
+    let reg = client
+        .post("/tables", &register_body())
+        .unwrap()
+        .json()
+        .unwrap();
+    let id = reg.get("id").and_then(Json::as_str).unwrap().to_owned();
+    client
+        .send_raw(format!("DELETE /tables/{id} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    let drop_response = client.read_response().unwrap();
+    assert_eq!(drop_response.status, 200);
+    drop(client);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+
+    let (addr, handle, _service, join) = start(durable_config(&scratch));
+    let mut client = connect(addr);
+    let info = client.get(&format!("/tables/{id}")).unwrap();
+    assert_eq!(
+        info.status, 404,
+        "deleted handle resurrected: {}",
+        info.body
+    );
+    drop(client);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Without `--data-dir` nothing changes: no store stats section, restarts
+/// forget handles — the classic in-memory contract, pinned.
+#[test]
+fn memory_only_server_stays_memory_only() {
+    let (addr, handle, service, join) = start(ServerConfig::default());
+    let mut client = connect(addr);
+    let reg = client
+        .post("/tables", &register_body())
+        .unwrap()
+        .json()
+        .unwrap();
+    let id = reg.get("id").and_then(Json::as_str).unwrap().to_owned();
+    let stats = client.get("/stats").unwrap().json().unwrap();
+    assert!(
+        stats.get("store").is_none(),
+        "store stats without --data-dir"
+    );
+    assert!(service.store().is_none());
+    // DELETE on a memory-only server still works (both tiers report false
+    // only when the handle exists in neither).
+    client
+        .send_raw(format!("DELETE /tables/{id} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .unwrap();
+    assert_eq!(client.read_response().unwrap().status, 200);
+    drop(client);
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}

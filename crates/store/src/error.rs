@@ -1,0 +1,53 @@
+//! Error type for the embedded store.
+
+use std::fmt;
+
+/// Errors opening or mutating a [`crate::DatasetStore`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A persisted structure failed validation (bad magic, checksum
+    /// mismatch away from the WAL tail, impossible lengths). Unlike a torn
+    /// WAL tail — which replay repairs silently — this means the files were
+    /// damaged after they were durably written.
+    Corrupt(String),
+    /// The addressed fingerprint is not in the catalog.
+    UnknownDataset(u64),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store corrupt: {m}"),
+            StoreError::UnknownDataset(fp) => {
+                write!(f, "no dataset registered under fingerprint {fp:016x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for std::io::Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}

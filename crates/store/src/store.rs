@@ -1,0 +1,426 @@
+//! The transaction manager: the public face of the crate.
+//!
+//! [`DatasetStore`] serializes every mutation through one lock and runs the
+//! four-step transaction described in the crate docs: frame a WAL record,
+//! `fsync`, apply to the in-memory catalog, and checkpoint once the log
+//! outgrows its threshold. Reads never touch disk — the catalog lives in
+//! memory after open, which is the right trade for a service whose working
+//! set is the catalog itself.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::catalog::{self, Entry};
+use crate::codec::{Reader, Writer};
+use crate::wal::Wal;
+use crate::StoreError;
+
+const OP_REGISTER: u8 = 1;
+const OP_RELEASE: u8 = 2;
+const OP_DELETE: u8 = 3;
+
+/// Tuning knobs for [`DatasetStore::open_with`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Checkpoint (rewrite the catalog, truncate the WAL) once the log
+    /// exceeds this many bytes. Zero checkpoints after every transaction.
+    pub checkpoint_bytes: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        // Datasets dominate WAL volume; 1 MiB keeps replay short without
+        // checkpointing on every release append.
+        Self {
+            checkpoint_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Counters exposed through the service `/stats` endpoint.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StoreStats {
+    /// Datasets currently in the catalog.
+    pub datasets: u64,
+    /// Release records across all datasets.
+    pub releases: u64,
+    /// Records currently sitting in the WAL (drops to zero at checkpoint).
+    pub wal_records: u64,
+    /// Bytes currently in the WAL.
+    pub wal_bytes: u64,
+    /// Checkpoints taken since open.
+    pub checkpoints: u64,
+    /// WAL records replayed (and applied) during open.
+    pub replayed_records: u64,
+    /// Torn-tail bytes truncated during open.
+    pub truncated_bytes: u64,
+}
+
+/// One dataset read back from the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredDataset {
+    /// The `dataset_fingerprint` key.
+    pub fingerprint: u64,
+    /// The opaque payload given to [`DatasetStore::register`].
+    pub payload: Vec<u8>,
+    /// Release records in append order.
+    pub releases: Vec<Vec<u8>>,
+}
+
+struct Inner {
+    entries: BTreeMap<u64, Entry>,
+    wal: Wal,
+    /// Highest sequence number reflected in the on-disk catalog file.
+    applied_seq: u64,
+    /// Sequence number the next transaction will use.
+    next_seq: u64,
+    checkpoints: u64,
+    replayed_records: u64,
+    truncated_bytes: u64,
+}
+
+/// An embedded, crash-safe map from dataset fingerprints to payload bytes
+/// plus append-only release histories. All methods are `&self`; internal
+/// locking serializes writers, and `Ok` from a mutation means the change is
+/// durable.
+pub struct DatasetStore {
+    dir: PathBuf,
+    options: StoreOptions,
+    inner: Mutex<Inner>,
+}
+
+impl DatasetStore {
+    /// Opens the store rooted at `dir` with default options, creating the
+    /// directory if needed and replaying any existing state.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// [`DatasetStore::open`] with explicit tuning.
+    pub fn open_with(dir: &Path, options: StoreOptions) -> Result<Self, StoreError> {
+        fs::create_dir_all(dir)?;
+        let snapshot = catalog::load(dir)?;
+        let (wal, payloads, report) = Wal::open(&dir.join("wal"))?;
+
+        let mut entries = snapshot.entries;
+        let applied_seq = snapshot.applied_seq;
+        let mut next_seq = applied_seq + 1;
+        let mut replayed = 0u64;
+        for payload in payloads {
+            let (seq, op, body) = decode_record(&payload)?;
+            if seq <= applied_seq {
+                // The catalog checkpoint already contains this record; the
+                // process crashed between the rename and the WAL truncate.
+                continue;
+            }
+            if seq != next_seq {
+                return Err(StoreError::Corrupt(format!(
+                    "WAL sequence gap: expected {next_seq}, found {seq}"
+                )));
+            }
+            apply(&mut entries, op, body)?;
+            next_seq = seq + 1;
+            replayed += 1;
+        }
+
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            options,
+            inner: Mutex::new(Inner {
+                entries,
+                wal,
+                applied_seq,
+                next_seq,
+                checkpoints: 0,
+                replayed_records: replayed,
+                truncated_bytes: report.truncated_bytes,
+            }),
+        })
+    }
+
+    /// Directory the store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Reads one dataset, or `None` if the fingerprint is not registered.
+    pub fn get(&self, fingerprint: u64) -> Option<StoredDataset> {
+        let inner = self.inner.lock().expect("store lock");
+        inner.entries.get(&fingerprint).map(|e| StoredDataset {
+            fingerprint,
+            payload: e.payload.clone(),
+            releases: e.releases.clone(),
+        })
+    }
+
+    /// Fingerprints currently in the catalog, ascending.
+    pub fn fingerprints(&self) -> Vec<u64> {
+        let inner = self.inner.lock().expect("store lock");
+        inner.entries.keys().copied().collect()
+    }
+
+    /// Registers `payload` under `fingerprint`. First writer wins: returns
+    /// `Ok(true)` when the dataset was created, `Ok(false)` when the
+    /// fingerprint already exists (nothing is written in that case).
+    pub fn register(&self, fingerprint: u64, payload: &[u8]) -> Result<bool, StoreError> {
+        let mut inner = self.inner.lock().expect("store lock");
+        if inner.entries.contains_key(&fingerprint) {
+            return Ok(false);
+        }
+        let mut body = Writer::new();
+        body.u64(fingerprint);
+        body.bytes(payload);
+        self.commit(&mut inner, OP_REGISTER, &body.into_vec())?;
+        Ok(true)
+    }
+
+    /// Appends one release record to `fingerprint`'s history and returns
+    /// the new history length.
+    pub fn append_release(&self, fingerprint: u64, record: &[u8]) -> Result<usize, StoreError> {
+        let mut inner = self.inner.lock().expect("store lock");
+        if !inner.entries.contains_key(&fingerprint) {
+            return Err(StoreError::UnknownDataset(fingerprint));
+        }
+        let mut body = Writer::new();
+        body.u64(fingerprint);
+        body.bytes(record);
+        self.commit(&mut inner, OP_RELEASE, &body.into_vec())?;
+        Ok(inner.entries[&fingerprint].releases.len())
+    }
+
+    /// Removes `fingerprint` and its history. Returns whether it existed.
+    pub fn delete(&self, fingerprint: u64) -> Result<bool, StoreError> {
+        let mut inner = self.inner.lock().expect("store lock");
+        if !inner.entries.contains_key(&fingerprint) {
+            return Ok(false);
+        }
+        let mut body = Writer::new();
+        body.u64(fingerprint);
+        self.commit(&mut inner, OP_DELETE, &body.into_vec())?;
+        Ok(true)
+    }
+
+    /// Forces a checkpoint now, regardless of WAL size.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("store lock");
+        self.checkpoint_locked(&mut inner)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("store lock");
+        StoreStats {
+            datasets: inner.entries.len() as u64,
+            releases: inner
+                .entries
+                .values()
+                .map(|e| e.releases.len() as u64)
+                .sum(),
+            wal_records: inner.wal.records,
+            wal_bytes: inner.wal.bytes,
+            checkpoints: inner.checkpoints,
+            replayed_records: inner.replayed_records,
+            truncated_bytes: inner.truncated_bytes,
+        }
+    }
+
+    /// The four-step transaction: frame → fsync append → apply → maybe
+    /// checkpoint. The sequence number is only advanced after the append
+    /// succeeds, so a failed write leaves no state change at all.
+    fn commit(&self, inner: &mut Inner, op: u8, body: &[u8]) -> Result<(), StoreError> {
+        let seq = inner.next_seq;
+        let mut rec = Writer::new();
+        rec.u64(seq);
+        rec.u8(op);
+        let mut rec = rec.into_vec();
+        rec.extend_from_slice(body);
+        inner.wal.append(&rec)?;
+        apply(&mut inner.entries, op, body)?;
+        inner.next_seq = seq + 1;
+        if inner.wal.bytes > self.options.checkpoint_bytes {
+            self.checkpoint_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    fn checkpoint_locked(&self, inner: &mut Inner) -> Result<(), StoreError> {
+        let through = inner.next_seq - 1;
+        catalog::write(&self.dir, through, &inner.entries)?;
+        // The catalog now covers everything in the log; a crash before this
+        // truncate is harmless because replay skips seq <= applied_seq.
+        inner.wal.reset()?;
+        inner.applied_seq = through;
+        inner.checkpoints += 1;
+        Ok(())
+    }
+}
+
+fn decode_record(payload: &[u8]) -> Result<(u64, u8, &[u8]), StoreError> {
+    if payload.len() < 9 {
+        return Err(StoreError::Corrupt(format!(
+            "WAL record of {} bytes is shorter than its header",
+            payload.len()
+        )));
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    Ok((seq, payload[8], &payload[9..]))
+}
+
+/// Applies one decoded operation to the entry map. Used both by live
+/// commits and by replay, so the two can never diverge.
+fn apply(entries: &mut BTreeMap<u64, Entry>, op: u8, body: &[u8]) -> Result<(), StoreError> {
+    let mut r = Reader::new(body);
+    let fp = r.u64("record fingerprint")?;
+    match op {
+        OP_REGISTER => {
+            let payload = r.bytes("register payload")?;
+            // Replay after a first-writer-wins race can only re-insert the
+            // same bytes; last write is as correct as first.
+            entries.insert(
+                fp,
+                Entry {
+                    payload,
+                    releases: Vec::new(),
+                },
+            );
+        }
+        OP_RELEASE => {
+            let record = r.bytes("release record")?;
+            // Lenient on a release whose dataset was deleted later in the
+            // log: the delete will drop it anyway, and strictness here
+            // would make replay order-fragile.
+            entries
+                .entry(fp)
+                .or_insert_with(|| Entry {
+                    payload: Vec::new(),
+                    releases: Vec::new(),
+                })
+                .releases
+                .push(record);
+        }
+        OP_DELETE => {
+            entries.remove(&fp);
+        }
+        other => {
+            return Err(StoreError::Corrupt(format!("unknown WAL opcode {other}")));
+        }
+    }
+    if !r.done() {
+        return Err(StoreError::Corrupt("WAL record has trailing bytes".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wcbk-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn register_release_delete_survive_reopen() {
+        let dir = tmp("basic");
+        {
+            let store = DatasetStore::open(&dir).unwrap();
+            assert!(store.register(7, b"dataset-seven").unwrap());
+            assert!(!store.register(7, b"other-bytes").unwrap());
+            assert_eq!(store.append_release(7, b"node-a").unwrap(), 1);
+            assert_eq!(store.append_release(7, b"node-b").unwrap(), 2);
+            assert!(store.register(9, b"dataset-nine").unwrap());
+            assert!(store.delete(9).unwrap());
+            assert!(!store.delete(9).unwrap());
+        }
+        let store = DatasetStore::open(&dir).unwrap();
+        let d = store.get(7).unwrap();
+        assert_eq!(d.payload, b"dataset-seven");
+        assert_eq!(d.releases, vec![b"node-a".to_vec(), b"node-b".to_vec()]);
+        assert!(store.get(9).is_none());
+        assert_eq!(store.fingerprints(), vec![7]);
+        // Five durable ops: the duplicate register and second delete were
+        // no-ops that never reached the WAL.
+        assert_eq!(store.stats().replayed_records, 5);
+    }
+
+    #[test]
+    fn release_to_unknown_fingerprint_is_rejected() {
+        let dir = tmp("unknown");
+        let store = DatasetStore::open(&dir).unwrap();
+        assert!(matches!(
+            store.append_release(5, b"x"),
+            Err(StoreError::UnknownDataset(5))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_state_survives() {
+        let dir = tmp("ckpt");
+        {
+            let store = DatasetStore::open_with(
+                &dir,
+                StoreOptions {
+                    checkpoint_bytes: 0,
+                },
+            )
+            .unwrap();
+            store.register(1, b"one").unwrap();
+            store.append_release(1, b"r").unwrap();
+            let s = store.stats();
+            assert_eq!(s.checkpoints, 2);
+            assert_eq!(s.wal_records, 0);
+            assert_eq!(s.wal_bytes, 0);
+        }
+        let store = DatasetStore::open(&dir).unwrap();
+        let s = store.stats();
+        // Everything came from the catalog file, not WAL replay.
+        assert_eq!(s.replayed_records, 0);
+        assert_eq!(store.get(1).unwrap().releases, vec![b"r".to_vec()]);
+    }
+
+    #[test]
+    fn stale_wal_after_checkpoint_rename_is_skipped() {
+        // Simulate a crash between catalog rename and WAL truncate: take a
+        // checkpoint, then restore the pre-checkpoint WAL bytes.
+        let dir = tmp("stale-wal");
+        let wal_before;
+        {
+            let store = DatasetStore::open(&dir).unwrap();
+            store.register(3, b"three").unwrap();
+            store.append_release(3, b"r0").unwrap();
+            wal_before = fs::read(dir.join("wal")).unwrap();
+            store.checkpoint().unwrap();
+        }
+        fs::write(dir.join("wal"), &wal_before).unwrap();
+        let store = DatasetStore::open(&dir).unwrap();
+        // Replay saw the records but skipped them as stale.
+        assert_eq!(store.stats().replayed_records, 0);
+        let d = store.get(3).unwrap();
+        assert_eq!(d.payload, b"three");
+        assert_eq!(d.releases, vec![b"r0".to_vec()]);
+        // The store remains writable at the right sequence.
+        store.append_release(3, b"r1").unwrap();
+        drop(store);
+        let store = DatasetStore::open(&dir).unwrap();
+        assert_eq!(store.get(3).unwrap().releases.len(), 2);
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_threshold() {
+        let dir = tmp("auto");
+        let store = DatasetStore::open_with(
+            &dir,
+            StoreOptions {
+                checkpoint_bytes: 64,
+            },
+        )
+        .unwrap();
+        store.register(1, &[0u8; 256]).unwrap();
+        assert_eq!(store.stats().checkpoints, 1);
+        assert_eq!(store.stats().wal_bytes, 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Append-only write-ahead log with length+checksum framing.
+//!
+//! Each record is framed as `[len: u32 LE][crc: u64 LE][payload: len bytes]`
+//! where `crc = fnv64(payload)`. Appends write the frame and `fsync` before
+//! returning, so a record that `append` acknowledged survives any crash.
+//! Replay scans frames from the front and stops at the first one that is
+//! truncated, oversized, or fails its checksum — that is the torn tail a
+//! crash mid-append leaves — and truncates the file back to the last good
+//! frame so later appends start from a clean boundary.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::codec::fnv64;
+use crate::StoreError;
+
+/// Frame header size: length (4) + checksum (8).
+const HEADER: usize = 12;
+
+/// Upper bound on a single record; a declared length past this is garbage,
+/// not a huge record (payloads are dataset blocks, well under this).
+const MAX_RECORD: u32 = 1 << 30;
+
+/// What replay found on open.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReplayReport {
+    /// Bytes cut off the tail (0 when the log ended cleanly).
+    pub truncated_bytes: u64,
+}
+
+/// The open log file plus its running size.
+pub struct Wal {
+    file: File,
+    /// Current file length — every byte of it is a valid frame.
+    pub bytes: u64,
+    /// Records appended or replayed since open.
+    pub records: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, replays every valid
+    /// frame into the returned payload list, and truncates any torn tail.
+    pub fn open(path: &Path) -> Result<(Self, Vec<Vec<u8>>, ReplayReport), StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+
+        let mut payloads = Vec::new();
+        let mut good = 0usize;
+        while raw.len() - good >= HEADER {
+            let len = u32::from_le_bytes(raw[good..good + 4].try_into().unwrap());
+            let crc = u64::from_le_bytes(raw[good + 4..good + 12].try_into().unwrap());
+            if len > MAX_RECORD {
+                break;
+            }
+            let end = good + HEADER + len as usize;
+            if end > raw.len() {
+                break;
+            }
+            let payload = &raw[good + HEADER..end];
+            if fnv64(payload) != crc {
+                break;
+            }
+            payloads.push(payload.to_vec());
+            good = end;
+        }
+
+        let truncated = (raw.len() - good) as u64;
+        if truncated > 0 {
+            file.set_len(good as u64)?;
+            file.sync_data()?;
+            // read_to_end left the cursor past the new EOF; appending there
+            // would punch a zero-filled hole the next replay reads as a
+            // torn frame. Park it at the truncation point.
+            file.seek(SeekFrom::Start(good as u64))?;
+        }
+        let report = ReplayReport {
+            truncated_bytes: truncated,
+        };
+        let wal = Wal {
+            file,
+            bytes: good as u64,
+            records: payloads.len() as u64,
+        };
+        Ok((wal, payloads, report))
+    }
+
+    /// Appends one framed record and syncs it to disk. When this returns
+    /// `Ok`, the record is durable.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&l| l <= MAX_RECORD)
+            .ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "record of {} bytes exceeds the WAL limit",
+                    payload.len()
+                ))
+            })?;
+        let mut frame = Vec::with_capacity(HEADER + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&fnv64(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        // One write so a crash tears at most this frame, never an earlier one.
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.bytes += frame.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Empties the log after a checkpoint made its contents redundant.
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        self.bytes = 0;
+        self.records = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wcbk-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal")
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = tmp("round");
+        {
+            let (mut wal, payloads, _) = Wal::open(&path).unwrap();
+            assert!(payloads.is_empty());
+            wal.append(b"one").unwrap();
+            wal.append(b"two-longer").unwrap();
+            wal.append(b"").unwrap();
+        }
+        let (wal, payloads, report) = Wal::open(&path).unwrap();
+        assert_eq!(
+            payloads,
+            vec![b"one".to_vec(), b"two-longer".to_vec(), Vec::new()]
+        );
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(wal.records, 3);
+    }
+
+    #[test]
+    fn torn_tail_at_every_byte_recovers_prefix() {
+        let path = tmp("torn");
+        let full = {
+            let (mut wal, _, _) = Wal::open(&path).unwrap();
+            wal.append(b"alpha").unwrap();
+            wal.append(b"beta-record").unwrap();
+            wal.append(b"gamma!").unwrap();
+            std::fs::read(&path).unwrap()
+        };
+        // Frame boundaries: after each record the prefix is fully valid.
+        let bounds = [0, 12 + 5, 12 + 5 + 12 + 11, full.len()];
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (_, payloads, report) = Wal::open(&path).unwrap();
+            let expect = bounds.iter().filter(|&&b| b <= cut && b > 0).count();
+            assert_eq!(payloads.len(), expect, "cut at byte {cut}");
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                bounds[expect] as u64,
+                "cut at byte {cut} should truncate to last good frame"
+            );
+            let at_boundary = bounds.contains(&cut);
+            assert_eq!(
+                report.truncated_bytes == 0,
+                at_boundary,
+                "cut at byte {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_tail_is_dropped_and_log_reusable() {
+        let path = tmp("garbage");
+        {
+            let (mut wal, _, _) = Wal::open(&path).unwrap();
+            wal.append(b"kept").unwrap();
+        }
+        // Simulate a torn append whose length bytes are pure noise.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&[0xff; 40]);
+        std::fs::write(&path, &raw).unwrap();
+        let (mut wal, payloads, report) = Wal::open(&path).unwrap();
+        assert_eq!(payloads, vec![b"kept".to_vec()]);
+        assert_eq!(report.truncated_bytes, 40);
+        // New appends after recovery land on a clean boundary.
+        wal.append(b"after").unwrap();
+        drop(wal);
+        let (_, payloads, _) = Wal::open(&path).unwrap();
+        assert_eq!(payloads, vec![b"kept".to_vec(), b"after".to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_checksum_mid_file_truncates_from_there() {
+        let path = tmp("crc");
+        {
+            let (mut wal, _, _) = Wal::open(&path).unwrap();
+            wal.append(b"first").unwrap();
+            wal.append(b"second").unwrap();
+        }
+        let mut raw = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the second record.
+        let idx = 12 + 5 + 12;
+        raw[idx] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        let (_, payloads, report) = Wal::open(&path).unwrap();
+        assert_eq!(payloads, vec![b"first".to_vec()]);
+        assert!(report.truncated_bytes > 0);
+    }
+}

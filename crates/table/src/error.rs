@@ -20,6 +20,9 @@ pub enum TableError {
     UnknownAttribute(String),
     /// Duplicate attribute name in a schema.
     DuplicateAttribute(String),
+    /// Reconstructing a table from pre-encoded parts failed validation
+    /// (codes out of dictionary range, ragged columns, arity mismatch).
+    InvalidParts(String),
     /// Malformed CSV input.
     Csv {
         /// One-based line number where the problem was detected.
@@ -52,6 +55,7 @@ impl fmt::Display for TableError {
             TableError::DuplicateAttribute(name) => {
                 write!(f, "attribute {name:?} appears more than once in schema")
             }
+            TableError::InvalidParts(m) => write!(f, "invalid table parts: {m}"),
             TableError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
             TableError::Io(e) => write!(f, "I/O error: {e}"),
         }

@@ -42,6 +42,20 @@ impl Column {
     pub fn cardinality(&self) -> usize {
         self.dict.len()
     }
+
+    /// Reassembles a column from a dictionary and pre-encoded codes — the
+    /// inverse of reading [`Column::dictionary`] and [`Column::codes`], used
+    /// when a persisted column block is loaded back. Every code must be in
+    /// the dictionary's range.
+    pub fn from_parts(dict: Dictionary, codes: Vec<u32>) -> Result<Self, TableError> {
+        let n = dict.len() as u32;
+        if let Some(&bad) = codes.iter().find(|&&c| c >= n) {
+            return Err(TableError::InvalidParts(format!(
+                "code {bad} out of range for a dictionary of {n} values"
+            )));
+        }
+        Ok(Self { dict, codes })
+    }
 }
 
 /// A dictionary-encoded table: the publisher's private table `T`.
@@ -119,6 +133,37 @@ impl Table {
     /// Looks up the sensitive-domain code for a value string.
     pub fn sensitive_code(&self, value: &str) -> Option<SValue> {
         self.sensitive_column().dictionary().code(value).map(SValue)
+    }
+
+    /// Reassembles a table from a schema and pre-encoded columns — the
+    /// inverse of reading the accessors, used when a persisted table is
+    /// loaded back. The column count must match the schema arity and every
+    /// column must have the same number of rows; the result is `==` to the
+    /// table the parts were read from.
+    pub fn from_parts(schema: Schema, columns: Vec<Column>) -> Result<Self, TableError> {
+        if columns.len() != schema.arity() {
+            return Err(TableError::InvalidParts(format!(
+                "{} columns for a schema of arity {}",
+                columns.len(),
+                schema.arity()
+            )));
+        }
+        let n_rows = columns.first().map_or(0, |c| c.codes.len());
+        if let Some((i, c)) = columns
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.codes.len() != n_rows)
+        {
+            return Err(TableError::InvalidParts(format!(
+                "column {i} has {} rows, expected {n_rows}",
+                c.codes.len()
+            )));
+        }
+        Ok(Self {
+            schema,
+            columns,
+            n_rows,
+        })
     }
 }
 
@@ -421,6 +466,32 @@ mod tests {
         let err = b.push_row(&["a", "b"]).unwrap_err();
         assert!(matches!(err, TableError::ArityMismatch { .. }));
         assert!(b.build().n_rows() == 1);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let t = demo_table();
+        // Disassemble into (dictionary, codes) parts and reassemble.
+        let columns: Vec<Column> = (0..t.schema().arity())
+            .map(|i| {
+                let c = t.column(i);
+                Column::from_parts(c.dictionary().clone(), c.codes().to_vec()).unwrap()
+            })
+            .collect();
+        let rebuilt = Table::from_parts(t.schema().clone(), columns).unwrap();
+        assert_eq!(rebuilt, t);
+
+        // Out-of-range code.
+        let bad = Column::from_parts(Dictionary::from_values(["a"]), vec![0, 1]);
+        assert!(matches!(bad, Err(TableError::InvalidParts(_))));
+        // Arity mismatch.
+        let bad = Table::from_parts(t.schema().clone(), Vec::new());
+        assert!(matches!(bad, Err(TableError::InvalidParts(_))));
+        // Ragged columns.
+        let c0 = Column::from_parts(Dictionary::from_values(["x"]), vec![0, 0]).unwrap();
+        let c1 = Column::from_parts(Dictionary::from_values(["y"]), vec![0]).unwrap();
+        let bad = Table::from_parts(t.schema().clone(), vec![c0, c1]);
+        assert!(matches!(bad, Err(TableError::InvalidParts(_))));
     }
 
     #[test]

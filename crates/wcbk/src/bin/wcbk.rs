@@ -10,10 +10,11 @@
 //! wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!            [--max-connections N] [--idle-timeout-ms N]
 //!            [--engine-cache-cap N] [--engine-budget N] [--session-budget N]
+//!            [--data-dir DIR]
 //! wcbk table add <csv> --addr HOST:PORT --sensitive COL [--qi ...] [--hierarchy ...] [--memo-cap N]
 //! wcbk table audit|search <id> --addr HOST:PORT [--k N] [--c F] [--threads N] [--schedule s]
 //! wcbk table release <id> --addr HOST:PORT --node L1,L2,...
-//! wcbk table composition|info|rm <id> --addr HOST:PORT
+//! wcbk table composition|history|info|rm <id> --addr HOST:PORT
 //! ```
 //!
 //! **Exit codes:** `0` success (and, for `audit`/`search` with a `--c`
@@ -42,12 +43,17 @@
 //! `/search`, `/batch` plus the dataset-handle `/tables` resources, and
 //! `/stats`, `/healthz`, `/shutdown`) on one shared engine until a graceful
 //! shutdown is requested; `--engine-cache-cap`/`--engine-budget`/
-//! `--session-budget` bound its memory under long-lived diverse traffic.
+//! `--session-budget` bound its memory under long-lived diverse traffic,
+//! and `--data-dir DIR` attaches the durable catalog: registrations and
+//! releases are WAL-persisted before they are acknowledged, and a
+//! restarted server resumes serving every acknowledged handle with
+//! bit-identical answers.
 //! `table` drives the handle resources of a **running** server: `add`
 //! registers a CSV once (idempotent content fingerprint), `audit`/`search`
 //! re-audit by handle without re-uploading, `release`/`composition` run the
-//! sequential-release monitor, `info`/`rm` inspect and drop. Audit and
-//! search verdicts map to exit code 2 exactly like the local verbs.
+//! sequential-release monitor, `history` prints the recorded release trail,
+//! `info`/`rm` inspect and drop. Audit and search verdicts map to exit
+//! code 2 exactly like the local verbs.
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -92,13 +98,14 @@ const USAGE: &str = "usage:
   wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
              [--max-connections N] [--idle-timeout-ms N]
              [--engine-cache-cap N] [--engine-budget N] [--session-budget N]
+             [--data-dir DIR]
   wcbk table add <csv> --addr HOST:PORT --sensitive COL [--qi COL[,COL...]]
              [--hierarchy COL:W1,W2,...]... [--memo-cap N] [--no-header]
   wcbk table audit <id> --addr HOST:PORT [--k N] [--c F]
   wcbk table search <id> --addr HOST:PORT --c F [--k N] [--threads N] [--schedule s]
   wcbk table release <id> --addr HOST:PORT --node L1,L2,...
   wcbk table composition <id> --addr HOST:PORT [--k N] [--c F]
-  wcbk table info|rm <id> --addr HOST:PORT
+  wcbk table history|info|rm <id> --addr HOST:PORT
 
 exit codes: 0 ok/safe, 1 error, 2 unsafe verdict (audit with --c, or a
 search that found no safe generalization)";
@@ -147,6 +154,8 @@ struct Options {
     engine_budget: Option<u64>,
     /// `serve`: session-store budget (Σ bottom groups across handles).
     session_budget: Option<u64>,
+    /// `serve`: durable catalog directory (crash-safe handles).
+    data_dir: Option<String>,
     /// `table release`: the lattice node to record (one level per qi).
     node: Option<Vec<u64>>,
 }
@@ -297,6 +306,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|e| format!("--session-budget: {e}"))?,
                 )
             }
+            "--data-dir" => opts.data_dir = Some(need_value("--data-dir", &mut it)?),
             "--node" => {
                 let v = need_value("--node", &mut it)?;
                 opts.node = Some(
@@ -584,11 +594,15 @@ fn serve_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
             engine_budget: opts.engine_budget,
             session_budget: opts.session_budget,
         },
+        data_dir: opts.data_dir.clone().map(std::path::PathBuf::from),
         ..wcbk::serve::ServerConfig::default()
     };
     let server = wcbk::serve::Server::bind(&config)?;
+    if let Some(dir) = &config.data_dir {
+        eprintln!("wcbk serve: durable catalog at {}", dir.display());
+    }
     eprintln!(
-        "wcbk serve: listening on http://{} (endpoints: /tables /tables/{{id}}/audit|search|batch|release|composition /audit /search /batch /stats /healthz /shutdown)",
+        "wcbk serve: listening on http://{} (endpoints: /tables /tables/{{id}}/audit|search|batch|release|composition|history /audit /search /batch /stats /healthz /shutdown)",
         server.local_addr()
     );
     server.run()?;
@@ -596,8 +610,8 @@ fn serve_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
     Ok(Verdict::Ok)
 }
 
-/// `wcbk table <add|audit|search|release|composition|info|rm>`: drive the
-/// dataset-handle resources of a **running** server.
+/// `wcbk table <add|audit|search|release|composition|history|info|rm>`:
+/// drive the dataset-handle resources of a **running** server.
 fn table_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
     use wcbk::serve::http::client::Client;
     use wcbk::serve::Json;
@@ -606,7 +620,7 @@ fn table_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
         .positional
         .get(1)
         .map(String::as_str)
-        .ok_or("table needs an action: add|audit|search|release|composition|info|rm")?;
+        .ok_or("table needs an action: add|audit|search|release|composition|history|info|rm")?;
     let addr = opts.addr.as_deref().ok_or("--addr HOST:PORT is required")?;
     let mut client = Client::connect(addr, Some(std::time::Duration::from_secs(120)))?;
 
@@ -694,6 +708,10 @@ fn table_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
                 Json::Array(node.iter().map(|&l| l.into()).collect()),
             )]);
             client.post(&format!("/tables/{id}/release"), &body.to_string())?
+        }
+        "history" => {
+            let id = opts.positional.get(2).ok_or("table history needs <id>")?;
+            client.get(&format!("/tables/{id}/history"))?
         }
         "info" => {
             let id = opts.positional.get(2).ok_or("table info needs <id>")?;

@@ -42,6 +42,7 @@
 //! | [`anonymize`] | privacy criteria, Incognito-style search, utility |
 //! | [`datagen`] | synthetic Adult and random workloads |
 //! | [`serve`] | batch/streaming HTTP audit service on the shared engine |
+//! | [`store`] | embedded WAL-backed durable dataset catalog (`serve --data-dir`) |
 
 pub use wcbk_anonymize as anonymize;
 pub use wcbk_core as core;
@@ -49,6 +50,7 @@ pub use wcbk_datagen as datagen;
 pub use wcbk_hierarchy as hierarchy;
 pub use wcbk_logic as logic;
 pub use wcbk_serve as serve;
+pub use wcbk_store as store;
 pub use wcbk_table as table;
 pub use wcbk_worlds as worlds;
 

@@ -1,0 +1,107 @@
+//! Repository documentation link check: every relative markdown link in
+//! `README.md` and `docs/*.md` must resolve to a real file (anchors and
+//! absolute URLs are out of scope). Docs rot silently; CI runs this test
+//! so a renamed file breaks the build instead of the reader.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/wcbk is two levels below the repo root")
+        .to_path_buf()
+}
+
+/// Extracts `](target)` link targets from markdown, skipping code fences.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(at) = rest.find("](") {
+            rest = &rest[at + 2..];
+            if let Some(end) = rest.find(')') {
+                targets.push(rest[..end].to_owned());
+                rest = &rest[end + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+    targets
+}
+
+fn is_relative_file_link(target: &str) -> bool {
+    !(target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+        || target.is_empty())
+}
+
+#[test]
+fn relative_links_in_readme_and_docs_resolve() {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    assert!(docs.is_dir(), "docs/ directory missing");
+    for entry in fs::read_dir(&docs).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    assert!(
+        files.len() >= 3,
+        "expected README.md plus at least two docs"
+    );
+
+    let mut broken = Vec::new();
+    for file in &files {
+        let text =
+            fs::read_to_string(file).unwrap_or_else(|e| panic!("reading {}: {e}", file.display()));
+        let base = file.parent().unwrap();
+        for target in link_targets(&text) {
+            if !is_relative_file_link(&target) {
+                continue;
+            }
+            // Strip any #anchor suffix; the file part must exist.
+            let path_part = target.split('#').next().unwrap();
+            if path_part.is_empty() {
+                continue;
+            }
+            let resolved = base.join(path_part);
+            if !resolved.exists() {
+                broken.push(format!(
+                    "{} -> {target} ({} does not exist)",
+                    file.display(),
+                    resolved.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn extractor_sees_links_and_skips_fences() {
+    let md = "see [a](one.md) and [b](two.md#sec)\n```\n[x](fenced.md)\n```\n[c](https://e.com)";
+    let targets = link_targets(md);
+    assert_eq!(targets, vec!["one.md", "two.md#sec", "https://e.com"]);
+    assert!(is_relative_file_link("one.md"));
+    assert!(!is_relative_file_link("https://e.com"));
+    assert!(!is_relative_file_link("#anchor"));
+}

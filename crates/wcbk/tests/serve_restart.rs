@@ -1,0 +1,218 @@
+//! Kill-the-real-binary durability test: run `wcbk serve --data-dir`,
+//! register and release over real sockets, **SIGKILL** the process (no
+//! graceful shutdown, no flush), restart on the same directory, and demand
+//! bit-identical answers for every acknowledged handle. This is the
+//! end-to-end version of the store crate's byte-level crash matrix.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("wcbk-sigkill-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A running `wcbk serve` child; killed (not shut down) on drop so a
+/// panicking test never leaks the process.
+struct ServerProcess {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProcess {
+    /// Spawns `wcbk serve --addr 127.0.0.1:0 --data-dir <dir>` and parses
+    /// the bound address from the startup line on stderr.
+    fn start(data_dir: &Path) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_wcbk"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--data-dir",
+                data_dir.to_str().unwrap(),
+            ])
+            .stderr(Stdio::piped())
+            .stdout(Stdio::null())
+            .spawn()
+            .expect("spawn wcbk serve");
+        let stderr = child.stderr.take().unwrap();
+        let mut lines = BufReader::new(stderr).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("server exited before announcing its address")
+                .unwrap();
+            if let Some(rest) = line.split("listening on http://").nth(1) {
+                break rest
+                    .split_whitespace()
+                    .next()
+                    .expect("address after listening banner")
+                    .to_owned();
+            }
+        };
+        // Keep draining stderr in the background so the child never blocks
+        // on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        ServerProcess { child, addr }
+    }
+
+    /// SIGKILL — the point of the test: no destructors, no flushes.
+    fn kill(mut self) {
+        self.child.kill().expect("kill server");
+        self.child.wait().expect("reap server");
+    }
+}
+
+impl Drop for ServerProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One HTTP/1.1 request on a fresh connection (`Connection: close`), body
+/// returned as a string. Hand-rolled so the test exercises the real wire.
+fn request(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: wcbk\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    // Responses may be chunked; strip the framing if present.
+    let payload = if raw
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        let mut out = String::new();
+        let mut rest = payload.as_str();
+        while let Some((size, tail)) = rest.split_once("\r\n") {
+            let n = usize::from_str_radix(size.trim(), 16).unwrap_or(0);
+            if n == 0 {
+                break;
+            }
+            out.push_str(&tail[..n]);
+            rest = &tail[n + 2..];
+        }
+        out
+    } else {
+        payload
+    };
+    (status, payload)
+}
+
+fn json_str_field(body: &str, key: &str) -> String {
+    let marker = format!("\"{key}\":");
+    let at = body.find(&marker).unwrap_or_else(|| {
+        panic!("field {key:?} missing in {body}");
+    });
+    let rest = &body[at + marker.len()..];
+    let rest = rest.trim_start().trim_start_matches('"');
+    rest.split('"').next().unwrap().to_owned()
+}
+
+#[test]
+fn sigkill_and_restart_preserve_acknowledged_handles() {
+    let scratch = Scratch::new("e2e");
+    let register_body = r#"{"csv":"Age,Sex,Disease\n21,M,Flu\n22,F,Flu\n23,M,Cold\n24,F,Cold\n31,M,Flu\n32,F,Cold\n","sensitive":"Disease","qi":["Age","Sex"],"hierarchy":{"Age":[10]}}"#;
+    let audit_body = r#"{"k":2,"c":0.9}"#;
+
+    // ---- Life one: register, release, record the acknowledged answers.
+    let server = ServerProcess::start(&scratch.0);
+    let (status, reg) = request(&server.addr, "POST", "/tables", Some(register_body));
+    assert_eq!(status, 200, "register: {reg}");
+    let id = json_str_field(&reg, "id");
+    let (status, _) = request(
+        &server.addr,
+        "POST",
+        &format!("/tables/{id}/release"),
+        Some(r#"{"node":[1,1]}"#),
+    );
+    assert_eq!(status, 200);
+    let (status, audit_before) = request(
+        &server.addr,
+        "POST",
+        &format!("/tables/{id}/audit"),
+        Some(audit_body),
+    );
+    assert_eq!(status, 200, "audit: {audit_before}");
+    let (_, composition_before) = request(
+        &server.addr,
+        "POST",
+        &format!("/tables/{id}/composition"),
+        Some(audit_body),
+    );
+    let (_, history_before) = request(&server.addr, "GET", &format!("/tables/{id}/history"), None);
+
+    // Fire one more registration and kill without reading the response:
+    // whether or not it landed, the restart below must boot cleanly.
+    let in_flight =
+        r#"{"csv":"Age,Disease\n41,Flu\n42,Cold\n","sensitive":"Disease","qi":["Age"]}"#;
+    let mut fire = TcpStream::connect(&server.addr).unwrap();
+    write!(
+        fire,
+        "POST /tables HTTP/1.1\r\nHost: wcbk\r\nContent-Length: {}\r\n\r\n{in_flight}",
+        in_flight.len()
+    )
+    .unwrap();
+    fire.flush().unwrap();
+    server.kill();
+    drop(fire);
+
+    // ---- Life two: same directory, a new process.
+    let server = ServerProcess::start(&scratch.0);
+    let (status, info) = request(&server.addr, "GET", &format!("/tables/{id}"), None);
+    assert_eq!(status, 200, "acknowledged handle lost to SIGKILL: {info}");
+    let (_, audit_after) = request(
+        &server.addr,
+        "POST",
+        &format!("/tables/{id}/audit"),
+        Some(audit_body),
+    );
+    assert_eq!(audit_after, audit_before, "audit verdict drifted");
+    let (_, composition_after) = request(
+        &server.addr,
+        "POST",
+        &format!("/tables/{id}/composition"),
+        Some(audit_body),
+    );
+    assert_eq!(
+        composition_after, composition_before,
+        "composition verdict drifted"
+    );
+    let (_, history_after) = request(&server.addr, "GET", &format!("/tables/{id}/history"), None);
+    assert_eq!(history_after, history_before, "release history drifted");
+    server.kill();
+}
