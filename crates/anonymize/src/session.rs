@@ -256,6 +256,18 @@ impl DatasetSession {
         self.evaluator().map(NodeEvaluator::stats)
     }
 
+    /// Like [`rollup_stats`](Self::rollup_stats) but never forces the
+    /// evaluator build: returns `None` both when the fallback is active and
+    /// when no search has needed the evaluator yet. Profiling callers take
+    /// their "before" snapshot through this so the one table scan stays
+    /// inside the timed section instead of being pulled forward.
+    pub fn rollup_stats_peek(&self) -> Option<RollupStats> {
+        self.evaluator
+            .get()
+            .and_then(|e| e.as_ref())
+            .map(NodeEvaluator::stats)
+    }
+
     /// Whether `other` holds exactly the same dataset: same schema (names
     /// and roles), same row codes and dictionary values in every column,
     /// and the same lattice structure (columns, level maps). This is the

@@ -262,6 +262,64 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     sorted_ms[rank]
 }
 
+/// Estimates quantiles of the server-side `wcbk_http_request_micros`
+/// histogram from a Prometheus `/metrics` exposition. Bucket counts are
+/// summed across endpoint labels (cumulative buckets stay cumulative under
+/// addition), then each quantile is linearly interpolated inside its
+/// bucket — the same estimate `histogram_quantile()` would give. Returns
+/// `(p50, p90, p99)` in milliseconds, or `None` if the series is absent
+/// or empty.
+fn scrape_server_quantiles(exposition: &str) -> Option<(f64, f64, f64)> {
+    let mut buckets: Vec<(f64, f64)> = Vec::new(); // (upper bound µs, cumulative count)
+    for line in exposition.lines() {
+        let Some(rest) = line.strip_prefix("wcbk_http_request_micros_bucket{") else {
+            continue;
+        };
+        let parsed = (|| {
+            let le_start = rest.find("le=\"")? + 4;
+            let le_end = le_start + rest[le_start..].find('"')?;
+            let le = match &rest[le_start..le_end] {
+                "+Inf" => f64::INFINITY,
+                bound => bound.parse().ok()?,
+            };
+            let count: f64 = rest.rsplit_once(' ')?.1.parse().ok()?;
+            Some((le, count))
+        })();
+        if let Some((le, count)) = parsed {
+            match buckets.iter_mut().find(|(bound, _)| *bound == le) {
+                Some((_, total)) => *total += count,
+                None => buckets.push((le, count)),
+            }
+        }
+    }
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let total = buckets.last().map(|&(_, count)| count)?;
+    if total <= 0.0 {
+        return None;
+    }
+    let quantile = |q: f64| -> f64 {
+        let rank = q * total;
+        let mut previous = (0.0, 0.0);
+        for &(bound, cumulative) in &buckets {
+            if cumulative >= rank {
+                if bound.is_infinite() {
+                    return previous.0 / 1e3;
+                }
+                let in_bucket = cumulative - previous.1;
+                let fraction = if in_bucket > 0.0 {
+                    (rank - previous.1) / in_bucket
+                } else {
+                    1.0
+                };
+                return (previous.0 + (bound - previous.0) * fraction) / 1e3;
+            }
+            previous = (bound, cumulative);
+        }
+        previous.0 / 1e3
+    };
+    Some((quantile(0.50), quantile(0.90), quantile(0.99)))
+}
+
 /// Baseline connection count the conn-scale phase compares against.
 const SCALE_BASELINE_CONNS: usize = 8;
 /// Total requests offered per conn-scale measurement (same at both counts).
@@ -615,10 +673,14 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
         scale_ratio = Some(ratio);
     }
 
-    // Server-side counters after the run (best effort).
+    // Server-side counters after the run (best effort): /stats for cache
+    // and admission numbers, /metrics for the server's own view of request
+    // latency — scraped from the `wcbk_http_request_micros` histogram so
+    // the committed report carries both sides of every percentile.
     let mut cache_hits = Json::Null;
     let mut cache_hit_rate = Json::Null;
     let mut rejected = Json::Null;
+    let mut server_quantiles: Option<(f64, f64, f64)> = None;
     if let Ok(mut client) = Client::connect(&config.addr, Some(Duration::from_secs(5))) {
         if let Ok(stats) = client.get("/stats").and_then(|r| r.json()) {
             let engine = stats.get("engine_cache");
@@ -636,7 +698,13 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
                 .cloned()
                 .unwrap_or(Json::Null);
         }
+        if let Ok(metrics) = client.get("/metrics") {
+            server_quantiles = scrape_server_quantiles(&metrics.body);
+        }
     }
+    let quantile_json = |pick: fn((f64, f64, f64)) -> f64| {
+        server_quantiles.map_or(Json::Null, |qs| pick(qs).into())
+    };
     if config.shutdown {
         eprintln!("requesting graceful shutdown…");
         let mut client = Client::connect(&config.addr, Some(Duration::from_secs(10)))?;
@@ -692,6 +760,13 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
                 ("engine_cache_hits", cache_hits),
                 ("engine_cache_hit_rate", cache_hit_rate),
                 ("rejected_503", rejected),
+                // Server-side request latency (all endpoints, full process
+                // lifetime) — bucket-interpolated from /metrics, so
+                // coarser than the exact client-side percentiles above
+                // but free of client scheduling noise.
+                ("latency_ms_p50", quantile_json(|(p50, _, _)| p50)),
+                ("latency_ms_p90", quantile_json(|(_, p90, _)| p90)),
+                ("latency_ms_p99", quantile_json(|(_, _, p99)| p99)),
             ]),
         ),
         ("failures", failures.len().into()),
@@ -938,5 +1013,46 @@ mod tests {
         );
         assert_eq!(scale.get("failures").and_then(Json::as_u64), Some(0));
         assert!(scale.get("p99_ratio").and_then(Json::as_f64).unwrap() > 0.0);
+        // The server-side percentiles were scraped from /metrics and sit
+        // next to the client-side numbers.
+        let server = report.get("server").unwrap();
+        for key in ["latency_ms_p50", "latency_ms_p90", "latency_ms_p99"] {
+            assert!(
+                server.get(key).and_then(Json::as_f64).unwrap() > 0.0,
+                "{key} in {server}"
+            );
+        }
+        assert!(
+            server.get("latency_ms_p50").and_then(Json::as_f64)
+                <= server.get("latency_ms_p99").and_then(Json::as_f64)
+        );
+    }
+
+    #[test]
+    fn server_quantiles_interpolate_and_merge_labels() {
+        // Two endpoint labels over bounds 100/1000/+Inf µs; merged counts
+        // are 8 ≤ 100µs, 2 in (100, 1000]. p50 falls inside the first
+        // bucket, p99 inside the second.
+        let exposition = "\
+# TYPE wcbk_http_request_micros histogram
+wcbk_http_request_micros_bucket{endpoint=\"/audit\",le=\"100\"} 5
+wcbk_http_request_micros_bucket{endpoint=\"/audit\",le=\"1000\"} 6
+wcbk_http_request_micros_bucket{endpoint=\"/audit\",le=\"+Inf\"} 6
+wcbk_http_request_micros_bucket{endpoint=\"/search\",le=\"100\"} 3
+wcbk_http_request_micros_bucket{endpoint=\"/search\",le=\"1000\"} 4
+wcbk_http_request_micros_bucket{endpoint=\"/search\",le=\"+Inf\"} 4
+wcbk_http_request_micros_sum{endpoint=\"/audit\"} 900
+wcbk_http_request_micros_count{endpoint=\"/audit\"} 6
+";
+        let (p50, p90, p99) = scrape_server_quantiles(exposition).unwrap();
+        assert!((p50 - 0.0625).abs() < 1e-9, "p50 {p50}");
+        assert!((p90 - 0.55).abs() < 1e-9, "p90 {p90}");
+        assert!(p99 > p90 && p99 <= 1.0, "p99 {p99}");
+        // No histogram lines → no estimate; zero traffic → no estimate.
+        assert!(scrape_server_quantiles("# nothing here\n").is_none());
+        assert!(scrape_server_quantiles(
+            "wcbk_http_request_micros_bucket{endpoint=\"/audit\",le=\"+Inf\"} 0\n"
+        )
+        .is_none());
     }
 }

@@ -59,6 +59,12 @@ pub struct CacheStats {
     pub groups: u64,
     /// Entries evicted to respect the cache budget (0 when unbounded).
     pub evictions: u64,
+    /// Cumulative microseconds spent building MINIMIZE1 tables on cache
+    /// misses (the `O(k³)` work memoization exists to avoid).
+    pub build_micros: u64,
+    /// High-water mark of the retained group weight since the engine was
+    /// created — the memory-broker accounting signal.
+    pub peak_groups: u64,
 }
 
 impl CacheStats {
@@ -91,7 +97,11 @@ pub struct DisclosureEngine {
     capacity: Option<u64>,
     /// Σ entry weights currently retained (all shards).
     groups: AtomicU64,
+    /// High-water mark of `groups`.
+    peak_groups: AtomicU64,
     evictions: AtomicU64,
+    /// Cumulative MINIMIZE1 build time on misses, in microseconds.
+    build_micros: AtomicU64,
     /// Monotone tick supplying `CacheEntry::touch` values.
     clock: AtomicU64,
 }
@@ -124,7 +134,9 @@ impl DisclosureEngine {
             misses: AtomicU64::new(0),
             capacity: capacity.map(|c| c.max(1)),
             groups: AtomicU64::new(0),
+            peak_groups: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            build_micros: AtomicU64::new(0),
             clock: AtomicU64::new(0),
         }
     }
@@ -159,6 +171,8 @@ impl DisclosureEngine {
             entries: self.cache_len(),
             groups: self.groups.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            build_micros: self.build_micros.load(Ordering::Relaxed),
+            peak_groups: self.peak_groups.load(Ordering::Relaxed),
         }
     }
 
@@ -187,8 +201,13 @@ impl DisclosureEngine {
         // Build outside any lock: the O(k³) table dominates, and concurrent
         // builders for the same key are rare (they waste a little work but
         // never race on results — the first insert wins below).
+        let build_started = std::time::Instant::now();
         let table = Minimize1Table::build(hist, self.k + 1);
         let costs = BucketCosts::new(&table, hist.frequency(0), hist.n());
+        self.build_micros.fetch_add(
+            build_started.elapsed().as_micros() as u64,
+            Ordering::Relaxed,
+        );
         let bucket = Arc::new(CachedBucket { table, costs });
         self.misses.fetch_add(1, Ordering::Relaxed);
         let weight = entry_weight(hist.key());
@@ -210,7 +229,8 @@ impl DisclosureEngine {
                         bucket: Arc::clone(&bucket),
                         touch: AtomicU64::new(self.tick()),
                     });
-                    self.groups.fetch_add(weight, Ordering::Relaxed);
+                    let now = self.groups.fetch_add(weight, Ordering::Relaxed) + weight;
+                    self.peak_groups.fetch_max(now, Ordering::Relaxed);
                 }
             }
         }

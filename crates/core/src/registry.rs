@@ -42,6 +42,9 @@ pub struct EngineRegistry {
     budget: Option<u64>,
     clock: AtomicU64,
     evictions: AtomicU64,
+    /// High-water of Σ retained groups, sampled wherever the total is
+    /// computed (budget checks and [`EngineRegistry::stats`] snapshots).
+    peak_groups: AtomicU64,
 }
 
 /// Snapshot of a registry: per-`k` cache stats plus registry-level totals.
@@ -53,6 +56,9 @@ pub struct RegistryStats {
     pub groups: u64,
     /// Engines dropped to respect the registry budget.
     pub evictions: u64,
+    /// High-water mark of Σ retained groups observed at snapshot points
+    /// since the registry was created (survives engine eviction).
+    pub peak_groups: u64,
     /// Per-`k` cache stats, ascending in `k`.
     pub per_k: Vec<(usize, CacheStats)>,
 }
@@ -67,6 +73,8 @@ impl RegistryStats {
                 entries: 0,
                 groups: 0,
                 evictions: 0,
+                build_micros: 0,
+                peak_groups: 0,
             },
             |acc, (_, s)| CacheStats {
                 hits: acc.hits + s.hits,
@@ -74,6 +82,8 @@ impl RegistryStats {
                 entries: acc.entries + s.entries,
                 groups: acc.groups + s.groups,
                 evictions: acc.evictions + s.evictions,
+                build_micros: acc.build_micros + s.build_micros,
+                peak_groups: acc.peak_groups + s.peak_groups,
             },
         )
     }
@@ -104,6 +114,7 @@ impl EngineRegistry {
             budget: budget.map(|b| b.max(1)),
             clock: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            peak_groups: AtomicU64::new(0),
         }
     }
 
@@ -148,6 +159,7 @@ impl EngineRegistry {
             // total retained weight fits.
             while engines.len() > 1 {
                 let total: u64 = engines.values().map(|e| e.engine.stats().groups).sum();
+                self.peak_groups.fetch_max(total, Ordering::Relaxed);
                 if total <= budget {
                     break;
                 }
@@ -186,10 +198,13 @@ impl EngineRegistry {
             .map(|(&k, e)| (k, e.engine.stats()))
             .collect();
         per_k.sort_by_key(|&(k, _)| k);
+        let groups: u64 = per_k.iter().map(|(_, s)| s.groups).sum();
+        self.peak_groups.fetch_max(groups, Ordering::Relaxed);
         RegistryStats {
             engines: per_k.len(),
-            groups: per_k.iter().map(|(_, s)| s.groups).sum(),
+            groups,
             evictions: self.evictions.load(Ordering::Relaxed),
+            peak_groups: self.peak_groups.load(Ordering::Relaxed),
             per_k,
         }
     }

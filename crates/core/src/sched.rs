@@ -62,6 +62,13 @@ pub struct ScheduleOutcome {
     /// pruned between the claim and the evaluation (pruning is final, so the
     /// verdict could never be committed).
     pub abandoned: usize,
+    /// Nodes a worker took from a sibling's deque rather than its own
+    /// (always 0 for the sequential evaluator). Schedule-dependent: varies
+    /// run to run, so equivalence tests must not compare it.
+    pub steals: usize,
+    /// Wall-clock time spent draining the DAG, in microseconds.
+    /// Schedule-dependent, like `steals`.
+    pub wall_micros: u64,
 }
 
 impl ScheduleOutcome {
@@ -130,6 +137,7 @@ pub fn evaluate_sequential<E, F>(dag: &MonotoneDag, eval: F) -> Result<ScheduleO
 where
     F: Fn(usize) -> Result<bool, E>,
 {
+    let started = std::time::Instant::now();
     let n = dag.n_nodes();
     let mut resolutions = Vec::with_capacity(n);
     let mut safe = vec![false; n];
@@ -154,6 +162,8 @@ where
         speculated: 0,
         discarded: 0,
         abandoned: 0,
+        steals: 0,
+        wall_micros: started.elapsed().as_micros() as u64,
     })
 }
 
@@ -202,6 +212,8 @@ struct Shared<'d, E, F> {
     speculated: AtomicUsize,
     /// Speculative claims dropped before evaluating (node pruned mid-flight).
     abandoned: AtomicUsize,
+    /// Nodes popped from a sibling's deque rather than the worker's own.
+    steals: AtomicUsize,
     /// Errors from *required* evaluations, with their node index.
     errors: Mutex<Vec<(u32, E)>>,
     /// Set when a worker unwinds, so siblings stop instead of spinning.
@@ -230,6 +242,7 @@ where
             resolved: AtomicUsize::new(0),
             speculated: AtomicUsize::new(0),
             abandoned: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
             errors: Mutex::new(Vec::new()),
             abort: AtomicBool::new(false),
         }
@@ -249,6 +262,7 @@ where
         for offset in 1..workers {
             let victim = (w + offset) % workers;
             if let Some(i) = self.lock_queue(victim).pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(i);
             }
         }
@@ -447,6 +461,7 @@ where
     E: Send,
     F: Fn(usize) -> Result<bool, E> + Sync,
 {
+    let started = std::time::Instant::now();
     let n = dag.n_nodes();
     if n == 0 {
         return Ok(ScheduleOutcome {
@@ -455,6 +470,8 @@ where
             speculated: 0,
             discarded: 0,
             abandoned: 0,
+            steals: 0,
+            wall_micros: 0,
         });
     }
     let workers = workers.clamp(1, n);
@@ -523,6 +540,8 @@ where
         speculated: shared.speculated.load(Ordering::Relaxed),
         discarded,
         abandoned: shared.abandoned.load(Ordering::Relaxed),
+        steals: shared.steals.load(Ordering::Relaxed),
+        wall_micros: started.elapsed().as_micros() as u64,
     })
 }
 

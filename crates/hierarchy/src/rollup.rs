@@ -153,6 +153,12 @@ pub struct RollupStats {
     pub memo_groups: u64,
     /// Distinct signatures at the lattice bottom (the scan's output size).
     pub bottom_groups: usize,
+    /// Wall-clock microseconds the construction-time bottom scan took.
+    /// Schedule/machine-dependent: equivalence tests must not compare it.
+    pub scan_micros: u64,
+    /// Cumulative wall-clock microseconds spent deriving node tables
+    /// (re-keying and merging, the `O(groups × dims)` roll-up work).
+    pub derive_micros: u64,
 }
 
 /// A memoized node table plus its last-touch tick for LRU eviction.
@@ -234,6 +240,13 @@ struct RollupEngine<S> {
     ancestor_derived: AtomicU64,
     memo_hits: AtomicU64,
     evictions: AtomicU64,
+    /// Wall time of the construction-time bottom scan, in microseconds.
+    scan_micros: u64,
+    /// Per-chunk scan wall times in chunk index order (one entry for the
+    /// reference or single-chunk scan).
+    scan_chunk_micros: Vec<u64>,
+    /// Cumulative derivation wall time, in microseconds.
+    derive_micros: AtomicU64,
 }
 
 /// The per-dimension field layout, shared by both signature widths.
@@ -290,7 +303,12 @@ impl<S: Signature> RollupEngine<S> {
             .collect();
         let sensitive = table.sensitive_column().codes();
         let domain = table.sensitive_cardinality();
-        let ScanResult { sigs, counts } = if scan.reference {
+        let scan_started = std::time::Instant::now();
+        let ScanResult {
+            sigs,
+            counts,
+            chunk_micros,
+        } = if scan.reference {
             scan::scan_reference::<S>(&columns, &layout.shifts, &layout.masks, sensitive)
         } else {
             scan::scan_kernel::<S>(
@@ -302,6 +320,7 @@ impl<S: Signature> RollupEngine<S> {
                 scan.effective_threads(),
             )
         };
+        let scan_micros = scan_started.elapsed().as_micros() as u64;
         let bottom = Arc::new(NodeTable { sigs, counts });
 
         Self {
@@ -318,6 +337,9 @@ impl<S: Signature> RollupEngine<S> {
             ancestor_derived: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            scan_micros,
+            scan_chunk_micros: chunk_micros,
+            derive_micros: AtomicU64::new(0),
         }
     }
 
@@ -335,6 +357,8 @@ impl<S: Signature> RollupEngine<S> {
             memo_entries,
             memo_groups,
             bottom_groups: self.bottom.sigs.len(),
+            scan_micros: self.scan_micros,
+            derive_micros: self.derive_micros.load(Ordering::Relaxed),
         }
     }
 
@@ -357,6 +381,7 @@ impl<S: Signature> RollupEngine<S> {
             .zip(levels)
             .map(|(&d, &level)| (d, self.lattice.hierarchy(d).level_map(level)))
             .collect();
+        let derive_started = std::time::Instant::now();
         let table = NodeTable::derive(&self.bottom, self.domain_size as usize, |sig| {
             let mut out = S::zero();
             for &(d, map) in &maps {
@@ -365,6 +390,10 @@ impl<S: Signature> RollupEngine<S> {
             }
             out
         });
+        self.derive_micros.fetch_add(
+            derive_started.elapsed().as_micros() as u64,
+            Ordering::Relaxed,
+        );
         self.derived.fetch_add(1, Ordering::Relaxed);
         table.histogram_set(self.domain_size)
     }
@@ -450,6 +479,7 @@ impl<S: Signature> RollupEngine<S> {
 
         // Re-key every dimension whose level differs, through (possibly
         // composed) parent maps.
+        let derive_started = std::time::Instant::now();
         let maps: Vec<(u32, u64, Cow<'_, [u32]>)> = (0..self.lattice.n_dims())
             .filter(|&d| src_node.0[d] < node.0[d])
             .map(|d| {
@@ -468,6 +498,10 @@ impl<S: Signature> RollupEngine<S> {
             }
             out
         });
+        self.derive_micros.fetch_add(
+            derive_started.elapsed().as_micros() as u64,
+            Ordering::Relaxed,
+        );
         self.derived.fetch_add(1, Ordering::Relaxed);
         self.insert_memo(node.clone(), Arc::new(table))
     }
@@ -618,6 +652,17 @@ impl NodeEvaluator {
         match &self.inner {
             Inner::Narrow(e) => e.stats(),
             Inner::Wide(e) => e.stats(),
+        }
+    }
+
+    /// Per-chunk wall times of the construction-time bottom scan, in chunk
+    /// index order (a single entry when the scan ran as one chunk or via
+    /// the reference path). Sums to roughly CPU time, not wall time, when
+    /// chunks ran in parallel.
+    pub fn scan_chunk_micros(&self) -> &[u64] {
+        match &self.inner {
+            Inner::Narrow(e) => &e.scan_chunk_micros,
+            Inner::Wide(e) => &e.scan_chunk_micros,
         }
     }
 

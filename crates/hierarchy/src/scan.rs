@@ -415,16 +415,21 @@ fn merge_sorted(dst: &mut Vec<(SValue, u64)>, src: &[(SValue, u64)]) {
 }
 
 /// The scan's output: distinct signatures in first-row-occurrence order and
-/// their value-sorted sensitive count rows.
+/// their value-sorted sensitive count rows, plus per-chunk wall timings
+/// (one entry per chunk in chunk index order; a single entry for the
+/// reference or single-chunk scan) for phase profiling.
 pub(crate) struct ScanResult<S> {
     pub(crate) sigs: Vec<S>,
     pub(crate) counts: Vec<Vec<(SValue, u64)>>,
+    pub(crate) chunk_micros: Vec<u64>,
 }
 
 /// One chunk's partial scan, in the chunk's own first-occurrence order.
 struct ChunkScan<S> {
     sigs: Vec<S>,
     counts: Vec<Vec<(SValue, u64)>>,
+    /// Wall time this chunk's scan took, in microseconds.
+    micros: u64,
 }
 
 /// Default rows per chunk: large enough to amortize per-chunk map and tally
@@ -440,6 +445,7 @@ fn scan_chunk<S: Signature>(
     start: usize,
     end: usize,
 ) -> ChunkScan<S> {
+    let started = std::time::Instant::now();
     let mut sig_buf = vec![S::zero(); end - start];
     pack_signatures(columns, shifts, start, &mut sig_buf);
     let mut map = SigMap::with_capacity((end - start).min(1024));
@@ -451,6 +457,7 @@ fn scan_chunk<S: Signature>(
     ChunkScan {
         sigs: map.into_sigs(),
         counts: tallies.finish(),
+        micros: started.elapsed().as_micros() as u64,
     }
 }
 
@@ -459,6 +466,7 @@ fn scan_chunk<S: Signature>(
 /// merged result is bit-identical to a single sequential scan.
 fn merge_chunks<S: Signature>(chunks: Vec<ChunkScan<S>>, domain: usize) -> ScanResult<S> {
     let groups_hint = chunks.iter().map(|c| c.sigs.len()).max().unwrap_or(0);
+    let chunk_micros: Vec<u64> = chunks.iter().map(|c| c.micros).collect();
     let mut map = SigMap::with_capacity(groups_hint);
     let mut tallies = MergeTallies::new(domain);
     for chunk in chunks {
@@ -470,6 +478,7 @@ fn merge_chunks<S: Signature>(chunks: Vec<ChunkScan<S>>, domain: usize) -> ScanR
     ScanResult {
         sigs: map.into_sigs(),
         counts: tallies.finish(),
+        chunk_micros,
     }
 }
 
@@ -505,6 +514,7 @@ pub(crate) fn scan_kernel<S: Signature>(
         return ScanResult {
             sigs: chunk.sigs,
             counts: chunk.counts,
+            chunk_micros: vec![chunk.micros],
         };
     }
 
@@ -554,6 +564,7 @@ pub(crate) fn scan_reference<S: Signature>(
     masks: &[u64],
     sensitive: &[u32],
 ) -> ScanResult<S> {
+    let started = std::time::Instant::now();
     let mut index: HashMap<S, usize> = HashMap::new();
     let mut sigs: Vec<S> = Vec::new();
     let mut tallies: Vec<HashMap<SValue, u64>> = Vec::new();
@@ -577,7 +588,11 @@ pub(crate) fn scan_reference<S: Signature>(
             row
         })
         .collect();
-    ScanResult { sigs, counts }
+    ScanResult {
+        sigs,
+        counts,
+        chunk_micros: vec![started.elapsed().as_micros() as u64],
+    }
 }
 
 #[cfg(test)]

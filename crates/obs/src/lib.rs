@@ -1,0 +1,734 @@
+//! Std-only observability primitives for the wcbk stack.
+//!
+//! Three pieces, all dependency-free and lock-free on the record path:
+//!
+//! - [`MetricsRegistry`] — a process-wide set of named metric families
+//!   ([`Counter`], [`Gauge`], [`Histogram`]) rendered in Prometheus text
+//!   exposition format by [`MetricsRegistry::render`]. Registration takes a
+//!   lock; recording is pure atomics on the `Arc` handles callers keep.
+//! - [`Histogram`] — log-bucketed latency histogram over a fixed 1-2.5-5
+//!   microsecond ladder spanning 10µs..10s, with p50/p90/p99/max derivable
+//!   from the buckets via [`Histogram::quantile`].
+//! - Trace ids — [`next_trace_id`] mints 16-hex-char request ids and
+//!   [`sanitize_trace_id`] validates client-supplied `X-Request-Id` values.
+//!
+//! The serving layer owns the only long-lived registry; engine-layer crates
+//! stay obs-free and expose raw cumulative micros that the server mirrors
+//! into counters at scrape time (see [`Counter::record_total`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Histogram bucket upper bounds in microseconds: a 1-2.5-5 ladder from
+/// 10µs to 10s. Values above the last bound land in the implicit `+Inf`
+/// bucket and saturate quantile estimates at the observed max.
+pub const BUCKET_BOUNDS: [u64; 19] = [
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// Number of buckets including the `+Inf` overflow bucket.
+pub const N_BUCKETS: usize = BUCKET_BOUNDS.len() + 1;
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Mirrors an already-monotone cumulative total into this counter:
+    /// raises the value to `total` and never lowers it, so re-syncing from
+    /// a source that was reset (or scraping twice) cannot make the series
+    /// go backwards.
+    pub fn record_total(&self, total: u64) {
+        self.value.fetch_max(total, Ordering::Relaxed);
+    }
+}
+
+/// A value that goes up and down (occupancy, weights, high-water marks).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if larger (high-water mark upkeep).
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Log-bucketed latency histogram over [`BUCKET_BOUNDS`] (microseconds).
+///
+/// `record` is wait-free: one linear bound scan plus four relaxed atomic
+/// updates. Reads (`quantile`, `snapshot`, rendering) tolerate the benign
+/// races that come with relaxed per-field atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (last entry is the `+Inf` bucket).
+    pub buckets: [u64; N_BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket that holds `micros`.
+    fn bucket_index(micros: u64) -> usize {
+        BUCKET_BOUNDS
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(BUCKET_BOUNDS.len())
+    }
+
+    /// Records one latency observation in microseconds.
+    pub fn record(&self, micros: u64) {
+        self.buckets[Self::bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations in microseconds.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation in microseconds.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum(),
+            count: self.count(),
+            max: self.max(),
+        }
+    }
+
+    /// Folds another histogram's observations into this one (shard
+    /// aggregation; also exercised by the unit tests).
+    pub fn merge(&self, other: &Histogram) {
+        for i in 0..N_BUCKETS {
+            self.buckets[i].fetch_add(other.buckets[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Estimates the `q`-quantile (0.0..=1.0) in microseconds by linear
+    /// interpolation within the owning bucket. Observations in the `+Inf`
+    /// bucket saturate to the observed max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+impl HistogramSnapshot {
+    /// See [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let prev_cum = cum;
+            cum += n;
+            if cum >= rank {
+                if i == BUCKET_BOUNDS.len() {
+                    // Overflow bucket: saturate at the observed max.
+                    return self.max;
+                }
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS[i - 1] };
+                let upper = BUCKET_BOUNDS[i].min(self.max.max(lower));
+                let frac = (rank - prev_cum) as f64 / n as f64;
+                return lower + ((upper - lower) as f64 * frac).round() as u64;
+            }
+        }
+        self.max
+    }
+}
+
+/// What a metric family measures, for the `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone count.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Latency distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Series {
+    /// Rendered label set, e.g. `endpoint="audit",class="2xx"` (empty for
+    /// an unlabelled series).
+    labels: String,
+    metric: Metric,
+}
+
+struct Family {
+    name: &'static str,
+    help: &'static str,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+/// Process-wide registry of metric families.
+///
+/// Registration (`counter`, `gauge`, `histogram` and their `_with` label
+/// variants) is get-or-create and takes a mutex; callers hold the returned
+/// `Arc` so the hot record path never touches the lock. Families render in
+/// registration order, series within a family in label registration order.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn series<T, F: FnOnce() -> Metric, G: Fn(&Metric) -> Option<T>>(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: F,
+        cast: G,
+    ) -> T {
+        let rendered = render_labels(labels);
+        let mut families = self.families.lock().unwrap();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert_eq!(f.kind, kind, "metric {name} re-registered with a new kind");
+                f
+            }
+            None => {
+                families.push(Family {
+                    name,
+                    help,
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().unwrap()
+            }
+        };
+        if let Some(s) = family.series.iter().find(|s| s.labels == rendered) {
+            return cast(&s.metric).expect("metric kind is checked per family");
+        }
+        let metric = make();
+        let out = cast(&metric).expect("freshly made metric matches its kind");
+        family.series.push(Series {
+            labels: rendered,
+            metric,
+        });
+        out
+    }
+
+    /// Get-or-create an unlabelled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get-or-create a counter with labels.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        self.series(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get-or-create an unlabelled gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get-or-create a gauge with labels.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        self.series(
+            name,
+            help,
+            MetricKind::Gauge,
+            labels,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get-or-create an unlabelled histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Get-or-create a histogram with labels.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        self.series(
+            name,
+            help,
+            MetricKind::Histogram,
+            labels,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Renders every family in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.lock().unwrap();
+        for family in families.iter() {
+            out.push_str("# HELP ");
+            out.push_str(family.name);
+            out.push(' ');
+            out.push_str(family.help);
+            out.push_str("\n# TYPE ");
+            out.push_str(family.name);
+            out.push(' ');
+            out.push_str(family.kind.as_str());
+            out.push('\n');
+            for series in &family.series {
+                match &series.metric {
+                    Metric::Counter(c) => {
+                        push_sample(&mut out, family.name, "", &series.labels, None, c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        push_sample(&mut out, family.name, "", &series.labels, None, g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for (i, &n) in snap.buckets.iter().enumerate() {
+                            cum += n;
+                            let le = if i == BUCKET_BOUNDS.len() {
+                                "+Inf".to_string()
+                            } else {
+                                BUCKET_BOUNDS[i].to_string()
+                            };
+                            push_sample(
+                                &mut out,
+                                family.name,
+                                "_bucket",
+                                &series.labels,
+                                Some(("le", &le)),
+                                cum,
+                            );
+                        }
+                        push_sample(
+                            &mut out,
+                            family.name,
+                            "_sum",
+                            &series.labels,
+                            None,
+                            snap.sum,
+                        );
+                        push_sample(
+                            &mut out,
+                            family.name,
+                            "_count",
+                            &series.labels,
+                            None,
+                            snap.count,
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+fn push_sample(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &str,
+    extra: Option<(&str, &str)>,
+    value: u64,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    let has_extra = extra.is_some();
+    if !labels.is_empty() || has_extra {
+        out.push('{');
+        out.push_str(labels);
+        if let Some((k, v)) = extra {
+            if !labels.is_empty() {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Process-unique trace id sequence number.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mints a fresh 16-hex-char trace id, unique within the process and
+/// seeded with wall time and pid so concurrent processes rarely collide.
+pub fn next_trace_id() -> String {
+    let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mixed = splitmix64(nanos ^ (u64::from(std::process::id()) << 32) ^ seq.rotate_left(17));
+    format!("{mixed:016x}")
+}
+
+/// Validates a client-supplied `X-Request-Id`: 1..=64 visible ASCII
+/// characters (no spaces, no controls — it is echoed into headers and log
+/// lines verbatim). Returns `None` when unusable, in which case the caller
+/// should mint one with [`next_trace_id`].
+pub fn sanitize_trace_id(raw: &str) -> Option<&str> {
+    let raw = raw.trim();
+    if raw.is_empty() || raw.len() > 64 {
+        return None;
+    }
+    if raw.bytes().all(|b| (0x21..=0x7e).contains(&b)) {
+        Some(raw)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        // A value exactly on a bound lands in that bound's bucket; one past
+        // it lands in the next.
+        for (i, &bound) in BUCKET_BOUNDS.iter().enumerate() {
+            assert_eq!(Histogram::bucket_index(bound), i, "bound {bound}");
+            let next = Histogram::bucket_index(bound + 1);
+            assert_eq!(next, i + 1, "bound {bound} + 1");
+        }
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKET_BOUNDS.len());
+    }
+
+    #[test]
+    fn histogram_records_sum_count_max() {
+        let h = Histogram::new();
+        for v in [5, 30, 30, 700, 2_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5 + 30 + 30 + 700 + 2_000_000);
+        assert_eq!(h.max(), 2_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1); // 5 <= 10
+        assert_eq!(snap.buckets[2], 2); // 30s land in (25, 50]
+        assert_eq!(snap.buckets[6], 1); // 700 in (500, 1000]
+        assert_eq!(snap.buckets[16], 1); // 2ms*1000 in (1s, 2.5s]
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new();
+        // 100 observations spread evenly through the (100, 250] bucket.
+        for i in 0..100 {
+            h.record(101 + i);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((100..=250).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 > p50, "p99 {p99} should exceed p50 {p50}");
+        assert!(p99 <= 250, "p99 = {p99}");
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.0) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_saturates_at_observed_max() {
+        let h = Histogram::new();
+        h.record(50_000_000); // 50s, past the 10s top bound
+        h.record(99_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[N_BUCKETS - 1], 2);
+        // Every quantile inside the +Inf bucket reports the observed max,
+        // not an extrapolated bound.
+        assert_eq!(h.quantile(0.5), 99_000_000);
+        assert_eq!(h.quantile(0.99), 99_000_000);
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_keeps_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(20);
+        a.record(300);
+        b.record(20);
+        b.record(7_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 20 + 300 + 20 + 7_000_000);
+        assert_eq!(a.max(), 7_000_000);
+        let snap = a.snapshot();
+        assert_eq!(snap.buckets[1], 2, "both 20s merged into (10, 25]");
+    }
+
+    #[test]
+    fn counter_record_total_never_goes_backwards() {
+        let c = Counter::new();
+        c.record_total(100);
+        assert_eq!(c.get(), 100);
+        c.record_total(40); // source was reset; mirror must hold
+        assert_eq!(c.get(), 100);
+        c.record_total(250);
+        assert_eq!(c.get(), 250);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let g = Gauge::new();
+        g.set(7);
+        g.record_max(3);
+        assert_eq!(g.get(), 7);
+        g.record_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_same_metric() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("wcbk_test_total", "help");
+        let b = reg.counter("wcbk_test_total", "help");
+        a.inc();
+        assert_eq!(b.get(), 1, "same name resolves to the same counter");
+        let l1 = reg.counter_with("wcbk_labeled_total", "help", &[("endpoint", "audit")]);
+        let l2 = reg.counter_with("wcbk_labeled_total", "help", &[("endpoint", "search")]);
+        l1.add(2);
+        assert_eq!(l2.get(), 0, "distinct labels are distinct series");
+    }
+
+    #[test]
+    fn render_emits_well_formed_exposition_text() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with(
+            "wcbk_http_requests_total",
+            "Requests",
+            &[("endpoint", "audit")],
+        )
+        .add(3);
+        reg.gauge("wcbk_pool_entries", "Occupancy").set(9);
+        let h = reg.histogram("wcbk_http_request_micros", "Latency");
+        h.record(30);
+        h.record(600);
+        let text = reg.render();
+        assert!(text.contains("# HELP wcbk_http_requests_total Requests\n"));
+        assert!(text.contains("# TYPE wcbk_http_requests_total counter\n"));
+        assert!(text.contains("wcbk_http_requests_total{endpoint=\"audit\"} 3\n"));
+        assert!(text.contains("# TYPE wcbk_pool_entries gauge\n"));
+        assert!(text.contains("wcbk_pool_entries 9\n"));
+        assert!(text.contains("# TYPE wcbk_http_request_micros histogram\n"));
+        assert!(text.contains("wcbk_http_request_micros_bucket{le=\"25\"} 0\n"));
+        assert!(text.contains("wcbk_http_request_micros_bucket{le=\"50\"} 1\n"));
+        assert!(text.contains("wcbk_http_request_micros_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("wcbk_http_request_micros_sum 630\n"));
+        assert!(text.contains("wcbk_http_request_micros_count 2\n"));
+        // Buckets are cumulative and end at +Inf == count.
+        let inf: u64 = text
+            .lines()
+            .find(|l| l.starts_with("wcbk_http_request_micros_bucket{le=\"+Inf\"}"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert_eq!(inf, 2);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_well_formed() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16);
+            assert!(id.bytes().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn sanitize_trace_id_rejects_junk() {
+        assert_eq!(sanitize_trace_id("abc-123_XYZ"), Some("abc-123_XYZ"));
+        assert_eq!(sanitize_trace_id("  padded  "), Some("padded"));
+        assert_eq!(sanitize_trace_id(""), None);
+        assert_eq!(sanitize_trace_id("   "), None);
+        assert_eq!(sanitize_trace_id("has space"), None);
+        assert_eq!(sanitize_trace_id("ctrl\u{7}char"), None);
+        assert_eq!(sanitize_trace_id(&"x".repeat(65)), None);
+        let max = "x".repeat(64);
+        assert_eq!(sanitize_trace_id(&max), Some(max.as_str()));
+    }
+}

@@ -519,13 +519,30 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with(writer, status, content_type, body, keep_alive, &[])
+}
+
+/// [`write_response`] plus extra response headers (name, value). Values must
+/// already be header-safe — the server only passes sanitized trace ids.
+pub fn write_response_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status_text(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body)?;
     writer.flush()
 }
@@ -537,12 +554,24 @@ pub fn write_json<W: Write>(
     body: &Json,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    write_response(
+    write_json_with(writer, status, body, keep_alive, &[])
+}
+
+/// [`write_json`] plus extra response headers.
+pub fn write_json_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &Json,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    write_response_with(
         writer,
         status,
         "application/json",
         body.to_string().as_bytes(),
         keep_alive,
+        extra_headers,
     )
 }
 
@@ -557,17 +586,32 @@ pub struct ChunkedWriter<W: Write> {
 impl<W: Write> ChunkedWriter<W> {
     /// Starts a chunked response.
     pub fn new(
-        mut writer: W,
+        writer: W,
         status: u16,
         content_type: &str,
         keep_alive: bool,
     ) -> std::io::Result<Self> {
+        Self::new_with(writer, status, content_type, keep_alive, &[])
+    }
+
+    /// [`new`](Self::new) plus extra response headers.
+    pub fn new_with(
+        mut writer: W,
+        status: u16,
+        content_type: &str,
+        keep_alive: bool,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<Self> {
         write!(
             writer,
-            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
             status_text(status),
             if keep_alive { "keep-alive" } else { "close" },
         )?;
+        for (name, value) in extra_headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
         writer.flush()?;
         Ok(Self { writer })
     }
@@ -614,9 +658,20 @@ pub mod client {
         pub status: u16,
         /// The full (de-chunked) body.
         pub body: String,
+        /// Response headers in wire order, names lowercased.
+        pub headers: Vec<(String, String)>,
     }
 
     impl Response {
+        /// The first header with this (case-insensitive) name.
+        pub fn header(&self, name: &str) -> Option<&str> {
+            let name = name.to_ascii_lowercase();
+            self.headers
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.as_str())
+        }
+
         /// Parses the body as one JSON document.
         pub fn json(&self) -> Result<Json, HttpError> {
             Json::parse(&self.body).map_err(|e| HttpError::Malformed(format!("response body: {e}")))
@@ -693,6 +748,7 @@ pub mod client {
             };
             let mut content_length: Option<usize> = None;
             let mut chunked = false;
+            let mut headers = Vec::new();
             loop {
                 let header = read_line(&mut self.reader)?
                     .ok_or_else(|| HttpError::Malformed("eof inside headers".into()))?;
@@ -711,6 +767,7 @@ pub mod client {
                 } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
                     chunked = true;
                 }
+                headers.push((name, value.to_owned()));
             }
             let mut body = Vec::new();
             if chunked {
@@ -736,7 +793,11 @@ pub mod client {
             }
             let body = String::from_utf8(body)
                 .map_err(|_| HttpError::Malformed("non-UTF-8 response body".into()))?;
-            Ok(Response { status, body })
+            Ok(Response {
+                status,
+                body,
+                headers,
+            })
         }
     }
 

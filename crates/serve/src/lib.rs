@@ -31,8 +31,22 @@
 //! | `POST /search` | one-shot: register → run → drop (honors `threads`/`schedule`/`memo_cap`) |
 //! | `POST /batch` | many tables fanned over the work-stealing scheduler, streamed back one NDJSON line per completed table |
 //! | `GET /stats` | engine cache + roll-up + per-session + server counters |
+//! | `GET /metrics` | Prometheus text exposition of every [`metrics`] series |
 //! | `GET /healthz` | liveness |
 //! | `POST /shutdown` | graceful shutdown (in-flight work finishes) |
+//!
+//! ## Observability
+//!
+//! Every request carries a **trace id** (client-supplied `X-Request-Id` or
+//! generated), echoed on the response and stamped on the structured JSON
+//! access log (`wcbk serve --log-json`; `--slow-request-ms N` always logs
+//! offenders). Latency decomposes into contiguous phases — parse, reactor
+//! queue wait, compute — surfaced three ways: aggregated in [`metrics`]
+//! (scraped at `GET /metrics`), summarized in `/stats`, and per-request via
+//! `"profile": true` on audit/search bodies, whose `profile` object reports
+//! phase micros summing exactly to `total_micros`. See
+//! `docs/OPERATIONS.md` for the full metrics glossary and the
+//! slow-request runbook.
 //!
 //! The session store and the per-`k` engine registry sit under
 //! group-weighted LRU budgets ([`ServiceLimits`]; `wcbk serve
@@ -75,6 +89,7 @@
 
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod persist;
 pub mod poll;
 pub mod server;

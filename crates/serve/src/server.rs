@@ -45,10 +45,15 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use wcbk_core::sched::{evaluate_work_stealing, MonotoneDag};
+use wcbk_obs::{next_trace_id, sanitize_trace_id};
 use wcbk_store::DatasetStore;
 
-use crate::http::{write_json, ChunkedWriter, HttpError, Request, RequestParser};
+use crate::http::{
+    write_json, write_json_with, write_response_with, ChunkedWriter, HttpError, Request,
+    RequestParser,
+};
 use crate::json::Json;
+use crate::metrics::ServeMetrics;
 use crate::poll::{fd_of, Fd, Interest, Poller, Waker};
 use crate::service::{AuditService, CsvUpload, ServeError, ServiceLimits};
 
@@ -101,6 +106,13 @@ pub struct ServerConfig {
     /// known handles resume serving (lazily rebuilt on first touch), and
     /// `DELETE` deletes durably. `None` keeps the classic in-memory server.
     pub data_dir: Option<PathBuf>,
+    /// Emit one structured JSON access-log line per request to stdout
+    /// (`wcbk serve --log-json`).
+    pub log_json: bool,
+    /// Requests whose end-to-end latency meets or exceeds this many
+    /// milliseconds are logged (in the access-log format) even without
+    /// `log_json`, and counted in `wcbk_http_slow_requests_total`.
+    pub slow_request_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +128,8 @@ impl Default for ServerConfig {
             idle_timeout: Some(Duration::from_secs(60)),
             limits: ServiceLimits::default(),
             data_dir: None,
+            log_json: false,
+            slow_request_ms: None,
         }
     }
 }
@@ -130,6 +144,11 @@ struct ServerCounters {
     reaped_idle: AtomicU64,
     reaped_slow: AtomicU64,
     wakeups: AtomicU64,
+    /// Σ reactor queue wait (parse-complete → worker pickup), micros.
+    queue_wait_micros: AtomicU64,
+    /// Requests that went through the worker queue (the divisor for the
+    /// mean queue wait).
+    dispatched: AtomicU64,
 }
 
 /// A parsed request handed from the reactor to the worker pool.
@@ -141,6 +160,13 @@ struct Job {
     dead: Arc<AtomicBool>,
     /// A streamed CSV upload decoded off the wire, ready to finalize.
     upload: Option<CsvUpload>,
+    /// Client-supplied `X-Request-Id` (sanitized) or a generated id; echoed
+    /// on the response and stamped on every log line for this request.
+    trace_id: String,
+    /// First request byte → parse complete, micros.
+    parse_micros: u64,
+    /// When parsing completed — the queue-wait clock, read by the worker.
+    queued_at: Instant,
 }
 
 /// Bytes (or the end-of-response marker) a worker hands back to the
@@ -170,6 +196,10 @@ struct Shared {
     idle_timeout: Option<Duration>,
     max_connections: usize,
     started: Instant,
+    /// The `/metrics` registry plus every pre-registered series.
+    metrics: ServeMetrics,
+    log_json: bool,
+    slow_request_ms: Option<u64>,
 }
 
 impl Shared {
@@ -257,6 +287,9 @@ impl Server {
             idle_timeout: config.idle_timeout,
             max_connections: config.max_connections,
             started: Instant::now(),
+            metrics: ServeMetrics::new(),
+            log_json: config.log_json,
+            slow_request_ms: config.slow_request_ms,
         });
         // Open (and replay) the durable catalog before serving: a corrupt
         // store fails the bind loudly instead of 500ing every request.
@@ -831,7 +864,15 @@ impl Reactor<'_> {
         }
         let outcome = match conn.parser.advance() {
             Ok(Some(mut request)) => {
-                conn.first_byte_at = None;
+                let parse_micros = conn
+                    .first_byte_at
+                    .take()
+                    .map_or(0, |first| first.elapsed().as_micros() as u64);
+                let trace_id = request
+                    .header("x-request-id")
+                    .and_then(sanitize_trace_id)
+                    .map(str::to_owned)
+                    .unwrap_or_else(next_trace_id);
                 let mut upload = conn.upload.take();
                 if let Some(u) = upload.as_mut() {
                     // Residual decoded bytes from the completing advance.
@@ -857,6 +898,9 @@ impl Reactor<'_> {
                     request,
                     dead: Arc::clone(&conn.dead),
                     upload,
+                    trace_id,
+                    parse_micros,
+                    queued_at: Instant::now(),
                 }))
             }
             Ok(None) => {
@@ -1046,15 +1090,32 @@ fn serve_job(shared: &Shared, service: &AuditService, job: Job) {
         request,
         dead,
         upload,
+        trace_id,
+        parse_micros,
+        queued_at,
     } = job;
+    let queue_wait_micros = queued_at.elapsed().as_micros() as u64;
+    shared.metrics.queue_wait.record(queue_wait_micros);
+    shared
+        .counters
+        .queue_wait_micros
+        .fetch_add(queue_wait_micros, Ordering::Relaxed);
+    shared.counters.dispatched.fetch_add(1, Ordering::Relaxed);
     let shutdown_after = request.method == "POST" && request.path == "/shutdown";
     let keep_alive =
         request.keep_alive() && !shutdown_after && !shared.shutdown.load(Ordering::SeqCst);
+    let started = Instant::now();
     let mut writer = ConnWriter {
         shared,
         conn,
         dead: &dead,
         buf: Vec::new(),
+        written: 0,
+    };
+    let phases = Phases {
+        trace_id: &trace_id,
+        parse_micros,
+        queue_wait_micros,
     };
     let result = match upload {
         Some(upload) => {
@@ -1062,11 +1123,51 @@ fn serve_job(shared: &Shared, service: &AuditService, job: Job) {
                 Ok(out) => (200, out),
                 Err(e) => bad_request(service, e),
             };
-            write_json(&mut writer, status, &body, keep_alive)
+            write_json_with(
+                &mut writer,
+                status,
+                &body,
+                keep_alive,
+                &[("X-Request-Id", &trace_id)],
+            )
+            .map(|()| (status, "/tables"))
         }
-        None => respond(shared, service, &mut writer, &request, keep_alive),
+        None => respond(shared, service, &mut writer, &request, keep_alive, &phases),
     };
     let flushed = writer.flush().is_ok();
+    let bytes = writer.written;
+    let total_micros = parse_micros + queue_wait_micros + started.elapsed().as_micros() as u64;
+    if let Ok((status, endpoint)) = result {
+        shared
+            .metrics
+            .record_http(endpoint, status, total_micros, bytes);
+        let slow = shared
+            .slow_request_ms
+            .is_some_and(|ms| total_micros >= ms.saturating_mul(1000));
+        if slow {
+            shared.metrics.record_slow();
+        }
+        if shared.log_json || slow {
+            let ts_ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            let line = Json::object(vec![
+                ("ts_ms", ts_ms.into()),
+                ("trace_id", trace_id.as_str().into()),
+                ("method", request.method.as_str().into()),
+                ("path", request.path.as_str().into()),
+                ("endpoint", endpoint.into()),
+                ("status", u64::from(status).into()),
+                ("bytes", bytes.into()),
+                ("total_micros", total_micros.into()),
+                ("parse_micros", parse_micros.into()),
+                ("queue_wait_micros", queue_wait_micros.into()),
+                ("slow", slow.into()),
+            ]);
+            println!("{line}");
+        }
+    }
     push_completion(
         shared,
         conn,
@@ -1078,6 +1179,39 @@ fn serve_job(shared: &Shared, service: &AuditService, job: Job) {
     if shutdown_after {
         shared.begin_shutdown();
     }
+}
+
+/// The transport-side request phases a worker threads through `respond`:
+/// the trace id (echoed as `X-Request-Id`) and the parse/queue-wait timings
+/// that complete a handler's `"profile"` object.
+struct Phases<'a> {
+    trace_id: &'a str,
+    parse_micros: u64,
+    queue_wait_micros: u64,
+}
+
+/// Completes a handler-produced `"profile"` object with the transport
+/// phases. `total_micros` is parse + queue-wait + compute by construction,
+/// so the reported phases always sum exactly to the reported total.
+fn finish_profile(body: &mut Json, phases: &Phases<'_>) {
+    let Json::Object(pairs) = body else { return };
+    let Some((_, Json::Object(profile))) = pairs.iter_mut().find(|(k, _)| k == "profile") else {
+        return;
+    };
+    let compute = profile
+        .iter()
+        .find(|(k, _)| k == "compute_micros")
+        .and_then(|(_, v)| v.as_u64())
+        .unwrap_or(0);
+    profile.push(("parse_micros".to_owned(), phases.parse_micros.into()));
+    profile.push((
+        "queue_wait_micros".to_owned(),
+        phases.queue_wait_micros.into(),
+    ));
+    profile.push((
+        "total_micros".to_owned(),
+        (phases.parse_micros + phases.queue_wait_micros + compute).into(),
+    ));
 }
 
 /// Whether a request head is a wire CSV upload (`POST /tables` with a
@@ -1100,6 +1234,9 @@ struct ConnWriter<'a> {
     conn: u64,
     dead: &'a AtomicBool,
     buf: Vec<u8>,
+    /// Total bytes accepted (headers + body), for the access log and
+    /// `wcbk_http_response_bytes_total`.
+    written: u64,
 }
 
 impl Write for ConnWriter<'_> {
@@ -1107,6 +1244,7 @@ impl Write for ConnWriter<'_> {
         if self.dead.load(Ordering::Relaxed) {
             return Err(std::io::ErrorKind::BrokenPipe.into());
         }
+        self.written += data.len() as u64;
         self.buf.extend_from_slice(data);
         if self.buf.len() >= FLUSH_THRESHOLD {
             self.flush()?;
@@ -1127,142 +1265,192 @@ impl Write for ConnWriter<'_> {
     }
 }
 
-/// Routes one request and writes its response.
+/// Routes one request and writes its response, returning the status and
+/// the endpoint label recorded in `/metrics`.
 fn respond<W: Write>(
     shared: &Shared,
     service: &AuditService,
     writer: &mut W,
     request: &Request,
     keep_alive: bool,
-) -> std::io::Result<()> {
-    // Everything except /batch (which streams) resolves to a status + body.
-    let (status, body): (u16, Json) = match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (
-            200,
-            Json::object(vec![
-                ("status", "ok".into()),
-                (
-                    "uptime_ms",
-                    (shared.started.elapsed().as_millis() as u64).into(),
-                ),
-                (
-                    "shutting_down",
-                    shared.shutdown.load(Ordering::SeqCst).into(),
-                ),
-            ]),
-        ),
-        ("GET", "/stats") => {
-            let mut sections = service.stats();
-            let c = &shared.counters;
-            sections.push((
-                "server",
+    phases: &Phases<'_>,
+) -> std::io::Result<(u16, &'static str)> {
+    let trace_headers = [("X-Request-Id", phases.trace_id)];
+    // Everything except /batch (which streams) and /metrics (plain text)
+    // resolves to a status + endpoint label + JSON body.
+    let (status, endpoint, mut body): (u16, &'static str, Json) =
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => (
+                200,
+                "/healthz",
                 Json::object(vec![
-                    ("requests", c.requests.load(Ordering::Relaxed).into()),
-                    ("rejected_503", c.rejected.load(Ordering::Relaxed).into()),
-                    ("workers", shared.workers.into()),
-                    ("queue_depth", shared.queue_depth.into()),
-                    ("batch_threads", shared.batch_threads.into()),
-                    ("max_connections", shared.max_connections.into()),
-                    ("open_connections", c.open.load(Ordering::Relaxed).into()),
-                    ("peak_connections", c.peak.load(Ordering::Relaxed).into()),
-                    ("reaped_idle", c.reaped_idle.load(Ordering::Relaxed).into()),
-                    ("reaped_slow", c.reaped_slow.load(Ordering::Relaxed).into()),
-                    ("reactor_wakeups", c.wakeups.load(Ordering::Relaxed).into()),
+                    ("status", "ok".into()),
                     (
                         "uptime_ms",
                         (shared.started.elapsed().as_millis() as u64).into(),
                     ),
+                    (
+                        "shutting_down",
+                        shared.shutdown.load(Ordering::SeqCst).into(),
+                    ),
                 ]),
-            ));
-            (
-                200,
-                Json::Object(
-                    sections
-                        .into_iter()
-                        .map(|(k, v)| (k.to_owned(), v))
-                        .collect(),
+            ),
+            ("GET", "/metrics") => {
+                let text = shared.metrics.render(service);
+                write_response_with(
+                    writer,
+                    200,
+                    "text/plain; version=0.0.4",
+                    text.as_bytes(),
+                    keep_alive,
+                    &trace_headers,
+                )?;
+                return Ok((200, "/metrics"));
+            }
+            ("GET", "/stats") => {
+                let mut sections = service.stats();
+                let c = &shared.counters;
+                sections.push((
+                    "server",
+                    Json::object(vec![
+                        ("requests", c.requests.load(Ordering::Relaxed).into()),
+                        ("rejected_503", c.rejected.load(Ordering::Relaxed).into()),
+                        ("workers", shared.workers.into()),
+                        ("queue_depth", shared.queue_depth.into()),
+                        ("batch_threads", shared.batch_threads.into()),
+                        ("max_connections", shared.max_connections.into()),
+                        ("open_connections", c.open.load(Ordering::Relaxed).into()),
+                        ("peak_connections", c.peak.load(Ordering::Relaxed).into()),
+                        ("reaped_idle", c.reaped_idle.load(Ordering::Relaxed).into()),
+                        ("reaped_slow", c.reaped_slow.load(Ordering::Relaxed).into()),
+                        ("reactor_wakeups", c.wakeups.load(Ordering::Relaxed).into()),
+                        (
+                            "queue_wait_micros",
+                            c.queue_wait_micros.load(Ordering::Relaxed).into(),
+                        ),
+                        ("dispatched", c.dispatched.load(Ordering::Relaxed).into()),
+                        (
+                            "uptime_ms",
+                            (shared.started.elapsed().as_millis() as u64).into(),
+                        ),
+                    ]),
+                ));
+                (
+                    200,
+                    "/stats",
+                    Json::Object(
+                        sections
+                            .into_iter()
+                            .map(|(k, v)| (k.to_owned(), v))
+                            .collect(),
+                    ),
+                )
+            }
+            ("POST", "/shutdown") => (200, "/shutdown", Json::object(vec![("ok", true.into())])),
+            ("POST", "/audit") => match parse_body(&request.body).and_then(|b| service.audit(&b)) {
+                Ok(out) => (200, "/audit", out),
+                Err(e) => with_endpoint(bad_request(service, e), "/audit"),
+            },
+            ("POST", "/search") => match parse_body(&request.body).and_then(|b| service.search(&b))
+            {
+                Ok(out) => (200, "/search", out),
+                Err(e) => with_endpoint(bad_request(service, e), "/search"),
+            },
+            ("POST", "/batch") => {
+                return handle_batch(shared, service, writer, &request.body, keep_alive, phases)
+                    .map(|status| (status, "/batch"))
+            }
+            ("POST", "/tables") => {
+                match parse_body(&request.body).and_then(|b| service.register_table(&b)) {
+                    Ok(out) => (200, "/tables", out),
+                    Err(e) => with_endpoint(bad_request(service, e), "/tables"),
+                }
+            }
+            (method, path) if path.starts_with("/tables/") => match route_table(method, path) {
+                TableRoute::Info(id) => match service.table_info(id) {
+                    Ok(out) => (200, "/tables/{id}", out),
+                    Err(e) => with_endpoint(bad_request(service, e), "/tables/{id}"),
+                },
+                TableRoute::Drop(id) => match service.drop_table(id) {
+                    Ok(out) => (200, "/tables/{id}", out),
+                    Err(e) => with_endpoint(bad_request(service, e), "/tables/{id}"),
+                },
+                TableRoute::Audit(id) => {
+                    match parse_body(&request.body).and_then(|b| service.session_audit(id, &b)) {
+                        Ok(out) => (200, "/tables/{id}/audit", out),
+                        Err(e) => with_endpoint(bad_request(service, e), "/tables/{id}/audit"),
+                    }
+                }
+                TableRoute::Search(id) => {
+                    match parse_body(&request.body).and_then(|b| service.session_search(id, &b)) {
+                        Ok(out) => (200, "/tables/{id}/search", out),
+                        Err(e) => with_endpoint(bad_request(service, e), "/tables/{id}/search"),
+                    }
+                }
+                TableRoute::Release(id) => {
+                    match parse_body(&request.body).and_then(|b| service.session_release(id, &b)) {
+                        Ok(out) => (200, "/tables/{id}/release", out),
+                        Err(e) => with_endpoint(bad_request(service, e), "/tables/{id}/release"),
+                    }
+                }
+                TableRoute::Composition(id) => {
+                    match parse_body(&request.body)
+                        .and_then(|b| service.session_composition(id, &b))
+                    {
+                        Ok(out) => (200, "/tables/{id}/composition", out),
+                        Err(e) => {
+                            with_endpoint(bad_request(service, e), "/tables/{id}/composition")
+                        }
+                    }
+                }
+                TableRoute::History(id) => match service.table_history(id) {
+                    Ok(out) => (200, "/tables/{id}/history", out),
+                    Err(e) => with_endpoint(bad_request(service, e), "/tables/{id}/history"),
+                },
+                TableRoute::Batch(id) => {
+                    return handle_session_batch(
+                        shared,
+                        service,
+                        writer,
+                        id,
+                        &request.body,
+                        keep_alive,
+                        phases,
+                    )
+                    .map(|status| (status, "/tables/{id}/batch"))
+                }
+                TableRoute::NotFound => (
+                    404,
+                    "other",
+                    Json::object(vec![("error", "no such endpoint".into())]),
                 ),
-            )
-        }
-        ("POST", "/shutdown") => (200, Json::object(vec![("ok", true.into())])),
-        ("POST", "/audit") => match parse_body(&request.body).and_then(|b| service.audit(&b)) {
-            Ok(out) => (200, out),
-            Err(e) => bad_request(service, e),
-        },
-        ("POST", "/search") => match parse_body(&request.body).and_then(|b| service.search(&b)) {
-            Ok(out) => (200, out),
-            Err(e) => bad_request(service, e),
-        },
-        ("POST", "/batch") => {
-            return handle_batch(shared, service, writer, &request.body, keep_alive)
-        }
-        ("POST", "/tables") => {
-            match parse_body(&request.body).and_then(|b| service.register_table(&b)) {
-                Ok(out) => (200, out),
-                Err(e) => bad_request(service, e),
-            }
-        }
-        (method, path) if path.starts_with("/tables/") => match route_table(method, path) {
-            TableRoute::Info(id) => match service.table_info(id) {
-                Ok(out) => (200, out),
-                Err(e) => bad_request(service, e),
+                TableRoute::MethodNotAllowed => (
+                    405,
+                    "other",
+                    Json::object(vec![("error", "method not allowed".into())]),
+                ),
             },
-            TableRoute::Drop(id) => match service.drop_table(id) {
-                Ok(out) => (200, out),
-                Err(e) => bad_request(service, e),
-            },
-            TableRoute::Audit(id) => {
-                match parse_body(&request.body).and_then(|b| service.session_audit(id, &b)) {
-                    Ok(out) => (200, out),
-                    Err(e) => bad_request(service, e),
-                }
-            }
-            TableRoute::Search(id) => {
-                match parse_body(&request.body).and_then(|b| service.session_search(id, &b)) {
-                    Ok(out) => (200, out),
-                    Err(e) => bad_request(service, e),
-                }
-            }
-            TableRoute::Release(id) => {
-                match parse_body(&request.body).and_then(|b| service.session_release(id, &b)) {
-                    Ok(out) => (200, out),
-                    Err(e) => bad_request(service, e),
-                }
-            }
-            TableRoute::Composition(id) => {
-                match parse_body(&request.body).and_then(|b| service.session_composition(id, &b)) {
-                    Ok(out) => (200, out),
-                    Err(e) => bad_request(service, e),
-                }
-            }
-            TableRoute::History(id) => match service.table_history(id) {
-                Ok(out) => (200, out),
-                Err(e) => bad_request(service, e),
-            },
-            TableRoute::Batch(id) => {
-                return handle_session_batch(shared, service, writer, id, &request.body, keep_alive)
-            }
-            TableRoute::NotFound => (
+            // DELETE is only meaningful on /tables/{id} (handled above): on any
+            // other path it stays 405, like every other unsupported method.
+            ("GET" | "POST", _) => (
                 404,
+                "other",
                 Json::object(vec![("error", "no such endpoint".into())]),
             ),
-            TableRoute::MethodNotAllowed => (
+            _ => (
                 405,
+                "other",
                 Json::object(vec![("error", "method not allowed".into())]),
             ),
-        },
-        // DELETE is only meaningful on /tables/{id} (handled above): on any
-        // other path it stays 405, like every other unsupported method.
-        ("GET" | "POST", _) => (
-            404,
-            Json::object(vec![("error", "no such endpoint".into())]),
-        ),
-        _ => (
-            405,
-            Json::object(vec![("error", "method not allowed".into())]),
-        ),
-    };
-    write_json(writer, status, &body, keep_alive)
+        };
+    finish_profile(&mut body, phases);
+    write_json_with(writer, status, &body, keep_alive, &trace_headers)?;
+    Ok((status, endpoint))
+}
+
+/// Tags a handler rejection with its endpoint label.
+fn with_endpoint((status, body): (u16, Json), endpoint: &'static str) -> (u16, &'static str, Json) {
+    (status, endpoint, body)
 }
 
 /// A parsed `/tables/…` request target.
@@ -1350,7 +1538,8 @@ fn handle_batch<W: Write>(
     writer: &mut W,
     body: &[u8],
     keep_alive: bool,
-) -> std::io::Result<()> {
+    phases: &Phases<'_>,
+) -> std::io::Result<u16> {
     let parsed = parse_body(body).and_then(|b| {
         let threads = batch_threads(shared, &b)?;
         service.batch_jobs(&b).map(|jobs| (jobs, threads))
@@ -1359,12 +1548,26 @@ fn handle_batch<W: Write>(
         Ok(x) => x,
         Err(e) => {
             let (status, body) = bad_request(service, e);
-            return write_json(writer, status, &body, keep_alive);
+            write_json_with(
+                writer,
+                status,
+                &body,
+                keep_alive,
+                &[("X-Request-Id", phases.trace_id)],
+            )?;
+            return Ok(status);
         }
     };
-    stream_jobs(writer, keep_alive, threads, jobs.len(), |i| {
-        service.run_job(&jobs[i])
-    })
+    stream_jobs(
+        shared,
+        writer,
+        keep_alive,
+        phases,
+        threads,
+        jobs.len(),
+        |i| service.run_job(&jobs[i]),
+    )?;
+    Ok(200)
 }
 
 /// `POST /tables/{id}/batch`: many (c,k)/config jobs fanned over the
@@ -1377,7 +1580,8 @@ fn handle_session_batch<W: Write>(
     id: &str,
     body: &[u8],
     keep_alive: bool,
-) -> std::io::Result<()> {
+    phases: &Phases<'_>,
+) -> std::io::Result<u16> {
     let parsed = parse_body(body).and_then(|b| {
         let threads = batch_threads(shared, &b)?;
         service
@@ -1388,12 +1592,26 @@ fn handle_session_batch<W: Write>(
         Ok(x) => x,
         Err(e) => {
             let (status, body) = bad_request(service, e);
-            return write_json(writer, status, &body, keep_alive);
+            write_json_with(
+                writer,
+                status,
+                &body,
+                keep_alive,
+                &[("X-Request-Id", phases.trace_id)],
+            )?;
+            return Ok(status);
         }
     };
-    stream_jobs(writer, keep_alive, threads, jobs.len(), |i| {
-        service.run_session_job(id, &session, &jobs[i])
-    })
+    stream_jobs(
+        shared,
+        writer,
+        keep_alive,
+        phases,
+        threads,
+        jobs.len(),
+        |i| service.run_session_job(id, &session, &jobs[i]),
+    )?;
+    Ok(200)
 }
 
 /// The shared batch streamer: fan `n` jobs over the work-stealing scheduler
@@ -1401,8 +1619,10 @@ fn handle_session_batch<W: Write>(
 /// summary line. Each chunk flushes through the writer, so on the evented
 /// server every line reaches the reactor (and the client) as it completes.
 fn stream_jobs<W, F>(
+    shared: &Shared,
     writer: &mut W,
     keep_alive: bool,
+    phases: &Phases<'_>,
     threads: usize,
     n: usize,
     run: F,
@@ -1411,20 +1631,26 @@ where
     W: Write,
     F: Fn(usize) -> Json + Sync,
 {
-    let mut out = ChunkedWriter::new(&mut *writer, 200, "application/x-ndjson", keep_alive)?;
+    let mut out = ChunkedWriter::new_with(
+        &mut *writer,
+        200,
+        "application/x-ndjson",
+        keep_alive,
+        &[("X-Request-Id", phases.trace_id)],
+    )?;
     let (tx, rx) = mpsc::channel::<(usize, Json)>();
     let mut write_failure: Option<std::io::Error> = None;
     // Set when the client is gone, so the scheduler stops burning CPU on
     // tables nobody will read.
     let cancelled = AtomicBool::new(false);
     std::thread::scope(|scope| {
-        scope.spawn(|| {
+        let sched = scope.spawn(|| {
             let tx = Mutex::new(tx);
             // An edgeless DAG: every table is a source, so the scheduler is
             // pure work-stealing fan-out; verdicts are irrelevant (no
             // up-sets to prune) and errors cannot occur.
             let dag = MonotoneDag::new(vec![Vec::new(); n]);
-            let _ = evaluate_work_stealing(&dag, threads, false, |i| {
+            let outcome = evaluate_work_stealing(&dag, threads, false, |i| {
                 if !cancelled.load(Ordering::Relaxed) {
                     let result = run(i);
                     let _ = tx
@@ -1435,6 +1661,7 @@ where
                 Ok::<bool, std::convert::Infallible>(false)
             });
             // `tx` drops here; the receive loop below then terminates.
+            outcome
         });
         for (index, result) in rx.iter() {
             if write_failure.is_some() {
@@ -1451,6 +1678,9 @@ where
                 write_failure = Some(e);
                 cancelled.store(true, Ordering::Relaxed);
             }
+        }
+        if let Ok(Ok(outcome)) = sched.join() {
+            shared.metrics.record_sched(&outcome);
         }
     });
     if let Some(e) = write_failure {

@@ -113,6 +113,10 @@ struct RollupTotals {
     evictions: AtomicU64,
     /// Largest retained memo weight (groups) any single search reached.
     peak_memo_groups: AtomicU64,
+    /// Cumulative bottom-scan wall time across absorbed sessions.
+    scan_micros: AtomicU64,
+    /// Cumulative node-derivation wall time across absorbed sessions.
+    derive_micros: AtomicU64,
 }
 
 impl RollupTotals {
@@ -127,6 +131,10 @@ impl RollupTotals {
         self.evictions.fetch_add(stats.evictions, Ordering::Relaxed);
         self.peak_memo_groups
             .fetch_max(stats.memo_groups, Ordering::Relaxed);
+        self.scan_micros
+            .fetch_add(stats.scan_micros, Ordering::Relaxed);
+        self.derive_micros
+            .fetch_add(stats.derive_micros, Ordering::Relaxed);
     }
 }
 
@@ -155,6 +163,10 @@ struct SessionStore {
     /// Sessions rebuilt from the durable catalog (restart or post-eviction
     /// reload) — these are not new registrations.
     rehydrated: AtomicU64,
+    /// High-water mark of Σ resident session weight (groups), sampled at
+    /// insert time — where the total can only have grown — and surviving
+    /// every later eviction.
+    peak_groups: AtomicU64,
 }
 
 impl SessionStore {
@@ -166,6 +178,7 @@ impl SessionStore {
             evictions: AtomicU64::new(0),
             registered: AtomicU64::new(0),
             rehydrated: AtomicU64::new(0),
+            peak_groups: AtomicU64::new(0),
         }
     }
 
@@ -208,6 +221,8 @@ impl SessionStore {
         stored.touch.store(self.tick(), Ordering::Relaxed);
         let stored = Arc::new(stored);
         inner.insert(id.clone(), Arc::clone(&stored));
+        let resident: u64 = inner.values().map(|s| s.weight).sum();
+        self.peak_groups.fetch_max(resident, Ordering::Relaxed);
         if rehydrated {
             self.rehydrated.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -592,9 +607,35 @@ impl AuditService {
     fn audit_on(&self, session: &DatasetSession, request: &Json) -> Result<Json, ServeError> {
         let k = optional_usize(request, "k")?.unwrap_or(3);
         let c = optional_f64(request, "c")?;
+        let profile = profile_requested(request)?;
+        let build_before = profile.then(|| self.engines.stats().totals().build_micros);
+        let started = profile.then(std::time::Instant::now);
         let report = session.audit(c, k).map_err(|e| bad(e.to_string()))?;
         self.audits.fetch_add(1, Ordering::Relaxed);
-        Ok(audit_json(&report))
+        let mut out = audit_json(&report);
+        if let (Some(started), Some(build_before)) = (started, build_before) {
+            let build = self
+                .engines
+                .stats()
+                .totals()
+                .build_micros
+                .saturating_sub(build_before);
+            push_field(
+                &mut out,
+                "profile",
+                Json::object(vec![
+                    (
+                        "compute_micros",
+                        (started.elapsed().as_micros() as u64).into(),
+                    ),
+                    (
+                        "detail",
+                        Json::object(vec![("minimize1_build_micros", build.into())]),
+                    ),
+                ]),
+            );
+        }
+        Ok(out)
     }
 
     /// Runs one search against a session and renders it in the one-shot
@@ -614,6 +655,13 @@ impl AuditService {
         let config = search_config(request)?;
         let criterion =
             CkSafetyCriterion::with_engine(c, session.engine(k)).map_err(|e| bad(e.to_string()))?;
+        let profile = profile_requested(request)?;
+        // The "before" snapshots must not force the evaluator build: for a
+        // one-shot search the single table scan happens lazily inside
+        // `search`, and it belongs inside the timed compute section.
+        let build_before = profile.then(|| self.engines.stats().totals().build_micros);
+        let rollup_before = profile.then(|| session.rollup_stats_peek()).flatten();
+        let started = profile.then(std::time::Instant::now);
         let SearchReport { outcome, rollup } = session
             .search(&criterion, &config)
             .map_err(|e| bad(format!("search: {e}")))?;
@@ -628,7 +676,7 @@ impl AuditService {
             .iter()
             .map(|node| Json::Array(node.0.iter().map(|&l| l.into()).collect()))
             .collect();
-        Ok(Json::object(vec![
+        let mut out = Json::object(vec![
             ("op", "search".into()),
             ("criterion", criterion.name().into()),
             (
@@ -644,7 +692,40 @@ impl AuditService {
                 "rollup",
                 rollup.as_ref().map(rollup_json).unwrap_or(Json::Null),
             ),
-        ]))
+        ]);
+        if let (Some(started), Some(build_before)) = (started, build_before) {
+            let build = self
+                .engines
+                .stats()
+                .totals()
+                .build_micros
+                .saturating_sub(build_before);
+            let delta = |f: fn(&RollupStats) -> u64| -> u64 {
+                rollup
+                    .as_ref()
+                    .map_or(0, f)
+                    .saturating_sub(rollup_before.as_ref().map_or(0, f))
+            };
+            push_field(
+                &mut out,
+                "profile",
+                Json::object(vec![
+                    (
+                        "compute_micros",
+                        (started.elapsed().as_micros() as u64).into(),
+                    ),
+                    (
+                        "detail",
+                        Json::object(vec![
+                            ("scan_micros", delta(|s| s.scan_micros).into()),
+                            ("derive_micros", delta(|s| s.derive_micros).into()),
+                            ("minimize1_build_micros", build.into()),
+                        ]),
+                    ),
+                ]),
+            );
+        }
+        Ok(out)
     }
 
     /// Handles `POST /audit`: **register → run → drop** over a transient
@@ -923,7 +1004,9 @@ impl AuditService {
                     ("misses", s.misses.into()),
                     ("entries", s.entries.into()),
                     ("groups", s.groups.into()),
+                    ("peak_groups", s.peak_groups.into()),
                     ("evictions", s.evictions.into()),
+                    ("build_micros", s.build_micros.into()),
                     ("hit_rate", s.hit_rate().into()),
                 ])
             })
@@ -958,8 +1041,10 @@ impl AuditService {
                     ("misses", totals.misses.into()),
                     ("entries", totals.entries.into()),
                     ("groups", totals.groups.into()),
+                    ("peak_groups", registry.peak_groups.into()),
                     ("cache_evictions", totals.evictions.into()),
                     ("engine_evictions", registry.evictions.into()),
+                    ("build_micros", totals.build_micros.into()),
                     ("hit_rate", totals.hit_rate().into()),
                     ("per_k", Json::Array(per_k)),
                 ]),
@@ -969,6 +1054,10 @@ impl AuditService {
                 Json::object(vec![
                     ("count", sessions.len().into()),
                     ("groups", session_groups.into()),
+                    (
+                        "peak_groups",
+                        self.sessions.peak_groups.load(Ordering::Relaxed).into(),
+                    ),
                     (
                         "evictions",
                         self.sessions.evictions.load(Ordering::Relaxed).into(),
@@ -1015,6 +1104,14 @@ impl AuditService {
                         "peak_memo_groups",
                         self.rollup.peak_memo_groups.load(Ordering::Relaxed).into(),
                     ),
+                    (
+                        "scan_micros",
+                        self.rollup.scan_micros.load(Ordering::Relaxed).into(),
+                    ),
+                    (
+                        "derive_micros",
+                        self.rollup.derive_micros.load(Ordering::Relaxed).into(),
+                    ),
                 ]),
             ),
             (
@@ -1044,13 +1141,91 @@ impl AuditService {
                     ("wal_records", s.wal_records.into()),
                     ("wal_bytes", s.wal_bytes.into()),
                     ("checkpoints", s.checkpoints.into()),
+                    ("checkpoint_micros", s.checkpoint_micros.into()),
                     ("replayed_records", s.replayed_records.into()),
                     ("truncated_bytes", s.truncated_bytes.into()),
+                    ("wal_appends", s.wal_appends.into()),
+                    ("wal_append_micros", s.wal_append_micros.into()),
+                    ("wal_fsync_micros", s.wal_fsync_micros.into()),
                 ]),
             ));
         }
         out
     }
+
+    /// Raw cumulative totals for the `/metrics` mirror — see
+    /// `crate::metrics::ServeMetrics::sync`. Roll-up totals sum the absorbed
+    /// one-shot counters with every **live** session's evaluator stats
+    /// (peeked, never forcing a build at scrape time); evicted sessions'
+    /// contributions survive because the mirror counters only move up.
+    pub fn metric_totals(&self) -> MetricTotals {
+        let registry = self.engines.stats();
+        let totals = registry.totals();
+        let sessions = self.sessions.snapshot();
+        let mut scan_micros = self.rollup.scan_micros.load(Ordering::Relaxed);
+        let mut derive_micros = self.rollup.derive_micros.load(Ordering::Relaxed);
+        let mut derived = self.rollup.derived.load(Ordering::Relaxed);
+        let mut table_scans = self.rollup.table_scans.load(Ordering::Relaxed);
+        let session_groups: u64 = sessions.iter().map(|s| s.weight).sum();
+        for s in &sessions {
+            if let Some(stats) = s.session.rollup_stats_peek() {
+                scan_micros += stats.scan_micros;
+                derive_micros += stats.derive_micros;
+                derived += stats.derived;
+                table_scans += stats.table_scans;
+            }
+        }
+        MetricTotals {
+            scan_micros,
+            derive_micros,
+            derived,
+            table_scans,
+            minimize1_build_micros: totals.build_micros,
+            minimize1_groups: totals.groups,
+            minimize1_peak_groups: totals.peak_groups,
+            engine_count: registry.engines as u64,
+            engine_groups: registry.groups,
+            engine_peak_groups: registry.peak_groups,
+            session_count: sessions.len() as u64,
+            session_groups,
+            session_peak_groups: self.sessions.peak_groups.load(Ordering::Relaxed),
+            store: self.store.as_ref().map(|s| s.stats()),
+        }
+    }
+}
+
+/// Cumulative engine/store-layer totals mirrored into `/metrics` at scrape
+/// time. Counters here are raw monotone sources (modulo LRU eviction, which
+/// the mirror's `record_total` absorbs); gauges are instantaneous.
+pub struct MetricTotals {
+    /// Σ roll-up bottom-scan wall time (absorbed one-shots + live sessions).
+    pub scan_micros: u64,
+    /// Σ roll-up node-derivation wall time.
+    pub derive_micros: u64,
+    /// Σ node tables derived by roll-up.
+    pub derived: u64,
+    /// Σ full bottom scans performed.
+    pub table_scans: u64,
+    /// Σ MINIMIZE1 build wall time across registered engines.
+    pub minimize1_build_micros: u64,
+    /// Groups retained by MINIMIZE1 caches right now.
+    pub minimize1_groups: u64,
+    /// Σ per-engine cache high-water marks.
+    pub minimize1_peak_groups: u64,
+    /// Engines registered right now.
+    pub engine_count: u64,
+    /// Σ retained groups across engines (the registry budget's unit).
+    pub engine_groups: u64,
+    /// Registry-level retained-groups high-water mark.
+    pub engine_peak_groups: u64,
+    /// Sessions resident right now.
+    pub session_count: u64,
+    /// Σ resident session weight (groups).
+    pub session_groups: u64,
+    /// Session-store retained-weight high-water mark.
+    pub session_peak_groups: u64,
+    /// Durable-store stats when `--data-dir` is attached.
+    pub store: Option<wcbk_store::StoreStats>,
 }
 
 /// Renders an [`AuditReport`] in the `/audit` response shape (unchanged
@@ -1088,6 +1263,23 @@ fn annotate_id(out: &mut Json, id: &str) {
     }
 }
 
+/// Appends one field to a response object (no-op on non-objects).
+fn push_field(out: &mut Json, key: &str, value: Json) {
+    if let Json::Object(pairs) = out {
+        pairs.push((key.to_owned(), value));
+    }
+}
+
+/// Parses the optional `"profile"` flag (absent or `null` → off).
+fn profile_requested(request: &Json) -> Result<bool, ServeError> {
+    match request.get("profile") {
+        None | Some(Json::Null) => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| bad("\"profile\" must be a boolean")),
+    }
+}
+
 fn rollup_json(stats: &RollupStats) -> Json {
     Json::object(vec![
         ("table_scans", stats.table_scans.into()),
@@ -1098,6 +1290,10 @@ fn rollup_json(stats: &RollupStats) -> Json {
         ("memo_entries", stats.memo_entries.into()),
         ("memo_groups", stats.memo_groups.into()),
         ("bottom_groups", stats.bottom_groups.into()),
+        // Deliberately no wall-time fields: response bodies stay
+        // bit-identical across runs and restarts (pinned by the
+        // persistence tests); timings live in /stats, /metrics, and the
+        // opt-in "profile" object.
     ])
 }
 

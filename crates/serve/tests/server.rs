@@ -931,3 +931,275 @@ fn session_eviction_races_never_answer_wrong() {
     handle.shutdown();
     join.join().unwrap().unwrap();
 }
+
+/// `GET /metrics` serves well-formed Prometheus text: HELP/TYPE lines per
+/// family, every pre-registered series present on a cold scrape, and
+/// traffic-driven counters moving after requests.
+#[test]
+fn metrics_exposition_is_well_formed_and_counts_requests() {
+    let (addr, handle, _service, join) = start(ServerConfig::default());
+    let mut client = connect(addr);
+
+    // Cold scrape: every family is pre-registered, all zeros.
+    let cold = client.get("/metrics").unwrap();
+    assert_eq!(cold.status, 200);
+    assert!(
+        cold.header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain")),
+        "{:?}",
+        cold.headers
+    );
+    for family in [
+        "wcbk_http_requests_total",
+        "wcbk_http_request_micros",
+        "wcbk_http_queue_wait_micros",
+        "wcbk_http_response_bytes_total",
+        "wcbk_http_slow_requests_total",
+        "wcbk_sched_steals_total",
+        "wcbk_sched_speculated_total",
+        "wcbk_sched_abandoned_total",
+        "wcbk_search_scan_micros_total",
+        "wcbk_search_derive_micros_total",
+        "wcbk_search_derived_total",
+        "wcbk_search_table_scans_total",
+        "wcbk_minimize1_build_micros_total",
+        "wcbk_store_wal_appends_total",
+        "wcbk_pool_entries",
+        "wcbk_pool_groups",
+        "wcbk_pool_peak_groups",
+    ] {
+        assert!(
+            cold.body.contains(&format!("# TYPE {family} ")),
+            "missing TYPE for {family} in:\n{}",
+            cold.body
+        );
+    }
+    // Well-formed exposition: every non-comment line is `name{labels} value`.
+    for line in cold.body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("line has a value");
+        assert!(
+            series.starts_with("wcbk_"),
+            "unexpected series name: {line}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "bad value in: {line}"
+        );
+    }
+
+    // Drive traffic, then check the counters moved.
+    let audit = client.post("/audit", &audit_job(0).to_string()).unwrap();
+    assert_eq!(audit.status, 200);
+    let search = client.post("/search", &search_job(0).to_string()).unwrap();
+    assert_eq!(search.status, 200);
+    let warm = client.get("/metrics").unwrap().body;
+    let series_value = |name: &str| -> f64 {
+        warm.lines()
+            .filter(|l| l.starts_with(name) && !l.starts_with('#'))
+            .filter_map(|l| l.rsplit_once(' ').and_then(|(_, v)| v.parse::<f64>().ok()))
+            .sum()
+    };
+    assert!(
+        series_value("wcbk_http_requests_total") >= 3.0,
+        "requests_total:\n{warm}"
+    );
+    assert!(series_value("wcbk_http_response_bytes_total") > 0.0);
+    assert!(series_value("wcbk_search_table_scans_total") >= 1.0);
+    assert!(series_value("wcbk_minimize1_build_micros_total") > 0.0);
+    // Histogram invariant: the +Inf bucket equals the count.
+    let inf = warm
+        .lines()
+        .find(|l| l.starts_with("wcbk_http_queue_wait_micros_bucket") && l.contains("+Inf"))
+        .and_then(|l| l.rsplit_once(' ').and_then(|(_, v)| v.parse::<f64>().ok()))
+        .expect("+Inf bucket");
+    let count = series_value("wcbk_http_queue_wait_micros_count");
+    assert_eq!(inf, count, "{warm}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// Trace propagation: a client-supplied `X-Request-Id` is echoed on the
+/// response (JSON, plain-text, and chunked alike); absent or garbage ids
+/// get a generated one.
+#[test]
+fn trace_id_echoes_on_every_response_shape() {
+    let (addr, handle, _service, join) = start(ServerConfig::default());
+    let mut client = connect(addr);
+
+    // Generated when absent.
+    let r = client.get("/healthz").unwrap();
+    let generated = r.header("x-request-id").expect("generated id").to_owned();
+    assert!(!generated.is_empty() && generated.len() <= 64);
+
+    // Echoed verbatim on a JSON response.
+    client
+        .send_raw(
+            format!(
+                "POST /audit HTTP/1.1\r\nHost: wcbk\r\nX-Request-Id: trace-me-42\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+                audit_job(0).to_string().len(),
+                audit_job(0)
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let r = client.read_response().unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("x-request-id"), Some("trace-me-42"));
+
+    // Echoed on the plain-text /metrics response.
+    client
+        .send_raw(b"GET /metrics HTTP/1.1\r\nHost: wcbk\r\nX-Request-Id: scrape-7\r\n\r\n")
+        .unwrap();
+    let r = client.read_response().unwrap();
+    assert_eq!(r.header("x-request-id"), Some("scrape-7"));
+
+    // Echoed on a chunked batch response.
+    let batch = Json::object(vec![(
+        "tables",
+        Json::Array(vec![audit_job(0), audit_job(1)]),
+    )])
+    .to_string();
+    client
+        .send_raw(
+            format!(
+                "POST /batch HTTP/1.1\r\nHost: wcbk\r\nX-Request-Id: batch-9\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{batch}",
+                batch.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let r = client.read_response().unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.header("x-request-id"), Some("batch-9"));
+    assert_eq!(r.ndjson().unwrap().len(), 3); // 2 results + summary
+
+    // A header full of control bytes is replaced, not echoed.
+    client
+        .send_raw(b"GET /healthz HTTP/1.1\r\nHost: wcbk\r\nX-Request-Id: bad\x01id\r\n\r\n")
+        .unwrap();
+    let r = client.read_response().unwrap();
+    let replaced = r.header("x-request-id").expect("replacement id");
+    assert_ne!(replaced, "bad\x01id");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// `"profile": true` returns a per-phase breakdown whose phases sum
+/// exactly to `total_micros`, on both audit and search, without perturbing
+/// the verdict.
+#[test]
+fn profile_flag_returns_phase_breakdown_that_sums_to_total() {
+    let (addr, handle, _service, join) = start(ServerConfig::default());
+    let mut client = connect(addr);
+
+    let plain = client
+        .post("/audit", &audit_job(0).to_string())
+        .unwrap()
+        .json()
+        .unwrap();
+    assert!(plain.get("profile").is_none(), "{plain}");
+
+    for job in [audit_job(0), search_job(0)] {
+        let mut body = job;
+        if let Json::Object(pairs) = &mut body {
+            pairs.push(("profile".to_owned(), true.into()));
+        }
+        let op = body.get("op").and_then(Json::as_str).unwrap().to_owned();
+        let out = client
+            .post(&format!("/{op}"), &body.to_string())
+            .unwrap()
+            .json()
+            .unwrap();
+        let profile = out.get("profile").unwrap_or_else(|| panic!("{out}"));
+        let field = |k: &str| profile.get(k).and_then(Json::as_u64).expect(k);
+        let (parse, queue, compute, total) = (
+            field("parse_micros"),
+            field("queue_wait_micros"),
+            field("compute_micros"),
+            field("total_micros"),
+        );
+        assert_eq!(parse + queue + compute, total, "{op}: {profile}");
+        let detail = profile.get("detail").expect("detail");
+        assert!(detail.get("minimize1_build_micros").is_some(), "{detail}");
+        if op == "search" {
+            // The one-shot search's table scan happened inside compute.
+            assert!(detail.get("scan_micros").is_some(), "{detail}");
+            assert!(field("compute_micros") >= 1);
+        }
+        // The verdict fields are unchanged by profiling.
+        assert!(out.get("max_disclosure").is_some() || out.get("minimal").is_some());
+    }
+
+    // Profile also rides on /tables/{id}/audit.
+    let reg = Json::object(vec![
+        ("csv", workload_csv(0).into()),
+        ("sensitive", "Disease".into()),
+        ("qi", Json::Array(vec!["Age".into(), "Sex".into()])),
+    ]);
+    let id = client
+        .post("/tables", &reg.to_string())
+        .unwrap()
+        .json()
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_owned();
+    let out = client
+        .post(
+            &format!("/tables/{id}/audit"),
+            &Json::object(vec![
+                ("k", 1u64.into()),
+                ("c", 0.9.into()),
+                ("profile", true.into()),
+            ])
+            .to_string(),
+        )
+        .unwrap()
+        .json()
+        .unwrap();
+    let profile = out.get("profile").unwrap_or_else(|| panic!("{out}"));
+    assert!(profile.get("total_micros").is_some(), "{profile}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// `/stats` reports the observability additions: pool high-water marks and
+/// reactor queue-wait totals.
+#[test]
+fn stats_reports_pool_peaks_and_queue_wait() {
+    let (addr, handle, _service, join) = start(ServerConfig::default());
+    let mut client = connect(addr);
+    let r = client.post("/search", &search_job(0).to_string()).unwrap();
+    assert_eq!(r.status, 200);
+
+    let stats = client.get("/stats").unwrap().json().unwrap();
+    let engine_cache = stats.get("engine_cache").unwrap();
+    assert!(
+        engine_cache
+            .get("peak_groups")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0,
+        "{engine_cache}"
+    );
+    assert!(engine_cache.get("build_micros").is_some());
+    let sessions = stats.get("sessions").unwrap();
+    assert!(sessions.get("peak_groups").is_some(), "{sessions}");
+    let rollup = stats.get("rollup").unwrap();
+    assert!(rollup.get("scan_micros").is_some(), "{rollup}");
+    assert!(rollup.get("derive_micros").is_some());
+    let server = stats.get("server").unwrap();
+    let dispatched = server.get("dispatched").and_then(Json::as_u64).unwrap();
+    assert!(dispatched >= 1, "{server}");
+    assert!(server.get("queue_wait_micros").is_some());
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}

@@ -56,6 +56,15 @@ pub struct StoreStats {
     pub replayed_records: u64,
     /// Torn-tail bytes truncated during open.
     pub truncated_bytes: u64,
+    /// WAL appends since open — unlike `wal_records`, never zeroed by a
+    /// checkpoint, so it is safe to mirror into a monotone counter.
+    pub wal_appends: u64,
+    /// Cumulative WAL append wall time (frame write) in microseconds.
+    pub wal_append_micros: u64,
+    /// Cumulative WAL `sync_data` wall time in microseconds.
+    pub wal_fsync_micros: u64,
+    /// Cumulative wall time spent writing checkpoints, in microseconds.
+    pub checkpoint_micros: u64,
 }
 
 /// One dataset read back from the store.
@@ -77,6 +86,7 @@ struct Inner {
     /// Sequence number the next transaction will use.
     next_seq: u64,
     checkpoints: u64,
+    checkpoint_micros: u64,
     replayed_records: u64,
     truncated_bytes: u64,
 }
@@ -134,6 +144,7 @@ impl DatasetStore {
                 applied_seq,
                 next_seq,
                 checkpoints: 0,
+                checkpoint_micros: 0,
                 replayed_records: replayed,
                 truncated_bytes: report.truncated_bytes,
             }),
@@ -223,6 +234,10 @@ impl DatasetStore {
             checkpoints: inner.checkpoints,
             replayed_records: inner.replayed_records,
             truncated_bytes: inner.truncated_bytes,
+            wal_appends: inner.wal.appends,
+            wal_append_micros: inner.wal.append_micros,
+            wal_fsync_micros: inner.wal.fsync_micros,
+            checkpoint_micros: inner.checkpoint_micros,
         }
     }
 
@@ -246,6 +261,7 @@ impl DatasetStore {
     }
 
     fn checkpoint_locked(&self, inner: &mut Inner) -> Result<(), StoreError> {
+        let started = std::time::Instant::now();
         let through = inner.next_seq - 1;
         catalog::write(&self.dir, through, &inner.entries)?;
         // The catalog now covers everything in the log; a crash before this
@@ -253,6 +269,7 @@ impl DatasetStore {
         inner.wal.reset()?;
         inner.applied_seq = through;
         inner.checkpoints += 1;
+        inner.checkpoint_micros += started.elapsed().as_micros() as u64;
         Ok(())
     }
 }

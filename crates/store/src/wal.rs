@@ -36,6 +36,15 @@ pub struct Wal {
     pub bytes: u64,
     /// Records appended or replayed since open.
     pub records: u64,
+    /// Appends performed since open. Unlike `records`, never zeroed by
+    /// [`Wal::reset`] — a monotone source for metrics mirroring.
+    pub appends: u64,
+    /// Cumulative wall time of append frame writes (the `write_all`), in
+    /// microseconds. Never reset.
+    pub append_micros: u64,
+    /// Cumulative wall time of append `sync_data` calls, in microseconds.
+    /// Never reset — fsync latency is the durability cost worth watching.
+    pub fsync_micros: u64,
 }
 
 impl Wal {
@@ -87,6 +96,9 @@ impl Wal {
             file,
             bytes: good as u64,
             records: payloads.len() as u64,
+            appends: 0,
+            append_micros: 0,
+            fsync_micros: 0,
         };
         Ok((wal, payloads, report))
     }
@@ -108,8 +120,13 @@ impl Wal {
         frame.extend_from_slice(&fnv64(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         // One write so a crash tears at most this frame, never an earlier one.
+        let write_started = std::time::Instant::now();
         self.file.write_all(&frame)?;
+        let sync_started = std::time::Instant::now();
         self.file.sync_data()?;
+        self.append_micros += sync_started.duration_since(write_started).as_micros() as u64;
+        self.fsync_micros += sync_started.elapsed().as_micros() as u64;
+        self.appends += 1;
         self.bytes += frame.len() as u64;
         self.records += 1;
         Ok(())

@@ -10,7 +10,7 @@
 //! wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!            [--max-connections N] [--idle-timeout-ms N]
 //!            [--engine-cache-cap N] [--engine-budget N] [--session-budget N]
-//!            [--data-dir DIR]
+//!            [--data-dir DIR] [--log-json] [--slow-request-ms N]
 //! wcbk table add <csv> --addr HOST:PORT --sensitive COL [--qi ...] [--hierarchy ...] [--memo-cap N]
 //! wcbk table audit|search <id> --addr HOST:PORT [--k N] [--c F] [--threads N] [--schedule s]
 //! wcbk table release <id> --addr HOST:PORT --node L1,L2,...
@@ -98,7 +98,7 @@ const USAGE: &str = "usage:
   wcbk serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
              [--max-connections N] [--idle-timeout-ms N]
              [--engine-cache-cap N] [--engine-budget N] [--session-budget N]
-             [--data-dir DIR]
+             [--data-dir DIR] [--log-json] [--slow-request-ms N]
   wcbk table add <csv> --addr HOST:PORT --sensitive COL [--qi COL[,COL...]]
              [--hierarchy COL:W1,W2,...]... [--memo-cap N] [--no-header]
   wcbk table audit <id> --addr HOST:PORT [--k N] [--c F]
@@ -156,6 +156,10 @@ struct Options {
     session_budget: Option<u64>,
     /// `serve`: durable catalog directory (crash-safe handles).
     data_dir: Option<String>,
+    /// `serve`: emit one JSON access-log line per request to stdout.
+    log_json: bool,
+    /// `serve`: always log requests at or past this many milliseconds.
+    slow_request_ms: Option<u64>,
     /// `table release`: the lattice node to record (one level per qi).
     node: Option<Vec<u64>>,
 }
@@ -307,6 +311,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--data-dir" => opts.data_dir = Some(need_value("--data-dir", &mut it)?),
+            "--log-json" => opts.log_json = true,
+            "--slow-request-ms" => {
+                opts.slow_request_ms = Some(
+                    need_value("--slow-request-ms", &mut it)?
+                        .parse()
+                        .map_err(|e| format!("--slow-request-ms: {e}"))?,
+                )
+            }
             "--node" => {
                 let v = need_value("--node", &mut it)?;
                 opts.node = Some(
@@ -595,6 +607,8 @@ fn serve_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
             session_budget: opts.session_budget,
         },
         data_dir: opts.data_dir.clone().map(std::path::PathBuf::from),
+        log_json: opts.log_json,
+        slow_request_ms: opts.slow_request_ms,
         ..wcbk::serve::ServerConfig::default()
     };
     let server = wcbk::serve::Server::bind(&config)?;
@@ -602,7 +616,7 @@ fn serve_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
         eprintln!("wcbk serve: durable catalog at {}", dir.display());
     }
     eprintln!(
-        "wcbk serve: listening on http://{} (endpoints: /tables /tables/{{id}}/audit|search|batch|release|composition|history /audit /search /batch /stats /healthz /shutdown)",
+        "wcbk serve: listening on http://{} (endpoints: /tables /tables/{{id}}/audit|search|batch|release|composition|history /audit /search /batch /stats /metrics /healthz /shutdown)",
         server.local_addr()
     );
     server.run()?;
@@ -962,6 +976,18 @@ mod tests {
         assert!(parse_args(&s(&["serve", "--queue-depth"])).is_err());
         assert!(parse_args(&s(&["serve", "--max-connections", "lots"])).is_err());
         assert!(parse_args(&s(&["serve", "--idle-timeout-ms"])).is_err());
+    }
+
+    #[test]
+    fn serve_observability_flags_parse() {
+        let o = parse_args(&s(&["serve", "--log-json", "--slow-request-ms", "250"])).unwrap();
+        assert!(o.log_json);
+        assert_eq!(o.slow_request_ms, Some(250));
+        let o = parse_args(&s(&["serve"])).unwrap();
+        assert!(!o.log_json);
+        assert_eq!(o.slow_request_ms, None);
+        assert!(parse_args(&s(&["serve", "--slow-request-ms"])).is_err());
+        assert!(parse_args(&s(&["serve", "--slow-request-ms", "fast"])).is_err());
     }
 
     #[test]
