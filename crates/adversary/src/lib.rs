@@ -1,0 +1,293 @@
+//! Pluggable adversary models — knowledge languages as disclosure bounds.
+//!
+//! The source paper fixes one knowledge language: `L_k`, conjunctions of `k`
+//! basic implications, whose worst-case disclosure the MINIMIZE1/2 dynamic
+//! programs compute exactly. This crate makes the attacker itself a plugin:
+//! an [`AdversaryModel`] maps a published [`HistogramSet`] to the worst-case
+//! probability that *some* adversary expressible in the model's language
+//! predicts *some* tuple's sensitive value, together with a human-readable
+//! witness of an attacker achieving the bound.
+//!
+//! Four models ship behind the trait, selected by [`ModelId`]:
+//!
+//! * [`ConjunctionModel`] — the paper's `L_k` language, routed through the
+//!   shared [`DisclosureEngine`]. This is the reference implementation: its
+//!   bound is bit-identical to calling the engine directly.
+//! * [`DistributionModel`] — worst-case *distribution-based* knowledge in
+//!   the spirit of Wong et al. (arXiv 0909.1127): the adversary holds a
+//!   prior over the sensitive domain and strength `k` lets them tilt the
+//!   prior odds of a bucket's modal value by a factor of `k + 1`.
+//! * [`MinimalityModel`] — a minimality/utility-aware attacker that models
+//!   leakage from publishing the anonymization *algorithm* itself: knowing
+//!   the publisher generalized as little as possible lets the adversary rule
+//!   out the `k` rarest sensitive values of a bucket.
+//! * [`SequentialModel`] — linkage-aware sequential release after Riboni et
+//!   al. (arXiv 1010.0924): per-release bounds match the conjunction
+//!   language, but multiple releases compose by **common refinement** of the
+//!   bucketizations (tuple-correlation tracking) instead of the
+//!   union-of-buckets audit; see [`CompositionStyle`].
+//!
+//! # Bound semantics
+//!
+//! `max_disclosure` returns a probability in `[0, 1]`: the supremum over
+//! adversaries expressible in the model's language (with power parameter
+//! `k`) of the posterior confidence in the most vulnerable prediction. All
+//! models agree at `k = 0` with the no-knowledge bound
+//! `max_b n_b(s⁰_b) / n_b`, and every model's bound is monotone in `k`.
+//! Bounds are deterministic functions of the histogram multiset — the same
+//! set always yields the same bits, which is what lets the serve layer cache
+//! and replay audits byte-for-byte.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use wcbk_core::{CoreError, DisclosureEngine, HistogramSet};
+
+mod conjunction;
+mod distribution;
+mod minimality;
+mod sequential;
+
+pub use conjunction::ConjunctionModel;
+pub use distribution::DistributionModel;
+pub use minimality::MinimalityModel;
+pub use sequential::SequentialModel;
+
+/// How audits over multiple releases of the same dataset compose under a
+/// model's knowledge language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompositionStyle {
+    /// Releases compose as the union of their bucket histograms: the
+    /// adversary attacks the weakest bucket across all releases. This is
+    /// the paper's composition audit, and it is incremental — appending a
+    /// release only costs the new buckets' MINIMIZE1 tables.
+    UnionOfBuckets,
+    /// Releases compose as the **common refinement** of their groupings:
+    /// the adversary links each tuple across releases, so the effective
+    /// buckets are the nonempty intersections of per-release buckets
+    /// (Riboni et al., arXiv 1010.0924).
+    CommonRefinement,
+}
+
+/// A human-readable certificate of an adversary achieving the bound.
+///
+/// Unlike the core `DisclosureWitness` (which names concrete tuples of a
+/// materialized bucketization), a model witness describes the attack at the
+/// bucket/value level, since a [`HistogramSet`] carries no tuple
+/// membership. The strings are deterministic functions of the set, so
+/// witnesses replay byte-for-byte across restarts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelWitness {
+    /// The prediction the adversary makes with the bound's confidence.
+    pub predicts: String,
+    /// The background knowledge that gets them there, one clause per line.
+    pub knowing: Vec<String>,
+}
+
+/// A knowledge language with a computable worst-case disclosure bound.
+///
+/// Implementations must be deterministic: the same [`HistogramSet`] must
+/// produce bit-identical bounds and witnesses on every call, on every
+/// thread. All shipped models satisfy `value(k=0) = max_frequency_ratio`
+/// and monotonicity in `k`.
+pub trait AdversaryModel: Send + Sync {
+    /// The model's stable registry name (`"conjunction"`, …).
+    fn name(&self) -> &'static str;
+
+    /// The attacker power parameter this instance was resolved with.
+    fn k(&self) -> usize;
+
+    /// Worst-case disclosure over a published histogram set, in `[0, 1]`.
+    fn max_disclosure(&self, set: &HistogramSet) -> Result<f64, CoreError>;
+
+    /// Reconstructs an adversary achieving [`Self::max_disclosure`].
+    fn witness(&self, set: &HistogramSet) -> Result<ModelWitness, CoreError>;
+
+    /// How sequential releases compose under this language.
+    fn composition(&self) -> CompositionStyle {
+        CompositionStyle::UnionOfBuckets
+    }
+}
+
+/// Registry identifier for the shipped adversary models.
+///
+/// `Copy` + `Default` so it can ride inside `SearchConfig` without breaking
+/// its value semantics; the default is the paper's conjunction language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelId {
+    /// The paper's `L_k` conjunctions of basic implications.
+    #[default]
+    Conjunction,
+    /// Worst-case distribution-based knowledge (arXiv 0909.1127).
+    Distribution,
+    /// Minimality/utility-aware algorithm-publication leakage.
+    Minimality,
+    /// Linkage-aware sequential release (arXiv 1010.0924).
+    Sequential,
+}
+
+/// Every registered model, in registry order.
+pub const MODEL_IDS: [ModelId; 4] = [
+    ModelId::Conjunction,
+    ModelId::Distribution,
+    ModelId::Minimality,
+    ModelId::Sequential,
+];
+
+/// Every registered model name, aligned with [`MODEL_IDS`].
+pub const MODEL_NAMES: [&str; 4] = ["conjunction", "distribution", "minimality", "sequential"];
+
+impl ModelId {
+    /// The model's stable registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::Conjunction => "conjunction",
+            ModelId::Distribution => "distribution",
+            ModelId::Minimality => "minimality",
+            ModelId::Sequential => "sequential",
+        }
+    }
+
+    /// The registry index (position in [`MODEL_IDS`] / [`MODEL_NAMES`]),
+    /// used by per-model metric families.
+    pub fn index(self) -> usize {
+        match self {
+            ModelId::Conjunction => 0,
+            ModelId::Distribution => 1,
+            ModelId::Minimality => 2,
+            ModelId::Sequential => 3,
+        }
+    }
+
+    /// Instantiates the model at the engine's attacker power. Engine-backed
+    /// models (conjunction, sequential) share the passed engine's MINIMIZE1
+    /// cache; the closed-form models only borrow its `k`.
+    pub fn resolve(self, engine: Arc<DisclosureEngine>) -> Arc<dyn AdversaryModel> {
+        match self {
+            ModelId::Conjunction => Arc::new(ConjunctionModel::new(engine)),
+            ModelId::Distribution => Arc::new(DistributionModel::new(engine.k())),
+            ModelId::Minimality => Arc::new(MinimalityModel::new(engine.k())),
+            ModelId::Sequential => Arc::new(SequentialModel::new(engine)),
+        }
+    }
+}
+
+impl fmt::Display for ModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ModelId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "conjunction" => Ok(ModelId::Conjunction),
+            "distribution" => Ok(ModelId::Distribution),
+            "minimality" => Ok(ModelId::Minimality),
+            "sequential" => Ok(ModelId::Sequential),
+            other => Err(format!(
+                "unknown adversary model {other:?} (expected one of: {})",
+                MODEL_NAMES.join(", ")
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcbk_core::SensitiveHistogram;
+    use wcbk_table::SValue;
+
+    /// The paper's Figure 3 histograms: male bucket (2, 2, 1), female
+    /// bucket (2, 1, 1, 1), three diseases in the domain.
+    pub(crate) fn figure3_set() -> HistogramSet {
+        let male =
+            SensitiveHistogram::from_counts([(SValue(0), 2u64), (SValue(1), 2), (SValue(2), 1)]);
+        let female = SensitiveHistogram::from_counts([
+            (SValue(0), 2u64),
+            (SValue(1), 1),
+            (SValue(2), 1),
+            (SValue(3), 1),
+        ]);
+        HistogramSet::new(vec![male, female], 4).unwrap()
+    }
+
+    #[test]
+    fn registry_round_trips_names() {
+        for (id, name) in MODEL_IDS.iter().zip(MODEL_NAMES) {
+            assert_eq!(id.name(), name);
+            assert_eq!(name.parse::<ModelId>().unwrap(), *id);
+            assert_eq!(id.to_string(), name);
+            assert_eq!(MODEL_IDS[id.index()], *id);
+        }
+        assert!("l-diversity".parse::<ModelId>().is_err());
+        let err = "bogus".parse::<ModelId>().unwrap_err();
+        assert!(err.contains("conjunction") && err.contains("sequential"));
+    }
+
+    #[test]
+    fn default_is_conjunction() {
+        assert_eq!(ModelId::default(), ModelId::Conjunction);
+    }
+
+    #[test]
+    fn resolve_matches_registry() {
+        let engine = Arc::new(DisclosureEngine::new(2));
+        for id in MODEL_IDS {
+            let model = id.resolve(Arc::clone(&engine));
+            assert_eq!(model.name(), id.name());
+            assert_eq!(model.k(), 2);
+        }
+    }
+
+    #[test]
+    fn all_models_agree_at_k0_with_frequency_ratio() {
+        let set = figure3_set();
+        let engine = Arc::new(DisclosureEngine::new(0));
+        for id in MODEL_IDS {
+            let model = id.resolve(Arc::clone(&engine));
+            let v = model.max_disclosure(&set).unwrap();
+            assert!(
+                (v - set.max_frequency_ratio()).abs() < 1e-15,
+                "{}: {v} != {}",
+                id,
+                set.max_frequency_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn all_models_monotone_in_k() {
+        let set = figure3_set();
+        for id in MODEL_IDS {
+            let mut prev = 0.0;
+            for k in 0..6 {
+                let engine = Arc::new(DisclosureEngine::new(k));
+                let v = id
+                    .resolve(Arc::clone(&engine))
+                    .max_disclosure(&set)
+                    .unwrap();
+                assert!(v >= prev - 1e-15, "{id} not monotone at k={k}");
+                assert!((0.0..=1.0).contains(&v));
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn composition_styles() {
+        let engine = Arc::new(DisclosureEngine::new(1));
+        for id in MODEL_IDS {
+            let style = id.resolve(Arc::clone(&engine)).composition();
+            if id == ModelId::Sequential {
+                assert_eq!(style, CompositionStyle::CommonRefinement);
+            } else {
+                assert_eq!(style, CompositionStyle::UnionOfBuckets);
+            }
+        }
+    }
+}

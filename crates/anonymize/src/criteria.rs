@@ -7,6 +7,7 @@
 //! (c,k)-safety this is the paper's Theorem 14; for k-anonymity and the
 //! ℓ-diversity family it is classical.
 
+use wcbk_adversary::AdversaryModel;
 use wcbk_core::{Bucketization, CacheStats, CkSafety, CoreError, DisclosureEngine, HistogramSet};
 
 use crate::AnonymizeError;
@@ -289,6 +290,49 @@ impl PrivacyCriterion for CkSafetyCriterion {
 
     fn is_satisfied(&self, b: &Bucketization) -> Result<bool, AnonymizeError> {
         Ok(self.safety.is_safe_with(&self.engine, b)?)
+    }
+}
+
+/// (c,k)-safety under **any** registered [`AdversaryModel`]: satisfied when
+/// the model's worst-case disclosure bound stays below `c`.
+///
+/// With the conjunction model this is exactly [`CkSafetyCriterion`] (the
+/// bound is computed by the same engine, bit-for-bit); the other models
+/// substitute their own knowledge language. All shipped models are
+/// merge-monotone (pinned by the `wcbk-adversary` proptests), which is the
+/// property the pruned lattice search requires.
+pub struct ModelSafetyCriterion {
+    model: std::sync::Arc<dyn AdversaryModel>,
+    c: f64,
+}
+
+impl ModelSafetyCriterion {
+    /// Creates the criterion for threshold `c` under `model` (whose `k`
+    /// fixes the attacker power). `c` is validated exactly like
+    /// [`CkSafety`].
+    pub fn new(c: f64, model: std::sync::Arc<dyn AdversaryModel>) -> Result<Self, CoreError> {
+        CkSafety::new(c, model.k())?;
+        Ok(Self { model, c })
+    }
+
+    /// The model judging safety.
+    pub fn model(&self) -> &std::sync::Arc<dyn AdversaryModel> {
+        &self.model
+    }
+
+    /// The disclosure threshold.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+}
+
+impl PrivacyCriterion for ModelSafetyCriterion {
+    fn name(&self) -> String {
+        format!("({},{})-{}", self.c, self.model.k(), self.model.name())
+    }
+
+    fn is_satisfied_hist(&self, h: &HistogramSet) -> Result<bool, AnonymizeError> {
+        Ok(self.model.max_disclosure(h)? < self.c)
     }
 }
 

@@ -26,6 +26,11 @@
 //!   searches, sweeps, and sequential-release composition checks forever —
 //!   the register-once surface the `wcbk-serve` resource endpoints and the
 //!   CLI both run on.
+//! * Pluggable adversaries: [`ModelSafetyCriterion`] judges safety under
+//!   any registered [`AdversaryModel`] (see [`wcbk_adversary`]), and the
+//!   session's `audit_model` / `audit_composition_model` paths thread a
+//!   [`ModelId`] through audits, releases, and composition checks — with
+//!   the conjunction model bit-identical to the classic (c,k) paths.
 
 pub mod anatomy;
 pub mod criteria;
@@ -39,8 +44,8 @@ pub mod utility;
 
 pub use anatomy::{anatomize, AnatomyOutcome};
 pub use criteria::{
-    CkSafetyCriterion, DistinctLDiversity, EntropyLDiversity, KAnonymity, PrivacyCriterion,
-    RecursiveCLDiversity,
+    CkSafetyCriterion, DistinctLDiversity, EntropyLDiversity, KAnonymity, ModelSafetyCriterion,
+    PrivacyCriterion, RecursiveCLDiversity,
 };
 pub use error::AnonymizeError;
 pub use incognito::{incognito, incognito_parallel, incognito_with, IncognitoOutcome};
@@ -50,7 +55,13 @@ pub use search::{
     find_minimal_safe_report, find_minimal_safe_rescan, find_minimal_safe_with, sweep_all,
     sweep_all_rescan, Schedule, SearchConfig, SearchOutcome, SearchReport,
 };
-pub use session::{AuditReport, CompositionReport, DatasetSession, ReleaseReport, SessionOptions};
+pub use session::{
+    AuditReport, CompositionReport, DatasetSession, ModelAuditReport, ModelCompositionReport,
+    ReleaseReport, SessionOptions,
+};
 pub use swap::{swap_sanitize, SwapOutcome};
 pub use utility::UtilityMetric;
+pub use wcbk_adversary::{
+    AdversaryModel, CompositionStyle, ModelId, ModelWitness, MODEL_IDS, MODEL_NAMES,
+};
 pub use wcbk_hierarchy::ScanOptions;

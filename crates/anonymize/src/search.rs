@@ -36,6 +36,7 @@
 use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
 
+use wcbk_adversary::ModelId;
 use wcbk_core::sched::{evaluate_work_stealing, MonotoneDag};
 use wcbk_hierarchy::{
     GenNode, GeneralizationLattice, HierarchyError, NodeEvaluator, RollupStats, ScanOptions,
@@ -83,6 +84,12 @@ pub struct SearchConfig {
     /// available cores, `1` = in-thread). Bit-neutral: the scan's output is
     /// identical at any thread count — see [`ScanOptions`].
     pub scan_threads: usize,
+    /// The adversary model the caller judges safety under (the default is
+    /// the paper's conjunction language). The search machinery itself is
+    /// model-agnostic — the criterion carries the actual bound — but the
+    /// selection rides here so services and reports can thread it alongside
+    /// the other search knobs.
+    pub model: ModelId,
 }
 
 impl SearchConfig {

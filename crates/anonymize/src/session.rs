@@ -23,16 +23,19 @@
 //! pinned by `tests/session_equivalence.rs` — so "one-shot" is just
 //! "register → run → drop" over this API.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use wcbk_adversary::{CompositionStyle, ModelId, ModelWitness};
 use wcbk_core::{
     Bucketization, CkSafety, DisclosureEngine, DisclosureResult, EngineRegistry, HistogramSet,
-    SensitiveHistogram,
+    IncrementalDisclosure, SensitiveHistogram,
 };
 use wcbk_hierarchy::{
     dataset_fingerprint, GenNode, GeneralizationLattice, NodeEvaluator, RollupStats, ScanOptions,
 };
-use wcbk_table::Table;
+use wcbk_table::{SValue, Table, TupleId};
 
 use crate::search::{minimal_safe_over, sweep_over, try_evaluator_shared, SearchConfig};
 use crate::{AnonymizeError, PrivacyCriterion, SearchReport};
@@ -88,6 +91,8 @@ pub struct ReleaseReport {
     pub buckets: usize,
     /// Total buckets across the whole history after this release.
     pub total_buckets: usize,
+    /// The adversary model this release was audited under.
+    pub model: ModelId,
 }
 
 /// A composition audit over **all** recorded releases: the attacker sees
@@ -110,11 +115,94 @@ pub struct CompositionReport {
     pub safe: Option<bool>,
 }
 
+/// An audit of the exact-quasi-identifier grouping under a pluggable
+/// [`AdversaryModel`](wcbk_adversary::AdversaryModel) — the model-generic
+/// counterpart of [`AuditReport`]. Under [`ModelId::Conjunction`] the value
+/// is bit-identical to [`AuditReport::disclosure`]'s.
+#[derive(Debug, Clone)]
+pub struct ModelAuditReport {
+    /// The model the bound was computed under.
+    pub model: ModelId,
+    /// Buckets of the exact-quasi-identifier grouping.
+    pub buckets: usize,
+    /// Tuples in the table.
+    pub tuples: u64,
+    /// Sensitive domain size.
+    pub domain: u32,
+    /// Attacker power bound.
+    pub k: usize,
+    /// The model's worst-case disclosure bound.
+    pub value: f64,
+    /// An adversary achieving the bound.
+    pub witness: ModelWitness,
+    /// The threshold checked, when given.
+    pub c: Option<f64>,
+    /// Whether `value < c`, when `c` was given.
+    pub safe: Option<bool>,
+}
+
+/// A composition audit under a pluggable model — the model-generic
+/// counterpart of [`CompositionReport`]. `buckets` counts the **effective**
+/// buckets the adversary attacks: the released buckets for
+/// union-of-buckets models, the common-refinement cells for
+/// [`ModelId::Sequential`].
+#[derive(Debug, Clone)]
+pub struct ModelCompositionReport {
+    /// The model the bound was computed under.
+    pub model: ModelId,
+    /// Releases composed.
+    pub releases: usize,
+    /// Effective buckets audited (see type docs).
+    pub buckets: usize,
+    /// Attacker power bound.
+    pub k: usize,
+    /// The model's worst-case disclosure bound over the composition.
+    pub value: f64,
+    /// The threshold checked, when given.
+    pub c: Option<f64>,
+    /// Whether `value < c`, when `c` was given.
+    pub safe: Option<bool>,
+}
+
 /// The sequential-release history: released bucket histograms in release
-/// order, plus per-release bookkeeping.
+/// order, plus per-release bookkeeping (node, buckets contributed, and the
+/// adversary model the release was audited under).
 struct ReleaseHistory {
     histograms: Vec<SensitiveHistogram>,
-    per_release: Vec<(GenNode, usize)>,
+    per_release: Vec<(GenNode, usize, ModelId)>,
+}
+
+/// Persistent union-of-buckets composition state for one attacker power
+/// `k`: the prefix/suffix MINIMIZE2 tables over every released bucket
+/// folded in so far. A later audit only pushes the buckets released since
+/// `folded` — the O(new buckets) contract — and pushing is bit-identical
+/// to a fresh [`DisclosureEngine::incremental_set`] build because `push`
+/// rebuilds the tables from the full cost list.
+struct UnionComp {
+    /// Buckets of the history already folded into `inc`.
+    folded: usize,
+    inc: IncrementalDisclosure,
+}
+
+/// Persistent common-refinement composition state (model-independent): for
+/// each row, the id of its cell in the common refinement of every release
+/// folded in so far. Folding a release is one bucketize + one O(rows)
+/// renumbering; audits with no new release reuse the cells as-is.
+struct RefinementComp {
+    /// Releases already folded into `cells`.
+    applied: usize,
+    /// Per-row refinement cell ids, numbered by first appearance in row
+    /// order (deterministic, so rebuilt sessions re-derive identical ids).
+    cells: Vec<u32>,
+    n_cells: u32,
+}
+
+/// The per-session composition caches, keyed off the release history they
+/// mirror; cleared together with it.
+#[derive(Default)]
+struct CompositionCache {
+    union: HashMap<usize, UnionComp>,
+    refinement: Option<RefinementComp>,
 }
 
 /// A registered dataset: table + lattice + shared evaluation state — see
@@ -141,6 +229,8 @@ pub struct DatasetSession {
     fingerprint: OnceLock<u64>,
     engines: Arc<EngineRegistry>,
     releases: Mutex<ReleaseHistory>,
+    /// Incremental composition state (always locked **after** `releases`).
+    comp: Mutex<CompositionCache>,
 }
 
 impl DatasetSession {
@@ -178,6 +268,7 @@ impl DatasetSession {
                 histograms: Vec::new(),
                 per_release: Vec::new(),
             }),
+            comp: Mutex::new(CompositionCache::default()),
         })
     }
 
@@ -375,8 +466,20 @@ impl DatasetSession {
 
     /// Records a release of `node`'s bucketization into the
     /// sequential-release history (histograms only — no tuple membership is
-    /// retained, matching what a published anatomized table reveals).
+    /// retained, matching what a published anatomized table reveals). The
+    /// release is tagged with the default (conjunction) adversary model.
     pub fn release(&self, node: &GenNode) -> Result<ReleaseReport, AnonymizeError> {
+        self.release_with_model(node, ModelId::Conjunction)
+    }
+
+    /// [`DatasetSession::release`] tagged with the adversary model the
+    /// release was audited under — what a durable catalog persists so the
+    /// node rehydrates under the same model.
+    pub fn release_with_model(
+        &self,
+        node: &GenNode,
+        model: ModelId,
+    ) -> Result<ReleaseReport, AnonymizeError> {
         let histograms: Vec<SensitiveHistogram> = match self.evaluator() {
             Some(eval) => eval.histograms(node)?.histograms().to_vec(),
             None => self
@@ -390,21 +493,33 @@ impl DatasetSession {
         let buckets = histograms.len();
         let mut history = self.releases.lock().expect("release history poisoned");
         history.histograms.extend(histograms);
-        history.per_release.push((node.clone(), buckets));
+        history.per_release.push((node.clone(), buckets, model));
         Ok(ReleaseReport {
             index: history.per_release.len() - 1,
             node: node.clone(),
             buckets,
             total_buckets: history.histograms.len(),
+            model,
         })
     }
 
     /// The recorded release history as `(node, buckets)` pairs in release
-    /// order — what a durable catalog persists and an export endpoint
-    /// serves. Replaying these nodes through [`DatasetSession::release`] on
+    /// order. Replaying these nodes through [`DatasetSession::release`] on
     /// a fresh session of the same dataset reproduces the composition
     /// history bit-identically.
     pub fn release_history(&self) -> Vec<(GenNode, usize)> {
+        self.releases
+            .lock()
+            .expect("release history poisoned")
+            .per_release
+            .iter()
+            .map(|(node, buckets, _)| (node.clone(), *buckets))
+            .collect()
+    }
+
+    /// The recorded release history with model tags, in release order —
+    /// what a durable catalog persists and an export endpoint serves.
+    pub fn release_history_models(&self) -> Vec<(GenNode, usize, ModelId)> {
         self.releases
             .lock()
             .expect("release history poisoned")
@@ -421,19 +536,26 @@ impl DatasetSession {
             .len()
     }
 
-    /// Forgets the release history (the next composition starts empty).
+    /// Forgets the release history (the next composition starts empty)
+    /// along with the incremental composition state derived from it.
     pub fn clear_releases(&self) {
         let mut history = self.releases.lock().expect("release history poisoned");
+        let mut comp = self.comp.lock().expect("composition cache poisoned");
         history.histograms.clear();
         history.per_release.clear();
+        *comp = CompositionCache::default();
     }
 
     /// Audits the **composition** of every recorded release: the attacker
     /// holds all released buckets at once, so maximum disclosure is
-    /// computed over their union through
-    /// [`DisclosureEngine::incremental_set`] (per-bucket MINIMIZE1 work
-    /// stays cached in the shared engine, so successive composition audits
-    /// after each release cost only the new buckets).
+    /// computed over their union through a persistent per-`k`
+    /// [`IncrementalDisclosure`] kept in the session. The first audit at a
+    /// given `k` builds the full state; every later audit folds in only the
+    /// buckets released since — O(new buckets) bucket-cost work, with the
+    /// per-bucket MINIMIZE1 tables additionally cached in the shared
+    /// engine. Because [`IncrementalDisclosure::push`] rebuilds from the
+    /// full cost list, the folded value is bit-identical to a fresh
+    /// [`DisclosureEngine::incremental_set`] over the whole union.
     ///
     /// Errors when no release has been recorded.
     pub fn audit_composition(
@@ -441,19 +563,7 @@ impl DatasetSession {
         c: Option<f64>,
         k: usize,
     ) -> Result<CompositionReport, AnonymizeError> {
-        let (histograms, releases) = {
-            let history = self.releases.lock().expect("release history poisoned");
-            (history.histograms.clone(), history.per_release.len())
-        };
-        if histograms.is_empty() {
-            return Err(AnonymizeError::InvalidParameter(
-                "composition audit needs at least one recorded release".into(),
-            ));
-        }
-        let buckets = histograms.len();
-        let set = HistogramSet::new(histograms, self.table.sensitive_cardinality() as u32)?;
-        let engine = self.engines.engine(k);
-        let value = engine.incremental_set(&set)?.value();
+        let (releases, buckets, value) = self.union_composition_value(k)?;
         let safe = match c {
             Some(c) => {
                 CkSafety::new(c, k)?;
@@ -469,6 +579,206 @@ impl DatasetSession {
             c,
             safe,
         })
+    }
+
+    /// The union-of-buckets composition value at attacker power `k`,
+    /// through the persistent per-`k` incremental state. Returns
+    /// `(releases, buckets, value)`.
+    fn union_composition_value(&self, k: usize) -> Result<(usize, usize, f64), AnonymizeError> {
+        let history = self.releases.lock().expect("release history poisoned");
+        if history.histograms.is_empty() {
+            return Err(AnonymizeError::InvalidParameter(
+                "composition audit needs at least one recorded release".into(),
+            ));
+        }
+        let releases = history.per_release.len();
+        let buckets = history.histograms.len();
+        let engine = self.engines.engine(k);
+        let mut comp = self.comp.lock().expect("composition cache poisoned");
+        let value = match comp.union.entry(k) {
+            Entry::Occupied(mut slot) => {
+                let state = slot.get_mut();
+                for h in &history.histograms[state.folded..] {
+                    state.inc.push(engine.costs(h));
+                }
+                state.folded = buckets;
+                state.inc.value()
+            }
+            Entry::Vacant(slot) => {
+                let set = HistogramSet::new(
+                    history.histograms.clone(),
+                    self.table.sensitive_cardinality() as u32,
+                )?;
+                let inc = engine.incremental_set(&set)?;
+                slot.insert(UnionComp {
+                    folded: buckets,
+                    inc,
+                })
+                .inc
+                .value()
+            }
+        };
+        Ok((releases, buckets, value))
+    }
+
+    /// Audits the exact-quasi-identifier grouping under the adversary
+    /// `model` at attacker power `k`: the model's worst-case disclosure
+    /// bound plus a reconstructed witness, and the safety verdict when `c`
+    /// is given. Under [`ModelId::Conjunction`] the value is bit-identical
+    /// to [`DatasetSession::audit`].
+    pub fn audit_model(
+        &self,
+        model: ModelId,
+        c: Option<f64>,
+        k: usize,
+    ) -> Result<ModelAuditReport, AnonymizeError> {
+        let resolved = model.resolve(self.engines.engine(k));
+        let exact = self.exact();
+        let set = HistogramSet::from_bucketization(exact);
+        let value = resolved.max_disclosure(&set)?;
+        let witness = resolved.witness(&set)?;
+        let safe = match c {
+            Some(c) => {
+                CkSafety::new(c, k)?;
+                Some(value < c)
+            }
+            None => None,
+        };
+        Ok(ModelAuditReport {
+            model,
+            buckets: set.n_buckets(),
+            tuples: set.n_tuples(),
+            domain: set.domain_size(),
+            k,
+            value,
+            witness,
+            c,
+            safe,
+        })
+    }
+
+    /// Audits the composition of every recorded release under the adversary
+    /// `model`, honoring the model's [`CompositionStyle`]:
+    ///
+    /// - [`CompositionStyle::UnionOfBuckets`] prices the union of all
+    ///   released bucket histograms. Under [`ModelId::Conjunction`] this
+    ///   rides the same persistent incremental state as
+    ///   [`DatasetSession::audit_composition`], so the value is
+    ///   bit-identical to that path; the stateless models price the union
+    ///   set directly.
+    /// - [`CompositionStyle::CommonRefinement`] intersects the released
+    ///   groupings tuple-by-tuple (the linkage attacker knows each
+    ///   individual appears in every release), prices the refined cells,
+    ///   and keeps the refined partition in the session so each audit folds
+    ///   in only releases recorded since the last one.
+    ///
+    /// Errors when no release has been recorded.
+    pub fn audit_composition_model(
+        &self,
+        model: ModelId,
+        c: Option<f64>,
+        k: usize,
+    ) -> Result<ModelCompositionReport, AnonymizeError> {
+        let resolved = model.resolve(self.engines.engine(k));
+        let (releases, buckets, value) = match resolved.composition() {
+            CompositionStyle::UnionOfBuckets => {
+                if matches!(model, ModelId::Conjunction) {
+                    self.union_composition_value(k)?
+                } else {
+                    let history = self.releases.lock().expect("release history poisoned");
+                    if history.histograms.is_empty() {
+                        return Err(AnonymizeError::InvalidParameter(
+                            "composition audit needs at least one recorded release".into(),
+                        ));
+                    }
+                    let set = HistogramSet::new(
+                        history.histograms.clone(),
+                        self.table.sensitive_cardinality() as u32,
+                    )?;
+                    (
+                        history.per_release.len(),
+                        set.n_buckets(),
+                        resolved.max_disclosure(&set)?,
+                    )
+                }
+            }
+            CompositionStyle::CommonRefinement => {
+                let (releases, set) = self.refined_composition_set()?;
+                (releases, set.n_buckets(), resolved.max_disclosure(&set)?)
+            }
+        };
+        let safe = match c {
+            Some(c) => {
+                CkSafety::new(c, k)?;
+                Some(value < c)
+            }
+            None => None,
+        };
+        Ok(ModelCompositionReport {
+            model,
+            releases,
+            buckets,
+            k,
+            value,
+            c,
+            safe,
+        })
+    }
+
+    /// The common refinement of all recorded releases as a histogram set,
+    /// folding releases newer than the cached refined partition into it —
+    /// each release costs one bucketization plus one pass over the rows.
+    /// Cell ids are assigned by first appearance in row order, so replaying
+    /// the same releases on a fresh session reproduces the partition (and
+    /// therefore the priced set) bit-identically.
+    fn refined_composition_set(&self) -> Result<(usize, HistogramSet), AnonymizeError> {
+        let history = self.releases.lock().expect("release history poisoned");
+        if history.per_release.is_empty() {
+            return Err(AnonymizeError::InvalidParameter(
+                "composition audit needs at least one recorded release".into(),
+            ));
+        }
+        let releases = history.per_release.len();
+        let rows = self.table.n_rows();
+        let mut comp = self.comp.lock().expect("composition cache poisoned");
+        let state = comp.refinement.get_or_insert_with(|| RefinementComp {
+            applied: 0,
+            cells: vec![0; rows],
+            n_cells: 1,
+        });
+        for (node, _, _) in &history.per_release[state.applied..] {
+            let grouping = self.lattice.bucketize(&self.table, node)?;
+            let mut owner = vec![0u32; rows];
+            for (b, bucket) in grouping.buckets().iter().enumerate() {
+                for t in bucket.members() {
+                    owner[t.index()] = b as u32;
+                }
+            }
+            let mut renumber: HashMap<(u32, u32), u32> = HashMap::new();
+            let mut next = 0u32;
+            for (row, &own) in owner.iter().enumerate() {
+                let key = (state.cells[row], own);
+                let cell = *renumber.entry(key).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                });
+                state.cells[row] = cell;
+            }
+            state.n_cells = next;
+        }
+        state.applied = releases;
+        let mut members: Vec<Vec<SValue>> = vec![Vec::new(); state.n_cells as usize];
+        for row in 0..rows {
+            members[state.cells[row] as usize]
+                .push(self.table.sensitive_value(TupleId(row as u32)));
+        }
+        let histograms = members
+            .iter()
+            .map(|vals| SensitiveHistogram::from_values(vals))
+            .collect();
+        let set = HistogramSet::new(histograms, self.table.sensitive_cardinality() as u32)?;
+        Ok((releases, set))
     }
 }
 
@@ -555,14 +865,12 @@ mod tests {
                 SearchConfig {
                     threads: 3,
                     schedule: Schedule::WorkStealing,
-                    memo_capacity: None,
-                    scan_threads: 0,
+                    ..Default::default()
                 },
                 SearchConfig {
                     threads: 2,
                     schedule: Schedule::LevelSync,
-                    memo_capacity: None,
-                    scan_threads: 0,
+                    ..Default::default()
                 },
             ] {
                 let criterion = CkSafetyCriterion::new(c, k).unwrap();
@@ -659,6 +967,242 @@ mod tests {
 
     fn b_domain(table: &Table) -> u32 {
         table.sensitive_cardinality() as u32
+    }
+
+    /// The conjunction model through the plugin surface is bit-identical
+    /// to the classic audit path — value bits and safety verdict.
+    #[test]
+    fn model_audit_conjunction_is_bit_identical_to_plain_audit() {
+        let s = session();
+        for k in 0..=2 {
+            let plain = s.audit(Some(0.9), k).unwrap();
+            let model = s.audit_model(ModelId::Conjunction, Some(0.9), k).unwrap();
+            assert_eq!(model.value.to_bits(), plain.disclosure.value.to_bits());
+            assert_eq!(model.safe, plain.safe);
+            assert_eq!(model.buckets, plain.buckets);
+            assert_eq!(model.tuples, plain.tuples);
+            assert_eq!(model.k, k);
+            assert!(!model.witness.predicts.is_empty());
+        }
+    }
+
+    /// The persistent per-`k` incremental state makes successive
+    /// composition audits O(new buckets): a repeat audit does **zero**
+    /// engine cost lookups, and an audit after one more release does at
+    /// most that release's bucket count — observed through the shared
+    /// engine's cache counters. Values stay bit-identical to full rebuilds.
+    #[test]
+    fn composition_cache_folds_only_new_buckets() {
+        let s = session();
+        let lattice = hospital_lattice(&hospital_table());
+        let engine = s.engine(1);
+        s.release(&lattice.top()).unwrap();
+        s.release(&GenNode(vec![1, 2, 0])).unwrap();
+
+        let first = s.audit_composition(None, 1).unwrap();
+        let after_build = engine.stats();
+
+        // No new release: the cached tables answer directly.
+        let repeat = s.audit_composition(None, 1).unwrap();
+        let after_repeat = engine.stats();
+        assert_eq!(repeat.value.to_bits(), first.value.to_bits());
+        assert_eq!(after_repeat.misses, after_build.misses);
+        assert_eq!(after_repeat.hits, after_build.hits);
+
+        // One more release: only its buckets get folded in.
+        let third = s.release(&GenNode(vec![1, 1, 1])).unwrap();
+        let report = s.audit_composition(None, 1).unwrap();
+        let after_fold = engine.stats();
+        let lookups =
+            (after_fold.misses - after_repeat.misses) + (after_fold.hits - after_repeat.hits);
+        assert!(
+            lookups <= third.buckets as u64,
+            "folded {} buckets with {lookups} cost lookups",
+            third.buckets
+        );
+
+        // Bit-identical to a from-scratch rebuild over the whole union.
+        let table = hospital_table();
+        let mut histograms: Vec<SensitiveHistogram> = Vec::new();
+        for n in [
+            lattice.top(),
+            GenNode(vec![1, 2, 0]),
+            GenNode(vec![1, 1, 1]),
+        ] {
+            let b = lattice.bucketize(&table, &n).unwrap();
+            histograms.extend(b.buckets().iter().map(|x| x.histogram().clone()));
+        }
+        let set = HistogramSet::new(histograms, b_domain(&table)).unwrap();
+        let direct = DisclosureEngine::new(1).incremental_set(&set).unwrap();
+        assert_eq!(report.value.to_bits(), direct.value().to_bits());
+        assert_eq!(report.buckets, set.n_buckets());
+    }
+
+    /// `audit_composition_model` under the conjunction model rides the
+    /// same incremental state as the plain path — identical reports.
+    #[test]
+    fn model_composition_conjunction_is_bit_identical_to_plain() {
+        let s = session();
+        let lattice = hospital_lattice(&hospital_table());
+        s.release(&lattice.top()).unwrap();
+        s.release(&GenNode(vec![1, 2, 0])).unwrap();
+        for k in 0..=2 {
+            let plain = s.audit_composition(Some(0.9), k).unwrap();
+            let model = s
+                .audit_composition_model(ModelId::Conjunction, Some(0.9), k)
+                .unwrap();
+            assert_eq!(model.value.to_bits(), plain.value.to_bits());
+            assert_eq!(model.safe, plain.safe);
+            assert_eq!(model.releases, plain.releases);
+            assert_eq!(model.buckets, plain.buckets);
+        }
+    }
+
+    /// The sequential model composes by **common refinement**: the linked
+    /// adversary confines each tuple to the intersection of its buckets
+    /// across releases, so the audited set is the per-row
+    /// (bucket-in-A, bucket-in-B) partition — not the union of histograms.
+    #[test]
+    fn sequential_composition_prices_the_common_refinement() {
+        let s = session();
+        let table = hospital_table();
+        let lattice = hospital_lattice(&table);
+        let by_sex = GenNode(vec![1, 2, 0]);
+        let by_age = GenNode(vec![1, 1, 1]);
+        s.release_with_model(&by_sex, ModelId::Sequential).unwrap();
+        s.release_with_model(&by_age, ModelId::Sequential).unwrap();
+        let report = s
+            .audit_composition_model(ModelId::Sequential, None, 1)
+            .unwrap();
+
+        // Manual refinement: group rows on their (bucket-in-A, bucket-in-B)
+        // pair and price the resulting cells through the same engine.
+        let a = lattice.bucketize(&table, &by_sex).unwrap();
+        let b = lattice.bucketize(&table, &by_age).unwrap();
+        let rows = table.n_rows();
+        let mut owner_a = vec![0usize; rows];
+        let mut owner_b = vec![0usize; rows];
+        for (i, bucket) in a.buckets().iter().enumerate() {
+            for t in bucket.members() {
+                owner_a[t.index()] = i;
+            }
+        }
+        for (i, bucket) in b.buckets().iter().enumerate() {
+            for t in bucket.members() {
+                owner_b[t.index()] = i;
+            }
+        }
+        let mut cells: HashMap<(usize, usize), Vec<SValue>> = HashMap::new();
+        for row in 0..rows {
+            cells
+                .entry((owner_a[row], owner_b[row]))
+                .or_default()
+                .push(table.sensitive_value(TupleId(row as u32)));
+        }
+        let histograms: Vec<SensitiveHistogram> = cells
+            .values()
+            .map(|vals| SensitiveHistogram::from_values(vals))
+            .collect();
+        assert_eq!(report.buckets, histograms.len());
+        let set = HistogramSet::new(histograms, b_domain(&table)).unwrap();
+        let direct = DisclosureEngine::new(1)
+            .max_disclosure_value_set(&set)
+            .unwrap();
+        assert_eq!(report.value.to_bits(), direct.to_bits());
+
+        // Folding is idempotent: a repeat audit reuses the cached cells.
+        let repeat = s
+            .audit_composition_model(ModelId::Sequential, None, 1)
+            .unwrap();
+        assert_eq!(repeat.value.to_bits(), report.value.to_bits());
+        assert_eq!(repeat.buckets, report.buckets);
+
+        // The linked adversary is at least as strong as union-of-buckets.
+        let union = s.audit_composition(None, 1).unwrap();
+        assert!(report.value >= union.value);
+    }
+
+    /// Stateless union models (distribution, minimality) price the union
+    /// of released histograms directly.
+    #[test]
+    fn stateless_models_compose_over_the_union() {
+        let s = session();
+        let table = hospital_table();
+        let lattice = hospital_lattice(&table);
+        s.release(&lattice.top()).unwrap();
+        s.release(&GenNode(vec![1, 2, 0])).unwrap();
+        let mut histograms: Vec<SensitiveHistogram> = Vec::new();
+        for n in [lattice.top(), GenNode(vec![1, 2, 0])] {
+            let b = lattice.bucketize(&table, &n).unwrap();
+            histograms.extend(b.buckets().iter().map(|x| x.histogram().clone()));
+        }
+        let set = HistogramSet::new(histograms, b_domain(&table)).unwrap();
+        for model in [ModelId::Distribution, ModelId::Minimality] {
+            let report = s.audit_composition_model(model, None, 2).unwrap();
+            let direct = model.resolve(s.engine(2)).max_disclosure(&set).unwrap();
+            assert_eq!(report.value.to_bits(), direct.to_bits());
+            assert_eq!(report.buckets, set.n_buckets());
+        }
+    }
+
+    /// `clear_releases` drops the incremental composition state along with
+    /// the history — a later composition starts from scratch, not from
+    /// stale tables or cells.
+    #[test]
+    fn clear_releases_resets_composition_state() {
+        let s = session();
+        let lattice = hospital_lattice(&hospital_table());
+        s.release(&lattice.top()).unwrap();
+        s.release(&GenNode(vec![1, 2, 0])).unwrap();
+        s.audit_composition(None, 1).unwrap();
+        s.audit_composition_model(ModelId::Sequential, None, 1)
+            .unwrap();
+        s.clear_releases();
+        assert!(s.audit_composition(None, 1).is_err());
+
+        s.release(&GenNode(vec![1, 2, 0])).unwrap();
+        let after = s.audit_composition(None, 1).unwrap();
+        let seq_after = s
+            .audit_composition_model(ModelId::Sequential, None, 1)
+            .unwrap();
+
+        let fresh = session();
+        fresh.release(&GenNode(vec![1, 2, 0])).unwrap();
+        let expected = fresh.audit_composition(None, 1).unwrap();
+        let seq_expected = fresh
+            .audit_composition_model(ModelId::Sequential, None, 1)
+            .unwrap();
+        assert_eq!(after.value.to_bits(), expected.value.to_bits());
+        assert_eq!(after.buckets, expected.buckets);
+        assert_eq!(seq_after.value.to_bits(), seq_expected.value.to_bits());
+        assert_eq!(seq_after.buckets, seq_expected.buckets);
+    }
+
+    /// Model tags ride the release history (what a durable catalog
+    /// persists), while the untagged accessor stays shape-compatible.
+    #[test]
+    fn release_history_carries_model_tags() {
+        let s = session();
+        let lattice = hospital_lattice(&hospital_table());
+        let plain = s.release(&lattice.top()).unwrap();
+        assert_eq!(plain.model, ModelId::Conjunction);
+        let tagged = s
+            .release_with_model(&GenNode(vec![1, 2, 0]), ModelId::Distribution)
+            .unwrap();
+        assert_eq!(tagged.model, ModelId::Distribution);
+        let tags: Vec<ModelId> = s
+            .release_history_models()
+            .into_iter()
+            .map(|(_, _, m)| m)
+            .collect();
+        assert_eq!(tags, vec![ModelId::Conjunction, ModelId::Distribution]);
+        assert_eq!(
+            s.release_history(),
+            s.release_history_models()
+                .into_iter()
+                .map(|(n, b, _)| (n, b))
+                .collect::<Vec<_>>()
+        );
     }
 
     /// The fingerprint-collision guard: identical datasets compare equal;

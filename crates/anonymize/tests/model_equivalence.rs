@@ -1,0 +1,202 @@
+//! Property tests pinning the adversary-model plugin surface to the
+//! direct MINIMIZE1/MINIMIZE2 paths: for random tables and hierarchies,
+//! judging safety through [`ModelSafetyCriterion`] with the conjunction
+//! model is **bit-identical** to [`CkSafetyCriterion`] — per-node verdicts
+//! at every lattice node, search outcomes across schedules, thread counts
+//! and memo budgets, and audit values with their witnesses — and
+//! model-tagged composition audits match from-scratch rebuilds however the
+//! audits interleave with releases.
+
+use proptest::prelude::*;
+
+use wcbk_anonymize::search::{find_minimal_safe_with, Schedule, SearchConfig};
+use wcbk_anonymize::{CkSafetyCriterion, DatasetSession, ModelId, ModelSafetyCriterion};
+use wcbk_core::DisclosureEngine;
+use wcbk_hierarchy::{GeneralizationLattice, Hierarchy};
+use wcbk_table::{Attribute, AttributeKind, Schema, Table, TableBuilder};
+
+/// A random table: `qi_cols` quasi-identifier columns drawn from small
+/// numeric domains, one sensitive column. Row count ≥ 1.
+fn build_table(qi_cols: usize, rows: &[Vec<u8>]) -> Table {
+    let mut attributes: Vec<Attribute> = (0..qi_cols)
+        .map(|d| Attribute::new(format!("Q{d}"), AttributeKind::QuasiIdentifier))
+        .collect();
+    attributes.push(Attribute::new("S", AttributeKind::Sensitive));
+    let schema = Schema::new(attributes).unwrap();
+    let mut b = TableBuilder::new(schema);
+    for row in rows {
+        let fields: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        b.push_row(&fields).unwrap();
+    }
+    b.build()
+}
+
+/// A lattice mixing hierarchy shapes: suppression-only on even dimensions,
+/// 2-then-4-wide intervals on odd ones.
+fn build_lattice(table: &Table, qi_cols: usize) -> GeneralizationLattice {
+    let dims = (0..qi_cols)
+        .map(|d| {
+            let dict = table.column(d).dictionary();
+            let h = if d % 2 == 1 {
+                Hierarchy::intervals(format!("Q{d}"), dict, &[2, 4]).unwrap()
+            } else {
+                Hierarchy::suppression(format!("Q{d}"), dict)
+            };
+            (d, h)
+        })
+        .collect();
+    GeneralizationLattice::new(dims).unwrap()
+}
+
+fn row_strategy(qi_cols: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(
+        prop::collection::vec(0u8..6, qi_cols + 1).prop_map(move |mut row| {
+            row[qi_cols] %= 4; // sensitive domain 0..4
+            row
+        }),
+        1..40,
+    )
+}
+
+fn materialize(qi_cols: usize, seed_rows: Vec<Vec<u8>>) -> (Table, GeneralizationLattice) {
+    let rows: Vec<Vec<u8>> = seed_rows
+        .into_iter()
+        .map(|r| {
+            let mut row = r[..qi_cols].to_vec();
+            row.push(r[3]);
+            row
+        })
+        .collect();
+    let table = build_table(qi_cols, &rows);
+    let lattice = build_lattice(&table, qi_cols);
+    (table, lattice)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// At every lattice node, the conjunction model through the trait gives
+    /// the same verdict as the direct (c,k)-safety criterion, and the
+    /// session sweeps through both agree entry for entry.
+    #[test]
+    fn conjunction_criterion_matches_direct_at_every_node(
+        qi_cols in 1usize..=3,
+        seed_rows in row_strategy(3),
+        k in 0usize..3,
+    ) {
+        let (table, lattice) = materialize(qi_cols, seed_rows);
+        let session = DatasetSession::new(table, lattice).unwrap();
+        let engine = session.engine(k);
+        let direct = CkSafetyCriterion::with_engine(0.75, std::sync::Arc::clone(&engine)).unwrap();
+        let via_model = ModelSafetyCriterion::new(
+            0.75,
+            ModelId::Conjunction.resolve(engine),
+        )
+        .unwrap();
+        let swept_direct = session.sweep(&direct).unwrap();
+        let swept_model = session.sweep(&via_model).unwrap();
+        prop_assert_eq!(&swept_direct, &swept_model);
+    }
+
+    /// Search outcomes (the full ⪯-minimal frontier, evaluated/satisfied
+    /// counters included) through the trait equal the direct criterion,
+    /// across schedules, thread counts, and memo budgets.
+    #[test]
+    fn conjunction_search_matches_direct_across_configs(
+        qi_cols in 1usize..=3,
+        seed_rows in row_strategy(3),
+        k in 0usize..3,
+        memo_cap_raw in 0usize..8,
+    ) {
+        let memo_cap = memo_cap_raw.checked_sub(1);
+        let (table, lattice) = materialize(qi_cols, seed_rows);
+        let engine = std::sync::Arc::new(DisclosureEngine::new(k));
+        let direct = CkSafetyCriterion::with_engine(0.75, std::sync::Arc::clone(&engine)).unwrap();
+        let via_model = ModelSafetyCriterion::new(
+            0.75,
+            ModelId::Conjunction.resolve(engine),
+        )
+        .unwrap();
+        let configs = [
+            SearchConfig { memo_capacity: memo_cap, ..Default::default() },
+            SearchConfig {
+                threads: 3,
+                schedule: Schedule::WorkStealing,
+                memo_capacity: memo_cap,
+                ..Default::default()
+            },
+            SearchConfig {
+                threads: 2,
+                schedule: Schedule::LevelSync,
+                memo_capacity: memo_cap,
+                ..Default::default()
+            },
+        ];
+        for config in &configs {
+            let a = find_minimal_safe_with(&table, &lattice, &direct, config).unwrap();
+            let b = find_minimal_safe_with(&table, &lattice, &via_model, config).unwrap();
+            prop_assert_eq!(&a, &b, "diverged under {:?}", config);
+        }
+    }
+
+    /// Session model-audits under the conjunction model equal the plain
+    /// audit bit for bit — value bits and verdicts — at every `k`.
+    #[test]
+    fn conjunction_model_audit_matches_plain(
+        qi_cols in 1usize..=3,
+        seed_rows in row_strategy(3),
+        k in 0usize..4,
+    ) {
+        let (table, lattice) = materialize(qi_cols, seed_rows);
+        let session = DatasetSession::new(table, lattice).unwrap();
+        let plain = session.audit(Some(0.8), k).unwrap();
+        let model = session.audit_model(ModelId::Conjunction, Some(0.8), k).unwrap();
+        prop_assert_eq!(model.value.to_bits(), plain.disclosure.value.to_bits());
+        prop_assert_eq!(model.safe, plain.safe);
+        prop_assert_eq!(model.buckets, plain.buckets);
+        prop_assert!(!model.witness.predicts.is_empty());
+        prop_assert!(!model.witness.knowing.is_empty());
+    }
+
+    /// Composition audits through the persistent incremental state equal
+    /// from-scratch rebuilds no matter how audits interleave with
+    /// releases: after **each** release the folded value matches a fresh
+    /// `incremental_set` over the concatenated histograms, for both the
+    /// plain and the model-tagged path.
+    #[test]
+    fn interleaved_composition_audits_match_full_rebuilds(
+        qi_cols in 1usize..=3,
+        seed_rows in row_strategy(3),
+        k in 0usize..3,
+        picks in prop::collection::vec(0usize..64, 1..4),
+    ) {
+        let (table, lattice) = materialize(qi_cols, seed_rows);
+        let session = DatasetSession::new(table.clone(), lattice.clone()).unwrap();
+        let nodes = lattice.nodes();
+        let mut histograms = Vec::new();
+        for pick in &picks {
+            let node = &nodes[pick % nodes.len()];
+            session.release(node).unwrap();
+            let b = lattice.bucketize(&table, node).unwrap();
+            histograms.extend(b.buckets().iter().map(|x| x.histogram().clone()));
+
+            // Audit immediately after every release — the occupied-entry
+            // fold path — and compare against a full rebuild.
+            let report = session.audit_composition(Some(0.8), k).unwrap();
+            let set = wcbk_core::HistogramSet::new(
+                histograms.clone(),
+                table.sensitive_cardinality() as u32,
+            )
+            .unwrap();
+            let direct = DisclosureEngine::new(k).incremental_set(&set).unwrap().value();
+            prop_assert_eq!(report.value.to_bits(), direct.to_bits());
+            prop_assert_eq!(report.buckets, set.n_buckets());
+
+            let tagged = session
+                .audit_composition_model(ModelId::Conjunction, Some(0.8), k)
+                .unwrap();
+            prop_assert_eq!(tagged.value.to_bits(), direct.to_bits());
+            prop_assert_eq!(tagged.safe, report.safe);
+        }
+    }
+}

@@ -208,8 +208,7 @@ fn both_schedules_equal_sequential() {
             let config = SearchConfig {
                 threads,
                 schedule,
-                memo_capacity: None,
-                scan_threads: 0,
+                ..Default::default()
             };
             let got = find_minimal_safe_with(&table, &lattice, &criterion(), &config).unwrap();
             assert_eq!(seq, got, "{schedule:?} at {threads} threads diverged");
@@ -227,8 +226,7 @@ fn more_workers_than_nodes_matches_sequential() {
     let config = SearchConfig {
         threads: 64,
         schedule: Schedule::WorkStealing,
-        memo_capacity: None,
-        scan_threads: 0,
+        ..Default::default()
     };
     let got = find_minimal_safe_with(&table, &lattice, &criterion(), &config).unwrap();
     assert_eq!(seq, got);
@@ -247,7 +245,7 @@ fn memo_capacity_does_not_change_outcomes() {
                 threads,
                 schedule: Schedule::WorkStealing,
                 memo_capacity: Some(cap),
-                scan_threads: 0,
+                ..Default::default()
             };
             let got = find_minimal_safe_with(&table, &lattice, &criterion(), &config).unwrap();
             assert_eq!(seq, got, "cap={cap} threads={threads}");
@@ -299,8 +297,7 @@ fn first_error_semantics_preserved_under_stealing() {
                 let config = SearchConfig {
                     threads,
                     schedule,
-                    memo_capacity: None,
-                    scan_threads: 0,
+                    ..Default::default()
                 };
                 let err = find_minimal_safe_with(&table, &lattice, &criterion(), &config)
                     .expect_err("sequential search errored, parallel must too");
@@ -324,8 +321,7 @@ fn incognito_schedules_equal_sequential() {
         let config = SearchConfig {
             threads: 4,
             schedule,
-            memo_capacity: None,
-            scan_threads: 0,
+            ..Default::default()
         };
         let got = incognito_with(
             &table,

@@ -171,8 +171,7 @@ proptest! {
             let level_cfg = SearchConfig {
                 threads: 3,
                 schedule: Schedule::LevelSync,
-                memo_capacity: None,
-                scan_threads: 0,
+                ..Default::default()
             };
             let level =
                 find_minimal_safe_with(&table, &lattice, criterion, &level_cfg).unwrap();
@@ -183,7 +182,7 @@ proptest! {
                 threads: 3,
                 schedule: Schedule::WorkStealing,
                 memo_capacity: Some(2),
-                scan_threads: 0,
+                ..Default::default()
             };
             let capped =
                 find_minimal_safe_with(&table, &lattice, criterion, &capped_cfg).unwrap();

@@ -138,8 +138,8 @@ proptest! {
         ];
         let configs = [
             SearchConfig::default(),
-            SearchConfig { threads: 3, schedule: Schedule::WorkStealing, memo_capacity: None, scan_threads: 0 },
-            SearchConfig { threads: 2, schedule: Schedule::LevelSync, memo_capacity: None, scan_threads: 0 },
+            SearchConfig { threads: 3, schedule: Schedule::WorkStealing, ..Default::default() },
+            SearchConfig { threads: 2, schedule: Schedule::LevelSync, ..Default::default() },
         ];
         for criterion in &criteria {
             for config in &configs {

@@ -82,8 +82,7 @@ fn bench_lattice_search(c: &mut Criterion) {
             let config = SearchConfig {
                 threads,
                 schedule,
-                memo_capacity: None,
-                scan_threads: 0,
+                ..Default::default()
             };
             group.bench_with_input(BenchmarkId::new(name, threads), &config, |b, config| {
                 b.iter(|| {

@@ -1,28 +1,28 @@
 //! `bench_gate` — CI perf-regression gate over `bench_report` output.
 //!
-//! Compares a freshly measured `BENCH_search.json` against the committed
-//! baseline and **fails (exit 1) when any gated ns/node metric regresses by
-//! more than the allowed ratio**, printing a markdown comparison table
+//! Gates a freshly measured `bench_report` run on its own **in-run ratios
+//! between variants** — both sides of every ratio were measured in the same
+//! run on the same machine, so absolute runner speed cancels out and no
+//! committed ns/node baseline can go stale or trip on a slow runner. Fails
+//! (exit 1) when any ratio falls below its floor, printing a markdown table
 //! (optionally appended to a file — point `--summary` at
 //! `$GITHUB_STEP_SUMMARY` to surface it in the CI job summary).
 //!
-//! Gated metrics (candidate ≤ baseline × ratio):
-//! * `sweep.rollup_ns_per_node` — per-node cost of the unpruned sweep;
-//! * `search.rollup_ns_per_node` — per-node cost of the pruned search;
-//! * `parallel.steal_ns_per_node` — per-node cost of the 4-thread
-//!   work-stealing search (skipped when the baseline predates the metric).
-//!
-//! One intra-run gate rides along: the work-stealing schedule must not be
-//! more than the same ratio slower than the level-synchronous one measured
-//! in the *candidate* run (machine-independent by construction).
+//! Gated in-run ratios (speedup = slower variant ns/node ÷ faster):
+//! * `sweep` — roll-up evaluator vs the legacy per-node scan on the
+//!   unpruned sweep, floored by `--min-rollup` (default 2.0×);
+//! * `search` — the same pair on the pruned search, same floor;
+//! * `parallel` — work-stealing vs level-synchronous schedule, floored by
+//!   `--min-steal` (default 0.67×: stealing may not be more than ~1.5×
+//!   slower than level-sync in the same run).
 //!
 //! The JSON is the fixed shape `bench_report` emits; values are pulled with
 //! a purpose-built extractor rather than a JSON dependency (the sanctioned
 //! dependency set has none).
 //!
 //! Run: `cargo run --release -p wcbk-bench --bin bench_gate -- \
-//!       results/BENCH_search.json /tmp/bench_new.json \
-//!       [--max-ratio 1.5] [--summary FILE]`
+//!       /tmp/bench_new.json [--min-rollup F] [--min-steal F] \
+//!       [--summary FILE]`
 //!
 //! A second mode, `--scale <candidate.json>`, gates the `bench_report
 //! --scale` output on its own **in-run** speedups (machine-independent by
@@ -54,50 +54,15 @@ fn extract(json: &str, section: &str, key: &str) -> Option<f64> {
     number.parse().ok()
 }
 
-/// One gate row: a metric, both readings, the ratio, and the verdict.
-struct GateRow {
-    metric: String,
-    baseline: f64,
-    candidate: f64,
-    ratio: f64,
-    passed: bool,
-}
-
-impl GateRow {
-    fn new(metric: &str, baseline: f64, candidate: f64, max_ratio: f64) -> Self {
-        let ratio = if baseline > 0.0 {
-            candidate / baseline
-        } else {
-            f64::INFINITY
-        };
-        Self {
-            metric: metric.to_owned(),
-            baseline,
-            candidate,
-            ratio,
-            passed: ratio <= max_ratio,
-        }
+/// In-run speedup of the faster variant over the slower one:
+/// `slower ns/node ÷ faster ns/node` (infinite when the faster side
+/// measured zero — nothing to gate against).
+fn speedup(slower_ns: f64, faster_ns: f64) -> f64 {
+    if faster_ns > 0.0 {
+        slower_ns / faster_ns
+    } else {
+        f64::INFINITY
     }
-}
-
-fn markdown(rows: &[GateRow], max_ratio: f64) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "## bench-gate: lattice-search ns/node vs baseline (max ratio {max_ratio:.2})\n\n"
-    ));
-    out.push_str("| metric | baseline | candidate | ratio | status |\n");
-    out.push_str("|---|---:|---:|---:|:---:|\n");
-    for r in rows {
-        out.push_str(&format!(
-            "| {} | {:.0} | {:.0} | {:.2} | {} |\n",
-            r.metric,
-            r.baseline,
-            r.candidate,
-            r.ratio,
-            if r.passed { "pass" } else { "**FAIL**" }
-        ));
-    }
-    out
 }
 
 /// `--scale` mode: gate `bench_report --scale` output on its own in-run
@@ -204,53 +169,59 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
             None => Ok(None),
         }
     };
-    let max_ratio: f64 = take_flag("--max-ratio")?
+    let min_rollup: f64 = take_flag("--min-rollup")?
         .map(|s| s.parse())
         .transpose()?
-        .unwrap_or(1.5);
+        .unwrap_or(2.0);
+    let min_steal: f64 = take_flag("--min-steal")?
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.67);
     let summary_path = take_flag("--summary")?;
-    let [baseline_path, candidate_path] = raw.as_slice() else {
-        return Err("usage: bench_gate <baseline.json> <candidate.json> \
-                    [--max-ratio F] [--summary FILE]"
+    let [candidate_path] = raw.as_slice() else {
+        return Err("usage: bench_gate <candidate.json> \
+                    [--min-rollup F] [--min-steal F] [--summary FILE]"
             .into());
     };
-    let baseline = std::fs::read_to_string(baseline_path)
-        .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
     let candidate = std::fs::read_to_string(candidate_path)
         .map_err(|e| format!("reading candidate {candidate_path}: {e}"))?;
 
-    let mut rows: Vec<GateRow> = Vec::new();
-    for (section, key, label) in [
-        ("sweep", "rollup_ns_per_node", "sweep rollup ns/node"),
-        (
-            "search",
-            "rollup_ns_per_node",
-            "pruned-search rollup ns/node",
-        ),
-        ("parallel", "steal_ns_per_node", "4-thread steal ns/node"),
+    // (label, measured in-run speedup, floor, verdict)
+    let mut rows: Vec<(String, f64, f64, bool)> = Vec::new();
+    for (section, label) in [
+        ("sweep", "sweep: rollup vs legacy"),
+        ("search", "pruned search: rollup vs legacy"),
     ] {
-        let cand = extract(&candidate, section, key)
-            .ok_or_else(|| format!("candidate is missing {section}.{key}"))?;
-        match extract(&baseline, section, key) {
-            Some(base) => rows.push(GateRow::new(label, base, cand, max_ratio)),
-            // A baseline from before the metric existed: nothing to gate.
-            None => eprintln!("note: baseline has no {section}.{key}; skipping that gate"),
-        }
+        let legacy = extract(&candidate, section, "legacy_ns_per_node")
+            .ok_or_else(|| format!("candidate is missing {section}.legacy_ns_per_node"))?;
+        let rollup = extract(&candidate, section, "rollup_ns_per_node")
+            .ok_or_else(|| format!("candidate is missing {section}.rollup_ns_per_node"))?;
+        let s = speedup(legacy, rollup);
+        rows.push((label.to_owned(), s, min_rollup, s >= min_rollup));
     }
-    // Intra-run gate: stealing must keep up with level-sync on the same
-    // machine, same run.
     let level = extract(&candidate, "parallel", "level_ns_per_node")
         .ok_or("candidate is missing parallel.level_ns_per_node")?;
     let steal = extract(&candidate, "parallel", "steal_ns_per_node")
         .ok_or("candidate is missing parallel.steal_ns_per_node")?;
-    rows.push(GateRow::new(
-        "steal vs level (same run)",
-        level,
-        steal,
-        max_ratio,
+    let s = speedup(level, steal);
+    rows.push((
+        "parallel: steal vs level".to_owned(),
+        s,
+        min_steal,
+        s >= min_steal,
     ));
 
-    let table = markdown(&rows, max_ratio);
+    let mut table = String::from("## bench-gate: lattice-search in-run variant speedups\n\n");
+    table.push_str("| metric | speedup | floor | status |\n|---|---:|---:|:---:|\n");
+    for (label, speedup, floor, passed) in &rows {
+        table.push_str(&format!(
+            "| {} | {:.2}x | {:.2}x | {} |\n",
+            label,
+            speedup,
+            floor,
+            if *passed { "pass" } else { "**FAIL**" }
+        ));
+    }
     println!("{table}");
     if let Some(path) = summary_path {
         use std::io::Write;
@@ -261,14 +232,14 @@ fn run(args: &[String]) -> Result<bool, HarnessError> {
             .map_err(|e| format!("opening summary {path}: {e}"))?;
         writeln!(f, "{table}")?;
     }
-    let failed: Vec<&GateRow> = rows.iter().filter(|r| !r.passed).collect();
-    for r in &failed {
-        eprintln!(
-            "REGRESSION: {} went {:.0} -> {:.0} ns/node ({:.2}x > {max_ratio:.2}x allowed)",
-            r.metric, r.baseline, r.candidate, r.ratio
-        );
+    let mut ok = true;
+    for (label, speedup, floor, passed) in &rows {
+        if !passed {
+            ok = false;
+            eprintln!("REGRESSION: {label} speedup {speedup:.2}x below the {floor:.2}x floor");
+        }
     }
-    Ok(failed.is_empty())
+    Ok(ok)
 }
 
 fn main() -> ExitCode {
@@ -318,54 +289,55 @@ mod tests {
     }
 
     #[test]
-    fn gate_rows_compare_against_ratio() {
-        let pass = GateRow::new("m", 100.0, 149.0, 1.5);
-        assert!(pass.passed);
-        let fail = GateRow::new("m", 100.0, 151.0, 1.5);
-        assert!(!fail.passed);
-        let degenerate = GateRow::new("m", 0.0, 1.0, 1.5);
-        assert!(!degenerate.passed);
+    fn speedup_is_slower_over_faster_and_guards_zero() {
+        assert!((speedup(100.0, 50.0) - 2.0).abs() < 1e-12);
+        assert!(speedup(100.0, 0.0).is_infinite());
     }
 
     #[test]
-    fn run_passes_identical_files_and_fails_regressions() {
+    fn run_gates_on_in_run_ratios() {
         let dir = std::env::temp_dir().join("wcbk_bench_gate");
         std::fs::create_dir_all(&dir).unwrap();
-        let base = dir.join("base.json");
         let cand = dir.join("cand.json");
-        std::fs::write(&base, SAMPLE).unwrap();
         std::fs::write(&cand, SAMPLE).unwrap();
         let args = |extra: &[&str]| -> Vec<String> {
-            [base.to_str().unwrap(), cand.to_str().unwrap()]
+            [cand.to_str().unwrap()]
                 .iter()
                 .map(|s| (*s).to_owned())
                 .chain(extra.iter().map(|s| (*s).to_owned()))
                 .collect()
         };
-        assert!(run(&args(&[])).unwrap(), "identical files must pass");
+        // Sample speedups: sweep 5.71x, search 5.33x, steal-vs-level 1.25x.
+        assert!(run(&args(&[])).unwrap(), "healthy ratios pass the defaults");
 
-        // Regress the candidate's search ns/node 2x: must fail at 1.5.
+        // Roll-up regressed to parity with the legacy scan: fails the floor.
         let regressed = SAMPLE.replace(
             "\"rollup_ns_per_node\": 115915",
-            "\"rollup_ns_per_node\": 231830",
+            "\"rollup_ns_per_node\": 617968",
         );
         std::fs::write(&cand, regressed).unwrap();
-        assert!(!run(&args(&[])).unwrap(), "2x regression must fail");
+        assert!(!run(&args(&[])).unwrap(), "parity must fail --min-rollup");
         assert!(
-            run(&args(&["--max-ratio", "2.5"])).unwrap(),
-            "2x regression passes a 2.5x gate"
+            run(&args(&["--min-rollup", "1.0"])).unwrap(),
+            "parity passes a 1.0x floor"
         );
+
+        // Stealing collapsing to 2x slower than level-sync fails its floor.
+        let slow_steal = SAMPLE.replace(
+            "\"steal_ns_per_node\": 31746",
+            "\"steal_ns_per_node\": 79366",
+        );
+        std::fs::write(&cand, slow_steal).unwrap();
+        assert!(!run(&args(&[])).unwrap(), "slow stealing must fail");
 
         // A summary file gets the markdown appended.
         std::fs::write(&cand, SAMPLE).unwrap();
         let summary = dir.join("summary.md");
         let _ = std::fs::remove_file(&summary);
-        let mut with_summary = args(&[]);
-        with_summary.extend(["--summary".to_owned(), summary.to_str().unwrap().to_owned()]);
-        assert!(run(&with_summary).unwrap());
+        assert!(run(&args(&["--summary", summary.to_str().unwrap()])).unwrap());
         let text = std::fs::read_to_string(&summary).unwrap();
         assert!(text.contains("bench-gate"), "{text}");
-        assert!(text.contains("| sweep rollup ns/node |"), "{text}");
+        assert!(text.contains("| sweep: rollup vs legacy |"), "{text}");
     }
 
     const SCALE_SAMPLE: &str = r#"{
@@ -416,23 +388,22 @@ mod tests {
     }
 
     #[test]
-    fn missing_baseline_metric_is_skipped_not_fatal() {
-        let dir = std::env::temp_dir().join("wcbk_bench_gate_skip");
+    fn missing_candidate_metric_is_fatal() {
+        let dir = std::env::temp_dir().join("wcbk_bench_gate_missing");
         std::fs::create_dir_all(&dir).unwrap();
-        let base = dir.join("base.json");
         let cand = dir.join("cand.json");
-        // A baseline from before the parallel section existed.
-        let old = SAMPLE
+        // A candidate without the parallel section cannot be gated.
+        let truncated = SAMPLE
             .lines()
             .filter(|l| !l.contains("\"parallel\""))
             .collect::<Vec<_>>()
             .join("\n");
-        std::fs::write(&base, old).unwrap();
-        std::fs::write(&cand, SAMPLE).unwrap();
-        let args: Vec<String> = [base.to_str().unwrap(), cand.to_str().unwrap()]
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect();
-        assert!(run(&args).unwrap());
+        std::fs::write(&cand, truncated).unwrap();
+        let args = vec![cand.to_str().unwrap().to_owned()];
+        let err = run(&args).unwrap_err();
+        assert!(
+            err.to_string().contains("level_ns_per_node"),
+            "unexpected error: {err}"
+        );
     }
 }

@@ -225,8 +225,7 @@ fn main() -> Result<(), HarnessError> {
     let level_cfg = SearchConfig {
         threads: par_threads,
         schedule: Schedule::LevelSync,
-        memo_capacity: None,
-        scan_threads: 0,
+        ..Default::default()
     };
     let (level_search, level_outcome) = median_time(|| {
         find_minimal_safe_with(&table, &lattice, &level_criterion, &level_cfg).unwrap()
@@ -240,8 +239,7 @@ fn main() -> Result<(), HarnessError> {
     let steal_cfg = SearchConfig {
         threads: par_threads,
         schedule: Schedule::WorkStealing,
-        memo_capacity: None,
-        scan_threads: 0,
+        ..Default::default()
     };
     let (steal_search, steal_outcome) = median_time(|| {
         find_minimal_safe_with(&table, &lattice, &steal_criterion, &steal_cfg).unwrap()

@@ -9,7 +9,10 @@
 //! the barrier: a node becomes runnable the instant its last predecessor's
 //! verdict lands, safe verdicts prune entire up-sets immediately, and idle
 //! workers *speculate* — they evaluate nodes whose predecessors are still
-//! pending and discard the work if the node turns out pruned.
+//! pending, preferring the node nearest the required frontier (fewest
+//! predecessors still pending, smallest index on ties — the node most
+//! likely to become required next), and discard the work if it turns out
+//! pruned.
 //!
 //! The scheduler is deliberately ignorant of lattices: it sees a
 //! [`MonotoneDag`] of integer nodes in **topological index order** (every
@@ -204,9 +207,6 @@ struct Shared<'d, E, F> {
     results: Vec<Mutex<Option<Result<bool, E>>>>,
     /// Per-worker deques; owners push/pop the back, thieves pop the front.
     queues: Vec<Mutex<VecDeque<u32>>>,
-    /// Next index the speculation scan will consider (ascending = lowest
-    /// heights first, the nodes least likely to be pruned).
-    spec_cursor: AtomicUsize,
     /// Nodes in a final state; workers exit when this reaches `n`.
     resolved: AtomicUsize,
     speculated: AtomicUsize,
@@ -238,7 +238,6 @@ where
             eval_state: (0..n).map(|_| AtomicU8::new(NOT_STARTED)).collect(),
             results: (0..n).map(|_| Mutex::new(None)).collect(),
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            spec_cursor: AtomicUsize::new(0),
             resolved: AtomicUsize::new(0),
             speculated: AtomicUsize::new(0),
             abandoned: AtomicUsize::new(0),
@@ -269,21 +268,39 @@ where
         None
     }
 
-    /// Claims the next unresolved, unstarted node for speculation.
+    /// Claims the best speculation candidate: among unresolved, unstarted
+    /// nodes, the one nearest the required frontier — fewest predecessors
+    /// still pending, smallest index on ties. Frontier distance is the best
+    /// cheap predictor of "becomes required next": a node one verdict away
+    /// wastes the least work when its up-set is pruned instead. The scan is
+    /// O(n), which is noise next to an evaluation (each one scans or derives
+    /// a full node table). Outcome bit-identity does not depend on the
+    /// choice — any claim order yields the same resolutions (pinned by the
+    /// equivalence tests) — so the policy is pure wall-clock tuning.
     fn claim_speculation(&self) -> Option<u32> {
         loop {
-            let i = self.spec_cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= self.dag.n_nodes() {
-                return None;
+            let mut best: Option<(usize, usize)> = None; // (pending, index)
+            for i in 0..self.dag.n_nodes() {
+                if self.resolution[i].load(Ordering::SeqCst) != UNRESOLVED
+                    || self.eval_state[i].load(Ordering::SeqCst) != NOT_STARTED
+                {
+                    continue;
+                }
+                let candidate = (self.pending[i].load(Ordering::SeqCst), i);
+                if best.is_none_or(|b| candidate < b) {
+                    best = Some(candidate);
+                }
             }
-            if self.resolution[i].load(Ordering::SeqCst) == UNRESOLVED
-                && self.eval_state[i]
-                    .compare_exchange(NOT_STARTED, RUNNING, Ordering::SeqCst, Ordering::SeqCst)
-                    .is_ok()
+            let (_, i) = best?;
+            if self.eval_state[i]
+                .compare_exchange(NOT_STARTED, RUNNING, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
             {
                 self.speculated.fetch_add(1, Ordering::Relaxed);
                 return Some(i as u32);
             }
+            // Lost the claim race: the frontier moved, rescan. Each lost race
+            // removes a candidate, so the loop terminates.
         }
     }
 
@@ -715,6 +732,35 @@ mod tests {
         // Every speculative claim either ran (discarded here — nothing else
         // ever becomes required) or was abandoned before evaluating.
         assert_eq!(out.speculated, out.discarded + out.abandoned);
+    }
+
+    /// Speculation claims the node nearest the required frontier: fewest
+    /// still-pending predecessors first, smallest index on ties, skipping
+    /// nodes already claimed or resolved.
+    #[test]
+    fn speculation_claims_nearest_frontier_first() {
+        // Sources 0 and 1; node 2 waits on both, node 3 on 0 alone.
+        let dag = MonotoneDag::new(vec![vec![], vec![], vec![0, 1], vec![0]]);
+        let shared = Shared::<(), _>::new(&dag, 1, |_| Ok(true));
+        // The sources are required work mid-evaluation, not candidates.
+        for i in [0, 1] {
+            shared.resolution[i].store(REQUIRED, Ordering::SeqCst);
+            shared.eval_state[i].store(RUNNING, Ordering::SeqCst);
+        }
+        // Node 3 (one pending predecessor) beats node 2 (two pending).
+        assert_eq!(shared.claim_speculation(), Some(3));
+        // The claim is recorded, so the rescan moves on to node 2.
+        assert_eq!(shared.claim_speculation(), Some(2));
+        assert_eq!(shared.claim_speculation(), None);
+        assert_eq!(shared.speculated.load(Ordering::Relaxed), 2);
+
+        // Equal distance falls back to index order.
+        let dag = MonotoneDag::new(vec![vec![], vec![0], vec![0]]);
+        let shared = Shared::<(), _>::new(&dag, 1, |_| Ok(true));
+        shared.resolution[0].store(REQUIRED, Ordering::SeqCst);
+        shared.eval_state[0].store(RUNNING, Ordering::SeqCst);
+        assert_eq!(shared.claim_speculation(), Some(1));
+        assert_eq!(shared.claim_speculation(), Some(2));
     }
 
     /// A speculative claim on a node pruned after the claim is abandoned

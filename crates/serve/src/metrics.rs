@@ -21,7 +21,7 @@ use std::sync::Arc;
 use wcbk_core::sched::ScheduleOutcome;
 use wcbk_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
-use crate::service::{AuditService, MetricTotals};
+use crate::service::{AuditService, MetricTotals, MODEL_OPS};
 
 /// Maps an HTTP status to its class label (`2xx`/`3xx`/`4xx`/`5xx`).
 pub fn status_class(status: u16) -> &'static str {
@@ -62,6 +62,9 @@ pub struct ServeMetrics {
     engines_peak: Arc<Gauge>,
     minimize1_groups: Arc<Gauge>,
     minimize1_peak: Arc<Gauge>,
+    /// One counter per (model, op) pair, indexed
+    /// `[ModelId::index()][op]` with ops ordered as [`MODEL_OPS`].
+    model_requests: Vec<Arc<Counter>>,
 }
 
 impl Default for ServeMetrics {
@@ -190,6 +193,20 @@ impl ServeMetrics {
                 "High-water mark of an LRU pool's retained group weight.",
                 &[("pool", "minimize1")],
             ),
+            // Pre-register every (model, op) series so a cold scrape shows
+            // the full adversary-model matrix at zero.
+            model_requests: wcbk_anonymize::MODEL_IDS
+                .iter()
+                .flat_map(|m| {
+                    MODEL_OPS.iter().map(|op| {
+                        r.counter_with(
+                            "wcbk_model_requests_total",
+                            "Requests answered per adversary model and operation.",
+                            &[("model", m.name()), ("op", op)],
+                        )
+                    })
+                })
+                .collect(),
             registry: r,
         }
     }
@@ -245,6 +262,11 @@ impl ServeMetrics {
         self.engines_peak.record_max(t.engine_peak_groups);
         self.minimize1_groups.set(t.minimize1_groups);
         self.minimize1_peak.record_max(t.minimize1_peak_groups);
+        for (m, ops) in t.model_requests.iter().enumerate() {
+            for (op, &count) in ops.iter().enumerate() {
+                self.model_requests[m * MODEL_OPS.len() + op].record_total(count);
+            }
+        }
         if let Some(s) = t.store {
             self.wal_appends.record_total(s.wal_appends);
             self.wal_append_micros.record_total(s.wal_append_micros);

@@ -7,14 +7,20 @@
 //! `WCBKSS01` versions the wrapper independently of the inner format.
 //!
 //! Release records are **not** in the payload — they live as the store's
-//! append-only per-dataset history, one [`wcbk_hierarchy::encode_node`]
-//! record per release, so a release append never rewrites the dataset.
+//! append-only per-dataset history, one record per release, so a release
+//! append never rewrites the dataset. A release audited under the default
+//! conjunction adversary persists as a bare
+//! [`wcbk_hierarchy::encode_node`] record (the pre-model format, readable
+//! both ways); one audited under any other [`ModelId`] is wrapped with
+//! magic `WCBKRL01` plus the model's registry index, so rehydration
+//! replays the node **under the model it was audited with**.
 
-use wcbk_anonymize::DatasetSession;
-use wcbk_hierarchy::{decode_dataset, encode_dataset, GeneralizationLattice};
+use wcbk_anonymize::{DatasetSession, ModelId, MODEL_IDS};
+use wcbk_hierarchy::{decode_dataset, encode_dataset, GenNode, GeneralizationLattice};
 use wcbk_table::Table;
 
 const MAGIC: &[u8; 8] = b"WCBKSS01";
+const RELEASE_MAGIC: &[u8; 8] = b"WCBKRL01";
 
 /// A decoded registration payload: everything needed to rebuild the
 /// [`DatasetSession`] exactly as it was registered.
@@ -63,6 +69,40 @@ pub fn encode_session(session: &DatasetSession, qi: &[String], sensitive: &str) 
     put_u64(&mut buf, dataset.len() as u64);
     buf.extend_from_slice(&dataset);
     buf
+}
+
+/// Serializes one release record. Conjunction releases keep the bare node
+/// encoding — byte-identical to every record written before models
+/// existed — so old catalogs replay unchanged and new conjunction-only
+/// catalogs stay readable by old binaries.
+pub fn encode_release(node: &GenNode, model: ModelId) -> Vec<u8> {
+    let inner = wcbk_hierarchy::encode_node(node);
+    if model == ModelId::Conjunction {
+        return inner;
+    }
+    let mut buf = Vec::with_capacity(RELEASE_MAGIC.len() + 1 + inner.len());
+    buf.extend_from_slice(RELEASE_MAGIC);
+    buf.push(model.index() as u8);
+    buf.extend_from_slice(&inner);
+    buf
+}
+
+/// Decodes a release record written by [`encode_release`] (or by a
+/// pre-model binary — any record without the wrapper magic is a bare node
+/// audited under the conjunction model).
+pub fn decode_release(bytes: &[u8]) -> Result<(GenNode, ModelId), String> {
+    let Some(rest) = bytes.strip_prefix(RELEASE_MAGIC.as_slice()) else {
+        let node = wcbk_hierarchy::decode_node(bytes).map_err(|e| e.to_string())?;
+        return Ok((node, ModelId::Conjunction));
+    };
+    let (&index, inner) = rest
+        .split_first()
+        .ok_or_else(|| "truncated release record: missing model index".to_owned())?;
+    let model = *MODEL_IDS
+        .get(index as usize)
+        .ok_or_else(|| format!("unknown adversary-model index {index} in release record"))?;
+    let node = wcbk_hierarchy::decode_node(inner).map_err(|e| e.to_string())?;
+    Ok((node, model))
 }
 
 struct Cursor<'a> {
@@ -173,6 +213,42 @@ mod tests {
             wcbk_hierarchy::dataset_fingerprint(&payload.table, &payload.lattice),
             session.fingerprint()
         );
+    }
+
+    #[test]
+    fn release_records_round_trip_every_model() {
+        let node = GenNode(vec![1, 0, 2]);
+        for model in MODEL_IDS {
+            let bytes = encode_release(&node, model);
+            let (back, m) = decode_release(&bytes).unwrap();
+            assert_eq!(back, node);
+            assert_eq!(m, model);
+        }
+    }
+
+    /// Conjunction records are byte-identical to the pre-model bare node
+    /// encoding — old catalogs replay as conjunction, and conjunction-only
+    /// catalogs stay readable by pre-model binaries.
+    #[test]
+    fn conjunction_release_records_stay_bare_nodes() {
+        let node = GenNode(vec![2, 1]);
+        let bytes = encode_release(&node, ModelId::Conjunction);
+        assert_eq!(bytes, wcbk_hierarchy::encode_node(&node));
+        let (back, model) = decode_release(&wcbk_hierarchy::encode_node(&node)).unwrap();
+        assert_eq!(back, node);
+        assert_eq!(model, ModelId::Conjunction);
+    }
+
+    #[test]
+    fn corrupt_release_records_error() {
+        assert!(decode_release(b"WCBKRL01").is_err(), "missing index");
+        let mut bad_index = b"WCBKRL01".to_vec();
+        bad_index.push(99);
+        bad_index.extend_from_slice(&wcbk_hierarchy::encode_node(&GenNode(vec![0])));
+        assert!(decode_release(&bad_index).is_err(), "unknown model index");
+        let mut truncated = encode_release(&GenNode(vec![1, 1]), ModelId::Sequential);
+        truncated.pop();
+        assert!(decode_release(&truncated).is_err(), "truncated node");
     }
 
     #[test]

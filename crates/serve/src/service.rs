@@ -30,8 +30,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use wcbk_anonymize::{
-    default_threads, AuditReport, CkSafetyCriterion, DatasetSession, PrivacyCriterion, Schedule,
-    SearchConfig, SearchReport, SessionOptions,
+    default_threads, AuditReport, CkSafetyCriterion, DatasetSession, ModelAuditReport, ModelId,
+    ModelSafetyCriterion, PrivacyCriterion, Schedule, SearchConfig, SearchReport, SessionOptions,
+    MODEL_NAMES,
 };
 use wcbk_core::EngineRegistry;
 use wcbk_hierarchy::{GenNode, GeneralizationLattice, Hierarchy, RollupStats};
@@ -281,7 +282,23 @@ pub struct AuditService {
     batches: AtomicU64,
     batch_tables: AtomicU64,
     bad_requests: AtomicU64,
+    /// Requests answered per adversary model, indexed
+    /// `[ModelId::index()][ModelOp as usize]` — the source for the
+    /// `wcbk_model_requests_total{model,op}` metric family.
+    model_ops: [[AtomicU64; 3]; 4],
 }
+
+/// The operations the per-model counters distinguish.
+#[derive(Clone, Copy)]
+enum ModelOp {
+    Audit = 0,
+    Search = 1,
+    Composition = 2,
+}
+
+/// Names for the per-model operations (`ModelOp`), indexed by
+/// discriminant — the metric label set.
+pub const MODEL_OPS: [&str; 3] = ["audit", "search", "composition"];
 
 impl Default for AuditService {
     fn default() -> Self {
@@ -311,7 +328,13 @@ impl AuditService {
             batches: AtomicU64::new(0),
             batch_tables: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            model_ops: Default::default(),
         }
+    }
+
+    /// Bumps the per-model request counter for `op`.
+    fn count_model(&self, model: ModelId, op: ModelOp) {
+        self.model_ops[model.index()][op as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// [`AuditService::with_limits`] backed by a durable catalog: new
@@ -530,9 +553,9 @@ impl AuditService {
             ));
         }
         for rec in &record.releases {
-            let node = wcbk_hierarchy::decode_node(rec).map_err(|e| internal(e.to_string()))?;
+            let (node, model) = persist::decode_release(rec).map_err(internal)?;
             session
-                .release(&node)
+                .release_with_model(&node, model)
                 .map_err(|e| internal(e.to_string()))?;
         }
         let weight = session
@@ -607,6 +630,18 @@ impl AuditService {
     fn audit_on(&self, session: &DatasetSession, request: &Json) -> Result<Json, ServeError> {
         let k = optional_usize(request, "k")?.unwrap_or(3);
         let c = optional_f64(request, "c")?;
+        let model = parse_model(request)?;
+        self.count_model(model, ModelOp::Audit);
+        if model != ModelId::Conjunction {
+            // A non-default adversary answers through the plugin surface;
+            // the default stays on the classic path below, byte-identical
+            // to pre-model responses.
+            let report = session
+                .audit_model(model, c, k)
+                .map_err(|e| bad(e.to_string()))?;
+            self.audits.fetch_add(1, Ordering::Relaxed);
+            return Ok(model_audit_json(&report));
+        }
         let profile = profile_requested(request)?;
         let build_before = profile.then(|| self.engines.stats().totals().build_micros);
         let started = profile.then(std::time::Instant::now);
@@ -653,8 +688,21 @@ impl AuditService {
             return Err(bad("search needs a non-empty \"qi\" list"));
         }
         let config = search_config(request)?;
-        let criterion =
-            CkSafetyCriterion::with_engine(c, session.engine(k)).map_err(|e| bad(e.to_string()))?;
+        self.count_model(config.model, ModelOp::Search);
+        // The conjunction default keeps the classic criterion (and its
+        // response bytes); any other model searches through the plugin
+        // criterion — same monotone pruning, the model's bound.
+        let criterion: Box<dyn PrivacyCriterion> = if config.model == ModelId::Conjunction {
+            Box::new(
+                CkSafetyCriterion::with_engine(c, session.engine(k))
+                    .map_err(|e| bad(e.to_string()))?,
+            )
+        } else {
+            Box::new(
+                ModelSafetyCriterion::new(c, config.model.resolve(session.engine(k)))
+                    .map_err(|e| bad(e.to_string()))?,
+            )
+        };
         let profile = profile_requested(request)?;
         // The "before" snapshots must not force the evaluator build: for a
         // one-shot search the single table scan happens lazily inside
@@ -693,6 +741,9 @@ impl AuditService {
                 rollup.as_ref().map(rollup_json).unwrap_or(Json::Null),
             ),
         ]);
+        if config.model != ModelId::Conjunction {
+            push_field(&mut out, "model", config.model.name().into());
+        }
         if let (Some(started), Some(build_before)) = (started, build_before) {
             let build = self
                 .engines
@@ -785,6 +836,7 @@ impl AuditService {
             })
             .collect::<Result<Vec<usize>, ServeError>>()?;
         let node = GenNode(node);
+        let model = parse_model(request)?;
         if let Some(store) = &self.store {
             // Validate first so only releases the session would accept hit
             // the durable history, then persist before computing: if we
@@ -796,7 +848,7 @@ impl AuditService {
                 .lattice()
                 .validate(&node)
                 .map_err(|e| bad(e.to_string()))?;
-            let record = wcbk_hierarchy::encode_node(&node);
+            let record = persist::encode_release(&node, model);
             match store.append_release(stored.session.fingerprint(), &record) {
                 Ok(_) => {}
                 // The handle raced a DELETE: the catalog entry is gone, so
@@ -814,9 +866,9 @@ impl AuditService {
         }
         let report = stored
             .session
-            .release(&node)
+            .release_with_model(&node, model)
             .map_err(|e| bad(e.to_string()))?;
-        Ok(Json::object(vec![
+        let mut out = Json::object(vec![
             ("op", "release".into()),
             ("id", id.into()),
             ("index", report.index.into()),
@@ -826,15 +878,42 @@ impl AuditService {
             ),
             ("buckets", report.buckets.into()),
             ("total_buckets", report.total_buckets.into()),
-        ]))
+        ]);
+        if model != ModelId::Conjunction {
+            push_field(&mut out, "model", model.name().into());
+        }
+        Ok(out)
     }
 
     /// Handles `POST /tables/{id}/composition`: worst-case disclosure over
-    /// the union of every recorded release.
+    /// every recorded release, composed under the request's `"model"` —
+    /// union of released buckets by default, the common refinement for the
+    /// linkage-aware sequential adversary. Both ride the session's
+    /// persistent incremental state, so each audit costs only the releases
+    /// recorded since the last one.
     pub fn session_composition(&self, id: &str, request: &Json) -> Result<Json, ServeError> {
         let stored = self.stored(id)?;
         let k = optional_usize(request, "k")?.unwrap_or(3);
         let c = optional_f64(request, "c")?;
+        let model = parse_model(request)?;
+        self.count_model(model, ModelOp::Composition);
+        if model != ModelId::Conjunction {
+            let report = stored
+                .session
+                .audit_composition_model(model, c, k)
+                .map_err(|e| bad(e.to_string()))?;
+            return Ok(Json::object(vec![
+                ("op", "composition".into()),
+                ("id", id.into()),
+                ("model", model.name().into()),
+                ("releases", report.releases.into()),
+                ("buckets", report.buckets.into()),
+                ("k", report.k.into()),
+                ("max_disclosure", report.value.into()),
+                ("c", report.c.map(Json::from).unwrap_or(Json::Null)),
+                ("safe", report.safe.map(Json::from).unwrap_or(Json::Null)),
+            ]));
+        }
         let report = stored
             .session
             .audit_composition(c, k)
@@ -857,19 +936,25 @@ impl AuditService {
     /// before and after a restart.
     pub fn table_history(&self, id: &str) -> Result<Json, ServeError> {
         let stored = self.stored(id)?;
-        let history = stored.session.release_history();
+        let history = stored.session.release_history_models();
         let entries: Vec<Json> = history
             .iter()
             .enumerate()
-            .map(|(index, (node, buckets))| {
-                Json::object(vec![
+            .map(|(index, (node, buckets, model))| {
+                let mut entry = Json::object(vec![
                     ("index", index.into()),
                     (
                         "node",
                         Json::Array(node.0.iter().map(|&l| l.into()).collect()),
                     ),
                     ("buckets", (*buckets).into()),
-                ])
+                ]);
+                // Conjunction entries keep the pre-model shape, so history
+                // responses stay byte-identical for classic clients.
+                if *model != ModelId::Conjunction {
+                    push_field(&mut entry, "model", model.name().into());
+                }
+                entry
             })
             .collect();
         Ok(Json::object(vec![
@@ -1128,6 +1213,32 @@ impl AuditService {
                         "bad_requests",
                         self.bad_requests.load(Ordering::Relaxed).into(),
                     ),
+                    (
+                        "model_requests",
+                        Json::Object(
+                            wcbk_anonymize::MODEL_IDS
+                                .iter()
+                                .map(|m| {
+                                    let ops = &self.model_ops[m.index()];
+                                    (
+                                        m.name().to_owned(),
+                                        Json::Object(
+                                            MODEL_OPS
+                                                .iter()
+                                                .zip(ops)
+                                                .map(|(op, n)| {
+                                                    (
+                                                        (*op).to_owned(),
+                                                        n.load(Ordering::Relaxed).into(),
+                                                    )
+                                                })
+                                                .collect(),
+                                        ),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
         ];
@@ -1189,6 +1300,9 @@ impl AuditService {
             session_count: sessions.len() as u64,
             session_groups,
             session_peak_groups: self.sessions.peak_groups.load(Ordering::Relaxed),
+            model_requests: std::array::from_fn(|m| {
+                std::array::from_fn(|op| self.model_ops[m][op].load(Ordering::Relaxed))
+            }),
             store: self.store.as_ref().map(|s| s.stats()),
         }
     }
@@ -1224,6 +1338,9 @@ pub struct MetricTotals {
     pub session_groups: u64,
     /// Session-store retained-weight high-water mark.
     pub session_peak_groups: u64,
+    /// Σ requests per adversary model, indexed
+    /// `[ModelId::index()][op]` with ops ordered as [`MODEL_OPS`].
+    pub model_requests: [[u64; 3]; 4],
     /// Durable-store stats when `--data-dir` is attached.
     pub store: Option<wcbk_store::StoreStats>,
 }
@@ -1249,6 +1366,30 @@ fn audit_json(report: &AuditReport) -> Json {
                     "knowing",
                     report.disclosure.witness.knowledge().to_string().into(),
                 ),
+            ]),
+        ),
+        ("c", report.c.map(Json::from).unwrap_or(Json::Null)),
+        ("safe", report.safe.map(Json::from).unwrap_or(Json::Null)),
+    ])
+}
+
+/// Renders a [`ModelAuditReport`] in the `/audit` response shape plus a
+/// `"model"` field; the witness clauses are the model's reconstruction
+/// (deterministic strings, so responses replay byte-for-byte).
+fn model_audit_json(report: &ModelAuditReport) -> Json {
+    Json::object(vec![
+        ("op", "audit".into()),
+        ("model", report.model.name().into()),
+        ("buckets", report.buckets.into()),
+        ("tuples", report.tuples.into()),
+        ("domain", report.domain.into()),
+        ("k", report.k.into()),
+        ("max_disclosure", report.value.into()),
+        (
+            "witness",
+            Json::object(vec![
+                ("predicts", report.witness.predicts.as_str().into()),
+                ("knowing", report.witness.knowing.join("\n").into()),
             ]),
         ),
         ("c", report.c.map(Json::from).unwrap_or(Json::Null)),
@@ -1334,6 +1475,21 @@ fn string_list(request: &Json, key: &str) -> Result<Vec<String>, ServeError> {
     }
 }
 
+/// Parses the optional `"model"` field: the adversary model the request is
+/// judged under. Absent or `null` means the paper's conjunction language
+/// (the pre-model behavior, byte-identical on the wire); an unknown name is
+/// a 400 listing the registry.
+fn parse_model(request: &Json) -> Result<ModelId, ServeError> {
+    match request.get("model") {
+        None | Some(Json::Null) => Ok(ModelId::Conjunction),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| bad(format!("\"model\" must be one of {MODEL_NAMES:?}")))?
+            .parse::<ModelId>()
+            .map_err(bad),
+    }
+}
+
 /// Parses `threads` / `schedule` / `memo_cap` (alias `memo-cap`) /
 /// `scan_threads` into a [`SearchConfig`] with the same defaults and
 /// spellings as the CLI. `threads` and `scan_threads` are capped at the
@@ -1364,6 +1520,7 @@ fn search_config(request: &Json) -> Result<SearchConfig, ServeError> {
         schedule,
         memo_capacity,
         scan_threads,
+        model: parse_model(request)?,
     })
 }
 
@@ -1893,7 +2050,7 @@ mod tests {
             threads: 2,
             schedule: Schedule::WorkStealing,
             memo_capacity: Some(16),
-            scan_threads: 0,
+            ..Default::default()
         };
         let direct =
             wcbk_anonymize::find_minimal_safe_with(&table, &lattice, &criterion, &config).unwrap();

@@ -143,8 +143,7 @@ fn expected_search(i: usize) -> (Vec<Vec<usize>>, usize, usize) {
     let config = SearchConfig {
         threads: 2,
         schedule: Schedule::WorkStealing,
-        memo_capacity: None,
-        scan_threads: 0,
+        ..Default::default()
     };
     let outcome = find_minimal_safe_with(&table, &lattice, &criterion, &config).unwrap();
     assert!(
@@ -336,7 +335,7 @@ fn search_honors_schedule_threads_and_memo_cap() {
             threads: 2,
             schedule: Schedule::LevelSync,
             memo_capacity: Some(1),
-            scan_threads: 0,
+            ..Default::default()
         },
     )
     .unwrap();

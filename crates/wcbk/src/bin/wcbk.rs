@@ -1,8 +1,8 @@
 //! `wcbk` — command-line worst-case disclosure auditing.
 //!
 //! ```text
-//! wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
-//! wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N]
+//! wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--model M] [--no-header]
+//! wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N] [--model M]
 //!             [--hierarchy COL:W1,W2,...]... [--parallel] [--threads N]
 //!             [--schedule level|steal] [--memo-cap N] [--scan-threads N]
 //! wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
@@ -12,9 +12,9 @@
 //!            [--engine-cache-cap N] [--engine-budget N] [--session-budget N]
 //!            [--data-dir DIR] [--log-json] [--slow-request-ms N]
 //! wcbk table add <csv> --addr HOST:PORT --sensitive COL [--qi ...] [--hierarchy ...] [--memo-cap N]
-//! wcbk table audit|search <id> --addr HOST:PORT [--k N] [--c F] [--threads N] [--schedule s]
-//! wcbk table release <id> --addr HOST:PORT --node L1,L2,...
-//! wcbk table composition|history|info|rm <id> --addr HOST:PORT
+//! wcbk table audit|search <id> --addr HOST:PORT [--k N] [--c F] [--model M] [--threads N] [--schedule s]
+//! wcbk table release <id> --addr HOST:PORT --node L1,L2,... [--model M]
+//! wcbk table composition|history|info|rm <id> --addr HOST:PORT [--model M]
 //! ```
 //!
 //! **Exit codes:** `0` success (and, for `audit`/`search` with a `--c`
@@ -37,6 +37,13 @@
 //! deep lattices, and `--scan-threads N` spreads the evaluator's one
 //! chunked bottom scan over N workers (`0`/default: all cores; bit-neutral
 //! either way).
+//! `--model M` (audit, search, and the `table` verbs) swaps the adversary's
+//! background-knowledge language: `conjunction` (the paper's `L^k_basic`
+//! implications — the default, byte-identical to omitting the flag),
+//! `distribution` (worst-case distribution knowledge), `minimality`
+//! (minimality/utility-aware attack), or `sequential` (linkage-aware
+//! sequential release; its composition audits price the common refinement
+//! of the release history instead of the union of buckets).
 //! `anatomize` publishes with the Anatomy algorithm instead and audits the
 //! result. `generate-adult` writes the synthetic Adult benchmark table.
 //! `serve` runs the `wcbk-serve` HTTP audit service (one-shot `/audit`,
@@ -89,8 +96,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--no-header]
-  wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N]
+  wcbk audit <csv> --sensitive COL [--qi COL[,COL...]] [--k N] [--c F] [--model M] [--no-header]
+  wcbk search <csv> --sensitive COL --qi COL[,COL...] --c F [--k N] [--model M]
               [--hierarchy COL:W1,W2,...]... [--parallel] [--threads N]
               [--schedule level|steal] [--memo-cap N] [--scan-threads N]
   wcbk anatomize <csv> --sensitive COL --l N [--seed N] [--k N]
@@ -101,11 +108,14 @@ const USAGE: &str = "usage:
              [--data-dir DIR] [--log-json] [--slow-request-ms N]
   wcbk table add <csv> --addr HOST:PORT --sensitive COL [--qi COL[,COL...]]
              [--hierarchy COL:W1,W2,...]... [--memo-cap N] [--no-header]
-  wcbk table audit <id> --addr HOST:PORT [--k N] [--c F]
-  wcbk table search <id> --addr HOST:PORT --c F [--k N] [--threads N] [--schedule s]
-  wcbk table release <id> --addr HOST:PORT --node L1,L2,...
-  wcbk table composition <id> --addr HOST:PORT [--k N] [--c F]
+  wcbk table audit <id> --addr HOST:PORT [--k N] [--c F] [--model M]
+  wcbk table search <id> --addr HOST:PORT --c F [--k N] [--model M] [--threads N] [--schedule s]
+  wcbk table release <id> --addr HOST:PORT --node L1,L2,... [--model M]
+  wcbk table composition <id> --addr HOST:PORT [--k N] [--c F] [--model M]
   wcbk table history|info|rm <id> --addr HOST:PORT
+
+adversary models (--model M): conjunction (default), distribution,
+minimality, sequential
 
 exit codes: 0 ok/safe, 1 error, 2 unsafe verdict (audit with --c, or a
 search that found no safe generalization)";
@@ -131,6 +141,9 @@ struct Options {
     threads: Option<usize>,
     /// Parallel schedule for the lattice search.
     schedule: Schedule,
+    /// Adversary model for audit/search/composition (`--model`; the
+    /// paper's conjunction language by default).
+    model: ModelId,
     /// Worker threads for the evaluator's one bottom scan: `None` = all
     /// cores (the scan is bit-neutral, so this only affects throughput).
     scan_threads: Option<usize>,
@@ -245,6 +258,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.schedule = need_value("--schedule", &mut it)?
                     .parse()
                     .map_err(|e| format!("--schedule: {e}"))?
+            }
+            "--model" => {
+                opts.model = need_value("--model", &mut it)?
+                    .parse()
+                    .map_err(|e| format!("--model: {e}"))?
             }
             "--scan-threads" => {
                 opts.scan_threads = Some(
@@ -465,11 +483,51 @@ fn audit(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
         })?
     };
     println!("== wcbk audit ==");
+    if opts.model != ModelId::Conjunction {
+        return model_audit(&b, opts);
+    }
     let verdict = report(&b, opts.k, opts.c)?;
     Ok(match verdict {
         Some(false) => Verdict::Unsafe,
         _ => Verdict::Ok,
     })
+}
+
+/// Audits under a non-conjunction adversary model: the model's worst-case
+/// bound at `--k`, its witness, and a verdict when `--c` was given.
+fn model_audit(b: &Bucketization, opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
+    let set = HistogramSet::from_bucketization(b);
+    let model = opts
+        .model
+        .resolve(std::sync::Arc::new(DisclosureEngine::new(opts.k)));
+    let value = model.max_disclosure(&set)?;
+    let witness = model.witness(&set)?;
+    println!(
+        "buckets: {}   tuples: {}   sensitive domain: {}",
+        b.n_buckets(),
+        b.n_tuples(),
+        b.domain_size()
+    );
+    println!("\nadversary model: {} (k = {})", model.name(), opts.k);
+    println!("max disclosure: {value:.6}");
+    println!("  predicts  {}", witness.predicts);
+    for line in &witness.knowing {
+        println!("  knowing   {line}");
+    }
+    let mut verdict = Verdict::Ok;
+    if let Some(c) = opts.c {
+        let safe = value < c;
+        println!(
+            "\n({c},{})-safety under {}: {}",
+            opts.k,
+            model.name(),
+            if safe { "SAFE" } else { "NOT SAFE" }
+        );
+        if !safe {
+            verdict = Verdict::Unsafe;
+        }
+    }
+    Ok(verdict)
 }
 
 /// `wcbk search`: minimal (c,k)-safe generalizations over suppression
@@ -513,7 +571,18 @@ fn search_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
             scan_threads: opts.scan_threads.unwrap_or(0),
         },
     )?;
-    let criterion = CkSafetyCriterion::with_engine(c, session.engine(opts.k))?;
+    // The conjunction default keeps the classic criterion; any other
+    // `--model` searches through the plugin criterion (same monotone
+    // pruning, the model's bound).
+    let engine = session.engine(opts.k);
+    let criterion: Box<dyn PrivacyCriterion> = if opts.model == ModelId::Conjunction {
+        Box::new(CkSafetyCriterion::with_engine(c, engine.clone())?)
+    } else {
+        Box::new(ModelSafetyCriterion::new(
+            c,
+            opts.model.resolve(engine.clone()),
+        )?)
+    };
     // The session search resolves 0 → all cores and degenerates to the
     // sequential search at 1 thread, so dispatch is unconditional.
     let config = SearchConfig {
@@ -521,6 +590,7 @@ fn search_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
         schedule: opts.schedule,
         memo_capacity: opts.memo_cap,
         scan_threads: opts.scan_threads.unwrap_or(0),
+        model: opts.model,
     };
     let effective = config.effective_threads();
     let started = std::time::Instant::now();
@@ -550,7 +620,7 @@ fn search_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
         }
         Verdict::Ok
     };
-    print_cache_stats(criterion.engine_stats());
+    print_cache_stats(engine.stats());
     Ok(verdict)
 }
 
@@ -694,6 +764,9 @@ fn table_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
             if let Some(c) = opts.c {
                 body.push(("c".to_owned(), c.into()));
             }
+            if opts.model != ModelId::Conjunction {
+                body.push(("model".to_owned(), opts.model.name().into()));
+            }
             if action == "search" {
                 if let Some(threads) = opts.threads {
                     body.push(("threads".to_owned(), threads.into()));
@@ -717,10 +790,14 @@ fn table_cmd(opts: &Options) -> Result<Verdict, Box<dyn std::error::Error>> {
                 .node
                 .as_ref()
                 .ok_or("table release needs --node L1,L2,...")?;
-            let body = Json::object(vec![(
+            let mut fields = vec![(
                 "node",
                 Json::Array(node.iter().map(|&l| l.into()).collect()),
-            )]);
+            )];
+            if opts.model != ModelId::Conjunction {
+                fields.push(("model", opts.model.name().into()));
+            }
+            let body = Json::object(fields);
             client.post(&format!("/tables/{id}/release"), &body.to_string())?
         }
         "history" => {
@@ -835,6 +912,86 @@ mod tests {
         assert_eq!(o.memo_cap, Some(32));
         assert!(parse_args(&s(&["search", "--schedule", "chaotic"])).is_err());
         assert!(parse_args(&s(&["search", "--memo-cap", "many"])).is_err());
+    }
+
+    #[test]
+    fn model_flag_parses() {
+        let o = parse_args(&s(&["audit", "x.csv"])).unwrap();
+        assert_eq!(o.model, ModelId::Conjunction);
+        for (name, id) in [
+            ("conjunction", ModelId::Conjunction),
+            ("distribution", ModelId::Distribution),
+            ("minimality", ModelId::Minimality),
+            ("sequential", ModelId::Sequential),
+        ] {
+            let o = parse_args(&s(&["audit", "x.csv", "--model", name])).unwrap();
+            assert_eq!(o.model, id);
+        }
+        assert!(parse_args(&s(&["audit", "--model", "bogus"])).is_err());
+        assert!(parse_args(&s(&["audit", "--model"])).is_err());
+    }
+
+    /// `--model` drives real audits and searches: a non-conjunction bound
+    /// maps onto the same exit-code contract as the classic path.
+    #[test]
+    fn model_audit_and_search_end_to_end() {
+        let dir = std::env::temp_dir().join("wcbk_cli_model");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(
+            &path,
+            "Age,Sex,Disease\n21,M,Flu\n23,F,Flu\n27,M,Cold\n29,F,Cold\n33,M,Flu\n35,F,Cold\n",
+        )
+        .unwrap();
+        let path = path.to_str().unwrap();
+
+        // Exact-QI singleton buckets: the distribution adversary pins every
+        // tuple's value → NOT SAFE at c = 0.5.
+        let unsafe_audit = s(&[
+            "audit",
+            path,
+            "--sensitive",
+            "Disease",
+            "--qi",
+            "Age,Sex",
+            "--k",
+            "1",
+            "--c",
+            "0.5",
+            "--model",
+            "distribution",
+        ]);
+        assert_eq!(run(&unsafe_audit).unwrap(), Verdict::Unsafe);
+        // One 50/50 bucket under the minimality attacker at k=0 → SAFE.
+        let safe_audit = s(&[
+            "audit",
+            path,
+            "--sensitive",
+            "Disease",
+            "--k",
+            "0",
+            "--c",
+            "0.9",
+            "--model",
+            "minimality",
+        ]);
+        assert_eq!(run(&safe_audit).unwrap(), Verdict::Ok);
+        // Searching under the model criterion still finds safe nodes.
+        let search = s(&[
+            "search",
+            path,
+            "--sensitive",
+            "Disease",
+            "--qi",
+            "Age,Sex",
+            "--c",
+            "0.9",
+            "--k",
+            "0",
+            "--model",
+            "minimality",
+        ]);
+        assert_eq!(run(&search).unwrap(), Verdict::Ok);
     }
 
     #[test]

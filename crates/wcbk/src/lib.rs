@@ -39,11 +39,13 @@
 //! | [`worlds`] | exact random-worlds inference, consistency (Theorem 8) |
 //! | [`core`] | MINIMIZE1/2 DP, witnesses, (c,k)-safety, incremental engine |
 //! | [`hierarchy`] | DGHs, generalization lattice, the Adult hierarchies |
+//! | [`adversary`] | pluggable background-knowledge languages (adversary models) |
 //! | [`anonymize`] | privacy criteria, Incognito-style search, utility |
 //! | [`datagen`] | synthetic Adult and random workloads |
 //! | [`serve`] | batch/streaming HTTP audit service on the shared engine |
 //! | [`store`] | embedded WAL-backed durable dataset catalog (`serve --data-dir`) |
 
+pub use wcbk_adversary as adversary;
 pub use wcbk_anonymize as anonymize;
 pub use wcbk_core as core;
 pub use wcbk_datagen as datagen;
@@ -59,10 +61,12 @@ pub mod prelude {
     pub use wcbk_anonymize::{
         anatomize, anonymize, anonymize_parallel, default_threads, find_minimal_safe,
         find_minimal_safe_parallel, find_minimal_safe_report, find_minimal_safe_with, incognito,
-        incognito_parallel, incognito_with, swap_sanitize, sweep_all, AuditReport,
-        CkSafetyCriterion, CompositionReport, DatasetSession, DistinctLDiversity,
-        EntropyLDiversity, KAnonymity, PrivacyCriterion, RecursiveCLDiversity, ReleaseReport,
+        incognito_parallel, incognito_with, swap_sanitize, sweep_all, AdversaryModel, AuditReport,
+        CkSafetyCriterion, CompositionReport, CompositionStyle, DatasetSession, DistinctLDiversity,
+        EntropyLDiversity, KAnonymity, ModelAuditReport, ModelCompositionReport, ModelId,
+        ModelSafetyCriterion, ModelWitness, PrivacyCriterion, RecursiveCLDiversity, ReleaseReport,
         Schedule, SearchConfig, SearchOutcome, SearchReport, SessionOptions, UtilityMetric,
+        MODEL_IDS, MODEL_NAMES,
     };
     pub use wcbk_core::{
         cost_negation_max_disclosure, is_ck_safe, max_disclosure, negation_max_disclosure, Bucket,
